@@ -1,0 +1,50 @@
+//! Criterion bench for the indexing phase (Fig. 11/12, left panels):
+//! TRANSFORMERS vs PBSM partitioning vs R-Tree bulk load.
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfm_datagen::Distribution;
+use tfm_geom::Aabb;
+use tfm_storage::Disk;
+use transformers::{IndexConfig, TransformersIndex};
+
+fn bench(c: &mut Criterion) {
+    let a = dataset(30_000, Distribution::DenseCluster { clusters: 40 }, 70);
+    let extent = Aabb::union_all(a.iter().map(|e| e.mbb));
+
+    let mut group = c.benchmark_group("fig11/indexing");
+    group.sample_size(10);
+
+    group.bench_function("transformers", |bench| {
+        bench.iter(|| {
+            let disk = Disk::in_memory(PAGE);
+            black_box(TransformersIndex::build(&disk, a.clone(), &IndexConfig::default()).len())
+        })
+    });
+
+    group.bench_function("pbsm", |bench| {
+        bench.iter(|| {
+            let disk = Disk::in_memory(PAGE);
+            let mut stats = tfm_pbsm::PbsmStats::default();
+            black_box(
+                tfm_pbsm::pbsm_partition(&disk, &a, extent, &tfm_pbsm::PbsmConfig::default(), &mut stats)
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("rtree", |bench| {
+        bench.iter(|| {
+            let disk = Disk::in_memory(PAGE);
+            black_box(tfm_rtree::RTree::bulk_load(&disk, a.clone()).len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation bench: the in-memory join kernels (grid hash join vs plane
+//! sweep vs nested loop). PBSM and TRANSFORMERS use the grid hash join,
+//! the R-Tree baseline uses plane sweep (paper §VII-A).
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfm_datagen::Distribution;
+use tfm_memjoin::{grid_hash_join, nested_loop_join, plane_sweep_join, GridConfig, JoinStats};
+
+fn bench(c: &mut Criterion) {
+    let a = dataset(3_000, Distribution::Uniform, 80);
+    let b = dataset(3_000, Distribution::Uniform, 81);
+
+    let mut group = c.benchmark_group("memjoin/3000x3000");
+    group.sample_size(20);
+
+    group.bench_function("grid_hash", |bench| {
+        bench.iter(|| {
+            let mut s = JoinStats::default();
+            black_box(grid_hash_join(&a, &b, &GridConfig::default(), &mut s).len())
+        })
+    });
+
+    group.bench_function("plane_sweep", |bench| {
+        bench.iter(|| {
+            let mut s = JoinStats::default();
+            black_box(plane_sweep_join(&a, &b, &mut s).len())
+        })
+    });
+
+    group.bench_function("nested_loop", |bench| {
+        bench.iter(|| {
+            let mut s = JoinStats::default();
+            black_box(nested_loop_join(&a, &b, &mut s).len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

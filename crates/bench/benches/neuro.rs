@@ -1,0 +1,33 @@
+//! Criterion bench for Fig. 12: join-phase time on the neuroscience
+//! surrogate (axons × dendrites).
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfm_datagen::neuro;
+use transformers::JoinConfig;
+
+fn bench(c: &mut Criterion) {
+    let (a, b) = neuro::axon_dendrite_pair(30_000, 30);
+
+    let mut group = c.benchmark_group("fig12/axons_x_dendrites");
+    group.sample_size(10);
+
+    let tr = TrFixture::new(a.clone(), b.clone());
+    group.bench_function("transformers", |bench| {
+        bench.iter(|| black_box(tr.join(&JoinConfig::default())))
+    });
+
+    let pbsm = PbsmFixture::new(&a, &b);
+    group.bench_function("pbsm", |bench| bench.iter(|| black_box(pbsm.join())));
+
+    let rtree = RtreeFixture::new(a, b);
+    group.bench_function("rtree", |bench| bench.iter(|| black_box(rtree.join())));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Fig. 11: join-phase time on non-uniform data
+//! (DenseCluster × UniformCluster), TRANSFORMERS vs PBSM vs R-TREE.
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfm_datagen::Distribution;
+use transformers::JoinConfig;
+
+fn bench(c: &mut Criterion) {
+    let a = dataset(15_000, Distribution::DenseCluster { clusters: 40 }, 10);
+    let b = dataset(15_000, Distribution::UniformCluster { clusters: 8 }, 11);
+
+    let mut group = c.benchmark_group("fig11/densecluster_x_uniformcluster");
+    group.sample_size(10);
+
+    let tr = TrFixture::new(a.clone(), b.clone());
+    group.bench_function("transformers", |bench| {
+        bench.iter(|| black_box(tr.join(&JoinConfig::default())))
+    });
+
+    let pbsm = PbsmFixture::new(&a, &b);
+    group.bench_function("pbsm", |bench| bench.iter(|| black_box(pbsm.join())));
+
+    let rtree = RtreeFixture::new(a, b);
+    group.bench_function("rtree", |bench| bench.iter(|| black_box(rtree.join())));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for Fig. 1 / Fig. 10: join-phase time of all four
+//! approaches at three density-ratio points (sparse×dense, balanced,
+//! dense×sparse).
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfm_datagen::Distribution;
+use transformers::JoinConfig;
+
+fn bench(c: &mut Criterion) {
+    let points = [
+        ("ratio_100x", 300usize, 30_000usize),
+        ("ratio_1x", 10_000, 10_000),
+        ("ratio_0.01x", 30_000, 300),
+    ];
+    for (name, na, nb) in points {
+        let a = dataset(na, Distribution::Uniform, 1);
+        let b = dataset(nb, Distribution::Uniform, 2);
+
+        let mut group = c.benchmark_group(format!("fig10/{name}"));
+        group.sample_size(10);
+
+        let tr = TrFixture::new(a.clone(), b.clone());
+        group.bench_function("transformers", |bench| {
+            bench.iter(|| black_box(tr.join(&JoinConfig::default())))
+        });
+
+        let pbsm = PbsmFixture::new(&a, &b);
+        group.bench_function("pbsm", |bench| bench.iter(|| black_box(pbsm.join())));
+
+        let rtree = RtreeFixture::new(a.clone(), b.clone());
+        group.bench_function("rtree", |bench| bench.iter(|| black_box(rtree.join())));
+
+        let (sparse, dense) = if na <= nb { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
+        let gipsy = GipsyFixture::new(sparse, dense);
+        group.bench_function("gipsy", |bench| bench.iter(|| black_box(gipsy.join())));
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Fig. 13 (right): OverFit vs cost-model vs UnderFit
+//! transformation thresholds across data distributions.
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfm_datagen::Distribution;
+use transformers::{JoinConfig, ThresholdPolicy};
+
+fn bench(c: &mut Criterion) {
+    let workloads = [
+        (
+            "massivecluster",
+            dataset(15_000, Distribution::MassiveCluster { clusters: 5, elements_per_cluster: 1_500 }, 50),
+            dataset(15_000, Distribution::Uniform, 51),
+        ),
+        (
+            "uniform",
+            dataset(15_000, Distribution::Uniform, 52),
+            dataset(15_000, Distribution::Uniform, 53),
+        ),
+    ];
+    for (name, a, b) in workloads {
+        let tr = TrFixture::new(a, b);
+        let mut group = c.benchmark_group(format!("fig13/threshold_{name}"));
+        group.sample_size(10);
+        for (label, policy) in [
+            ("overfit", ThresholdPolicy::over_fit()),
+            ("costmodel", ThresholdPolicy::CostModel),
+            ("underfit", ThresholdPolicy::under_fit()),
+        ] {
+            let cfg = JoinConfig::default().with_thresholds(policy);
+            group.bench_function(label, |bench| bench.iter(|| black_box(tr.join(&cfg))));
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

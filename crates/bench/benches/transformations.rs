@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 13 (left): TRANSFORMERS with and without
+//! transformations on skewed (contrasting-density) data.
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfm_datagen::Distribution;
+use transformers::JoinConfig;
+
+fn bench(c: &mut Criterion) {
+    // Strong local contrast: a small sparse dataset against a large dense
+    // one — the regime where the adaptive machinery must pay off.
+    let a = dataset(500, Distribution::Uniform, 40);
+    let b = dataset(100_000, Distribution::Uniform, 41);
+    let tr = TrFixture::new(a, b);
+
+    let mut group = c.benchmark_group("fig13/transformation_impact");
+    group.sample_size(10);
+    group.bench_function("no_tr", |bench| {
+        bench.iter(|| black_box(tr.join(&JoinConfig::without_transformations())))
+    });
+    group.bench_function("transformers", |bench| {
+        bench.iter(|| black_box(tr.join(&JoinConfig::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

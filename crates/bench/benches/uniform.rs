@@ -1,0 +1,36 @@
+//! Criterion bench for Table I: join-phase time on uniformly distributed
+//! data, TRANSFORMERS vs PBSM vs R-TREE.
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfm_datagen::Distribution;
+use transformers::JoinConfig;
+
+fn bench(c: &mut Criterion) {
+    for n in [10_000usize, 20_000] {
+        let a = dataset(n, Distribution::Uniform, 20);
+        let b = dataset(n, Distribution::Uniform, 21);
+
+        let mut group = c.benchmark_group(format!("table1/uniform_{n}"));
+        group.sample_size(10);
+
+        let tr = TrFixture::new(a.clone(), b.clone());
+        group.bench_function("transformers", |bench| {
+            bench.iter(|| black_box(tr.join(&JoinConfig::default())))
+        });
+
+        let pbsm = PbsmFixture::new(&a, &b);
+        group.bench_function("pbsm", |bench| bench.iter(|| black_box(pbsm.join())));
+
+        let rtree = RtreeFixture::new(a, b);
+        group.bench_function("rtree", |bench| bench.iter(|| black_box(rtree.join())));
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation bench: Hilbert-B+-tree walk starts vs the paper's stated
+//! alternative ("the first space node of the follower dataset can be
+//! used"), plus the node-level prefilter on/off.
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfm_datagen::Distribution;
+use transformers::JoinConfig;
+
+fn bench(c: &mut Criterion) {
+    let a = dataset(20_000, Distribution::DenseCluster { clusters: 30 }, 90);
+    let b = dataset(20_000, Distribution::Uniform, 91);
+    let tr = TrFixture::new(a, b);
+
+    let mut group = c.benchmark_group("ablation/walk_start");
+    group.sample_size(10);
+    group.bench_function("hilbert_btree", |bench| {
+        bench.iter(|| {
+            black_box(tr.join(&JoinConfig { hilbert_walk_start: true, ..JoinConfig::default() }))
+        })
+    });
+    group.bench_function("first_node", |bench| {
+        bench.iter(|| {
+            black_box(tr.join(&JoinConfig { hilbert_walk_start: false, ..JoinConfig::default() }))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation/node_prefilter");
+    group.sample_size(10);
+    group.bench_function("prefilter_on", |bench| {
+        bench.iter(|| black_box(tr.join(&JoinConfig { node_prefilter: true, ..JoinConfig::default() })))
+    });
+    group.bench_function("prefilter_off", |bench| {
+        bench.iter(|| black_box(tr.join(&JoinConfig { node_prefilter: false, ..JoinConfig::default() })))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Extended comparison including the related-work baselines the paper
+//! discusses but does not measure (§VIII-B): SSSJ (sweeping strips) and
+//! S3 (size separation). Run on the Table-I uniform workload and one
+//! contrasting-density pair.
+
+use tfm_bench::workloads::{uniform_pair, BOX_SIDE};
+use tfm_bench::{print_table, run_approach, scaled, write_csv, Approach, RunConfig};
+use tfm_datagen::{generate, DatasetSpec};
+
+fn main() {
+    let cfg = RunConfig::default();
+    let approaches = [
+        Approach::transformers(),
+        Approach::Pbsm,
+        Approach::Rtree,
+        Approach::Sssj,
+        Approach::S3,
+    ];
+
+    let mut rows = Vec::new();
+
+    // Uniform, similar densities (Table-I regime).
+    let w = uniform_pair(scaled(250_000), 9000);
+    for ap in &approaches {
+        let (m, _) = run_approach(ap, "uniform 250K", &w.a, &w.b, &cfg);
+        rows.push(m);
+    }
+
+    // Contrasting densities (Fig. 10 regime).
+    let a = generate(&DatasetSpec { max_side: BOX_SIDE, ..DatasetSpec::uniform(scaled(2_000), 9100) });
+    let b = generate(&DatasetSpec { max_side: BOX_SIDE, ..DatasetSpec::uniform(scaled(1_000_000), 9101) });
+    for ap in &approaches {
+        let (m, _) = run_approach(ap, "2K x 1M", &a, &b, &cfg);
+        rows.push(m);
+    }
+
+    print_table("Extra baselines: SSSJ and S3 vs the measured competitors", &rows);
+    write_csv("results/extra_baselines.csv", &rows).expect("write CSV");
+}

@@ -1,0 +1,51 @@
+//! Fig. 1 / Fig. 10 reproduction: join time across the density-ratio
+//! spectrum for PBSM, R-TREE, GIPSY and TRANSFORMERS.
+//!
+//! Nine pairs of uniform datasets: |A| rises while |B| falls, sweeping the
+//! density ratio over three orders of magnitude (the paper uses 200 K →
+//! 200 M elements; we default to 200 → 200 K and scale with `TFM_SCALE`).
+
+use tfm_bench::{print_table, run_approach, scaled, write_csv, Approach, RunConfig};
+use tfm_bench::workloads::robustness_pairs;
+
+fn main() {
+    let cfg = RunConfig::default();
+    // Paper: 200 K -> 200 M (ratio 10^3). At laptop scale the dense
+    // endpoint must stay large enough that selective retrieval skips
+    // *whole disk tracks* (where crawling beats scanning on a rotational
+    // device), so the sweep covers 1 K -> 4 M.
+    let lo = scaled(1_000);
+    let hi = scaled(4_000_000);
+    let pairs = robustness_pairs(lo, hi);
+
+    let approaches = [
+        Approach::Pbsm,
+        Approach::Rtree,
+        Approach::Gipsy,
+        Approach::transformers(),
+    ];
+
+    let mut rows = Vec::new();
+    for w in &pairs {
+        for ap in &approaches {
+            let (m, _) = run_approach(ap, &w.name, &w.a, &w.b, &cfg);
+            rows.push(m);
+        }
+    }
+
+    print_table("Fig. 10: join time across density ratios", &rows);
+    write_csv("results/fig10_robustness.csv", &rows).expect("write CSV");
+
+    // Robustness summary: max/min join time per approach across the sweep.
+    println!("\nrobustness (max/min join time across the ratio sweep; lower = more robust):");
+    for ap in &approaches {
+        let times: Vec<f64> = rows
+            .iter()
+            .filter(|m| m.approach == ap.label())
+            .map(|m| m.join_time().as_secs_f64())
+            .collect();
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!("  {:<14} {:>8.1}x", ap.label(), max / min);
+    }
+}

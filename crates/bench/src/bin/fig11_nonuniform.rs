@@ -1,0 +1,46 @@
+//! Fig. 11 reproduction: non-uniform distributions (DenseCluster ×
+//! UniformCluster) — indexing time (left), join-time breakdown into I/O and
+//! join work (middle), and intersection tests (right), for TRANSFORMERS,
+//! PBSM and R-TREE.
+//!
+//! The paper sweeps 350 M → 650 M elements; we default to 350 K → 650 K
+//! (paper ÷ 1000) and scale with `TFM_SCALE`. GIPSY is excluded exactly as
+//! in the paper ("due to the long execution time when joining densely
+//! populated datasets").
+
+use tfm_bench::workloads::nonuniform_pair;
+use tfm_bench::{print_table, run_approach, scaled, write_csv, Approach, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::default();
+    let sizes = [350_000, 450_000, 550_000, 650_000];
+    let approaches = [Approach::transformers(), Approach::Pbsm, Approach::Rtree];
+
+    let mut rows = Vec::new();
+    for (i, base) in sizes.iter().enumerate() {
+        let w = nonuniform_pair(scaled(*base), 3000 + i as u64);
+        for ap in &approaches {
+            let (m, _) = run_approach(ap, &w.name, &w.a, &w.b, &cfg);
+            rows.push(m);
+        }
+    }
+
+    print_table("Fig. 11: non-uniform distributions", &rows);
+    write_csv("results/fig11_nonuniform.csv", &rows).expect("write CSV");
+
+    println!("\nFig. 11 middle (join breakdown, seconds: io + cpu):");
+    for m in &rows {
+        println!(
+            "  {:<10} {:<14} io={:>8.3} cpu={:>8.3} total={:>8.3}",
+            m.workload,
+            m.approach,
+            m.join_sim_io.as_secs_f64(),
+            m.join_wall.as_secs_f64(),
+            m.join_time().as_secs_f64()
+        );
+    }
+    println!("\nFig. 11 right (#intersection tests, TRANSFORMERS includes metadata):");
+    for m in &rows {
+        println!("  {:<10} {:<14} {:>14}", m.workload, m.approach, m.tests);
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 12 reproduction: the neuroscience workload (axons × dendrites,
+//! 60/40 split) — indexing time, join breakdown and intersection tests.
+//!
+//! The paper joins 100 M–350 M cylinders of a rat-brain model; we use the
+//! surrogate generator (`tfm_datagen::neuro`, see DESIGN.md substitution 3)
+//! at 100 K–350 K (paper ÷ 1000), scaled by `TFM_SCALE`. PBSM uses 20
+//! partitions per dimension for this workload, as in §VII-A.
+
+use tfm_bench::workloads::neuro_pair;
+use tfm_bench::{print_table, run_approach, scaled, write_csv, Approach, RunConfig};
+
+fn main() {
+    let cfg = RunConfig {
+        pbsm_partitions: 20,
+        ..RunConfig::default()
+    };
+    let sizes = [100_000, 250_000, 350_000];
+    let approaches = [Approach::transformers(), Approach::Pbsm, Approach::Rtree];
+
+    let mut rows = Vec::new();
+    for (i, base) in sizes.iter().enumerate() {
+        let w = neuro_pair(scaled(*base), 5000 + i as u64);
+        for ap in &approaches {
+            let (m, _) = run_approach(ap, &w.name, &w.a, &w.b, &cfg);
+            rows.push(m);
+        }
+    }
+
+    print_table("Fig. 12: neuroscience data (axons x dendrites)", &rows);
+    write_csv("results/fig12_neuro.csv", &rows).expect("write CSV");
+
+    println!("\nFig. 12 middle (join breakdown, seconds: io + cpu):");
+    for m in &rows {
+        println!(
+            "  {:<10} {:<14} io={:>8.3} cpu={:>8.3} total={:>8.3}",
+            m.workload,
+            m.approach,
+            m.join_sim_io.as_secs_f64(),
+            m.join_wall.as_secs_f64(),
+            m.join_time().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Fig. 13 reproduction.
+//!
+//! Left: impact of transformations — TRANSFORMERS vs "No TR" (no role or
+//! layout transformations) on MassiveCluster datasets of growing size
+//! (skew grows with size).
+//!
+//! Right: threshold sensitivity — OverFit (t = 1.5), the cost model, and
+//! UnderFit (t = 10⁶) across three data distributions at one size.
+
+use tfm_bench::workloads::{massive_pair, threshold_workloads};
+use tfm_bench::{print_table, run_approach, scaled, write_csv, Approach, RunConfig};
+use transformers::ThresholdPolicy;
+
+fn main() {
+    let cfg = RunConfig::default();
+
+    // Left panel: No TR vs TRANSFORMERS over growing skew
+    // (paper: 50 M–350 M elements; here ÷ 1000).
+    let sizes = [50_000, 150_000, 250_000, 350_000];
+    let mut left_rows = Vec::new();
+    for (i, base) in sizes.iter().enumerate() {
+        let w = massive_pair(scaled(*base), 6000 + i as u64);
+        for ap in [Approach::no_tr(), Approach::transformers()] {
+            let (m, _) = run_approach(&ap, &w.name, &w.a, &w.b, &cfg);
+            left_rows.push(m);
+        }
+    }
+    print_table("Fig. 13 left: impact of transformations (MassiveCluster)", &left_rows);
+    write_csv("results/fig13_transformations.csv", &left_rows).expect("write CSV");
+
+    println!("\nspeedup of transformations (NoTR / TRANSFORMERS join time):");
+    for chunk in left_rows.chunks(2) {
+        println!(
+            "  {:<10} {:>6.2}x  (transformations performed: {})",
+            chunk[0].workload,
+            chunk[0].join_time().as_secs_f64() / chunk[1].join_time().as_secs_f64(),
+            chunk[1].transformations
+        );
+    }
+
+    // Right panel: threshold sensitivity across distributions.
+    let policies = [
+        ("OverFit", ThresholdPolicy::over_fit()),
+        ("CostModelFit", ThresholdPolicy::CostModel),
+        ("UnderFit", ThresholdPolicy::under_fit()),
+    ];
+    let mut right_rows = Vec::new();
+    for w in threshold_workloads(scaled(350_000), 6100) {
+        for (_, policy) in &policies {
+            let (m, _) = run_approach(&Approach::with_policy(*policy), &w.name, &w.a, &w.b, &cfg);
+            right_rows.push(m);
+        }
+    }
+    print_table("Fig. 13 right: transformation-threshold sensitivity", &right_rows);
+    write_csv("results/fig13_thresholds.csv", &right_rows).expect("write CSV");
+}

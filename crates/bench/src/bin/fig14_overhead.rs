@@ -1,0 +1,39 @@
+//! Fig. 14 reproduction: adaptive exploration overhead on MassiveCluster
+//! datasets — the join time is broken into *join cost* (disk access +
+//! in-memory joining of the final candidate set) and *overhead* (walking,
+//! crawling, filtering, transformation decisions).
+//!
+//! The paper reports the overhead at ~17 % of join execution on average.
+
+use tfm_bench::workloads::massive_pair;
+use tfm_bench::{run_approach, scaled, write_csv, Approach, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::default();
+    // Paper: 50 M–350 M elements; here ÷ 1000.
+    let sizes = [50_000, 150_000, 250_000, 350_000];
+
+    let mut rows = Vec::new();
+    println!("\n== Fig. 14: adaptive exploration overhead (MassiveCluster) ==");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>10}",
+        "elements", "join_cost_s", "overhead_s", "total_s", "overhead%"
+    );
+    for (i, base) in sizes.iter().enumerate() {
+        let w = massive_pair(scaled(*base), 7000 + i as u64);
+        let (m, _) = run_approach(&Approach::transformers(), &w.name, &w.a, &w.b, &cfg);
+        let total = m.join_time().as_secs_f64();
+        let overhead = m.overhead_wall.as_secs_f64();
+        let join_cost = total - overhead;
+        println!(
+            "{:<10} {:>12.3} {:>12.3} {:>12.3} {:>9.1}%",
+            m.workload,
+            join_cost,
+            overhead,
+            total,
+            100.0 * overhead / total
+        );
+        rows.push(m);
+    }
+    write_csv("results/fig14_overhead.csv", &rows).expect("write CSV");
+}

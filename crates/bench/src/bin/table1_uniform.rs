@@ -1,0 +1,38 @@
+//! Table I reproduction: execution time for datasets with uniform
+//! distribution — TRANSFORMERS vs PBSM vs R-TREE at three sizes.
+//!
+//! Paper sizes 150 M / 250 M / 350 M elements; defaults here are
+//! 150 K / 250 K / 350 K (paper ÷ 1000), scaled by `TFM_SCALE`.
+
+use tfm_bench::workloads::uniform_pair;
+use tfm_bench::{print_table, run_approach, scaled, write_csv, Approach, RunConfig};
+
+fn main() {
+    let cfg = RunConfig::default();
+    let sizes = [150_000, 250_000, 350_000];
+    let approaches = [Approach::transformers(), Approach::Pbsm, Approach::Rtree];
+
+    let mut rows = Vec::new();
+    for (i, base) in sizes.iter().enumerate() {
+        let w = uniform_pair(scaled(*base), 4000 + i as u64);
+        for ap in &approaches {
+            let (m, _) = run_approach(ap, &w.name, &w.a, &w.b, &cfg);
+            rows.push(m);
+        }
+    }
+
+    print_table("Table I: uniform distribution", &rows);
+    write_csv("results/table1_uniform.csv", &rows).expect("write CSV");
+
+    println!("\nTable I (join time, seconds):");
+    println!("{:<12} {:>14} {:>10} {:>10}", "elements", "TRANSFORMERS", "PBSM", "RTREE");
+    for chunk in rows.chunks(3) {
+        println!(
+            "{:<12} {:>14.3} {:>10.3} {:>10.3}",
+            chunk[0].workload,
+            chunk[0].join_time().as_secs_f64(),
+            chunk[1].join_time().as_secs_f64(),
+            chunk[2].join_time().as_secs_f64()
+        );
+    }
+}

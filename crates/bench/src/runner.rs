@@ -1,0 +1,492 @@
+//! Uniform approach runner: executes one join approach on one workload and
+//! returns comparable [`Metrics`].
+//!
+//! All approaches run on fresh in-memory simulated disks with the same page
+//! size and buffer-pool capacity; indexing and join phases are measured
+//! separately (the paper reports them separately, §VII-C2: "the results of
+//! the join, excluding the index building time").
+
+use std::time::{Duration, Instant};
+use tfm_geom::{Aabb, SpatialElement};
+use tfm_gipsy::{gipsy_join, GipsyConfig, GipsyStats, SparseFile};
+use tfm_memjoin::ResultPair;
+use tfm_pbsm::{pbsm_join, pbsm_partition, PbsmConfig, PbsmStats};
+use tfm_rtree::{sync_join, RTree, RtreeStats};
+use tfm_storage::{BufferPool, Disk, IoStatsSnapshot};
+use transformers::{transformers_join, IndexConfig, JoinConfig, ThresholdPolicy, TransformersIndex};
+
+/// Which join approach to run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Approach {
+    /// TRANSFORMERS with the given join configuration.
+    Transformers(JoinConfig),
+    /// PBSM (space-oriented partitioning baseline).
+    Pbsm,
+    /// Synchronized R-Tree traversal (data-oriented baseline).
+    Rtree,
+    /// GIPSY (crawling baseline; the smaller dataset is declared sparse).
+    Gipsy,
+    /// SSSJ (related-work baseline, §VIII-B): strips + plane sweep.
+    Sssj,
+    /// S3 size-separation join (related-work baseline, §VIII-B).
+    S3,
+}
+
+impl Approach {
+    /// TRANSFORMERS with default (cost-model) configuration.
+    pub fn transformers() -> Self {
+        Approach::Transformers(JoinConfig::default())
+    }
+
+    /// TRANSFORMERS with transformations disabled ("No TR", Fig. 13).
+    pub fn no_tr() -> Self {
+        Approach::Transformers(JoinConfig::without_transformations())
+    }
+
+    /// TRANSFORMERS with a specific threshold policy (Fig. 13 right).
+    pub fn with_policy(policy: ThresholdPolicy) -> Self {
+        Approach::Transformers(JoinConfig::default().with_thresholds(policy))
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Approach::Transformers(cfg) => match cfg.thresholds {
+                ThresholdPolicy::Disabled => "NoTR".into(),
+                ThresholdPolicy::CostModel => "TRANSFORMERS".into(),
+                ThresholdPolicy::Fixed { t_su, .. } if t_su <= 2.0 => "TR-OverFit".into(),
+                ThresholdPolicy::Fixed { t_su, .. } if t_su >= 1e5 => "TR-UnderFit".into(),
+                ThresholdPolicy::Fixed { .. } => "TR-Fixed".into(),
+            },
+            Approach::Pbsm => "PBSM".into(),
+            Approach::Rtree => "R-TREE".into(),
+            Approach::Gipsy => "GIPSY".into(),
+            Approach::Sssj => "SSSJ".into(),
+            Approach::S3 => "S3".into(),
+        }
+    }
+}
+
+/// Harness-wide run parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Page size for every disk. The default (2 KiB) shrinks space units
+    /// and nodes proportionally to the laptop-scale datasets, preserving
+    /// the paper's elements-per-node *relationship* (see `DESIGN.md`).
+    pub page_size: usize,
+    /// PBSM grid cells per dimension (paper: 10³ partitions for synthetic
+    /// data, 20³ for neuroscience).
+    pub pbsm_partitions: usize,
+    /// Buffer-pool capacity in pages, shared by all approaches.
+    pub pool_pages: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            page_size: 2048,
+            pbsm_partitions: 10,
+            pool_pages: 1024,
+        }
+    }
+}
+
+/// Comparable measurements of one (approach, workload) execution.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Approach label.
+    pub approach: String,
+    /// Workload label.
+    pub workload: String,
+    /// |A| and |B|.
+    pub n_a: usize,
+    /// Number of elements in dataset B.
+    pub n_b: usize,
+    /// Wall-clock time of the indexing phase.
+    pub index_wall: Duration,
+    /// Simulated device time of the indexing phase.
+    pub index_sim_io: Duration,
+    /// Wall-clock (CPU) time of the join phase.
+    pub join_wall: Duration,
+    /// Simulated device time of the join phase.
+    pub join_sim_io: Duration,
+    /// Pages read from disk during the join.
+    pub pages_read: u64,
+    /// Random reads during the join.
+    pub rand_reads: u64,
+    /// Sequential reads during the join.
+    pub seq_reads: u64,
+    /// Intersection tests (element-level; for TRANSFORMERS this includes
+    /// metadata comparisons, matching the paper's Fig. 11 convention).
+    pub tests: u64,
+    /// Result pairs (deduplicated).
+    pub results: u64,
+    /// Transformations performed (TRANSFORMERS only).
+    pub transformations: u64,
+    /// Exploration overhead wall time (TRANSFORMERS only; Fig. 14).
+    pub overhead_wall: Duration,
+}
+
+impl Metrics {
+    /// Total indexing time: simulated I/O + CPU.
+    pub fn index_time(&self) -> Duration {
+        self.index_wall + self.index_sim_io
+    }
+
+    /// Total join time: simulated I/O + CPU. This is the quantity the
+    /// figure reproductions plot as "join time".
+    pub fn join_time(&self) -> Duration {
+        self.join_wall + self.join_sim_io
+    }
+
+    fn base(approach: &Approach, workload: &str, a: &[SpatialElement], b: &[SpatialElement]) -> Self {
+        Self {
+            approach: approach.label(),
+            workload: workload.to_string(),
+            n_a: a.len(),
+            n_b: b.len(),
+            index_wall: Duration::ZERO,
+            index_sim_io: Duration::ZERO,
+            join_wall: Duration::ZERO,
+            join_sim_io: Duration::ZERO,
+            pages_read: 0,
+            rand_reads: 0,
+            seq_reads: 0,
+            tests: 0,
+            results: 0,
+            transformations: 0,
+            overhead_wall: Duration::ZERO,
+        }
+    }
+}
+
+fn merged(a: &Disk, b: &Disk) -> IoStatsSnapshot {
+    a.stats().merged(&b.stats())
+}
+
+/// Runs `approach` on the pair `(a, b)` and returns metrics (and the result
+/// pairs, oriented `(id in A, id in B)`, for correctness checks).
+pub fn run_approach(
+    approach: &Approach,
+    workload: &str,
+    a: &[SpatialElement],
+    b: &[SpatialElement],
+    cfg: &RunConfig,
+) -> (Metrics, Vec<ResultPair>) {
+    let mut m = Metrics::base(approach, workload, a, b);
+    match approach {
+        Approach::Transformers(join_cfg) => run_transformers(&mut m, a, b, cfg, join_cfg),
+        Approach::Pbsm => run_pbsm(&mut m, a, b, cfg),
+        Approach::Rtree => run_rtree(&mut m, a, b, cfg),
+        Approach::Gipsy => run_gipsy(&mut m, a, b, cfg),
+        Approach::Sssj => run_sssj(&mut m, a, b, cfg),
+        Approach::S3 => run_s3(&mut m, a, b, cfg),
+    }
+}
+
+fn run_sssj(
+    m: &mut Metrics,
+    a: &[SpatialElement],
+    b: &[SpatialElement],
+    cfg: &RunConfig,
+) -> (Metrics, Vec<ResultPair>) {
+    use tfm_sweep::sssj::{sssj_join, sssj_partition, SssjStats};
+    let disk_a = Disk::in_memory(cfg.page_size);
+    let disk_b = Disk::in_memory(cfg.page_size);
+    let extent = Aabb::union_all(a.iter().chain(b.iter()).map(|e| e.mbb));
+    let mut stats = SssjStats::default();
+    // Strip count comparable to PBSM's tiling along one dimension squared.
+    let strips = cfg.pbsm_partitions.pow(2);
+
+    let t = Instant::now();
+    let parts = if extent.is_empty() {
+        None
+    } else {
+        Some((
+            sssj_partition(&disk_a, a, extent, strips, &mut stats),
+            sssj_partition(&disk_b, b, extent, strips, &mut stats),
+        ))
+    };
+    m.index_wall = t.elapsed();
+    m.index_sim_io = merged(&disk_a, &disk_b).sim_io_time();
+
+    disk_a.reset_stats();
+    disk_b.reset_stats();
+    let pairs = if let Some((pa, pb)) = &parts {
+        let mut pool_a = BufferPool::new(&disk_a, cfg.pool_pages);
+        let mut pool_b = BufferPool::new(&disk_b, cfg.pool_pages);
+        let t = Instant::now();
+        let pairs = sssj_join(&mut pool_a, pa, &mut pool_b, pb, &mut stats);
+        m.join_wall = t.elapsed();
+        pairs
+    } else {
+        Vec::new()
+    };
+    let io = merged(&disk_a, &disk_b);
+    m.join_sim_io = io.sim_io_time();
+    m.pages_read = io.reads();
+    m.rand_reads = io.rand_reads;
+    m.seq_reads = io.seq_reads;
+    m.tests = stats.mem.element_tests;
+    m.results = pairs.len() as u64;
+    (m.clone(), pairs)
+}
+
+fn run_s3(
+    m: &mut Metrics,
+    a: &[SpatialElement],
+    b: &[SpatialElement],
+    cfg: &RunConfig,
+) -> (Metrics, Vec<ResultPair>) {
+    use tfm_sweep::s3::{s3_join, s3_partition, S3Stats};
+    let disk_a = Disk::in_memory(cfg.page_size);
+    let disk_b = Disk::in_memory(cfg.page_size);
+    let extent = Aabb::union_all(a.iter().chain(b.iter()).map(|e| e.mbb));
+    let mut stats = S3Stats::default();
+    // Depth such that the deepest level's cells hold roughly a page of
+    // elements: 2^(levels-1) cells per dimension ≈ cbrt(pages of the larger
+    // dataset).
+    let cap = ((cfg.page_size - 2) / 56).max(1);
+    let pages = (a.len().max(b.len()) as f64 / cap as f64).max(1.0);
+    let levels = ((pages.cbrt().log2().round() as i64) + 1).clamp(2, 8) as u8;
+
+    let t = Instant::now();
+    let parts = if extent.is_empty() {
+        None
+    } else {
+        Some((
+            s3_partition(&disk_a, a, extent, levels, &mut stats),
+            s3_partition(&disk_b, b, extent, levels, &mut stats),
+        ))
+    };
+    m.index_wall = t.elapsed();
+    m.index_sim_io = merged(&disk_a, &disk_b).sim_io_time();
+
+    disk_a.reset_stats();
+    disk_b.reset_stats();
+    let pairs = if let Some((pa, pb)) = &parts {
+        let mut pool_a = BufferPool::new(&disk_a, cfg.pool_pages);
+        let mut pool_b = BufferPool::new(&disk_b, cfg.pool_pages);
+        let t = Instant::now();
+        let pairs = s3_join(&mut pool_a, pa, &mut pool_b, pb, &mut stats);
+        m.join_wall = t.elapsed();
+        pairs
+    } else {
+        Vec::new()
+    };
+    let io = merged(&disk_a, &disk_b);
+    m.join_sim_io = io.sim_io_time();
+    m.pages_read = io.reads();
+    m.rand_reads = io.rand_reads;
+    m.seq_reads = io.seq_reads;
+    m.tests = stats.mem.element_tests;
+    m.results = pairs.len() as u64;
+    (m.clone(), pairs)
+}
+
+fn run_transformers(
+    m: &mut Metrics,
+    a: &[SpatialElement],
+    b: &[SpatialElement],
+    cfg: &RunConfig,
+    join_cfg: &JoinConfig,
+) -> (Metrics, Vec<ResultPair>) {
+    let disk_a = Disk::in_memory(cfg.page_size);
+    let disk_b = Disk::in_memory(cfg.page_size);
+
+    let t = Instant::now();
+    let idx_a = TransformersIndex::build(&disk_a, a.to_vec(), &IndexConfig::default());
+    let idx_b = TransformersIndex::build(&disk_b, b.to_vec(), &IndexConfig::default());
+    m.index_wall = t.elapsed();
+    m.index_sim_io = merged(&disk_a, &disk_b).sim_io_time();
+
+    disk_a.reset_stats();
+    disk_b.reset_stats();
+    let join_cfg = JoinConfig {
+        pool_pages: cfg.pool_pages,
+        ..*join_cfg
+    };
+    let t = Instant::now();
+    let out = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &join_cfg);
+    m.join_wall = t.elapsed();
+    let io = merged(&disk_a, &disk_b);
+    m.join_sim_io = io.sim_io_time();
+    m.pages_read = io.reads();
+    m.rand_reads = io.rand_reads;
+    m.seq_reads = io.seq_reads;
+    m.tests = out.stats.total_tests();
+    m.results = out.stats.unique_results;
+    m.transformations = out.stats.transformations();
+    m.overhead_wall = out.stats.exploration_overhead;
+    (m.clone(), out.pairs)
+}
+
+fn run_pbsm(
+    m: &mut Metrics,
+    a: &[SpatialElement],
+    b: &[SpatialElement],
+    cfg: &RunConfig,
+) -> (Metrics, Vec<ResultPair>) {
+    let disk_a = Disk::in_memory(cfg.page_size);
+    let disk_b = Disk::in_memory(cfg.page_size);
+    let pbsm_cfg = PbsmConfig::with_partitions(cfg.pbsm_partitions);
+    let extent = Aabb::union_all(a.iter().chain(b.iter()).map(|e| e.mbb));
+    let mut stats = PbsmStats::default();
+
+    let t = Instant::now();
+    let (part_a, part_b) = if extent.is_empty() {
+        (None, None)
+    } else {
+        (
+            Some(pbsm_partition(&disk_a, a, extent, &pbsm_cfg, &mut stats)),
+            Some(pbsm_partition(&disk_b, b, extent, &pbsm_cfg, &mut stats)),
+        )
+    };
+    m.index_wall = t.elapsed();
+    m.index_sim_io = merged(&disk_a, &disk_b).sim_io_time();
+
+    disk_a.reset_stats();
+    disk_b.reset_stats();
+    let pairs = if let (Some(pa), Some(pb)) = (&part_a, &part_b) {
+        let mut pool_a = BufferPool::new(&disk_a, cfg.pool_pages);
+        let mut pool_b = BufferPool::new(&disk_b, cfg.pool_pages);
+        let t = Instant::now();
+        let pairs = pbsm_join(&mut pool_a, pa, &mut pool_b, pb, &pbsm_cfg, &mut stats);
+        m.join_wall = t.elapsed();
+        pairs
+    } else {
+        Vec::new()
+    };
+    let io = merged(&disk_a, &disk_b);
+    m.join_sim_io = io.sim_io_time();
+    m.pages_read = io.reads();
+    m.rand_reads = io.rand_reads;
+    m.seq_reads = io.seq_reads;
+    m.tests = stats.mem.element_tests;
+    m.results = pairs.len() as u64;
+    (m.clone(), pairs)
+}
+
+fn run_rtree(
+    m: &mut Metrics,
+    a: &[SpatialElement],
+    b: &[SpatialElement],
+    cfg: &RunConfig,
+) -> (Metrics, Vec<ResultPair>) {
+    let disk_a = Disk::in_memory(cfg.page_size);
+    let disk_b = Disk::in_memory(cfg.page_size);
+
+    let t = Instant::now();
+    let tree_a = RTree::bulk_load(&disk_a, a.to_vec());
+    let tree_b = RTree::bulk_load(&disk_b, b.to_vec());
+    m.index_wall = t.elapsed();
+    m.index_sim_io = merged(&disk_a, &disk_b).sim_io_time();
+
+    disk_a.reset_stats();
+    disk_b.reset_stats();
+    let mut pool_a = BufferPool::new(&disk_a, cfg.pool_pages);
+    let mut pool_b = BufferPool::new(&disk_b, cfg.pool_pages);
+    let mut stats = RtreeStats::default();
+    let t = Instant::now();
+    let pairs = sync_join(&mut pool_a, &tree_a, &mut pool_b, &tree_b, &mut stats);
+    m.join_wall = t.elapsed();
+    let io = merged(&disk_a, &disk_b);
+    m.join_sim_io = io.sim_io_time();
+    m.pages_read = io.reads();
+    m.rand_reads = io.rand_reads;
+    m.seq_reads = io.seq_reads;
+    m.tests = stats.mem.element_tests;
+    m.results = pairs.len() as u64;
+    (m.clone(), pairs)
+}
+
+fn run_gipsy(
+    m: &mut Metrics,
+    a: &[SpatialElement],
+    b: &[SpatialElement],
+    cfg: &RunConfig,
+) -> (Metrics, Vec<ResultPair>) {
+    // GIPSY requires the sparse dataset to be known in advance (paper
+    // §VIII-A: "the performance of GIPSY relies on the ability to
+    // predetermine which dataset is dense and which one is sparse").
+    let a_is_sparse = a.len() <= b.len();
+    let (sparse, dense) = if a_is_sparse { (a, b) } else { (b, a) };
+
+    let sparse_disk = Disk::in_memory(cfg.page_size);
+    let dense_disk = Disk::in_memory(cfg.page_size);
+
+    let t = Instant::now();
+    let sparse_file = SparseFile::write(&sparse_disk, sparse.to_vec());
+    let dense_idx = TransformersIndex::build(&dense_disk, dense.to_vec(), &IndexConfig::default());
+    m.index_wall = t.elapsed();
+    m.index_sim_io = merged(&sparse_disk, &dense_disk).sim_io_time();
+
+    sparse_disk.reset_stats();
+    dense_disk.reset_stats();
+    let gipsy_cfg = GipsyConfig {
+        pool_pages: cfg.pool_pages,
+        ..GipsyConfig::default()
+    };
+    let mut stats = GipsyStats::default();
+    let t = Instant::now();
+    let pairs = gipsy_join(&sparse_disk, &sparse_file, &dense_disk, &dense_idx, &gipsy_cfg, &mut stats);
+    m.join_wall = t.elapsed();
+    let io = merged(&sparse_disk, &dense_disk);
+    m.join_sim_io = io.sim_io_time();
+    m.pages_read = io.reads();
+    m.rand_reads = io.rand_reads;
+    m.seq_reads = io.seq_reads;
+    m.tests = stats.mem.element_tests;
+    m.results = pairs.len() as u64;
+    let oriented: Vec<ResultPair> = if a_is_sparse {
+        pairs
+    } else {
+        pairs.into_iter().map(|(s, d)| (d, s)).collect()
+    };
+    (m.clone(), oriented)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_datagen::{generate, DatasetSpec};
+    use tfm_memjoin::canonicalize;
+
+    #[test]
+    fn all_approaches_agree_on_results() {
+        let a = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(1500, 200) });
+        let b = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(4000, 201) });
+        let cfg = RunConfig::default();
+        let approaches = [
+            Approach::transformers(),
+            Approach::no_tr(),
+            Approach::Pbsm,
+            Approach::Rtree,
+            Approach::Gipsy,
+            Approach::Sssj,
+            Approach::S3,
+        ];
+        let mut reference: Option<Vec<ResultPair>> = None;
+        for ap in &approaches {
+            let (metrics, pairs) = run_approach(ap, "t", &a, &b, &cfg);
+            let pairs = canonicalize(pairs);
+            assert_eq!(metrics.results as usize, pairs.len(), "{}", ap.label());
+            match &reference {
+                None => reference = Some(pairs),
+                Some(r) => assert_eq!(&pairs, r, "approach {} diverges", ap.label()),
+            }
+        }
+        assert!(!reference.unwrap().is_empty());
+    }
+
+    #[test]
+    fn metrics_phases_are_populated() {
+        let a = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(2000, 202) });
+        let b = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(2000, 203) });
+        let (m, _) = run_approach(&Approach::transformers(), "t", &a, &b, &RunConfig::default());
+        assert!(m.index_sim_io > Duration::ZERO);
+        assert!(m.join_sim_io > Duration::ZERO);
+        assert!(m.pages_read > 0);
+        assert!(m.join_time() >= m.join_sim_io);
+    }
+}

@@ -1,0 +1,168 @@
+//! Workload definitions matching the paper's evaluation datasets (§VII-B).
+
+use tfm_datagen::{generate, neuro, DatasetSpec, Distribution};
+use tfm_geom::SpatialElement;
+
+/// A named pair of datasets to be joined.
+pub struct Workload {
+    /// Human-readable label (appears in tables/CSVs).
+    pub name: String,
+    /// Dataset A.
+    pub a: Vec<SpatialElement>,
+    /// Dataset B.
+    pub b: Vec<SpatialElement>,
+}
+
+/// Element box size used by the synthetic workloads. The paper draws sides
+/// from `(0, 1]` in a 1000³ universe at 10⁸–10⁹ elements; at laptop scale
+/// we keep the universe and enlarge the boxes so join selectivity stays
+/// comparable.
+pub const BOX_SIDE: f64 = 4.0;
+
+fn spec(count: usize, distribution: Distribution, seed: u64) -> DatasetSpec {
+    DatasetSpec {
+        max_side: BOX_SIDE,
+        ..DatasetSpec::with_distribution(count, distribution, seed)
+    }
+}
+
+/// Fig. 1 / Fig. 10: nine pairs of uniform datasets whose density ratio
+/// sweeps three orders of magnitude — |A| rises from `lo` to `hi` while
+/// |B| falls from `hi` to `lo`.
+pub fn robustness_pairs(lo: usize, hi: usize) -> Vec<Workload> {
+    let steps = 9usize;
+    let factor = (hi as f64 / lo as f64).powf(1.0 / (steps - 1) as f64);
+    (0..steps)
+        .map(|i| {
+            let na = (lo as f64 * factor.powi(i as i32)).round() as usize;
+            let nb = (lo as f64 * factor.powi((steps - 1 - i) as i32)).round() as usize;
+            Workload {
+                name: format!("A={na} B={nb}"),
+                a: generate(&spec(na, Distribution::Uniform, 1000 + i as u64)),
+                b: generate(&spec(nb, Distribution::Uniform, 2000 + i as u64)),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 11: DenseCluster × UniformCluster at a given total size (split
+/// evenly, as in the paper's "elements in datasets" axis).
+pub fn nonuniform_pair(total: usize, seed: u64) -> Workload {
+    let half = total / 2;
+    Workload {
+        name: format!("{total}"),
+        a: generate(&spec(half, scaled_dense_cluster(half), seed)),
+        b: generate(&spec(half, scaled_uniform_cluster(half), seed + 1)),
+    }
+}
+
+/// Table I: Uniform × Uniform at a given total size.
+pub fn uniform_pair(total: usize, seed: u64) -> Workload {
+    let half = total / 2;
+    Workload {
+        name: format!("{total}"),
+        a: generate(&spec(half, Distribution::Uniform, seed)),
+        b: generate(&spec(half, Distribution::Uniform, seed + 1)),
+    }
+}
+
+/// Fig. 12: the neuroscience surrogate (axons × dendrites, 60/40).
+pub fn neuro_pair(total: usize, seed: u64) -> Workload {
+    let (a, b) = neuro::axon_dendrite_pair(total, seed);
+    Workload {
+        name: format!("{total}"),
+        a,
+        b,
+    }
+}
+
+/// Fig. 13/14: MassiveCluster × MassiveCluster (skew grows with size).
+///
+/// Each dataset packs half its elements into 5 small dense clusters and
+/// spreads the rest uniformly (the paper's MassiveCluster keeps 5 dense
+/// clusters inside a larger dataset). The cluster locations differ between
+/// A and B, so the join constantly meets areas where one side is locally
+/// 100× denser than the other — the regime where transformations pay off.
+pub fn massive_pair(total: usize, seed: u64) -> Workload {
+    let half = total / 2;
+    let dist = Distribution::MassiveCluster {
+        clusters: 5,
+        elements_per_cluster: half / 10,
+    };
+    Workload {
+        name: format!("{total}"),
+        a: generate(&spec(half, dist, seed)),
+        b: generate(&spec(half, dist, seed + 1)),
+    }
+}
+
+/// Fig. 13 (right) also uses UniformCluster × DenseCluster and
+/// Uniform × Uniform at one size; this builds the three distribution pairs.
+pub fn threshold_workloads(total: usize, seed: u64) -> Vec<Workload> {
+    let half = total / 2;
+    vec![
+        Workload {
+            name: "MassiveCluster".into(),
+            a: generate(&spec(half, Distribution::massive_cluster_for(half), seed)),
+            b: generate(&spec(half, Distribution::massive_cluster_for(half), seed + 1)),
+        },
+        Workload {
+            name: "UniformVsDenseCluster".into(),
+            a: generate(&spec(half, scaled_uniform_cluster(half), seed + 2)),
+            b: generate(&spec(half, scaled_dense_cluster(half), seed + 3)),
+        },
+        Workload {
+            name: "Uniform".into(),
+            a: generate(&spec(half, Distribution::Uniform, seed + 4)),
+            b: generate(&spec(half, Distribution::Uniform, seed + 5)),
+        },
+    ]
+}
+
+/// The paper's ≈700 dense clusters assume 10⁸ elements; scale the cluster
+/// count down with the dataset so each cluster stays meaningfully dense.
+fn scaled_dense_cluster(count: usize) -> Distribution {
+    Distribution::DenseCluster {
+        clusters: (count / 700).clamp(20, 700),
+    }
+}
+
+/// Same scaling for the 100 wide clusters of UniformCluster.
+fn scaled_uniform_cluster(count: usize) -> Distribution {
+    Distribution::UniformCluster {
+        clusters: (count / 5000).clamp(10, 100),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn robustness_sweep_shape() {
+        let pairs = robustness_pairs(100, 10_000);
+        assert_eq!(pairs.len(), 9);
+        assert_eq!(pairs[0].a.len(), 100);
+        assert_eq!(pairs[0].b.len(), 10_000);
+        assert_eq!(pairs[8].a.len(), 10_000);
+        assert_eq!(pairs[8].b.len(), 100);
+        // The middle pair is balanced.
+        assert_eq!(pairs[4].a.len(), pairs[4].b.len());
+    }
+
+    #[test]
+    fn pairs_split_totals() {
+        let w = uniform_pair(10_000, 1);
+        assert_eq!(w.a.len() + w.b.len(), 10_000);
+        let w = neuro_pair(10_000, 1);
+        assert_eq!(w.a.len() + w.b.len(), 10_000);
+    }
+
+    #[test]
+    fn threshold_workloads_cover_three_distributions() {
+        let ws = threshold_workloads(2000, 5);
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].name, "MassiveCluster");
+        assert_eq!(ws[2].name, "Uniform");
+    }
+}

@@ -1,0 +1,375 @@
+//! A disk-page B+-tree on `u64` keys.
+//!
+//! TRANSFORMERS "indexes the Hilbert value of the center point of all space
+//! nodes in a dataset with a B+-Tree … instead of an R-Tree to avoid the
+//! issue of overlap and also to speed up building the index" (paper §V,
+//! "Adaptive Walk"). The tree maps Hilbert values to space-node ids and is
+//! used only to locate the *start descriptor* of an adaptive walk.
+//!
+//! The tree is bulk-loaded bottom-up from sorted pairs, stores its nodes on
+//! a [`Disk`] (every traversal is charged page I/O), and supports exact
+//! lookup, range scans, and nearest-key search ([`BPlusTree::nearest`]) —
+//! the operation the walk start actually needs.
+
+#![warn(missing_docs)]
+
+use bytes::{Buf, BufMut};
+use tfm_storage::{Disk, PageId};
+
+const LEAF_TAG: u8 = 1;
+const INNER_TAG: u8 = 0;
+const HEADER: usize = 1 + 2; // tag + count
+const ENTRY: usize = 16; // key + (value | child)
+const NO_LEAF: u64 = u64::MAX;
+
+/// A read-only, bulk-loaded B+-tree stored on a disk.
+#[derive(Debug)]
+pub struct BPlusTree {
+    root: PageId,
+    height: u32,
+    len: usize,
+    fanout: usize,
+}
+
+impl BPlusTree {
+    /// Bulk-loads a tree from key-sorted `(key, value)` pairs.
+    ///
+    /// Duplicate keys are allowed; lookups return the first match in input
+    /// order. Leaves are written contiguously (sequential I/O), then each
+    /// upper level in turn, matching how a real bulk loader would stream to
+    /// disk.
+    ///
+    /// # Panics
+    /// Panics if `pairs` is not sorted by key or the page size is too small
+    /// to hold at least two entries per node.
+    pub fn bulk_load(disk: &Disk, pairs: &[(u64, u64)]) -> Self {
+        let fanout = (disk.page_size() - HEADER - 8) / ENTRY;
+        assert!(fanout >= 2, "page size too small for a B+-tree node");
+        assert!(
+            pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "bulk_load requires key-sorted input"
+        );
+
+        if pairs.is_empty() {
+            // A single empty leaf keeps the traversal code uniform.
+            let page = disk.allocate();
+            let mut buf = Vec::with_capacity(disk.page_size());
+            buf.put_u8(LEAF_TAG);
+            buf.put_u16_le(0);
+            buf.put_u64_le(NO_LEAF);
+            disk.write_page(page, &buf);
+            return Self {
+                root: page,
+                height: 0,
+                len: 0,
+                fanout,
+            };
+        }
+
+        // Build the leaf level.
+        let n_leaves = pairs.len().div_ceil(fanout);
+        let first_leaf = disk.allocate_contiguous(n_leaves as u64);
+        let mut level: Vec<(u64, PageId)> = Vec::with_capacity(n_leaves);
+        for (i, chunk) in pairs.chunks(fanout).enumerate() {
+            let page = PageId(first_leaf.0 + i as u64);
+            let next = if i + 1 < n_leaves {
+                PageId(first_leaf.0 + i as u64 + 1).0
+            } else {
+                NO_LEAF
+            };
+            let mut buf = Vec::with_capacity(disk.page_size());
+            buf.put_u8(LEAF_TAG);
+            buf.put_u16_le(chunk.len() as u16);
+            buf.put_u64_le(next);
+            for &(k, v) in chunk {
+                buf.put_u64_le(k);
+                buf.put_u64_le(v);
+            }
+            disk.write_page(page, &buf);
+            level.push((chunk[0].0, page));
+        }
+
+        // Build inner levels until a single root remains.
+        let mut height = 0u32;
+        while level.len() > 1 {
+            height += 1;
+            let n_nodes = level.len().div_ceil(fanout);
+            let first = disk.allocate_contiguous(n_nodes as u64);
+            let mut next_level = Vec::with_capacity(n_nodes);
+            for (i, chunk) in level.chunks(fanout).enumerate() {
+                let page = PageId(first.0 + i as u64);
+                let mut buf = Vec::with_capacity(disk.page_size());
+                buf.put_u8(INNER_TAG);
+                buf.put_u16_le(chunk.len() as u16);
+                buf.put_u64_le(NO_LEAF); // unused in inner nodes; keeps layout uniform
+                for &(k, child) in chunk {
+                    buf.put_u64_le(k);
+                    buf.put_u64_le(child.0);
+                }
+                disk.write_page(page, &buf);
+                next_level.push((chunk[0].0, page));
+            }
+            level = next_level;
+        }
+
+        Self {
+            root: level[0].1,
+            height,
+            len: pairs.len(),
+            fanout,
+        }
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (0 = the root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Maximum entries per node for this disk's page size.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Returns the first value stored under `key`, if any.
+    pub fn get(&self, disk: &Disk, key: u64) -> Option<u64> {
+        let (_, node) = self.descend_to_leaf(disk, key);
+        node.entries
+            .iter()
+            .find(|&&(k, _)| k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// Returns all `(key, value)` pairs with `lo <= key <= hi` in key order.
+    pub fn range(&self, disk: &Disk, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if lo > hi || self.is_empty() {
+            return out;
+        }
+        let (_, mut node) = self.descend_to_leaf(disk, lo);
+        loop {
+            for &(k, v) in &node.entries {
+                if k > hi {
+                    return out;
+                }
+                if k >= lo {
+                    out.push((k, v));
+                }
+            }
+            match node.next_leaf {
+                Some(next) => node = Node::read(disk, next),
+                None => return out,
+            }
+        }
+    }
+
+    /// Returns the stored pair whose key is numerically closest to `key`
+    /// (ties broken towards the smaller key). This is the walk-start query:
+    /// "a range query based on the Hilbert values of the centers of two
+    /// neighboring space nodes" collapses to finding the closest indexed
+    /// Hilbert value.
+    pub fn nearest(&self, disk: &Disk, key: u64) -> Option<(u64, u64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let (_, node) = self.descend_to_leaf(disk, key);
+
+        // Candidates: the last entry ≤ key in this leaf (or the leaf's first
+        // entry if none) and the first entry > key (possibly in the next
+        // leaf).
+        let mut below: Option<(u64, u64)> = None;
+        let mut above: Option<(u64, u64)> = None;
+        for &(k, v) in &node.entries {
+            if k <= key {
+                below = Some((k, v));
+            } else if above.is_none() {
+                above = Some((k, v));
+            }
+        }
+        if above.is_none() {
+            if let Some(next) = node.next_leaf {
+                let next_node = Node::read(disk, next);
+                above = next_node.entries.first().copied();
+            }
+        }
+        // `below` can be None when key is smaller than every key in the
+        // tree: the descend lands in the first leaf and `above` is set.
+        match (below, above) {
+            (Some(b), Some(a)) => {
+                if key - b.0 <= a.0 - key {
+                    Some(b)
+                } else {
+                    Some(a)
+                }
+            }
+            (Some(b), None) => Some(b),
+            (None, a) => a,
+        }
+    }
+
+    /// Walks inner nodes from the root to the leaf that covers `key`,
+    /// returning the leaf's page id and decoded contents.
+    fn descend_to_leaf(&self, disk: &Disk, key: u64) -> (PageId, Node) {
+        let mut page = self.root;
+        loop {
+            let node = Node::read(disk, page);
+            if node.is_leaf {
+                return (page, node);
+            }
+            // Last child whose separator ≤ key; keys below the first
+            // separator also belong to the first child.
+            let idx = match node.entries.binary_search_by(|&(k, _)| k.cmp(&key)) {
+                Ok(i) => i,
+                Err(0) => 0,
+                Err(i) => i - 1,
+            };
+            page = PageId(node.entries[idx].1);
+        }
+    }
+}
+
+/// A decoded node page.
+struct Node {
+    is_leaf: bool,
+    next_leaf: Option<PageId>,
+    entries: Vec<(u64, u64)>,
+}
+
+impl Node {
+    fn read(disk: &Disk, page: PageId) -> Self {
+        let raw = disk.read_page_vec(page);
+        let mut buf = raw.as_slice();
+        let tag = buf.get_u8();
+        let count = buf.get_u16_le() as usize;
+        let next = buf.get_u64_le();
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let k = buf.get_u64_le();
+            let v = buf.get_u64_le();
+            entries.push((k, v));
+        }
+        Self {
+            is_leaf: tag == LEAF_TAG,
+            next_leaf: if tag == LEAF_TAG && next != NO_LEAF {
+                Some(PageId(next))
+            } else {
+                None
+            },
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with(pairs: &[(u64, u64)]) -> (Disk, BPlusTree) {
+        let disk = Disk::default_in_memory();
+        let tree = BPlusTree::bulk_load(&disk, pairs);
+        (disk, tree)
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let (disk, t) = tree_with(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.get(&disk, 5), None);
+        assert_eq!(t.nearest(&disk, 5), None);
+        assert!(t.range(&disk, 0, u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn small_tree_lookup() {
+        let pairs: Vec<_> = (0..10u64).map(|k| (k * 10, k)).collect();
+        let (disk, t) = tree_with(&pairs);
+        assert_eq!(t.height(), 0); // fits one leaf
+        assert_eq!(t.get(&disk, 30), Some(3));
+        assert_eq!(t.get(&disk, 31), None);
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn multi_level_tree_lookup() {
+        // Force several levels with a small page size: fanout = (64-3-8)/16 = 3.
+        let disk = Disk::in_memory(64);
+        let pairs: Vec<_> = (0..200u64).map(|k| (k * 2, k)).collect();
+        let t = BPlusTree::bulk_load(&disk, &pairs);
+        assert!(t.height() >= 3, "height {}", t.height());
+        for k in 0..200u64 {
+            assert_eq!(t.get(&disk, k * 2), Some(k));
+            assert_eq!(t.get(&disk, k * 2 + 1), None);
+        }
+    }
+
+    #[test]
+    fn range_scan_crosses_leaves() {
+        let disk = Disk::in_memory(64);
+        let pairs: Vec<_> = (0..100u64).map(|k| (k, k * 7)).collect();
+        let t = BPlusTree::bulk_load(&disk, &pairs);
+        let got = t.range(&disk, 10, 20);
+        let expected: Vec<_> = (10..=20u64).map(|k| (k, k * 7)).collect();
+        assert_eq!(got, expected);
+        assert_eq!(t.range(&disk, 90, 200).len(), 10);
+        assert_eq!(t.range(&disk, 200, 300), vec![]);
+        assert_eq!(t.range(&disk, 20, 10), vec![]);
+    }
+
+    #[test]
+    fn nearest_prefers_closer_key() {
+        let (disk, t) = tree_with(&[(10, 1), (20, 2), (40, 4)]);
+        assert_eq!(t.nearest(&disk, 0), Some((10, 1)));
+        assert_eq!(t.nearest(&disk, 10), Some((10, 1)));
+        assert_eq!(t.nearest(&disk, 14), Some((10, 1)));
+        assert_eq!(t.nearest(&disk, 15), Some((10, 1))); // tie -> smaller
+        assert_eq!(t.nearest(&disk, 16), Some((20, 2)));
+        assert_eq!(t.nearest(&disk, 29), Some((20, 2)));
+        assert_eq!(t.nearest(&disk, 31), Some((40, 4)));
+        assert_eq!(t.nearest(&disk, 1000), Some((40, 4)));
+    }
+
+    #[test]
+    fn nearest_across_leaf_boundary() {
+        let disk = Disk::in_memory(64); // fanout 3
+        let pairs: Vec<_> = (0..30u64).map(|k| (k * 10, k)).collect();
+        let t = BPlusTree::bulk_load(&disk, &pairs);
+        // 95 sits between 90 (leaf i) and 100 (possibly next leaf).
+        assert_eq!(t.nearest(&disk, 95), Some((90, 9)));
+        assert_eq!(t.nearest(&disk, 96), Some((100, 10)));
+    }
+
+    #[test]
+    fn duplicate_keys_supported() {
+        let (disk, t) = tree_with(&[(5, 100), (5, 101), (5, 102), (7, 200)]);
+        let r = t.range(&disk, 5, 5);
+        assert_eq!(r, vec![(5, 100), (5, 101), (5, 102)]);
+        assert_eq!(t.get(&disk, 5), Some(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_input_panics() {
+        let disk = Disk::default_in_memory();
+        BPlusTree::bulk_load(&disk, &[(5, 0), (3, 0)]);
+    }
+
+    #[test]
+    fn traversal_charges_io() {
+        let disk = Disk::in_memory(64);
+        let pairs: Vec<_> = (0..500u64).map(|k| (k, k)).collect();
+        let t = BPlusTree::bulk_load(&disk, &pairs);
+        disk.reset_stats();
+        let _ = t.get(&disk, 250);
+        let reads = disk.stats().reads();
+        assert_eq!(reads as u32, t.height() + 1, "one read per level");
+    }
+}

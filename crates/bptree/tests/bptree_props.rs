@@ -1,0 +1,56 @@
+//! Property tests for the B+-tree against `BTreeMap` as the model.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tfm_bptree::BPlusTree;
+use tfm_storage::Disk;
+
+fn arb_pairs(max: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::btree_map(any::<u64>(), any::<u64>(), 0..max)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn get_matches_model(pairs in arb_pairs(300), probes in prop::collection::vec(any::<u64>(), 20)) {
+        let disk = Disk::in_memory(128); // tiny pages -> multi-level trees
+        let tree = BPlusTree::bulk_load(&disk, &pairs);
+        let model: BTreeMap<u64, u64> = pairs.iter().copied().collect();
+        for key in pairs.iter().map(|&(k, _)| k).chain(probes) {
+            prop_assert_eq!(tree.get(&disk, key), model.get(&key).copied());
+        }
+    }
+
+    #[test]
+    fn range_matches_model(pairs in arb_pairs(300), lo in any::<u64>(), hi in any::<u64>()) {
+        let disk = Disk::in_memory(128);
+        let tree = BPlusTree::bulk_load(&disk, &pairs);
+        let model: BTreeMap<u64, u64> = pairs.iter().copied().collect();
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let got = tree.range(&disk, lo, hi);
+        let expected: Vec<(u64, u64)> = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn nearest_matches_model(pairs in arb_pairs(200), probes in prop::collection::vec(any::<u64>(), 20)) {
+        let disk = Disk::in_memory(128);
+        let tree = BPlusTree::bulk_load(&disk, &pairs);
+        let model: BTreeMap<u64, u64> = pairs.iter().copied().collect();
+        for key in probes {
+            let got = tree.nearest(&disk, key);
+            let below = model.range(..=key).next_back().map(|(&k, &v)| (k, v));
+            let above = model.range(key..).next().map(|(&k, &v)| (k, v));
+            let expected = match (below, above) {
+                (None, x) => x,
+                (x, None) => x,
+                (Some(b), Some(a)) => {
+                    if key - b.0 <= a.0 - key { Some(b) } else { Some(a) }
+                }
+            };
+            prop_assert_eq!(got, expected, "key {}", key);
+        }
+    }
+}

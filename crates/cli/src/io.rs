@@ -1,0 +1,104 @@
+//! Flat element-file format for the CLI: a little-endian header (`magic`,
+//! element count) followed by fixed 56-byte records (id + two corners).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use tfm_geom::{Aabb, Point3, SpatialElement};
+
+const MAGIC: &[u8; 8] = b"TFMELEM1";
+
+/// Writes a dataset to `path`.
+pub fn write_elements<P: AsRef<Path>>(path: P, elements: &[SpatialElement]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(elements.len() as u64).to_le_bytes())?;
+    for e in elements {
+        w.write_all(&e.id.to_le_bytes())?;
+        for v in [e.mbb.min.x, e.mbb.min.y, e.mbb.min.z, e.mbb.max.x, e.mbb.max.y, e.mbb.max.z] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a dataset from `path`.
+pub fn read_elements<P: AsRef<Path>>(path: P) -> io::Result<Vec<SpatialElement>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a tfm element file (bad magic)",
+        ));
+    }
+    let mut count_buf = [0u8; 8];
+    r.read_exact(&mut count_buf)?;
+    let count = u64::from_le_bytes(count_buf) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut rec = [0u8; 56];
+    for _ in 0..count {
+        r.read_exact(&mut rec)?;
+        let id = u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes"));
+        let f = |i: usize| f64::from_le_bytes(rec[8 + i * 8..16 + i * 8].try_into().expect("8 bytes"));
+        let mbb = Aabb {
+            min: Point3::new(f(0), f(1), f(2)),
+            max: Point3::new(f(3), f(4), f(5)),
+        };
+        if !mbb.is_valid() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("element {id} has an invalid bounding box"),
+            ));
+        }
+        out.push(SpatialElement::new(id, mbb));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_datagen::{generate, DatasetSpec};
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tfm_cli_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = temp("roundtrip.elems");
+        let elems = generate(&DatasetSpec::uniform(500, 1));
+        write_elements(&path, &elems).unwrap();
+        assert_eq!(read_elements(&path).unwrap(), elems);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let path = temp("empty.elems");
+        write_elements(&path, &[]).unwrap();
+        assert!(read_elements(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = temp("bad.elems");
+        std::fs::write(&path, b"NOTMAGIC\0\0\0\0\0\0\0\0").unwrap();
+        assert!(read_elements(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let path = temp("trunc.elems");
+        let elems = generate(&DatasetSpec::uniform(10, 2));
+        write_elements(&path, &elems).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 20]).unwrap();
+        assert!(read_elements(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

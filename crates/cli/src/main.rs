@@ -1,0 +1,255 @@
+//! `tfm` — command-line front end for the TRANSFORMERS reproduction.
+//!
+//! ```text
+//! tfm generate --count 100000 --distribution uniform --seed 1 --out a.elems
+//! tfm generate --count 100000 --distribution dense-cluster --seed 2 --out b.elems
+//! tfm join --a a.elems --b b.elems --approach transformers
+//! tfm join --a a.elems --b b.elems --approach pbsm --verify
+//! tfm info --in a.elems
+//! ```
+
+mod io;
+
+use std::process::ExitCode;
+use tfm_bench::{run_approach, Approach, RunConfig};
+use tfm_datagen::{generate, neuro, DatasetSpec, Distribution};
+use tfm_memjoin::{canonicalize, nested_loop_join, JoinStats};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("join") => cmd_join(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`; try `tfm help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "tfm — TRANSFORMERS robust spatial joins (ICDE 2016 reproduction)
+
+USAGE:
+  tfm generate --count N --out FILE [--distribution D] [--seed S] [--max-side F]
+      D: uniform | dense-cluster | uniform-cluster | massive-cluster | axons | dendrites
+  tfm join --a FILE --b FILE [--approach A] [--page-size N] [--verify]
+      A: transformers | no-tr | pbsm | rtree | gipsy | sssj | s3 (default: transformers)
+  tfm info --in FILE
+  tfm help"
+    );
+}
+
+/// Looks up the value following `--name`.
+fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn required<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
+    opt(args, name).ok_or_else(|| format!("missing required option {name} VALUE"))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let count: usize = parse(required(args, "--count")?, "--count")?;
+    let out = required(args, "--out")?;
+    let seed: u64 = parse(opt(args, "--seed").unwrap_or("0"), "--seed")?;
+    let max_side: f64 = parse(opt(args, "--max-side").unwrap_or("1.0"), "--max-side")?;
+    let dist = opt(args, "--distribution").unwrap_or("uniform");
+
+    let elements = match dist {
+        "uniform" => generate(&DatasetSpec { max_side, ..DatasetSpec::uniform(count, seed) }),
+        "dense-cluster" => generate(&DatasetSpec {
+            max_side,
+            ..DatasetSpec::with_distribution(count, Distribution::dense_cluster_default(), seed)
+        }),
+        "uniform-cluster" => generate(&DatasetSpec {
+            max_side,
+            ..DatasetSpec::with_distribution(count, Distribution::uniform_cluster_default(), seed)
+        }),
+        "massive-cluster" => generate(&DatasetSpec {
+            max_side,
+            ..DatasetSpec::with_distribution(count, Distribution::massive_cluster_for(count), seed)
+        }),
+        "axons" => neuro::axons(count, seed),
+        "dendrites" => neuro::dendrites(count, seed),
+        other => return Err(format!("unknown distribution `{other}`")),
+    };
+    io::write_elements(out, &elements).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} elements to {out}", elements.len());
+    Ok(())
+}
+
+fn parse_approach(name: &str) -> Result<Approach, String> {
+    Ok(match name {
+        "transformers" => Approach::transformers(),
+        "no-tr" => Approach::no_tr(),
+        "pbsm" => Approach::Pbsm,
+        "rtree" => Approach::Rtree,
+        "gipsy" => Approach::Gipsy,
+        "sssj" => Approach::Sssj,
+        "s3" => Approach::S3,
+        other => return Err(format!("unknown approach `{other}`")),
+    })
+}
+
+fn cmd_join(args: &[String]) -> Result<(), String> {
+    let path_a = required(args, "--a")?;
+    let path_b = required(args, "--b")?;
+    let approach = parse_approach(opt(args, "--approach").unwrap_or("transformers"))?;
+    let page_size: usize = parse(opt(args, "--page-size").unwrap_or("2048"), "--page-size")?;
+
+    let a = io::read_elements(path_a).map_err(|e| format!("reading {path_a}: {e}"))?;
+    let b = io::read_elements(path_b).map_err(|e| format!("reading {path_b}: {e}"))?;
+
+    let cfg = RunConfig {
+        page_size,
+        ..RunConfig::default()
+    };
+    let (m, pairs) = run_approach(&approach, "cli", &a, &b, &cfg);
+
+    println!("approach:        {}", m.approach);
+    println!("datasets:        |A| = {}, |B| = {}", m.n_a, m.n_b);
+    println!("result pairs:    {}", m.results);
+    println!(
+        "index time:      {:.3}s  ({:.3}s sim I/O + {:.3}s CPU)",
+        m.index_time().as_secs_f64(),
+        m.index_sim_io.as_secs_f64(),
+        m.index_wall.as_secs_f64()
+    );
+    println!(
+        "join time:       {:.3}s  ({:.3}s sim I/O + {:.3}s CPU)",
+        m.join_time().as_secs_f64(),
+        m.join_sim_io.as_secs_f64(),
+        m.join_wall.as_secs_f64()
+    );
+    println!(
+        "join I/O:        {} pages ({} random, {} sequential)",
+        m.pages_read, m.rand_reads, m.seq_reads
+    );
+    println!("intersection tests: {}", m.tests);
+    if m.transformations > 0 {
+        println!("transformations: {}", m.transformations);
+    }
+
+    if flag(args, "--verify") {
+        let mut s = JoinStats::default();
+        let expected = canonicalize(nested_loop_join(&a, &b, &mut s));
+        if canonicalize(pairs) == expected {
+            println!("verify:          OK ({} pairs match the nested-loop oracle)", expected.len());
+        } else {
+            return Err("result set does NOT match the nested-loop oracle".into());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = required(args, "--in")?;
+    let elems = io::read_elements(path).map_err(|e| format!("reading {path}: {e}"))?;
+    println!("file:      {path}");
+    println!("elements:  {}", elems.len());
+    if elems.is_empty() {
+        return Ok(());
+    }
+    let extent = tfm_geom::Aabb::union_all(elems.iter().map(|e| e.mbb));
+    println!(
+        "extent:    [{:.1}, {:.1}, {:.1}] .. [{:.1}, {:.1}, {:.1}]",
+        extent.min.x, extent.min.y, extent.min.z, extent.max.x, extent.max.y, extent.max.z
+    );
+    let mean_side: f64 = elems
+        .iter()
+        .map(|e| (e.mbb.extent(0) + e.mbb.extent(1) + e.mbb.extent(2)) / 3.0)
+        .sum::<f64>()
+        / elems.len() as f64;
+    println!("mean side: {mean_side:.3}");
+    // Density sketch: elements per z-slab (10 slabs).
+    let mut hist = [0usize; 10];
+    for e in &elems {
+        let t = ((e.mbb.center().z - extent.min.z) / extent.extent(2).max(1e-12)).clamp(0.0, 1.0);
+        hist[((t * 10.0) as usize).min(9)] += 1;
+    }
+    let max = hist.iter().copied().max().unwrap_or(1).max(1);
+    println!("z-distribution:");
+    for (i, c) in hist.iter().enumerate() {
+        println!("  slab {i}: {:>8} {}", c, "#".repeat(c * 40 / max));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_parsing() {
+        let args: Vec<String> = ["--count", "5", "--flag"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(opt(&args, "--count"), Some("5"));
+        assert_eq!(opt(&args, "--missing"), None);
+        assert!(flag(&args, "--flag"));
+        assert!(!flag(&args, "--other"));
+    }
+
+    #[test]
+    fn approach_names() {
+        for name in ["transformers", "no-tr", "pbsm", "rtree", "gipsy", "sssj", "s3"] {
+            assert!(parse_approach(name).is_ok(), "{name}");
+        }
+        assert!(parse_approach("bogus").is_err());
+    }
+
+    #[test]
+    fn generate_and_join_end_to_end() {
+        let dir = std::env::temp_dir();
+        let pa = dir.join(format!("tfm_cli_a_{}.elems", std::process::id()));
+        let pb = dir.join(format!("tfm_cli_b_{}.elems", std::process::id()));
+        let gen_args: Vec<String> = [
+            "--count", "300", "--out", pa.to_str().unwrap(), "--seed", "1", "--max-side", "8",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_generate(&gen_args).unwrap();
+        let gen_args: Vec<String> = [
+            "--count", "300", "--out", pb.to_str().unwrap(), "--seed", "2", "--max-side", "8",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_generate(&gen_args).unwrap();
+
+        let join_args: Vec<String> = [
+            "--a", pa.to_str().unwrap(), "--b", pb.to_str().unwrap(), "--approach", "transformers", "--verify",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_join(&join_args).unwrap();
+
+        let info_args: Vec<String> = ["--in", pa.to_str().unwrap()].iter().map(|s| s.to_string()).collect();
+        cmd_info(&info_args).unwrap();
+
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+    }
+}

@@ -1,0 +1,140 @@
+//! Index and join configuration.
+
+use tfm_memjoin::GridConfig;
+
+/// Configuration of the indexing phase (paper §IV).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub struct IndexConfig {
+    /// Elements per space unit. `None` packs as many 56-byte records as fit
+    /// one disk page (the paper's design: space units are page-aligned).
+    pub unit_capacity: Option<usize>,
+    /// Space units per space node. `None` packs as many unit descriptors as
+    /// fit one disk page.
+    pub node_capacity: Option<usize>,
+}
+
+
+/// How transformation thresholds are chosen (paper §VI-C, §VII-D2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdPolicy {
+    /// The paper's cost model: start from the default thresholds
+    /// (t_su = 8, t_so = 27 — "an edge of one MBB is two/three times bigger
+    /// than the other one") and update them at runtime from the measured
+    /// T_ae, T_io, T_comp and the observed filter rate c_flt after the
+    /// first transformation.
+    CostModel,
+    /// Fixed thresholds. `OverFit` in the paper is `fixed(1.5, 1.5)`;
+    /// `UnderFit` is `fixed(1e6, 1e6)`.
+    Fixed {
+        /// Node → unit split threshold (and its reciprocal for role switches).
+        t_su: f64,
+        /// Unit → element split threshold.
+        t_so: f64,
+    },
+    /// Disable all transformations ("No TR" in Fig. 13): the join sticks to
+    /// the initial guide and node-level layout.
+    Disabled,
+}
+
+impl ThresholdPolicy {
+    /// The paper's OverFit configuration (threshold 1.5 ⇒ many
+    /// transformations).
+    pub fn over_fit() -> Self {
+        ThresholdPolicy::Fixed { t_su: 1.5, t_so: 1.5 }
+    }
+
+    /// The paper's UnderFit configuration (threshold 10⁶ ⇒ no
+    /// transformations triggered, but role/layout machinery still active).
+    pub fn under_fit() -> Self {
+        ThresholdPolicy::Fixed {
+            t_su: 1e6,
+            t_so: 1e6,
+        }
+    }
+}
+
+/// Which dataset initially guides the join (paper: "randomly picks one
+/// dataset ... and uses it as the guide").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuidePick {
+    /// Dataset A guides first.
+    A,
+    /// Dataset B guides first.
+    B,
+}
+
+/// Configuration of the join phase (paper §V–§VI).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinConfig {
+    /// Threshold policy for role and layout transformations.
+    pub thresholds: ThresholdPolicy,
+    /// Initial guide dataset.
+    pub first_guide: GuidePick,
+    /// Adaptive-walk patience: expansions without distance improvement
+    /// before the walk gives up (the paper's `isMovingAway` test).
+    pub walk_patience: usize,
+    /// Buffer-pool capacity (pages) per dataset during the join.
+    pub pool_pages: usize,
+    /// In-memory grid hash join configuration (paper §VII-A).
+    pub mem_grid: GridConfig,
+    /// Node-level prefilter: join guide and follower page MBBs before
+    /// reading pages (paper §V "In-memory Join"). Exposed for ablation.
+    pub node_prefilter: bool,
+    /// Use the Hilbert B+-tree to find walk start points; when `false` the
+    /// walk starts from the follower's first node (the paper's stated
+    /// alternative). Exposed for ablation.
+    pub hilbert_walk_start: bool,
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        Self {
+            thresholds: ThresholdPolicy::CostModel,
+            first_guide: GuidePick::A,
+            walk_patience: 64,
+            pool_pages: tfm_storage::DEFAULT_POOL_PAGES,
+            mem_grid: GridConfig::default(),
+            node_prefilter: true,
+            hilbert_walk_start: true,
+        }
+    }
+}
+
+impl JoinConfig {
+    /// The "No TR" configuration of Fig. 13 (left).
+    pub fn without_transformations() -> Self {
+        Self {
+            thresholds: ThresholdPolicy::Disabled,
+            ..Self::default()
+        }
+    }
+
+    /// Builder: replaces the threshold policy.
+    pub fn with_thresholds(mut self, thresholds: ThresholdPolicy) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_values() {
+        assert_eq!(ThresholdPolicy::over_fit(), ThresholdPolicy::Fixed { t_su: 1.5, t_so: 1.5 });
+        assert_eq!(
+            ThresholdPolicy::under_fit(),
+            ThresholdPolicy::Fixed { t_su: 1e6, t_so: 1e6 }
+        );
+        let no_tr = JoinConfig::without_transformations();
+        assert_eq!(no_tr.thresholds, ThresholdPolicy::Disabled);
+    }
+
+    #[test]
+    fn builder_replaces_thresholds() {
+        let c = JoinConfig::default().with_thresholds(ThresholdPolicy::over_fit());
+        assert_eq!(c.thresholds, ThresholdPolicy::over_fit());
+    }
+}

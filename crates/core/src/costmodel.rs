@@ -1,0 +1,319 @@
+//! The transformation-threshold cost model (paper §VI-C).
+//!
+//! Splitting a pivot to a finer granularity costs extra exploration
+//! (Eq. 1: `nSU × T_ae`) and pays off by reading fewer pages and testing
+//! fewer elements (Eq. 2: `V_g/V_f × c_flt × nSU × (T_io + nSO × T_comp)`).
+//! Splitting is worthwhile when the benefit exceeds the cost, giving the
+//! thresholds of Eq. 4 and Eq. 8:
+//!
+//! ```text
+//! t_su = T_ae / (c_flt · (T_io + nSO · T_comp))
+//! t_so = nSO · T_ae / (nSU · c_flt · (T_io + nSO · T_comp))
+//! ```
+//!
+//! `T_ae`, `T_io` and `T_comp` "heavily depend on the hardware of the
+//! system and are therefore best determined at runtime" — they are measured
+//! while the join runs, and `c_flt` is updated from the actually observed
+//! filter rate. Until the first transformation completes, the default
+//! thresholds t_su = 8 and t_so = 27 are used (§VII-D2: "this volume ratio
+//! corresponds to the case where an edge of one MBB is two/three times
+//! bigger than the other one").
+
+use crate::config::ThresholdPolicy;
+use std::time::Duration;
+
+/// Default node→unit threshold before runtime calibration (§VII-D2).
+pub const DEFAULT_T_SU: f64 = 8.0;
+
+/// Default unit→element threshold before runtime calibration (§VII-D2).
+pub const DEFAULT_T_SO: f64 = 27.0;
+
+/// Wide sanity bounds applied to runtime-derived thresholds.
+const T_SU_RANGE: (f64, f64) = (1.5, 1e6);
+const T_SO_RANGE: (f64, f64) = (1.5, 1e6);
+
+/// Device parameters the Eq. 4/8 terms are evaluated against.
+///
+/// The paper measures T_ae, T_io and T_comp as wall-clock times on real
+/// hardware, where device time *is* wall time. In this reproduction device
+/// time is simulated, so the two hardware-bound terms are taken from the
+/// disk model instead (see `DESIGN.md`):
+///
+/// * `T_ae` — the marginal cost of exploring one more fine-grained unit:
+///   dominated by repositioning the head for one more small read batch;
+/// * `T_io` — the marginal cost of reading one more page inside a batch:
+///   the sequential transfer cost (skipping a filtered page saves exactly
+///   one transfer; the skip itself is nearly free).
+///
+/// `T_comp` still comes from online measurement when available.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceParams {
+    /// Cost of repositioning for one additional read batch (T_ae).
+    pub reposition: Duration,
+    /// Marginal cost of one page transfer (T_io).
+    pub transfer: Duration,
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        Self {
+            reposition: Duration::from_micros(350),
+            transfer: Duration::from_micros(50),
+        }
+    }
+}
+
+/// Online estimator of the transformation thresholds.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    policy: ThresholdPolicy,
+    device: DeviceParams,
+    t_su: f64,
+    t_so: f64,
+    /// Elements per space unit (paper's nSO).
+    n_so: f64,
+    /// Units per space node (paper's nSU).
+    n_su: f64,
+    /// Filter-rate estimate c_flt ∈ (0, 1).
+    c_flt: f64,
+    // Online measurement accumulators.
+    walk_time: Duration,
+    walk_ops: u64,
+    io_time: Duration,
+    io_ops: u64,
+    comp_time: Duration,
+    comp_ops: u64,
+    filtered: u64,
+    considered: u64,
+    transformations_seen: u64,
+}
+
+impl CostModel {
+    /// Creates a model for the given policy and index geometry, using
+    /// default device parameters.
+    pub fn new(policy: ThresholdPolicy, unit_capacity: usize, node_capacity: usize) -> Self {
+        Self::with_device(policy, unit_capacity, node_capacity, DeviceParams::default())
+    }
+
+    /// Creates a model with explicit device parameters.
+    pub fn with_device(
+        policy: ThresholdPolicy,
+        unit_capacity: usize,
+        node_capacity: usize,
+        device: DeviceParams,
+    ) -> Self {
+        let (t_su, t_so) = match policy {
+            ThresholdPolicy::CostModel => (DEFAULT_T_SU, DEFAULT_T_SO),
+            ThresholdPolicy::Fixed { t_su, t_so } => (t_su, t_so),
+            ThresholdPolicy::Disabled => (f64::INFINITY, f64::INFINITY),
+        };
+        Self {
+            policy,
+            device,
+            t_su,
+            t_so,
+            n_so: unit_capacity.max(1) as f64,
+            n_su: node_capacity.max(1) as f64,
+            c_flt: 0.5,
+            walk_time: Duration::ZERO,
+            walk_ops: 0,
+            io_time: Duration::ZERO,
+            io_ops: 0,
+            comp_time: Duration::ZERO,
+            comp_ops: 0,
+            filtered: 0,
+            considered: 0,
+            transformations_seen: 0,
+        }
+    }
+
+    /// Whether transformations are enabled at all.
+    pub fn enabled(&self) -> bool {
+        !matches!(self.policy, ThresholdPolicy::Disabled)
+    }
+
+    /// Current node→unit threshold t_su.
+    pub fn t_su(&self) -> f64 {
+        self.t_su
+    }
+
+    /// Current unit→element threshold t_so.
+    pub fn t_so(&self) -> f64 {
+        self.t_so
+    }
+
+    /// Current role-switch threshold: `V_g/V_f ≤ 1/t_su` (paper Eq. 5).
+    pub fn t_role(&self) -> f64 {
+        1.0 / self.t_su
+    }
+
+    /// Current filter-rate estimate.
+    pub fn c_flt(&self) -> f64 {
+        self.c_flt
+    }
+
+    /// Should a node-level pivot with volume ratio `vg / vf` be split into
+    /// space units?
+    pub fn should_split_node(&self, ratio: f64) -> bool {
+        self.enabled() && ratio >= self.t_su
+    }
+
+    /// Should a unit-level pivot with volume ratio `vg / vf` descend to
+    /// single elements?
+    pub fn should_split_unit(&self, ratio: f64) -> bool {
+        self.enabled() && ratio >= self.t_so
+    }
+
+    /// Should guide and follower switch roles at ratio `vg / vf`?
+    pub fn should_switch_roles(&self, ratio: f64) -> bool {
+        self.enabled() && ratio <= self.t_role()
+    }
+
+    /// Records exploration work (walk/crawl steps) for T_ae.
+    pub fn record_exploration(&mut self, steps: u64, elapsed: Duration) {
+        self.walk_ops += steps;
+        self.walk_time += elapsed;
+    }
+
+    /// Records page I/O for T_io.
+    pub fn record_io(&mut self, pages: u64, elapsed: Duration) {
+        self.io_ops += pages;
+        self.io_time += elapsed;
+    }
+
+    /// Records element comparisons for T_comp.
+    pub fn record_comparisons(&mut self, tests: u64, elapsed: Duration) {
+        self.comp_ops += tests;
+        self.comp_time += elapsed;
+    }
+
+    /// Records a filter decision: of `considered` candidate units,
+    /// `filtered` were eliminated without reading their pages.
+    pub fn record_filter(&mut self, filtered: u64, considered: u64) {
+        self.filtered += filtered;
+        self.considered += considered;
+    }
+
+    /// Notifies the model that a transformation executed. Under the
+    /// `CostModel` policy the thresholds are re-derived from the
+    /// measurements collected so far (the paper: "initially uses the
+    /// default threshold values that are updated after the first
+    /// transformation").
+    pub fn on_transformation(&mut self) {
+        self.transformations_seen += 1;
+        if !matches!(self.policy, ThresholdPolicy::CostModel) {
+            return;
+        }
+        // T_ae and T_io are device-bound (Eq. 4: "parameters that heavily
+        // depend on the hardware of the system"); T_comp is measured online
+        // when comparisons have been timed, and c_flt from the observed
+        // filter rate.
+        let t_ae = self.device.reposition.as_secs_f64();
+        let t_io = self.device.transfer.as_secs_f64();
+        let t_comp = self.measured_t_comp().unwrap_or(20e-9);
+        if self.considered > 0 {
+            self.c_flt = (self.filtered as f64 / self.considered as f64).clamp(0.01, 1.0);
+        }
+        let denom = self.c_flt * (t_io + self.n_so * t_comp);
+        if denom <= 0.0 {
+            return;
+        }
+        self.t_su = (t_ae / denom).clamp(T_SU_RANGE.0, T_SU_RANGE.1);
+        self.t_so = (self.n_so * t_ae / (self.n_su * denom)).clamp(T_SO_RANGE.0, T_SO_RANGE.1);
+    }
+
+    /// Mean measured wall time of one exploration step, if any were timed.
+    pub fn measured_t_ae(&self) -> Option<f64> {
+        (self.walk_ops > 0).then(|| self.walk_time.as_secs_f64() / self.walk_ops as f64)
+    }
+
+    /// Mean recorded cost of one page read, if any were recorded.
+    pub fn measured_t_io(&self) -> Option<f64> {
+        (self.io_ops > 0).then(|| self.io_time.as_secs_f64() / self.io_ops as f64)
+    }
+
+    /// Mean measured wall time of one element comparison, if any were timed.
+    pub fn measured_t_comp(&self) -> Option<f64> {
+        (self.comp_ops > 0).then(|| self.comp_time.as_secs_f64() / self.comp_ops as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(policy: ThresholdPolicy) -> CostModel {
+        CostModel::new(policy, 146, 73)
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let m = model(ThresholdPolicy::CostModel);
+        assert_eq!(m.t_su(), 8.0);
+        assert_eq!(m.t_so(), 27.0);
+        assert!(m.should_split_node(8.0));
+        assert!(!m.should_split_node(7.9));
+        assert!(m.should_switch_roles(1.0 / 8.0));
+        assert!(!m.should_switch_roles(0.2));
+    }
+
+    #[test]
+    fn disabled_policy_never_transforms() {
+        let m = model(ThresholdPolicy::Disabled);
+        assert!(!m.enabled());
+        assert!(!m.should_split_node(1e12));
+        assert!(!m.should_switch_roles(0.0));
+        assert!(!m.should_split_unit(1e12));
+    }
+
+    #[test]
+    fn fixed_policy_ignores_measurements() {
+        let mut m = model(ThresholdPolicy::over_fit());
+        m.record_exploration(1000, Duration::from_millis(10));
+        m.record_io(100, Duration::from_millis(600));
+        m.record_comparisons(10_000, Duration::from_millis(1));
+        m.on_transformation();
+        assert_eq!(m.t_su(), 1.5);
+        assert_eq!(m.t_so(), 1.5);
+    }
+
+    #[test]
+    fn cost_model_updates_after_first_transformation() {
+        let mut m = model(ThresholdPolicy::CostModel);
+        m.record_comparisons(1_000_000, Duration::from_millis(10)); // T_comp = 10ns
+        m.record_filter(50, 100); // c_flt = 0.5
+        m.on_transformation();
+        // Default device: t_su = 3.45ms / (0.5 · (50µs + 146·10ns)) ≈ 134.
+        assert!(m.t_su() > DEFAULT_T_SU, "t_su {}", m.t_su());
+        assert!(m.t_su() < 1000.0, "t_su {}", m.t_su());
+        // Eq. 8: t_so / t_su = nSO / nSU.
+        assert!((m.t_so() / m.t_su() - 146.0 / 73.0).abs() < 1e-9);
+        assert!((m.c_flt() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_model_clamps_low_thresholds() {
+        // Nearly free repositioning: the raw formula collapses towards 0
+        // and must be clamped.
+        let device = DeviceParams {
+            reposition: Duration::from_nanos(10),
+            transfer: Duration::from_micros(50),
+        };
+        let mut m = CostModel::with_device(ThresholdPolicy::CostModel, 146, 73, device);
+        m.record_filter(90, 100);
+        m.on_transformation();
+        assert_eq!(m.t_su(), T_SU_RANGE.0);
+    }
+
+    #[test]
+    fn high_filter_rate_lowers_thresholds() {
+        let mut a = model(ThresholdPolicy::CostModel);
+        a.record_filter(99, 100);
+        a.on_transformation();
+        let mut b = model(ThresholdPolicy::CostModel);
+        b.record_filter(1, 100);
+        b.on_transformation();
+        // Better filtering (higher c_flt) ⇒ splitting pays off sooner.
+        assert!(a.t_su() < b.t_su());
+    }
+}

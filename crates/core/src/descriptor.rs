@@ -1,0 +1,118 @@
+//! Space descriptors: the metadata of the three-level hierarchy (paper §IV).
+
+use tfm_geom::Aabb;
+use tfm_storage::PageId;
+
+/// Identifier of a space unit within one index (dense, `0..unit_count`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UnitId(pub u32);
+
+/// Identifier of a space node within one index (dense, `0..node_count`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Descriptor of a *space unit* — one disk page of spatial elements
+/// (hierarchy level 1).
+///
+/// Exactly the paper's space descriptor (§IV, Fig. 5): a pointer to the
+/// unit's disk page plus **two** bounding boxes. The page MBB tightly
+/// encloses the stored elements; the partition MBB is the unit's slab of
+/// the STR tiling, needed so neighbouring units leave no gaps for the
+/// exploration to fall into.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpaceUnitDesc {
+    /// Unit id (position in the index's unit table).
+    pub id: UnitId,
+    /// Disk page storing this unit's elements.
+    pub page: PageId,
+    /// Tight bounding box of the stored elements.
+    pub page_mbb: Aabb,
+    /// Tiling slab of the unit within its node.
+    pub partition_mbb: Aabb,
+    /// The node this unit belongs to.
+    pub node: NodeId,
+    /// Number of elements on the page.
+    pub count: u16,
+}
+
+/// Descriptor of a *space node* — a page-aligned group of space units
+/// (hierarchy level 0).
+///
+/// Node MBBs (the `tile` field) are the partition MBBs of the node-level
+/// STR pass: they tile the dataset extent, which is what makes the
+/// adaptive walk's greedy navigation well-defined. `neighbors` is the
+/// connectivity information: all nodes whose tiles overlap or touch this
+/// node's tile (paper §IV "Connectivity"). Space units inherit their
+/// node's neighbour list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceNode {
+    /// Node id (position in the index's node table).
+    pub id: NodeId,
+    /// The node's tiling box ("space node MBB" of the paper, gap-free).
+    pub tile: Aabb,
+    /// Tight union of the member units' page MBBs.
+    pub page_mbb: Aabb,
+    /// Ids of adjacent/overlapping nodes.
+    pub neighbors: Vec<NodeId>,
+    /// Member units: contiguous range in the index's unit table.
+    pub first_unit: u32,
+    /// Number of member units.
+    pub unit_count: u32,
+    /// Hilbert value of the tile center (B+-tree key for walk starts).
+    pub hilbert: u64,
+}
+
+impl SpaceNode {
+    /// Iterates the unit-table indices of this node's member units.
+    pub fn unit_range(&self) -> std::ops::Range<usize> {
+        self.first_unit as usize..(self.first_unit + self.unit_count) as usize
+    }
+
+    /// Number of elements summarized by this node.
+    pub fn element_count(&self, units: &[SpaceUnitDesc]) -> usize {
+        self.unit_range().map(|u| units[u].count as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_geom::Point3;
+
+    #[test]
+    fn unit_range_is_contiguous() {
+        let node = SpaceNode {
+            id: NodeId(0),
+            tile: Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)),
+            page_mbb: Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)),
+            neighbors: vec![],
+            first_unit: 10,
+            unit_count: 3,
+            hilbert: 0,
+        };
+        assert_eq!(node.unit_range(), 10..13);
+    }
+
+    #[test]
+    fn element_count_sums_units() {
+        let mk_unit = |id: u32, count: u16| SpaceUnitDesc {
+            id: UnitId(id),
+            page: PageId(id as u64),
+            page_mbb: Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)),
+            partition_mbb: Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)),
+            node: NodeId(0),
+            count,
+        };
+        let units = vec![mk_unit(0, 5), mk_unit(1, 7), mk_unit(2, 11)];
+        let node = SpaceNode {
+            id: NodeId(0),
+            tile: Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)),
+            page_mbb: Aabb::new(Point3::ORIGIN, Point3::new(1.0, 1.0, 1.0)),
+            neighbors: vec![],
+            first_unit: 0,
+            unit_count: 3,
+            hilbert: 0,
+        };
+        assert_eq!(node.element_count(&units), 23);
+    }
+}

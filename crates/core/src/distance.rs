@@ -1,0 +1,155 @@
+//! Distance joins as a spatial-join variation.
+//!
+//! The paper's related-work section (§VIII) notes that "distance join
+//! approaches can be trivially implemented as a variation of a spatial
+//! join (by enlarging the objects by the distance predicate)". This module
+//! implements exactly that on top of TRANSFORMERS: dataset A's MBBs are
+//! inflated by `epsilon` before indexing, the normal adaptive join runs,
+//! and the candidate pairs are refined against the exact Euclidean
+//! MBB-to-MBB distance.
+
+use crate::config::{IndexConfig, JoinConfig};
+use crate::index::TransformersIndex;
+use crate::join::{transformers_join, JoinOutcome};
+use std::collections::HashMap;
+use tfm_geom::{Aabb, SpatialElement};
+use tfm_storage::Disk;
+
+/// Joins two datasets on the predicate
+/// `min_distance(a.mbb, b.mbb) <= epsilon` (Euclidean box distance; an
+/// intersection counts as distance 0).
+///
+/// Builds a temporary TRANSFORMERS index over A with MBBs inflated by
+/// `epsilon` (which makes the filter a Chebyshev-distance superset of the
+/// Euclidean predicate) and a normal index over B, runs the adaptive join,
+/// then refines the candidates exactly.
+///
+/// # Panics
+/// Panics if `epsilon` is negative or not finite.
+pub fn distance_join(
+    disk_a: &Disk,
+    a: &[SpatialElement],
+    disk_b: &Disk,
+    b: &[SpatialElement],
+    epsilon: f64,
+    index_cfg: &IndexConfig,
+    join_cfg: &JoinConfig,
+) -> JoinOutcome {
+    assert!(
+        epsilon.is_finite() && epsilon >= 0.0,
+        "distance predicate must be a finite non-negative value"
+    );
+    let inflated: Vec<SpatialElement> = a
+        .iter()
+        .map(|e| SpatialElement::new(e.id, e.mbb.inflate(epsilon)))
+        .collect();
+    let idx_a = TransformersIndex::build(disk_a, inflated, index_cfg);
+    let idx_b = TransformersIndex::build(disk_b, b.to_vec(), index_cfg);
+    let mut out = transformers_join(&idx_a, disk_a, &idx_b, disk_b, join_cfg);
+
+    // Refinement: the inflated filter admits pairs whose per-dimension gaps
+    // are all <= epsilon (Chebyshev); keep only true Euclidean matches.
+    let mbb_a: HashMap<u64, Aabb> = a.iter().map(|e| (e.id, e.mbb)).collect();
+    let mbb_b: HashMap<u64, Aabb> = b.iter().map(|e| (e.id, e.mbb)).collect();
+    let eps_sq = epsilon * epsilon;
+    out.pairs
+        .retain(|(ia, ib)| mbb_a[ia].min_distance_sq(&mbb_b[ib]) <= eps_sq);
+    out.stats.unique_results = out.pairs.len() as u64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_datagen::{generate, DatasetSpec};
+
+    fn oracle(a: &[SpatialElement], b: &[SpatialElement], eps: f64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for x in a {
+            for y in b {
+                if x.mbb.min_distance_sq(&y.mbb) <= eps * eps {
+                    out.push((x.id, y.id));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn run(a: &[SpatialElement], b: &[SpatialElement], eps: f64) -> Vec<(u64, u64)> {
+        let disk_a = Disk::default_in_memory();
+        let disk_b = Disk::default_in_memory();
+        distance_join(
+            &disk_a,
+            a,
+            &disk_b,
+            b,
+            eps,
+            &IndexConfig::default(),
+            &JoinConfig::default(),
+        )
+        .pairs
+    }
+
+    #[test]
+    fn epsilon_zero_equals_intersection_join() {
+        let a = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(800, 1) });
+        let b = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(800, 2) });
+        assert_eq!(run(&a, &b, 0.0), oracle(&a, &b, 0.0));
+    }
+
+    #[test]
+    fn matches_oracle_for_various_epsilons() {
+        let a = generate(&DatasetSpec { max_side: 3.0, ..DatasetSpec::uniform(600, 3) });
+        let b = generate(&DatasetSpec { max_side: 3.0, ..DatasetSpec::uniform(600, 4) });
+        for eps in [1.0, 10.0, 50.0] {
+            assert_eq!(run(&a, &b, eps), oracle(&a, &b, eps), "eps {eps}");
+        }
+    }
+
+    #[test]
+    fn growing_epsilon_grows_result_monotonically() {
+        let a = generate(&DatasetSpec { max_side: 2.0, ..DatasetSpec::uniform(500, 5) });
+        let b = generate(&DatasetSpec { max_side: 2.0, ..DatasetSpec::uniform(500, 6) });
+        let mut last = 0;
+        for eps in [0.0, 5.0, 20.0, 100.0] {
+            let n = run(&a, &b, eps).len();
+            assert!(n >= last, "eps {eps}: {n} < {last}");
+            last = n;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_epsilon_panics() {
+        let a = generate(&DatasetSpec::uniform(10, 7));
+        run(&a, &a, -1.0);
+    }
+
+    #[test]
+    fn refinement_rejects_chebyshev_only_pairs() {
+        // Two unit boxes offset by (eps, eps, eps): Chebyshev distance eps
+        // (inflated filter admits), Euclidean distance eps*sqrt(3) (must be
+        // rejected).
+        use tfm_geom::{Aabb, Point3};
+        let eps = 5.0;
+        let a = vec![SpatialElement::new(
+            0,
+            Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 1.0)),
+        )];
+        let b = vec![SpatialElement::new(
+            0,
+            Aabb::new(
+                Point3::new(1.0 + eps, 1.0 + eps, 1.0 + eps),
+                Point3::new(2.0 + eps, 2.0 + eps, 2.0 + eps),
+            ),
+        )];
+        assert!(run(&a, &b, eps).is_empty());
+        // But an axis-aligned offset of exactly eps is kept.
+        let c = vec![SpatialElement::new(
+            0,
+            Aabb::new(Point3::new(1.0 + eps, 0.0, 0.0), Point3::new(2.0 + eps, 1.0, 1.0)),
+        )];
+        assert_eq!(run(&a, &c, eps), vec![(0, 0)]);
+    }
+}

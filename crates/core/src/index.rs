@@ -1,0 +1,499 @@
+//! The TRANSFORMERS indexing phase (paper §IV).
+//!
+//! Given one dataset, indexing produces the three-level hierarchy:
+//!
+//! 1. **Space units** — the elements are STR-partitioned into page-sized
+//!    groups; each unit's elements are written to one disk page, and the
+//!    unit is summarized by a descriptor holding the page pointer, the
+//!    tight *page MBB* and the tiling *partition MBB*.
+//! 2. **Space nodes** — the unit descriptors are STR-partitioned again into
+//!    page-sized groups. Node tiles (the node-level partition MBBs) tile
+//!    the dataset extent with no gaps.
+//! 3. **Connectivity** — a spatial self-join over the node tiles yields,
+//!    per node, the list of overlapping/adjacent nodes ("any spatial join
+//!    approach can be used; we use PBSM primarily because of its efficiency
+//!    in the building phase" — here a uniform-grid self-join, which *is*
+//!    PBSM's partitioning applied to the node tiles). Units inherit their
+//!    node's neighbour list.
+//!
+//! Additionally a B+-tree over the Hilbert values of node centers is built
+//! to locate walk start points (§V), and the descriptor tables are written
+//! to a contiguous metadata region.
+//!
+//! Indexes are built per dataset and can be **reused** for joins against
+//! any other indexed dataset (§VII-C2) — see `examples/index_reuse.rs`.
+
+use crate::config::IndexConfig;
+use crate::descriptor::{NodeId, SpaceNode, SpaceUnitDesc, UnitId};
+use crate::metadata;
+use tfm_bptree::BPlusTree;
+use tfm_geom::{hilbert, Aabb, HasMbb, SpatialElement};
+use tfm_partition::{str_partition, UniformGrid};
+use tfm_storage::{BufferPool, Disk, ElementPageCodec, PageId};
+
+/// Serialized size of one unit descriptor (see `metadata.rs`).
+const UNIT_DESC_BYTES: usize = 8 + 48 + 48 + 4 + 2;
+
+/// A fully built TRANSFORMERS index over one dataset.
+///
+/// The descriptor tables are kept in memory for convenience (tests, the
+/// GIPSY baseline); the join phase nevertheless re-reads them from the
+/// metadata pages so that the I/O accounting is honest.
+#[derive(Debug)]
+pub struct TransformersIndex {
+    nodes: Vec<SpaceNode>,
+    units: Vec<SpaceUnitDesc>,
+    extent: Aabb,
+    reach_eps: f64,
+    btree: BPlusTree,
+    meta_first_page: PageId,
+    meta_page_count: u64,
+    meta_bytes: usize,
+    len: usize,
+    unit_capacity: usize,
+    node_capacity: usize,
+}
+
+/// Seed item for the node-level STR pass: one unit with its tiling box.
+struct UnitSeed {
+    /// Position in the unit-partition vector of pass 1.
+    part_idx: usize,
+    partition_mbb: Aabb,
+    page_mbb: Aabb,
+    count: u16,
+}
+
+impl HasMbb for UnitSeed {
+    fn mbb(&self) -> Aabb {
+        self.partition_mbb
+    }
+}
+
+impl TransformersIndex {
+    /// Builds the index, writing element pages, metadata pages and the
+    /// Hilbert B+-tree to `disk`.
+    pub fn build(disk: &Disk, elements: Vec<SpatialElement>, cfg: &IndexConfig) -> Self {
+        let codec = ElementPageCodec::new(disk.page_size());
+        let unit_capacity = cfg.unit_capacity.unwrap_or_else(|| codec.capacity());
+        assert!(
+            unit_capacity <= codec.capacity(),
+            "unit capacity {unit_capacity} exceeds page capacity {}",
+            codec.capacity()
+        );
+        let node_capacity = cfg
+            .node_capacity
+            .unwrap_or((disk.page_size() - 16) / UNIT_DESC_BYTES)
+            .max(1);
+
+        let len = elements.len();
+        let extent = Aabb::union_all(elements.iter().map(|e| e.mbb));
+
+        if elements.is_empty() {
+            let meta = metadata::encode(&[], &[]);
+            let (first, count) = write_meta(disk, &meta);
+            let btree = BPlusTree::bulk_load(disk, &[]);
+            return Self {
+                nodes: Vec::new(),
+                units: Vec::new(),
+                extent,
+                reach_eps: 0.0,
+                btree,
+                meta_first_page: first,
+                meta_page_count: count,
+                meta_bytes: meta.len(),
+                len: 0,
+                unit_capacity,
+                node_capacity,
+            };
+        }
+
+        // Pass 1: elements -> space units.
+        let unit_parts = str_partition(elements, unit_capacity);
+
+        // Pass 2: unit descriptors -> space nodes.
+        let seeds: Vec<UnitSeed> = unit_parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| UnitSeed {
+                part_idx: i,
+                partition_mbb: p.partition_mbb,
+                page_mbb: p.page_mbb,
+                count: p.items.len() as u16,
+            })
+            .collect();
+        let node_parts = str_partition(seeds, node_capacity);
+
+        // Assign unit ids node by node so each node's units are contiguous,
+        // and write element pages in exactly that order (contiguous run =>
+        // crawling a node reads sequentially).
+        let total_units = unit_parts.len();
+        let first_elem_page = disk.allocate_contiguous(total_units as u64);
+        let mut units: Vec<SpaceUnitDesc> = Vec::with_capacity(total_units);
+        let mut nodes: Vec<SpaceNode> = Vec::with_capacity(node_parts.len());
+
+        for (node_idx, np) in node_parts.iter().enumerate() {
+            let first_unit = units.len() as u32;
+            for seed in &np.items {
+                let unit_id = UnitId(units.len() as u32);
+                let page = PageId(first_elem_page.0 + units.len() as u64);
+                let part = &unit_parts[seed.part_idx];
+                disk.write_page(page, &codec.encode(&part.items));
+                units.push(SpaceUnitDesc {
+                    id: unit_id,
+                    page,
+                    page_mbb: seed.page_mbb,
+                    partition_mbb: seed.partition_mbb,
+                    node: NodeId(node_idx as u32),
+                    count: seed.count,
+                });
+            }
+            let page_mbb = Aabb::union_all(np.items.iter().map(|s| s.page_mbb));
+            let hilbert_key = hilbert::index_of_point(&np.partition_mbb.center(), &extent);
+            nodes.push(SpaceNode {
+                id: NodeId(node_idx as u32),
+                tile: np.partition_mbb,
+                page_mbb,
+                neighbors: Vec::new(),
+                first_unit,
+                unit_count: np.items.len() as u32,
+                hilbert: hilbert_key,
+            });
+        }
+
+        // Pass 3: connectivity via a uniform-grid self-join on node tiles.
+        compute_connectivity(&mut nodes, &extent);
+
+        // How far element geometry can stick out of a node tile: the crawl
+        // inflates tiles by this much so no intersecting page is missed.
+        let reach_eps = compute_reach(&nodes, &units);
+
+        // Hilbert B+-tree for walk starts.
+        let mut keyed: Vec<(u64, u64)> = nodes.iter().map(|n| (n.hilbert, n.id.0 as u64)).collect();
+        keyed.sort_unstable();
+        let btree = BPlusTree::bulk_load(disk, &keyed);
+
+        // Metadata region.
+        let meta = metadata::encode(&nodes, &units);
+        let (meta_first_page, meta_page_count) = write_meta(disk, &meta);
+
+        Self {
+            nodes,
+            units,
+            extent,
+            reach_eps,
+            btree,
+            meta_first_page,
+            meta_page_count,
+            meta_bytes: meta.len(),
+            len,
+            unit_capacity,
+            node_capacity,
+        }
+    }
+
+    /// Space nodes (level 0).
+    pub fn nodes(&self) -> &[SpaceNode] {
+        &self.nodes
+    }
+
+    /// Space unit descriptors (level 1).
+    pub fn units(&self) -> &[SpaceUnitDesc] {
+        &self.units
+    }
+
+    /// Number of indexed elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the index holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bounding box of the dataset; node tiles tile exactly this box.
+    pub fn extent(&self) -> Aabb {
+        self.extent
+    }
+
+    /// Maximum distance element geometry protrudes beyond its node tile.
+    /// Exploration inflates tiles by this amount (see `DESIGN.md`).
+    pub fn reach_eps(&self) -> f64 {
+        self.reach_eps
+    }
+
+    /// Elements per space unit.
+    pub fn unit_capacity(&self) -> usize {
+        self.unit_capacity
+    }
+
+    /// Units per space node.
+    pub fn node_capacity(&self) -> usize {
+        self.node_capacity
+    }
+
+    /// Number of metadata pages (read at join start).
+    pub fn metadata_pages(&self) -> u64 {
+        self.meta_page_count
+    }
+
+    /// Uses the Hilbert B+-tree to find the node whose center is closest
+    /// (in Hilbert order) to `point` — the start descriptor of an adaptive
+    /// walk (§V). Charges B+-tree page reads to `disk`.
+    pub fn walk_start(&self, disk: &Disk, point: &tfm_geom::Point3) -> Option<NodeId> {
+        let key = hilbert::index_of_point(point, &self.extent);
+        self.btree
+            .nearest(disk, key)
+            .map(|(_, node)| NodeId(node as u32))
+    }
+
+    /// Reads and decodes one space unit's elements through `pool`.
+    pub fn read_unit(&self, pool: &mut BufferPool<'_>, unit: UnitId) -> Vec<SpatialElement> {
+        let desc = &self.units[unit.0 as usize];
+        let codec = ElementPageCodec::new(pool.disk().page_size());
+        codec.decode(pool.read(desc.page))
+    }
+
+    /// Re-reads the metadata region from disk (sequentially) and decodes
+    /// the descriptor tables — what a join does on startup. Returns the
+    /// number of pages read.
+    pub fn load_metadata(&self, disk: &Disk) -> (Vec<SpaceNode>, Vec<SpaceUnitDesc>, u64) {
+        let mut bytes = Vec::with_capacity((self.meta_page_count as usize) * disk.page_size());
+        for i in 0..self.meta_page_count {
+            bytes.extend_from_slice(&disk.read_page_vec(PageId(self.meta_first_page.0 + i)));
+        }
+        bytes.truncate(self.meta_bytes);
+        let (nodes, units) = metadata::decode(&bytes);
+        (nodes, units, self.meta_page_count)
+    }
+}
+
+/// Writes `meta` to a fresh contiguous page run; returns (first, count).
+fn write_meta(disk: &Disk, meta: &[u8]) -> (PageId, u64) {
+    let ps = disk.page_size();
+    let pages = meta.len().div_ceil(ps).max(1) as u64;
+    let first = disk.allocate_contiguous(pages);
+    for (i, chunk) in meta.chunks(ps).enumerate() {
+        disk.write_page(PageId(first.0 + i as u64), chunk);
+    }
+    if meta.is_empty() {
+        disk.write_page(first, &[]);
+    }
+    (first, pages)
+}
+
+/// Computes node neighbour lists: all pairs of nodes whose tiles intersect
+/// (tiles tile space, so touching neighbours share boundary coordinates and
+/// closed-box intersection finds them exactly).
+fn compute_connectivity(nodes: &mut [SpaceNode], extent: &Aabb) {
+    if nodes.len() <= 1 {
+        return;
+    }
+    let cells = (nodes.len() as f64).cbrt().ceil() as usize;
+    let grid = UniformGrid::cubic(*extent, cells.max(1));
+    let mut cell_nodes: Vec<Vec<u32>> = vec![Vec::new(); grid.cell_count()];
+    for n in nodes.iter() {
+        for cell in grid.cells_overlapping(&n.tile) {
+            cell_nodes[cell].push(n.id.0);
+        }
+    }
+    let mut neighbor_sets: Vec<std::collections::BTreeSet<u32>> =
+        vec![std::collections::BTreeSet::new(); nodes.len()];
+    for members in &cell_nodes {
+        for (i, &a) in members.iter().enumerate() {
+            for &b in members.iter().skip(i + 1) {
+                if nodes[a as usize].tile.intersects(&nodes[b as usize].tile) {
+                    neighbor_sets[a as usize].insert(b);
+                    neighbor_sets[b as usize].insert(a);
+                }
+            }
+        }
+    }
+    for (n, set) in nodes.iter_mut().zip(neighbor_sets) {
+        n.neighbors = set.into_iter().map(NodeId).collect();
+    }
+}
+
+/// Largest per-dimension protrusion of any unit's page MBB beyond its
+/// node's tile.
+fn compute_reach(nodes: &[SpaceNode], units: &[SpaceUnitDesc]) -> f64 {
+    let mut reach = 0.0f64;
+    for n in nodes {
+        for u in n.unit_range() {
+            let pm = &units[u].page_mbb;
+            if pm.is_empty() {
+                continue;
+            }
+            for d in 0..3 {
+                reach = reach
+                    .max(n.tile.min.coord(d) - pm.min.coord(d))
+                    .max(pm.max.coord(d) - n.tile.max.coord(d));
+            }
+        }
+    }
+    reach.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_datagen::{generate, DatasetSpec, Distribution};
+
+    fn build(count: usize, seed: u64) -> (Disk, TransformersIndex, Vec<SpatialElement>) {
+        let disk = Disk::default_in_memory();
+        let elems = generate(&DatasetSpec { max_side: 5.0, ..DatasetSpec::uniform(count, seed) });
+        let idx = TransformersIndex::build(&disk, elems.clone(), &IndexConfig::default());
+        (disk, idx, elems)
+    }
+
+    #[test]
+    fn empty_index() {
+        let disk = Disk::default_in_memory();
+        let idx = TransformersIndex::build(&disk, vec![], &IndexConfig::default());
+        assert!(idx.is_empty());
+        assert!(idx.nodes().is_empty());
+        assert_eq!(idx.walk_start(&disk, &tfm_geom::Point3::ORIGIN), None);
+    }
+
+    #[test]
+    fn hierarchy_structure_is_consistent() {
+        let (_, idx, elems) = build(5000, 50);
+        assert_eq!(idx.len(), elems.len());
+        // Units are partitioned into nodes contiguously, each node non-empty.
+        let mut seen_units = 0u32;
+        for n in idx.nodes() {
+            assert_eq!(n.first_unit, seen_units);
+            assert!(n.unit_count > 0);
+            seen_units += n.unit_count;
+            for u in n.unit_range() {
+                assert_eq!(idx.units()[u].node, n.id);
+            }
+        }
+        assert_eq!(seen_units as usize, idx.units().len());
+        // Total elements match.
+        let total: usize = idx.units().iter().map(|u| u.count as usize).sum();
+        assert_eq!(total, elems.len());
+    }
+
+    #[test]
+    fn node_tiles_tile_the_extent() {
+        let (_, idx, _) = build(8000, 51);
+        let ext = idx.extent();
+        let total: f64 = idx.nodes().iter().map(|n| n.tile.volume()).sum();
+        assert!((total - ext.volume()).abs() < 1e-6 * ext.volume());
+        let union = Aabb::union_all(idx.nodes().iter().map(|n| n.tile));
+        assert_eq!(union, ext);
+    }
+
+    #[test]
+    fn connectivity_links_are_symmetric_and_touching() {
+        let (_, idx, _) = build(8000, 52);
+        for n in idx.nodes() {
+            for &nb in &n.neighbors {
+                let other = &idx.nodes()[nb.0 as usize];
+                assert!(n.tile.intersects(&other.tile));
+                assert!(other.neighbors.contains(&n.id), "asymmetric link {:?} -> {:?}", n.id, nb);
+                assert_ne!(nb, n.id, "self link");
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_graph_is_connected() {
+        let (_, idx, _) = build(6000, 53);
+        let n = idx.nodes().len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 0;
+        while let Some(i) = stack.pop() {
+            count += 1;
+            for &nb in &idx.nodes()[i].neighbors {
+                if !seen[nb.0 as usize] {
+                    seen[nb.0 as usize] = true;
+                    stack.push(nb.0 as usize);
+                }
+            }
+        }
+        assert_eq!(count, n, "connectivity graph disconnected");
+    }
+
+    #[test]
+    fn pages_roundtrip_all_elements() {
+        let (disk, idx, elems) = build(3000, 54);
+        let mut pool = BufferPool::with_default_capacity(&disk);
+        let mut ids: Vec<u64> = Vec::new();
+        for u in idx.units() {
+            let read = idx.read_unit(&mut pool, u.id);
+            assert_eq!(read.len(), u.count as usize);
+            for e in &read {
+                assert!(u.page_mbb.contains(&e.mbb));
+            }
+            ids.extend(read.iter().map(|e| e.id));
+        }
+        ids.sort_unstable();
+        let mut expected: Vec<u64> = elems.iter().map(|e| e.id).collect();
+        expected.sort_unstable();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn metadata_roundtrips_from_disk() {
+        let (disk, idx, _) = build(4000, 55);
+        let (nodes, units, pages) = idx.load_metadata(&disk);
+        assert_eq!(nodes, idx.nodes());
+        assert_eq!(units, idx.units());
+        assert!(pages > 0);
+    }
+
+    #[test]
+    fn walk_start_returns_nearby_node() {
+        let (disk, idx, _) = build(9000, 56);
+        let probe = tfm_geom::Point3::new(500.0, 500.0, 500.0);
+        let start = idx.walk_start(&disk, &probe).expect("non-empty index");
+        let tile = &idx.nodes()[start.0 as usize].tile;
+        // Hilbert locality: the chosen node should be reasonably close to
+        // the probe (within a quarter of the universe diagonal).
+        let dist = tile.min_distance(&Aabb::from_point(probe));
+        assert!(dist < 450.0, "walk start {dist} away");
+    }
+
+    #[test]
+    fn clustered_data_produces_small_and_large_tiles() {
+        let disk = Disk::default_in_memory();
+        let elems = generate(&DatasetSpec::with_distribution(
+            10_000,
+            Distribution::MassiveCluster { clusters: 2, elements_per_cluster: 5000 },
+            57,
+        ));
+        let cfg = IndexConfig {
+            unit_capacity: Some(16),
+            node_capacity: Some(8),
+        };
+        let idx = TransformersIndex::build(&disk, elems, &cfg);
+        let vols: Vec<f64> = idx.nodes().iter().map(|n| n.tile.volume()).collect();
+        let max = vols.iter().cloned().fold(0.0, f64::max);
+        let min = vols.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min.max(1e-12) > 8.0,
+            "expected contrasting tile volumes, got min {min} max {max}"
+        );
+    }
+
+    #[test]
+    fn custom_capacities_respected() {
+        let disk = Disk::default_in_memory();
+        let elems = generate(&DatasetSpec::uniform(1000, 58));
+        let cfg = IndexConfig {
+            unit_capacity: Some(20),
+            node_capacity: Some(4),
+        };
+        let idx = TransformersIndex::build(&disk, elems, &cfg);
+        for u in idx.units() {
+            assert!(u.count <= 20);
+        }
+        for n in idx.nodes() {
+            assert!(n.unit_count <= 4);
+        }
+    }
+}

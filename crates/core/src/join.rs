@@ -1,0 +1,785 @@
+//! The TRANSFORMERS join: adaptive exploration (paper Alg. 2) with role and
+//! data-layout transformations (§VI).
+//!
+//! The guide dataset's space nodes are visited as pivots in index order
+//! (nodes were laid out by STR, so consecutive pivots are spatially
+//! adjacent). For each pivot the follower is navigated with the adaptive
+//! walk; before any data is read, the pivot-local volume ratio
+//! `V_g / V_f` of the two node tiles decides the transformation (§VI):
+//!
+//! * `V_g/V_f ≤ 1/t_su` → the *follower* is locally sparser: **switch
+//!   roles** and re-pivot on the follower node closest to the old pivot;
+//! * `V_g/V_f ≥ t_su` → the guide is locally sparser: **split the pivot**
+//!   into space units (and possibly further into single elements when the
+//!   unit-level ratio exceeds `t_so`);
+//! * otherwise join at the coarse node level: crawl the candidate units,
+//!   prefilter guide and follower page MBBs against each other, read only
+//!   the surviving pages, and run the grid hash join.
+//!
+//! The join terminates once either dataset's nodes are all checked — every
+//! element of one dataset has then been tested against everything it could
+//! intersect, which guarantees completeness (§V). Pairs discovered twice
+//! (possible after role switches) are deduplicated before returning.
+
+use crate::config::{GuidePick, JoinConfig};
+use crate::costmodel::CostModel;
+use crate::descriptor::{NodeId, SpaceNode, SpaceUnitDesc, UnitId};
+use crate::index::TransformersIndex;
+use crate::stats::TransformersStats;
+use crate::walk::{adaptive_crawl, adaptive_walk, scan_for_intersection, ExploreScratch};
+use std::time::Instant;
+use tfm_geom::{Aabb, SpatialElement};
+use tfm_memjoin::{grid_hash_join, ResultPair};
+use tfm_storage::{BufferPool, Disk, ElementPageCodec};
+
+/// Result of a TRANSFORMERS join.
+#[derive(Debug)]
+pub struct JoinOutcome {
+    /// Deduplicated, sorted result pairs `(id in A, id in B)`.
+    pub pairs: Vec<ResultPair>,
+    /// Execution counters and time breakdown.
+    pub stats: TransformersStats,
+}
+
+/// Guard against degenerate (zero-volume) tiles in ratio computations.
+const VOLUME_FLOOR: f64 = 1e-12;
+
+#[inline]
+fn vol(b: &Aabb) -> f64 {
+    b.volume().max(VOLUME_FLOOR)
+}
+
+/// Per-dataset join state.
+struct Side<'a> {
+    idx: &'a TransformersIndex,
+    disk: &'a Disk,
+    pool: BufferPool<'a>,
+    codec: ElementPageCodec,
+    nodes: Vec<SpaceNode>,
+    units: Vec<SpaceUnitDesc>,
+    checked: Vec<bool>,
+    unchecked: usize,
+    cursor: usize,
+    /// Last walk position when this side acted as follower.
+    walk_pos: Option<NodeId>,
+    scratch: ExploreScratch,
+}
+
+impl<'a> Side<'a> {
+    fn new(idx: &'a TransformersIndex, disk: &'a Disk, cfg: &JoinConfig, stats: &mut TransformersStats) -> Self {
+        // Join startup: (re)load the descriptor tables from the metadata
+        // region — sequential reads charged to the disk.
+        let (nodes, units, meta_pages) = idx.load_metadata(disk);
+        stats.metadata_pages_read += meta_pages;
+        let n = nodes.len();
+        Self {
+            idx,
+            disk,
+            pool: BufferPool::new(disk, cfg.pool_pages),
+            codec: ElementPageCodec::new(disk.page_size()),
+            nodes,
+            units,
+            checked: vec![false; n],
+            unchecked: n,
+            cursor: 0,
+            walk_pos: None,
+            scratch: ExploreScratch::default(),
+        }
+    }
+
+    fn next_unchecked(&mut self) -> Option<usize> {
+        while self.cursor < self.nodes.len() {
+            if !self.checked[self.cursor] {
+                return Some(self.cursor);
+            }
+            self.cursor += 1;
+        }
+        None
+    }
+
+    fn mark_checked(&mut self, node: usize) {
+        if !self.checked[node] {
+            self.checked[node] = true;
+            self.unchecked -= 1;
+        }
+    }
+
+    fn read_unit_elements(&mut self, unit: UnitId, out: &mut Vec<SpatialElement>) {
+        let desc = &self.units[unit.0 as usize];
+        out.extend(self.codec.decode(self.pool.read(desc.page)));
+    }
+}
+
+/// Shared mutable join context.
+struct Ctx {
+    cfg: JoinConfig,
+    cost: CostModel,
+    stats: TransformersStats,
+    /// Raw result pairs, always oriented (id in A, id in B).
+    raw: Vec<ResultPair>,
+}
+
+/// Runs the TRANSFORMERS join between two indexed datasets.
+///
+/// Both indexes must have been built (with [`TransformersIndex::build`]) on
+/// their respective disks; the indexes are reusable across joins.
+pub fn transformers_join(
+    idx_a: &TransformersIndex,
+    disk_a: &Disk,
+    idx_b: &TransformersIndex,
+    disk_b: &Disk,
+    cfg: &JoinConfig,
+) -> JoinOutcome {
+    let io_before = disk_a.stats().merged(&disk_b.stats());
+    let mut stats = TransformersStats::default();
+
+    let mut side_a = Side::new(idx_a, disk_a, cfg, &mut stats);
+    let mut side_b = Side::new(idx_b, disk_b, cfg, &mut stats);
+
+    let unit_cap = idx_a.unit_capacity().max(idx_b.unit_capacity());
+    let node_cap = idx_a.node_capacity().max(idx_b.node_capacity());
+    // Device-bound Eq. 4/8 terms from the disk model (see CostModel docs).
+    let model = disk_b.model();
+    let device = crate::costmodel::DeviceParams {
+        // One extra fine-grained batch costs roughly one random
+        // repositioning; one extra page within a batch costs one sequential
+        // transfer. The resulting thresholds put the split point where
+        // skipping data actually beats reading through it on the modelled
+        // device.
+        reposition: model.typical_random_cost(),
+        transfer: model.sequential_cost(),
+    };
+    let mut ctx = Ctx {
+        cfg: *cfg,
+        cost: CostModel::with_device(cfg.thresholds, unit_cap, node_cap, device),
+        stats,
+        raw: Vec::new(),
+    };
+
+    let guide_is_a = matches!(cfg.first_guide, GuidePick::A);
+
+    loop {
+        if side_a.unchecked == 0 || side_b.unchecked == 0 {
+            break;
+        }
+        let (guide, follower) = if guide_is_a {
+            (&mut side_a, &mut side_b)
+        } else {
+            (&mut side_b, &mut side_a)
+        };
+        let Some(pivot) = guide.next_unchecked() else {
+            break;
+        };
+        process_node_pivot(&mut ctx, guide, follower, guide_is_a, pivot, true);
+    }
+
+    // Deduplicate: pairs can be discovered from both sides after role
+    // switches.
+    ctx.raw.sort_unstable();
+    ctx.raw.dedup();
+    ctx.stats.unique_results = ctx.raw.len() as u64;
+    ctx.stats.pages_read = side_a.pool.misses() + side_b.pool.misses();
+
+    let io_after = side_a.disk.stats().merged(&side_b.disk.stats());
+    let delta = io_after.delta_since(&io_before);
+    ctx.stats.sim_io = delta.sim_io_time();
+
+    JoinOutcome {
+        pairs: ctx.raw,
+        stats: ctx.stats,
+    }
+}
+
+/// Locates a follower node reaching `pivot_box`, updating the follower's
+/// walk position. Falls back to a linear metadata scan when the walk's
+/// patience runs out (correctness guarantee).
+fn locate(ctx: &mut Ctx, follower: &mut Side<'_>, pivot_box: &Aabb) -> Option<NodeId> {
+    if follower.nodes.is_empty() {
+        return None;
+    }
+    let reach = follower.idx.reach_eps();
+    // Cheap extent reject.
+    ctx.stats.metadata_tests += 1;
+    if !follower.idx.extent().inflate(reach).intersects(pivot_box) {
+        return None;
+    }
+    let start = match follower.walk_pos {
+        Some(n) => n,
+        None => {
+            if ctx.cfg.hilbert_walk_start {
+                follower
+                    .idx
+                    .walk_start(follower.disk, &pivot_box.center())
+                    .unwrap_or(NodeId(0))
+            } else {
+                NodeId(0)
+            }
+        }
+    };
+    let r = adaptive_walk(
+        &follower.nodes,
+        reach,
+        pivot_box,
+        start,
+        ctx.cfg.walk_patience,
+        &mut follower.scratch,
+    );
+    ctx.stats.walk_steps += r.steps;
+    ctx.stats.metadata_tests += r.metadata_tests;
+    follower.walk_pos = Some(r.found.unwrap_or(r.closest));
+    match r.found {
+        Some(n) => Some(n),
+        None => {
+            // The greedy walk gave up; verify with the exhaustive scan so
+            // no result can ever be missed.
+            ctx.stats.walk_fallbacks += 1;
+            scan_for_intersection(&follower.nodes, reach, pivot_box, &mut ctx.stats.metadata_tests)
+        }
+    }
+}
+
+/// Processes one node-level pivot of the guide dataset.
+fn process_node_pivot(
+    ctx: &mut Ctx,
+    guide: &mut Side<'_>,
+    follower: &mut Side<'_>,
+    guide_is_a: bool,
+    ng: usize,
+    allow_switch: bool,
+) {
+    let t0 = Instant::now();
+    let pivot_box = guide.nodes[ng].page_mbb;
+    if pivot_box.is_empty() {
+        guide.mark_checked(ng);
+        ctx.stats.exploration_overhead += t0.elapsed();
+        return;
+    }
+
+    let Some(nf) = locate(ctx, follower, &pivot_box) else {
+        guide.mark_checked(ng);
+        let dt = t0.elapsed();
+        ctx.stats.exploration_overhead += dt;
+        ctx.cost.record_exploration(ctx.stats.walk_steps.max(1), dt);
+        return;
+    };
+
+    // Transformation decision (§VI): compare pivot-local tile volumes.
+    // Both indexes pack the same number of elements per node, so the tile
+    // volume ratio reflects the inverse local density ratio.
+    let ratio = vol(&guide.nodes[ng].tile) / vol(&follower.nodes[nf.0 as usize].tile);
+
+    if allow_switch && ctx.cost.should_switch_roles(ratio) && !follower.checked[nf.0 as usize] {
+        // Transform 1 (role): the follower is locally sparser — let it
+        // guide. The new pivot is the follower node found at the old
+        // pivot's location; the old pivot stays unchecked and will be
+        // revisited later.
+        ctx.stats.role_transformations += 1;
+        ctx.cost.on_transformation();
+        ctx.stats.exploration_overhead += t0.elapsed();
+        process_node_pivot(ctx, follower, guide, !guide_is_a, nf.0 as usize, false);
+        return;
+    }
+
+    if ctx.cost.should_split_node(ratio) {
+        // Transform 2 (layout): the guide is locally sparser — descend the
+        // pivot to space-unit granularity.
+        ctx.stats.layout_transformations += 1;
+        ctx.cost.on_transformation();
+        ctx.stats.exploration_overhead += t0.elapsed();
+        process_node_units(ctx, guide, follower, guide_is_a, ng, nf);
+        guide.mark_checked(ng);
+        return;
+    }
+
+    // No transformation: coarse-grained join of the whole node.
+    let mut crawl = adaptive_crawl(
+        &follower.nodes,
+        &follower.units,
+        follower.idx.reach_eps(),
+        &pivot_box,
+        nf,
+        &mut follower.scratch,
+    );
+    ctx.stats.crawl_steps += crawl.steps;
+    ctx.stats.metadata_tests += crawl.metadata_tests;
+
+    // To-do-list filter (§V): pairs against already-checked follower nodes
+    // were produced when those nodes were pivots — drop their units.
+    crawl
+        .candidates
+        .retain(|u| !follower.checked[follower.units[u.0 as usize].node.0 as usize]);
+    if crawl.candidates.is_empty() {
+        guide.mark_checked(ng);
+        ctx.stats.exploration_overhead += t0.elapsed();
+        return;
+    }
+
+    // Node-level prefilter (§V "In-memory Join"): join the page MBBs of the
+    // guide's units with the follower candidates; only surviving pages are
+    // read.
+    let guide_unit_ids: Vec<UnitId> = guide.nodes[ng]
+        .unit_range()
+        .map(|u| guide.units[u].id)
+        .collect();
+    let (guide_keep, follower_keep) = if ctx.cfg.node_prefilter {
+        prefilter(ctx, guide, follower, &guide_unit_ids, &crawl.candidates)
+    } else {
+        (guide_unit_ids.clone(), crawl.candidates.clone())
+    };
+    let dt_explore = t0.elapsed();
+    ctx.stats.exploration_overhead += dt_explore;
+    ctx.cost
+        .record_exploration(crawl.steps + ctx.stats.walk_steps.max(1), dt_explore);
+
+    // Read the surviving pages in ascending page order (elevator order):
+    // a node's units occupy contiguous pages, so candidate batches read
+    // mostly sequentially — the locality benefit of the data-oriented
+    // layout the paper relies on.
+    let pages = (guide_keep.len() + follower_keep.len()) as u64;
+    let mut guide_elems = Vec::new();
+    for &u in &guide_keep {
+        guide.read_unit_elements(u, &mut guide_elems);
+    }
+    let mut follower_keep = follower_keep;
+    follower_keep.sort_unstable_by_key(|u| follower.units[u.0 as usize].page);
+    let mut follower_elems = Vec::new();
+    for &u in &follower_keep {
+        follower.read_unit_elements(u, &mut follower_elems);
+    }
+    ctx.cost
+        .record_io(pages, guide.disk.model().access_cost(false) * pages as u32);
+
+    // In-memory join (grid hash join, §VII-A).
+    let tj = Instant::now();
+    let before = ctx.stats.mem.element_tests;
+    let pairs = grid_hash_join(&guide_elems, &follower_elems, &ctx.cfg.mem_grid, &mut ctx.stats.mem);
+    let dt = tj.elapsed();
+    ctx.stats.join_cpu += dt;
+    ctx.cost
+        .record_comparisons(ctx.stats.mem.element_tests - before, dt);
+    push_oriented(&mut ctx.raw, pairs, guide_is_a);
+
+    guide.mark_checked(ng);
+}
+
+/// Bipartite page-MBB prefilter: keeps guide units intersecting at least
+/// one follower candidate and vice versa.
+fn prefilter(
+    ctx: &mut Ctx,
+    guide: &Side<'_>,
+    follower: &Side<'_>,
+    guide_units: &[UnitId],
+    candidates: &[UnitId],
+) -> (Vec<UnitId>, Vec<UnitId>) {
+    let mut keep_follower = vec![false; candidates.len()];
+    let mut keep_guide = Vec::with_capacity(guide_units.len());
+    for &gu in guide_units {
+        let gbox = guide.units[gu.0 as usize].page_mbb;
+        let mut any = false;
+        for (i, &fu) in candidates.iter().enumerate() {
+            ctx.stats.metadata_tests += 1;
+            if gbox.intersects(&follower.units[fu.0 as usize].page_mbb) {
+                any = true;
+                keep_follower[i] = true;
+            }
+        }
+        if any {
+            keep_guide.push(gu);
+        }
+    }
+    let kept: Vec<UnitId> = candidates
+        .iter()
+        .zip(&keep_follower)
+        .filter_map(|(&u, &k)| k.then_some(u))
+        .collect();
+    let considered = (guide_units.len() + candidates.len()) as u64;
+    let filtered = considered - (keep_guide.len() + kept.len()) as u64;
+    ctx.cost.record_filter(filtered, considered);
+    (keep_guide, kept)
+}
+
+/// Transform 2/3: processes a guide node at space-unit granularity, with a
+/// possible further descent to element granularity (§VI-B).
+fn process_node_units(
+    ctx: &mut Ctx,
+    guide: &mut Side<'_>,
+    follower: &mut Side<'_>,
+    guide_is_a: bool,
+    ng: usize,
+    nf_hint: NodeId,
+) {
+    let unit_range = guide.nodes[ng].unit_range();
+    let mut local_pos = nf_hint;
+
+    for u in unit_range {
+        let t0 = Instant::now();
+        let unit_id = guide.units[u].id;
+        let pivot_box = guide.units[u].page_mbb;
+        if pivot_box.is_empty() {
+            continue;
+        }
+
+        // Walk from the previous unit's position: consecutive units are
+        // spatially adjacent, so the walk is short.
+        let reach = follower.idx.reach_eps();
+        let r = adaptive_walk(
+            &follower.nodes,
+            reach,
+            &pivot_box,
+            local_pos,
+            ctx.cfg.walk_patience,
+            &mut follower.scratch,
+        );
+        ctx.stats.walk_steps += r.steps;
+        ctx.stats.metadata_tests += r.metadata_tests;
+        local_pos = r.found.unwrap_or(r.closest);
+        let found = match r.found {
+            Some(n) => Some(n),
+            None => {
+                ctx.stats.walk_fallbacks += 1;
+                scan_for_intersection(&follower.nodes, reach, &pivot_box, &mut ctx.stats.metadata_tests)
+            }
+        };
+        let Some(nf) = found else {
+            ctx.stats.exploration_overhead += t0.elapsed();
+            continue;
+        };
+        follower.walk_pos = Some(nf);
+
+        let mut crawl = adaptive_crawl(
+            &follower.nodes,
+            &follower.units,
+            reach,
+            &pivot_box,
+            nf,
+            &mut follower.scratch,
+        );
+        // To-do-list filter (§V), as at node level.
+        crawl
+            .candidates
+            .retain(|u| !follower.checked[follower.units[u.0 as usize].node.0 as usize]);
+        crawl
+            .candidates
+            .sort_unstable_by_key(|u| follower.units[u.0 as usize].page);
+        ctx.stats.crawl_steps += crawl.steps;
+        ctx.stats.metadata_tests += crawl.metadata_tests;
+        if crawl.candidates.is_empty() {
+            let dt = t0.elapsed();
+            ctx.stats.exploration_overhead += dt;
+            ctx.cost.record_exploration(r.steps + crawl.steps, dt);
+            continue;
+        }
+
+        // Unit-level ratio against the candidate closest to the pivot
+        // (the "corresponding" unit of the follower, §VI-A).
+        let closest = crawl
+            .candidates
+            .iter()
+            .min_by(|&&x, &&y| {
+                let dx = follower.units[x.0 as usize].page_mbb.min_distance_sq(&pivot_box);
+                let dy = follower.units[y.0 as usize].page_mbb.min_distance_sq(&pivot_box);
+                dx.total_cmp(&dy)
+            })
+            .copied()
+            .expect("non-empty candidates");
+        ctx.stats.metadata_tests += crawl.candidates.len() as u64 * 2;
+        let ratio = vol(&guide.units[u].partition_mbb)
+            / vol(&follower.units[closest.0 as usize].partition_mbb);
+        let split_elements = ctx.cost.should_split_unit(ratio);
+        let dt_explore = t0.elapsed();
+        ctx.stats.exploration_overhead += dt_explore;
+        ctx.cost.record_exploration(r.steps + crawl.steps, dt_explore);
+
+        // Read the guide unit's page.
+        let mut guide_elems = Vec::new();
+        guide.read_unit_elements(unit_id, &mut guide_elems);
+        ctx.cost
+            .record_io(1, guide.disk.model().access_cost(false));
+
+        if split_elements {
+            // Transform 3: element-granularity pivots. Each follower page
+            // is read only if an actual guide element touches it.
+            ctx.stats.element_layout_transformations += 1;
+            ctx.cost.on_transformation();
+            join_element_level(ctx, guide_is_a, &guide_elems, follower, &crawl.candidates);
+        } else {
+            let mut follower_elems = Vec::new();
+            for &fu in &crawl.candidates {
+                follower.read_unit_elements(fu, &mut follower_elems);
+            }
+            ctx.cost.record_io(
+                crawl.candidates.len() as u64,
+                follower.disk.model().access_cost(false) * crawl.candidates.len() as u32,
+            );
+            let tj = Instant::now();
+            let before = ctx.stats.mem.element_tests;
+            let pairs = grid_hash_join(&guide_elems, &follower_elems, &ctx.cfg.mem_grid, &mut ctx.stats.mem);
+            let dt = tj.elapsed();
+            ctx.stats.join_cpu += dt;
+            ctx.cost
+                .record_comparisons(ctx.stats.mem.element_tests - before, dt);
+            push_oriented(&mut ctx.raw, pairs, guide_is_a);
+        }
+    }
+}
+
+/// Element-level join of one guide unit against the candidate follower
+/// units: candidate pages whose page MBB no guide element touches are
+/// filtered out without being read.
+fn join_element_level(
+    ctx: &mut Ctx,
+    guide_is_a: bool,
+    guide_elems: &[SpatialElement],
+    follower: &mut Side<'_>,
+    candidates: &[UnitId],
+) {
+    let mut read_pages = 0u64;
+    for &fu in candidates {
+        let t0 = Instant::now();
+        let fbox = follower.units[fu.0 as usize].page_mbb;
+        // Element-granularity filter: does any actual guide element reach
+        // this follower page?
+        let mut touched = false;
+        for e in guide_elems {
+            ctx.stats.metadata_tests += 1;
+            if e.mbb.intersects(&fbox) {
+                touched = true;
+                break;
+            }
+        }
+        ctx.stats.exploration_overhead += t0.elapsed();
+        if !touched {
+            continue;
+        }
+        read_pages += 1;
+        let mut follower_elems = Vec::new();
+        follower.read_unit_elements(fu, &mut follower_elems);
+
+        let tj = Instant::now();
+        let before = ctx.stats.mem.element_tests;
+        let mut pairs = Vec::new();
+        for e in guide_elems {
+            ctx.stats.metadata_tests += 1;
+            if !e.mbb.intersects(&fbox) {
+                continue;
+            }
+            for f in &follower_elems {
+                ctx.stats.mem.element_tests += 1;
+                if e.mbb.intersects(&f.mbb) {
+                    pairs.push((e.id, f.id));
+                }
+            }
+        }
+        ctx.stats.mem.results += pairs.len() as u64;
+        let dt = tj.elapsed();
+        ctx.stats.join_cpu += dt;
+        ctx.cost
+            .record_comparisons(ctx.stats.mem.element_tests - before, dt);
+        push_oriented(&mut ctx.raw, pairs, guide_is_a);
+    }
+    ctx.cost.record_filter(candidates.len() as u64 - read_pages, candidates.len() as u64);
+    ctx.cost.record_io(
+        read_pages,
+        follower.disk.model().access_cost(false) * read_pages as u32,
+    );
+}
+
+/// Appends pairs oriented as (id in A, id in B).
+fn push_oriented(raw: &mut Vec<ResultPair>, pairs: Vec<ResultPair>, guide_is_a: bool) {
+    if guide_is_a {
+        raw.extend(pairs);
+    } else {
+        raw.extend(pairs.into_iter().map(|(g, f)| (f, g)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{IndexConfig, ThresholdPolicy};
+    use tfm_datagen::{generate, neuro, DatasetSpec, Distribution};
+    use tfm_memjoin::{canonicalize, nested_loop_join, JoinStats};
+
+    fn run_join(
+        a: &[SpatialElement],
+        b: &[SpatialElement],
+        cfg: &JoinConfig,
+    ) -> (Vec<ResultPair>, TransformersStats) {
+        let disk_a = Disk::default_in_memory();
+        let disk_b = Disk::default_in_memory();
+        let idx_a = TransformersIndex::build(&disk_a, a.to_vec(), &IndexConfig::default());
+        let idx_b = TransformersIndex::build(&disk_b, b.to_vec(), &IndexConfig::default());
+        let out = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, cfg);
+        (out.pairs, out.stats)
+    }
+
+    fn oracle(a: &[SpatialElement], b: &[SpatialElement]) -> Vec<ResultPair> {
+        let mut s = JoinStats::default();
+        canonicalize(nested_loop_join(a, b, &mut s))
+    }
+
+    #[test]
+    fn matches_oracle_uniform_similar_density() {
+        let a = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(1500, 70) });
+        let b = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(1500, 71) });
+        let (pairs, stats) = run_join(&a, &b, &JoinConfig::default());
+        assert_eq!(pairs, oracle(&a, &b));
+        assert!(stats.unique_results > 0);
+    }
+
+    #[test]
+    fn matches_oracle_contrasting_density() {
+        // 100x density contrast: the robustness scenario of Fig. 1/10.
+        let a = generate(&DatasetSpec { max_side: 20.0, ..DatasetSpec::uniform(100, 72) });
+        let b = generate(&DatasetSpec { max_side: 3.0, ..DatasetSpec::uniform(10_000, 73) });
+        let (pairs, _) = run_join(&a, &b, &JoinConfig::default());
+        assert_eq!(pairs, oracle(&a, &b));
+        // Mirror.
+        let (pairs, _) = run_join(&b, &a, &JoinConfig::default());
+        assert_eq!(pairs, oracle(&b, &a));
+    }
+
+    #[test]
+    fn matches_oracle_clustered_skew() {
+        let a = generate(&DatasetSpec {
+            max_side: 6.0,
+            ..DatasetSpec::with_distribution(3000, Distribution::MassiveCluster { clusters: 3, elements_per_cluster: 1000 }, 74)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 6.0,
+            ..DatasetSpec::with_distribution(3000, Distribution::UniformCluster { clusters: 10 }, 75)
+        });
+        let (pairs, _) = run_join(&a, &b, &JoinConfig::default());
+        assert_eq!(pairs, oracle(&a, &b));
+    }
+
+    #[test]
+    fn matches_oracle_neuro_surrogate() {
+        let (a, b) = neuro::axon_dendrite_pair(4000, 76);
+        let (pairs, _) = run_join(&a, &b, &JoinConfig::default());
+        assert_eq!(pairs, oracle(&a, &b));
+    }
+
+    #[test]
+    fn all_threshold_policies_agree_on_results() {
+        let a = generate(&DatasetSpec {
+            max_side: 10.0,
+            ..DatasetSpec::with_distribution(2000, Distribution::DenseCluster { clusters: 8 }, 77)
+        });
+        let b = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(2000, 78) });
+        let expected = oracle(&a, &b);
+        for policy in [
+            ThresholdPolicy::CostModel,
+            ThresholdPolicy::over_fit(),
+            ThresholdPolicy::under_fit(),
+            ThresholdPolicy::Disabled,
+        ] {
+            let cfg = JoinConfig::default().with_thresholds(policy);
+            let (pairs, _) = run_join(&a, &b, &cfg);
+            assert_eq!(pairs, expected, "policy {policy:?} wrong");
+        }
+    }
+
+    #[test]
+    fn guide_choice_does_not_change_results() {
+        let a = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(1000, 79) });
+        let b = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(5000, 80) });
+        let expected = oracle(&a, &b);
+        for first_guide in [GuidePick::A, GuidePick::B] {
+            let cfg = JoinConfig { first_guide, ..JoinConfig::default() };
+            let (pairs, _) = run_join(&a, &b, &cfg);
+            assert_eq!(pairs, expected);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = generate(&DatasetSpec::uniform(500, 81));
+        let (pairs, _) = run_join(&a, &[], &JoinConfig::default());
+        assert!(pairs.is_empty());
+        let (pairs, _) = run_join(&[], &a, &JoinConfig::default());
+        assert!(pairs.is_empty());
+        let (pairs, _) = run_join(&[], &[], &JoinConfig::default());
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn disjoint_regions_produce_nothing_but_terminate() {
+        let a = generate(&DatasetSpec {
+            universe: Aabb::new(tfm_geom::Point3::new(0.0, 0.0, 0.0), tfm_geom::Point3::new(100.0, 100.0, 100.0)),
+            ..DatasetSpec::uniform(800, 82)
+        });
+        let b = generate(&DatasetSpec {
+            universe: Aabb::new(tfm_geom::Point3::new(500.0, 500.0, 500.0), tfm_geom::Point3::new(600.0, 600.0, 600.0)),
+            ..DatasetSpec::uniform(800, 83)
+        });
+        let (pairs, _) = run_join(&a, &b, &JoinConfig::default());
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn skew_triggers_transformations() {
+        // Massive clusters vs uniform: strong local contrast.
+        let a = generate(&DatasetSpec {
+            max_side: 4.0,
+            ..DatasetSpec::with_distribution(20_000, Distribution::massive_cluster_for(20_000), 84)
+        });
+        let b = generate(&DatasetSpec { max_side: 4.0, ..DatasetSpec::uniform(20_000, 85) });
+        let (pairs, stats) = run_join(&a, &b, &JoinConfig::default());
+        assert_eq!(pairs, oracle(&a, &b));
+        assert!(
+            stats.transformations() > 0,
+            "contrasting local densities should trigger transformations: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn no_tr_disables_transformations() {
+        let a = generate(&DatasetSpec {
+            max_side: 4.0,
+            ..DatasetSpec::with_distribution(5000, Distribution::massive_cluster_for(5000), 86)
+        });
+        let b = generate(&DatasetSpec { max_side: 4.0, ..DatasetSpec::uniform(5000, 87) });
+        let cfg = JoinConfig::without_transformations();
+        let (pairs, stats) = run_join(&a, &b, &cfg);
+        assert_eq!(pairs, oracle(&a, &b));
+        assert_eq!(stats.transformations(), 0);
+    }
+
+    #[test]
+    fn prefilter_ablation_preserves_results() {
+        let a = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(2000, 88) });
+        let b = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(2000, 89) });
+        let expected = oracle(&a, &b);
+        for node_prefilter in [true, false] {
+            let cfg = JoinConfig { node_prefilter, ..JoinConfig::default() };
+            let (pairs, _) = run_join(&a, &b, &cfg);
+            assert_eq!(pairs, expected);
+        }
+    }
+
+    #[test]
+    fn walk_start_ablation_preserves_results() {
+        let a = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(1500, 90) });
+        let b = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(1500, 91) });
+        let expected = oracle(&a, &b);
+        for hilbert_walk_start in [true, false] {
+            let cfg = JoinConfig { hilbert_walk_start, ..JoinConfig::default() };
+            let (pairs, _) = run_join(&a, &b, &cfg);
+            assert_eq!(pairs, expected);
+        }
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let a = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(3000, 92) });
+        let b = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(3000, 93) });
+        let (pairs, stats) = run_join(&a, &b, &JoinConfig::default());
+        assert_eq!(stats.unique_results, pairs.len() as u64);
+        assert!(stats.mem.results >= stats.unique_results);
+        assert!(stats.pages_read > 0);
+        assert!(stats.metadata_pages_read > 0);
+        assert!(stats.sim_io > std::time::Duration::ZERO);
+        assert!(stats.total_tests() >= stats.mem.element_tests);
+    }
+}

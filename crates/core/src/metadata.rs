@@ -1,0 +1,223 @@
+//! Serialization of the descriptor tables (space nodes + space units).
+//!
+//! The paper stores metadata about space units in space descriptors and
+//! groups them into space nodes, all page-aligned on disk (§IV). Here the
+//! whole descriptor table is serialized into a contiguous run of pages at
+//! index-build time and read back (sequentially, charged as I/O) when a
+//! join starts — the join then navigates the in-memory tables, and only
+//! *element* pages are fetched on demand, which matches the paper's
+//! observation that metadata comparisons are cheap while element I/O
+//! dominates.
+
+use crate::descriptor::{NodeId, SpaceNode, SpaceUnitDesc, UnitId};
+use tfm_geom::{Aabb, Point3};
+use tfm_storage::PageId;
+
+/// Serializes the descriptor tables into one byte stream.
+pub fn encode(nodes: &[SpaceNode], units: &[SpaceUnitDesc]) -> Vec<u8> {
+    use bytes_ext::BufMutExt;
+    let mut buf = Vec::new();
+    buf.put_u64_le_ext(nodes.len() as u64);
+    buf.put_u64_le_ext(units.len() as u64);
+    for u in units {
+        buf.put_u64_le_ext(u.page.0);
+        put_aabb(&mut buf, &u.page_mbb);
+        put_aabb(&mut buf, &u.partition_mbb);
+        buf.put_u32_le_ext(u.node.0);
+        buf.put_u16_le_ext(u.count);
+    }
+    for n in nodes {
+        put_aabb(&mut buf, &n.tile);
+        put_aabb(&mut buf, &n.page_mbb);
+        buf.put_u32_le_ext(n.first_unit);
+        buf.put_u32_le_ext(n.unit_count);
+        buf.put_u64_le_ext(n.hilbert);
+        buf.put_u32_le_ext(n.neighbors.len() as u32);
+        for nb in &n.neighbors {
+            buf.put_u32_le_ext(nb.0);
+        }
+    }
+    buf
+}
+
+/// Decodes descriptor tables from a byte stream produced by [`encode`].
+pub fn decode(mut buf: &[u8]) -> (Vec<SpaceNode>, Vec<SpaceUnitDesc>) {
+    use bytes_ext::BufExt;
+    let n_nodes = buf.get_u64_le_ext() as usize;
+    let n_units = buf.get_u64_le_ext() as usize;
+    let mut units = Vec::with_capacity(n_units);
+    for i in 0..n_units {
+        let page = PageId(buf.get_u64_le_ext());
+        let page_mbb = get_aabb(&mut buf);
+        let partition_mbb = get_aabb(&mut buf);
+        let node = NodeId(buf.get_u32_le_ext());
+        let count = buf.get_u16_le_ext();
+        units.push(SpaceUnitDesc {
+            id: UnitId(i as u32),
+            page,
+            page_mbb,
+            partition_mbb,
+            node,
+            count,
+        });
+    }
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for i in 0..n_nodes {
+        let tile = get_aabb(&mut buf);
+        let page_mbb = get_aabb(&mut buf);
+        let first_unit = buf.get_u32_le_ext();
+        let unit_count = buf.get_u32_le_ext();
+        let hilbert = buf.get_u64_le_ext();
+        let n_nb = buf.get_u32_le_ext() as usize;
+        let mut neighbors = Vec::with_capacity(n_nb);
+        for _ in 0..n_nb {
+            neighbors.push(NodeId(buf.get_u32_le_ext()));
+        }
+        nodes.push(SpaceNode {
+            id: NodeId(i as u32),
+            tile,
+            page_mbb,
+            neighbors,
+            first_unit,
+            unit_count,
+            hilbert,
+        });
+    }
+    (nodes, units)
+}
+
+fn put_aabb(buf: &mut Vec<u8>, a: &Aabb) {
+    use bytes_ext::BufMutExt;
+    // Page MBBs of empty units use the empty box (±inf); encode raw bits.
+    buf.put_f64_bits(a.min.x);
+    buf.put_f64_bits(a.min.y);
+    buf.put_f64_bits(a.min.z);
+    buf.put_f64_bits(a.max.x);
+    buf.put_f64_bits(a.max.y);
+    buf.put_f64_bits(a.max.z);
+}
+
+fn get_aabb(buf: &mut &[u8]) -> Aabb {
+    use bytes_ext::BufExt;
+    let min = Point3::new(buf.get_f64_bits(), buf.get_f64_bits(), buf.get_f64_bits());
+    let max = Point3::new(buf.get_f64_bits(), buf.get_f64_bits(), buf.get_f64_bits());
+    // Bypass Aabb::new's debug validity assertion: the empty box is legal here.
+    Aabb { min, max }
+}
+
+/// Minimal little-endian buffer helpers over `Vec<u8>` / `&[u8]`.
+mod bytes_ext {
+    pub trait BufMutExt {
+        fn put_u16_le_ext(&mut self, v: u16);
+        fn put_u32_le_ext(&mut self, v: u32);
+        fn put_u64_le_ext(&mut self, v: u64);
+        fn put_f64_bits(&mut self, v: f64);
+    }
+
+    impl BufMutExt for Vec<u8> {
+        fn put_u16_le_ext(&mut self, v: u16) {
+            self.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_u32_le_ext(&mut self, v: u32) {
+            self.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_u64_le_ext(&mut self, v: u64) {
+            self.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_f64_bits(&mut self, v: f64) {
+            self.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    pub trait BufExt {
+        fn get_u16_le_ext(&mut self) -> u16;
+        fn get_u32_le_ext(&mut self) -> u32;
+        fn get_u64_le_ext(&mut self) -> u64;
+        fn get_f64_bits(&mut self) -> f64;
+    }
+
+    impl BufExt for &[u8] {
+        fn get_u16_le_ext(&mut self) -> u16 {
+            let (head, rest) = self.split_at(2);
+            *self = rest;
+            u16::from_le_bytes(head.try_into().expect("2 bytes"))
+        }
+        fn get_u32_le_ext(&mut self) -> u32 {
+            let (head, rest) = self.split_at(4);
+            *self = rest;
+            u32::from_le_bytes(head.try_into().expect("4 bytes"))
+        }
+        fn get_u64_le_ext(&mut self) -> u64 {
+            let (head, rest) = self.split_at(8);
+            *self = rest;
+            u64::from_le_bytes(head.try_into().expect("8 bytes"))
+        }
+        fn get_f64_bits(&mut self) -> f64 {
+            let (head, rest) = self.split_at(8);
+            *self = rest;
+            f64::from_le_bytes(head.try_into().expect("8 bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tables() -> (Vec<SpaceNode>, Vec<SpaceUnitDesc>) {
+        let units = vec![
+            SpaceUnitDesc {
+                id: UnitId(0),
+                page: PageId(100),
+                page_mbb: Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 1.0)),
+                partition_mbb: Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(2.0, 2.0, 2.0)),
+                node: NodeId(0),
+                count: 42,
+            },
+            SpaceUnitDesc {
+                id: UnitId(1),
+                page: PageId(101),
+                page_mbb: Aabb::new(Point3::new(2.0, 0.0, 0.0), Point3::new(3.0, 1.0, 1.0)),
+                partition_mbb: Aabb::new(Point3::new(2.0, 0.0, 0.0), Point3::new(4.0, 2.0, 2.0)),
+                node: NodeId(0),
+                count: 7,
+            },
+        ];
+        let nodes = vec![SpaceNode {
+            id: NodeId(0),
+            tile: Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(4.0, 2.0, 2.0)),
+            page_mbb: Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(3.0, 1.0, 1.0)),
+            neighbors: vec![NodeId(3), NodeId(9)],
+            first_unit: 0,
+            unit_count: 2,
+            hilbert: 0xDEADBEEF,
+        }];
+        (nodes, units)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (nodes, units) = sample_tables();
+        let bytes = encode(&nodes, &units);
+        let (dn, du) = decode(&bytes);
+        assert_eq!(dn, nodes);
+        assert_eq!(du, units);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let bytes = encode(&[], &[]);
+        let (dn, du) = decode(&bytes);
+        assert!(dn.is_empty());
+        assert!(du.is_empty());
+    }
+
+    #[test]
+    fn empty_box_survives() {
+        let (mut nodes, units) = sample_tables();
+        nodes[0].page_mbb = Aabb::empty();
+        let bytes = encode(&nodes, &units);
+        let (dn, _) = decode(&bytes);
+        assert!(dn[0].page_mbb.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Join-execution statistics and time breakdown.
+
+use std::time::Duration;
+use tfm_memjoin::JoinStats;
+
+/// Counters and the execution-time breakdown of one TRANSFORMERS join.
+///
+/// The split between `join_cpu` + `sim_io` ("join cost") and
+/// `exploration_overhead` reproduces the paper's Fig. 14 accounting: "The
+/// join cost is the time spent on disk access and the time needed to join
+/// the data (the final candidate set) in memory. Everything else is
+/// considered as the overhead of adaptive exploration."
+#[derive(Debug, Clone, Default)]
+pub struct TransformersStats {
+    /// Metadata comparisons: descriptor-MBB distance/overlap tests during
+    /// walk, crawl, prefilter and transformation decisions. The paper's
+    /// intersection-test counts for TRANSFORMERS "also include metadata
+    /// comparisons" (Fig. 11), so harnesses report
+    /// `mem.element_tests + metadata_tests`.
+    pub metadata_tests: u64,
+    /// Element-level counters of the in-memory joins (raw, before final
+    /// deduplication).
+    pub mem: JoinStats,
+    /// Result pairs after deduplication.
+    pub unique_results: u64,
+    /// Element pages fetched from disk (buffer-pool misses), both datasets.
+    pub pages_read: u64,
+    /// Metadata pages read when loading descriptor tables at join start.
+    pub metadata_pages_read: u64,
+    /// Role transformations performed (guide ↔ follower switches, §VI-A).
+    pub role_transformations: u64,
+    /// Node → unit layout transformations (§VI-B).
+    pub layout_transformations: u64,
+    /// Unit → element layout transformations ("extreme skew", §VI-C).
+    pub element_layout_transformations: u64,
+    /// Adaptive-walk expansion steps.
+    pub walk_steps: u64,
+    /// Crawl expansion steps.
+    pub crawl_steps: u64,
+    /// Walks that exhausted their patience and fell back to the metadata
+    /// scan (correctness guarantee; see `DESIGN.md`).
+    pub walk_fallbacks: u64,
+    /// Wall-clock time spent in the in-memory joins.
+    pub join_cpu: Duration,
+    /// Wall-clock time spent in walk/crawl/filter/transformation logic.
+    pub exploration_overhead: Duration,
+    /// Simulated device time for all page traffic during the join.
+    pub sim_io: Duration,
+}
+
+impl TransformersStats {
+    /// Total intersection tests as the paper counts them for TRANSFORMERS
+    /// (element tests + metadata comparisons, Fig. 11 right).
+    pub fn total_tests(&self) -> u64 {
+        self.mem.element_tests + self.metadata_tests
+    }
+
+    /// "Join cost" in the Fig. 14 sense: simulated I/O + in-memory join CPU.
+    pub fn join_cost(&self) -> Duration {
+        self.sim_io + self.join_cpu
+    }
+
+    /// Total transformations of any kind.
+    pub fn transformations(&self) -> u64 {
+        self.role_transformations + self.layout_transformations + self.element_layout_transformations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_combine_counters() {
+        let s = TransformersStats {
+            metadata_tests: 10,
+            mem: JoinStats { element_tests: 90, results: 5 },
+            sim_io: Duration::from_millis(3),
+            join_cpu: Duration::from_millis(2),
+            exploration_overhead: Duration::from_millis(1),
+            role_transformations: 1,
+            layout_transformations: 2,
+            element_layout_transformations: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.total_tests(), 100);
+        assert_eq!(s.join_cost(), Duration::from_millis(5));
+        assert_eq!(s.transformations(), 6);
+    }
+}

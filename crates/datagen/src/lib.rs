@@ -1,0 +1,286 @@
+//! Synthetic and neuroscience-surrogate workload generators.
+//!
+//! Reproduces the datasets of the paper's evaluation (§VII-B):
+//!
+//! * **Uniform** — elements uniformly distributed over the universe;
+//! * **DenseCluster** — ≈700 densely populated clusters, centers drawn from
+//!   a normal distribution (µ = 500, σ = 220 per dimension);
+//! * **UniformCluster** — 100 clusters spread so widely the result is nearly
+//!   uniform (same center distribution);
+//! * **MassiveCluster** — 5 densely populated clusters, each with a fixed
+//!   number of uniformly distributed elements;
+//! * **Neuroscience surrogate** ([`neuro`]) — cylinder-like elongated MBBs
+//!   standing in for the rat-brain model's axons/dendrites (Fig. 3), which
+//!   is not publicly available (see `DESIGN.md`, substitution 3). Axons are
+//!   concentrated near the top of the volume, dendrites near the middle, so
+//!   the join faces both contrasting and similar local densities.
+//!
+//! All generation is deterministic given a [`DatasetSpec`] (seeded
+//! `StdRng`), so experiments are exactly repeatable. Spatial boxes have side
+//! lengths drawn uniformly from `(0, max_side]` with `max_side = 1.0` by
+//! default, in a `[0, 1000]³` universe, exactly as in §VII-B.
+
+#![warn(missing_docs)]
+
+mod normal;
+pub mod neuro;
+mod spec;
+
+pub use spec::{DatasetSpec, Distribution, DEFAULT_UNIVERSE};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tfm_geom::{Aabb, Point3, SpatialElement};
+
+/// Generates the dataset described by `spec`.
+///
+/// Element ids are assigned densely in generation order (`0..count`).
+pub fn generate(spec: &DatasetSpec) -> Vec<SpatialElement> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let centers = element_centers(spec, &mut rng);
+    centers
+        .into_iter()
+        .enumerate()
+        .map(|(id, c)| SpatialElement::new(id as u64, box_at(c, spec, &mut rng)))
+        .collect()
+}
+
+/// Draws all element center points for `spec`.
+fn element_centers(spec: &DatasetSpec, rng: &mut StdRng) -> Vec<Point3> {
+    match spec.distribution {
+        Distribution::Uniform => (0..spec.count).map(|_| uniform_point(&spec.universe, rng)).collect(),
+        Distribution::DenseCluster { clusters } => {
+            clustered_centers(spec, clusters, dense_cluster_sigma(&spec.universe), rng)
+        }
+        Distribution::UniformCluster { clusters } => {
+            clustered_centers(spec, clusters, wide_cluster_sigma(&spec.universe), rng)
+        }
+        Distribution::MassiveCluster {
+            clusters,
+            elements_per_cluster,
+        } => massive_cluster_centers(spec, clusters, elements_per_cluster, rng),
+    }
+}
+
+/// σ for DenseCluster clusters: 0.5 % of the universe extent — clusters are
+/// small and dense.
+fn dense_cluster_sigma(universe: &Aabb) -> f64 {
+    0.005 * mean_extent(universe)
+}
+
+/// σ for UniformCluster clusters: 20 % of the universe extent — elements of
+/// a cluster spread over a wide area, yielding a nearly uniform distribution
+/// (paper §VII-B).
+fn wide_cluster_sigma(universe: &Aabb) -> f64 {
+    0.20 * mean_extent(universe)
+}
+
+fn mean_extent(universe: &Aabb) -> f64 {
+    (universe.extent(0) + universe.extent(1) + universe.extent(2)) / 3.0
+}
+
+/// Cluster centers from N(µ = mid, σ = 0.22·extent) per dimension, elements
+/// normally distributed around their cluster center with the given σ.
+fn clustered_centers(spec: &DatasetSpec, clusters: usize, sigma: f64, rng: &mut StdRng) -> Vec<Point3> {
+    assert!(clusters > 0, "cluster count must be positive");
+    let cluster_centers: Vec<Point3> = (0..clusters)
+        .map(|_| normal_point_in(&spec.universe, rng))
+        .collect();
+    (0..spec.count)
+        .map(|i| {
+            let c = cluster_centers[i % clusters];
+            let p = Point3::new(
+                normal::sample(rng, c.x, sigma),
+                normal::sample(rng, c.y, sigma),
+                normal::sample(rng, c.z, sigma),
+            );
+            clamp_into(p, &spec.universe)
+        })
+        .collect()
+}
+
+/// MassiveCluster: `clusters` cube-shaped regions (10 % of the extent wide),
+/// each populated with `elements_per_cluster` uniformly distributed
+/// elements; any remaining element budget is spread uniformly over the
+/// universe as background noise.
+fn massive_cluster_centers(
+    spec: &DatasetSpec,
+    clusters: usize,
+    elements_per_cluster: usize,
+    rng: &mut StdRng,
+) -> Vec<Point3> {
+    assert!(clusters > 0, "cluster count must be positive");
+    let side = 0.10 * mean_extent(&spec.universe);
+    let regions: Vec<Aabb> = (0..clusters)
+        .map(|_| {
+            let c = normal_point_in(&spec.universe, rng);
+            let half = side / 2.0;
+            Aabb::new(
+                clamp_into(Point3::new(c.x - half, c.y - half, c.z - half), &spec.universe),
+                clamp_into(Point3::new(c.x + half, c.y + half, c.z + half), &spec.universe),
+            )
+        })
+        .collect();
+
+    let in_clusters = (clusters * elements_per_cluster).min(spec.count);
+    let mut out = Vec::with_capacity(spec.count);
+    for i in 0..in_clusters {
+        let region = &regions[i % clusters];
+        out.push(uniform_point(region, rng));
+    }
+    for _ in in_clusters..spec.count {
+        out.push(uniform_point(&spec.universe, rng));
+    }
+    out
+}
+
+/// A point from N(center of universe, σ = 0.22·extent) per dimension,
+/// clamped into the universe (paper: µ = 500, σ = 220 in a 1000³ space).
+fn normal_point_in(universe: &Aabb, rng: &mut StdRng) -> Point3 {
+    let c = universe.center();
+    let p = Point3::new(
+        normal::sample(rng, c.x, 0.22 * universe.extent(0)),
+        normal::sample(rng, c.y, 0.22 * universe.extent(1)),
+        normal::sample(rng, c.z, 0.22 * universe.extent(2)),
+    );
+    clamp_into(p, universe)
+}
+
+fn uniform_point(region: &Aabb, rng: &mut StdRng) -> Point3 {
+    Point3::new(
+        uniform_coord(region.min.x, region.max.x, rng),
+        uniform_coord(region.min.y, region.max.y, rng),
+        uniform_coord(region.min.z, region.max.z, rng),
+    )
+}
+
+fn uniform_coord(lo: f64, hi: f64, rng: &mut StdRng) -> f64 {
+    if hi > lo {
+        rng.random_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+fn clamp_into(p: Point3, universe: &Aabb) -> Point3 {
+    Point3::new(
+        p.x.clamp(universe.min.x, universe.max.x),
+        p.y.clamp(universe.min.y, universe.max.y),
+        p.z.clamp(universe.min.z, universe.max.z),
+    )
+}
+
+/// Builds a box centered at `c` with each side drawn uniformly from
+/// `(0, max_side]`, clipped to the universe.
+fn box_at(c: Point3, spec: &DatasetSpec, rng: &mut StdRng) -> Aabb {
+    let hx = rng.random_range(0.0..spec.max_side) / 2.0;
+    let hy = rng.random_range(0.0..spec.max_side) / 2.0;
+    let hz = rng.random_range(0.0..spec.max_side) / 2.0;
+    let min = clamp_into(Point3::new(c.x - hx, c.y - hy, c.z - hz), &spec.universe);
+    let max = clamp_into(Point3::new(c.x + hx, c.y + hy, c.z + hz), &spec.universe);
+    Aabb::new(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(count: usize, distribution: Distribution) -> DatasetSpec {
+        DatasetSpec {
+            count,
+            distribution,
+            seed: 42,
+            ..DatasetSpec::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_count_with_dense_ids() {
+        for dist in [
+            Distribution::Uniform,
+            Distribution::DenseCluster { clusters: 7 },
+            Distribution::UniformCluster { clusters: 3 },
+            Distribution::MassiveCluster { clusters: 2, elements_per_cluster: 100 },
+        ] {
+            let data = generate(&spec(500, dist));
+            assert_eq!(data.len(), 500);
+            for (i, e) in data.iter().enumerate() {
+                assert_eq!(e.id, i as u64);
+                assert!(e.mbb.is_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn elements_stay_in_universe() {
+        let s = spec(2000, Distribution::DenseCluster { clusters: 20 });
+        for e in generate(&s) {
+            assert!(s.universe.contains(&e.mbb), "{:?} escapes universe", e.mbb);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = spec(300, Distribution::Uniform);
+        assert_eq!(generate(&s), generate(&s));
+        let mut s2 = s.clone();
+        s2.seed = 43;
+        assert_ne!(generate(&s), generate(&s2));
+    }
+
+    #[test]
+    fn box_sides_bounded_by_max_side() {
+        let mut s = spec(1000, Distribution::Uniform);
+        s.max_side = 2.5;
+        for e in generate(&s) {
+            for d in 0..3 {
+                assert!(e.mbb.extent(d) <= 2.5 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_clusters_are_denser_than_uniform() {
+        // Mean nearest-cluster-center spread: dense clusters concentrate mass
+        // in tiny balls, so the average pairwise center distance is far below
+        // the uniform baseline.
+        let n = 1500;
+        let dense = generate(&spec(n, Distribution::DenseCluster { clusters: 5 }));
+        let unif = generate(&spec(n, Distribution::Uniform));
+        let spread = |data: &[SpatialElement]| {
+            let mut total = 0.0;
+            for w in data.windows(2) {
+                total += w[0].mbb.center().distance(&w[1].mbb.center());
+            }
+            total / (data.len() - 1) as f64
+        };
+        // Consecutive elements cycle through clusters, so compare sorted-by-
+        // cluster chunks instead: group by index mod clusters.
+        let mut per_cluster_spread = 0.0;
+        for k in 0..5 {
+            let members: Vec<_> = dense.iter().skip(k).step_by(5).copied().collect();
+            per_cluster_spread += spread(&members);
+        }
+        per_cluster_spread /= 5.0;
+        assert!(
+            per_cluster_spread < spread(&unif) / 10.0,
+            "dense {per_cluster_spread} vs uniform {}",
+            spread(&unif)
+        );
+    }
+
+    #[test]
+    fn massive_cluster_fills_clusters_first() {
+        let data = generate(&spec(250, Distribution::MassiveCluster { clusters: 5, elements_per_cluster: 50 }));
+        assert_eq!(data.len(), 250);
+        // With exactly clusters*epc == count there is no background noise;
+        // each 10%-wide region should hold its elements tightly. Verify by
+        // checking that per-cluster bounding boxes are much smaller than the
+        // universe.
+        for k in 0..5 {
+            let members = data.iter().skip(k).step_by(5).map(|e| e.mbb);
+            let bb = Aabb::union_all(members);
+            assert!(bb.extent(0) <= 0.11 * 1000.0 + 1.0);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Neuroscience-surrogate datasets.
+//!
+//! The paper's real workload is a rat-brain model of 450 M cylinders from
+//! the Human Brain Project (§II-B, §VII-B): axons and dendrites are joined
+//! to place synapses wherever they intersect. That model is not publicly
+//! available, so this module generates a *surrogate* with the properties
+//! the paper describes and Fig. 3 shows:
+//!
+//! * elements are elongated, thin, cylinder-like MBBs (a few µm long,
+//!   fractions of a µm wide) — we approximate cylinders by their MBBs
+//!   exactly as the paper does;
+//! * axons (60 % of the combined dataset) are predominantly located at the
+//!   *top* of the volume — their z-coordinates are skewed upward;
+//! * dendrites (40 %) occupy the same overall extent but concentrate in the
+//!   middle/bottom, so the join must handle areas of contrasting *and*
+//!   similar density at once — the situation TRANSFORMERS targets.
+
+use crate::{normal, DEFAULT_UNIVERSE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tfm_geom::{Aabb, Point3, SpatialElement};
+
+/// Fraction of the combined dataset that is axons (paper §II-B: 60 %).
+pub const AXON_FRACTION: f64 = 0.6;
+
+/// Generates `count` axon cylinder MBBs.
+///
+/// Axon segment centers are skewed towards the top of the volume
+/// (z ~ N(0.78·extent, 0.12·extent), clamped).
+pub fn axons(count: usize, seed: u64) -> Vec<SpatialElement> {
+    cylinders(count, seed, 0.78, 0.12)
+}
+
+/// Generates `count` dendrite cylinder MBBs.
+///
+/// Dendrite centers concentrate lower (z ~ N(0.42·extent, 0.22·extent)),
+/// overlapping the axon band around the upper-middle of the volume.
+pub fn dendrites(count: usize, seed: u64) -> Vec<SpatialElement> {
+    cylinders(count, seed, 0.42, 0.22)
+}
+
+/// Generates a `(axons, dendrites)` pair splitting `total` 60/40 as in the
+/// paper's combined dataset.
+pub fn axon_dendrite_pair(total: usize, seed: u64) -> (Vec<SpatialElement>, Vec<SpatialElement>) {
+    let n_axons = (total as f64 * AXON_FRACTION).round() as usize;
+    (axons(n_axons, seed), dendrites(total - n_axons, seed ^ 0x9e3779b97f4a7c15))
+}
+
+fn cylinders(count: usize, seed: u64, z_mean_frac: f64, z_sigma_frac: f64) -> Vec<SpatialElement> {
+    let universe = DEFAULT_UNIVERSE;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zext = universe.extent(2);
+    (0..count)
+        .map(|id| {
+            // Branch structure: segment chains share lateral locality by
+            // sampling a branch anchor every 16 segments.
+            let cx = rng.random_range(universe.min.x..universe.max.x);
+            let cy = rng.random_range(universe.min.y..universe.max.y);
+            let cz = normal::sample(&mut rng, universe.min.z + z_mean_frac * zext, z_sigma_frac * zext)
+                .clamp(universe.min.z, universe.max.z);
+
+            // Cylinder-like: one long axis (1..6 units), two thin axes
+            // (0.1..0.5 units). The long axis direction varies.
+            let long = rng.random_range(1.0..6.0f64);
+            let thin1 = rng.random_range(0.1..0.5f64);
+            let thin2 = rng.random_range(0.1..0.5f64);
+            let axis = rng.random_range(0..3usize);
+            let mut half = [thin1 / 2.0, thin2 / 2.0, rng.random_range(0.1..0.5f64) / 2.0];
+            half[axis] = long / 2.0;
+
+            let min = Point3::new(
+                (cx - half[0]).max(universe.min.x),
+                (cy - half[1]).max(universe.min.y),
+                (cz - half[2]).max(universe.min.z),
+            );
+            let max = Point3::new(
+                (cx + half[0]).min(universe.max.x),
+                (cy + half[1]).min(universe.max.y),
+                (cz + half[2]).min(universe.max.z),
+            );
+            SpatialElement::new(id as u64, Aabb::new(min, max))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_split_is_60_40() {
+        let (a, d) = axon_dendrite_pair(1000, 1);
+        assert_eq!(a.len(), 600);
+        assert_eq!(d.len(), 400);
+    }
+
+    #[test]
+    fn axons_sit_higher_than_dendrites() {
+        let (a, d) = axon_dendrite_pair(4000, 2);
+        let mean_z = |v: &[SpatialElement]| {
+            v.iter().map(|e| e.mbb.center().z).sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            mean_z(&a) > mean_z(&d) + 100.0,
+            "axons z {} vs dendrites z {}",
+            mean_z(&a),
+            mean_z(&d)
+        );
+    }
+
+    #[test]
+    fn cylinders_are_elongated() {
+        for e in axons(500, 3) {
+            let mut exts = [e.mbb.extent(0), e.mbb.extent(1), e.mbb.extent(2)];
+            exts.sort_by(f64::total_cmp);
+            // Longest axis noticeably longer than the shortest, unless the
+            // box was clipped at the universe boundary.
+            if e.mbb.min.z > 0.0 && e.mbb.max.z < 1000.0 {
+                assert!(exts[2] >= exts[0], "{exts:?}");
+                assert!(exts[2] <= 6.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn all_inside_universe_and_valid() {
+        let (a, d) = axon_dendrite_pair(2000, 4);
+        for e in a.iter().chain(d.iter()) {
+            assert!(e.mbb.is_valid());
+            assert!(DEFAULT_UNIVERSE.contains(&e.mbb));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(axons(100, 5), axons(100, 5));
+        assert_ne!(axons(100, 5), axons(100, 6));
+    }
+}

@@ -1,0 +1,52 @@
+//! Minimal normal-distribution sampling (Box–Muller).
+//!
+//! Kept local so the workspace only depends on the sanctioned `rand` crate
+//! (no `rand_distr`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws one sample from N(mean, sigma²) using the Box–Muller transform.
+///
+/// The second Box–Muller variate is intentionally discarded: determinism
+/// and simplicity matter more here than squeezing the RNG.
+pub fn sample(rng: &mut StdRng, mean: f64, sigma: f64) -> f64 {
+    // u1 in (0, 1] so that ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + sigma * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_and_spread_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample(&mut rng, 500.0, 220.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 500.0).abs() < 5.0, "mean {mean}");
+        assert!((var.sqrt() - 220.0).abs() < 5.0, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_is_constant() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(sample(&mut rng, 3.25, 0.0), 3.25);
+        }
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..10_000 {
+            assert!(sample(&mut rng, 0.0, 1.0).is_finite());
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Dataset specifications.
+
+use serde::{Deserialize, Serialize};
+use tfm_geom::{Aabb, Point3};
+
+/// The `[0, 1000]³` universe of the paper's synthetic datasets (§VII-B).
+pub const DEFAULT_UNIVERSE: Aabb = Aabb {
+    min: Point3::new(0.0, 0.0, 0.0),
+    max: Point3::new(1000.0, 1000.0, 1000.0),
+};
+
+/// The spatial distribution of a synthetic dataset (paper §VII-B, Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Uniformly distributed elements.
+    Uniform,
+    /// Many small, densely populated clusters (paper default: ≈700).
+    DenseCluster {
+        /// Number of clusters.
+        clusters: usize,
+    },
+    /// Few clusters whose elements spread so widely the overall distribution
+    /// is nearly uniform (paper default: 100).
+    UniformCluster {
+        /// Number of clusters.
+        clusters: usize,
+    },
+    /// A handful of box-shaped regions, each packed with a fixed number of
+    /// uniform elements (paper default: 5 × 100 K).
+    MassiveCluster {
+        /// Number of cluster regions.
+        clusters: usize,
+        /// Elements placed in each region; any remaining budget becomes
+        /// uniform background noise.
+        elements_per_cluster: usize,
+    },
+}
+
+impl Distribution {
+    /// The paper's DenseCluster configuration (≈700 clusters).
+    pub fn dense_cluster_default() -> Self {
+        Distribution::DenseCluster { clusters: 700 }
+    }
+
+    /// The paper's UniformCluster configuration (100 wide clusters).
+    pub fn uniform_cluster_default() -> Self {
+        Distribution::UniformCluster { clusters: 100 }
+    }
+
+    /// The paper's MassiveCluster configuration scaled by `count`: 5
+    /// clusters sharing the element budget equally.
+    pub fn massive_cluster_for(count: usize) -> Self {
+        Distribution::MassiveCluster {
+            clusters: 5,
+            elements_per_cluster: count / 5,
+        }
+    }
+}
+
+/// Full description of a synthetic dataset; generation is a pure function
+/// of this value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Number of elements to generate.
+    pub count: usize,
+    /// Spatial distribution of element centers.
+    pub distribution: Distribution,
+    /// The universe elements are confined to.
+    pub universe: Aabb,
+    /// Box side lengths are drawn uniformly from `(0, max_side]`.
+    pub max_side: f64,
+    /// RNG seed; same spec ⇒ same dataset.
+    pub seed: u64,
+}
+
+impl Default for DatasetSpec {
+    fn default() -> Self {
+        Self {
+            count: 10_000,
+            distribution: Distribution::Uniform,
+            universe: DEFAULT_UNIVERSE,
+            max_side: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+impl DatasetSpec {
+    /// Uniform dataset of `count` elements with the given seed.
+    pub fn uniform(count: usize, seed: u64) -> Self {
+        Self {
+            count,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Dataset of `count` elements with a given distribution and seed.
+    pub fn with_distribution(count: usize, distribution: Distribution, seed: u64) -> Self {
+        Self {
+            count,
+            distribution,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_universe_is_paper_cube() {
+        assert_eq!(DEFAULT_UNIVERSE.extent(0), 1000.0);
+        assert_eq!(DEFAULT_UNIVERSE.extent(1), 1000.0);
+        assert_eq!(DEFAULT_UNIVERSE.extent(2), 1000.0);
+    }
+
+    #[test]
+    fn massive_cluster_splits_budget() {
+        let d = Distribution::massive_cluster_for(1000);
+        assert_eq!(
+            d,
+            Distribution::MassiveCluster { clusters: 5, elements_per_cluster: 200 }
+        );
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let s = DatasetSpec::uniform(55, 9);
+        assert_eq!(s.count, 55);
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.distribution, Distribution::Uniform);
+    }
+}

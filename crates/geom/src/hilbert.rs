@@ -1,0 +1,213 @@
+//! 3-D Hilbert space-filling curve.
+//!
+//! TRANSFORMERS indexes the Hilbert value of the center point of every space
+//! node with a B+-Tree and uses it to find a walk start descriptor close to
+//! the pivot (paper §V, "Adaptive Walk"). The Hilbert curve is preferred over
+//! simpler curves (e.g. Z-order) because consecutive curve positions are
+//! always spatially adjacent, making the located start descriptor a good
+//! entry point for the connectivity-graph walk.
+//!
+//! The implementation follows Skilling's transpose algorithm
+//! (*J. Skilling, "Programming the Hilbert curve", AIP Conf. Proc. 707,
+//! 2004*): axes are converted to a "transposed" Hilbert representation in
+//! place, then bit-interleaved into a single integer.
+
+use crate::{Aabb, Point3};
+
+/// Bits of resolution per dimension. `3 * BITS = 63` bits fit in a `u64`.
+pub const BITS: u32 = 21;
+
+/// Largest representable grid coordinate per dimension.
+pub const MAX_COORD: u32 = (1 << BITS) - 1;
+
+/// Converts grid coordinates (each `< 2^BITS`) to a Hilbert index.
+///
+/// The mapping is a bijection between `[0, 2^BITS)^3` and
+/// `[0, 2^(3·BITS))`: see the property tests.
+pub fn index_from_coords(coords: [u32; 3]) -> u64 {
+    debug_assert!(coords.iter().all(|&c| c <= MAX_COORD));
+    let mut x = coords;
+    axes_to_transpose(&mut x, BITS);
+    interleave(&x, BITS)
+}
+
+/// Inverse of [`index_from_coords`].
+pub fn coords_from_index(index: u64) -> [u32; 3] {
+    let mut x = deinterleave(index, BITS);
+    transpose_to_axes(&mut x, BITS);
+    x
+}
+
+/// Maps a point in `universe` to its Hilbert index on the `2^BITS` grid.
+///
+/// Points outside the universe are clamped onto its boundary; a degenerate
+/// universe dimension maps to grid coordinate 0.
+pub fn index_of_point(p: &Point3, universe: &Aabb) -> u64 {
+    let mut coords = [0u32; 3];
+    for (dim, coord) in coords.iter_mut().enumerate() {
+        let lo = universe.min.coord(dim);
+        let hi = universe.max.coord(dim);
+        let extent = hi - lo;
+        let t = if extent > 0.0 {
+            ((p.coord(dim) - lo) / extent).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        *coord = (t * MAX_COORD as f64).round() as u32;
+    }
+    index_from_coords(coords)
+}
+
+/// Skilling: axes -> transposed Hilbert representation (in place).
+fn axes_to_transpose(x: &mut [u32; 3], bits: u32) {
+    let n = 3;
+    let m = 1u32 << (bits - 1);
+
+    // Inverse undo excess work.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert low bits of x[0]
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+
+    // Gray encode.
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0;
+    q = m;
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for v in x.iter_mut() {
+        *v ^= t;
+    }
+}
+
+/// Skilling: transposed Hilbert representation -> axes (in place).
+fn transpose_to_axes(x: &mut [u32; 3], bits: u32) {
+    let n = 3;
+    let m = 1u32 << (bits - 1);
+
+    // Gray decode by H ^ (H/2).
+    let mut t = x[n - 1] >> 1;
+    for i in (1..n).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+
+    // Undo excess work.
+    let mut q = 2;
+    while q != (m << 1) {
+        let p = q - 1;
+        for i in (0..n).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Interleaves the transposed representation MSB-first into one integer.
+fn interleave(x: &[u32; 3], bits: u32) -> u64 {
+    let mut out = 0u64;
+    for bit in (0..bits).rev() {
+        for v in x.iter() {
+            out = (out << 1) | ((*v >> bit) & 1) as u64;
+        }
+    }
+    out
+}
+
+/// Inverse of [`interleave`].
+fn deinterleave(index: u64, bits: u32) -> [u32; 3] {
+    let mut x = [0u32; 3];
+    for bit in (0..bits).rev() {
+        for (i, v) in x.iter_mut().enumerate() {
+            let shift = bit * 3 + (2 - i as u32);
+            *v = (*v << 1) | ((index >> shift) & 1) as u32;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_maps_to_zero() {
+        assert_eq!(index_from_coords([0, 0, 0]), 0);
+        assert_eq!(coords_from_index(0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn roundtrip_small_exhaustive() {
+        // Exhaustive bijectivity check on the 16^3 grid using a scaled curve:
+        // map through the full-resolution curve and back.
+        for xc in 0..8u32 {
+            for yc in 0..8u32 {
+                for zc in 0..8u32 {
+                    let idx = index_from_coords([xc, yc, zc]);
+                    assert_eq!(coords_from_index(idx), [xc, yc, zc]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_indices_are_adjacent_cells() {
+        // The defining Hilbert property: consecutive curve positions differ
+        // by exactly 1 in exactly one coordinate. Verify over a prefix.
+        let mut prev = coords_from_index(0);
+        for i in 1..4096u64 {
+            let cur = coords_from_index(i);
+            let diff: u32 = (0..3)
+                .map(|d| (cur[d] as i64 - prev[d] as i64).unsigned_abs() as u32)
+                .sum();
+            assert_eq!(diff, 1, "indices {} -> {} not adjacent: {prev:?} -> {cur:?}", i - 1, i);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn point_mapping_clamps() {
+        let u = Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(10.0, 10.0, 10.0));
+        let inside = index_of_point(&Point3::new(5.0, 5.0, 5.0), &u);
+        let outside = index_of_point(&Point3::new(-100.0, 5.0, 5.0), &u);
+        let clamped = index_of_point(&Point3::new(0.0, 5.0, 5.0), &u);
+        assert_eq!(outside, clamped);
+        assert_ne!(inside, outside);
+    }
+
+    #[test]
+    fn degenerate_universe_dimension() {
+        let u = Aabb::new(Point3::new(0.0, 0.0, 5.0), Point3::new(10.0, 10.0, 5.0));
+        // Must not panic or divide by zero.
+        let _ = index_of_point(&Point3::new(5.0, 5.0, 5.0), &u);
+    }
+
+    #[test]
+    fn corner_coordinates_in_range() {
+        let idx = index_from_coords([MAX_COORD, MAX_COORD, MAX_COORD]);
+        assert!(idx < 1u64 << (3 * BITS));
+        assert_eq!(coords_from_index(idx), [MAX_COORD, MAX_COORD, MAX_COORD]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Uniform-grid hash join (Tauheed et al., BICOD '15).
+
+use crate::{JoinStats, ResultPair};
+use tfm_geom::{Aabb, Point3, SpatialElement};
+
+/// Configuration of the uniform grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridConfig {
+    /// Fixed number of cells per dimension; `None` derives it from the
+    /// build-side cardinality via `target_per_cell`.
+    pub cells_per_dim: Option<usize>,
+    /// Desired average number of build-side elements per cell when sizing
+    /// the grid automatically.
+    pub target_per_cell: f64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        Self {
+            cells_per_dim: None,
+            target_per_cell: 4.0,
+        }
+    }
+}
+
+impl GridConfig {
+    /// A grid with exactly `n` cells per dimension.
+    pub fn fixed(n: usize) -> Self {
+        Self {
+            cells_per_dim: Some(n),
+            target_per_cell: 4.0,
+        }
+    }
+
+    fn resolve(&self, build_count: usize) -> usize {
+        if let Some(n) = self.cells_per_dim {
+            return n.max(1);
+        }
+        let cells = (build_count as f64 / self.target_per_cell).max(1.0);
+        (cells.cbrt().ceil() as usize).clamp(1, 256)
+    }
+}
+
+/// A uniform grid over `extent` with elements hashed into overlapped cells.
+struct Grid {
+    extent: Aabb,
+    n: usize,
+    cell_size: Point3,
+    /// Per cell: indices into the build-side slice.
+    cells: Vec<Vec<u32>>,
+}
+
+impl Grid {
+    fn build(extent: Aabb, n: usize, elements: &[SpatialElement]) -> Self {
+        let cell_size = Point3::new(
+            extent.extent(0) / n as f64,
+            extent.extent(1) / n as f64,
+            extent.extent(2) / n as f64,
+        );
+        let mut grid = Self {
+            extent,
+            n,
+            cell_size,
+            cells: vec![Vec::new(); n * n * n],
+        };
+        for (i, e) in elements.iter().enumerate() {
+            let (lo, hi) = grid.cell_range(&e.mbb);
+            for cz in lo[2]..=hi[2] {
+                for cy in lo[1]..=hi[1] {
+                    for cx in lo[0]..=hi[0] {
+                        let idx = grid.cell_index(cx, cy, cz);
+                        grid.cells[idx].push(i as u32);
+                    }
+                }
+            }
+        }
+        grid
+    }
+
+    #[inline]
+    fn cell_index(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.n + y) * self.n + x
+    }
+
+    /// Inclusive cell coordinate range overlapped by a box.
+    fn cell_range(&self, mbb: &Aabb) -> ([usize; 3], [usize; 3]) {
+        let mut lo = [0usize; 3];
+        let mut hi = [0usize; 3];
+        for d in 0..3 {
+            let cs = self.cell_size.coord(d);
+            let (l, h) = if cs > 0.0 {
+                let l = ((mbb.min.coord(d) - self.extent.min.coord(d)) / cs).floor() as i64;
+                let h = ((mbb.max.coord(d) - self.extent.min.coord(d)) / cs).floor() as i64;
+                (l, h)
+            } else {
+                (0, 0)
+            };
+            lo[d] = l.clamp(0, self.n as i64 - 1) as usize;
+            hi[d] = h.clamp(0, self.n as i64 - 1) as usize;
+        }
+        (lo, hi)
+    }
+
+    /// Lower corner of a cell, for reference-point deduplication.
+    fn cell_min(&self, x: usize, y: usize, z: usize) -> Point3 {
+        Point3::new(
+            self.extent.min.x + x as f64 * self.cell_size.x,
+            self.extent.min.y + y as f64 * self.cell_size.y,
+            self.extent.min.z + z as f64 * self.cell_size.z,
+        )
+    }
+
+    fn cell_box(&self, x: usize, y: usize, z: usize) -> Aabb {
+        let min = self.cell_min(x, y, z);
+        let max = Point3::new(
+            if x + 1 == self.n { self.extent.max.x } else { min.x + self.cell_size.x },
+            if y + 1 == self.n { self.extent.max.y } else { min.y + self.cell_size.y },
+            if z + 1 == self.n { self.extent.max.z } else { min.z + self.cell_size.z },
+        );
+        Aabb::new(min, max)
+    }
+}
+
+/// Joins `left` and `right` with a uniform-grid hash join.
+///
+/// The grid covers the union of both extents; `left` is hashed into every
+/// cell it overlaps, then each `right` element probes its overlapped cells.
+/// Duplicate candidate pairs (elements sharing several cells) are suppressed
+/// with the *reference-point* method: a pair is reported only in the cell
+/// containing the minimum corner of the two MBBs' intersection, so no
+/// result-set deduplication pass is needed — the same technique PBSM uses
+/// (paper §VIII-B, Dittrich & Seeger ICDE '00).
+pub fn grid_hash_join(
+    left: &[SpatialElement],
+    right: &[SpatialElement],
+    config: &GridConfig,
+    stats: &mut JoinStats,
+) -> Vec<ResultPair> {
+    if left.is_empty() || right.is_empty() {
+        return Vec::new();
+    }
+    let extent = Aabb::union_all(left.iter().chain(right.iter()).map(|e| e.mbb));
+    let n = config.resolve(left.len());
+    let grid = Grid::build(extent, n, left);
+
+    let mut out = Vec::new();
+    for b in right {
+        let (lo, hi) = grid.cell_range(&b.mbb);
+        for cz in lo[2]..=hi[2] {
+            for cy in lo[1]..=hi[1] {
+                for cx in lo[0]..=hi[0] {
+                    let cell_box = grid.cell_box(cx, cy, cz);
+                    for &ai in &grid.cells[grid.cell_index(cx, cy, cz)] {
+                        let a = &left[ai as usize];
+                        stats.element_tests += 1;
+                        if let Some(overlap) = a.mbb.intersection(&b.mbb) {
+                            // Reference point: report in the unique cell
+                            // holding the intersection's min corner.
+                            if cell_box.contains_point(&overlap.min)
+                                && is_reference_cell(&grid, &overlap.min, cx, cy, cz)
+                            {
+                                out.push((a.id, b.id));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    stats.results += out.len() as u64;
+    out
+}
+
+/// The reference point may lie exactly on a shared cell boundary, in which
+/// case `cell_box.contains_point` is true for several cells; tie-break by
+/// requiring this cell to be the floor-indexed owner of the point.
+#[inline]
+fn is_reference_cell(grid: &Grid, p: &Point3, cx: usize, cy: usize, cz: usize) -> bool {
+    let (lo, _) = grid.cell_range(&Aabb::from_point(*p));
+    lo == [cx, cy, cz]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{canonicalize, nested_loop_join};
+    use tfm_geom::Point3;
+
+    fn elem(id: u64, min: (f64, f64, f64), max: (f64, f64, f64)) -> SpatialElement {
+        SpatialElement::new(
+            id,
+            Aabb::new(Point3::new(min.0, min.1, min.2), Point3::new(max.0, max.1, max.2)),
+        )
+    }
+
+    #[test]
+    fn matches_nested_loop_on_small_input() {
+        let a = vec![
+            elem(0, (0.0, 0.0, 0.0), (2.0, 2.0, 2.0)),
+            elem(1, (5.0, 5.0, 5.0), (7.0, 7.0, 7.0)),
+            elem(2, (1.0, 1.0, 1.0), (6.0, 6.0, 6.0)),
+        ];
+        let b = vec![
+            elem(0, (1.5, 1.5, 1.5), (5.5, 5.5, 5.5)),
+            elem(1, (8.0, 8.0, 8.0), (9.0, 9.0, 9.0)),
+        ];
+        let mut s1 = JoinStats::default();
+        let mut s2 = JoinStats::default();
+        let expected = canonicalize(nested_loop_join(&a, &b, &mut s1));
+        let got = canonicalize(grid_hash_join(&a, &b, &GridConfig::fixed(4), &mut s2));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn no_duplicates_for_elements_spanning_many_cells() {
+        // One huge element overlapping every cell of a fine grid.
+        let a = vec![elem(0, (0.0, 0.0, 0.0), (100.0, 100.0, 100.0))];
+        let b = vec![elem(0, (10.0, 10.0, 10.0), (90.0, 90.0, 90.0))];
+        let mut s = JoinStats::default();
+        let pairs = grid_hash_join(&a, &b, &GridConfig::fixed(8), &mut s);
+        assert_eq!(pairs, vec![(0, 0)]);
+        // It was *tested* in many cells but reported once.
+        assert!(s.element_tests > 1);
+    }
+
+    #[test]
+    fn empty_inputs_return_empty() {
+        let a = vec![elem(0, (0.0, 0.0, 0.0), (1.0, 1.0, 1.0))];
+        let mut s = JoinStats::default();
+        assert!(grid_hash_join(&a, &[], &GridConfig::default(), &mut s).is_empty());
+        assert!(grid_hash_join(&[], &a, &GridConfig::default(), &mut s).is_empty());
+        assert_eq!(s.element_tests, 0);
+    }
+
+    #[test]
+    fn degenerate_extent_single_point() {
+        // All elements identical points: grid has zero extent.
+        let a = vec![elem(0, (5.0, 5.0, 5.0), (5.0, 5.0, 5.0))];
+        let b = vec![elem(0, (5.0, 5.0, 5.0), (5.0, 5.0, 5.0))];
+        let mut s = JoinStats::default();
+        let pairs = grid_hash_join(&a, &b, &GridConfig::default(), &mut s);
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn auto_sizing_clamps_reasonably() {
+        assert_eq!(GridConfig::default().resolve(0), 1);
+        assert_eq!(GridConfig::default().resolve(1), 1);
+        assert!(GridConfig::default().resolve(1_000_000) <= 256);
+        assert_eq!(GridConfig::fixed(10).resolve(5), 10);
+    }
+
+    #[test]
+    fn grid_uses_fewer_tests_than_nested_loop_on_spread_data() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..100 {
+            let f = i as f64 * 10.0;
+            a.push(elem(i, (f, f, f), (f + 1.0, f + 1.0, f + 1.0)));
+            b.push(elem(i, (f + 0.5, f + 0.5, f + 0.5), (f + 1.5, f + 1.5, f + 1.5)));
+        }
+        let mut sn = JoinStats::default();
+        let mut sg = JoinStats::default();
+        let expected = canonicalize(nested_loop_join(&a, &b, &mut sn));
+        let got = canonicalize(grid_hash_join(&a, &b, &GridConfig::fixed(10), &mut sg));
+        assert_eq!(got, expected);
+        assert!(sg.element_tests < sn.element_tests / 5);
+    }
+}

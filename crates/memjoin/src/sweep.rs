@@ -1,0 +1,135 @@
+//! Forward plane-sweep join.
+
+use crate::{JoinStats, ResultPair};
+use tfm_geom::SpatialElement;
+
+/// Joins two element sets with the classic forward plane sweep on the
+/// x-dimension (Brinkhoff et al. SIGMOD '93 use this inside the
+/// synchronized R-Tree join; our R-TREE baseline does the same, §VII-A).
+///
+/// Both inputs are sorted by `min.x`; the sweep advances the side with the
+/// smaller next `min.x` and scans the other side forward while the x
+/// intervals overlap, testing y/z overlap explicitly. Every reported pair
+/// is unique by construction (each pair is discovered exactly once, when
+/// the later-starting element is scanned).
+pub fn plane_sweep_join(
+    left: &[SpatialElement],
+    right: &[SpatialElement],
+    stats: &mut JoinStats,
+) -> Vec<ResultPair> {
+    let mut a: Vec<&SpatialElement> = left.iter().collect();
+    let mut b: Vec<&SpatialElement> = right.iter().collect();
+    a.sort_unstable_by(|p, q| p.mbb.min.x.total_cmp(&q.mbb.min.x));
+    b.sort_unstable_by(|p, q| p.mbb.min.x.total_cmp(&q.mbb.min.x));
+
+    let mut out = Vec::new();
+    let (mut ia, mut ib) = (0usize, 0usize);
+    while ia < a.len() && ib < b.len() {
+        if a[ia].mbb.min.x <= b[ib].mbb.min.x {
+            let cur = a[ia];
+            let mut j = ib;
+            while j < b.len() && b[j].mbb.min.x <= cur.mbb.max.x {
+                stats.element_tests += 1;
+                if overlaps_yz(cur, b[j]) {
+                    out.push((cur.id, b[j].id));
+                }
+                j += 1;
+            }
+            ia += 1;
+        } else {
+            let cur = b[ib];
+            let mut j = ia;
+            while j < a.len() && a[j].mbb.min.x <= cur.mbb.max.x {
+                stats.element_tests += 1;
+                if overlaps_yz(a[j], cur) {
+                    out.push((a[j].id, cur.id));
+                }
+                j += 1;
+            }
+            ib += 1;
+        }
+    }
+    stats.results += out.len() as u64;
+    out
+}
+
+/// y/z interval overlap; the sweep already established x overlap.
+#[inline]
+fn overlaps_yz(a: &SpatialElement, b: &SpatialElement) -> bool {
+    a.mbb.min.y <= b.mbb.max.y
+        && b.mbb.min.y <= a.mbb.max.y
+        && a.mbb.min.z <= b.mbb.max.z
+        && b.mbb.min.z <= a.mbb.max.z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{canonicalize, nested_loop_join};
+    use tfm_geom::{Aabb, Point3};
+
+    fn elem(id: u64, min: (f64, f64, f64), max: (f64, f64, f64)) -> SpatialElement {
+        SpatialElement::new(
+            id,
+            Aabb::new(Point3::new(min.0, min.1, min.2), Point3::new(max.0, max.1, max.2)),
+        )
+    }
+
+    #[test]
+    fn matches_nested_loop() {
+        let a = vec![
+            elem(0, (0.0, 0.0, 0.0), (2.0, 2.0, 2.0)),
+            elem(1, (1.0, 1.0, 1.0), (3.0, 3.0, 3.0)),
+            elem(2, (10.0, 0.0, 0.0), (11.0, 1.0, 1.0)),
+        ];
+        let b = vec![
+            elem(0, (1.5, 1.5, 1.5), (2.5, 2.5, 2.5)),
+            elem(1, (10.5, 0.5, 0.5), (12.0, 2.0, 2.0)),
+            elem(2, (-5.0, -5.0, -5.0), (-4.0, -4.0, -4.0)),
+        ];
+        let mut s1 = JoinStats::default();
+        let mut s2 = JoinStats::default();
+        assert_eq!(
+            canonicalize(plane_sweep_join(&a, &b, &mut s1)),
+            canonicalize(nested_loop_join(&a, &b, &mut s2))
+        );
+    }
+
+    #[test]
+    fn touching_x_intervals_count() {
+        let a = vec![elem(0, (0.0, 0.0, 0.0), (1.0, 1.0, 1.0))];
+        let b = vec![elem(0, (1.0, 0.0, 0.0), (2.0, 1.0, 1.0))];
+        let mut s = JoinStats::default();
+        assert_eq!(plane_sweep_join(&a, &b, &mut s), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn x_overlap_but_y_disjoint_is_rejected() {
+        let a = vec![elem(0, (0.0, 0.0, 0.0), (1.0, 1.0, 1.0))];
+        let b = vec![elem(0, (0.0, 5.0, 0.0), (1.0, 6.0, 1.0))];
+        let mut s = JoinStats::default();
+        assert!(plane_sweep_join(&a, &b, &mut s).is_empty());
+        assert_eq!(s.element_tests, 1);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let a = vec![elem(0, (0.0, 0.0, 0.0), (1.0, 1.0, 1.0))];
+        let mut s = JoinStats::default();
+        assert!(plane_sweep_join(&a, &[], &mut s).is_empty());
+        assert!(plane_sweep_join(&[], &a, &mut s).is_empty());
+    }
+
+    #[test]
+    fn identical_min_x_handled() {
+        // Several elements with exactly equal min.x on both sides.
+        let a: Vec<_> = (0..5).map(|i| elem(i, (0.0, i as f64, 0.0), (1.0, i as f64 + 0.5, 1.0))).collect();
+        let b: Vec<_> = (0..5).map(|i| elem(i, (0.0, i as f64, 0.0), (1.0, i as f64 + 0.5, 1.0))).collect();
+        let mut s1 = JoinStats::default();
+        let mut s2 = JoinStats::default();
+        assert_eq!(
+            canonicalize(plane_sweep_join(&a, &b, &mut s1)),
+            canonicalize(nested_loop_join(&a, &b, &mut s2))
+        );
+    }
+}

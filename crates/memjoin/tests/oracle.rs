@@ -1,0 +1,73 @@
+//! Property tests: every kernel must produce exactly the nested-loop result
+//! set on arbitrary inputs, including pathological ones.
+
+use proptest::prelude::*;
+use tfm_memjoin::{canonicalize, grid_hash_join, nested_loop_join, plane_sweep_join, GridConfig, JoinStats};
+use tfm_geom::{Aabb, Point3, SpatialElement};
+
+fn arb_elem(id: u64) -> impl Strategy<Value = SpatialElement> {
+    (
+        -50.0..50.0f64,
+        -50.0..50.0f64,
+        -50.0..50.0f64,
+        0.0..20.0f64,
+        0.0..20.0f64,
+        0.0..20.0f64,
+    )
+        .prop_map(move |(x, y, z, dx, dy, dz)| {
+            SpatialElement::new(
+                id,
+                Aabb::new(Point3::new(x, y, z), Point3::new(x + dx, y + dy, z + dz)),
+            )
+        })
+}
+
+fn arb_dataset(max: usize) -> impl Strategy<Value = Vec<SpatialElement>> {
+    prop::collection::vec(any::<()>(), 0..max).prop_flat_map(|v| {
+        let n = v.len();
+        (0..n as u64)
+            .map(arb_elem)
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn grid_hash_join_matches_oracle(a in arb_dataset(40), b in arb_dataset(40), n in 1usize..12) {
+        let mut s1 = JoinStats::default();
+        let mut s2 = JoinStats::default();
+        let expected = canonicalize(nested_loop_join(&a, &b, &mut s1));
+        let got = canonicalize(grid_hash_join(&a, &b, &GridConfig::fixed(n), &mut s2));
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn grid_hash_join_reports_no_duplicates(a in arb_dataset(30), b in arb_dataset(30), n in 1usize..10) {
+        let mut s = JoinStats::default();
+        let got = grid_hash_join(&a, &b, &GridConfig::fixed(n), &mut s);
+        let total = got.len();
+        prop_assert_eq!(canonicalize(got).len(), total, "duplicates reported");
+    }
+
+    #[test]
+    fn plane_sweep_matches_oracle(a in arb_dataset(40), b in arb_dataset(40)) {
+        let mut s1 = JoinStats::default();
+        let mut s2 = JoinStats::default();
+        let expected = canonicalize(nested_loop_join(&a, &b, &mut s1));
+        let got = canonicalize(plane_sweep_join(&a, &b, &mut s2));
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn join_is_symmetric(a in arb_dataset(25), b in arb_dataset(25)) {
+        let mut s = JoinStats::default();
+        let fwd = canonicalize(grid_hash_join(&a, &b, &GridConfig::default(), &mut s));
+        let rev: Vec<_> = grid_hash_join(&b, &a, &GridConfig::default(), &mut s)
+            .into_iter()
+            .map(|(x, y)| (y, x))
+            .collect();
+        prop_assert_eq!(fwd, canonicalize(rev));
+    }
+}

@@ -1,0 +1,203 @@
+//! Uniform space tiling.
+
+use tfm_geom::{Aabb, Point3};
+
+/// A uniform grid over an extent, with `n[d]` cells along dimension `d`.
+///
+/// This is the space-oriented partitioning PBSM uses (paper §VIII-B) and
+/// the tool TRANSFORMERS' connectivity self-join is built on (§IV).
+/// Cell ids are dense in `0..cell_count()`, x-major.
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    extent: Aabb,
+    n: [usize; 3],
+    cell_size: [f64; 3],
+}
+
+impl UniformGrid {
+    /// Creates a grid of `n[d]` cells per dimension over `extent`.
+    ///
+    /// # Panics
+    /// Panics if any dimension has zero cells.
+    pub fn new(extent: Aabb, n: [usize; 3]) -> Self {
+        assert!(n.iter().all(|&c| c > 0), "grid must have cells in every dimension");
+        let cell_size = [
+            extent.extent(0) / n[0] as f64,
+            extent.extent(1) / n[1] as f64,
+            extent.extent(2) / n[2] as f64,
+        ];
+        Self { extent, n, cell_size }
+    }
+
+    /// Creates a cubic grid with `n` cells per dimension.
+    pub fn cubic(extent: Aabb, n: usize) -> Self {
+        Self::new(extent, [n, n, n])
+    }
+
+    /// The extent tiled by this grid.
+    #[inline]
+    pub fn extent(&self) -> &Aabb {
+        &self.extent
+    }
+
+    /// Cells per dimension.
+    #[inline]
+    pub fn dims(&self) -> [usize; 3] {
+        self.n
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn cell_count(&self) -> usize {
+        self.n[0] * self.n[1] * self.n[2]
+    }
+
+    /// Dense id of the cell with coordinates `(x, y, z)`.
+    #[inline]
+    pub fn cell_id(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.n[0] && y < self.n[1] && z < self.n[2]);
+        (z * self.n[1] + y) * self.n[0] + x
+    }
+
+    /// Cell coordinates of a dense id.
+    #[inline]
+    pub fn cell_coords(&self, id: usize) -> [usize; 3] {
+        let x = id % self.n[0];
+        let y = (id / self.n[0]) % self.n[1];
+        let z = id / (self.n[0] * self.n[1]);
+        [x, y, z]
+    }
+
+    /// The spatial box of cell `id`; the last cell in each dimension is
+    /// extended to the extent boundary so cells tile it exactly.
+    pub fn cell_box(&self, id: usize) -> Aabb {
+        let [x, y, z] = self.cell_coords(id);
+        let min = Point3::new(
+            self.extent.min.x + x as f64 * self.cell_size[0],
+            self.extent.min.y + y as f64 * self.cell_size[1],
+            self.extent.min.z + z as f64 * self.cell_size[2],
+        );
+        let max = Point3::new(
+            if x + 1 == self.n[0] { self.extent.max.x } else { min.x + self.cell_size[0] },
+            if y + 1 == self.n[1] { self.extent.max.y } else { min.y + self.cell_size[1] },
+            if z + 1 == self.n[2] { self.extent.max.z } else { min.z + self.cell_size[2] },
+        );
+        Aabb::new(min, max)
+    }
+
+    /// Inclusive range of cell coordinates overlapped by `mbb` (clamped to
+    /// the grid).
+    pub fn cell_range(&self, mbb: &Aabb) -> ([usize; 3], [usize; 3]) {
+        let mut lo = [0usize; 3];
+        let mut hi = [0usize; 3];
+        for d in 0..3 {
+            let cs = self.cell_size[d];
+            let (l, h) = if cs > 0.0 {
+                (
+                    ((mbb.min.coord(d) - self.extent.min.coord(d)) / cs).floor() as i64,
+                    ((mbb.max.coord(d) - self.extent.min.coord(d)) / cs).floor() as i64,
+                )
+            } else {
+                (0, 0)
+            };
+            lo[d] = l.clamp(0, self.n[d] as i64 - 1) as usize;
+            hi[d] = h.clamp(0, self.n[d] as i64 - 1) as usize;
+        }
+        (lo, hi)
+    }
+
+    /// Iterates over the dense ids of all cells overlapped by `mbb`.
+    pub fn cells_overlapping<'a>(&'a self, mbb: &Aabb) -> impl Iterator<Item = usize> + 'a {
+        let (lo, hi) = self.cell_range(mbb);
+        (lo[2]..=hi[2]).flat_map(move |z| {
+            (lo[1]..=hi[1]).flat_map(move |y| (lo[0]..=hi[0]).map(move |x| self.cell_id(x, y, z)))
+        })
+    }
+
+    /// The cell containing point `p` (clamped onto the grid).
+    pub fn cell_of_point(&self, p: &Point3) -> usize {
+        let (lo, _) = self.cell_range(&Aabb::from_point(*p));
+        self.cell_id(lo[0], lo[1], lo[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_grid(n: usize) -> UniformGrid {
+        UniformGrid::cubic(
+            Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(10.0, 10.0, 10.0)),
+            n,
+        )
+    }
+
+    #[test]
+    fn ids_and_coords_roundtrip() {
+        let g = UniformGrid::new(
+            Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(6.0, 4.0, 2.0)),
+            [3, 2, 1],
+        );
+        assert_eq!(g.cell_count(), 6);
+        for id in 0..g.cell_count() {
+            let [x, y, z] = g.cell_coords(id);
+            assert_eq!(g.cell_id(x, y, z), id);
+        }
+    }
+
+    #[test]
+    fn cell_boxes_tile_extent() {
+        let g = unit_grid(4);
+        let total: f64 = (0..g.cell_count()).map(|id| g.cell_box(id).volume()).sum();
+        assert!((total - 1000.0).abs() < 1e-9);
+        let union = Aabb::union_all((0..g.cell_count()).map(|id| g.cell_box(id)));
+        assert_eq!(union, *g.extent());
+    }
+
+    #[test]
+    fn overlap_enumeration_matches_geometry() {
+        let g = unit_grid(5);
+        let probe = Aabb::new(Point3::new(1.5, 1.5, 1.5), Point3::new(4.5, 2.5, 2.0));
+        let cells: Vec<usize> = g.cells_overlapping(&probe).collect();
+        for id in 0..g.cell_count() {
+            let should = g.cell_box(id).intersects(&probe);
+            assert_eq!(cells.contains(&id), should, "cell {id}");
+        }
+    }
+
+    #[test]
+    fn out_of_extent_boxes_clamp() {
+        let g = unit_grid(2);
+        let probe = Aabb::new(Point3::new(-100.0, -100.0, -100.0), Point3::new(-50.0, -50.0, -50.0));
+        let cells: Vec<usize> = g.cells_overlapping(&probe).collect();
+        assert_eq!(cells, vec![0]); // clamped to the nearest cell
+    }
+
+    #[test]
+    fn point_location() {
+        let g = unit_grid(10);
+        assert_eq!(g.cell_of_point(&Point3::new(0.5, 0.5, 0.5)), g.cell_id(0, 0, 0));
+        assert_eq!(g.cell_of_point(&Point3::new(9.9, 9.9, 9.9)), g.cell_id(9, 9, 9));
+        // The extent max corner belongs to the last cell, not one past it.
+        assert_eq!(g.cell_of_point(&Point3::new(10.0, 10.0, 10.0)), g.cell_id(9, 9, 9));
+    }
+
+    #[test]
+    fn degenerate_extent_dimension() {
+        let g = UniformGrid::new(
+            Aabb::new(Point3::new(0.0, 0.0, 5.0), Point3::new(10.0, 10.0, 5.0)),
+            [2, 2, 1],
+        );
+        let probe = Aabb::new(Point3::new(0.0, 0.0, 5.0), Point3::new(10.0, 10.0, 5.0));
+        assert_eq!(g.cells_overlapping(&probe).count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells in every dimension")]
+    fn zero_cells_panics() {
+        UniformGrid::new(
+            Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 1.0)),
+            [0, 1, 1],
+        );
+    }
+}

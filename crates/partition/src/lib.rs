@@ -1,0 +1,25 @@
+//! Data- and space-oriented partitioning substrates.
+//!
+//! * [`str_partition`] — the Sort-Tile-Recursive bulk-loading partitioner
+//!   (Leutenegger et al., ICDE '97). TRANSFORMERS partitions both datasets
+//!   with it (paper §IV "Partitioning"), GIPSY partitions the dense side,
+//!   and the R-Tree baseline is STR-bulkloaded (§VII-A).
+//! * [`UniformGrid`] — the uniform space tiling used by PBSM and by
+//!   TRANSFORMERS' connectivity self-join (§IV "Connectivity").
+//!
+//! STR returns, for every partition, **two** bounding boxes exactly as the
+//! paper's space descriptors store them (§IV "Data Organization"):
+//!
+//! * the **page MBB** — tight box around the partition's elements;
+//! * the **partition MBB** — the slab region of the recursive sort-split,
+//!   extended to the dataset extent, so that partition MBBs *tile* space
+//!   with no gaps. Without it, "there may be gaps between two neighboring
+//!   page MBBs … and TRANSFORMERS cannot navigate between them".
+
+#![warn(missing_docs)]
+
+mod grid;
+mod str;
+
+pub use grid::UniformGrid;
+pub use str::{str_partition, StrPartition};

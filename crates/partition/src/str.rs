@@ -1,0 +1,260 @@
+//! Sort-Tile-Recursive partitioning.
+
+use tfm_geom::{Aabb, HasMbb};
+
+/// One STR partition: its items plus the two descriptor boxes.
+#[derive(Debug, Clone)]
+pub struct StrPartition<T> {
+    /// The items assigned to this partition (at most `capacity`).
+    pub items: Vec<T>,
+    /// Tight bounding box of the items ("page MBB", paper §IV).
+    pub page_mbb: Aabb,
+    /// The slab region of the sort-split; partition MBBs of all partitions
+    /// tile the dataset extent with no gaps ("partition MBB", paper §IV).
+    pub partition_mbb: Aabb,
+}
+
+/// Partitions `items` into groups of at most `capacity` with 3-D STR.
+///
+/// The items are sorted by x-center and cut into vertical slabs, each slab
+/// is sorted by y-center and cut into runs, and each run is sorted by
+/// z-center and chunked into final partitions. Consecutive partitions are
+/// spatially adjacent, so writing them to disk in order preserves spatial
+/// locality (paper §IV: "spatially close elements are stored on the same
+/// disk page").
+///
+/// Slab boundaries are the midpoints between neighbouring sort keys,
+/// extended to the dataset extent at the edges — this is what makes the
+/// partition MBBs a gap-free tiling (verified by property tests).
+///
+/// # Panics
+/// Panics if `capacity == 0`.
+pub fn str_partition<T: HasMbb>(items: Vec<T>, capacity: usize) -> Vec<StrPartition<T>> {
+    assert!(capacity > 0, "partition capacity must be positive");
+    if items.is_empty() {
+        return Vec::new();
+    }
+
+    let extent = Aabb::union_all(items.iter().map(|i| i.mbb()));
+    let n = items.len();
+    let p = n.div_ceil(capacity);
+
+    // Number of slabs per dimension: sx ≈ p^(1/3); within an x-slab the
+    // remaining p/sx partitions are split into sy ≈ sqrt(p/sx) y-runs.
+    let sx = (p as f64).cbrt().ceil() as usize;
+    let per_x_slab = n.div_ceil(sx);
+    let p_per_slab = p.div_ceil(sx);
+    let sy = (p_per_slab as f64).sqrt().ceil() as usize;
+
+    let mut out = Vec::with_capacity(p);
+
+    let x_slabs = split_sorted(items, 0, sx, per_x_slab);
+    for (x_lo, x_hi, slab) in with_bounds(x_slabs, extent.min.x, extent.max.x, 0) {
+        let per_y_run = slab.len().div_ceil(sy);
+        let y_runs = split_sorted(slab, 1, sy, per_y_run);
+        for (y_lo, y_hi, run) in with_bounds(y_runs, extent.min.y, extent.max.y, 1) {
+            let chunks = split_sorted(run, 2, usize::MAX, capacity);
+            for (z_lo, z_hi, chunk) in with_bounds(chunks, extent.min.z, extent.max.z, 2) {
+                debug_assert!(!chunk.is_empty());
+                let page_mbb = Aabb::union_all(chunk.iter().map(|i| i.mbb()));
+                let partition_mbb = Aabb::new(
+                    tfm_geom::Point3::new(x_lo, y_lo, z_lo),
+                    tfm_geom::Point3::new(x_hi, y_hi, z_hi),
+                );
+                out.push(StrPartition {
+                    items: chunk,
+                    page_mbb,
+                    partition_mbb,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Sorts `items` by center along `dim` and splits into runs of
+/// `per_run` items (at most `max_runs` runs; the last run absorbs any
+/// remainder if the cap is hit).
+fn split_sorted<T: HasMbb>(mut items: Vec<T>, dim: usize, max_runs: usize, per_run: usize) -> Vec<Vec<T>> {
+    items.sort_by(|a, b| a.center().coord(dim).total_cmp(&b.center().coord(dim)));
+    let mut runs: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter().peekable();
+    while it.peek().is_some() {
+        if runs.len() + 1 == max_runs {
+            runs.push(it.by_ref().collect());
+            break;
+        }
+        let run: Vec<T> = it.by_ref().take(per_run).collect();
+        runs.push(run);
+    }
+    runs
+}
+
+/// Computes tiling bounds for runs sorted along dimension `dim`: boundaries
+/// are midpoints between the last center of a run and the first center of
+/// the next, with the outermost bounds extended to the dataset extent.
+/// Midpoints are additionally clamped to be non-decreasing so that
+/// duplicate sort keys cannot produce inverted slabs.
+fn with_bounds<T: HasMbb>(runs: Vec<Vec<T>>, lo: f64, hi: f64, dim: usize) -> Vec<(f64, f64, Vec<T>)> {
+    let n = runs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        let only = runs.into_iter().next().expect("n == 1");
+        return vec![(lo, hi, only)];
+    }
+
+    let mut bounds = Vec::with_capacity(n + 1);
+    bounds.push(lo);
+    for w in runs.windows(2) {
+        let last = w[0].last().expect("runs are non-empty").center().coord(dim);
+        let first = w[1].first().expect("runs are non-empty").center().coord(dim);
+        let prev = *bounds.last().expect("non-empty bounds");
+        bounds.push(((last + first) * 0.5).clamp(prev, hi));
+    }
+    bounds.push(hi);
+
+    runs.into_iter()
+        .enumerate()
+        .map(|(i, run)| (bounds[i], bounds[i + 1].max(bounds[i]), run))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_geom::{Point3, SpatialElement};
+
+    fn pt_elem(id: u64, x: f64, y: f64, z: f64) -> SpatialElement {
+        SpatialElement::new(id, Aabb::from_point(Point3::new(x, y, z)))
+    }
+
+    fn grid_elems(n: usize) -> Vec<SpatialElement> {
+        let mut v = Vec::new();
+        let mut id = 0;
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    v.push(pt_elem(id, x as f64, y as f64, z as f64));
+                    id += 1;
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn empty_input_gives_no_partitions() {
+        let parts = str_partition(Vec::<SpatialElement>::new(), 10);
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn single_partition_when_under_capacity() {
+        let elems = grid_elems(2); // 8 elements
+        let parts = str_partition(elems.clone(), 100);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].items.len(), 8);
+        let extent = Aabb::union_all(elems.iter().map(|e| e.mbb));
+        assert_eq!(parts[0].partition_mbb, extent);
+        assert_eq!(parts[0].page_mbb, extent);
+    }
+
+    #[test]
+    fn every_item_lands_in_exactly_one_partition() {
+        let elems = grid_elems(6); // 216
+        let parts = str_partition(elems.clone(), 10);
+        let mut ids: Vec<u64> = parts.iter().flat_map(|p| p.items.iter().map(|e| e.id)).collect();
+        ids.sort_unstable();
+        let expected: Vec<u64> = (0..216).collect();
+        assert_eq!(ids, expected);
+        for p in &parts {
+            assert!(p.items.len() <= 10);
+            assert!(!p.items.is_empty());
+        }
+    }
+
+    #[test]
+    fn page_mbb_is_tight_and_inside_items_union() {
+        let elems = grid_elems(5);
+        for p in str_partition(elems, 12) {
+            let tight = Aabb::union_all(p.items.iter().map(|e| e.mbb));
+            assert_eq!(p.page_mbb, tight);
+        }
+    }
+
+    #[test]
+    fn partition_mbbs_cover_every_item_center() {
+        let elems = grid_elems(6);
+        for p in str_partition(elems, 9) {
+            for item in &p.items {
+                assert!(
+                    p.partition_mbb.contains_point(&item.center()),
+                    "{:?} outside {:?}",
+                    item.center(),
+                    p.partition_mbb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_mbbs_tile_without_gaps() {
+        // Total volume of partition MBBs equals the extent volume, and no
+        // two partition MBBs overlap with positive volume.
+        let elems = grid_elems(6);
+        let parts = str_partition(elems, 9);
+        let extent = Aabb::union_all(parts.iter().map(|p| p.partition_mbb));
+        let total: f64 = parts.iter().map(|p| p.partition_mbb.volume()).sum();
+        assert!(
+            (total - extent.volume()).abs() < 1e-6 * extent.volume(),
+            "tiling volume {total} vs extent {}",
+            extent.volume()
+        );
+        for (i, a) in parts.iter().enumerate() {
+            for b in parts.iter().skip(i + 1) {
+                let overlap = a
+                    .partition_mbb
+                    .intersection(&b.partition_mbb)
+                    .map(|x| x.volume())
+                    .unwrap_or(0.0);
+                assert!(overlap < 1e-9, "partitions overlap by {overlap}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_count_is_near_optimal() {
+        let elems = grid_elems(6); // 216 items
+        let parts = str_partition(elems, 10); // ⌈216/10⌉ = 22 minimum
+        assert!(parts.len() >= 22);
+        assert!(parts.len() <= 40, "too many partitions: {}", parts.len());
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_handled() {
+        // All elements at the same point: degenerate extent.
+        let elems: Vec<_> = (0..50).map(|i| pt_elem(i, 1.0, 1.0, 1.0)).collect();
+        let parts = str_partition(elems, 8);
+        let total: usize = parts.iter().map(|p| p.items.len()).sum();
+        assert_eq!(total, 50);
+        for p in &parts {
+            assert!(p.items.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn works_for_generic_mbb_items() {
+        // STR over plain Aabbs (as used when grouping space units into nodes).
+        let boxes: Vec<Aabb> = (0..30)
+            .map(|i| {
+                let f = i as f64;
+                Aabb::new(Point3::new(f, 0.0, 0.0), Point3::new(f + 0.5, 1.0, 1.0))
+            })
+            .collect();
+        let parts = str_partition(boxes, 4);
+        let total: usize = parts.iter().map(|p| p.items.len()).sum();
+        assert_eq!(total, 30);
+    }
+}

@@ -1,0 +1,167 @@
+//! A small LRU buffer pool.
+//!
+//! The paper's experiments run with cold *OS* caches (§VII-A) but every
+//! join implementation still owns an in-process buffer: the synchronized
+//! R-Tree revisits nodes, TRANSFORMERS' crawl can touch a follower page
+//! from several pivots, and PBSM streams partitions. To keep the comparison
+//! fair, every approach in this reproduction reads data pages through a
+//! [`BufferPool`] of the same default capacity; only pool *misses* reach
+//! the [`Disk`] and are charged I/O.
+
+use crate::{Disk, PageId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Default pool capacity in pages: 1024 × 8 KiB = 8 MiB.
+pub const DEFAULT_POOL_PAGES: usize = 1024;
+
+/// A least-recently-used page cache in front of a [`Disk`].
+pub struct BufferPool<'d> {
+    disk: &'d Disk,
+    capacity: usize,
+    /// page -> (lru stamp, data)
+    pages: HashMap<PageId, (u64, Vec<u8>)>,
+    /// stamp -> page (inverse index for O(log n) eviction)
+    lru: BTreeMap<u64, PageId>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'d> BufferPool<'d> {
+    /// Creates a pool of `capacity` pages over `disk`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(disk: &'d Disk, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one page");
+        Self {
+            disk,
+            capacity,
+            pages: HashMap::with_capacity(capacity),
+            lru: BTreeMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Creates a pool with the default capacity.
+    pub fn with_default_capacity(disk: &'d Disk) -> Self {
+        Self::new(disk, DEFAULT_POOL_PAGES)
+    }
+
+    /// The underlying disk.
+    pub fn disk(&self) -> &'d Disk {
+        self.disk
+    }
+
+    /// Reads a page, from cache if possible. Returns a reference valid
+    /// until the next call that can evict.
+    pub fn read(&mut self, id: PageId) -> &[u8] {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some((old, _)) = self.pages.get_mut(&id) {
+            self.hits += 1;
+            let old_stamp = *old;
+            *old = stamp;
+            self.lru.remove(&old_stamp);
+            self.lru.insert(stamp, id);
+        } else {
+            self.misses += 1;
+            if self.pages.len() >= self.capacity {
+                // Evict the least recently used page.
+                let (_, victim) = self.lru.pop_first().expect("pool non-empty at capacity");
+                self.pages.remove(&victim);
+            }
+            let data = self.disk.read_page_vec(id);
+            self.pages.insert(id, (stamp, data));
+            self.lru.insert(stamp, id);
+        }
+        &self.pages.get(&id).expect("just inserted").1
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (disk reads) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops all cached pages (does not reset hit/miss counters).
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.lru.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiskModel;
+
+    fn disk_with_pages(n: u64, page_size: usize) -> Disk {
+        let d = Disk::in_memory(page_size).with_model(DiskModel::free());
+        let first = d.allocate_contiguous(n);
+        for i in 0..n {
+            d.write_page(PageId(first.0 + i), &[i as u8]);
+        }
+        d.reset_stats();
+        d
+    }
+
+    #[test]
+    fn hit_avoids_disk() {
+        let d = disk_with_pages(4, 16);
+        let mut pool = BufferPool::new(&d, 2);
+        assert_eq!(pool.read(PageId(0))[0], 0);
+        assert_eq!(pool.read(PageId(0))[0], 0);
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(d.stats().reads(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let d = disk_with_pages(3, 16);
+        let mut pool = BufferPool::new(&d, 2);
+        pool.read(PageId(0));
+        pool.read(PageId(1));
+        pool.read(PageId(0)); // refresh 0; LRU is now 1
+        pool.read(PageId(2)); // evicts 1
+        assert_eq!(d.stats().reads(), 3);
+        pool.read(PageId(0)); // still cached
+        assert_eq!(d.stats().reads(), 3);
+        pool.read(PageId(1)); // was evicted -> miss
+        assert_eq!(d.stats().reads(), 4);
+    }
+
+    #[test]
+    fn clear_forces_reread() {
+        let d = disk_with_pages(1, 16);
+        let mut pool = BufferPool::new(&d, 4);
+        pool.read(PageId(0));
+        pool.clear();
+        pool.read(PageId(0));
+        assert_eq!(d.stats().reads(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_capacity_panics() {
+        let d = disk_with_pages(1, 16);
+        let _ = BufferPool::new(&d, 0);
+    }
+
+    #[test]
+    fn capacity_one_thrashes_correctly() {
+        let d = disk_with_pages(2, 16);
+        let mut pool = BufferPool::new(&d, 1);
+        assert_eq!(pool.read(PageId(0))[0], 0);
+        assert_eq!(pool.read(PageId(1))[0], 1);
+        assert_eq!(pool.read(PageId(0))[0], 0);
+        assert_eq!(d.stats().reads(), 3);
+    }
+}

@@ -1,0 +1,390 @@
+//! The simulated disk device.
+
+use crate::{DiskModel, IoStats, IoStatsSnapshot, PageId, DEFAULT_PAGE_SIZE};
+use parking_lot::RwLock;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which backend a [`Disk`] stores its pages in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskBackendKind {
+    /// Pages live in a growable memory buffer (default; deterministic).
+    Memory,
+    /// Pages live in a real file (sanity-check backend).
+    File,
+}
+
+enum Backend {
+    Memory(RwLock<Vec<u8>>),
+    File(File),
+}
+
+/// Jump from the head's expected position (`prev + 1`) to the accessed
+/// page: `(forward, gap)`. Gap 0 = sequential. A cold head (no previous
+/// access) is charged a full-span backward jump.
+fn jump_from(prev: u64, id: u64) -> (bool, u64) {
+    if prev == PageId::NONE {
+        return (false, u64::MAX);
+    }
+    let expected = prev.wrapping_add(1);
+    (id >= expected, expected.abs_diff(id))
+}
+
+/// A page-addressed storage device with I/O accounting.
+///
+/// All datasets and indexes of the reproduction live on `Disk`s. Every page
+/// read/write is counted, classified sequential vs random, and costed with
+/// the attached [`DiskModel`]; experiment harnesses read the resulting
+/// [`IoStatsSnapshot`] to report the "I/O" component of join time exactly
+/// like the paper's execution-time breakdowns (Fig. 11, 12, 14).
+///
+/// Reads take `&self` (statistics are internally synchronized), so index
+/// structures can share a disk immutably during the join phase.
+pub struct Disk {
+    page_size: usize,
+    backend: Backend,
+    model: DiskModel,
+    stats: IoStats,
+    next_page: AtomicU64,
+    last_read: AtomicU64,
+    last_write: AtomicU64,
+}
+
+impl Disk {
+    /// Creates an in-memory disk with the given page size.
+    pub fn in_memory(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        Self {
+            page_size,
+            backend: Backend::Memory(RwLock::new(Vec::new())),
+            model: DiskModel::default(),
+            stats: IoStats::default(),
+            next_page: AtomicU64::new(0),
+            last_read: AtomicU64::new(PageId::NONE),
+            last_write: AtomicU64::new(PageId::NONE),
+        }
+    }
+
+    /// Creates an in-memory disk with the default 8 KiB page size.
+    pub fn default_in_memory() -> Self {
+        Self::in_memory(DEFAULT_PAGE_SIZE)
+    }
+
+    /// Creates (or truncates) a file-backed disk at `path`.
+    pub fn file<P: AsRef<Path>>(path: P, page_size: usize) -> io::Result<Self> {
+        assert!(page_size > 0, "page size must be positive");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            page_size,
+            backend: Backend::File(file),
+            model: DiskModel::default(),
+            stats: IoStats::default(),
+            next_page: AtomicU64::new(0),
+            last_read: AtomicU64::new(PageId::NONE),
+            last_write: AtomicU64::new(PageId::NONE),
+        })
+    }
+
+    /// Replaces the cost model (builder style).
+    pub fn with_model(mut self, model: DiskModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The configured page size in bytes.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// The cost model in effect.
+    #[inline]
+    pub fn model(&self) -> DiskModel {
+        self.model
+    }
+
+    /// Which backend this disk uses.
+    pub fn backend_kind(&self) -> DiskBackendKind {
+        match self.backend {
+            Backend::Memory(_) => DiskBackendKind::Memory,
+            Backend::File(_) => DiskBackendKind::File,
+        }
+    }
+
+    /// Number of pages allocated so far.
+    pub fn allocated_pages(&self) -> u64 {
+        self.next_page.load(Ordering::Relaxed)
+    }
+
+    /// Allocates one fresh page and returns its id.
+    pub fn allocate(&self) -> PageId {
+        PageId(self.next_page.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Allocates `n` physically contiguous pages and returns the first id.
+    ///
+    /// Contiguity matters: sequentially reading a contiguously written
+    /// dataset is charged sequential-transfer cost only.
+    pub fn allocate_contiguous(&self, n: u64) -> PageId {
+        PageId(self.next_page.fetch_add(n, Ordering::Relaxed))
+    }
+
+    /// Writes `data` to page `id`. `data` must not exceed the page size;
+    /// shorter data is zero-padded to a full page.
+    ///
+    /// # Panics
+    /// Panics if `data.len() > page_size` or the page was never allocated.
+    pub fn write_page(&self, id: PageId, data: &[u8]) {
+        assert!(
+            data.len() <= self.page_size,
+            "write of {} bytes exceeds page size {}",
+            data.len(),
+            self.page_size
+        );
+        assert!(
+            id.0 < self.allocated_pages(),
+            "write to unallocated page {id}"
+        );
+        let prev = self.last_write.swap(id.0, Ordering::Relaxed);
+        let (forward, gap) = jump_from(prev, id.0);
+        self.stats
+            .record_write(gap == 0, self.model.cost_for_jump(forward, gap));
+
+        let offset = id.0 as usize * self.page_size;
+        match &self.backend {
+            Backend::Memory(buf) => {
+                let mut buf = buf.write();
+                if buf.len() < offset + self.page_size {
+                    buf.resize(offset + self.page_size, 0);
+                }
+                buf[offset..offset + data.len()].copy_from_slice(data);
+                // Zero the tail so re-writes of shorter data do not leak.
+                buf[offset + data.len()..offset + self.page_size].fill(0);
+            }
+            Backend::File(file) => {
+                let mut page = vec![0u8; self.page_size];
+                page[..data.len()].copy_from_slice(data);
+                file.write_all_at(&page, offset as u64)
+                    .expect("file-backed page write failed");
+            }
+        }
+    }
+
+    /// Reads page `id` into `buf` (which must be exactly one page long).
+    ///
+    /// # Panics
+    /// Panics if `buf.len() != page_size` or the page was never allocated.
+    pub fn read_page(&self, id: PageId, buf: &mut [u8]) {
+        assert_eq!(
+            buf.len(),
+            self.page_size,
+            "read buffer must be exactly one page"
+        );
+        assert!(
+            id.0 < self.allocated_pages(),
+            "read of unallocated page {id}"
+        );
+        let prev = self.last_read.swap(id.0, Ordering::Relaxed);
+        let (forward, gap) = jump_from(prev, id.0);
+        self.stats
+            .record_read(gap == 0, self.model.cost_for_jump(forward, gap));
+
+        let offset = id.0 as usize * self.page_size;
+        match &self.backend {
+            Backend::Memory(mem) => {
+                let mem = mem.read();
+                if mem.len() >= offset + self.page_size {
+                    buf.copy_from_slice(&mem[offset..offset + self.page_size]);
+                } else {
+                    // Allocated but never written: reads as zeros.
+                    buf.fill(0);
+                }
+            }
+            Backend::File(file) => {
+                buf.fill(0);
+                // The file may be shorter than the allocated extent if the
+                // page was never written; tolerate a short read.
+                let mut read = 0;
+                while read < buf.len() {
+                    match file.read_at(&mut buf[read..], (offset + read) as u64) {
+                        Ok(0) => break,
+                        Ok(n) => read += n,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => panic!("file-backed page read failed: {e}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience: reads page `id` into a fresh buffer.
+    pub fn read_page_vec(&self, id: PageId) -> Vec<u8> {
+        let mut buf = vec![0u8; self.page_size];
+        self.read_page(id, &mut buf);
+        buf
+    }
+
+    /// Point-in-time copy of the I/O counters.
+    pub fn stats(&self) -> IoStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Zeroes the I/O counters (e.g. between the index and join phases) and
+    /// forgets the head position, so the first access of the next phase is
+    /// charged as random — matching the paper's cold-cache methodology.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+        self.last_read.store(PageId::NONE, Ordering::Relaxed);
+        self.last_write.store(PageId::NONE, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Disk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Disk")
+            .field("page_size", &self.page_size)
+            .field("backend", &self.backend_kind())
+            .field("allocated_pages", &self.allocated_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_memory() {
+        let d = Disk::in_memory(64);
+        let p = d.allocate();
+        d.write_page(p, b"hello");
+        let buf = d.read_page_vec(p);
+        assert_eq!(&buf[..5], b"hello");
+        assert!(buf[5..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn sequential_vs_random_classification() {
+        let d = Disk::in_memory(32).with_model(DiskModel::free());
+        let p0 = d.allocate_contiguous(3);
+        for i in 0..3 {
+            d.write_page(PageId(p0.0 + i), &[i as u8]);
+        }
+        // First write is random (no previous head position), next two follow.
+        let s = d.stats();
+        assert_eq!(s.rand_writes, 1);
+        assert_eq!(s.seq_writes, 2);
+
+        let mut buf = vec![0u8; 32];
+        d.read_page(PageId(2), &mut buf);
+        d.read_page(PageId(0), &mut buf);
+        d.read_page(PageId(1), &mut buf);
+        d.read_page(PageId(2), &mut buf);
+        let s = d.stats();
+        // 2 is random, 0 is random (backwards), 1 and 2 are sequential.
+        assert_eq!(s.rand_reads, 2);
+        assert_eq!(s.seq_reads, 2);
+    }
+
+    #[test]
+    fn sim_time_integrates_model() {
+        let d = Disk::in_memory(32); // default SAS model
+        let p = d.allocate();
+        d.write_page(p, &[1]);
+        let mut buf = vec![0u8; 32];
+        d.read_page(p, &mut buf);
+        let s = d.stats();
+        let m = DiskModel::default();
+        // Cold head: both accesses are charged a full-stroke positioning.
+        assert_eq!(s.sim_write_time(), m.cost_for_gap(u64::MAX));
+        assert_eq!(s.sim_read_time(), m.cost_for_gap(u64::MAX));
+    }
+
+    #[test]
+    fn near_reads_cost_less_than_far_reads() {
+        let d = Disk::in_memory(32);
+        let _ = d.allocate_contiguous(200_000);
+        let mut buf = vec![0u8; 32];
+        d.read_page(PageId(0), &mut buf);
+        d.reset_stats();
+        d.read_page(PageId(0), &mut buf);
+        d.read_page(PageId(5), &mut buf); // near seek
+        let near = d.stats().sim_read_time();
+        d.reset_stats();
+        d.read_page(PageId(0), &mut buf);
+        d.read_page(PageId(199_999), &mut buf); // far seek
+        let far = d.stats().sim_read_time();
+        assert!(far > near, "far {far:?} vs near {near:?}");
+    }
+
+    #[test]
+    fn reset_stats_forgets_head() {
+        let d = Disk::in_memory(32).with_model(DiskModel::free());
+        let _ = d.allocate_contiguous(3);
+        d.write_page(PageId(0), &[0]);
+        d.write_page(PageId(1), &[1]);
+        d.reset_stats();
+        // Page 2 would be sequential after page 1, but the head position was
+        // forgotten by reset_stats, so it must be classified random.
+        d.write_page(PageId(2), &[2]);
+        let s = d.stats();
+        assert_eq!(s.rand_writes, 1);
+        assert_eq!(s.seq_writes, 0);
+    }
+
+    #[test]
+    fn unwritten_page_reads_zero() {
+        let d = Disk::in_memory(16);
+        let p = d.allocate();
+        let buf = d.read_page_vec(p);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn reading_unallocated_page_panics() {
+        let d = Disk::in_memory(16);
+        let mut buf = vec![0u8; 16];
+        d.read_page(PageId(0), &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn oversized_write_panics() {
+        let d = Disk::in_memory(4);
+        let p = d.allocate();
+        d.write_page(p, &[0; 5]);
+    }
+
+    #[test]
+    fn file_backend_roundtrip() {
+        let path = std::env::temp_dir().join(format!("tfm_disk_test_{}.bin", std::process::id()));
+        let d = Disk::file(&path, 128).unwrap();
+        let p0 = d.allocate_contiguous(4);
+        d.write_page(PageId(p0.0 + 2), b"page two");
+        d.write_page(PageId(p0.0), b"page zero");
+        assert_eq!(&d.read_page_vec(PageId(p0.0 + 2))[..8], b"page two");
+        assert_eq!(&d.read_page_vec(PageId(p0.0))[..9], b"page zero");
+        // allocated-but-unwritten page reads zeros
+        assert!(d.read_page_vec(PageId(p0.0 + 3)).iter().all(|&b| b == 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn allocate_contiguous_returns_first_of_run() {
+        let d = Disk::in_memory(16);
+        let a = d.allocate_contiguous(10);
+        let b = d.allocate();
+        assert_eq!(a, PageId(0));
+        assert_eq!(b, PageId(10));
+        assert_eq!(d.allocated_pages(), 11);
+    }
+}

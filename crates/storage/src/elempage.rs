@@ -1,0 +1,162 @@
+//! Fixed-layout codec for storing spatial elements on pages.
+//!
+//! A page starts with a `u16` element count followed by fixed 56-byte
+//! records (`id: u64 LE`, then the six `f64 LE` MBB coordinates). With the
+//! default 8 KiB page this yields a capacity of 146 elements per page —
+//! this is exactly the paper's *space unit* payload (§IV: "we pack as many
+//! elements into a space unit as can fit on a disk page").
+
+use bytes::{Buf, BufMut};
+use tfm_geom::{Aabb, Point3, SpatialElement};
+
+/// Bytes per element record: 8 (id) + 6 × 8 (two corners).
+pub const RECORD_SIZE: usize = 56;
+
+/// Bytes of page header: the `u16` element count.
+pub const HEADER_SIZE: usize = 2;
+
+/// Encoder/decoder for element pages of a fixed page size.
+#[derive(Debug, Clone, Copy)]
+pub struct ElementPageCodec {
+    page_size: usize,
+}
+
+impl ElementPageCodec {
+    /// Creates a codec for pages of `page_size` bytes.
+    ///
+    /// # Panics
+    /// Panics if the page cannot hold at least one record.
+    pub fn new(page_size: usize) -> Self {
+        assert!(
+            page_size >= HEADER_SIZE + RECORD_SIZE,
+            "page size {page_size} too small for one element record"
+        );
+        Self { page_size }
+    }
+
+    /// Maximum number of elements that fit on one page.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        (self.page_size - HEADER_SIZE) / RECORD_SIZE
+    }
+
+    /// Serializes up to [`capacity`](Self::capacity) elements into a page
+    /// image of exactly `page_size` bytes.
+    ///
+    /// # Panics
+    /// Panics if more elements are given than fit.
+    pub fn encode(&self, elements: &[SpatialElement]) -> Vec<u8> {
+        assert!(
+            elements.len() <= self.capacity(),
+            "{} elements exceed page capacity {}",
+            elements.len(),
+            self.capacity()
+        );
+        let mut buf = Vec::with_capacity(self.page_size);
+        buf.put_u16_le(elements.len() as u16);
+        for e in elements {
+            buf.put_u64_le(e.id);
+            buf.put_f64_le(e.mbb.min.x);
+            buf.put_f64_le(e.mbb.min.y);
+            buf.put_f64_le(e.mbb.min.z);
+            buf.put_f64_le(e.mbb.max.x);
+            buf.put_f64_le(e.mbb.max.y);
+            buf.put_f64_le(e.mbb.max.z);
+        }
+        buf.resize(self.page_size, 0);
+        buf
+    }
+
+    /// Deserializes the elements stored in a page image.
+    ///
+    /// # Panics
+    /// Panics if the page is shorter than its declared payload.
+    pub fn decode(&self, page: &[u8]) -> Vec<SpatialElement> {
+        let mut buf = page;
+        let count = buf.get_u16_le() as usize;
+        assert!(
+            page.len() >= HEADER_SIZE + count * RECORD_SIZE,
+            "corrupt element page: count {count} does not fit {} bytes",
+            page.len()
+        );
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = buf.get_u64_le();
+            let min = Point3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
+            let max = Point3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
+            out.push(SpatialElement::new(id, Aabb::new(min, max)));
+        }
+        out
+    }
+
+    /// Decodes a page directly into `out` (reusing its capacity).
+    pub fn decode_into(&self, page: &[u8], out: &mut Vec<SpatialElement>) {
+        out.clear();
+        out.extend(self.decode(page));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_PAGE_SIZE;
+
+    fn elem(id: u64, lo: f64) -> SpatialElement {
+        SpatialElement::new(
+            id,
+            Aabb::new(Point3::new(lo, lo + 1.0, lo + 2.0), Point3::new(lo + 3.0, lo + 4.0, lo + 5.0)),
+        )
+    }
+
+    #[test]
+    fn default_page_capacity_matches_paper_math() {
+        let c = ElementPageCodec::new(DEFAULT_PAGE_SIZE);
+        assert_eq!(c.capacity(), (8192 - 2) / 56); // 146
+    }
+
+    #[test]
+    fn roundtrip_full_page() {
+        let c = ElementPageCodec::new(DEFAULT_PAGE_SIZE);
+        let elems: Vec<_> = (0..c.capacity() as u64).map(|i| elem(i, i as f64)).collect();
+        let page = c.encode(&elems);
+        assert_eq!(page.len(), DEFAULT_PAGE_SIZE);
+        assert_eq!(c.decode(&page), elems);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_partial() {
+        let c = ElementPageCodec::new(512);
+        assert_eq!(c.decode(&c.encode(&[])), vec![]);
+        let elems = vec![elem(7, 0.5), elem(9, -3.25)];
+        assert_eq!(c.decode(&c.encode(&elems)), elems);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed page capacity")]
+    fn overfull_page_panics() {
+        let c = ElementPageCodec::new(HEADER_SIZE + RECORD_SIZE); // capacity 1
+        let elems = vec![elem(0, 0.0), elem(1, 1.0)];
+        c.encode(&elems);
+    }
+
+    #[test]
+    fn decode_into_reuses_buffer() {
+        let c = ElementPageCodec::new(512);
+        let page = c.encode(&[elem(1, 1.0)]);
+        let mut buf = Vec::with_capacity(10);
+        c.decode_into(&page, &mut buf);
+        assert_eq!(buf.len(), 1);
+        c.decode_into(&c.encode(&[]), &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn negative_and_fractional_coords_survive() {
+        let c = ElementPageCodec::new(512);
+        let e = SpatialElement::new(
+            u64::MAX,
+            Aabb::new(Point3::new(-1e9, -0.001, 1e-12), Point3::new(-1e8, 0.001, 2e-12)),
+        );
+        assert_eq!(c.decode(&c.encode(&[e])), vec![e]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Simulated disk substrate for the TRANSFORMERS spatial-join reproduction.
+//!
+//! The paper evaluates *disk-based* spatial joins on 10 kRPM SAS disks with
+//! cold caches (§VII-A). This reproduction runs at laptop scale, so the
+//! device is simulated instead (see `DESIGN.md`, substitution 1):
+//!
+//! * all data moves through fixed-size pages ([`DEFAULT_PAGE_SIZE`] =
+//!   8 KiB, matching §VII-A) managed by a [`Disk`];
+//! * every page access is counted and classified *sequential* vs *random*
+//!   by comparing against the previously accessed page id;
+//! * a calibrated [`DiskModel`] integrates those accesses into *simulated
+//!   I/O time*, which is what the figure reproductions report as "I/O".
+//!
+//! The effects the paper attributes to the device — PBSM's random reads
+//! after scattered partition writes, GIPSY's repeated small reads,
+//! TRANSFORMERS reading strictly fewer pages — are all functions of page
+//! access counts and their ordering, which this layer captures exactly.
+//!
+//! Two backends are provided: an in-memory backend (default; deterministic
+//! and fast) and a real-file backend for sanity checks that the page
+//! arithmetic is sound when bytes actually hit a filesystem.
+
+#![warn(missing_docs)]
+
+mod buffer;
+mod disk;
+mod elempage;
+mod model;
+mod stats;
+
+pub use buffer::{BufferPool, DEFAULT_POOL_PAGES};
+pub use disk::{Disk, DiskBackendKind};
+pub use elempage::ElementPageCodec;
+pub use model::DiskModel;
+pub use stats::{IoStats, IoStatsSnapshot};
+
+/// Default page size used throughout the reproduction (paper §VII-A: 8 KB).
+pub const DEFAULT_PAGE_SIZE: usize = 8192;
+
+/// Identifier of a page on a [`Disk`].
+///
+/// Page ids are dense: the disk allocates them sequentially, so consecutive
+/// ids model physically consecutive disk blocks, which is what the
+/// sequential/random classification of the [`DiskModel`] relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel used before any page has been accessed.
+    pub(crate) const NONE: u64 = u64::MAX;
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}

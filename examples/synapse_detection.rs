@@ -1,0 +1,68 @@
+//! Synapse detection on the neuroscience surrogate — the paper's motivating
+//! application (§II-B): axons and dendrites of a brain model are spatially
+//! joined, and a synapse is placed wherever an axon intersects a dendrite.
+//!
+//! ```sh
+//! cargo run --release --example synapse_detection
+//! ```
+
+use transformers_repro::prelude::*;
+
+fn main() {
+    // 60 % axons / 40 % dendrites, as in the paper's combined dataset.
+    // Axons concentrate near the top of the volume, dendrites lower —
+    // similar spatial extent, divergent distributions (paper Fig. 3).
+    let total = 120_000;
+    let (axons, dendrites) = neuro::axon_dendrite_pair(total, 42);
+    println!(
+        "brain-model surrogate: {} axon segments, {} dendrite segments",
+        axons.len(),
+        dendrites.len()
+    );
+
+    let mean_z = |v: &[SpatialElement]| v.iter().map(|e| e.mbb.center().z).sum::<f64>() / v.len() as f64;
+    println!(
+        "mean z: axons {:.0} µm, dendrites {:.0} µm (skewed distributions)",
+        mean_z(&axons),
+        mean_z(&dendrites)
+    );
+
+    let disk_a = Disk::default_in_memory();
+    let disk_d = Disk::default_in_memory();
+    let idx_a = TransformersIndex::build(&disk_a, axons, &IndexConfig::default());
+    let idx_d = TransformersIndex::build(&disk_d, dendrites, &IndexConfig::default());
+
+    disk_a.reset_stats();
+    disk_d.reset_stats();
+    let outcome = transformers_join(&idx_a, &disk_a, &idx_d, &disk_d, &JoinConfig::default());
+
+    println!("\ndetected {} candidate synapses", outcome.pairs.len());
+    println!(
+        "join: {} pages read, {} element tests, {} transformations",
+        outcome.stats.pages_read,
+        outcome.stats.mem.element_tests,
+        outcome.stats.transformations(),
+    );
+
+    // Where do synapses form? Histogram over z — they should concentrate in
+    // the overlap band between the axon and dendrite distributions.
+    let mut pool = BufferPool::with_default_capacity(&disk_a);
+    let mut histogram = [0usize; 10];
+    let mut centers = std::collections::HashMap::new();
+    for unit in idx_a.units() {
+        for e in idx_a.read_unit(&mut pool, unit.id) {
+            centers.insert(e.id, e.mbb.center().z);
+        }
+    }
+    for (axon_id, _) in &outcome.pairs {
+        let z = centers[axon_id];
+        let bucket = ((z / 100.0) as usize).min(9);
+        histogram[bucket] += 1;
+    }
+    println!("\nsynapse distribution along z (0..1000):");
+    let max = histogram.iter().copied().max().unwrap_or(1).max(1);
+    for (i, count) in histogram.iter().enumerate() {
+        let bar = "#".repeat(count * 50 / max);
+        println!("  {:>4}-{:<4} {:>7} {bar}", i * 100, (i + 1) * 100, count);
+    }
+}

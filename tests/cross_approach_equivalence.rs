@@ -1,0 +1,133 @@
+//! The central correctness contract of the reproduction: **all four join
+//! approaches produce exactly the same result set** on every workload of
+//! the paper's evaluation, and that set equals the nested-loop oracle.
+
+use transformers_repro::baselines::gipsy::{gipsy_join, GipsyConfig, GipsyStats, SparseFile};
+use transformers_repro::baselines::pbsm::{pbsm_join_datasets, PbsmConfig};
+use transformers_repro::baselines::rtree::{sync_join, RTree, RtreeStats};
+use transformers_repro::memjoin::nested_loop_join;
+use transformers_repro::prelude::*;
+
+fn oracle(a: &[SpatialElement], b: &[SpatialElement]) -> Vec<ResultPair> {
+    let mut s = JoinStats::default();
+    canonicalize(nested_loop_join(a, b, &mut s))
+}
+
+fn run_transformers(a: &[SpatialElement], b: &[SpatialElement]) -> Vec<ResultPair> {
+    let disk_a = Disk::default_in_memory();
+    let disk_b = Disk::default_in_memory();
+    let idx_a = TransformersIndex::build(&disk_a, a.to_vec(), &IndexConfig::default());
+    let idx_b = TransformersIndex::build(&disk_b, b.to_vec(), &IndexConfig::default());
+    transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &JoinConfig::default()).pairs
+}
+
+fn run_pbsm(a: &[SpatialElement], b: &[SpatialElement]) -> Vec<ResultPair> {
+    let disk_a = Disk::default_in_memory();
+    let disk_b = Disk::default_in_memory();
+    let (pairs, _) = pbsm_join_datasets(&disk_a, a, &disk_b, b, &PbsmConfig::default());
+    canonicalize(pairs)
+}
+
+fn run_rtree(a: &[SpatialElement], b: &[SpatialElement]) -> Vec<ResultPair> {
+    let disk_a = Disk::default_in_memory();
+    let disk_b = Disk::default_in_memory();
+    let tree_a = RTree::bulk_load(&disk_a, a.to_vec());
+    let tree_b = RTree::bulk_load(&disk_b, b.to_vec());
+    let mut pool_a = BufferPool::with_default_capacity(&disk_a);
+    let mut pool_b = BufferPool::with_default_capacity(&disk_b);
+    let mut stats = RtreeStats::default();
+    canonicalize(sync_join(&mut pool_a, &tree_a, &mut pool_b, &tree_b, &mut stats))
+}
+
+fn run_gipsy(a: &[SpatialElement], b: &[SpatialElement]) -> Vec<ResultPair> {
+    // GIPSY: smaller side is sparse.
+    let (sparse, dense, flipped) = if a.len() <= b.len() { (a, b, false) } else { (b, a, true) };
+    let disk_s = Disk::default_in_memory();
+    let disk_d = Disk::default_in_memory();
+    let sf = SparseFile::write(&disk_s, sparse.to_vec());
+    let di = TransformersIndex::build(&disk_d, dense.to_vec(), &IndexConfig::default());
+    let mut stats = GipsyStats::default();
+    let pairs = gipsy_join(&disk_s, &sf, &disk_d, &di, &GipsyConfig::default(), &mut stats);
+    canonicalize(if flipped {
+        pairs.into_iter().map(|(s, d)| (d, s)).collect()
+    } else {
+        pairs
+    })
+}
+
+fn check_all(a: &[SpatialElement], b: &[SpatialElement], label: &str) {
+    let expected = oracle(a, b);
+    assert_eq!(run_transformers(a, b), expected, "{label}: TRANSFORMERS");
+    assert_eq!(run_pbsm(a, b), expected, "{label}: PBSM");
+    assert_eq!(run_rtree(a, b), expected, "{label}: R-TREE");
+    assert_eq!(run_gipsy(a, b), expected, "{label}: GIPSY");
+}
+
+fn ds(count: usize, distribution: Distribution, seed: u64) -> Vec<SpatialElement> {
+    generate(&DatasetSpec {
+        max_side: 6.0,
+        ..DatasetSpec::with_distribution(count, distribution, seed)
+    })
+}
+
+#[test]
+fn similar_density_uniform() {
+    let a = ds(2_000, Distribution::Uniform, 100);
+    let b = ds(2_000, Distribution::Uniform, 101);
+    check_all(&a, &b, "uniform 1:1");
+}
+
+#[test]
+fn contrasting_density_100x() {
+    let a = ds(100, Distribution::Uniform, 102);
+    let b = ds(10_000, Distribution::Uniform, 103);
+    check_all(&a, &b, "uniform 1:100");
+    check_all(&b, &a, "uniform 100:1");
+}
+
+#[test]
+fn non_uniform_distributions() {
+    let a = ds(3_000, Distribution::DenseCluster { clusters: 15 }, 104);
+    let b = ds(3_000, Distribution::UniformCluster { clusters: 6 }, 105);
+    check_all(&a, &b, "dense x uniformcluster");
+}
+
+#[test]
+fn massive_cluster_skew() {
+    let a = ds(4_000, Distribution::MassiveCluster { clusters: 3, elements_per_cluster: 1_000 }, 106);
+    let b = ds(4_000, Distribution::Uniform, 107);
+    check_all(&a, &b, "massive x uniform");
+}
+
+#[test]
+fn neuroscience_surrogate() {
+    let (a, b) = neuro::axon_dendrite_pair(5_000, 108);
+    check_all(&a, &b, "axons x dendrites");
+}
+
+#[test]
+fn identical_datasets_self_join_shape() {
+    // Joining a dataset with a copy of itself: every element pairs at least
+    // with its twin.
+    let a = ds(1_000, Distribution::Uniform, 109);
+    let expected = oracle(&a, &a);
+    assert!(expected.len() >= 1_000);
+    check_all(&a, &a, "self");
+}
+
+#[test]
+fn disjoint_regions_yield_nothing() {
+    let a = generate(&DatasetSpec {
+        universe: Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(100.0, 100.0, 100.0)),
+        max_side: 3.0,
+        ..DatasetSpec::uniform(1_000, 110)
+    });
+    let b = generate(&DatasetSpec {
+        universe: Aabb::new(Point3::new(500.0, 500.0, 500.0), Point3::new(900.0, 900.0, 900.0)),
+        max_side: 3.0,
+        ..DatasetSpec::uniform(1_000, 111)
+    });
+    let expected = oracle(&a, &b);
+    assert!(expected.is_empty());
+    check_all(&a, &b, "disjoint");
+}

@@ -1,0 +1,57 @@
+//! Index-reuse contract (§VII-C2): a TRANSFORMERS index is built per
+//! dataset and can be joined against any number of other indexed datasets
+//! without rebuilding, always producing correct results.
+
+use transformers_repro::memjoin::nested_loop_join;
+use transformers_repro::prelude::*;
+
+fn oracle(a: &[SpatialElement], b: &[SpatialElement]) -> Vec<ResultPair> {
+    let mut s = JoinStats::default();
+    canonicalize(nested_loop_join(a, b, &mut s))
+}
+
+#[test]
+fn one_index_joins_many_partners() {
+    let r = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(3_000, 1) });
+    let disk_r = Disk::default_in_memory();
+    let idx_r = TransformersIndex::build(&disk_r, r.clone(), &IndexConfig::default());
+
+    for seed in 2..6u64 {
+        let p = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(2_000, seed) });
+        let disk_p = Disk::default_in_memory();
+        let idx_p = TransformersIndex::build(&disk_p, p.clone(), &IndexConfig::default());
+        let out = transformers_join(&idx_r, &disk_r, &idx_p, &disk_p, &JoinConfig::default());
+        assert_eq!(out.pairs, oracle(&r, &p), "partner seed {seed}");
+    }
+}
+
+#[test]
+fn repeated_joins_are_deterministic_in_results() {
+    let a = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(2_500, 7) });
+    let b = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(2_500, 8) });
+    let disk_a = Disk::default_in_memory();
+    let disk_b = Disk::default_in_memory();
+    let idx_a = TransformersIndex::build(&disk_a, a, &IndexConfig::default());
+    let idx_b = TransformersIndex::build(&disk_b, b, &IndexConfig::default());
+
+    let first = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &JoinConfig::default());
+    for _ in 0..3 {
+        let again = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &JoinConfig::default());
+        assert_eq!(again.pairs, first.pairs);
+    }
+}
+
+#[test]
+fn join_is_symmetric_under_argument_order() {
+    let a = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(1_500, 9) });
+    let b = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(4_500, 10) });
+    let disk_a = Disk::default_in_memory();
+    let disk_b = Disk::default_in_memory();
+    let idx_a = TransformersIndex::build(&disk_a, a, &IndexConfig::default());
+    let idx_b = TransformersIndex::build(&disk_b, b, &IndexConfig::default());
+
+    let ab = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &JoinConfig::default());
+    let ba = transformers_join(&idx_b, &disk_b, &idx_a, &disk_a, &JoinConfig::default());
+    let flipped: Vec<ResultPair> = ba.pairs.into_iter().map(|(x, y)| (y, x)).collect();
+    assert_eq!(ab.pairs, canonicalize(flipped));
+}
