@@ -84,8 +84,15 @@ impl PbsmFixture {
         let mut stats = tfm_pbsm::PbsmStats::default();
         let mut pool_a = BufferPool::with_default_capacity(&self.disk_a);
         let mut pool_b = BufferPool::with_default_capacity(&self.disk_b);
-        tfm_pbsm::pbsm_join(&mut pool_a, &self.part_a, &mut pool_b, &self.part_b, &self.config, &mut stats)
-            .len()
+        tfm_pbsm::pbsm_join(
+            &mut pool_a,
+            &self.part_a,
+            &mut pool_b,
+            &self.part_b,
+            &self.config,
+            &mut stats,
+        )
+        .len()
     }
 }
 
@@ -115,7 +122,14 @@ impl RtreeFixture {
         let mut stats = tfm_rtree::RtreeStats::default();
         let mut pool_a = BufferPool::with_default_capacity(&self.disk_a);
         let mut pool_b = BufferPool::with_default_capacity(&self.disk_b);
-        tfm_rtree::sync_join(&mut pool_a, &self.tree_a, &mut pool_b, &self.tree_b, &mut stats).len()
+        tfm_rtree::sync_join(
+            &mut pool_a,
+            &self.tree_a,
+            &mut pool_b,
+            &self.tree_b,
+            &mut stats,
+        )
+        .len()
     }
 }
 

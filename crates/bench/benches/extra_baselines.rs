@@ -33,7 +33,9 @@ fn bench(c: &mut Criterion) {
             let mut stats = tfm_sweep::sssj::SssjStats::default();
             let mut pool_a = BufferPool::with_default_capacity(&disk_a);
             let mut pool_b = BufferPool::with_default_capacity(&disk_b);
-            black_box(tfm_sweep::sssj::sssj_join(&mut pool_a, &sa, &mut pool_b, &sb, &mut stats).len())
+            black_box(
+                tfm_sweep::sssj::sssj_join(&mut pool_a, &sa, &mut pool_b, &sb, &mut stats).len(),
+            )
         })
     });
 
@@ -76,7 +78,8 @@ fn bench(c: &mut Criterion) {
                 let mut pool_a = BufferPool::with_default_capacity(&disk_a);
                 let mut pool_b = BufferPool::with_default_capacity(&disk_b);
                 black_box(
-                    tfm_rtree::sync_join(&mut pool_a, &tree_a, &mut pool_b, &tree_b, &mut stats).len(),
+                    tfm_rtree::sync_join(&mut pool_a, &tree_a, &mut pool_b, &tree_b, &mut stats)
+                        .len(),
                 )
             })
         });

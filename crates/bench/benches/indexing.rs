@@ -30,8 +30,14 @@ fn bench(c: &mut Criterion) {
             let disk = Disk::in_memory(PAGE);
             let mut stats = tfm_pbsm::PbsmStats::default();
             black_box(
-                tfm_pbsm::pbsm_partition(&disk, &a, extent, &tfm_pbsm::PbsmConfig::default(), &mut stats)
-                    .len(),
+                tfm_pbsm::pbsm_partition(
+                    &disk,
+                    &a,
+                    extent,
+                    &tfm_pbsm::PbsmConfig::default(),
+                    &mut stats,
+                )
+                .len(),
             )
         })
     });

@@ -12,8 +12,22 @@ use transformers::explore::{adaptive_crawl, adaptive_walk, ExploreScratch};
 use transformers::{JoinConfig, NodeId};
 
 fn bench(c: &mut Criterion) {
-    let a = dataset(20_000, Distribution::MassiveCluster { clusters: 5, elements_per_cluster: 2_000 }, 60);
-    let b = dataset(20_000, Distribution::MassiveCluster { clusters: 5, elements_per_cluster: 2_000 }, 61);
+    let a = dataset(
+        20_000,
+        Distribution::MassiveCluster {
+            clusters: 5,
+            elements_per_cluster: 2_000,
+        },
+        60,
+    );
+    let b = dataset(
+        20_000,
+        Distribution::MassiveCluster {
+            clusters: 5,
+            elements_per_cluster: 2_000,
+        },
+        61,
+    );
     let tr = TrFixture::new(a, b);
 
     let mut group = c.benchmark_group("fig14/overhead");

@@ -34,7 +34,11 @@ fn bench(c: &mut Criterion) {
         let rtree = RtreeFixture::new(a.clone(), b.clone());
         group.bench_function("rtree", |bench| bench.iter(|| black_box(rtree.join())));
 
-        let (sparse, dense) = if na <= nb { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
+        let (sparse, dense) = if na <= nb {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        };
         let gipsy = GipsyFixture::new(sparse, dense);
         group.bench_function("gipsy", |bench| bench.iter(|| black_box(gipsy.join())));
 

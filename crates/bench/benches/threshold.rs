@@ -13,7 +13,14 @@ fn bench(c: &mut Criterion) {
     let workloads = [
         (
             "massivecluster",
-            dataset(15_000, Distribution::MassiveCluster { clusters: 5, elements_per_cluster: 1_500 }, 50),
+            dataset(
+                15_000,
+                Distribution::MassiveCluster {
+                    clusters: 5,
+                    elements_per_cluster: 1_500,
+                },
+                50,
+            ),
             dataset(15_000, Distribution::Uniform, 51),
         ),
         (

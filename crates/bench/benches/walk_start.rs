@@ -19,12 +19,18 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("hilbert_btree", |bench| {
         bench.iter(|| {
-            black_box(tr.join(&JoinConfig { hilbert_walk_start: true, ..JoinConfig::default() }))
+            black_box(tr.join(&JoinConfig {
+                hilbert_walk_start: true,
+                ..JoinConfig::default()
+            }))
         })
     });
     group.bench_function("first_node", |bench| {
         bench.iter(|| {
-            black_box(tr.join(&JoinConfig { hilbert_walk_start: false, ..JoinConfig::default() }))
+            black_box(tr.join(&JoinConfig {
+                hilbert_walk_start: false,
+                ..JoinConfig::default()
+            }))
         })
     });
     group.finish();
@@ -32,10 +38,20 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/node_prefilter");
     group.sample_size(10);
     group.bench_function("prefilter_on", |bench| {
-        bench.iter(|| black_box(tr.join(&JoinConfig { node_prefilter: true, ..JoinConfig::default() })))
+        bench.iter(|| {
+            black_box(tr.join(&JoinConfig {
+                node_prefilter: true,
+                ..JoinConfig::default()
+            }))
+        })
     });
     group.bench_function("prefilter_off", |bench| {
-        bench.iter(|| black_box(tr.join(&JoinConfig { node_prefilter: false, ..JoinConfig::default() })))
+        bench.iter(|| {
+            black_box(tr.join(&JoinConfig {
+                node_prefilter: false,
+                ..JoinConfig::default()
+            }))
+        })
     });
     group.finish();
 }

@@ -132,5 +132,8 @@ fn main() {
         100.0 * (1.0 - m.pages_read as f64 / total_pages)
     );
 
-    println!("\nall experiments finished in {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "\nall experiments finished in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

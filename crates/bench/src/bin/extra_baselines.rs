@@ -27,13 +27,22 @@ fn main() {
     }
 
     // Contrasting densities (Fig. 10 regime).
-    let a = generate(&DatasetSpec { max_side: BOX_SIDE, ..DatasetSpec::uniform(scaled(2_000), 9100) });
-    let b = generate(&DatasetSpec { max_side: BOX_SIDE, ..DatasetSpec::uniform(scaled(1_000_000), 9101) });
+    let a = generate(&DatasetSpec {
+        max_side: BOX_SIDE,
+        ..DatasetSpec::uniform(scaled(2_000), 9100)
+    });
+    let b = generate(&DatasetSpec {
+        max_side: BOX_SIDE,
+        ..DatasetSpec::uniform(scaled(1_000_000), 9101)
+    });
     for ap in &approaches {
         let (m, _) = run_approach(ap, "2K x 1M", &a, &b, &cfg);
         rows.push(m);
     }
 
-    print_table("Extra baselines: SSSJ and S3 vs the measured competitors", &rows);
+    print_table(
+        "Extra baselines: SSSJ and S3 vs the measured competitors",
+        &rows,
+    );
     write_csv("results/extra_baselines.csv", &rows).expect("write CSV");
 }

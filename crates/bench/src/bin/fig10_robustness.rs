@@ -5,8 +5,8 @@
 //! density ratio over three orders of magnitude (the paper uses 200 K →
 //! 200 M elements; we default to 200 → 200 K and scale with `TFM_SCALE`).
 
-use tfm_bench::{print_table, run_approach, scaled, write_csv, Approach, RunConfig};
 use tfm_bench::workloads::robustness_pairs;
+use tfm_bench::{print_table, run_approach, scaled, write_csv, Approach, RunConfig};
 
 fn main() {
     let cfg = RunConfig::default();

@@ -25,7 +25,10 @@ fn main() {
             left_rows.push(m);
         }
     }
-    print_table("Fig. 13 left: impact of transformations (MassiveCluster)", &left_rows);
+    print_table(
+        "Fig. 13 left: impact of transformations (MassiveCluster)",
+        &left_rows,
+    );
     write_csv("results/fig13_transformations.csv", &left_rows).expect("write CSV");
 
     println!("\nspeedup of transformations (NoTR / TRANSFORMERS join time):");
@@ -51,6 +54,9 @@ fn main() {
             right_rows.push(m);
         }
     }
-    print_table("Fig. 13 right: transformation-threshold sensitivity", &right_rows);
+    print_table(
+        "Fig. 13 right: transformation-threshold sensitivity",
+        &right_rows,
+    );
     write_csv("results/fig13_thresholds.csv", &right_rows).expect("write CSV");
 }

@@ -25,7 +25,10 @@ fn main() {
     write_csv("results/table1_uniform.csv", &rows).expect("write CSV");
 
     println!("\nTable I (join time, seconds):");
-    println!("{:<12} {:>14} {:>10} {:>10}", "elements", "TRANSFORMERS", "PBSM", "RTREE");
+    println!(
+        "{:<12} {:>14} {:>10} {:>10}",
+        "elements", "TRANSFORMERS", "PBSM", "RTREE"
+    );
     for chunk in rows.chunks(3) {
         println!(
             "{:<12} {:>14.3} {:>10.3} {:>10.3}",

@@ -14,7 +14,16 @@ pub fn print_table(title: &str, rows: &[Metrics]) {
     println!("\n== {title} ==");
     println!(
         "{:<24} {:<22} {:>9} {:>9} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10}",
-        "workload", "approach", "|A|", "|B|", "index_s", "join_s", "io_s", "pages_read", "tests", "results"
+        "workload",
+        "approach",
+        "|A|",
+        "|B|",
+        "index_s",
+        "join_s",
+        "io_s",
+        "pages_read",
+        "tests",
+        "results"
     );
     for m in rows {
         println!(

@@ -13,13 +13,18 @@ use tfm_memjoin::ResultPair;
 use tfm_pbsm::{pbsm_join, pbsm_partition, PbsmConfig, PbsmStats};
 use tfm_rtree::{sync_join, RTree, RtreeStats};
 use tfm_storage::{BufferPool, Disk, IoStatsSnapshot};
-use transformers::{transformers_join, IndexConfig, JoinConfig, ThresholdPolicy, TransformersIndex};
+use transformers::{
+    transformers_join, IndexConfig, JoinConfig, ThresholdPolicy, TransformersIndex,
+};
 
 /// Which join approach to run.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Approach {
     /// TRANSFORMERS with the given join configuration.
     Transformers(JoinConfig),
+    /// TRANSFORMERS executed by the parallel subsystem (`tfm-exec`) with
+    /// the given join configuration and worker count.
+    TransformersParallel(JoinConfig, usize),
     /// PBSM (space-oriented partitioning baseline).
     Pbsm,
     /// Synchronized R-Tree traversal (data-oriented baseline).
@@ -36,6 +41,12 @@ impl Approach {
     /// TRANSFORMERS with default (cost-model) configuration.
     pub fn transformers() -> Self {
         Approach::Transformers(JoinConfig::default())
+    }
+
+    /// Parallel TRANSFORMERS with default configuration and `threads`
+    /// workers.
+    pub fn parallel(threads: usize) -> Self {
+        Approach::TransformersParallel(JoinConfig::default(), threads)
     }
 
     /// TRANSFORMERS with transformations disabled ("No TR", Fig. 13).
@@ -58,6 +69,7 @@ impl Approach {
                 ThresholdPolicy::Fixed { t_su, .. } if t_su >= 1e5 => "TR-UnderFit".into(),
                 ThresholdPolicy::Fixed { .. } => "TR-Fixed".into(),
             },
+            Approach::TransformersParallel(_, threads) => format!("TFM-PARx{threads}"),
             Approach::Pbsm => "PBSM".into(),
             Approach::Rtree => "R-TREE".into(),
             Approach::Gipsy => "GIPSY".into(),
@@ -139,7 +151,12 @@ impl Metrics {
         self.join_wall + self.join_sim_io
     }
 
-    fn base(approach: &Approach, workload: &str, a: &[SpatialElement], b: &[SpatialElement]) -> Self {
+    fn base(
+        approach: &Approach,
+        workload: &str,
+        a: &[SpatialElement],
+        b: &[SpatialElement],
+    ) -> Self {
         Self {
             approach: approach.label(),
             workload: workload.to_string(),
@@ -176,6 +193,9 @@ pub fn run_approach(
     let mut m = Metrics::base(approach, workload, a, b);
     match approach {
         Approach::Transformers(join_cfg) => run_transformers(&mut m, a, b, cfg, join_cfg),
+        Approach::TransformersParallel(join_cfg, threads) => {
+            run_transformers_parallel(&mut m, a, b, cfg, join_cfg, *threads)
+        }
         Approach::Pbsm => run_pbsm(&mut m, a, b, cfg),
         Approach::Rtree => run_rtree(&mut m, a, b, cfg),
         Approach::Gipsy => run_gipsy(&mut m, a, b, cfg),
@@ -291,6 +311,46 @@ fn run_transformers(
     cfg: &RunConfig,
     join_cfg: &JoinConfig,
 ) -> (Metrics, Vec<ResultPair>) {
+    run_transformers_with(m, a, b, cfg, join_cfg, transformers_join)
+}
+
+fn run_transformers_parallel(
+    m: &mut Metrics,
+    a: &[SpatialElement],
+    b: &[SpatialElement],
+    cfg: &RunConfig,
+    join_cfg: &JoinConfig,
+    threads: usize,
+) -> (Metrics, Vec<ResultPair>) {
+    run_transformers_with(
+        m,
+        a,
+        b,
+        cfg,
+        join_cfg,
+        |idx_a, disk_a, idx_b, disk_b, jc| {
+            tfm_exec::parallel_join(idx_a, disk_a, idx_b, disk_b, jc, threads)
+        },
+    )
+}
+
+/// Shared harness for the sequential and parallel TRANSFORMERS runners:
+/// builds the indexes, resets I/O accounting, runs `join`, and extracts
+/// the common metrics.
+fn run_transformers_with(
+    m: &mut Metrics,
+    a: &[SpatialElement],
+    b: &[SpatialElement],
+    cfg: &RunConfig,
+    join_cfg: &JoinConfig,
+    join: impl FnOnce(
+        &TransformersIndex,
+        &Disk,
+        &TransformersIndex,
+        &Disk,
+        &JoinConfig,
+    ) -> transformers::JoinOutcome,
+) -> (Metrics, Vec<ResultPair>) {
     let disk_a = Disk::in_memory(cfg.page_size);
     let disk_b = Disk::in_memory(cfg.page_size);
 
@@ -307,7 +367,7 @@ fn run_transformers(
         ..*join_cfg
     };
     let t = Instant::now();
-    let out = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &join_cfg);
+    let out = join(&idx_a, &disk_a, &idx_b, &disk_b, &join_cfg);
     m.join_wall = t.elapsed();
     let io = merged(&disk_a, &disk_b);
     m.join_sim_io = io.sim_io_time();
@@ -429,7 +489,14 @@ fn run_gipsy(
     };
     let mut stats = GipsyStats::default();
     let t = Instant::now();
-    let pairs = gipsy_join(&sparse_disk, &sparse_file, &dense_disk, &dense_idx, &gipsy_cfg, &mut stats);
+    let pairs = gipsy_join(
+        &sparse_disk,
+        &sparse_file,
+        &dense_disk,
+        &dense_idx,
+        &gipsy_cfg,
+        &mut stats,
+    );
     m.join_wall = t.elapsed();
     let io = merged(&sparse_disk, &dense_disk);
     m.join_sim_io = io.sim_io_time();
@@ -454,8 +521,14 @@ mod tests {
 
     #[test]
     fn all_approaches_agree_on_results() {
-        let a = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(1500, 200) });
-        let b = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(4000, 201) });
+        let a = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(1500, 200)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(4000, 201)
+        });
         let cfg = RunConfig::default();
         let approaches = [
             Approach::transformers(),
@@ -481,9 +554,21 @@ mod tests {
 
     #[test]
     fn metrics_phases_are_populated() {
-        let a = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(2000, 202) });
-        let b = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(2000, 203) });
-        let (m, _) = run_approach(&Approach::transformers(), "t", &a, &b, &RunConfig::default());
+        let a = generate(&DatasetSpec {
+            max_side: 6.0,
+            ..DatasetSpec::uniform(2000, 202)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 6.0,
+            ..DatasetSpec::uniform(2000, 203)
+        });
+        let (m, _) = run_approach(
+            &Approach::transformers(),
+            "t",
+            &a,
+            &b,
+            &RunConfig::default(),
+        );
         assert!(m.index_sim_io > Duration::ZERO);
         assert!(m.join_sim_io > Duration::ZERO);
         assert!(m.pages_read > 0);

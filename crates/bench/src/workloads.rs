@@ -104,7 +104,11 @@ pub fn threshold_workloads(total: usize, seed: u64) -> Vec<Workload> {
         Workload {
             name: "MassiveCluster".into(),
             a: generate(&spec(half, Distribution::massive_cluster_for(half), seed)),
-            b: generate(&spec(half, Distribution::massive_cluster_for(half), seed + 1)),
+            b: generate(&spec(
+                half,
+                Distribution::massive_cluster_for(half),
+                seed + 1,
+            )),
         },
         Workload {
             name: "UniformVsDenseCluster".into(),

@@ -15,7 +15,14 @@ pub fn write_elements<P: AsRef<Path>>(path: P, elements: &[SpatialElement]) -> i
     w.write_all(&(elements.len() as u64).to_le_bytes())?;
     for e in elements {
         w.write_all(&e.id.to_le_bytes())?;
-        for v in [e.mbb.min.x, e.mbb.min.y, e.mbb.min.z, e.mbb.max.x, e.mbb.max.y, e.mbb.max.z] {
+        for v in [
+            e.mbb.min.x,
+            e.mbb.min.y,
+            e.mbb.min.z,
+            e.mbb.max.x,
+            e.mbb.max.y,
+            e.mbb.max.z,
+        ] {
             w.write_all(&v.to_le_bytes())?;
         }
     }
@@ -41,7 +48,8 @@ pub fn read_elements<P: AsRef<Path>>(path: P) -> io::Result<Vec<SpatialElement>>
     for _ in 0..count {
         r.read_exact(&mut rec)?;
         let id = u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes"));
-        let f = |i: usize| f64::from_le_bytes(rec[8 + i * 8..16 + i * 8].try_into().expect("8 bytes"));
+        let f =
+            |i: usize| f64::from_le_bytes(rec[8 + i * 8..16 + i * 8].try_into().expect("8 bytes"));
         let mbb = Aabb {
             min: Point3::new(f(0), f(1), f(2)),
             max: Point3::new(f(3), f(4), f(5)),

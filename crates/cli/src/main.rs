@@ -43,8 +43,9 @@ fn print_usage() {
 USAGE:
   tfm generate --count N --out FILE [--distribution D] [--seed S] [--max-side F]
       D: uniform | dense-cluster | uniform-cluster | massive-cluster | axons | dendrites
-  tfm join --a FILE --b FILE [--approach A] [--page-size N] [--verify]
+  tfm join --a FILE --b FILE [--approach A] [--page-size N] [--threads N] [--verify]
       A: transformers | no-tr | pbsm | rtree | gipsy | sssj | s3 (default: transformers)
+      --threads N: run the transformers join on N parallel workers (tfm-exec)
   tfm info --in FILE
   tfm help"
     );
@@ -78,7 +79,10 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let dist = opt(args, "--distribution").unwrap_or("uniform");
 
     let elements = match dist {
-        "uniform" => generate(&DatasetSpec { max_side, ..DatasetSpec::uniform(count, seed) }),
+        "uniform" => generate(&DatasetSpec {
+            max_side,
+            ..DatasetSpec::uniform(count, seed)
+        }),
         "dense-cluster" => generate(&DatasetSpec {
             max_side,
             ..DatasetSpec::with_distribution(count, Distribution::dense_cluster_default(), seed)
@@ -118,6 +122,26 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     let path_b = required(args, "--b")?;
     let approach = parse_approach(opt(args, "--approach").unwrap_or("transformers"))?;
     let page_size: usize = parse(opt(args, "--page-size").unwrap_or("2048"), "--page-size")?;
+    let threads: usize = parse(opt(args, "--threads").unwrap_or("1"), "--threads")?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+
+    // `--threads N` (N > 1) routes TRANSFORMERS through the parallel
+    // execution subsystem (`tfm-exec`); other approaches are sequential.
+    let approach = match (approach, threads) {
+        (Approach::Transformers(join_cfg), t) if t > 1 => {
+            Approach::TransformersParallel(join_cfg, t)
+        }
+        (other, t) => {
+            if t > 1 {
+                eprintln!(
+                    "note: --threads only affects the transformers approach; running sequentially"
+                );
+            }
+            other
+        }
+    };
 
     let a = io::read_elements(path_a).map_err(|e| format!("reading {path_a}: {e}"))?;
     let b = io::read_elements(path_b).map_err(|e| format!("reading {path_b}: {e}"))?;
@@ -156,7 +180,10 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
         let mut s = JoinStats::default();
         let expected = canonicalize(nested_loop_join(&a, &b, &mut s));
         if canonicalize(pairs) == expected {
-            println!("verify:          OK ({} pairs match the nested-loop oracle)", expected.len());
+            println!(
+                "verify:          OK ({} pairs match the nested-loop oracle)",
+                expected.len()
+            );
         } else {
             return Err("result set does NOT match the nested-loop oracle".into());
         }
@@ -203,7 +230,10 @@ mod tests {
 
     #[test]
     fn opt_parsing() {
-        let args: Vec<String> = ["--count", "5", "--flag"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--count", "5", "--flag"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(opt(&args, "--count"), Some("5"));
         assert_eq!(opt(&args, "--missing"), None);
         assert!(flag(&args, "--flag"));
@@ -212,7 +242,15 @@ mod tests {
 
     #[test]
     fn approach_names() {
-        for name in ["transformers", "no-tr", "pbsm", "rtree", "gipsy", "sssj", "s3"] {
+        for name in [
+            "transformers",
+            "no-tr",
+            "pbsm",
+            "rtree",
+            "gipsy",
+            "sssj",
+            "s3",
+        ] {
             assert!(parse_approach(name).is_ok(), "{name}");
         }
         assert!(parse_approach("bogus").is_err());
@@ -224,14 +262,28 @@ mod tests {
         let pa = dir.join(format!("tfm_cli_a_{}.elems", std::process::id()));
         let pb = dir.join(format!("tfm_cli_b_{}.elems", std::process::id()));
         let gen_args: Vec<String> = [
-            "--count", "300", "--out", pa.to_str().unwrap(), "--seed", "1", "--max-side", "8",
+            "--count",
+            "300",
+            "--out",
+            pa.to_str().unwrap(),
+            "--seed",
+            "1",
+            "--max-side",
+            "8",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
         cmd_generate(&gen_args).unwrap();
         let gen_args: Vec<String> = [
-            "--count", "300", "--out", pb.to_str().unwrap(), "--seed", "2", "--max-side", "8",
+            "--count",
+            "300",
+            "--out",
+            pb.to_str().unwrap(),
+            "--seed",
+            "2",
+            "--max-side",
+            "8",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -239,14 +291,23 @@ mod tests {
         cmd_generate(&gen_args).unwrap();
 
         let join_args: Vec<String> = [
-            "--a", pa.to_str().unwrap(), "--b", pb.to_str().unwrap(), "--approach", "transformers", "--verify",
+            "--a",
+            pa.to_str().unwrap(),
+            "--b",
+            pb.to_str().unwrap(),
+            "--approach",
+            "transformers",
+            "--verify",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
         cmd_join(&join_args).unwrap();
 
-        let info_args: Vec<String> = ["--in", pa.to_str().unwrap()].iter().map(|s| s.to_string()).collect();
+        let info_args: Vec<String> = ["--in", pa.to_str().unwrap()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         cmd_info(&info_args).unwrap();
 
         std::fs::remove_file(&pa).ok();

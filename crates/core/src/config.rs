@@ -3,8 +3,7 @@
 use tfm_memjoin::GridConfig;
 
 /// Configuration of the indexing phase (paper §IV).
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct IndexConfig {
     /// Elements per space unit. `None` packs as many 56-byte records as fit
     /// one disk page (the paper's design: space units are page-aligned).
@@ -13,7 +12,6 @@ pub struct IndexConfig {
     /// fit one disk page.
     pub node_capacity: Option<usize>,
 }
-
 
 /// How transformation thresholds are chosen (paper §VI-C, §VII-D2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,7 +39,10 @@ impl ThresholdPolicy {
     /// The paper's OverFit configuration (threshold 1.5 ⇒ many
     /// transformations).
     pub fn over_fit() -> Self {
-        ThresholdPolicy::Fixed { t_su: 1.5, t_so: 1.5 }
+        ThresholdPolicy::Fixed {
+            t_su: 1.5,
+            t_so: 1.5,
+        }
     }
 
     /// The paper's UnderFit configuration (threshold 10⁶ ⇒ no
@@ -123,10 +124,19 @@ mod tests {
 
     #[test]
     fn presets_match_paper_values() {
-        assert_eq!(ThresholdPolicy::over_fit(), ThresholdPolicy::Fixed { t_su: 1.5, t_so: 1.5 });
+        assert_eq!(
+            ThresholdPolicy::over_fit(),
+            ThresholdPolicy::Fixed {
+                t_su: 1.5,
+                t_so: 1.5
+            }
+        );
         assert_eq!(
             ThresholdPolicy::under_fit(),
-            ThresholdPolicy::Fixed { t_su: 1e6, t_so: 1e6 }
+            ThresholdPolicy::Fixed {
+                t_su: 1e6,
+                t_so: 1e6
+            }
         );
         let no_tr = JoinConfig::without_transformations();
         assert_eq!(no_tr.thresholds, ThresholdPolicy::Disabled);

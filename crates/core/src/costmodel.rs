@@ -92,7 +92,12 @@ impl CostModel {
     /// Creates a model for the given policy and index geometry, using
     /// default device parameters.
     pub fn new(policy: ThresholdPolicy, unit_capacity: usize, node_capacity: usize) -> Self {
-        Self::with_device(policy, unit_capacity, node_capacity, DeviceParams::default())
+        Self::with_device(
+            policy,
+            unit_capacity,
+            node_capacity,
+            DeviceParams::default(),
+        )
     }
 
     /// Creates a model with explicit device parameters.

@@ -93,15 +93,27 @@ mod tests {
 
     #[test]
     fn epsilon_zero_equals_intersection_join() {
-        let a = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(800, 1) });
-        let b = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(800, 2) });
+        let a = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(800, 1)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(800, 2)
+        });
         assert_eq!(run(&a, &b, 0.0), oracle(&a, &b, 0.0));
     }
 
     #[test]
     fn matches_oracle_for_various_epsilons() {
-        let a = generate(&DatasetSpec { max_side: 3.0, ..DatasetSpec::uniform(600, 3) });
-        let b = generate(&DatasetSpec { max_side: 3.0, ..DatasetSpec::uniform(600, 4) });
+        let a = generate(&DatasetSpec {
+            max_side: 3.0,
+            ..DatasetSpec::uniform(600, 3)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 3.0,
+            ..DatasetSpec::uniform(600, 4)
+        });
         for eps in [1.0, 10.0, 50.0] {
             assert_eq!(run(&a, &b, eps), oracle(&a, &b, eps), "eps {eps}");
         }
@@ -109,8 +121,14 @@ mod tests {
 
     #[test]
     fn growing_epsilon_grows_result_monotonically() {
-        let a = generate(&DatasetSpec { max_side: 2.0, ..DatasetSpec::uniform(500, 5) });
-        let b = generate(&DatasetSpec { max_side: 2.0, ..DatasetSpec::uniform(500, 6) });
+        let a = generate(&DatasetSpec {
+            max_side: 2.0,
+            ..DatasetSpec::uniform(500, 5)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 2.0,
+            ..DatasetSpec::uniform(500, 6)
+        });
         let mut last = 0;
         for eps in [0.0, 5.0, 20.0, 100.0] {
             let n = run(&a, &b, eps).len();
@@ -148,7 +166,10 @@ mod tests {
         // But an axis-aligned offset of exactly eps is kept.
         let c = vec![SpatialElement::new(
             0,
-            Aabb::new(Point3::new(1.0 + eps, 0.0, 0.0), Point3::new(2.0 + eps, 1.0, 1.0)),
+            Aabb::new(
+                Point3::new(1.0 + eps, 0.0, 0.0),
+                Point3::new(2.0 + eps, 1.0, 1.0),
+            ),
         )];
         assert_eq!(run(&a, &c, eps), vec![(0, 0)]);
     }

@@ -341,7 +341,10 @@ mod tests {
 
     fn build(count: usize, seed: u64) -> (Disk, TransformersIndex, Vec<SpatialElement>) {
         let disk = Disk::default_in_memory();
-        let elems = generate(&DatasetSpec { max_side: 5.0, ..DatasetSpec::uniform(count, seed) });
+        let elems = generate(&DatasetSpec {
+            max_side: 5.0,
+            ..DatasetSpec::uniform(count, seed)
+        });
         let idx = TransformersIndex::build(&disk, elems.clone(), &IndexConfig::default());
         (disk, idx, elems)
     }
@@ -392,7 +395,12 @@ mod tests {
             for &nb in &n.neighbors {
                 let other = &idx.nodes()[nb.0 as usize];
                 assert!(n.tile.intersects(&other.tile));
-                assert!(other.neighbors.contains(&n.id), "asymmetric link {:?} -> {:?}", n.id, nb);
+                assert!(
+                    other.neighbors.contains(&n.id),
+                    "asymmetric link {:?} -> {:?}",
+                    n.id,
+                    nb
+                );
                 assert_ne!(nb, n.id, "self link");
             }
         }
@@ -463,7 +471,10 @@ mod tests {
         let disk = Disk::default_in_memory();
         let elems = generate(&DatasetSpec::with_distribution(
             10_000,
-            Distribution::MassiveCluster { clusters: 2, elements_per_cluster: 5000 },
+            Distribution::MassiveCluster {
+                clusters: 2,
+                elements_per_cluster: 5000,
+            },
             57,
         ));
         let cfg = IndexConfig {

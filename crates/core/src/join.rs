@@ -27,6 +27,7 @@ use crate::descriptor::{NodeId, SpaceNode, SpaceUnitDesc, UnitId};
 use crate::index::TransformersIndex;
 use crate::stats::TransformersStats;
 use crate::walk::{adaptive_crawl, adaptive_walk, scan_for_intersection, ExploreScratch};
+use std::sync::Arc;
 use std::time::Instant;
 use tfm_geom::{Aabb, SpatialElement};
 use tfm_memjoin::{grid_hash_join, ResultPair};
@@ -55,8 +56,10 @@ struct Side<'a> {
     disk: &'a Disk,
     pool: BufferPool<'a>,
     codec: ElementPageCodec,
-    nodes: Vec<SpaceNode>,
-    units: Vec<SpaceUnitDesc>,
+    // Shared read-only descriptor tables (parallel workers hold clones of
+    // the same `Arc`s; only `checked`/`scratch`/`pool` are per-owner).
+    nodes: Arc<Vec<SpaceNode>>,
+    units: Arc<Vec<SpaceUnitDesc>>,
     checked: Vec<bool>,
     unchecked: usize,
     cursor: usize,
@@ -66,11 +69,30 @@ struct Side<'a> {
 }
 
 impl<'a> Side<'a> {
-    fn new(idx: &'a TransformersIndex, disk: &'a Disk, cfg: &JoinConfig, stats: &mut TransformersStats) -> Self {
+    fn new(
+        idx: &'a TransformersIndex,
+        disk: &'a Disk,
+        cfg: &JoinConfig,
+        stats: &mut TransformersStats,
+    ) -> Self {
         // Join startup: (re)load the descriptor tables from the metadata
         // region — sequential reads charged to the disk.
         let (nodes, units, meta_pages) = idx.load_metadata(disk);
         stats.metadata_pages_read += meta_pages;
+        Self::with_tables(idx, disk, cfg, Arc::new(nodes), Arc::new(units))
+    }
+
+    /// Builds a side from pre-loaded descriptor tables. The parallel
+    /// execution path loads the tables once and shares them across all
+    /// workers, so the metadata region is only read (and charged) once
+    /// per join and the tables exist once in memory.
+    fn with_tables(
+        idx: &'a TransformersIndex,
+        disk: &'a Disk,
+        cfg: &JoinConfig,
+        nodes: Arc<Vec<SpaceNode>>,
+        units: Arc<Vec<SpaceUnitDesc>>,
+    ) -> Self {
         let n = nodes.len();
         Self {
             idx,
@@ -119,6 +141,38 @@ struct Ctx {
     raw: Vec<ResultPair>,
 }
 
+impl Ctx {
+    /// Builds the join context: capacity-derived cost-model terms plus the
+    /// device-bound Eq. 4/8 terms taken from `model_disk`'s disk model.
+    fn new(
+        cfg: &JoinConfig,
+        idx_a: &TransformersIndex,
+        idx_b: &TransformersIndex,
+        model_disk: &Disk,
+        stats: TransformersStats,
+    ) -> Self {
+        let unit_cap = idx_a.unit_capacity().max(idx_b.unit_capacity());
+        let node_cap = idx_a.node_capacity().max(idx_b.node_capacity());
+        // Device-bound Eq. 4/8 terms from the disk model (see CostModel docs).
+        let model = model_disk.model();
+        let device = crate::costmodel::DeviceParams {
+            // One extra fine-grained batch costs roughly one random
+            // repositioning; one extra page within a batch costs one
+            // sequential transfer. The resulting thresholds put the split
+            // point where skipping data actually beats reading through it
+            // on the modelled device.
+            reposition: model.typical_random_cost(),
+            transfer: model.sequential_cost(),
+        };
+        Self {
+            cfg: *cfg,
+            cost: CostModel::with_device(cfg.thresholds, unit_cap, node_cap, device),
+            stats,
+            raw: Vec::new(),
+        }
+    }
+}
+
 /// Runs the TRANSFORMERS join between two indexed datasets.
 ///
 /// Both indexes must have been built (with [`TransformersIndex::build`]) on
@@ -136,25 +190,7 @@ pub fn transformers_join(
     let mut side_a = Side::new(idx_a, disk_a, cfg, &mut stats);
     let mut side_b = Side::new(idx_b, disk_b, cfg, &mut stats);
 
-    let unit_cap = idx_a.unit_capacity().max(idx_b.unit_capacity());
-    let node_cap = idx_a.node_capacity().max(idx_b.node_capacity());
-    // Device-bound Eq. 4/8 terms from the disk model (see CostModel docs).
-    let model = disk_b.model();
-    let device = crate::costmodel::DeviceParams {
-        // One extra fine-grained batch costs roughly one random
-        // repositioning; one extra page within a batch costs one sequential
-        // transfer. The resulting thresholds put the split point where
-        // skipping data actually beats reading through it on the modelled
-        // device.
-        reposition: model.typical_random_cost(),
-        transfer: model.sequential_cost(),
-    };
-    let mut ctx = Ctx {
-        cfg: *cfg,
-        cost: CostModel::with_device(cfg.thresholds, unit_cap, node_cap, device),
-        stats,
-        raw: Vec::new(),
-    };
+    let mut ctx = Ctx::new(cfg, idx_a, idx_b, disk_b, stats);
 
     let guide_is_a = matches!(cfg.first_guide, GuidePick::A);
 
@@ -233,7 +269,12 @@ fn locate(ctx: &mut Ctx, follower: &mut Side<'_>, pivot_box: &Aabb) -> Option<No
             // The greedy walk gave up; verify with the exhaustive scan so
             // no result can ever be missed.
             ctx.stats.walk_fallbacks += 1;
-            scan_for_intersection(&follower.nodes, reach, pivot_box, &mut ctx.stats.metadata_tests)
+            scan_for_intersection(
+                &follower.nodes,
+                reach,
+                pivot_box,
+                &mut ctx.stats.metadata_tests,
+            )
         }
     }
 }
@@ -255,11 +296,15 @@ fn process_node_pivot(
         return;
     }
 
+    // Walk steps of *this pivot* only: the cost model calibrates per-step
+    // exploration time, so it must see the delta, not the running total.
+    let walk_before = ctx.stats.walk_steps;
     let Some(nf) = locate(ctx, follower, &pivot_box) else {
         guide.mark_checked(ng);
         let dt = t0.elapsed();
         ctx.stats.exploration_overhead += dt;
-        ctx.cost.record_exploration(ctx.stats.walk_steps.max(1), dt);
+        ctx.cost
+            .record_exploration((ctx.stats.walk_steps - walk_before).max(1), dt);
         return;
     };
 
@@ -328,8 +373,10 @@ fn process_node_pivot(
     };
     let dt_explore = t0.elapsed();
     ctx.stats.exploration_overhead += dt_explore;
-    ctx.cost
-        .record_exploration(crawl.steps + ctx.stats.walk_steps.max(1), dt_explore);
+    ctx.cost.record_exploration(
+        crawl.steps + (ctx.stats.walk_steps - walk_before).max(1),
+        dt_explore,
+    );
 
     // Read the surviving pages in ascending page order (elevator order):
     // a node's units occupy contiguous pages, so candidate batches read
@@ -352,7 +399,12 @@ fn process_node_pivot(
     // In-memory join (grid hash join, §VII-A).
     let tj = Instant::now();
     let before = ctx.stats.mem.element_tests;
-    let pairs = grid_hash_join(&guide_elems, &follower_elems, &ctx.cfg.mem_grid, &mut ctx.stats.mem);
+    let pairs = grid_hash_join(
+        &guide_elems,
+        &follower_elems,
+        &ctx.cfg.mem_grid,
+        &mut ctx.stats.mem,
+    );
     let dt = tj.elapsed();
     ctx.stats.join_cpu += dt;
     ctx.cost
@@ -437,7 +489,12 @@ fn process_node_units(
             Some(n) => Some(n),
             None => {
                 ctx.stats.walk_fallbacks += 1;
-                scan_for_intersection(&follower.nodes, reach, &pivot_box, &mut ctx.stats.metadata_tests)
+                scan_for_intersection(
+                    &follower.nodes,
+                    reach,
+                    &pivot_box,
+                    &mut ctx.stats.metadata_tests,
+                )
             }
         };
         let Some(nf) = found else {
@@ -476,8 +533,12 @@ fn process_node_units(
             .candidates
             .iter()
             .min_by(|&&x, &&y| {
-                let dx = follower.units[x.0 as usize].page_mbb.min_distance_sq(&pivot_box);
-                let dy = follower.units[y.0 as usize].page_mbb.min_distance_sq(&pivot_box);
+                let dx = follower.units[x.0 as usize]
+                    .page_mbb
+                    .min_distance_sq(&pivot_box);
+                let dy = follower.units[y.0 as usize]
+                    .page_mbb
+                    .min_distance_sq(&pivot_box);
                 dx.total_cmp(&dy)
             })
             .copied()
@@ -488,13 +549,13 @@ fn process_node_units(
         let split_elements = ctx.cost.should_split_unit(ratio);
         let dt_explore = t0.elapsed();
         ctx.stats.exploration_overhead += dt_explore;
-        ctx.cost.record_exploration(r.steps + crawl.steps, dt_explore);
+        ctx.cost
+            .record_exploration(r.steps + crawl.steps, dt_explore);
 
         // Read the guide unit's page.
         let mut guide_elems = Vec::new();
         guide.read_unit_elements(unit_id, &mut guide_elems);
-        ctx.cost
-            .record_io(1, guide.disk.model().access_cost(false));
+        ctx.cost.record_io(1, guide.disk.model().access_cost(false));
 
         if split_elements {
             // Transform 3: element-granularity pivots. Each follower page
@@ -513,7 +574,12 @@ fn process_node_units(
             );
             let tj = Instant::now();
             let before = ctx.stats.mem.element_tests;
-            let pairs = grid_hash_join(&guide_elems, &follower_elems, &ctx.cfg.mem_grid, &mut ctx.stats.mem);
+            let pairs = grid_hash_join(
+                &guide_elems,
+                &follower_elems,
+                &ctx.cfg.mem_grid,
+                &mut ctx.stats.mem,
+            );
             let dt = tj.elapsed();
             ctx.stats.join_cpu += dt;
             ctx.cost
@@ -577,7 +643,10 @@ fn join_element_level(
             .record_comparisons(ctx.stats.mem.element_tests - before, dt);
         push_oriented(&mut ctx.raw, pairs, guide_is_a);
     }
-    ctx.cost.record_filter(candidates.len() as u64 - read_pages, candidates.len() as u64);
+    ctx.cost.record_filter(
+        candidates.len() as u64 - read_pages,
+        candidates.len() as u64,
+    );
     ctx.cost.record_io(
         read_pages,
         follower.disk.model().access_cost(false) * read_pages as u32,
@@ -590,6 +659,142 @@ fn push_oriented(raw: &mut Vec<ResultPair>, pairs: Vec<ResultPair>, guide_is_a: 
         raw.extend(pairs);
     } else {
         raw.extend(pairs.into_iter().map(|(g, f)| (f, g)));
+    }
+}
+
+/// One dataset handed to a [`PivotEngine`]: its index, its disk, and the
+/// shared pre-loaded descriptor tables.
+///
+/// The tables are loaded (and their metadata I/O charged) **once** per
+/// join by the caller — see [`TransformersIndex::load_metadata`] — and
+/// shared read-only across all engines via `Arc`, so they exist once in
+/// memory regardless of worker count.
+pub struct EngineSide<'a> {
+    /// The dataset's index.
+    pub idx: &'a TransformersIndex,
+    /// The disk holding the dataset's pages.
+    pub disk: &'a Disk,
+    /// Space-node descriptor table (shared, read-only).
+    pub nodes: Arc<Vec<SpaceNode>>,
+    /// Space-unit descriptor table (shared, read-only).
+    pub units: Arc<Vec<SpaceUnitDesc>>,
+}
+
+/// A single-pivot join executor: the building block of the parallel
+/// execution subsystem (`tfm-exec`).
+///
+/// Each worker owns one engine — its own buffer pools, exploration
+/// scratch, cost model and statistics accumulator — and processes a
+/// disjoint subset of the guide's node pivots via [`process_pivot`]
+/// (`PivotEngine::process_pivot`). Compared to the sequential
+/// [`transformers_join`] two behaviours differ, neither affecting the
+/// result set:
+///
+/// * **No role transformations.** Every guide pivot is processed exactly
+///   once; workers never re-pivot on the follower, which keeps them
+///   independent. Completeness holds because every result pair has its
+///   guide-side element in some guide node, and processing that node
+///   finds the pair (layout transformations — node → unit → element
+///   splits — remain active, they are pivot-local).
+/// * **No cross-pivot to-do-list pruning.** Workers do not know which
+///   follower nodes other workers already covered, so duplicate pairs can
+///   be produced; the caller's merge (sort + dedup, exactly as the
+///   sequential path already does) removes them.
+///
+/// The result-pair *set* is therefore byte-identical to the sequential
+/// join's after normalization.
+pub struct PivotEngine<'a> {
+    guide: Side<'a>,
+    follower: Side<'a>,
+    ctx: Ctx,
+    guide_is_a: bool,
+    pivots_processed: u64,
+}
+
+impl<'a> PivotEngine<'a> {
+    /// Builds an engine joining `guide` pivots against `follower`.
+    ///
+    /// `guide_is_a` states whether the guide dataset is "A", so emitted
+    /// pairs can be oriented `(id in A, id in B)`.
+    pub fn new(
+        guide: EngineSide<'a>,
+        follower: EngineSide<'a>,
+        guide_is_a: bool,
+        cfg: &JoinConfig,
+    ) -> Self {
+        // Catch mismatched (index, tables) pairings at the API boundary
+        // instead of deep inside a walk as wrong results or a panic.
+        for (side, what) in [(&guide, "guide"), (&follower, "follower")] {
+            debug_assert_eq!(
+                side.nodes.len(),
+                side.idx.nodes().len(),
+                "{what} node table does not belong to {what}.idx"
+            );
+            debug_assert_eq!(
+                side.units.len(),
+                side.idx.units().len(),
+                "{what} unit table does not belong to {what}.idx"
+            );
+        }
+        let (idx_a, idx_b, model_disk) = if guide_is_a {
+            (guide.idx, follower.idx, follower.disk)
+        } else {
+            (follower.idx, guide.idx, guide.disk)
+        };
+        let ctx = Ctx::new(cfg, idx_a, idx_b, model_disk, TransformersStats::default());
+        Self {
+            guide: Side::with_tables(guide.idx, guide.disk, cfg, guide.nodes, guide.units),
+            follower: Side::with_tables(
+                follower.idx,
+                follower.disk,
+                cfg,
+                follower.nodes,
+                follower.units,
+            ),
+            ctx,
+            guide_is_a,
+            pivots_processed: 0,
+        }
+    }
+
+    /// Number of guide node pivots (`process_pivot` accepts `0..count`).
+    pub fn pivot_count(&self) -> usize {
+        self.guide.nodes.len()
+    }
+
+    /// Processes one guide node pivot: walk, transformation decision,
+    /// crawl, prefilter, page reads and in-memory join. Appends the found
+    /// pairs to the engine's private result buffer.
+    ///
+    /// # Panics
+    /// Panics if `ng >= self.pivot_count()`.
+    pub fn process_pivot(&mut self, ng: usize) {
+        assert!(ng < self.guide.nodes.len(), "pivot {ng} out of range");
+        self.pivots_processed += 1;
+        process_node_pivot(
+            &mut self.ctx,
+            &mut self.guide,
+            &mut self.follower,
+            self.guide_is_a,
+            ng,
+            false, // role switches disabled: workers must stay independent
+        );
+    }
+
+    /// Pivots processed so far.
+    pub fn pivots_processed(&self) -> u64 {
+        self.pivots_processed
+    }
+
+    /// Tears the engine down, returning the raw (unsorted, possibly
+    /// duplicated) result pairs oriented `(id in A, id in B)` plus this
+    /// worker's statistics. `pages_read` is filled from the engine's own
+    /// buffer-pool misses; `unique_results` and `sim_io` are left for the
+    /// caller, which owns deduplication and global I/O accounting.
+    pub fn finish(self) -> (Vec<ResultPair>, TransformersStats) {
+        let mut stats = self.ctx.stats;
+        stats.pages_read = self.guide.pool.misses() + self.follower.pool.misses();
+        (self.ctx.raw, stats)
     }
 }
 
@@ -620,8 +825,16 @@ mod tests {
 
     #[test]
     fn matches_oracle_uniform_similar_density() {
-        let a = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(1500, 70) });
-        let b = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(1500, 71) });
+        // Box sides large enough that the expected number of intersecting
+        // pairs is well above zero for any reasonable RNG stream.
+        let a = generate(&DatasetSpec {
+            max_side: 18.0,
+            ..DatasetSpec::uniform(1500, 70)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 18.0,
+            ..DatasetSpec::uniform(1500, 71)
+        });
         let (pairs, stats) = run_join(&a, &b, &JoinConfig::default());
         assert_eq!(pairs, oracle(&a, &b));
         assert!(stats.unique_results > 0);
@@ -630,8 +843,14 @@ mod tests {
     #[test]
     fn matches_oracle_contrasting_density() {
         // 100x density contrast: the robustness scenario of Fig. 1/10.
-        let a = generate(&DatasetSpec { max_side: 20.0, ..DatasetSpec::uniform(100, 72) });
-        let b = generate(&DatasetSpec { max_side: 3.0, ..DatasetSpec::uniform(10_000, 73) });
+        let a = generate(&DatasetSpec {
+            max_side: 20.0,
+            ..DatasetSpec::uniform(100, 72)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 3.0,
+            ..DatasetSpec::uniform(10_000, 73)
+        });
         let (pairs, _) = run_join(&a, &b, &JoinConfig::default());
         assert_eq!(pairs, oracle(&a, &b));
         // Mirror.
@@ -643,11 +862,22 @@ mod tests {
     fn matches_oracle_clustered_skew() {
         let a = generate(&DatasetSpec {
             max_side: 6.0,
-            ..DatasetSpec::with_distribution(3000, Distribution::MassiveCluster { clusters: 3, elements_per_cluster: 1000 }, 74)
+            ..DatasetSpec::with_distribution(
+                3000,
+                Distribution::MassiveCluster {
+                    clusters: 3,
+                    elements_per_cluster: 1000,
+                },
+                74,
+            )
         });
         let b = generate(&DatasetSpec {
             max_side: 6.0,
-            ..DatasetSpec::with_distribution(3000, Distribution::UniformCluster { clusters: 10 }, 75)
+            ..DatasetSpec::with_distribution(
+                3000,
+                Distribution::UniformCluster { clusters: 10 },
+                75,
+            )
         });
         let (pairs, _) = run_join(&a, &b, &JoinConfig::default());
         assert_eq!(pairs, oracle(&a, &b));
@@ -666,7 +896,10 @@ mod tests {
             max_side: 10.0,
             ..DatasetSpec::with_distribution(2000, Distribution::DenseCluster { clusters: 8 }, 77)
         });
-        let b = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(2000, 78) });
+        let b = generate(&DatasetSpec {
+            max_side: 10.0,
+            ..DatasetSpec::uniform(2000, 78)
+        });
         let expected = oracle(&a, &b);
         for policy in [
             ThresholdPolicy::CostModel,
@@ -682,11 +915,20 @@ mod tests {
 
     #[test]
     fn guide_choice_does_not_change_results() {
-        let a = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(1000, 79) });
-        let b = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(5000, 80) });
+        let a = generate(&DatasetSpec {
+            max_side: 10.0,
+            ..DatasetSpec::uniform(1000, 79)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 10.0,
+            ..DatasetSpec::uniform(5000, 80)
+        });
         let expected = oracle(&a, &b);
         for first_guide in [GuidePick::A, GuidePick::B] {
-            let cfg = JoinConfig { first_guide, ..JoinConfig::default() };
+            let cfg = JoinConfig {
+                first_guide,
+                ..JoinConfig::default()
+            };
             let (pairs, _) = run_join(&a, &b, &cfg);
             assert_eq!(pairs, expected);
         }
@@ -706,11 +948,17 @@ mod tests {
     #[test]
     fn disjoint_regions_produce_nothing_but_terminate() {
         let a = generate(&DatasetSpec {
-            universe: Aabb::new(tfm_geom::Point3::new(0.0, 0.0, 0.0), tfm_geom::Point3::new(100.0, 100.0, 100.0)),
+            universe: Aabb::new(
+                tfm_geom::Point3::new(0.0, 0.0, 0.0),
+                tfm_geom::Point3::new(100.0, 100.0, 100.0),
+            ),
             ..DatasetSpec::uniform(800, 82)
         });
         let b = generate(&DatasetSpec {
-            universe: Aabb::new(tfm_geom::Point3::new(500.0, 500.0, 500.0), tfm_geom::Point3::new(600.0, 600.0, 600.0)),
+            universe: Aabb::new(
+                tfm_geom::Point3::new(500.0, 500.0, 500.0),
+                tfm_geom::Point3::new(600.0, 600.0, 600.0),
+            ),
             ..DatasetSpec::uniform(800, 83)
         });
         let (pairs, _) = run_join(&a, &b, &JoinConfig::default());
@@ -724,8 +972,22 @@ mod tests {
             max_side: 4.0,
             ..DatasetSpec::with_distribution(20_000, Distribution::massive_cluster_for(20_000), 84)
         });
-        let b = generate(&DatasetSpec { max_side: 4.0, ..DatasetSpec::uniform(20_000, 85) });
-        let (pairs, stats) = run_join(&a, &b, &JoinConfig::default());
+        let b = generate(&DatasetSpec {
+            max_side: 4.0,
+            ..DatasetSpec::uniform(20_000, 85)
+        });
+        // Small capacities give the index enough nodes that the massive
+        // clusters create genuinely *local* density contrast.
+        let disk_a = Disk::default_in_memory();
+        let disk_b = Disk::default_in_memory();
+        let idx_cfg = IndexConfig {
+            unit_capacity: Some(32),
+            node_capacity: Some(8),
+        };
+        let idx_a = TransformersIndex::build(&disk_a, a.to_vec(), &idx_cfg);
+        let idx_b = TransformersIndex::build(&disk_b, b.to_vec(), &idx_cfg);
+        let out = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &JoinConfig::default());
+        let (pairs, stats) = (out.pairs, out.stats);
         assert_eq!(pairs, oracle(&a, &b));
         assert!(
             stats.transformations() > 0,
@@ -739,7 +1001,10 @@ mod tests {
             max_side: 4.0,
             ..DatasetSpec::with_distribution(5000, Distribution::massive_cluster_for(5000), 86)
         });
-        let b = generate(&DatasetSpec { max_side: 4.0, ..DatasetSpec::uniform(5000, 87) });
+        let b = generate(&DatasetSpec {
+            max_side: 4.0,
+            ..DatasetSpec::uniform(5000, 87)
+        });
         let cfg = JoinConfig::without_transformations();
         let (pairs, stats) = run_join(&a, &b, &cfg);
         assert_eq!(pairs, oracle(&a, &b));
@@ -748,11 +1013,20 @@ mod tests {
 
     #[test]
     fn prefilter_ablation_preserves_results() {
-        let a = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(2000, 88) });
-        let b = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(2000, 89) });
+        let a = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(2000, 88)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(2000, 89)
+        });
         let expected = oracle(&a, &b);
         for node_prefilter in [true, false] {
-            let cfg = JoinConfig { node_prefilter, ..JoinConfig::default() };
+            let cfg = JoinConfig {
+                node_prefilter,
+                ..JoinConfig::default()
+            };
             let (pairs, _) = run_join(&a, &b, &cfg);
             assert_eq!(pairs, expected);
         }
@@ -760,11 +1034,20 @@ mod tests {
 
     #[test]
     fn walk_start_ablation_preserves_results() {
-        let a = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(1500, 90) });
-        let b = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(1500, 91) });
+        let a = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(1500, 90)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(1500, 91)
+        });
         let expected = oracle(&a, &b);
         for hilbert_walk_start in [true, false] {
-            let cfg = JoinConfig { hilbert_walk_start, ..JoinConfig::default() };
+            let cfg = JoinConfig {
+                hilbert_walk_start,
+                ..JoinConfig::default()
+            };
             let (pairs, _) = run_join(&a, &b, &cfg);
             assert_eq!(pairs, expected);
         }
@@ -772,8 +1055,14 @@ mod tests {
 
     #[test]
     fn stats_are_internally_consistent() {
-        let a = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(3000, 92) });
-        let b = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(3000, 93) });
+        let a = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(3000, 92)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(3000, 93)
+        });
         let (pairs, stats) = run_join(&a, &b, &JoinConfig::default());
         assert_eq!(stats.unique_results, pairs.len() as u64);
         assert!(stats.mem.results >= stats.unique_results);

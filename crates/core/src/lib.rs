@@ -63,7 +63,7 @@ pub use costmodel::{CostModel, DeviceParams};
 pub use descriptor::{NodeId, SpaceNode, SpaceUnitDesc, UnitId};
 pub use distance::distance_join;
 pub use index::TransformersIndex;
-pub use join::{transformers_join, JoinOutcome};
+pub use join::{transformers_join, EngineSide, JoinOutcome, PivotEngine};
 pub use stats::TransformersStats;
 
 /// Low-level exploration primitives (adaptive walk, crawl, fallback scan).

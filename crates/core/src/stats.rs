@@ -62,7 +62,35 @@ impl TransformersStats {
 
     /// Total transformations of any kind.
     pub fn transformations(&self) -> u64 {
-        self.role_transformations + self.layout_transformations + self.element_layout_transformations
+        self.role_transformations
+            + self.layout_transformations
+            + self.element_layout_transformations
+    }
+
+    /// Accumulates another stats record into this one.
+    ///
+    /// Used by the parallel execution subsystem (`tfm-exec`) to combine
+    /// per-worker statistics: all counters are exact sums, so merging the
+    /// workers in a fixed order yields a deterministic aggregate. Fields
+    /// that are only meaningful globally (`unique_results`, `sim_io`) are
+    /// summed too and are expected to be overwritten by the caller after
+    /// the final deduplication / I/O accounting.
+    pub fn merge(&mut self, other: &TransformersStats) {
+        self.metadata_tests += other.metadata_tests;
+        self.mem.element_tests += other.mem.element_tests;
+        self.mem.results += other.mem.results;
+        self.unique_results += other.unique_results;
+        self.pages_read += other.pages_read;
+        self.metadata_pages_read += other.metadata_pages_read;
+        self.role_transformations += other.role_transformations;
+        self.layout_transformations += other.layout_transformations;
+        self.element_layout_transformations += other.element_layout_transformations;
+        self.walk_steps += other.walk_steps;
+        self.crawl_steps += other.crawl_steps;
+        self.walk_fallbacks += other.walk_fallbacks;
+        self.join_cpu += other.join_cpu;
+        self.exploration_overhead += other.exploration_overhead;
+        self.sim_io += other.sim_io;
     }
 }
 
@@ -74,7 +102,10 @@ mod tests {
     fn totals_combine_counters() {
         let s = TransformersStats {
             metadata_tests: 10,
-            mem: JoinStats { element_tests: 90, results: 5 },
+            mem: JoinStats {
+                element_tests: 90,
+                results: 5,
+            },
             sim_io: Duration::from_millis(3),
             join_cpu: Duration::from_millis(2),
             exploration_overhead: Duration::from_millis(1),
@@ -86,5 +117,41 @@ mod tests {
         assert_eq!(s.total_tests(), 100);
         assert_eq!(s.join_cost(), Duration::from_millis(5));
         assert_eq!(s.transformations(), 6);
+    }
+
+    #[test]
+    fn merge_sums_all_counters() {
+        let mut a = TransformersStats {
+            metadata_tests: 5,
+            mem: JoinStats {
+                element_tests: 10,
+                results: 2,
+            },
+            unique_results: 2,
+            pages_read: 3,
+            walk_steps: 7,
+            join_cpu: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let b = TransformersStats {
+            metadata_tests: 20,
+            mem: JoinStats {
+                element_tests: 30,
+                results: 4,
+            },
+            unique_results: 4,
+            pages_read: 6,
+            walk_steps: 1,
+            join_cpu: Duration::from_millis(2),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.metadata_tests, 25);
+        assert_eq!(a.mem.element_tests, 40);
+        assert_eq!(a.mem.results, 6);
+        assert_eq!(a.unique_results, 6);
+        assert_eq!(a.pages_read, 9);
+        assert_eq!(a.walk_steps, 8);
+        assert_eq!(a.join_cpu, Duration::from_millis(3));
     }
 }

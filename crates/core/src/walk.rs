@@ -233,7 +233,10 @@ mod tests {
 
     fn index(count: usize, seed: u64) -> TransformersIndex {
         let disk = Disk::default_in_memory();
-        let elems = generate(&DatasetSpec { max_side: 5.0, ..DatasetSpec::uniform(count, seed) });
+        let elems = generate(&DatasetSpec {
+            max_side: 5.0,
+            ..DatasetSpec::uniform(count, seed)
+        });
         // Small capacities so even modest datasets produce a rich node graph.
         let cfg = IndexConfig {
             unit_capacity: Some(16),
@@ -243,7 +246,10 @@ mod tests {
     }
 
     fn pivot_at(x: f64, y: f64, z: f64, half: f64) -> Aabb {
-        Aabb::new(Point3::new(x - half, y - half, z - half), Point3::new(x + half, y + half, z + half))
+        Aabb::new(
+            Point3::new(x - half, y - half, z - half),
+            Point3::new(x + half, y + half, z + half),
+        )
     }
 
     #[test]
@@ -251,8 +257,19 @@ mod tests {
         let idx = index(20_000, 60);
         let pivot = pivot_at(700.0, 300.0, 500.0, 10.0);
         let mut scratch = ExploreScratch::default();
-        for start in [0u32, (idx.nodes().len() / 2) as u32, (idx.nodes().len() - 1) as u32] {
-            let r = adaptive_walk(idx.nodes(), idx.reach_eps(), &pivot, NodeId(start), 64, &mut scratch);
+        for start in [
+            0u32,
+            (idx.nodes().len() / 2) as u32,
+            (idx.nodes().len() - 1) as u32,
+        ] {
+            let r = adaptive_walk(
+                idx.nodes(),
+                idx.reach_eps(),
+                &pivot,
+                NodeId(start),
+                64,
+                &mut scratch,
+            );
             let found = r.found.expect("pivot inside extent must be found");
             assert!(idx.nodes()[found.0 as usize]
                 .tile
@@ -266,11 +283,21 @@ mod tests {
         let idx = index(5_000, 61);
         let pivot = pivot_at(5000.0, 5000.0, 5000.0, 1.0);
         let mut scratch = ExploreScratch::default();
-        let r = adaptive_walk(idx.nodes(), idx.reach_eps(), &pivot, NodeId(0), 16, &mut scratch);
+        let r = adaptive_walk(
+            idx.nodes(),
+            idx.reach_eps(),
+            &pivot,
+            NodeId(0),
+            16,
+            &mut scratch,
+        );
         assert_eq!(r.found, None);
         // Fallback scan agrees.
         let mut tests = 0;
-        assert_eq!(scan_for_intersection(idx.nodes(), idx.reach_eps(), &pivot, &mut tests), None);
+        assert_eq!(
+            scan_for_intersection(idx.nodes(), idx.reach_eps(), &pivot, &mut tests),
+            None
+        );
         assert_eq!(tests as usize, idx.nodes().len());
     }
 
@@ -279,9 +306,23 @@ mod tests {
         let idx = index(20_000, 62);
         let pivot = pivot_at(400.0, 600.0, 200.0, 25.0);
         let mut scratch = ExploreScratch::default();
-        let walk = adaptive_walk(idx.nodes(), idx.reach_eps(), &pivot, NodeId(0), 64, &mut scratch);
+        let walk = adaptive_walk(
+            idx.nodes(),
+            idx.reach_eps(),
+            &pivot,
+            NodeId(0),
+            64,
+            &mut scratch,
+        );
         let from = walk.found.expect("found");
-        let crawl = adaptive_crawl(idx.nodes(), idx.units(), idx.reach_eps(), &pivot, from, &mut scratch);
+        let crawl = adaptive_crawl(
+            idx.nodes(),
+            idx.units(),
+            idx.reach_eps(),
+            &pivot,
+            from,
+            &mut scratch,
+        );
         let mut got: Vec<u32> = crawl.candidates.iter().map(|u| u.0).collect();
         got.sort_unstable();
         let mut expected: Vec<u32> = idx
@@ -299,9 +340,23 @@ mod tests {
         let idx = index(50_000, 63);
         let pivot = pivot_at(500.0, 500.0, 500.0, 3.0);
         let mut scratch = ExploreScratch::default();
-        let walk = adaptive_walk(idx.nodes(), idx.reach_eps(), &pivot, NodeId(0), 64, &mut scratch);
+        let walk = adaptive_walk(
+            idx.nodes(),
+            idx.reach_eps(),
+            &pivot,
+            NodeId(0),
+            64,
+            &mut scratch,
+        );
         let from = walk.found.expect("found");
-        let crawl = adaptive_crawl(idx.nodes(), idx.units(), idx.reach_eps(), &pivot, from, &mut scratch);
+        let crawl = adaptive_crawl(
+            idx.nodes(),
+            idx.units(),
+            idx.reach_eps(),
+            &pivot,
+            from,
+            &mut scratch,
+        );
         assert!(
             (crawl.steps as usize) < idx.nodes().len() / 4,
             "crawl visited {} of {} nodes",
@@ -316,8 +371,22 @@ mod tests {
         let mut scratch = ExploreScratch::default();
         let p1 = pivot_at(100.0, 100.0, 100.0, 5.0);
         let p2 = pivot_at(900.0, 900.0, 900.0, 5.0);
-        let r1 = adaptive_walk(idx.nodes(), idx.reach_eps(), &p1, NodeId(0), 64, &mut scratch);
-        let r2 = adaptive_walk(idx.nodes(), idx.reach_eps(), &p2, NodeId(0), 64, &mut scratch);
+        let r1 = adaptive_walk(
+            idx.nodes(),
+            idx.reach_eps(),
+            &p1,
+            NodeId(0),
+            64,
+            &mut scratch,
+        );
+        let r2 = adaptive_walk(
+            idx.nodes(),
+            idx.reach_eps(),
+            &p2,
+            NodeId(0),
+            64,
+            &mut scratch,
+        );
         assert!(r1.found.is_some());
         assert!(r2.found.is_some());
         assert_ne!(r1.found, r2.found);

@@ -6,12 +6,19 @@ use tfm_geom::{Aabb, Point3, SpatialElement};
 use tfm_memjoin::{canonicalize, nested_loop_join, JoinStats};
 use tfm_storage::Disk;
 use transformers::{
-    GuidePick, IndexConfig, JoinConfig, ThresholdPolicy, TransformersIndex, transformers_join,
+    transformers_join, GuidePick, IndexConfig, JoinConfig, ThresholdPolicy, TransformersIndex,
 };
 
 fn arb_elems(max: usize, span: f64) -> impl Strategy<Value = Vec<SpatialElement>> {
     prop::collection::vec(
-        (0.0..span, 0.0..span, 0.0..span, 0.0..10.0f64, 0.0..10.0f64, 0.0..10.0f64),
+        (
+            0.0..span,
+            0.0..span,
+            0.0..span,
+            0.0..10.0f64,
+            0.0..10.0f64,
+            0.0..10.0f64,
+        ),
         0..max,
     )
     .prop_map(|raw| {

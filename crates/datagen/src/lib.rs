@@ -22,8 +22,8 @@
 
 #![warn(missing_docs)]
 
-mod normal;
 pub mod neuro;
+mod normal;
 mod spec;
 
 pub use spec::{DatasetSpec, Distribution, DEFAULT_UNIVERSE};
@@ -48,7 +48,9 @@ pub fn generate(spec: &DatasetSpec) -> Vec<SpatialElement> {
 /// Draws all element center points for `spec`.
 fn element_centers(spec: &DatasetSpec, rng: &mut StdRng) -> Vec<Point3> {
     match spec.distribution {
-        Distribution::Uniform => (0..spec.count).map(|_| uniform_point(&spec.universe, rng)).collect(),
+        Distribution::Uniform => (0..spec.count)
+            .map(|_| uniform_point(&spec.universe, rng))
+            .collect(),
         Distribution::DenseCluster { clusters } => {
             clustered_centers(spec, clusters, dense_cluster_sigma(&spec.universe), rng)
         }
@@ -81,7 +83,12 @@ fn mean_extent(universe: &Aabb) -> f64 {
 
 /// Cluster centers from N(µ = mid, σ = 0.22·extent) per dimension, elements
 /// normally distributed around their cluster center with the given σ.
-fn clustered_centers(spec: &DatasetSpec, clusters: usize, sigma: f64, rng: &mut StdRng) -> Vec<Point3> {
+fn clustered_centers(
+    spec: &DatasetSpec,
+    clusters: usize,
+    sigma: f64,
+    rng: &mut StdRng,
+) -> Vec<Point3> {
     assert!(clusters > 0, "cluster count must be positive");
     let cluster_centers: Vec<Point3> = (0..clusters)
         .map(|_| normal_point_in(&spec.universe, rng))
@@ -116,8 +123,14 @@ fn massive_cluster_centers(
             let c = normal_point_in(&spec.universe, rng);
             let half = side / 2.0;
             Aabb::new(
-                clamp_into(Point3::new(c.x - half, c.y - half, c.z - half), &spec.universe),
-                clamp_into(Point3::new(c.x + half, c.y + half, c.z + half), &spec.universe),
+                clamp_into(
+                    Point3::new(c.x - half, c.y - half, c.z - half),
+                    &spec.universe,
+                ),
+                clamp_into(
+                    Point3::new(c.x + half, c.y + half, c.z + half),
+                    &spec.universe,
+                ),
             )
         })
         .collect();
@@ -200,7 +213,10 @@ mod tests {
             Distribution::Uniform,
             Distribution::DenseCluster { clusters: 7 },
             Distribution::UniformCluster { clusters: 3 },
-            Distribution::MassiveCluster { clusters: 2, elements_per_cluster: 100 },
+            Distribution::MassiveCluster {
+                clusters: 2,
+                elements_per_cluster: 100,
+            },
         ] {
             let data = generate(&spec(500, dist));
             assert_eq!(data.len(), 500);
@@ -271,7 +287,13 @@ mod tests {
 
     #[test]
     fn massive_cluster_fills_clusters_first() {
-        let data = generate(&spec(250, Distribution::MassiveCluster { clusters: 5, elements_per_cluster: 50 }));
+        let data = generate(&spec(
+            250,
+            Distribution::MassiveCluster {
+                clusters: 5,
+                elements_per_cluster: 50,
+            },
+        ));
         assert_eq!(data.len(), 250);
         // With exactly clusters*epc == count there is no background noise;
         // each 10%-wide region should hold its elements tightly. Verify by

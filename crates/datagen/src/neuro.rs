@@ -43,7 +43,10 @@ pub fn dendrites(count: usize, seed: u64) -> Vec<SpatialElement> {
 /// paper's combined dataset.
 pub fn axon_dendrite_pair(total: usize, seed: u64) -> (Vec<SpatialElement>, Vec<SpatialElement>) {
     let n_axons = (total as f64 * AXON_FRACTION).round() as usize;
-    (axons(n_axons, seed), dendrites(total - n_axons, seed ^ 0x9e3779b97f4a7c15))
+    (
+        axons(n_axons, seed),
+        dendrites(total - n_axons, seed ^ 0x9e3779b97f4a7c15),
+    )
 }
 
 fn cylinders(count: usize, seed: u64, z_mean_frac: f64, z_sigma_frac: f64) -> Vec<SpatialElement> {
@@ -56,8 +59,12 @@ fn cylinders(count: usize, seed: u64, z_mean_frac: f64, z_sigma_frac: f64) -> Ve
             // sampling a branch anchor every 16 segments.
             let cx = rng.random_range(universe.min.x..universe.max.x);
             let cy = rng.random_range(universe.min.y..universe.max.y);
-            let cz = normal::sample(&mut rng, universe.min.z + z_mean_frac * zext, z_sigma_frac * zext)
-                .clamp(universe.min.z, universe.max.z);
+            let cz = normal::sample(
+                &mut rng,
+                universe.min.z + z_mean_frac * zext,
+                z_sigma_frac * zext,
+            )
+            .clamp(universe.min.z, universe.max.z);
 
             // Cylinder-like: one long axis (1..6 units), two thin axes
             // (0.1..0.5 units). The long axis direction varies.
@@ -65,7 +72,11 @@ fn cylinders(count: usize, seed: u64, z_mean_frac: f64, z_sigma_frac: f64) -> Ve
             let thin1 = rng.random_range(0.1..0.5f64);
             let thin2 = rng.random_range(0.1..0.5f64);
             let axis = rng.random_range(0..3usize);
-            let mut half = [thin1 / 2.0, thin2 / 2.0, rng.random_range(0.1..0.5f64) / 2.0];
+            let mut half = [
+                thin1 / 2.0,
+                thin2 / 2.0,
+                rng.random_range(0.1..0.5f64) / 2.0,
+            ];
             half[axis] = long / 2.0;
 
             let min = Point3::new(
@@ -97,9 +108,8 @@ mod tests {
     #[test]
     fn axons_sit_higher_than_dendrites() {
         let (a, d) = axon_dendrite_pair(4000, 2);
-        let mean_z = |v: &[SpatialElement]| {
-            v.iter().map(|e| e.mbb.center().z).sum::<f64>() / v.len() as f64
-        };
+        let mean_z =
+            |v: &[SpatialElement]| v.iter().map(|e| e.mbb.center().z).sum::<f64>() / v.len() as f64;
         assert!(
             mean_z(&a) > mean_z(&d) + 100.0,
             "axons z {} vs dendrites z {}",

@@ -122,7 +122,10 @@ mod tests {
         let d = Distribution::massive_cluster_for(1000);
         assert_eq!(
             d,
-            Distribution::MassiveCluster { clusters: 5, elements_per_cluster: 200 }
+            Distribution::MassiveCluster {
+                clusters: 5,
+                elements_per_cluster: 200
+            }
         );
     }
 

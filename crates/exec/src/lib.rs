@@ -1,0 +1,343 @@
+//! **tfm-exec** — parallel execution subsystem for the TRANSFORMERS
+//! spatial join.
+//!
+//! The sequential [`transformers::transformers_join`] visits the guide's
+//! space-node pivots one after the other. Per-pivot work — the adaptive
+//! walk, the crawl, page reads and the in-memory grid hash join — only
+//! *reads* the two indexes and disks, so once storage access is
+//! thread-safe (which `tfm-storage` guarantees: `Disk` reads take `&self`
+//! and its I/O counters are atomics), the join is embarrassingly parallel
+//! across pivots. This crate supplies the machinery:
+//!
+//! * [`JoinScheduler`] — partitions the pivot list into contiguous chunks,
+//!   statically sharded across workers, with work stealing for the
+//!   stragglers that non-uniform data inevitably produces;
+//! * a scoped **worker pool** where each worker owns a private
+//!   [`transformers::PivotEngine`] (its own buffer pools, exploration
+//!   scratch, cost model and statistics accumulator);
+//! * a **deterministic merge**: raw per-worker pair buffers are
+//!   concatenated in worker order, sorted and deduplicated — exactly the
+//!   normalization the sequential join applies — so [`parallel_join`]
+//!   returns a byte-identical pair vector regardless of thread count or
+//!   scheduling; per-worker [`transformers::TransformersStats`] are summed
+//!   in worker order.
+//!
+//! # Example
+//!
+//! ```
+//! use tfm_storage::Disk;
+//! use tfm_datagen::{generate, DatasetSpec};
+//! use transformers::{transformers_join, IndexConfig, JoinConfig, TransformersIndex};
+//! use tfm_exec::parallel_join;
+//!
+//! let disk_a = Disk::default_in_memory();
+//! let disk_b = Disk::default_in_memory();
+//! let idx_a = TransformersIndex::build(&disk_a, generate(&DatasetSpec::uniform(2_000, 1)), &IndexConfig::default());
+//! let idx_b = TransformersIndex::build(&disk_b, generate(&DatasetSpec::uniform(2_000, 2)), &IndexConfig::default());
+//!
+//! let cfg = JoinConfig::default();
+//! let par = parallel_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg, 4);
+//! let seq = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg);
+//! assert_eq!(par.pairs, seq.pairs);
+//! ```
+
+#![warn(missing_docs)]
+
+mod scheduler;
+
+pub use scheduler::{Chunk, JoinScheduler};
+
+use std::sync::Arc;
+use tfm_storage::Disk;
+use transformers::{
+    EngineSide, GuidePick, JoinConfig, JoinOutcome, PivotEngine, TransformersIndex,
+    TransformersStats,
+};
+
+/// What one worker hands back: raw pairs, its stats, pivots processed.
+type WorkerResult = (Vec<(u64, u64)>, TransformersStats, u64);
+
+/// How a parallel join was executed: scheduling and balance counters.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// Workers actually spawned.
+    pub threads: usize,
+    /// Guide pivots processed (sum over workers).
+    pub pivots: u64,
+    /// Chunks the pivot list was split into.
+    pub chunks: usize,
+    /// Pivots per chunk the scheduler aimed for.
+    pub chunk_size: usize,
+    /// Chunks a worker obtained by stealing from another worker's share.
+    pub steals: u64,
+    /// Pivots processed by each worker — the skew between entries shows
+    /// how unbalanced the workload was before stealing evened it out.
+    pub worker_pivots: Vec<u64>,
+}
+
+/// Runs the TRANSFORMERS join in parallel over `threads` workers and also
+/// returns the execution report.
+///
+/// See [`parallel_join`] for the semantics; this variant additionally
+/// exposes scheduling counters for benchmarks and the CLI.
+pub fn parallel_join_with_report(
+    idx_a: &TransformersIndex,
+    disk_a: &Disk,
+    idx_b: &TransformersIndex,
+    disk_b: &Disk,
+    cfg: &JoinConfig,
+    threads: usize,
+) -> (JoinOutcome, ExecReport) {
+    let threads = threads.max(1);
+    let io_before = disk_a.stats().merged(&disk_b.stats());
+    let mut stats = TransformersStats::default();
+
+    // Load each side's descriptor tables once (charged as metadata I/O,
+    // exactly like the sequential join's startup); workers share them
+    // read-only through `Arc`s.
+    let (nodes_a, units_a, meta_a) = idx_a.load_metadata(disk_a);
+    let (nodes_b, units_b, meta_b) = idx_b.load_metadata(disk_b);
+    stats.metadata_pages_read += meta_a + meta_b;
+    let (nodes_a, units_a) = (Arc::new(nodes_a), Arc::new(units_a));
+    let (nodes_b, units_b) = (Arc::new(nodes_b), Arc::new(units_b));
+
+    // The configured first guide supplies the pivots. Role transformations
+    // are disabled inside the engine (workers must stay independent), so
+    // the guide choice is fixed for the whole join.
+    let guide_is_a = matches!(cfg.first_guide, GuidePick::A);
+    // One routing decision so index, disk and tables can never pair up
+    // inconsistently: (idx, disk, nodes, units) per role.
+    let (guide_side, follower_side) = if guide_is_a {
+        (
+            (idx_a, disk_a, &nodes_a, &units_a),
+            (idx_b, disk_b, &nodes_b, &units_b),
+        )
+    } else {
+        (
+            (idx_b, disk_b, &nodes_b, &units_b),
+            (idx_a, disk_a, &nodes_a, &units_a),
+        )
+    };
+
+    let pivots = guide_side.2.len();
+    let chunk_size = JoinScheduler::default_chunk_size(pivots, threads);
+    let scheduler = JoinScheduler::new(pivots, threads, chunk_size);
+
+    // Split the configured buffer-pool budget across the workers so the
+    // aggregate page-cache size stays close to the sequential join's
+    // instead of silently multiplying by the worker count. Each pool
+    // needs at least one page, so with `threads > pool_pages` the
+    // aggregate necessarily exceeds the configured budget.
+    let worker_cfg = JoinConfig {
+        pool_pages: (cfg.pool_pages / threads).max(1),
+        ..*cfg
+    };
+
+    let mut worker_results: Vec<WorkerResult> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let scheduler = &scheduler;
+                let guide = EngineSide {
+                    idx: guide_side.0,
+                    disk: guide_side.1,
+                    nodes: Arc::clone(guide_side.2),
+                    units: Arc::clone(guide_side.3),
+                };
+                let follower = EngineSide {
+                    idx: follower_side.0,
+                    disk: follower_side.1,
+                    nodes: Arc::clone(follower_side.2),
+                    units: Arc::clone(follower_side.3),
+                };
+                let worker_cfg = &worker_cfg;
+                let worker = move || {
+                    let mut engine = PivotEngine::new(guide, follower, guide_is_a, worker_cfg);
+                    while let Some(chunk) = scheduler.next(w) {
+                        for ng in chunk.start..chunk.end {
+                            engine.process_pivot(ng);
+                        }
+                    }
+                    let processed = engine.pivots_processed();
+                    let (raw, stats) = engine.finish();
+                    (raw, stats, processed)
+                };
+                (w, scope.spawn(worker))
+            })
+            .collect();
+        for (w, handle) in handles {
+            let result = handle
+                .join()
+                .unwrap_or_else(|_| panic!("join worker {w} panicked"));
+            worker_results.push(result);
+        }
+    });
+
+    // Deterministic merge: concatenate in worker order, then normalize the
+    // pair set the same way the sequential join does (sort + dedup). The
+    // final vector is byte-identical to the sequential result.
+    let mut raw = Vec::new();
+    let mut worker_pivots = Vec::with_capacity(threads);
+    for (pairs, worker_stats, processed) in worker_results {
+        raw.extend(pairs);
+        stats.merge(&worker_stats);
+        worker_pivots.push(processed);
+    }
+    raw.sort_unstable();
+    raw.dedup();
+    stats.unique_results = raw.len() as u64;
+
+    let io_after = disk_a.stats().merged(&disk_b.stats());
+    stats.sim_io = io_after.delta_since(&io_before).sim_io_time();
+
+    let report = ExecReport {
+        threads,
+        pivots: worker_pivots.iter().sum(),
+        chunks: scheduler.chunk_count(),
+        chunk_size: scheduler.chunk_size(),
+        steals: scheduler.steals(),
+        worker_pivots,
+    };
+    (JoinOutcome { pairs: raw, stats }, report)
+}
+
+/// Runs the TRANSFORMERS join between two indexed datasets in parallel
+/// over `threads` workers (`threads == 0` is treated as 1).
+///
+/// Guide pivots are sharded across a scoped worker pool; each worker
+/// explores and joins its pivots with a private [`PivotEngine`], and the
+/// per-worker results are merged deterministically. The returned pair
+/// vector is **byte-identical** to [`transformers::transformers_join`]'s
+/// for any thread count; the statistics are exact sums of the per-worker
+/// counters (role transformations are always 0 in the parallel path —
+/// layout transformations remain active).
+pub fn parallel_join(
+    idx_a: &TransformersIndex,
+    disk_a: &Disk,
+    idx_b: &TransformersIndex,
+    disk_b: &Disk,
+    cfg: &JoinConfig,
+    threads: usize,
+) -> JoinOutcome {
+    parallel_join_with_report(idx_a, disk_a, idx_b, disk_b, cfg, threads).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_datagen::{generate, DatasetSpec, Distribution};
+    use tfm_storage::Disk;
+    use transformers::{transformers_join, IndexConfig};
+
+    fn build(spec: &DatasetSpec) -> (Disk, TransformersIndex) {
+        let disk = Disk::default_in_memory();
+        let idx = TransformersIndex::build(&disk, generate(spec), &IndexConfig::default());
+        (disk, idx)
+    }
+
+    fn uniform(count: usize, seed: u64) -> DatasetSpec {
+        DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(count, seed)
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_uniform_data() {
+        let (disk_a, idx_a) = build(&uniform(3_000, 1));
+        let (disk_b, idx_b) = build(&uniform(3_000, 2));
+        let cfg = JoinConfig::default();
+        let seq = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg);
+        for threads in [1, 2, 4] {
+            let par = parallel_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg, threads);
+            assert_eq!(par.pairs, seq.pairs, "threads = {threads}");
+            assert_eq!(par.stats.unique_results, seq.stats.unique_results);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_skewed_data() {
+        let (disk_a, idx_a) = build(&DatasetSpec {
+            max_side: 5.0,
+            ..DatasetSpec::with_distribution(
+                6_000,
+                Distribution::MassiveCluster {
+                    clusters: 4,
+                    elements_per_cluster: 1_500,
+                },
+                3,
+            )
+        });
+        let (disk_b, idx_b) = build(&uniform(6_000, 4));
+        let cfg = JoinConfig::default();
+        let seq = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg);
+        let par = parallel_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg, 4);
+        assert_eq!(par.pairs, seq.pairs);
+    }
+
+    #[test]
+    fn guide_pick_b_still_orients_pairs_as_a_b() {
+        let (disk_a, idx_a) = build(&uniform(1_500, 5));
+        let (disk_b, idx_b) = build(&uniform(4_000, 6));
+        let cfg = JoinConfig {
+            first_guide: GuidePick::B,
+            ..JoinConfig::default()
+        };
+        let seq = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg);
+        let par = parallel_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg, 3);
+        assert_eq!(par.pairs, seq.pairs);
+    }
+
+    #[test]
+    fn report_accounts_for_every_pivot() {
+        let (disk_a, idx_a) = build(&uniform(5_000, 7));
+        let (disk_b, idx_b) = build(&uniform(5_000, 8));
+        let cfg = JoinConfig::default();
+        let (out, report) = parallel_join_with_report(&idx_a, &disk_a, &idx_b, &disk_b, &cfg, 4);
+        assert!(out.stats.unique_results > 0);
+        assert_eq!(report.threads, 4);
+        assert_eq!(report.worker_pivots.len(), 4);
+        assert_eq!(report.pivots as usize, idx_a.nodes().len());
+        assert_eq!(report.worker_pivots.iter().sum::<u64>(), report.pivots);
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        let (disk_a, idx_a) = build(&uniform(1_000, 9));
+        let disk_e = Disk::default_in_memory();
+        let idx_e = TransformersIndex::build(&disk_e, Vec::new(), &IndexConfig::default());
+        let cfg = JoinConfig::default();
+        assert!(parallel_join(&idx_a, &disk_a, &idx_e, &disk_e, &cfg, 4)
+            .pairs
+            .is_empty());
+        assert!(parallel_join(&idx_e, &disk_e, &idx_a, &disk_a, &cfg, 4)
+            .pairs
+            .is_empty());
+        assert!(parallel_join(&idx_e, &disk_e, &idx_e, &disk_e, &cfg, 2)
+            .pairs
+            .is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let (disk_a, idx_a) = build(&uniform(800, 10));
+        let (disk_b, idx_b) = build(&uniform(800, 11));
+        let cfg = JoinConfig::default();
+        let seq = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg);
+        let par = parallel_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg, 0);
+        assert_eq!(par.pairs, seq.pairs);
+    }
+
+    #[test]
+    fn stats_cover_the_work_done() {
+        let (disk_a, idx_a) = build(&uniform(4_000, 12));
+        let (disk_b, idx_b) = build(&uniform(4_000, 13));
+        let cfg = JoinConfig::default();
+        let par = parallel_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg, 4);
+        assert_eq!(par.stats.unique_results, par.pairs.len() as u64);
+        assert!(par.stats.pages_read > 0);
+        assert!(par.stats.metadata_pages_read > 0);
+        assert!(par.stats.walk_steps > 0);
+        assert_eq!(par.stats.role_transformations, 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Pivot scheduling: static sharding plus work stealing.
+//!
+//! The guide's space-node pivot list is split into contiguous chunks that
+//! are dealt to per-worker deques up front (*static sharding* — contiguous
+//! pivot ranges keep the follower walk short, because consecutive STR
+//! nodes are spatially adjacent). Pivot cost is highly skewed on
+//! non-uniform data — a pivot inside a massive cluster can cost orders of
+//! magnitude more than one in empty space — so workers that drain their
+//! own deque *steal* chunks from the back of the fullest other deque
+//! (stragglers keep the front of their own queue, preserving their
+//! locality run).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A contiguous range of guide pivot indices, `start..end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// First pivot index in the chunk.
+    pub start: usize,
+    /// One past the last pivot index.
+    pub end: usize,
+}
+
+impl Chunk {
+    /// Number of pivots in the chunk.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the chunk covers no pivots.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Deals pivot chunks to a fixed set of workers, with stealing.
+pub struct JoinScheduler {
+    queues: Vec<Mutex<VecDeque<Chunk>>>,
+    chunks: usize,
+    chunk_size: usize,
+    steals: AtomicU64,
+}
+
+impl JoinScheduler {
+    /// Partitions `pivots` pivot indices among `workers` workers in chunks
+    /// of at most `chunk_size` pivots each.
+    ///
+    /// Each worker's static share is one contiguous slab of the pivot
+    /// range (worker 0 gets the lowest indices), sliced into chunks so
+    /// that stealing has useful granularity.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` or `chunk_size == 0`.
+    pub fn new(pivots: usize, workers: usize, chunk_size: usize) -> Self {
+        assert!(workers > 0, "scheduler needs at least one worker");
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let mut queues: Vec<VecDeque<Chunk>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let mut chunks = 0;
+        let per_worker = pivots.div_ceil(workers);
+        for (w, queue) in queues.iter_mut().enumerate() {
+            let slab_start = (w * per_worker).min(pivots);
+            let slab_end = ((w + 1) * per_worker).min(pivots);
+            let mut start = slab_start;
+            while start < slab_end {
+                let end = (start + chunk_size).min(slab_end);
+                queue.push_back(Chunk { start, end });
+                chunks += 1;
+                start = end;
+            }
+        }
+        Self {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+            chunks,
+            chunk_size,
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Picks a chunk size that balances locality against steal granularity:
+    /// aim for several chunks per worker, capped so huge inputs still get
+    /// long contiguous runs.
+    pub fn default_chunk_size(pivots: usize, workers: usize) -> usize {
+        (pivots / (workers * 8)).clamp(1, 256)
+    }
+
+    /// Total chunks dealt at construction.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks
+    }
+
+    /// The chunk size used at construction.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Chunks obtained by stealing so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Fetches the next chunk for `worker`: the front of its own deque,
+    /// or — once that is empty — the back of the fullest other deque.
+    /// Returns `None` when every deque is empty.
+    ///
+    /// # Panics
+    /// Panics if `worker` is out of range.
+    pub fn next(&self, worker: usize) -> Option<Chunk> {
+        if let Some(chunk) = self.queues[worker]
+            .lock()
+            .expect("scheduler lock poisoned")
+            .pop_front()
+        {
+            return Some(chunk);
+        }
+        // Own deque drained: steal from the back of the fullest victim so
+        // the victim keeps the locality run at the front of its queue.
+        loop {
+            let mut best: Option<(usize, usize)> = None;
+            for (v, queue) in self.queues.iter().enumerate() {
+                if v == worker {
+                    continue;
+                }
+                let len = queue.lock().expect("scheduler lock poisoned").len();
+                if len > 0 && best.is_none_or(|(_, blen)| len > blen) {
+                    best = Some((v, len));
+                }
+            }
+            let (victim, _) = best?;
+            // The victim may have been drained between the scan and this
+            // lock; retry the scan in that case.
+            if let Some(chunk) = self.queues[victim]
+                .lock()
+                .expect("scheduler lock poisoned")
+                .pop_back()
+            {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(chunk);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn drain_all(sched: &JoinScheduler, worker: usize) -> Vec<Chunk> {
+        std::iter::from_fn(|| sched.next(worker)).collect()
+    }
+
+    #[test]
+    fn covers_every_pivot_exactly_once() {
+        for (pivots, workers, chunk) in [(100, 4, 8), (7, 3, 2), (1, 1, 1), (64, 8, 64)] {
+            let sched = JoinScheduler::new(pivots, workers, chunk);
+            let mut seen = BTreeSet::new();
+            for c in drain_all(&sched, 0) {
+                for p in c.start..c.end {
+                    assert!(seen.insert(p), "pivot {p} dealt twice");
+                }
+            }
+            assert_eq!(seen.len(), pivots);
+            assert_eq!(seen.first().copied(), (pivots > 0).then_some(0));
+            assert_eq!(seen.last().copied(), pivots.checked_sub(1));
+        }
+    }
+
+    #[test]
+    fn zero_pivots_yield_nothing() {
+        let sched = JoinScheduler::new(0, 4, 16);
+        assert_eq!(sched.next(2), None);
+        assert_eq!(sched.chunk_count(), 0);
+    }
+
+    #[test]
+    fn chunks_respect_size_bound() {
+        let sched = JoinScheduler::new(1000, 3, 16);
+        for c in drain_all(&sched, 1) {
+            assert!(c.len() <= 16 && !c.is_empty());
+        }
+    }
+
+    #[test]
+    fn stealing_kicks_in_when_own_queue_is_empty() {
+        let sched = JoinScheduler::new(64, 2, 4);
+        // Worker 1 drains everything, including worker 0's share.
+        let got = drain_all(&sched, 1);
+        assert_eq!(got.iter().map(Chunk::len).sum::<usize>(), 64);
+        assert!(sched.steals() > 0, "expected steals, got none");
+    }
+
+    #[test]
+    fn own_chunks_come_in_order() {
+        let sched = JoinScheduler::new(32, 2, 4);
+        let mut prev = None;
+        while let Some(c) = sched.next(0) {
+            if sched.steals() > 0 {
+                break; // once stealing starts, order is no longer local
+            }
+            if let Some(p) = prev {
+                assert!(c.start >= p, "own chunks must advance");
+            }
+            prev = Some(c.end);
+        }
+    }
+
+    #[test]
+    fn default_chunk_size_is_sane() {
+        assert_eq!(JoinScheduler::default_chunk_size(0, 4), 1);
+        assert!(JoinScheduler::default_chunk_size(10_000, 4) <= 256);
+        assert!(JoinScheduler::default_chunk_size(100, 2) >= 1);
+    }
+
+    #[test]
+    fn concurrent_drain_is_exact() {
+        let sched = JoinScheduler::new(500, 4, 8);
+        let counts: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|w| {
+                    let sched = &sched;
+                    s.spawn(move || drain_all(sched, w).iter().map(Chunk::len).sum::<usize>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        assert_eq!(counts.iter().sum::<usize>(), 500);
+    }
+}

@@ -28,7 +28,10 @@ impl Aabb {
     /// any coordinate is not finite.
     #[inline]
     pub fn new(min: Point3, max: Point3) -> Self {
-        debug_assert!(min.is_finite() && max.is_finite(), "non-finite Aabb corners");
+        debug_assert!(
+            min.is_finite() && max.is_finite(),
+            "non-finite Aabb corners"
+        );
         debug_assert!(
             min.x <= max.x && min.y <= max.y && min.z <= max.z,
             "Aabb min {min:?} exceeds max {max:?}"
@@ -70,7 +73,9 @@ impl Aabb {
     ///
     /// Returns [`Aabb::empty`] for an empty iterator.
     pub fn union_all<I: IntoIterator<Item = Aabb>>(boxes: I) -> Aabb {
-        boxes.into_iter().fold(Aabb::empty(), |acc, b| acc.union(&b))
+        boxes
+            .into_iter()
+            .fold(Aabb::empty(), |acc, b| acc.union(&b))
     }
 
     /// Side length along dimension `dim`.
@@ -213,7 +218,10 @@ mod tests {
     use super::*;
 
     fn bx(min: (f64, f64, f64), max: (f64, f64, f64)) -> Aabb {
-        Aabb::new(Point3::new(min.0, min.1, min.2), Point3::new(max.0, max.1, max.2))
+        Aabb::new(
+            Point3::new(min.0, min.1, min.2),
+            Point3::new(max.0, max.1, max.2),
+        )
     }
 
     #[test]

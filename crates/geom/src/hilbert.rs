@@ -182,7 +182,13 @@ mod tests {
             let diff: u32 = (0..3)
                 .map(|d| (cur[d] as i64 - prev[d] as i64).unsigned_abs() as u32)
                 .sum();
-            assert_eq!(diff, 1, "indices {} -> {} not adjacent: {prev:?} -> {cur:?}", i - 1, i);
+            assert_eq!(
+                diff,
+                1,
+                "indices {} -> {} not adjacent: {prev:?} -> {cur:?}",
+                i - 1,
+                i
+            );
             prev = cur;
         }
     }

@@ -93,8 +93,14 @@ mod tests {
 
     #[test]
     fn element_intersection_is_symmetric() {
-        let a = SpatialElement::new(0, Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(2.0, 2.0, 2.0)));
-        let b = SpatialElement::new(1, Aabb::new(Point3::new(1.0, 1.0, 1.0), Point3::new(3.0, 3.0, 3.0)));
+        let a = SpatialElement::new(
+            0,
+            Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(2.0, 2.0, 2.0)),
+        );
+        let b = SpatialElement::new(
+            1,
+            Aabb::new(Point3::new(1.0, 1.0, 1.0), Point3::new(3.0, 3.0, 3.0)),
+        );
         assert!(a.intersects(&b));
         assert!(b.intersects(&a));
     }

@@ -114,7 +114,9 @@ pub fn gipsy_join(
     cfg: &GipsyConfig,
     stats: &mut GipsyStats,
 ) -> Vec<ResultPair> {
-    use transformers::explore::{adaptive_crawl, adaptive_walk, scan_for_intersection, ExploreScratch};
+    use transformers::explore::{
+        adaptive_crawl, adaptive_walk, scan_for_intersection, ExploreScratch,
+    };
 
     let mut out = Vec::new();
     if sparse.is_empty() || dense.is_empty() {
@@ -167,7 +169,9 @@ pub fn gipsy_join(
             stats.metadata_tests += crawl.metadata_tests;
             // Elevator order: candidate pages of one element are contiguous
             // within their nodes.
-            crawl.candidates.sort_unstable_by_key(|u| units[u.0 as usize].page);
+            crawl
+                .candidates
+                .sort_unstable_by_key(|u| units[u.0 as usize].page);
 
             for cu in crawl.candidates {
                 let dense_elems = dense_codec.decode(dense_pool.read(units[cu.0 as usize].page));
@@ -195,7 +199,8 @@ mod tests {
         let sparse_disk = Disk::default_in_memory();
         let dense_disk = Disk::default_in_memory();
         let sparse_file = SparseFile::write(&sparse_disk, sparse.to_vec());
-        let dense_idx = TransformersIndex::build(&dense_disk, dense.to_vec(), &IndexConfig::default());
+        let dense_idx =
+            TransformersIndex::build(&dense_disk, dense.to_vec(), &IndexConfig::default());
         let mut stats = GipsyStats::default();
         let pairs = gipsy_join(
             &sparse_disk,
@@ -215,8 +220,14 @@ mod tests {
 
     #[test]
     fn matches_oracle_sparse_vs_dense() {
-        let sparse = generate(&DatasetSpec { max_side: 15.0, ..DatasetSpec::uniform(200, 40) });
-        let dense = generate(&DatasetSpec { max_side: 3.0, ..DatasetSpec::uniform(20_000, 41) });
+        let sparse = generate(&DatasetSpec {
+            max_side: 15.0,
+            ..DatasetSpec::uniform(200, 40)
+        });
+        let dense = generate(&DatasetSpec {
+            max_side: 3.0,
+            ..DatasetSpec::uniform(20_000, 41)
+        });
         let (pairs, stats) = run(&sparse, &dense);
         assert_eq!(canonicalize(pairs), oracle(&sparse, &dense));
         assert!(stats.walk_steps > 0);
@@ -224,15 +235,24 @@ mod tests {
 
     #[test]
     fn matches_oracle_similar_density() {
-        let a = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(2000, 42) });
-        let b = generate(&DatasetSpec { max_side: 8.0, ..DatasetSpec::uniform(2000, 43) });
+        let a = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(2000, 42)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(2000, 43)
+        });
         let (pairs, _) = run(&a, &b);
         assert_eq!(canonicalize(pairs), oracle(&a, &b));
     }
 
     #[test]
     fn matches_oracle_clustered_dense() {
-        let sparse = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(300, 44) });
+        let sparse = generate(&DatasetSpec {
+            max_side: 10.0,
+            ..DatasetSpec::uniform(300, 44)
+        });
         let dense = generate(&DatasetSpec {
             max_side: 3.0,
             ..DatasetSpec::with_distribution(8000, Distribution::DenseCluster { clusters: 10 }, 45)
@@ -250,8 +270,14 @@ mod tests {
 
     #[test]
     fn no_duplicate_pairs() {
-        let sparse = generate(&DatasetSpec { max_side: 25.0, ..DatasetSpec::uniform(150, 47) });
-        let dense = generate(&DatasetSpec { max_side: 5.0, ..DatasetSpec::uniform(5000, 48) });
+        let sparse = generate(&DatasetSpec {
+            max_side: 25.0,
+            ..DatasetSpec::uniform(150, 47)
+        });
+        let dense = generate(&DatasetSpec {
+            max_side: 5.0,
+            ..DatasetSpec::uniform(5000, 48)
+        });
         let (pairs, _) = run(&sparse, &dense);
         let n = pairs.len();
         assert_eq!(canonicalize(pairs).len(), n);

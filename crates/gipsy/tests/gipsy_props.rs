@@ -10,7 +10,14 @@ use transformers::{IndexConfig, TransformersIndex};
 
 fn arb_elems(max: usize) -> impl Strategy<Value = Vec<SpatialElement>> {
     prop::collection::vec(
-        (0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64, 0.0..8.0f64, 0.0..8.0f64, 0.0..8.0f64),
+        (
+            0.0..100.0f64,
+            0.0..100.0f64,
+            0.0..100.0f64,
+            0.0..8.0f64,
+            0.0..8.0f64,
+            0.0..8.0f64,
+        ),
         0..max,
     )
     .prop_map(|raw| {

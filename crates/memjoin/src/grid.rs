@@ -113,9 +113,21 @@ impl Grid {
     fn cell_box(&self, x: usize, y: usize, z: usize) -> Aabb {
         let min = self.cell_min(x, y, z);
         let max = Point3::new(
-            if x + 1 == self.n { self.extent.max.x } else { min.x + self.cell_size.x },
-            if y + 1 == self.n { self.extent.max.y } else { min.y + self.cell_size.y },
-            if z + 1 == self.n { self.extent.max.z } else { min.z + self.cell_size.z },
+            if x + 1 == self.n {
+                self.extent.max.x
+            } else {
+                min.x + self.cell_size.x
+            },
+            if y + 1 == self.n {
+                self.extent.max.y
+            } else {
+                min.y + self.cell_size.y
+            },
+            if z + 1 == self.n {
+                self.extent.max.z
+            } else {
+                min.z + self.cell_size.z
+            },
         );
         Aabb::new(min, max)
     }
@@ -189,7 +201,10 @@ mod tests {
     fn elem(id: u64, min: (f64, f64, f64), max: (f64, f64, f64)) -> SpatialElement {
         SpatialElement::new(
             id,
-            Aabb::new(Point3::new(min.0, min.1, min.2), Point3::new(max.0, max.1, max.2)),
+            Aabb::new(
+                Point3::new(min.0, min.1, min.2),
+                Point3::new(max.0, max.1, max.2),
+            ),
         )
     }
 
@@ -257,7 +272,11 @@ mod tests {
         for i in 0..100 {
             let f = i as f64 * 10.0;
             a.push(elem(i, (f, f, f), (f + 1.0, f + 1.0, f + 1.0)));
-            b.push(elem(i, (f + 0.5, f + 0.5, f + 0.5), (f + 1.5, f + 1.5, f + 1.5)));
+            b.push(elem(
+                i,
+                (f + 0.5, f + 0.5, f + 0.5),
+                (f + 1.5, f + 1.5, f + 1.5),
+            ));
         }
         let mut sn = JoinStats::default();
         let mut sg = JoinStats::default();

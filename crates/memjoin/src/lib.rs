@@ -83,13 +83,19 @@ mod tests {
     fn elem(id: u64, min: (f64, f64, f64), max: (f64, f64, f64)) -> SpatialElement {
         SpatialElement::new(
             id,
-            Aabb::new(Point3::new(min.0, min.1, min.2), Point3::new(max.0, max.1, max.2)),
+            Aabb::new(
+                Point3::new(min.0, min.1, min.2),
+                Point3::new(max.0, max.1, max.2),
+            ),
         )
     }
 
     #[test]
     fn nested_loop_finds_pairs_and_counts_tests() {
-        let a = vec![elem(0, (0.0, 0.0, 0.0), (1.0, 1.0, 1.0)), elem(1, (5.0, 5.0, 5.0), (6.0, 6.0, 6.0))];
+        let a = vec![
+            elem(0, (0.0, 0.0, 0.0), (1.0, 1.0, 1.0)),
+            elem(1, (5.0, 5.0, 5.0), (6.0, 6.0, 6.0)),
+        ];
         let b = vec![elem(0, (0.5, 0.5, 0.5), (2.0, 2.0, 2.0))];
         let mut stats = JoinStats::default();
         let pairs = nested_loop_join(&a, &b, &mut stats);
@@ -106,8 +112,20 @@ mod tests {
 
     #[test]
     fn absorb_accumulates() {
-        let mut a = JoinStats { element_tests: 5, results: 1 };
-        a.absorb(&JoinStats { element_tests: 7, results: 2 });
-        assert_eq!(a, JoinStats { element_tests: 12, results: 3 });
+        let mut a = JoinStats {
+            element_tests: 5,
+            results: 1,
+        };
+        a.absorb(&JoinStats {
+            element_tests: 7,
+            results: 2,
+        });
+        assert_eq!(
+            a,
+            JoinStats {
+                element_tests: 12,
+                results: 3
+            }
+        );
     }
 }

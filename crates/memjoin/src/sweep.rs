@@ -71,7 +71,10 @@ mod tests {
     fn elem(id: u64, min: (f64, f64, f64), max: (f64, f64, f64)) -> SpatialElement {
         SpatialElement::new(
             id,
-            Aabb::new(Point3::new(min.0, min.1, min.2), Point3::new(max.0, max.1, max.2)),
+            Aabb::new(
+                Point3::new(min.0, min.1, min.2),
+                Point3::new(max.0, max.1, max.2),
+            ),
         )
     }
 
@@ -123,8 +126,12 @@ mod tests {
     #[test]
     fn identical_min_x_handled() {
         // Several elements with exactly equal min.x on both sides.
-        let a: Vec<_> = (0..5).map(|i| elem(i, (0.0, i as f64, 0.0), (1.0, i as f64 + 0.5, 1.0))).collect();
-        let b: Vec<_> = (0..5).map(|i| elem(i, (0.0, i as f64, 0.0), (1.0, i as f64 + 0.5, 1.0))).collect();
+        let a: Vec<_> = (0..5)
+            .map(|i| elem(i, (0.0, i as f64, 0.0), (1.0, i as f64 + 0.5, 1.0)))
+            .collect();
+        let b: Vec<_> = (0..5)
+            .map(|i| elem(i, (0.0, i as f64, 0.0), (1.0, i as f64 + 0.5, 1.0)))
+            .collect();
         let mut s1 = JoinStats::default();
         let mut s2 = JoinStats::default();
         assert_eq!(

@@ -2,8 +2,10 @@
 //! set on arbitrary inputs, including pathological ones.
 
 use proptest::prelude::*;
-use tfm_memjoin::{canonicalize, grid_hash_join, nested_loop_join, plane_sweep_join, GridConfig, JoinStats};
 use tfm_geom::{Aabb, Point3, SpatialElement};
+use tfm_memjoin::{
+    canonicalize, grid_hash_join, nested_loop_join, plane_sweep_join, GridConfig, JoinStats,
+};
 
 fn arb_elem(id: u64) -> impl Strategy<Value = SpatialElement> {
     (
@@ -25,9 +27,7 @@ fn arb_elem(id: u64) -> impl Strategy<Value = SpatialElement> {
 fn arb_dataset(max: usize) -> impl Strategy<Value = Vec<SpatialElement>> {
     prop::collection::vec(any::<()>(), 0..max).prop_flat_map(|v| {
         let n = v.len();
-        (0..n as u64)
-            .map(arb_elem)
-            .collect::<Vec<_>>()
+        (0..n as u64).map(arb_elem).collect::<Vec<_>>()
     })
 }
 

@@ -20,13 +20,20 @@ impl UniformGrid {
     /// # Panics
     /// Panics if any dimension has zero cells.
     pub fn new(extent: Aabb, n: [usize; 3]) -> Self {
-        assert!(n.iter().all(|&c| c > 0), "grid must have cells in every dimension");
+        assert!(
+            n.iter().all(|&c| c > 0),
+            "grid must have cells in every dimension"
+        );
         let cell_size = [
             extent.extent(0) / n[0] as f64,
             extent.extent(1) / n[1] as f64,
             extent.extent(2) / n[2] as f64,
         ];
-        Self { extent, n, cell_size }
+        Self {
+            extent,
+            n,
+            cell_size,
+        }
     }
 
     /// Creates a cubic grid with `n` cells per dimension.
@@ -78,9 +85,21 @@ impl UniformGrid {
             self.extent.min.z + z as f64 * self.cell_size[2],
         );
         let max = Point3::new(
-            if x + 1 == self.n[0] { self.extent.max.x } else { min.x + self.cell_size[0] },
-            if y + 1 == self.n[1] { self.extent.max.y } else { min.y + self.cell_size[1] },
-            if z + 1 == self.n[2] { self.extent.max.z } else { min.z + self.cell_size[2] },
+            if x + 1 == self.n[0] {
+                self.extent.max.x
+            } else {
+                min.x + self.cell_size[0]
+            },
+            if y + 1 == self.n[1] {
+                self.extent.max.y
+            } else {
+                min.y + self.cell_size[1]
+            },
+            if z + 1 == self.n[2] {
+                self.extent.max.z
+            } else {
+                min.z + self.cell_size[2]
+            },
         );
         Aabb::new(min, max)
     }
@@ -168,7 +187,10 @@ mod tests {
     #[test]
     fn out_of_extent_boxes_clamp() {
         let g = unit_grid(2);
-        let probe = Aabb::new(Point3::new(-100.0, -100.0, -100.0), Point3::new(-50.0, -50.0, -50.0));
+        let probe = Aabb::new(
+            Point3::new(-100.0, -100.0, -100.0),
+            Point3::new(-50.0, -50.0, -50.0),
+        );
         let cells: Vec<usize> = g.cells_overlapping(&probe).collect();
         assert_eq!(cells, vec![0]); // clamped to the nearest cell
     }
@@ -176,10 +198,19 @@ mod tests {
     #[test]
     fn point_location() {
         let g = unit_grid(10);
-        assert_eq!(g.cell_of_point(&Point3::new(0.5, 0.5, 0.5)), g.cell_id(0, 0, 0));
-        assert_eq!(g.cell_of_point(&Point3::new(9.9, 9.9, 9.9)), g.cell_id(9, 9, 9));
+        assert_eq!(
+            g.cell_of_point(&Point3::new(0.5, 0.5, 0.5)),
+            g.cell_id(0, 0, 0)
+        );
+        assert_eq!(
+            g.cell_of_point(&Point3::new(9.9, 9.9, 9.9)),
+            g.cell_id(9, 9, 9)
+        );
         // The extent max corner belongs to the last cell, not one past it.
-        assert_eq!(g.cell_of_point(&Point3::new(10.0, 10.0, 10.0)), g.cell_id(9, 9, 9));
+        assert_eq!(
+            g.cell_of_point(&Point3::new(10.0, 10.0, 10.0)),
+            g.cell_id(9, 9, 9)
+        );
     }
 
     #[test]

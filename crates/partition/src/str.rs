@@ -75,7 +75,12 @@ pub fn str_partition<T: HasMbb>(items: Vec<T>, capacity: usize) -> Vec<StrPartit
 /// Sorts `items` by center along `dim` and splits into runs of
 /// `per_run` items (at most `max_runs` runs; the last run absorbs any
 /// remainder if the cap is hit).
-fn split_sorted<T: HasMbb>(mut items: Vec<T>, dim: usize, max_runs: usize, per_run: usize) -> Vec<Vec<T>> {
+fn split_sorted<T: HasMbb>(
+    mut items: Vec<T>,
+    dim: usize,
+    max_runs: usize,
+    per_run: usize,
+) -> Vec<Vec<T>> {
     items.sort_by(|a, b| a.center().coord(dim).total_cmp(&b.center().coord(dim)));
     let mut runs: Vec<Vec<T>> = Vec::new();
     let mut it = items.into_iter().peekable();
@@ -95,7 +100,12 @@ fn split_sorted<T: HasMbb>(mut items: Vec<T>, dim: usize, max_runs: usize, per_r
 /// the next, with the outermost bounds extended to the dataset extent.
 /// Midpoints are additionally clamped to be non-decreasing so that
 /// duplicate sort keys cannot produce inverted slabs.
-fn with_bounds<T: HasMbb>(runs: Vec<Vec<T>>, lo: f64, hi: f64, dim: usize) -> Vec<(f64, f64, Vec<T>)> {
+fn with_bounds<T: HasMbb>(
+    runs: Vec<Vec<T>>,
+    lo: f64,
+    hi: f64,
+    dim: usize,
+) -> Vec<(f64, f64, Vec<T>)> {
     let n = runs.len();
     if n == 0 {
         return Vec::new();
@@ -109,7 +119,11 @@ fn with_bounds<T: HasMbb>(runs: Vec<Vec<T>>, lo: f64, hi: f64, dim: usize) -> Ve
     bounds.push(lo);
     for w in runs.windows(2) {
         let last = w[0].last().expect("runs are non-empty").center().coord(dim);
-        let first = w[1].first().expect("runs are non-empty").center().coord(dim);
+        let first = w[1]
+            .first()
+            .expect("runs are non-empty")
+            .center()
+            .coord(dim);
         let prev = *bounds.last().expect("non-empty bounds");
         bounds.push(((last + first) * 0.5).clamp(prev, hi));
     }
@@ -165,7 +179,10 @@ mod tests {
     fn every_item_lands_in_exactly_one_partition() {
         let elems = grid_elems(6); // 216
         let parts = str_partition(elems.clone(), 10);
-        let mut ids: Vec<u64> = parts.iter().flat_map(|p| p.items.iter().map(|e| e.id)).collect();
+        let mut ids: Vec<u64> = parts
+            .iter()
+            .flat_map(|p| p.items.iter().map(|e| e.id))
+            .collect();
         ids.sort_unstable();
         let expected: Vec<u64> = (0..216).collect();
         assert_eq!(ids, expected);

@@ -100,7 +100,12 @@ impl PbsmDataset {
     }
 
     /// Reads all elements of one cell back from disk.
-    fn read_cell(&self, pool: &mut BufferPool<'_>, codec: &ElementPageCodec, cell: usize) -> Vec<SpatialElement> {
+    fn read_cell(
+        &self,
+        pool: &mut BufferPool<'_>,
+        codec: &ElementPageCodec,
+        cell: usize,
+    ) -> Vec<SpatialElement> {
         let mut out = Vec::with_capacity(self.cell_counts[cell]);
         for &page in &self.cell_pages[cell] {
             out.extend(codec.decode(pool.read(page)));
@@ -178,7 +183,11 @@ pub fn pbsm_join(
     config: &PbsmConfig,
     stats: &mut PbsmStats,
 ) -> Vec<ResultPair> {
-    assert_eq!(part_a.grid.extent(), part_b.grid.extent(), "grids must match");
+    assert_eq!(
+        part_a.grid.extent(),
+        part_b.grid.extent(),
+        "grids must match"
+    );
     assert_eq!(part_a.grid.dims(), part_b.grid.dims(), "grids must match");
 
     let codec_a = ElementPageCodec::new(pool_a.disk().page_size());
@@ -230,12 +239,7 @@ pub fn pbsm_join_datasets(
     config: &PbsmConfig,
 ) -> (Vec<ResultPair>, PbsmStats) {
     let mut stats = PbsmStats::default();
-    let extent = Aabb::union_all(
-        elements_a
-            .iter()
-            .chain(elements_b.iter())
-            .map(|e| e.mbb),
-    );
+    let extent = Aabb::union_all(elements_a.iter().chain(elements_b.iter()).map(|e| e.mbb));
     if extent.is_empty() {
         return (Vec::new(), stats);
     }
@@ -243,7 +247,14 @@ pub fn pbsm_join_datasets(
     let part_b = pbsm_partition(disk_b, elements_b, extent, config, &mut stats);
     let mut pool_a = BufferPool::with_default_capacity(disk_a);
     let mut pool_b = BufferPool::with_default_capacity(disk_b);
-    let pairs = pbsm_join(&mut pool_a, &part_a, &mut pool_b, &part_b, config, &mut stats);
+    let pairs = pbsm_join(
+        &mut pool_a,
+        &part_a,
+        &mut pool_b,
+        &part_b,
+        config,
+        &mut stats,
+    );
     (pairs, stats)
 }
 
@@ -267,10 +278,19 @@ mod tests {
 
     #[test]
     fn matches_oracle_uniform() {
-        let a = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(900, 30) });
-        let b = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(900, 31) });
+        let a = generate(&DatasetSpec {
+            max_side: 10.0,
+            ..DatasetSpec::uniform(900, 30)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 10.0,
+            ..DatasetSpec::uniform(900, 31)
+        });
         let stats = oracle_check(&a, &b, &PbsmConfig::default());
-        assert!(stats.replicated > 0, "10-unit boxes must cross 100-unit cells");
+        assert!(
+            stats.replicated > 0,
+            "10-unit boxes must cross 100-unit cells"
+        );
     }
 
     #[test]
@@ -279,7 +299,10 @@ mod tests {
             max_side: 6.0,
             ..DatasetSpec::with_distribution(700, Distribution::DenseCluster { clusters: 9 }, 32)
         });
-        let b = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(1100, 33) });
+        let b = generate(&DatasetSpec {
+            max_side: 6.0,
+            ..DatasetSpec::uniform(1100, 33)
+        });
         oracle_check(&a, &b, &PbsmConfig::with_partitions(7));
     }
 
@@ -287,8 +310,14 @@ mod tests {
     fn matches_oracle_large_elements_heavy_replication() {
         // Elements comparable to cell size: heavy replication exercises the
         // reference-point dedup across cells.
-        let a = generate(&DatasetSpec { max_side: 180.0, ..DatasetSpec::uniform(150, 34) });
-        let b = generate(&DatasetSpec { max_side: 180.0, ..DatasetSpec::uniform(150, 35) });
+        let a = generate(&DatasetSpec {
+            max_side: 180.0,
+            ..DatasetSpec::uniform(150, 34)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 180.0,
+            ..DatasetSpec::uniform(150, 35)
+        });
         let stats = oracle_check(&a, &b, &PbsmConfig::with_partitions(6));
         assert!(stats.duplicates_suppressed > 0);
     }
@@ -343,7 +372,14 @@ mod tests {
         disk_b.reset_stats();
         let mut pool_a = BufferPool::with_default_capacity(&disk_a);
         let mut pool_b = BufferPool::with_default_capacity(&disk_b);
-        let _ = pbsm_join(&mut pool_a, &part_a, &mut pool_b, &part_b, &config, &mut stats);
+        let _ = pbsm_join(
+            &mut pool_a,
+            &part_a,
+            &mut pool_b,
+            &part_b,
+            &config,
+            &mut stats,
+        );
         let s = disk_a.stats().merged(&disk_b.stats());
         assert!(s.reads() > 0);
         assert!(

@@ -9,7 +9,14 @@ use tfm_storage::Disk;
 
 fn arb_elems(max: usize, max_side: f64) -> impl Strategy<Value = Vec<SpatialElement>> {
     prop::collection::vec(
-        (0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64, 0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64),
+        (
+            0.0..100.0f64,
+            0.0..100.0f64,
+            0.0..100.0f64,
+            0.0..1.0f64,
+            0.0..1.0f64,
+            0.0..1.0f64,
+        ),
         0..max,
     )
     .prop_map(move |raw| {

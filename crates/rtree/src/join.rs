@@ -67,7 +67,16 @@ fn join_rec(
         for c in children {
             stats.node_tests += 1;
             if c.mbb.intersects(&b_mbb) {
-                join_rec(pool_a, c.child, level_a - 1, pool_b, page_b, level_b, stats, out);
+                join_rec(
+                    pool_a,
+                    c.child,
+                    level_a - 1,
+                    pool_b,
+                    page_b,
+                    level_b,
+                    stats,
+                    out,
+                );
             }
         }
         return;
@@ -78,7 +87,16 @@ fn join_rec(
         for c in children {
             stats.node_tests += 1;
             if c.mbb.intersects(&a_mbb) {
-                join_rec(pool_a, page_a, level_a, pool_b, c.child, level_b - 1, stats, out);
+                join_rec(
+                    pool_a,
+                    page_a,
+                    level_a,
+                    pool_b,
+                    c.child,
+                    level_b - 1,
+                    stats,
+                    out,
+                );
             }
         }
         return;
@@ -99,7 +117,16 @@ fn join_rec(
         for cb in &children_b {
             stats.node_tests += 1;
             if ca.mbb.intersects(&cb.mbb) {
-                join_rec(pool_a, ca.child, level_a - 1, pool_b, cb.child, level_b - 1, stats, out);
+                join_rec(
+                    pool_a,
+                    ca.child,
+                    level_a - 1,
+                    pool_b,
+                    cb.child,
+                    level_b - 1,
+                    stats,
+                    out,
+                );
             }
         }
     }
@@ -164,7 +191,13 @@ mod tests {
         let mut pool_a = BufferPool::with_default_capacity(&disk_a);
         let mut pool_b = BufferPool::with_default_capacity(&disk_b);
         let mut stats = RtreeStats::default();
-        let got = canonicalize(sync_join(&mut pool_a, &tree_a, &mut pool_b, &tree_b, &mut stats));
+        let got = canonicalize(sync_join(
+            &mut pool_a,
+            &tree_a,
+            &mut pool_b,
+            &tree_b,
+            &mut stats,
+        ));
         let mut oracle_stats = JoinStats::default();
         let expected = canonicalize(nested_loop_join(&a, &b, &mut oracle_stats));
         assert_eq!(got, expected);
@@ -174,8 +207,14 @@ mod tests {
     #[test]
     fn sync_join_matches_oracle_uniform() {
         check_against_oracle(
-            DatasetSpec { max_side: 12.0, ..DatasetSpec::uniform(800, 10) },
-            DatasetSpec { max_side: 12.0, ..DatasetSpec::uniform(800, 11) },
+            DatasetSpec {
+                max_side: 12.0,
+                ..DatasetSpec::uniform(800, 10)
+            },
+            DatasetSpec {
+                max_side: 12.0,
+                ..DatasetSpec::uniform(800, 11)
+            },
         );
     }
 
@@ -183,13 +222,25 @@ mod tests {
     fn sync_join_matches_oracle_different_heights() {
         // Large A (multi-level), tiny B (single leaf).
         check_against_oracle(
-            DatasetSpec { max_side: 15.0, ..DatasetSpec::uniform(3000, 12) },
-            DatasetSpec { max_side: 30.0, ..DatasetSpec::uniform(40, 13) },
+            DatasetSpec {
+                max_side: 15.0,
+                ..DatasetSpec::uniform(3000, 12)
+            },
+            DatasetSpec {
+                max_side: 30.0,
+                ..DatasetSpec::uniform(40, 13)
+            },
         );
         // And the mirror case.
         check_against_oracle(
-            DatasetSpec { max_side: 30.0, ..DatasetSpec::uniform(40, 14) },
-            DatasetSpec { max_side: 15.0, ..DatasetSpec::uniform(3000, 15) },
+            DatasetSpec {
+                max_side: 30.0,
+                ..DatasetSpec::uniform(40, 14)
+            },
+            DatasetSpec {
+                max_side: 15.0,
+                ..DatasetSpec::uniform(3000, 15)
+            },
         );
     }
 
@@ -198,11 +249,19 @@ mod tests {
         check_against_oracle(
             DatasetSpec {
                 max_side: 8.0,
-                ..DatasetSpec::with_distribution(1000, Distribution::DenseCluster { clusters: 12 }, 16)
+                ..DatasetSpec::with_distribution(
+                    1000,
+                    Distribution::DenseCluster { clusters: 12 },
+                    16,
+                )
             },
             DatasetSpec {
                 max_side: 8.0,
-                ..DatasetSpec::with_distribution(1000, Distribution::UniformCluster { clusters: 5 }, 17)
+                ..DatasetSpec::with_distribution(
+                    1000,
+                    Distribution::UniformCluster { clusters: 5 },
+                    17,
+                )
             },
         );
     }
@@ -222,13 +281,24 @@ mod tests {
 
     #[test]
     fn inl_join_matches_oracle() {
-        let a = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(1200, 20) });
-        let b = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(150, 21) });
+        let a = generate(&DatasetSpec {
+            max_side: 10.0,
+            ..DatasetSpec::uniform(1200, 20)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 10.0,
+            ..DatasetSpec::uniform(150, 21)
+        });
         let disk_a = Disk::default_in_memory();
         let tree_a = RTree::bulk_load(&disk_a, a.clone());
         let mut pool_a = BufferPool::with_default_capacity(&disk_a);
         let mut stats = RtreeStats::default();
-        let got = canonicalize(indexed_nested_loop_join(&mut pool_a, &tree_a, &b, &mut stats));
+        let got = canonicalize(indexed_nested_loop_join(
+            &mut pool_a,
+            &tree_a,
+            &b,
+            &mut stats,
+        ));
         let mut oracle_stats = JoinStats::default();
         let expected = canonicalize(nested_loop_join(&a, &b, &mut oracle_stats));
         assert_eq!(got, expected);

@@ -108,9 +108,8 @@ impl RTree {
             Packing::Str => str_partition(elements, capacity),
             Packing::Hilbert => {
                 let universe = Aabb::union_all(elements.iter().map(|e| e.mbb));
-                elements.sort_by_key(|e| {
-                    tfm_geom::hilbert::index_of_point(&e.mbb.center(), &universe)
-                });
+                elements
+                    .sort_by_key(|e| tfm_geom::hilbert::index_of_point(&e.mbb.center(), &universe));
                 elements
                     .chunks(capacity)
                     .map(|chunk| tfm_partition::StrPartition {
@@ -279,7 +278,10 @@ mod tests {
         let (disk, tree, elems) = build(3000, 3);
         let mut pool = BufferPool::with_default_capacity(&disk);
         let mut stats = RtreeStats::default();
-        let q = Aabb::new(Point3::new(100.0, 100.0, 100.0), Point3::new(400.0, 350.0, 300.0));
+        let q = Aabb::new(
+            Point3::new(100.0, 100.0, 100.0),
+            Point3::new(400.0, 350.0, 300.0),
+        );
         let mut got = tree.range_query(&mut pool, &q, &mut stats);
         got.sort_unstable();
         let mut expected: Vec<u64> = elems
@@ -289,19 +291,28 @@ mod tests {
             .collect();
         expected.sort_unstable();
         assert_eq!(got, expected);
-        assert!(stats.mem.element_tests < elems.len() as u64, "query should prune");
+        assert!(
+            stats.mem.element_tests < elems.len() as u64,
+            "query should prune"
+        );
     }
 
     #[test]
     fn hilbert_bulk_load_matches_str_results() {
-        let elems = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(4000, 5) });
+        let elems = generate(&DatasetSpec {
+            max_side: 10.0,
+            ..DatasetSpec::uniform(4000, 5)
+        });
         let disk_str = Disk::default_in_memory();
         let disk_hil = Disk::default_in_memory();
         let t_str = RTree::bulk_load(&disk_str, elems.clone());
         let t_hil = RTree::bulk_load_hilbert(&disk_hil, elems.clone());
         assert_eq!(t_str.len(), t_hil.len());
         assert_eq!(t_str.root_mbb(), t_hil.root_mbb());
-        let q = Aabb::new(Point3::new(200.0, 200.0, 200.0), Point3::new(500.0, 600.0, 400.0));
+        let q = Aabb::new(
+            Point3::new(200.0, 200.0, 200.0),
+            Point3::new(500.0, 600.0, 400.0),
+        );
         let mut pool_s = BufferPool::with_default_capacity(&disk_str);
         let mut pool_h = BufferPool::with_default_capacity(&disk_hil);
         let mut ss = RtreeStats::default();
@@ -316,8 +327,14 @@ mod tests {
     #[test]
     fn hilbert_sync_join_matches_oracle() {
         use tfm_memjoin::{canonicalize, nested_loop_join, JoinStats};
-        let a = generate(&DatasetSpec { max_side: 12.0, ..DatasetSpec::uniform(1500, 6) });
-        let b = generate(&DatasetSpec { max_side: 12.0, ..DatasetSpec::uniform(1500, 7) });
+        let a = generate(&DatasetSpec {
+            max_side: 12.0,
+            ..DatasetSpec::uniform(1500, 6)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 12.0,
+            ..DatasetSpec::uniform(1500, 7)
+        });
         let disk_a = Disk::default_in_memory();
         let disk_b = Disk::default_in_memory();
         let tree_a = RTree::bulk_load_hilbert(&disk_a, a.clone());
@@ -325,7 +342,13 @@ mod tests {
         let mut pool_a = BufferPool::with_default_capacity(&disk_a);
         let mut pool_b = BufferPool::with_default_capacity(&disk_b);
         let mut stats = RtreeStats::default();
-        let got = canonicalize(crate::sync_join(&mut pool_a, &tree_a, &mut pool_b, &tree_b, &mut stats));
+        let got = canonicalize(crate::sync_join(
+            &mut pool_a,
+            &tree_a,
+            &mut pool_b,
+            &tree_b,
+            &mut stats,
+        ));
         let mut s = JoinStats::default();
         assert_eq!(got, canonicalize(nested_loop_join(&a, &b, &mut s)));
     }
@@ -335,7 +358,10 @@ mod tests {
         let (disk, tree, _) = build(500, 4);
         let mut pool = BufferPool::with_default_capacity(&disk);
         let mut stats = RtreeStats::default();
-        let q = Aabb::new(Point3::new(-50.0, -50.0, -50.0), Point3::new(-10.0, -10.0, -10.0));
+        let q = Aabb::new(
+            Point3::new(-50.0, -50.0, -50.0),
+            Point3::new(-10.0, -10.0, -10.0),
+        );
         assert!(tree.range_query(&mut pool, &q, &mut stats).is_empty());
         assert_eq!(stats.mem.element_tests, 0);
         assert_eq!(pool.misses(), 0);

@@ -121,8 +121,14 @@ mod tests {
     #[test]
     fn leaf_roundtrip() {
         let elems = vec![
-            SpatialElement::new(3, Aabb::new(Point3::new(0.0, 1.0, 2.0), Point3::new(3.0, 4.0, 5.0))),
-            SpatialElement::new(9, Aabb::new(Point3::new(-1.0, -2.0, -3.0), Point3::new(0.0, 0.0, 0.0))),
+            SpatialElement::new(
+                3,
+                Aabb::new(Point3::new(0.0, 1.0, 2.0), Point3::new(3.0, 4.0, 5.0)),
+            ),
+            SpatialElement::new(
+                9,
+                Aabb::new(Point3::new(-1.0, -2.0, -3.0), Point3::new(0.0, 0.0, 0.0)),
+            ),
         ];
         let page = encode_leaf(1024, &elems);
         assert_eq!(RtreeNode::decode(&page), RtreeNode::Leaf(elems));

@@ -9,7 +9,14 @@ use tfm_storage::{BufferPool, Disk};
 
 fn arb_elems(max: usize) -> impl Strategy<Value = Vec<SpatialElement>> {
     prop::collection::vec(
-        (0.0..200.0f64, 0.0..200.0f64, 0.0..200.0f64, 0.0..15.0f64, 0.0..15.0f64, 0.0..15.0f64),
+        (
+            0.0..200.0f64,
+            0.0..200.0f64,
+            0.0..200.0f64,
+            0.0..15.0f64,
+            0.0..15.0f64,
+            0.0..15.0f64,
+        ),
         0..max,
     )
     .prop_map(|raw| {
@@ -26,7 +33,14 @@ fn arb_elems(max: usize) -> impl Strategy<Value = Vec<SpatialElement>> {
 }
 
 fn arb_query() -> impl Strategy<Value = Aabb> {
-    (0.0..200.0f64, 0.0..200.0f64, 0.0..200.0f64, 0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64)
+    (
+        0.0..200.0f64,
+        0.0..200.0f64,
+        0.0..200.0f64,
+        0.0..100.0f64,
+        0.0..100.0f64,
+        0.0..100.0f64,
+    )
         .prop_map(|(x, y, z, dx, dy, dz)| {
             Aabb::new(Point3::new(x, y, z), Point3::new(x + dx, y + dy, z + dz))
         })

@@ -104,7 +104,10 @@ mod tests {
     fn elem(id: u64, lo: f64) -> SpatialElement {
         SpatialElement::new(
             id,
-            Aabb::new(Point3::new(lo, lo + 1.0, lo + 2.0), Point3::new(lo + 3.0, lo + 4.0, lo + 5.0)),
+            Aabb::new(
+                Point3::new(lo, lo + 1.0, lo + 2.0),
+                Point3::new(lo + 3.0, lo + 4.0, lo + 5.0),
+            ),
         )
     }
 
@@ -117,7 +120,9 @@ mod tests {
     #[test]
     fn roundtrip_full_page() {
         let c = ElementPageCodec::new(DEFAULT_PAGE_SIZE);
-        let elems: Vec<_> = (0..c.capacity() as u64).map(|i| elem(i, i as f64)).collect();
+        let elems: Vec<_> = (0..c.capacity() as u64)
+            .map(|i| elem(i, i as f64))
+            .collect();
         let page = c.encode(&elems);
         assert_eq!(page.len(), DEFAULT_PAGE_SIZE);
         assert_eq!(c.decode(&page), elems);
@@ -155,7 +160,10 @@ mod tests {
         let c = ElementPageCodec::new(512);
         let e = SpatialElement::new(
             u64::MAX,
-            Aabb::new(Point3::new(-1e9, -0.001, 1e-12), Point3::new(-1e8, 0.001, 2e-12)),
+            Aabb::new(
+                Point3::new(-1e9, -0.001, 1e-12),
+                Point3::new(-1e8, 0.001, 2e-12),
+            ),
         );
         assert_eq!(c.decode(&c.encode(&[e])), vec![e]);
     }

@@ -77,7 +77,8 @@ impl DiskModel {
     /// short *forward* skips are much cheaper.
     #[inline]
     pub fn cost_for_gap(&self, gap: u64) -> Duration {
-        self.cost_for_jump(true, gap).max(self.cost_for_jump(false, gap))
+        self.cost_for_jump(true, gap)
+            .max(self.cost_for_jump(false, gap))
     }
 
     /// Cost of one access `gap` pages before (`forward == false`) or after

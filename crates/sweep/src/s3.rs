@@ -72,7 +72,12 @@ impl S3Dataset {
         self.cells.len()
     }
 
-    fn read_cell(&self, pool: &mut BufferPool<'_>, codec: &ElementPageCodec, cell: &CellId) -> Vec<SpatialElement> {
+    fn read_cell(
+        &self,
+        pool: &mut BufferPool<'_>,
+        codec: &ElementPageCodec,
+        cell: &CellId,
+    ) -> Vec<SpatialElement> {
         let mut out = Vec::new();
         if let Some(pages) = self.cells.get(cell) {
             for &p in pages {
@@ -86,16 +91,25 @@ impl S3Dataset {
 /// The deepest level (≤ `levels - 1`) at which `mbb` overlaps exactly one
 /// cell of the `2^l` grid over `extent`.
 fn level_of(mbb: &Aabb, extent: &Aabb, levels: u8) -> CellId {
-    let mut best = CellId { level: 0, coords: [0, 0, 0] };
+    let mut best = CellId {
+        level: 0,
+        coords: [0, 0, 0],
+    };
     for level in 1..levels {
         let n = 1u32 << level;
         let mut coords = [0u32; 3];
         let mut fits = true;
         for (d, coord) in coords.iter_mut().enumerate() {
             let ext = extent.extent(d);
-            let cw = if ext > 0.0 { ext / n as f64 } else { f64::MIN_POSITIVE };
-            let lo = (((mbb.min.coord(d) - extent.min.coord(d)) / cw).floor() as i64).clamp(0, n as i64 - 1);
-            let hi = (((mbb.max.coord(d) - extent.min.coord(d)) / cw).floor() as i64).clamp(0, n as i64 - 1);
+            let cw = if ext > 0.0 {
+                ext / n as f64
+            } else {
+                f64::MIN_POSITIVE
+            };
+            let lo = (((mbb.min.coord(d) - extent.min.coord(d)) / cw).floor() as i64)
+                .clamp(0, n as i64 - 1);
+            let hi = (((mbb.max.coord(d) - extent.min.coord(d)) / cw).floor() as i64)
+                .clamp(0, n as i64 - 1);
             if lo != hi {
                 fits = false;
                 break;
@@ -246,8 +260,14 @@ mod tests {
 
     #[test]
     fn matches_oracle_uniform() {
-        let a = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(800, 400) });
-        let b = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(800, 401) });
+        let a = generate(&DatasetSpec {
+            max_side: 10.0,
+            ..DatasetSpec::uniform(800, 400)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 10.0,
+            ..DatasetSpec::uniform(800, 401)
+        });
         let stats = oracle_check(&a, &b, 6);
         assert!(stats.occupied_cells > 2);
     }
@@ -255,11 +275,23 @@ mod tests {
     #[test]
     fn matches_oracle_mixed_sizes() {
         // Small and huge elements together: size separation is the point.
-        let mut a = generate(&DatasetSpec { max_side: 2.0, ..DatasetSpec::uniform(400, 402) });
-        let big = generate(&DatasetSpec { max_side: 300.0, ..DatasetSpec::uniform(50, 403) });
+        let mut a = generate(&DatasetSpec {
+            max_side: 2.0,
+            ..DatasetSpec::uniform(400, 402)
+        });
+        let big = generate(&DatasetSpec {
+            max_side: 300.0,
+            ..DatasetSpec::uniform(50, 403)
+        });
         let offset = a.len() as u64;
-        a.extend(big.into_iter().map(|e| SpatialElement::new(e.id + offset, e.mbb)));
-        let b = generate(&DatasetSpec { max_side: 50.0, ..DatasetSpec::uniform(400, 404) });
+        a.extend(
+            big.into_iter()
+                .map(|e| SpatialElement::new(e.id + offset, e.mbb)),
+        );
+        let b = generate(&DatasetSpec {
+            max_side: 50.0,
+            ..DatasetSpec::uniform(400, 404)
+        });
         oracle_check(&a, &b, 6);
     }
 
@@ -269,27 +301,45 @@ mod tests {
             max_side: 6.0,
             ..DatasetSpec::with_distribution(700, Distribution::DenseCluster { clusters: 8 }, 405)
         });
-        let b = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(700, 406) });
+        let b = generate(&DatasetSpec {
+            max_side: 6.0,
+            ..DatasetSpec::uniform(700, 406)
+        });
         oracle_check(&a, &b, 7);
     }
 
     #[test]
     fn single_level_degenerates_to_full_sweep() {
-        let a = generate(&DatasetSpec { max_side: 5.0, ..DatasetSpec::uniform(200, 407) });
-        let b = generate(&DatasetSpec { max_side: 5.0, ..DatasetSpec::uniform(200, 408) });
+        let a = generate(&DatasetSpec {
+            max_side: 5.0,
+            ..DatasetSpec::uniform(200, 407)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 5.0,
+            ..DatasetSpec::uniform(200, 408)
+        });
         let stats = oracle_check(&a, &b, 1);
         assert_eq!(stats.occupied_cells, 2); // one root cell per dataset
     }
 
     #[test]
     fn level_assignment_is_deepest_fitting() {
-        let extent = Aabb::new(tfm_geom::Point3::new(0.0, 0.0, 0.0), tfm_geom::Point3::new(1024.0, 1024.0, 1024.0));
+        let extent = Aabb::new(
+            tfm_geom::Point3::new(0.0, 0.0, 0.0),
+            tfm_geom::Point3::new(1024.0, 1024.0, 1024.0),
+        );
         // A tiny element deep inside one cell at every level.
-        let tiny = Aabb::new(tfm_geom::Point3::new(1.0, 1.0, 1.0), tfm_geom::Point3::new(2.0, 2.0, 2.0));
+        let tiny = Aabb::new(
+            tfm_geom::Point3::new(1.0, 1.0, 1.0),
+            tfm_geom::Point3::new(2.0, 2.0, 2.0),
+        );
         let cell = level_of(&tiny, &extent, 8);
         assert_eq!(cell.level, 7);
         // An element crossing the center plane never fits below level 0.
-        let crossing = Aabb::new(tfm_geom::Point3::new(500.0, 1.0, 1.0), tfm_geom::Point3::new(600.0, 2.0, 2.0));
+        let crossing = Aabb::new(
+            tfm_geom::Point3::new(500.0, 1.0, 1.0),
+            tfm_geom::Point3::new(600.0, 2.0, 2.0),
+        );
         let cell = level_of(&crossing, &extent, 8);
         assert_eq!(cell.level, 0);
     }

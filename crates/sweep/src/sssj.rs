@@ -56,7 +56,12 @@ impl SssjDataset {
         self.strip_pages.len()
     }
 
-    fn read_pages(&self, pool: &mut BufferPool<'_>, codec: &ElementPageCodec, pages: &[PageId]) -> Vec<SpatialElement> {
+    fn read_pages(
+        &self,
+        pool: &mut BufferPool<'_>,
+        codec: &ElementPageCodec,
+        pages: &[PageId],
+    ) -> Vec<SpatialElement> {
         let mut out = Vec::new();
         for &p in pages {
             out.extend(codec.decode(pool.read(p)));
@@ -64,11 +69,20 @@ impl SssjDataset {
         out
     }
 
-    fn read_strip(&self, pool: &mut BufferPool<'_>, codec: &ElementPageCodec, i: usize) -> Vec<SpatialElement> {
+    fn read_strip(
+        &self,
+        pool: &mut BufferPool<'_>,
+        codec: &ElementPageCodec,
+        i: usize,
+    ) -> Vec<SpatialElement> {
         self.read_pages(pool, codec, &self.strip_pages[i])
     }
 
-    fn read_spanning(&self, pool: &mut BufferPool<'_>, codec: &ElementPageCodec) -> Vec<SpatialElement> {
+    fn read_spanning(
+        &self,
+        pool: &mut BufferPool<'_>,
+        codec: &ElementPageCodec,
+    ) -> Vec<SpatialElement> {
         self.read_pages(pool, codec, &self.spanning_pages)
     }
 }
@@ -154,7 +168,8 @@ pub fn sssj_join(
 ) -> Vec<ResultPair> {
     assert_eq!(part_a.strips(), part_b.strips(), "strip counts must match");
     assert!(
-        (part_a.x_lo - part_b.x_lo).abs() < 1e-9 && (part_a.strip_width - part_b.strip_width).abs() < 1e-9,
+        (part_a.x_lo - part_b.x_lo).abs() < 1e-9
+            && (part_a.strip_width - part_b.strip_width).abs() < 1e-9,
         "strip geometry must match"
     );
     let codec_a = ElementPageCodec::new(pool_a.disk().page_size());
@@ -224,10 +239,19 @@ mod tests {
 
     #[test]
     fn matches_oracle_uniform() {
-        let a = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(800, 300) });
-        let b = generate(&DatasetSpec { max_side: 10.0, ..DatasetSpec::uniform(800, 301) });
+        let a = generate(&DatasetSpec {
+            max_side: 10.0,
+            ..DatasetSpec::uniform(800, 300)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 10.0,
+            ..DatasetSpec::uniform(800, 301)
+        });
         let stats = oracle_check(&a, &b, 16);
-        assert!(stats.spanning > 0, "10-unit boxes must cross 62-unit strips sometimes");
+        assert!(
+            stats.spanning > 0,
+            "10-unit boxes must cross 62-unit strips sometimes"
+        );
     }
 
     #[test]
@@ -236,14 +260,23 @@ mod tests {
             max_side: 6.0,
             ..DatasetSpec::with_distribution(700, Distribution::DenseCluster { clusters: 8 }, 302)
         });
-        let b = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(900, 303) });
+        let b = generate(&DatasetSpec {
+            max_side: 6.0,
+            ..DatasetSpec::uniform(900, 303)
+        });
         oracle_check(&a, &b, 10);
     }
 
     #[test]
     fn matches_oracle_single_strip() {
-        let a = generate(&DatasetSpec { max_side: 5.0, ..DatasetSpec::uniform(300, 304) });
-        let b = generate(&DatasetSpec { max_side: 5.0, ..DatasetSpec::uniform(300, 305) });
+        let a = generate(&DatasetSpec {
+            max_side: 5.0,
+            ..DatasetSpec::uniform(300, 304)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 5.0,
+            ..DatasetSpec::uniform(300, 305)
+        });
         let stats = oracle_check(&a, &b, 1);
         assert_eq!(stats.spanning, 0, "one strip contains everything");
     }
@@ -251,8 +284,14 @@ mod tests {
     #[test]
     fn matches_oracle_everything_spans() {
         // Strips thinner than the elements: everything is spanning.
-        let a = generate(&DatasetSpec { max_side: 80.0, ..DatasetSpec::uniform(150, 306) });
-        let b = generate(&DatasetSpec { max_side: 80.0, ..DatasetSpec::uniform(150, 307) });
+        let a = generate(&DatasetSpec {
+            max_side: 80.0,
+            ..DatasetSpec::uniform(150, 306)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 80.0,
+            ..DatasetSpec::uniform(150, 307)
+        });
         oracle_check(&a, &b, 64);
     }
 

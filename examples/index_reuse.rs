@@ -15,17 +15,27 @@ use transformers_repro::prelude::*;
 
 fn main() {
     // One reference dataset R, joined against three different datasets.
-    let r = generate(&DatasetSpec { max_side: 4.0, ..DatasetSpec::uniform(60_000, 1) });
+    let r = generate(&DatasetSpec {
+        max_side: 4.0,
+        ..DatasetSpec::uniform(60_000, 1)
+    });
     let partners: Vec<(String, Vec<SpatialElement>)> = vec![
         (
             "uniform".into(),
-            generate(&DatasetSpec { max_side: 4.0, ..DatasetSpec::uniform(60_000, 2) }),
+            generate(&DatasetSpec {
+                max_side: 4.0,
+                ..DatasetSpec::uniform(60_000, 2)
+            }),
         ),
         (
             "dense clusters".into(),
             generate(&DatasetSpec {
                 max_side: 4.0,
-                ..DatasetSpec::with_distribution(60_000, Distribution::DenseCluster { clusters: 40 }, 3)
+                ..DatasetSpec::with_distribution(
+                    60_000,
+                    Distribution::DenseCluster { clusters: 40 },
+                    3,
+                )
             }),
         ),
         (
@@ -34,7 +44,10 @@ fn main() {
                 max_side: 4.0,
                 ..DatasetSpec::with_distribution(
                     60_000,
-                    Distribution::MassiveCluster { clusters: 5, elements_per_cluster: 8_000 },
+                    Distribution::MassiveCluster {
+                        clusters: 5,
+                        elements_per_cluster: 8_000,
+                    },
                     4,
                 )
             }),

@@ -14,7 +14,10 @@ fn main() {
         max_side: 4.0,
         ..DatasetSpec::with_distribution(
             30_000,
-            Distribution::MassiveCluster { clusters: 5, elements_per_cluster: 4_000 },
+            Distribution::MassiveCluster {
+                clusters: 5,
+                elements_per_cluster: 4_000,
+            },
             7,
         )
     });
@@ -53,7 +56,9 @@ fn main() {
     println!("metadata comparisons:    {}", stats.metadata_tests);
     println!(
         "transformations:         {} role, {} node->unit, {} unit->element",
-        stats.role_transformations, stats.layout_transformations, stats.element_layout_transformations
+        stats.role_transformations,
+        stats.layout_transformations,
+        stats.element_layout_transformations
     );
     println!(
         "time: {:.1} ms simulated I/O + {:.1} ms CPU join + {:.1} ms exploration overhead",

@@ -29,8 +29,14 @@ fn main() {
     for i in 0..steps {
         let na = (lo as f64 * factor.powi(i)).round() as usize;
         let nb = (lo as f64 * factor.powi(steps - 1 - i)).round() as usize;
-        let a = generate(&DatasetSpec { max_side: 4.0, ..DatasetSpec::uniform(na, 10 + i as u64) });
-        let b = generate(&DatasetSpec { max_side: 4.0, ..DatasetSpec::uniform(nb, 20 + i as u64) });
+        let a = generate(&DatasetSpec {
+            max_side: 4.0,
+            ..DatasetSpec::uniform(na, 10 + i as u64)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 4.0,
+            ..DatasetSpec::uniform(nb, 20 + i as u64)
+        });
 
         // TRANSFORMERS (simulated-I/O + CPU time).
         let disk_a = Disk::default_in_memory();
@@ -47,11 +53,16 @@ fn main() {
         let disk_a2 = Disk::default_in_memory();
         let disk_b2 = Disk::default_in_memory();
         let t = Instant::now();
-        let (pairs_pbsm, _) = pbsm_join_datasets(&disk_a2, &a, &disk_b2, &b, &PbsmConfig::default());
+        let (pairs_pbsm, _) =
+            pbsm_join_datasets(&disk_a2, &a, &disk_b2, &b, &PbsmConfig::default());
         let pbsm_time = t.elapsed() + disk_a2.stats().merged(&disk_b2.stats()).sim_io_time();
 
         // GIPSY (sparse side must be declared in advance: the smaller one).
-        let (sparse, dense, flipped) = if na <= nb { (&a, &b, false) } else { (&b, &a, true) };
+        let (sparse, dense, flipped) = if na <= nb {
+            (&a, &b, false)
+        } else {
+            (&b, &a, true)
+        };
         let disk_s = Disk::default_in_memory();
         let disk_d = Disk::default_in_memory();
         let sf = SparseFile::write(&disk_s, sparse.clone());

@@ -20,7 +20,8 @@ fn main() {
         dendrites.len()
     );
 
-    let mean_z = |v: &[SpatialElement]| v.iter().map(|e| e.mbb.center().z).sum::<f64>() / v.len() as f64;
+    let mean_z =
+        |v: &[SpatialElement]| v.iter().map(|e| e.mbb.center().z).sum::<f64>() / v.len() as f64;
     println!(
         "mean z: axons {:.0} µm, dendrites {:.0} µm (skewed distributions)",
         mean_z(&axons),

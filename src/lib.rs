@@ -5,6 +5,8 @@
 //!
 //! * [`transformers`] — the adaptive spatial join (the paper's
 //!   contribution): indexing, adaptive exploration, transformations;
+//! * [`exec`] — the parallel execution subsystem (`parallel_join`):
+//!   pivot scheduling, work stealing, scoped worker pool;
 //! * [`baselines`] — PBSM, synchronized R-Tree, GIPSY;
 //! * [`geom`], [`storage`], [`datagen`], [`memjoin`], [`partition`],
 //!   [`bptree`] — the substrates everything is built on.
@@ -28,6 +30,7 @@
 
 pub use tfm_bptree as bptree;
 pub use tfm_datagen as datagen;
+pub use tfm_exec as exec;
 pub use tfm_geom as geom;
 pub use tfm_memjoin as memjoin;
 pub use tfm_partition as partition;
@@ -47,6 +50,7 @@ pub mod baselines {
 /// Common imports for examples and quick experiments.
 pub mod prelude {
     pub use tfm_datagen::{generate, neuro, DatasetSpec, Distribution};
+    pub use tfm_exec::{parallel_join, parallel_join_with_report, ExecReport};
     pub use tfm_geom::{Aabb, Point3, SpatialElement};
     pub use tfm_memjoin::{canonicalize, JoinStats, ResultPair};
     pub use tfm_storage::{BufferPool, Disk, DiskModel};

@@ -3,7 +3,11 @@
 
 use transformers_repro::prelude::*;
 
-fn run(a: Vec<SpatialElement>, b: Vec<SpatialElement>, cfg: &JoinConfig) -> transformers::TransformersStats {
+fn run(
+    a: Vec<SpatialElement>,
+    b: Vec<SpatialElement>,
+    cfg: &JoinConfig,
+) -> transformers::TransformersStats {
     let disk_a = Disk::default_in_memory();
     let disk_b = Disk::default_in_memory();
     // Small capacities give a rich node graph even at test scale, matching
@@ -18,7 +22,10 @@ fn run(a: Vec<SpatialElement>, b: Vec<SpatialElement>, cfg: &JoinConfig) -> tran
 }
 
 fn uniform(count: usize, seed: u64) -> Vec<SpatialElement> {
-    generate(&DatasetSpec { max_side: 4.0, ..DatasetSpec::uniform(count, seed) })
+    generate(&DatasetSpec {
+        max_side: 4.0,
+        ..DatasetSpec::uniform(count, seed)
+    })
 }
 
 #[test]
@@ -43,7 +50,11 @@ fn extreme_contrast_triggers_transformations_and_filters_pages() {
 fn uniform_similar_density_stays_coarse() {
     // Equal densities: volume ratios hover around 1, far from t_su, so the
     // join should stay at node granularity.
-    let stats = run(uniform(20_000, 3), uniform(20_000, 4), &JoinConfig::default());
+    let stats = run(
+        uniform(20_000, 3),
+        uniform(20_000, 4),
+        &JoinConfig::default(),
+    );
     assert_eq!(
         stats.layout_transformations + stats.element_layout_transformations,
         0,
@@ -65,14 +76,25 @@ fn overfit_thresholds_transform_more_than_cost_model() {
             max_side: 4.0,
             ..DatasetSpec::with_distribution(
                 30_000,
-                Distribution::MassiveCluster { clusters: 4, elements_per_cluster: 4_000 },
+                Distribution::MassiveCluster {
+                    clusters: 4,
+                    elements_per_cluster: 4_000,
+                },
                 7,
             )
         })
     };
     let b = || uniform(30_000, 8);
-    let over = run(a(), b(), &JoinConfig::default().with_thresholds(ThresholdPolicy::over_fit()));
-    let under = run(a(), b(), &JoinConfig::default().with_thresholds(ThresholdPolicy::under_fit()));
+    let over = run(
+        a(),
+        b(),
+        &JoinConfig::default().with_thresholds(ThresholdPolicy::over_fit()),
+    );
+    let under = run(
+        a(),
+        b(),
+        &JoinConfig::default().with_thresholds(ThresholdPolicy::under_fit()),
+    );
     assert!(over.transformations() > under.transformations());
     assert_eq!(under.layout_transformations, 0);
 }
@@ -82,7 +104,11 @@ fn exploration_overhead_is_bounded() {
     // Fig. 14: the adaptive machinery must not dominate execution. At
     // laptop scale (in-memory metadata) overhead is a small share of CPU
     // time; assert a generous bound.
-    let stats = run(uniform(50_000, 9), uniform(50_000, 10), &JoinConfig::default());
+    let stats = run(
+        uniform(50_000, 9),
+        uniform(50_000, 10),
+        &JoinConfig::default(),
+    );
     let total_cpu = stats.join_cpu + stats.exploration_overhead;
     assert!(
         stats.exploration_overhead.as_secs_f64() <= 0.8 * total_cpu.as_secs_f64().max(1e-9),
@@ -94,7 +120,11 @@ fn exploration_overhead_is_bounded() {
 
 #[test]
 fn walk_fallbacks_are_rare_on_well_behaved_data() {
-    let stats = run(uniform(30_000, 11), uniform(30_000, 12), &JoinConfig::default());
+    let stats = run(
+        uniform(30_000, 11),
+        uniform(30_000, 12),
+        &JoinConfig::default(),
+    );
     // The Hilbert-seeded best-first walk should essentially never give up
     // on uniformly distributed data.
     assert!(

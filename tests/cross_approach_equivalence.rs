@@ -36,18 +36,35 @@ fn run_rtree(a: &[SpatialElement], b: &[SpatialElement]) -> Vec<ResultPair> {
     let mut pool_a = BufferPool::with_default_capacity(&disk_a);
     let mut pool_b = BufferPool::with_default_capacity(&disk_b);
     let mut stats = RtreeStats::default();
-    canonicalize(sync_join(&mut pool_a, &tree_a, &mut pool_b, &tree_b, &mut stats))
+    canonicalize(sync_join(
+        &mut pool_a,
+        &tree_a,
+        &mut pool_b,
+        &tree_b,
+        &mut stats,
+    ))
 }
 
 fn run_gipsy(a: &[SpatialElement], b: &[SpatialElement]) -> Vec<ResultPair> {
     // GIPSY: smaller side is sparse.
-    let (sparse, dense, flipped) = if a.len() <= b.len() { (a, b, false) } else { (b, a, true) };
+    let (sparse, dense, flipped) = if a.len() <= b.len() {
+        (a, b, false)
+    } else {
+        (b, a, true)
+    };
     let disk_s = Disk::default_in_memory();
     let disk_d = Disk::default_in_memory();
     let sf = SparseFile::write(&disk_s, sparse.to_vec());
     let di = TransformersIndex::build(&disk_d, dense.to_vec(), &IndexConfig::default());
     let mut stats = GipsyStats::default();
-    let pairs = gipsy_join(&disk_s, &sf, &disk_d, &di, &GipsyConfig::default(), &mut stats);
+    let pairs = gipsy_join(
+        &disk_s,
+        &sf,
+        &disk_d,
+        &di,
+        &GipsyConfig::default(),
+        &mut stats,
+    );
     canonicalize(if flipped {
         pairs.into_iter().map(|(s, d)| (d, s)).collect()
     } else {
@@ -94,7 +111,14 @@ fn non_uniform_distributions() {
 
 #[test]
 fn massive_cluster_skew() {
-    let a = ds(4_000, Distribution::MassiveCluster { clusters: 3, elements_per_cluster: 1_000 }, 106);
+    let a = ds(
+        4_000,
+        Distribution::MassiveCluster {
+            clusters: 3,
+            elements_per_cluster: 1_000,
+        },
+        106,
+    );
     let b = ds(4_000, Distribution::Uniform, 107);
     check_all(&a, &b, "massive x uniform");
 }
@@ -116,6 +140,47 @@ fn identical_datasets_self_join_shape() {
 }
 
 #[test]
+fn parallel_vs_sequential() {
+    // The parallel execution subsystem must return the exact sequential
+    // result set at every thread count, on both benign and skewed data.
+    let workloads = [
+        (
+            "uniform",
+            ds(3_000, Distribution::Uniform, 112),
+            ds(3_000, Distribution::Uniform, 113),
+        ),
+        (
+            "clustered",
+            ds(
+                3_000,
+                Distribution::MassiveCluster {
+                    clusters: 3,
+                    elements_per_cluster: 1_000,
+                },
+                114,
+            ),
+            ds(3_000, Distribution::DenseCluster { clusters: 12 }, 115),
+        ),
+    ];
+    for (label, a, b) in &workloads {
+        let disk_a = Disk::default_in_memory();
+        let disk_b = Disk::default_in_memory();
+        let idx_a = TransformersIndex::build(&disk_a, a.to_vec(), &IndexConfig::default());
+        let idx_b = TransformersIndex::build(&disk_b, b.to_vec(), &IndexConfig::default());
+        let cfg = JoinConfig::default();
+        let seq = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg);
+        assert_eq!(seq.pairs, oracle(a, b), "{label}: sequential vs oracle");
+        for threads in [1, 2, 4] {
+            let par = parallel_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg, threads);
+            assert_eq!(
+                par.pairs, seq.pairs,
+                "{label}: parallel ({threads} threads) vs sequential"
+            );
+        }
+    }
+}
+
+#[test]
 fn disjoint_regions_yield_nothing() {
     let a = generate(&DatasetSpec {
         universe: Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(100.0, 100.0, 100.0)),
@@ -123,7 +188,10 @@ fn disjoint_regions_yield_nothing() {
         ..DatasetSpec::uniform(1_000, 110)
     });
     let b = generate(&DatasetSpec {
-        universe: Aabb::new(Point3::new(500.0, 500.0, 500.0), Point3::new(900.0, 900.0, 900.0)),
+        universe: Aabb::new(
+            Point3::new(500.0, 500.0, 500.0),
+            Point3::new(900.0, 900.0, 900.0),
+        ),
         max_side: 3.0,
         ..DatasetSpec::uniform(1_000, 111)
     });

@@ -12,12 +12,18 @@ fn oracle(a: &[SpatialElement], b: &[SpatialElement]) -> Vec<ResultPair> {
 
 #[test]
 fn one_index_joins_many_partners() {
-    let r = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(3_000, 1) });
+    let r = generate(&DatasetSpec {
+        max_side: 6.0,
+        ..DatasetSpec::uniform(3_000, 1)
+    });
     let disk_r = Disk::default_in_memory();
     let idx_r = TransformersIndex::build(&disk_r, r.clone(), &IndexConfig::default());
 
     for seed in 2..6u64 {
-        let p = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(2_000, seed) });
+        let p = generate(&DatasetSpec {
+            max_side: 6.0,
+            ..DatasetSpec::uniform(2_000, seed)
+        });
         let disk_p = Disk::default_in_memory();
         let idx_p = TransformersIndex::build(&disk_p, p.clone(), &IndexConfig::default());
         let out = transformers_join(&idx_r, &disk_r, &idx_p, &disk_p, &JoinConfig::default());
@@ -27,8 +33,14 @@ fn one_index_joins_many_partners() {
 
 #[test]
 fn repeated_joins_are_deterministic_in_results() {
-    let a = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(2_500, 7) });
-    let b = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(2_500, 8) });
+    let a = generate(&DatasetSpec {
+        max_side: 6.0,
+        ..DatasetSpec::uniform(2_500, 7)
+    });
+    let b = generate(&DatasetSpec {
+        max_side: 6.0,
+        ..DatasetSpec::uniform(2_500, 8)
+    });
     let disk_a = Disk::default_in_memory();
     let disk_b = Disk::default_in_memory();
     let idx_a = TransformersIndex::build(&disk_a, a, &IndexConfig::default());
@@ -43,8 +55,14 @@ fn repeated_joins_are_deterministic_in_results() {
 
 #[test]
 fn join_is_symmetric_under_argument_order() {
-    let a = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(1_500, 9) });
-    let b = generate(&DatasetSpec { max_side: 6.0, ..DatasetSpec::uniform(4_500, 10) });
+    let a = generate(&DatasetSpec {
+        max_side: 6.0,
+        ..DatasetSpec::uniform(1_500, 9)
+    });
+    let b = generate(&DatasetSpec {
+        max_side: 6.0,
+        ..DatasetSpec::uniform(4_500, 10)
+    });
     let disk_a = Disk::default_in_memory();
     let disk_b = Disk::default_in_memory();
     let idx_a = TransformersIndex::build(&disk_a, a, &IndexConfig::default());

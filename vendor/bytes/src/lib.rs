@@ -1,0 +1,135 @@
+//! Vendored stand-in for `bytes`: the `Buf`/`BufMut` subset this workspace
+//! uses — little-endian integer/float accessors with cursor semantics over
+//! `&[u8]` (reads advance the slice) and `Vec<u8>` (writes append).
+
+macro_rules! get_impl {
+    ($(#[$doc:meta])* $name:ident, $ty:ty, $n:expr) => {
+        $(#[$doc])*
+        fn $name(&mut self) -> $ty {
+            let mut raw = [0u8; $n];
+            self.copy_to_slice(&mut raw);
+            <$ty>::from_le_bytes(raw)
+        }
+    };
+}
+
+/// Cursor-style reads from a byte source.
+pub trait Buf {
+    /// Remaining readable bytes.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    get_impl!(
+        /// Reads a little-endian `u16`, advancing the cursor.
+        get_u16_le, u16, 2
+    );
+    get_impl!(
+        /// Reads a little-endian `u32`, advancing the cursor.
+        get_u32_le, u32, 4
+    );
+    get_impl!(
+        /// Reads a little-endian `u64`, advancing the cursor.
+        get_u64_le, u64, 8
+    );
+    get_impl!(
+        /// Reads a little-endian `f64`, advancing the cursor.
+        get_f64_le, f64, 8
+    );
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let cur = *self;
+        let (head, rest) = cur.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = rest;
+    }
+}
+
+macro_rules! put_impl {
+    ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+        $(#[$doc])*
+        fn $name(&mut self, v: $ty) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    };
+}
+
+/// Append-style writes to a byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    put_impl!(
+        /// Appends a `u16` in little-endian byte order.
+        put_u16_le, u16
+    );
+    put_impl!(
+        /// Appends a `u32` in little-endian byte order.
+        put_u32_le, u32
+    );
+    put_impl!(
+        /// Appends a `u64` in little-endian byte order.
+        put_u64_le, u64
+    );
+    put_impl!(
+        /// Appends an `f64` in little-endian byte order.
+        put_f64_le, f64
+    );
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16_le(600);
+        buf.put_u32_le(70_000);
+        buf.put_u64_le(1 << 40);
+        buf.put_f64_le(-2.5);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 600);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_f64_le(), -2.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_read_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u32_le();
+    }
+}

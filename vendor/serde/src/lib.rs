@@ -1,0 +1,5 @@
+//! Vendored stand-in for `serde`: re-exports the no-op derive macros. The
+//! workspace derives `Serialize`/`Deserialize` on a few plain-data structs
+//! but never serializes through serde, so inert derives suffice.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Vendored stand-in for `serde_derive`: the derives expand to nothing.
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as inert
+//! annotations (no serialization format is ever exercised).
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
