@@ -44,9 +44,23 @@ impl Approach {
     }
 
     /// Parallel TRANSFORMERS with default configuration and `threads`
-    /// workers.
+    /// workers: fully adaptive — in-chunk role transformations plus
+    /// cross-worker to-do-list pruning over the shared coverage board.
     pub fn parallel(threads: usize) -> Self {
         Approach::TransformersParallel(JoinConfig::default(), threads)
+    }
+
+    /// Parallel TRANSFORMERS with `threads` fully *independent* workers
+    /// (no role transformations, no cross-worker pruning) — the PR 1
+    /// execution mode, kept as the ablation baseline for the adaptive
+    /// parallel path.
+    pub fn parallel_independent(threads: usize) -> Self {
+        Approach::TransformersParallel(
+            JoinConfig::default()
+                .without_worker_transforms()
+                .without_cross_worker_pruning(),
+            threads,
+        )
     }
 
     /// TRANSFORMERS with transformations disabled ("No TR", Fig. 13).
@@ -69,7 +83,16 @@ impl Approach {
                 ThresholdPolicy::Fixed { t_su, .. } if t_su >= 1e5 => "TR-UnderFit".into(),
                 ThresholdPolicy::Fixed { .. } => "TR-Fixed".into(),
             },
-            Approach::TransformersParallel(_, threads) => format!("TFM-PARx{threads}"),
+            Approach::TransformersParallel(cfg, threads) => {
+                let mut label = format!("TFM-PARx{threads}");
+                if !cfg.worker_role_transforms {
+                    label.push_str("-noTR");
+                }
+                if !cfg.cross_worker_pruning {
+                    label.push_str("-noPrune");
+                }
+                label
+            }
             Approach::Pbsm => "PBSM".into(),
             Approach::Rtree => "R-TREE".into(),
             Approach::Gipsy => "GIPSY".into(),

@@ -43,9 +43,13 @@ fn print_usage() {
 USAGE:
   tfm generate --count N --out FILE [--distribution D] [--seed S] [--max-side F]
       D: uniform | dense-cluster | uniform-cluster | massive-cluster | axons | dendrites
-  tfm join --a FILE --b FILE [--approach A] [--page-size N] [--threads N] [--verify]
+  tfm join --a FILE --b FILE [--approach A] [--page-size N] [--threads N]
+           [--no-transform] [--no-prune] [--verify]
       A: transformers | no-tr | pbsm | rtree | gipsy | sssj | s3 (default: transformers)
       --threads N: run the transformers join on N parallel workers (tfm-exec)
+      --no-transform: parallel path only — workers skip role transformations
+      --no-prune: parallel path only — disable the shared cross-worker
+                  to-do-list pruning board (workers prune only locally)
   tfm info --in FILE
   tfm help"
     );
@@ -124,13 +128,28 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     let page_size: usize = parse(opt(args, "--page-size").unwrap_or("2048"), "--page-size")?;
     let threads: usize = parse(opt(args, "--threads").unwrap_or("1"), "--threads")?;
     if threads == 0 {
-        return Err("--threads must be at least 1".into());
+        return Err("--threads must be at least 1 (0 workers cannot make progress)".into());
+    }
+    let no_transform = flag(args, "--no-transform");
+    let no_prune = flag(args, "--no-prune");
+    let parallel_transformers = threads > 1 && matches!(approach, Approach::Transformers(_));
+    if (no_transform || no_prune) && !parallel_transformers {
+        eprintln!(
+            "note: --no-transform/--no-prune only affect the parallel transformers path \
+             (--approach transformers --threads N > 1); ignored here"
+        );
     }
 
     // `--threads N` (N > 1) routes TRANSFORMERS through the parallel
     // execution subsystem (`tfm-exec`); other approaches are sequential.
     let approach = match (approach, threads) {
-        (Approach::Transformers(join_cfg), t) if t > 1 => {
+        (Approach::Transformers(mut join_cfg), t) if t > 1 => {
+            if no_transform {
+                join_cfg = join_cfg.without_worker_transforms();
+            }
+            if no_prune {
+                join_cfg = join_cfg.without_cross_worker_pruning();
+            }
             Approach::TransformersParallel(join_cfg, t)
         }
         (other, t) => {
@@ -254,6 +273,71 @@ mod tests {
             assert!(parse_approach(name).is_ok(), "{name}");
         }
         assert!(parse_approach("bogus").is_err());
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        // `--threads 0` must fail fast with a clear message, before any
+        // file I/O or scheduler construction happens.
+        let args: Vec<String> = [
+            "--a",
+            "nonexistent.a",
+            "--b",
+            "nonexistent.b",
+            "--threads",
+            "0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let err = cmd_join(&args).expect_err("--threads 0 must be rejected");
+        assert!(
+            err.contains("--threads must be at least 1"),
+            "unhelpful error: {err}"
+        );
+    }
+
+    #[test]
+    fn parallel_flags_join_end_to_end() {
+        let dir = std::env::temp_dir();
+        let pa = dir.join(format!("tfm_cli_par_a_{}.elems", std::process::id()));
+        let pb = dir.join(format!("tfm_cli_par_b_{}.elems", std::process::id()));
+        for (path, seed) in [(&pa, "31"), (&pb, "32")] {
+            let gen_args: Vec<String> = [
+                "--count",
+                "400",
+                "--out",
+                path.to_str().unwrap(),
+                "--seed",
+                seed,
+                "--max-side",
+                "8",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            cmd_generate(&gen_args).unwrap();
+        }
+        // Every escape-hatch combination must still verify against the
+        // nested-loop oracle.
+        for extra in [&[][..], &["--no-transform"][..], &["--no-prune"][..]] {
+            let mut join_args: Vec<String> = [
+                "--a",
+                pa.to_str().unwrap(),
+                "--b",
+                pb.to_str().unwrap(),
+                "--threads",
+                "2",
+                "--verify",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            join_args.extend(extra.iter().map(|s| s.to_string()));
+            cmd_join(&join_args).unwrap_or_else(|e| panic!("{extra:?}: {e}"));
+        }
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
     }
 
     #[test]

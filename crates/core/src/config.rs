@@ -86,6 +86,18 @@ pub struct JoinConfig {
     /// walk starts from the follower's first node (the paper's stated
     /// alternative). Exposed for ablation.
     pub hilbert_walk_start: bool,
+    /// Parallel path (`tfm-exec`) only: let workers perform role
+    /// transformations (guide ↔ follower switches, §VI-A) within their
+    /// pivot chunks. Exclusivity across workers comes from the shared
+    /// claim bitmap when cross-worker pruning is on; without it, two
+    /// workers may redundantly process the same switched pivot (duplicates
+    /// are removed by the merge). The sequential join ignores this field.
+    pub worker_role_transforms: bool,
+    /// Parallel path only: share a lock-free covered-node board across
+    /// workers so the to-do-list pruning of §V also drops candidates
+    /// another worker already covered. The sequential join ignores this
+    /// field.
+    pub cross_worker_pruning: bool,
 }
 
 impl Default for JoinConfig {
@@ -98,6 +110,8 @@ impl Default for JoinConfig {
             mem_grid: GridConfig::default(),
             node_prefilter: true,
             hilbert_walk_start: true,
+            worker_role_transforms: true,
+            cross_worker_pruning: true,
         }
     }
 }
@@ -114,6 +128,22 @@ impl JoinConfig {
     /// Builder: replaces the threshold policy.
     pub fn with_thresholds(mut self, thresholds: ThresholdPolicy) -> Self {
         self.thresholds = thresholds;
+        self
+    }
+
+    /// Builder: disables role transformations inside parallel workers
+    /// (the `--no-transform` escape hatch; layout transformations stay
+    /// active, as they are pivot-local).
+    pub fn without_worker_transforms(mut self) -> Self {
+        self.worker_role_transforms = false;
+        self
+    }
+
+    /// Builder: disables the shared covered-node board of the parallel
+    /// path (the `--no-prune` escape hatch): workers fall back to purely
+    /// local to-do-list pruning.
+    pub fn without_cross_worker_pruning(mut self) -> Self {
+        self.cross_worker_pruning = false;
         self
     }
 }

@@ -26,6 +26,7 @@ use crate::costmodel::CostModel;
 use crate::descriptor::{NodeId, SpaceNode, SpaceUnitDesc, UnitId};
 use crate::index::TransformersIndex;
 use crate::stats::TransformersStats;
+use crate::todo::SharedTodo;
 use crate::walk::{adaptive_crawl, adaptive_walk, scan_for_intersection, ExploreScratch};
 use std::sync::Arc;
 use std::time::Instant;
@@ -139,6 +140,10 @@ struct Ctx {
     stats: TransformersStats,
     /// Raw result pairs, always oriented (id in A, id in B).
     raw: Vec<ResultPair>,
+    /// Cross-worker coverage board (parallel path only). `None` in the
+    /// sequential join and in independent-worker mode, where only the
+    /// per-owner `Side::checked` state is consulted.
+    todo: Option<Arc<SharedTodo>>,
 }
 
 impl Ctx {
@@ -169,8 +174,64 @@ impl Ctx {
             cost: CostModel::with_device(cfg.thresholds, unit_cap, node_cap, device),
             stats,
             raw: Vec::new(),
+            todo: None,
         }
     }
+
+    /// Publishes completion of `node`'s pivot processing. Must run only
+    /// after all of the node's pairs have been pushed into `self.raw`.
+    fn mark_covered(&self, side_is_a: bool, node: usize) {
+        if let Some(t) = self.todo.as_deref() {
+            t.mark_covered(side_is_a, node);
+        }
+    }
+
+    /// Tries to win the exclusive right to role-switch onto `node`. With
+    /// no shared board (sequential join, independent workers) there is no
+    /// contention and the claim always succeeds.
+    fn claim_for_switch(&self, side_is_a: bool, node: usize) -> bool {
+        self.todo
+            .as_deref()
+            .is_none_or(|t| t.try_claim(side_is_a, node))
+    }
+}
+
+/// Marks `ng` done on all exit paths of a pivot: locally checked for the
+/// owner plus, in the parallel path, covered on the shared board — in that
+/// order, and only after every pair of `ng` sits in `ctx.raw` (the
+/// `Release`/`Acquire` pairing in [`SharedTodo`] makes cross-worker
+/// pruning on the bit safe).
+fn finish_pivot(ctx: &mut Ctx, guide: &mut Side<'_>, guide_is_a: bool, ng: usize) {
+    guide.mark_checked(ng);
+    ctx.mark_covered(guide_is_a, ng);
+}
+
+/// The to-do-list filter (§V): drops candidate units whose node has been
+/// fully processed as a pivot — by this worker (`checked`) or, through the
+/// shared board, by any worker. Counts the drops so adaptivity is
+/// observable in [`TransformersStats`].
+fn prune_covered_candidates(
+    ctx: &mut Ctx,
+    follower: &Side<'_>,
+    follower_is_a: bool,
+    candidates: &mut Vec<UnitId>,
+) {
+    let before = candidates.len() as u64;
+    let mut cross = 0u64;
+    let todo = ctx.todo.as_deref();
+    candidates.retain(|u| {
+        let node = follower.units[u.0 as usize].node.0 as usize;
+        if follower.checked[node] {
+            return false;
+        }
+        if todo.is_some_and(|t| t.is_covered(follower_is_a, node)) {
+            cross += 1;
+            return false;
+        }
+        true
+    });
+    ctx.stats.pruned_units += before - candidates.len() as u64;
+    ctx.stats.cross_worker_pruned_units += cross;
 }
 
 /// Runs the TRANSFORMERS join between two indexed datasets.
@@ -291,7 +352,7 @@ fn process_node_pivot(
     let t0 = Instant::now();
     let pivot_box = guide.nodes[ng].page_mbb;
     if pivot_box.is_empty() {
-        guide.mark_checked(ng);
+        finish_pivot(ctx, guide, guide_is_a, ng);
         ctx.stats.exploration_overhead += t0.elapsed();
         return;
     }
@@ -300,7 +361,7 @@ fn process_node_pivot(
     // exploration time, so it must see the delta, not the running total.
     let walk_before = ctx.stats.walk_steps;
     let Some(nf) = locate(ctx, follower, &pivot_box) else {
-        guide.mark_checked(ng);
+        finish_pivot(ctx, guide, guide_is_a, ng);
         let dt = t0.elapsed();
         ctx.stats.exploration_overhead += dt;
         ctx.cost
@@ -313,11 +374,16 @@ fn process_node_pivot(
     // volume ratio reflects the inverse local density ratio.
     let ratio = vol(&guide.nodes[ng].tile) / vol(&follower.nodes[nf.0 as usize].tile);
 
-    if allow_switch && ctx.cost.should_switch_roles(ratio) && !follower.checked[nf.0 as usize] {
+    if allow_switch
+        && ctx.cost.should_switch_roles(ratio)
+        && !follower.checked[nf.0 as usize]
+        && ctx.claim_for_switch(!guide_is_a, nf.0 as usize)
+    {
         // Transform 1 (role): the follower is locally sparser — let it
         // guide. The new pivot is the follower node found at the old
         // pivot's location; the old pivot stays unchecked and will be
-        // revisited later.
+        // revisited later. In the parallel path the claim guarantees no
+        // other worker processes the same switched pivot.
         ctx.stats.role_transformations += 1;
         ctx.cost.on_transformation();
         ctx.stats.exploration_overhead += t0.elapsed();
@@ -332,7 +398,7 @@ fn process_node_pivot(
         ctx.cost.on_transformation();
         ctx.stats.exploration_overhead += t0.elapsed();
         process_node_units(ctx, guide, follower, guide_is_a, ng, nf);
-        guide.mark_checked(ng);
+        finish_pivot(ctx, guide, guide_is_a, ng);
         return;
     }
 
@@ -348,13 +414,11 @@ fn process_node_pivot(
     ctx.stats.crawl_steps += crawl.steps;
     ctx.stats.metadata_tests += crawl.metadata_tests;
 
-    // To-do-list filter (§V): pairs against already-checked follower nodes
+    // To-do-list filter (§V): pairs against already-covered follower nodes
     // were produced when those nodes were pivots — drop their units.
-    crawl
-        .candidates
-        .retain(|u| !follower.checked[follower.units[u.0 as usize].node.0 as usize]);
+    prune_covered_candidates(ctx, follower, !guide_is_a, &mut crawl.candidates);
     if crawl.candidates.is_empty() {
-        guide.mark_checked(ng);
+        finish_pivot(ctx, guide, guide_is_a, ng);
         ctx.stats.exploration_overhead += t0.elapsed();
         return;
     }
@@ -411,7 +475,7 @@ fn process_node_pivot(
         .record_comparisons(ctx.stats.mem.element_tests - before, dt);
     push_oriented(&mut ctx.raw, pairs, guide_is_a);
 
-    guide.mark_checked(ng);
+    finish_pivot(ctx, guide, guide_is_a, ng);
 }
 
 /// Bipartite page-MBB prefilter: keeps guide units intersecting at least
@@ -512,9 +576,7 @@ fn process_node_units(
             &mut follower.scratch,
         );
         // To-do-list filter (§V), as at node level.
-        crawl
-            .candidates
-            .retain(|u| !follower.checked[follower.units[u.0 as usize].node.0 as usize]);
+        prune_covered_candidates(ctx, follower, !guide_is_a, &mut crawl.candidates);
         crawl
             .candidates
             .sort_unstable_by_key(|u| follower.units[u.0 as usize].page);
@@ -686,29 +748,39 @@ pub struct EngineSide<'a> {
 /// Each worker owns one engine — its own buffer pools, exploration
 /// scratch, cost model and statistics accumulator — and processes a
 /// disjoint subset of the guide's node pivots via [`process_pivot`]
-/// (`PivotEngine::process_pivot`). Compared to the sequential
-/// [`transformers_join`] two behaviours differ, neither affecting the
-/// result set:
+/// (`PivotEngine::process_pivot`). A bare engine (as built by
+/// [`PivotEngine::new`]) reproduces PR 1's fully independent workers:
+/// no role transformations, purely local to-do-list pruning. The two
+/// builders restore the paper's full adaptivity:
 ///
-/// * **No role transformations.** Every guide pivot is processed exactly
-///   once; workers never re-pivot on the follower, which keeps them
-///   independent. Completeness holds because every result pair has its
-///   guide-side element in some guide node, and processing that node
-///   finds the pair (layout transformations — node → unit → element
-///   splits — remain active, they are pivot-local).
-/// * **No cross-pivot to-do-list pruning.** Workers do not know which
-///   follower nodes other workers already covered, so duplicate pairs can
-///   be produced; the caller's merge (sort + dedup, exactly as the
-///   sequential path already does) removes them.
+/// * [`with_role_transforms`](Self::with_role_transforms) re-enables
+///   guide ↔ follower switches (§VI-A) *within the worker's chunk*: the
+///   engine re-pivots on the locally sparser follower node, keeping its
+///   own walk position, cost-model calibration and transformation stats —
+///   no global state is touched. A switched-over pivot leaves the original
+///   guide node unchecked; [`process_pivot`](Self::process_pivot)
+///   re-selects it until it is actually joined (exactly the sequential
+///   revisit behaviour).
+/// * [`with_shared_todo`](Self::with_shared_todo) attaches the lock-free
+///   [`SharedTodo`] board, which (a) makes role switches *exclusive*
+///   across workers via claim bits, and (b) recovers the sequential
+///   path's to-do-list pruning: candidate units whose node any worker has
+///   *completely* processed are dropped before their pages are read. The
+///   completion-ordered `Release`/`Acquire` protocol in [`SharedTodo`]
+///   guarantees two nodes can never mutually prune each other, so no pair
+///   is lost.
 ///
-/// The result-pair *set* is therefore byte-identical to the sequential
-/// join's after normalization.
+/// Duplicate pairs (possible after switches, exactly as in the sequential
+/// join) are removed by the caller's merge (sort + dedup). The result-pair
+/// *set* is byte-identical to the sequential join's after normalization,
+/// at any worker count and with any combination of the two features.
 pub struct PivotEngine<'a> {
     guide: Side<'a>,
     follower: Side<'a>,
     ctx: Ctx,
     guide_is_a: bool,
     pivots_processed: u64,
+    allow_switch: bool,
 }
 
 impl<'a> PivotEngine<'a> {
@@ -754,7 +826,37 @@ impl<'a> PivotEngine<'a> {
             ctx,
             guide_is_a,
             pivots_processed: 0,
+            allow_switch: false,
         }
+    }
+
+    /// Builder: enables (or disables) role transformations within this
+    /// engine's pivots. Without a shared board two engines may redundantly
+    /// process the same switched pivot; attach one with
+    /// [`with_shared_todo`](Self::with_shared_todo) for cross-worker
+    /// claim exclusivity.
+    pub fn with_role_transforms(mut self, enabled: bool) -> Self {
+        self.allow_switch = enabled;
+        self
+    }
+
+    /// Builder: attaches the shared coverage board for cross-worker
+    /// to-do-list pruning and exclusive role-switch claims. All engines of
+    /// one join must share the same board, sized to the two node tables.
+    ///
+    /// # Panics
+    /// Panics (debug) if the board's dimensions do not match the node
+    /// tables the engine was built with.
+    pub fn with_shared_todo(mut self, todo: Arc<SharedTodo>) -> Self {
+        let (nodes_a, nodes_b) = if self.guide_is_a {
+            (self.guide.nodes.len(), self.follower.nodes.len())
+        } else {
+            (self.follower.nodes.len(), self.guide.nodes.len())
+        };
+        debug_assert_eq!(todo.nodes(true), nodes_a, "board sized for wrong A table");
+        debug_assert_eq!(todo.nodes(false), nodes_b, "board sized for wrong B table");
+        self.ctx.todo = Some(todo);
+        self
     }
 
     /// Number of guide node pivots (`process_pivot` accepts `0..count`).
@@ -762,23 +864,46 @@ impl<'a> PivotEngine<'a> {
         self.guide.nodes.len()
     }
 
-    /// Processes one guide node pivot: walk, transformation decision,
-    /// crawl, prefilter, page reads and in-memory join. Appends the found
-    /// pairs to the engine's private result buffer.
+    /// Processes one guide node pivot to completion: walk, transformation
+    /// decisions, crawl, prefilter, page reads and in-memory join. Appends
+    /// the found pairs to the engine's private result buffer.
+    ///
+    /// A taken role switch processes the *follower* node instead and
+    /// leaves `ng` pending; the engine then re-selects `ng` (the
+    /// sequential join's revisit loop) until it is joined. When the
+    /// follower dataset is already fully covered on the shared board, the
+    /// pivot is skipped outright — every candidate would be pruned — and
+    /// counted in [`TransformersStats::pruned_pivots`].
     ///
     /// # Panics
     /// Panics if `ng >= self.pivot_count()`.
     pub fn process_pivot(&mut self, ng: usize) {
         assert!(ng < self.guide.nodes.len(), "pivot {ng} out of range");
         self.pivots_processed += 1;
-        process_node_pivot(
-            &mut self.ctx,
-            &mut self.guide,
-            &mut self.follower,
-            self.guide_is_a,
-            ng,
-            false, // role switches disabled: workers must stay independent
-        );
+        while !self.guide.checked[ng] {
+            if self
+                .ctx
+                .todo
+                .as_deref()
+                .is_some_and(|t| t.remaining(!self.guide_is_a) == 0)
+            {
+                // Safe to skip: a follower node is only marked covered once
+                // its processing emitted all its pairs, and that processing
+                // cannot have pruned `ng` (never covered — `ng` is ours and
+                // still pending), so it joined against `ng`'s units.
+                self.ctx.stats.pruned_pivots += 1;
+                finish_pivot(&mut self.ctx, &mut self.guide, self.guide_is_a, ng);
+                break;
+            }
+            process_node_pivot(
+                &mut self.ctx,
+                &mut self.guide,
+                &mut self.follower,
+                self.guide_is_a,
+                ng,
+                self.allow_switch,
+            );
+        }
     }
 
     /// Pivots processed so far.
@@ -1051,6 +1176,97 @@ mod tests {
             let (pairs, _) = run_join(&a, &b, &cfg);
             assert_eq!(pairs, expected);
         }
+    }
+
+    /// Builds the two [`EngineSide`]s of a join, loading each side's
+    /// descriptor tables once (as `tfm-exec` does).
+    fn engine_sides<'a>(
+        idx_a: &'a TransformersIndex,
+        disk_a: &'a Disk,
+        idx_b: &'a TransformersIndex,
+        disk_b: &'a Disk,
+    ) -> (EngineSide<'a>, EngineSide<'a>) {
+        let (na, ua, _) = idx_a.load_metadata(disk_a);
+        let (nb, ub, _) = idx_b.load_metadata(disk_b);
+        let (na, ua) = (Arc::new(na), Arc::new(ua));
+        let (nb, ub) = (Arc::new(nb), Arc::new(ub));
+        (
+            EngineSide {
+                idx: idx_a,
+                disk: disk_a,
+                nodes: na,
+                units: ua,
+            },
+            EngineSide {
+                idx: idx_b,
+                disk: disk_b,
+                nodes: nb,
+                units: ub,
+            },
+        )
+    }
+
+    #[test]
+    fn shared_engines_match_sequential_and_prune() {
+        // Clustered vs uniform at small node capacities: strong local
+        // density contrast, so role switches fire and the switched pivots
+        // feed the coverage board.
+        let a = generate(&DatasetSpec {
+            max_side: 4.0,
+            ..DatasetSpec::with_distribution(12_000, Distribution::massive_cluster_for(12_000), 94)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 4.0,
+            ..DatasetSpec::uniform(12_000, 95)
+        });
+        let disk_a = Disk::default_in_memory();
+        let disk_b = Disk::default_in_memory();
+        let idx_cfg = IndexConfig {
+            unit_capacity: Some(32),
+            node_capacity: Some(8),
+        };
+        let idx_a = TransformersIndex::build(&disk_a, a.clone(), &idx_cfg);
+        let idx_b = TransformersIndex::build(&disk_b, b.clone(), &idx_cfg);
+        let cfg = JoinConfig::default();
+        let seq = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg);
+
+        // Two adaptive engines sharing one board, pivots interleaved
+        // even/odd — a deterministic, single-threaded stand-in for two
+        // workers racing through their chunks.
+        let todo = Arc::new(crate::SharedTodo::new(
+            idx_a.nodes().len(),
+            idx_b.nodes().len(),
+        ));
+        let mut engines: Vec<PivotEngine> = (0..2)
+            .map(|_| {
+                let (ga, gb) = engine_sides(&idx_a, &disk_a, &idx_b, &disk_b);
+                PivotEngine::new(ga, gb, true, &cfg)
+                    .with_role_transforms(true)
+                    .with_shared_todo(Arc::clone(&todo))
+            })
+            .collect();
+        let pivots = engines[0].pivot_count();
+        for ng in 0..pivots {
+            engines[ng % 2].process_pivot(ng);
+        }
+        let mut raw = Vec::new();
+        let mut stats = TransformersStats::default();
+        for e in engines {
+            let (pairs, s) = e.finish();
+            raw.extend(pairs);
+            stats.merge(&s);
+        }
+        raw.sort_unstable();
+        raw.dedup();
+        assert_eq!(raw, seq.pairs, "shared adaptive engines diverge");
+        assert!(
+            stats.role_transformations > 0,
+            "clustered contrast should switch roles: {stats:?}"
+        );
+        assert!(
+            stats.cross_worker_pruned_units > 0,
+            "interleaved engines should prune across the board: {stats:?}"
+        );
     }
 
     #[test]

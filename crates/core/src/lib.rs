@@ -56,6 +56,7 @@ mod index;
 mod join;
 mod metadata;
 mod stats;
+mod todo;
 mod walk;
 
 pub use config::{GuidePick, IndexConfig, JoinConfig, ThresholdPolicy};
@@ -65,6 +66,7 @@ pub use distance::distance_join;
 pub use index::TransformersIndex;
 pub use join::{transformers_join, EngineSide, JoinOutcome, PivotEngine};
 pub use stats::TransformersStats;
+pub use todo::SharedTodo;
 
 /// Low-level exploration primitives (adaptive walk, crawl, fallback scan).
 ///

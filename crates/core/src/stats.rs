@@ -33,6 +33,18 @@ pub struct TransformersStats {
     pub layout_transformations: u64,
     /// Unit → element layout transformations ("extreme skew", §VI-C).
     pub element_layout_transformations: u64,
+    /// Candidate units dropped by the to-do-list filter (§V): their node
+    /// had already been fully processed as a pivot, so every pair they
+    /// could contribute was already produced.
+    pub pruned_units: u64,
+    /// Subset of [`pruned_units`](Self::pruned_units) pruned because
+    /// *another worker's* completed pivot covered the node (via the shared
+    /// board of the parallel path). Always 0 in the sequential join.
+    pub cross_worker_pruned_units: u64,
+    /// Guide pivots skipped whole because the opposite dataset was already
+    /// fully covered (the parallel analogue of the sequential join's
+    /// early-termination condition). Always 0 in the sequential join.
+    pub pruned_pivots: u64,
     /// Adaptive-walk expansion steps.
     pub walk_steps: u64,
     /// Crawl expansion steps.
@@ -85,6 +97,9 @@ impl TransformersStats {
         self.role_transformations += other.role_transformations;
         self.layout_transformations += other.layout_transformations;
         self.element_layout_transformations += other.element_layout_transformations;
+        self.pruned_units += other.pruned_units;
+        self.cross_worker_pruned_units += other.cross_worker_pruned_units;
+        self.pruned_pivots += other.pruned_pivots;
         self.walk_steps += other.walk_steps;
         self.crawl_steps += other.crawl_steps;
         self.walk_fallbacks += other.walk_fallbacks;
@@ -142,6 +157,9 @@ mod tests {
             unique_results: 4,
             pages_read: 6,
             walk_steps: 1,
+            pruned_units: 11,
+            cross_worker_pruned_units: 4,
+            pruned_pivots: 2,
             join_cpu: Duration::from_millis(2),
             ..Default::default()
         };
@@ -152,6 +170,9 @@ mod tests {
         assert_eq!(a.unique_results, 6);
         assert_eq!(a.pages_read, 9);
         assert_eq!(a.walk_steps, 8);
+        assert_eq!(a.pruned_units, 11);
+        assert_eq!(a.cross_worker_pruned_units, 4);
+        assert_eq!(a.pruned_pivots, 2);
         assert_eq!(a.join_cpu, Duration::from_millis(3));
     }
 }

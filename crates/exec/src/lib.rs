@@ -22,6 +22,44 @@
 //!   scheduling; per-worker [`transformers::TransformersStats`] are summed
 //!   in worker order.
 //!
+//! # The transformation / pruning protocol
+//!
+//! The paper's defining mechanism is *adaptivity*: role transformations
+//! (§VI-A) and to-do-list pruning (§V). Both are stateful, which is why
+//! PR 1 disabled them to keep workers independent. They are recovered
+//! with one lock-free structure, [`transformers::SharedTodo`] — two
+//! atomic bitmaps (*claimed*, *covered*) per dataset plus a remaining
+//! counter — and three rules:
+//!
+//! 1. **Claim before switching.** A worker may role-switch onto follower
+//!    node `nf` only after winning `try_claim(nf)` (a test-and-set bit).
+//!    Exactly one worker processes each switched pivot; a losing worker
+//!    simply continues its own pivot at node granularity, the same
+//!    fallback the sequential join uses for an already-checked node.
+//! 2. **Cover on completion.** A node's *covered* bit is set (`Release`)
+//!    only after its pivot processing has emitted every one of its pairs
+//!    into the owning worker's buffer. Candidate filters read the bit with
+//!    `Acquire` and prune covered nodes' units. Two in-flight pivots can
+//!    therefore never prune each other — that would need each node's
+//!    completion to happen-before the other's filter point, a cycle — so
+//!    no pair is ever lost, and the merged, normalized result stays
+//!    byte-identical to the sequential join's at any thread count.
+//! 3. **Announce exhaustion at chunk boundaries.** When the follower
+//!    dataset's remaining counter hits zero, every pivot still queued
+//!    would have its whole candidate list pruned. The worker that observes
+//!    this calls [`JoinScheduler::announce_prune`]; the scheduler stops
+//!    dealing chunks (own deques and steals alike) and reports the
+//!    discarded tail as [`ExecReport::chunks_pruned`]. Within a chunk,
+//!    engines make the same check per pivot
+//!    ([`transformers::TransformersStats::pruned_pivots`]).
+//!
+//! Both features default **on** (see
+//! [`transformers::JoinConfig::worker_role_transforms`] and
+//! [`transformers::JoinConfig::cross_worker_pruning`]) and can be disabled
+//! independently — `tfm join --no-transform` / `--no-prune` — which
+//! restores PR 1's fully independent workers as an escape hatch and an
+//! ablation baseline. Every combination returns the identical pair set.
+//!
 //! # Example
 //!
 //! ```
@@ -50,7 +88,7 @@ pub use scheduler::{Chunk, JoinScheduler};
 use std::sync::Arc;
 use tfm_storage::Disk;
 use transformers::{
-    EngineSide, GuidePick, JoinConfig, JoinOutcome, PivotEngine, TransformersIndex,
+    EngineSide, GuidePick, JoinConfig, JoinOutcome, PivotEngine, SharedTodo, TransformersIndex,
     TransformersStats,
 };
 
@@ -73,6 +111,10 @@ pub struct ExecReport {
     /// Pivots processed by each worker — the skew between entries shows
     /// how unbalanced the workload was before stealing evened it out.
     pub worker_pivots: Vec<u64>,
+    /// Chunks discarded by a prune announcement: the follower dataset was
+    /// fully covered before these chunks were dispatched, so their pivots
+    /// could not have contributed any new pair.
+    pub chunks_pruned: u64,
 }
 
 /// Runs the TRANSFORMERS join in parallel over `threads` workers and also
@@ -101,9 +143,9 @@ pub fn parallel_join_with_report(
     let (nodes_a, units_a) = (Arc::new(nodes_a), Arc::new(units_a));
     let (nodes_b, units_b) = (Arc::new(nodes_b), Arc::new(units_b));
 
-    // The configured first guide supplies the pivots. Role transformations
-    // are disabled inside the engine (workers must stay independent), so
-    // the guide choice is fixed for the whole join.
+    // The configured first guide supplies the scheduler's pivot list; role
+    // transformations (when enabled) let individual workers locally
+    // re-pivot on the other side without changing that list.
     let guide_is_a = matches!(cfg.first_guide, GuidePick::A);
     // One routing decision so index, disk and tables can never pair up
     // inconsistently: (idx, disk, nodes, units) per role.
@@ -122,6 +164,13 @@ pub fn parallel_join_with_report(
     let pivots = guide_side.2.len();
     let chunk_size = JoinScheduler::default_chunk_size(pivots, threads);
     let scheduler = JoinScheduler::new(pivots, threads, chunk_size);
+
+    // The shared coverage board recovering the sequential path's
+    // to-do-list pruning across workers (see the module docs for the
+    // protocol). `--no-prune` drops it: workers then prune only locally.
+    let todo = cfg
+        .cross_worker_pruning
+        .then(|| Arc::new(SharedTodo::new(nodes_a.len(), nodes_b.len())));
 
     // Split the configured buffer-pool budget across the workers so the
     // aggregate page-cache size stays close to the sequential join's
@@ -151,11 +200,24 @@ pub fn parallel_join_with_report(
                     units: Arc::clone(follower_side.3),
                 };
                 let worker_cfg = &worker_cfg;
+                let todo = todo.clone();
                 let worker = move || {
-                    let mut engine = PivotEngine::new(guide, follower, guide_is_a, worker_cfg);
+                    let mut engine = PivotEngine::new(guide, follower, guide_is_a, worker_cfg)
+                        .with_role_transforms(worker_cfg.worker_role_transforms);
+                    if let Some(todo) = &todo {
+                        engine = engine.with_shared_todo(Arc::clone(todo));
+                    }
                     while let Some(chunk) = scheduler.next(w) {
                         for ng in chunk.start..chunk.end {
                             engine.process_pivot(ng);
+                        }
+                        // Chunk boundary: if the follower dataset is now
+                        // fully covered, announce it so queued chunks are
+                        // discarded instead of dispatched.
+                        if let Some(todo) = &todo {
+                            if todo.remaining(!guide_is_a) == 0 {
+                                scheduler.announce_prune();
+                            }
                         }
                     }
                     let processed = engine.pivots_processed();
@@ -197,6 +259,7 @@ pub fn parallel_join_with_report(
         chunk_size: scheduler.chunk_size(),
         steals: scheduler.steals(),
         worker_pivots,
+        chunks_pruned: scheduler.chunks_pruned(),
     };
     (JoinOutcome { pairs: raw, stats }, report)
 }
@@ -205,12 +268,15 @@ pub fn parallel_join_with_report(
 /// over `threads` workers (`threads == 0` is treated as 1).
 ///
 /// Guide pivots are sharded across a scoped worker pool; each worker
-/// explores and joins its pivots with a private [`PivotEngine`], and the
-/// per-worker results are merged deterministically. The returned pair
-/// vector is **byte-identical** to [`transformers::transformers_join`]'s
-/// for any thread count; the statistics are exact sums of the per-worker
-/// counters (role transformations are always 0 in the parallel path —
-/// layout transformations remain active).
+/// explores and joins its pivots with a private [`PivotEngine`], performing
+/// role and layout transformations within its chunks and pruning
+/// candidates through the shared coverage board (see the module docs for
+/// the protocol; [`JoinConfig::worker_role_transforms`] and
+/// [`JoinConfig::cross_worker_pruning`] opt out). The per-worker results
+/// are merged deterministically: the returned pair vector is
+/// **byte-identical** to [`transformers::transformers_join`]'s for any
+/// thread count and feature combination, and the statistics are exact sums
+/// of the per-worker counters.
 pub fn parallel_join(
     idx_a: &TransformersIndex,
     disk_a: &Disk,
@@ -338,6 +404,80 @@ mod tests {
         assert!(par.stats.pages_read > 0);
         assert!(par.stats.metadata_pages_read > 0);
         assert!(par.stats.walk_steps > 0);
-        assert_eq!(par.stats.role_transformations, 0);
+        assert!(par.stats.cross_worker_pruned_units <= par.stats.pruned_units);
+    }
+
+    /// Clustered-vs-uniform fixture with node capacities small enough that
+    /// the density contrast is *local* and role transformations fire.
+    fn adaptive_fixture() -> (Disk, TransformersIndex, Disk, TransformersIndex) {
+        let idx_cfg = IndexConfig {
+            unit_capacity: Some(32),
+            node_capacity: Some(8),
+        };
+        let a = generate(&DatasetSpec {
+            max_side: 4.0,
+            ..DatasetSpec::with_distribution(10_000, Distribution::massive_cluster_for(10_000), 14)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 4.0,
+            ..DatasetSpec::uniform(10_000, 15)
+        });
+        let disk_a = Disk::default_in_memory();
+        let disk_b = Disk::default_in_memory();
+        let idx_a = TransformersIndex::build(&disk_a, a, &idx_cfg);
+        let idx_b = TransformersIndex::build(&disk_b, b, &idx_cfg);
+        (disk_a, idx_a, disk_b, idx_b)
+    }
+
+    #[test]
+    fn adaptive_workers_match_sequential_and_transform() {
+        let (disk_a, idx_a, disk_b, idx_b) = adaptive_fixture();
+        let cfg = JoinConfig::default();
+        let seq = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg);
+        for threads in [1, 2, 4] {
+            let par = parallel_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg, threads);
+            assert_eq!(par.pairs, seq.pairs, "threads = {threads}");
+            assert!(
+                par.stats.role_transformations > 0,
+                "threads = {threads}: local contrast should switch roles: {:?}",
+                par.stats
+            );
+            assert!(
+                par.stats.pruned_units > 0,
+                "threads = {threads}: switched pivots should feed the to-do filter: {:?}",
+                par.stats
+            );
+        }
+    }
+
+    #[test]
+    fn every_feature_combination_matches_sequential() {
+        let (disk_a, idx_a, disk_b, idx_b) = adaptive_fixture();
+        let seq = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &JoinConfig::default());
+        for transforms in [false, true] {
+            for pruning in [false, true] {
+                let cfg = JoinConfig {
+                    worker_role_transforms: transforms,
+                    cross_worker_pruning: pruning,
+                    ..JoinConfig::default()
+                };
+                for threads in [2, 4] {
+                    let (par, report) =
+                        parallel_join_with_report(&idx_a, &disk_a, &idx_b, &disk_b, &cfg, threads);
+                    assert_eq!(
+                        par.pairs, seq.pairs,
+                        "transforms={transforms} pruning={pruning} threads={threads}"
+                    );
+                    if !pruning {
+                        assert_eq!(par.stats.cross_worker_pruned_units, 0);
+                        assert_eq!(par.stats.pruned_pivots, 0);
+                        assert_eq!(report.chunks_pruned, 0);
+                    }
+                    if !transforms {
+                        assert_eq!(par.stats.role_transformations, 0);
+                    }
+                }
+            }
+        }
     }
 }

@@ -1,4 +1,5 @@
-//! Pivot scheduling: static sharding plus work stealing.
+//! Pivot scheduling: static sharding plus work stealing, with prune
+//! announcements.
 //!
 //! The guide's space-node pivot list is split into contiguous chunks that
 //! are dealt to per-worker deques up front (*static sharding* — contiguous
@@ -9,9 +10,18 @@
 //! own deque *steal* chunks from the back of the fullest other deque
 //! (stragglers keep the front of their own queue, preserving their
 //! locality run).
+//!
+//! **Prune announcements.** At a chunk boundary a worker that observes the
+//! follower dataset fully covered on the shared board calls
+//! [`JoinScheduler::announce_prune`]: every pivot still queued would have
+//! its entire candidate list pruned (the sequential join's termination
+//! condition, recovered across workers). The scheduler then stops dealing —
+//! both from a worker's own deque and on the steal path — and the chunks
+//! never dispatched are reported by
+//! [`chunks_pruned`](JoinScheduler::chunks_pruned).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// A contiguous range of guide pivot indices, `start..end`.
@@ -41,6 +51,8 @@ pub struct JoinScheduler {
     chunks: usize,
     chunk_size: usize,
     steals: AtomicU64,
+    dispatched: AtomicU64,
+    pruned: AtomicBool,
 }
 
 impl JoinScheduler {
@@ -75,6 +87,8 @@ impl JoinScheduler {
             chunks,
             chunk_size,
             steals: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
+            pruned: AtomicBool::new(false),
         }
     }
 
@@ -100,23 +114,52 @@ impl JoinScheduler {
         self.steals.load(Ordering::Relaxed)
     }
 
+    /// Announces that the rest of the pivot list is prunable (the
+    /// follower dataset is fully covered): the scheduler stops dealing
+    /// chunks — own-deque pops and steals alike return `None` from now on.
+    pub fn announce_prune(&self) {
+        self.pruned.store(true, Ordering::Release);
+    }
+
+    /// Has a prune been announced?
+    pub fn prune_announced(&self) -> bool {
+        self.pruned.load(Ordering::Acquire)
+    }
+
+    /// Chunks dealt at construction but never dispatched because a prune
+    /// announcement discarded them. Meaningful once the workers have
+    /// drained (after the join's thread scope ends).
+    pub fn chunks_pruned(&self) -> u64 {
+        self.chunks as u64 - self.dispatched.load(Ordering::Acquire)
+    }
+
     /// Fetches the next chunk for `worker`: the front of its own deque,
     /// or — once that is empty — the back of the fullest other deque.
-    /// Returns `None` when every deque is empty.
+    /// Returns `None` when every deque is empty or a prune announcement
+    /// has discarded the remaining work.
     ///
     /// # Panics
     /// Panics if `worker` is out of range.
     pub fn next(&self, worker: usize) -> Option<Chunk> {
+        if self.prune_announced() {
+            return None;
+        }
         if let Some(chunk) = self.queues[worker]
             .lock()
             .expect("scheduler lock poisoned")
             .pop_front()
         {
+            self.dispatched.fetch_add(1, Ordering::AcqRel);
             return Some(chunk);
         }
         // Own deque drained: steal from the back of the fullest victim so
         // the victim keeps the locality run at the front of its queue.
         loop {
+            // Stealing also respects prune announcements — a straggler's
+            // backlog is exactly the work a prune makes redundant.
+            if self.prune_announced() {
+                return None;
+            }
             let mut best: Option<(usize, usize)> = None;
             for (v, queue) in self.queues.iter().enumerate() {
                 if v == worker {
@@ -136,6 +179,7 @@ impl JoinScheduler {
                 .pop_back()
             {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                self.dispatched.fetch_add(1, Ordering::AcqRel);
                 return Some(chunk);
             }
         }
@@ -211,6 +255,29 @@ mod tests {
         assert_eq!(JoinScheduler::default_chunk_size(0, 4), 1);
         assert!(JoinScheduler::default_chunk_size(10_000, 4) <= 256);
         assert!(JoinScheduler::default_chunk_size(100, 2) >= 1);
+    }
+
+    #[test]
+    fn prune_announcement_discards_remaining_chunks() {
+        let sched = JoinScheduler::new(64, 2, 4); // 16 chunks
+        assert!(sched.next(0).is_some());
+        assert!(sched.next(1).is_some());
+        assert!(!sched.prune_announced());
+        sched.announce_prune();
+        assert!(sched.prune_announced());
+        // Own-deque pops and steals both stop.
+        assert_eq!(sched.next(0), None);
+        assert_eq!(sched.next(1), None);
+        assert_eq!(sched.chunks_pruned(), 14);
+        assert_eq!(sched.steals(), 0);
+    }
+
+    #[test]
+    fn full_drain_prunes_nothing() {
+        let sched = JoinScheduler::new(100, 3, 7);
+        let n = drain_all(&sched, 0).len() as u64;
+        assert_eq!(sched.chunks_pruned(), 0);
+        assert_eq!(n, sched.chunk_count() as u64);
     }
 
     #[test]

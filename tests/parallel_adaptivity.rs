@@ -1,0 +1,173 @@
+//! Acceptance contract of the adaptive parallel join (PR 2): with role
+//! transformations and cross-worker pruning enabled, `parallel_join`
+//! returns a **byte-identical** pair vector to `transformers_join` at 1, 2
+//! and 4 workers on uniform and clustered workloads — and on the clustered
+//! ones it actually *adapts* (nonzero transformation and prune counters).
+
+use transformers_repro::prelude::*;
+
+struct Fixture {
+    disk_a: Disk,
+    idx_a: TransformersIndex,
+    disk_b: Disk,
+    idx_b: TransformersIndex,
+}
+
+impl Fixture {
+    fn new(a: Vec<SpatialElement>, b: Vec<SpatialElement>, idx_cfg: &IndexConfig) -> Self {
+        let disk_a = Disk::default_in_memory();
+        let disk_b = Disk::default_in_memory();
+        let idx_a = TransformersIndex::build(&disk_a, a, idx_cfg);
+        let idx_b = TransformersIndex::build(&disk_b, b, idx_cfg);
+        Self {
+            disk_a,
+            idx_a,
+            disk_b,
+            idx_b,
+        }
+    }
+
+    fn sequential(&self, cfg: &JoinConfig) -> Vec<ResultPair> {
+        transformers_join(&self.idx_a, &self.disk_a, &self.idx_b, &self.disk_b, cfg).pairs
+    }
+
+    fn parallel(
+        &self,
+        cfg: &JoinConfig,
+        threads: usize,
+    ) -> (Vec<ResultPair>, transformers::TransformersStats) {
+        let out = parallel_join(
+            &self.idx_a,
+            &self.disk_a,
+            &self.idx_b,
+            &self.disk_b,
+            cfg,
+            threads,
+        );
+        (out.pairs, out.stats)
+    }
+}
+
+/// Small node capacities make density contrast *local*, so the adaptive
+/// machinery has something to react to even at test scale.
+fn contrasty_index() -> IndexConfig {
+    IndexConfig {
+        unit_capacity: Some(32),
+        node_capacity: Some(8),
+    }
+}
+
+#[test]
+fn uniform_workload_is_byte_identical_at_1_2_4_workers() {
+    let a = generate(&DatasetSpec {
+        max_side: 8.0,
+        ..DatasetSpec::uniform(4_000, 300)
+    });
+    let b = generate(&DatasetSpec {
+        max_side: 8.0,
+        ..DatasetSpec::uniform(4_000, 301)
+    });
+    let fx = Fixture::new(a, b, &IndexConfig::default());
+    let cfg = JoinConfig::default();
+    let seq = fx.sequential(&cfg);
+    assert!(!seq.is_empty());
+    for threads in [1, 2, 4] {
+        let (pairs, _) = fx.parallel(&cfg, threads);
+        assert_eq!(pairs, seq, "threads = {threads}");
+    }
+}
+
+#[test]
+fn clustered_workload_is_byte_identical_and_adapts() {
+    let a = generate(&DatasetSpec {
+        max_side: 4.0,
+        ..DatasetSpec::with_distribution(15_000, Distribution::massive_cluster_for(15_000), 302)
+    });
+    let b = generate(&DatasetSpec {
+        max_side: 4.0,
+        ..DatasetSpec::uniform(15_000, 303)
+    });
+    let fx = Fixture::new(a, b, &contrasty_index());
+    let cfg = JoinConfig::default();
+    let seq = fx.sequential(&cfg);
+    assert!(!seq.is_empty());
+    for threads in [1, 2, 4] {
+        let (pairs, stats) = fx.parallel(&cfg, threads);
+        assert_eq!(pairs, seq, "threads = {threads}");
+        assert!(
+            stats.role_transformations + stats.layout_transformations > 0,
+            "threads = {threads}: clustered contrast must transform: {stats:?}"
+        );
+        assert!(
+            stats.pruned_units > 0,
+            "threads = {threads}: covered pivots must feed the to-do filter: {stats:?}"
+        );
+    }
+}
+
+/// Pulls element centers towards the origin by `f` while keeping box
+/// sizes, raising density without touching the clustered structure (the
+/// surrogate's paper-faithful 1000³ universe is near-disjoint at test
+/// scale).
+fn compact(elems: Vec<SpatialElement>, f: f64) -> Vec<SpatialElement> {
+    elems
+        .into_iter()
+        .map(|e| {
+            let c = e.mbb.center();
+            let (hx, hy, hz) = (
+                e.mbb.extent(0) / 2.0,
+                e.mbb.extent(1) / 2.0,
+                e.mbb.extent(2) / 2.0,
+            );
+            SpatialElement::new(
+                e.id,
+                Aabb::new(
+                    Point3::new(c.x * f - hx, c.y * f - hy, c.z * f - hz),
+                    Point3::new(c.x * f + hx, c.y * f + hy, c.z * f + hz),
+                ),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn neuro_workload_is_byte_identical_at_1_2_4_workers() {
+    // The paper's target domain: axon × dendrite spatial join. Neuron
+    // morphologies are clustered along z, exercising walk, crawl and the
+    // transformation decisions together.
+    let (a, b) = neuro::axon_dendrite_pair(12_000, 304);
+    let fx = Fixture::new(compact(a, 0.15), compact(b, 0.15), &contrasty_index());
+    let cfg = JoinConfig::default();
+    let seq = fx.sequential(&cfg);
+    assert!(!seq.is_empty());
+    for threads in [1, 2, 4] {
+        let (pairs, _) = fx.parallel(&cfg, threads);
+        assert_eq!(pairs, seq, "threads = {threads}");
+    }
+}
+
+#[test]
+fn escape_hatches_preserve_results_on_clustered_data() {
+    let a = generate(&DatasetSpec {
+        max_side: 4.0,
+        ..DatasetSpec::with_distribution(8_000, Distribution::massive_cluster_for(8_000), 305)
+    });
+    let b = generate(&DatasetSpec {
+        max_side: 4.0,
+        ..DatasetSpec::uniform(8_000, 306)
+    });
+    let fx = Fixture::new(a, b, &contrasty_index());
+    let seq = fx.sequential(&JoinConfig::default());
+    for cfg in [
+        JoinConfig::default().without_worker_transforms(),
+        JoinConfig::default().without_cross_worker_pruning(),
+        JoinConfig::default()
+            .without_worker_transforms()
+            .without_cross_worker_pruning(),
+    ] {
+        for threads in [2, 4] {
+            let (pairs, _) = fx.parallel(&cfg, threads);
+            assert_eq!(pairs, seq, "cfg = {cfg:?}, threads = {threads}");
+        }
+    }
+}
