@@ -1,0 +1,85 @@
+//! Scaling bench for the staged index-build pipeline: build-phase wall
+//! time at 1/2/4/8 workers for every STR-indexed structure (the
+//! TRANSFORMERS hierarchy, GIPSY's sparse file, the STR-packed R-Tree).
+//!
+//! The 1-worker pipeline runs the exact sequential code path, so the
+//! `workers_1` rows double as the pre-pipeline baseline and the curves
+//! show pure parallelization gain (or, on a single-CPU machine, the
+//! pipeline's overhead, which should stay within a few percent).
+//!
+//! The build is byte-identical at every worker count — this bench measures
+//! time only; determinism is enforced by the `build_determinism` tests.
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfm_datagen::Distribution;
+use tfm_gipsy::SparseFile;
+use tfm_rtree::RTree;
+use tfm_storage::Disk;
+use transformers::{IndexBuildPipeline, IndexConfig, TransformersIndex};
+
+fn bench_dataset(c: &mut Criterion, label: &str, elems: &[tfm_geom::SpatialElement]) {
+    let mut group = c.benchmark_group(format!("build/{label}"));
+    group.sample_size(10);
+
+    for workers in [1usize, 2, 4, 8] {
+        let cfg = IndexConfig::default().with_build_threads(workers);
+        group.bench_function(format!("transformers_workers_{workers}"), |bench| {
+            bench.iter(|| {
+                let disk = Disk::in_memory(PAGE);
+                let idx = TransformersIndex::build(&disk, elems.to_vec(), &cfg);
+                black_box(idx.nodes().len())
+            })
+        });
+    }
+
+    // The baselines share the same pipeline; measure the ends of the
+    // scaling range to keep the suite short.
+    for workers in [1usize, 4] {
+        let pipeline = IndexBuildPipeline::new(workers);
+        group.bench_function(format!("rtree_workers_{workers}"), |bench| {
+            bench.iter(|| {
+                let disk = Disk::in_memory(PAGE);
+                let tree = RTree::bulk_load_pipelined(&disk, elems.to_vec(), &pipeline);
+                black_box(tree.height())
+            })
+        });
+        group.bench_function(format!("gipsy_sparse_workers_{workers}"), |bench| {
+            bench.iter(|| {
+                let disk = Disk::in_memory(PAGE);
+                let file = SparseFile::write_with(&disk, elems.to_vec(), &pipeline);
+                black_box(file.page_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 50_000;
+    bench_dataset(
+        c,
+        &format!("uniform_{n}"),
+        &dataset(n, Distribution::Uniform, 40),
+    );
+    // Clustered data skews the per-slab work — the case the work-stealing
+    // chunk scheduler inside the pool exists for.
+    bench_dataset(
+        c,
+        &format!("clustered_{n}"),
+        &dataset(
+            n,
+            Distribution::MassiveCluster {
+                clusters: 5,
+                elements_per_cluster: n / 5,
+            },
+            41,
+        ),
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

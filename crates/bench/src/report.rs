@@ -13,12 +13,14 @@ fn secs(d: std::time::Duration) -> String {
 pub fn print_table(title: &str, rows: &[Metrics]) {
     println!("\n== {title} ==");
     println!(
-        "{:<24} {:<22} {:>9} {:>9} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "{:<24} {:<22} {:>9} {:>9} {:>3} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10}",
         "workload",
         "approach",
         "|A|",
         "|B|",
-        "index_s",
+        "bt",
+        "build_s",
+        "build_cpu",
         "join_s",
         "io_s",
         "pages_read",
@@ -27,12 +29,14 @@ pub fn print_table(title: &str, rows: &[Metrics]) {
     );
     for m in rows {
         println!(
-            "{:<24} {:<22} {:>9} {:>9} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10}",
+            "{:<24} {:<22} {:>9} {:>9} {:>3} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10}",
             m.workload,
             m.approach,
             m.n_a,
             m.n_b,
+            m.build_threads,
             secs(m.index_time()),
+            secs(m.index_wall),
             secs(m.join_time()),
             secs(m.join_sim_io),
             m.pages_read,
@@ -43,16 +47,17 @@ pub fn print_table(title: &str, rows: &[Metrics]) {
 }
 
 /// CSV header matching [`csv_row`].
-pub const CSV_HEADER: &str = "workload,approach,n_a,n_b,index_wall_s,index_sim_io_s,index_total_s,join_wall_s,join_sim_io_s,join_total_s,pages_read,rand_reads,seq_reads,tests,results,transformations,overhead_wall_s";
+pub const CSV_HEADER: &str = "workload,approach,n_a,n_b,build_threads,index_wall_s,index_sim_io_s,index_total_s,join_wall_s,join_sim_io_s,join_total_s,pages_read,rand_reads,seq_reads,tests,results,transformations,overhead_wall_s";
 
 /// One CSV row for a metrics record.
 pub fn csv_row(m: &Metrics) -> String {
     format!(
-        "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{:.6}",
+        "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{},{},{:.6}",
         m.workload,
         m.approach,
         m.n_a,
         m.n_b,
+        m.build_threads,
         m.index_wall.as_secs_f64(),
         m.index_sim_io.as_secs_f64(),
         m.index_time().as_secs_f64(),
@@ -104,6 +109,7 @@ mod tests {
             results: 11,
             transformations: 2,
             overhead_wall: Duration::from_micros(100),
+            build_threads: 1,
         }
     }
 

@@ -14,7 +14,8 @@ use tfm_pbsm::{pbsm_join, pbsm_partition, PbsmConfig, PbsmStats};
 use tfm_rtree::{sync_join, RTree, RtreeStats};
 use tfm_storage::{BufferPool, Disk, IoStatsSnapshot};
 use transformers::{
-    transformers_join, IndexConfig, JoinConfig, ThresholdPolicy, TransformersIndex,
+    transformers_join, IndexBuildPipeline, IndexConfig, JoinConfig, ThresholdPolicy,
+    TransformersIndex,
 };
 
 /// Which join approach to run.
@@ -114,6 +115,10 @@ pub struct RunConfig {
     pub pbsm_partitions: usize,
     /// Buffer-pool capacity in pages, shared by all approaches.
     pub pool_pages: usize,
+    /// Worker threads for the index-build phase of the STR-indexed
+    /// approaches (TRANSFORMERS, GIPSY's two sides, the R-Tree). Builds
+    /// are byte-identical at any setting; only `index_wall` changes.
+    pub build_threads: usize,
 }
 
 impl Default for RunConfig {
@@ -122,6 +127,7 @@ impl Default for RunConfig {
             page_size: 2048,
             pbsm_partitions: 10,
             pool_pages: 1024,
+            build_threads: 1,
         }
     }
 }
@@ -160,6 +166,9 @@ pub struct Metrics {
     pub transformations: u64,
     /// Exploration overhead wall time (TRANSFORMERS only; Fig. 14).
     pub overhead_wall: Duration,
+    /// Build workers used for the indexing phase (1 = sequential build;
+    /// approaches without an STR build phase ignore the setting).
+    pub build_threads: usize,
 }
 
 impl Metrics {
@@ -196,6 +205,7 @@ impl Metrics {
             results: 0,
             transformations: 0,
             overhead_wall: Duration::ZERO,
+            build_threads: 1,
         }
     }
 }
@@ -214,6 +224,7 @@ pub fn run_approach(
     cfg: &RunConfig,
 ) -> (Metrics, Vec<ResultPair>) {
     let mut m = Metrics::base(approach, workload, a, b);
+    m.build_threads = cfg.build_threads.max(1);
     match approach {
         Approach::Transformers(join_cfg) => run_transformers(&mut m, a, b, cfg, join_cfg),
         Approach::TransformersParallel(join_cfg, threads) => {
@@ -376,10 +387,11 @@ fn run_transformers_with(
 ) -> (Metrics, Vec<ResultPair>) {
     let disk_a = Disk::in_memory(cfg.page_size);
     let disk_b = Disk::in_memory(cfg.page_size);
+    let idx_cfg = IndexConfig::default().with_build_threads(cfg.build_threads);
 
     let t = Instant::now();
-    let idx_a = TransformersIndex::build(&disk_a, a.to_vec(), &IndexConfig::default());
-    let idx_b = TransformersIndex::build(&disk_b, b.to_vec(), &IndexConfig::default());
+    let idx_a = TransformersIndex::build(&disk_a, a.to_vec(), &idx_cfg);
+    let idx_b = TransformersIndex::build(&disk_b, b.to_vec(), &idx_cfg);
     m.index_wall = t.elapsed();
     m.index_sim_io = merged(&disk_a, &disk_b).sim_io_time();
 
@@ -459,9 +471,10 @@ fn run_rtree(
     let disk_a = Disk::in_memory(cfg.page_size);
     let disk_b = Disk::in_memory(cfg.page_size);
 
+    let pipeline = IndexBuildPipeline::new(cfg.build_threads);
     let t = Instant::now();
-    let tree_a = RTree::bulk_load(&disk_a, a.to_vec());
-    let tree_b = RTree::bulk_load(&disk_b, b.to_vec());
+    let tree_a = RTree::bulk_load_pipelined(&disk_a, a.to_vec(), &pipeline);
+    let tree_b = RTree::bulk_load_pipelined(&disk_b, b.to_vec(), &pipeline);
     m.index_wall = t.elapsed();
     m.index_sim_io = merged(&disk_a, &disk_b).sim_io_time();
 
@@ -498,9 +511,11 @@ fn run_gipsy(
     let sparse_disk = Disk::in_memory(cfg.page_size);
     let dense_disk = Disk::in_memory(cfg.page_size);
 
+    let pipeline = IndexBuildPipeline::new(cfg.build_threads);
+    let idx_cfg = IndexConfig::default().with_build_threads(cfg.build_threads);
     let t = Instant::now();
-    let sparse_file = SparseFile::write(&sparse_disk, sparse.to_vec());
-    let dense_idx = TransformersIndex::build(&dense_disk, dense.to_vec(), &IndexConfig::default());
+    let sparse_file = SparseFile::write_with(&sparse_disk, sparse.to_vec(), &pipeline);
+    let dense_idx = TransformersIndex::build(&dense_disk, dense.to_vec(), &idx_cfg);
     m.index_wall = t.elapsed();
     m.index_sim_io = merged(&sparse_disk, &dense_disk).sim_io_time();
 
@@ -573,6 +588,33 @@ mod tests {
             }
         }
         assert!(!reference.unwrap().is_empty());
+    }
+
+    #[test]
+    fn build_threads_change_nothing_but_wall_time() {
+        let a = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(1200, 204)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(1200, 205)
+        });
+        for ap in [Approach::transformers(), Approach::Rtree, Approach::Gipsy] {
+            let (m1, p1) = run_approach(&ap, "t", &a, &b, &RunConfig::default());
+            let cfg4 = RunConfig {
+                build_threads: 4,
+                ..RunConfig::default()
+            };
+            let (m4, p4) = run_approach(&ap, "t", &a, &b, &cfg4);
+            assert_eq!(canonicalize(p1), canonicalize(p4), "{}", ap.label());
+            // The build is deterministic, so every join-phase metric (and
+            // the simulated build I/O) must match exactly.
+            assert_eq!(m1.index_sim_io, m4.index_sim_io, "{}", ap.label());
+            assert_eq!(m1.pages_read, m4.pages_read, "{}", ap.label());
+            assert_eq!(m1.tests, m4.tests, "{}", ap.label());
+            assert_eq!(m4.build_threads, 4);
+        }
     }
 
     #[test]

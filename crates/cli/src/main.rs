@@ -19,6 +19,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
+        Some("build") => cmd_build(&args[1..]),
         Some("join") => cmd_join(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -43,10 +44,17 @@ fn print_usage() {
 USAGE:
   tfm generate --count N --out FILE [--distribution D] [--seed S] [--max-side F]
       D: uniform | dense-cluster | uniform-cluster | massive-cluster | axons | dendrites
+  tfm build --in FILE [--page-size N] [--build-threads N]
+            [--unit-capacity N] [--node-capacity N]
+      builds the TRANSFORMERS index once through the staged pipeline and
+      reports hierarchy size, pages and build time; the index is
+      byte-identical at any --build-threads setting
   tfm join --a FILE --b FILE [--approach A] [--page-size N] [--threads N]
-           [--no-transform] [--no-prune] [--verify]
+           [--build-threads N] [--no-transform] [--no-prune] [--verify]
       A: transformers | no-tr | pbsm | rtree | gipsy | sssj | s3 (default: transformers)
       --threads N: run the transformers join on N parallel workers (tfm-exec)
+      --build-threads N: build the indexes on N parallel workers
+                  (transformers, gipsy and rtree builds; default 1)
       --no-transform: parallel path only — workers skip role transformations
       --no-prune: parallel path only — disable the shared cross-worker
                   to-do-list pruning board (workers prune only locally)
@@ -73,6 +81,18 @@ fn required<'a>(args: &'a [String], name: &str) -> Result<&'a str, String> {
 
 fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+/// Parses a worker-count flag (default 1), rejecting 0 with a uniform
+/// message.
+fn parse_worker_count(args: &[String], name: &str) -> Result<usize, String> {
+    let n: usize = parse(opt(args, name).unwrap_or("1"), name)?;
+    if n == 0 {
+        return Err(format!(
+            "{name} must be at least 1 (0 workers cannot make progress)"
+        ));
+    }
+    Ok(n)
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
@@ -108,6 +128,51 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    use transformers::{IndexConfig, TransformersIndex};
+
+    let path = required(args, "--in")?;
+    let page_size: usize = parse(opt(args, "--page-size").unwrap_or("2048"), "--page-size")?;
+    let build_threads = parse_worker_count(args, "--build-threads")?;
+    let mut cfg = IndexConfig::default().with_build_threads(build_threads);
+    if let Some(v) = opt(args, "--unit-capacity") {
+        cfg.unit_capacity = Some(parse(v, "--unit-capacity")?);
+    }
+    if let Some(v) = opt(args, "--node-capacity") {
+        cfg.node_capacity = Some(parse(v, "--node-capacity")?);
+    }
+
+    let elems = io::read_elements(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let disk = tfm_storage::Disk::in_memory(page_size);
+    let t = std::time::Instant::now();
+    let idx = TransformersIndex::try_build(&disk, elems, &cfg)?;
+    let wall = t.elapsed();
+    let io = disk.stats();
+
+    println!("dataset:         {path}");
+    println!("elements:        {}", idx.len());
+    println!(
+        "hierarchy:       {} nodes, {} units (unit cap {}, node cap {})",
+        idx.nodes().len(),
+        idx.units().len(),
+        idx.unit_capacity(),
+        idx.node_capacity()
+    );
+    println!(
+        "pages:           {} total ({} metadata)",
+        disk.allocated_pages(),
+        idx.metadata_pages()
+    );
+    println!("build threads:   {build_threads}");
+    println!(
+        "build time:      {:.3}s  ({:.3}s sim I/O + {:.3}s CPU)",
+        wall.as_secs_f64() + io.sim_io_time().as_secs_f64(),
+        io.sim_io_time().as_secs_f64(),
+        wall.as_secs_f64()
+    );
+    Ok(())
+}
+
 fn parse_approach(name: &str) -> Result<Approach, String> {
     Ok(match name {
         "transformers" => Approach::transformers(),
@@ -126,10 +191,8 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     let path_b = required(args, "--b")?;
     let approach = parse_approach(opt(args, "--approach").unwrap_or("transformers"))?;
     let page_size: usize = parse(opt(args, "--page-size").unwrap_or("2048"), "--page-size")?;
-    let threads: usize = parse(opt(args, "--threads").unwrap_or("1"), "--threads")?;
-    if threads == 0 {
-        return Err("--threads must be at least 1 (0 workers cannot make progress)".into());
-    }
+    let threads = parse_worker_count(args, "--threads")?;
+    let build_threads = parse_worker_count(args, "--build-threads")?;
     let no_transform = flag(args, "--no-transform");
     let no_prune = flag(args, "--no-prune");
     let parallel_transformers = threads > 1 && matches!(approach, Approach::Transformers(_));
@@ -167,6 +230,7 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
 
     let cfg = RunConfig {
         page_size,
+        build_threads,
         ..RunConfig::default()
     };
     let (m, pairs) = run_approach(&approach, "cli", &a, &b, &cfg);
@@ -175,10 +239,12 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     println!("datasets:        |A| = {}, |B| = {}", m.n_a, m.n_b);
     println!("result pairs:    {}", m.results);
     println!(
-        "index time:      {:.3}s  ({:.3}s sim I/O + {:.3}s CPU)",
+        "build time:      {:.3}s  ({:.3}s sim I/O + {:.3}s CPU, {} build thread{})",
         m.index_time().as_secs_f64(),
         m.index_sim_io.as_secs_f64(),
-        m.index_wall.as_secs_f64()
+        m.index_wall.as_secs_f64(),
+        m.build_threads,
+        if m.build_threads == 1 { "" } else { "s" }
     );
     println!(
         "join time:       {:.3}s  ({:.3}s sim I/O + {:.3}s CPU)",
@@ -298,6 +364,64 @@ mod tests {
     }
 
     #[test]
+    fn zero_build_threads_is_rejected() {
+        let args: Vec<String> = ["--a", "x.a", "--b", "x.b", "--build-threads", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = cmd_join(&args).expect_err("--build-threads 0 must be rejected");
+        assert!(err.contains("--build-threads must be at least 1"), "{err}");
+        let args: Vec<String> = ["--in", "x.elems", "--build-threads", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = cmd_build(&args).expect_err("--build-threads 0 must be rejected");
+        assert!(err.contains("--build-threads must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn build_command_end_to_end() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tfm_cli_build_{}.elems", std::process::id()));
+        let gen_args: Vec<String> = [
+            "--count",
+            "500",
+            "--out",
+            path.to_str().unwrap(),
+            "--seed",
+            "7",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_generate(&gen_args).unwrap();
+        for threads in ["1", "4"] {
+            let build_args: Vec<String> = [
+                "--in",
+                path.to_str().unwrap(),
+                "--build-threads",
+                threads,
+                "--unit-capacity",
+                "16",
+                "--node-capacity",
+                "8",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            cmd_build(&build_args).unwrap_or_else(|e| panic!("threads {threads}: {e}"));
+        }
+        // Invalid capacities surface the validation error, not a panic.
+        let bad_args: Vec<String> = ["--in", path.to_str().unwrap(), "--unit-capacity", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = cmd_build(&bad_args).expect_err("unit capacity 0 must fail");
+        assert!(err.contains("unit_capacity"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn parallel_flags_join_end_to_end() {
         let dir = std::env::temp_dir();
         let pa = dir.join(format!("tfm_cli_par_a_{}.elems", std::process::id()));
@@ -327,6 +451,8 @@ mod tests {
                 "--b",
                 pb.to_str().unwrap(),
                 "--threads",
+                "2",
+                "--build-threads",
                 "2",
                 "--verify",
             ]

@@ -3,7 +3,7 @@
 use tfm_memjoin::GridConfig;
 
 /// Configuration of the indexing phase (paper §IV).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IndexConfig {
     /// Elements per space unit. `None` packs as many 56-byte records as fit
     /// one disk page (the paper's design: space units are page-aligned).
@@ -11,6 +11,51 @@ pub struct IndexConfig {
     /// Space units per space node. `None` packs as many unit descriptors as
     /// fit one disk page.
     pub node_capacity: Option<usize>,
+    /// Worker threads for the staged build pipeline (STR passes,
+    /// element-page encoding, connectivity). `1` (the default) builds
+    /// sequentially; any setting produces **byte-identical** disk pages,
+    /// metadata and B+-tree — parallelism only changes wall time. `0` is
+    /// clamped to 1.
+    pub build_threads: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        Self {
+            unit_capacity: None,
+            node_capacity: None,
+            build_threads: 1,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// Builder: sets the build worker count.
+    pub fn with_build_threads(mut self, build_threads: usize) -> Self {
+        self.build_threads = build_threads;
+        self
+    }
+
+    /// Checks the configuration for values that could only fail deep inside
+    /// the build (a zero capacity panics in the STR pass, pages that can
+    /// never fill, …) and reports them as one clear error up front.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.unit_capacity == Some(0) {
+            return Err(
+                "index config: unit_capacity must be at least 1 (a space unit holds \
+                 at least one element); use None to fill whole pages"
+                    .into(),
+            );
+        }
+        if self.node_capacity == Some(0) {
+            return Err(
+                "index config: node_capacity must be at least 1 (a space node groups \
+                 at least one unit); use None to fill whole pages"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
 }
 
 /// How transformation thresholds are chosen (paper §VI-C, §VII-D2).
@@ -98,6 +143,15 @@ pub struct JoinConfig {
     /// another worker already covered. The sequential join ignores this
     /// field.
     pub cross_worker_pruning: bool,
+    /// Parallel path only: recorded pivot-cost skew signal in `0.0..=1.0`,
+    /// typically `ExecReport::steal_fraction()` from a previous run of the
+    /// same workload. The scheduler derives its initial chunk size from
+    /// pivot count and worker count, and this signal tilts the trade-off:
+    /// high skew → smaller chunks (finer steal granularity), low skew →
+    /// larger chunks (longer locality runs). `None` uses the neutral
+    /// pivot/worker-derived default. The sequential join ignores this
+    /// field.
+    pub recorded_steal_skew: Option<f64>,
 }
 
 impl Default for JoinConfig {
@@ -112,6 +166,7 @@ impl Default for JoinConfig {
             hilbert_walk_start: true,
             worker_role_transforms: true,
             cross_worker_pruning: true,
+            recorded_steal_skew: None,
         }
     }
 }
@@ -146,6 +201,14 @@ impl JoinConfig {
         self.cross_worker_pruning = false;
         self
     }
+
+    /// Builder: records a pivot-cost skew signal (clamped to `0.0..=1.0`)
+    /// for the parallel scheduler's adaptive chunk sizing — pass a previous
+    /// run's `ExecReport::steal_fraction()`.
+    pub fn with_recorded_skew(mut self, skew: f64) -> Self {
+        self.recorded_steal_skew = Some(skew.clamp(0.0, 1.0));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -176,5 +239,48 @@ mod tests {
     fn builder_replaces_thresholds() {
         let c = JoinConfig::default().with_thresholds(ThresholdPolicy::over_fit());
         assert_eq!(c.thresholds, ThresholdPolicy::over_fit());
+    }
+
+    #[test]
+    fn zero_capacities_are_rejected_with_clear_errors() {
+        let bad_unit = IndexConfig {
+            unit_capacity: Some(0),
+            ..IndexConfig::default()
+        };
+        let err = bad_unit.validate().expect_err("unit_capacity 0 must fail");
+        assert!(err.contains("unit_capacity"), "unhelpful error: {err}");
+        let bad_node = IndexConfig {
+            node_capacity: Some(0),
+            ..IndexConfig::default()
+        };
+        let err = bad_node.validate().expect_err("node_capacity 0 must fail");
+        assert!(err.contains("node_capacity"), "unhelpful error: {err}");
+        assert!(IndexConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn build_threads_default_and_builder() {
+        assert_eq!(IndexConfig::default().build_threads, 1);
+        assert_eq!(
+            IndexConfig::default().with_build_threads(4).build_threads,
+            4
+        );
+    }
+
+    #[test]
+    fn recorded_skew_is_clamped() {
+        assert_eq!(
+            JoinConfig::default()
+                .with_recorded_skew(7.0)
+                .recorded_steal_skew,
+            Some(1.0)
+        );
+        assert_eq!(
+            JoinConfig::default()
+                .with_recorded_skew(-1.0)
+                .recorded_steal_skew,
+            Some(0.0)
+        );
+        assert_eq!(JoinConfig::default().recorded_steal_skew, None);
     }
 }

@@ -20,6 +20,23 @@
 //! to locate walk start points (§V), and the descriptor tables are written
 //! to a contiguous metadata region.
 //!
+//! # Staged, data-parallel construction
+//!
+//! [`TransformersIndex::build`] runs as an explicit five-stage pipeline on
+//! an [`IndexBuildPipeline`] sized by [`IndexConfig::build_threads`]:
+//!
+//! 1. **Unit STR** — elements → space-unit partitions (parallel sorts +
+//!    per-slab fan-out);
+//! 2. **Element-page packing** — page images encoded in parallel, written
+//!    sequentially in page order;
+//! 3. **Node STR** — unit descriptors → space nodes;
+//! 4. **Connectivity** — the uniform-grid self-join, fanned out per node;
+//! 5. **Finalize** — reach, Hilbert B+-tree bulk load, metadata region.
+//!
+//! Every stage is order-preserving, so the disk image (pages, metadata,
+//! B+-tree) is **byte-identical at any thread count** — the
+//! `build_determinism` integration test checksums whole disks to verify.
+//!
 //! Indexes are built per dataset and can be **reused** for joins against
 //! any other indexed dataset (§VII-C2) — see `examples/index_reuse.rs`.
 
@@ -28,7 +45,8 @@ use crate::descriptor::{NodeId, SpaceNode, SpaceUnitDesc, UnitId};
 use crate::metadata;
 use tfm_bptree::BPlusTree;
 use tfm_geom::{hilbert, Aabb, HasMbb, SpatialElement};
-use tfm_partition::{str_partition, UniformGrid};
+use tfm_partition::{IndexBuildPipeline, UniformGrid};
+use tfm_pool::StagePool;
 use tfm_storage::{BufferPool, Disk, ElementPageCodec, PageId};
 
 /// Serialized size of one unit descriptor (see `metadata.rs`).
@@ -72,14 +90,47 @@ impl HasMbb for UnitSeed {
 impl TransformersIndex {
     /// Builds the index, writing element pages, metadata pages and the
     /// Hilbert B+-tree to `disk`.
+    ///
+    /// Runs the staged pipeline on [`IndexConfig::build_threads`] workers;
+    /// the disk image is byte-identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (see
+    /// [`TransformersIndex::try_build`] for the non-panicking variant).
     pub fn build(disk: &Disk, elements: Vec<SpatialElement>, cfg: &IndexConfig) -> Self {
+        Self::try_build(disk, elements, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`TransformersIndex::build`] with configuration problems (zero
+    /// capacities, a unit capacity exceeding the page) reported as a clear
+    /// `Err` up front instead of a panic deep inside an STR pass.
+    pub fn try_build(
+        disk: &Disk,
+        elements: Vec<SpatialElement>,
+        cfg: &IndexConfig,
+    ) -> Result<Self, String> {
+        let pipeline = IndexBuildPipeline::new(cfg.build_threads);
+        Self::build_with_pipeline(disk, elements, cfg, &pipeline)
+    }
+
+    /// [`TransformersIndex::try_build`] on a caller-supplied
+    /// [`IndexBuildPipeline`] (e.g. one shared across several dataset
+    /// builds by a benchmark harness).
+    pub fn build_with_pipeline(
+        disk: &Disk,
+        elements: Vec<SpatialElement>,
+        cfg: &IndexConfig,
+        pipeline: &IndexBuildPipeline,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
         let codec = ElementPageCodec::new(disk.page_size());
         let unit_capacity = cfg.unit_capacity.unwrap_or_else(|| codec.capacity());
-        assert!(
-            unit_capacity <= codec.capacity(),
-            "unit capacity {unit_capacity} exceeds page capacity {}",
-            codec.capacity()
-        );
+        if unit_capacity > codec.capacity() {
+            return Err(format!(
+                "index config: unit capacity {unit_capacity} exceeds page capacity {}",
+                codec.capacity()
+            ));
+        }
         let node_capacity = cfg
             .node_capacity
             .unwrap_or((disk.page_size() - 16) / UNIT_DESC_BYTES)
@@ -92,7 +143,7 @@ impl TransformersIndex {
             let meta = metadata::encode(&[], &[]);
             let (first, count) = write_meta(disk, &meta);
             let btree = BPlusTree::bulk_load(disk, &[]);
-            return Self {
+            return Ok(Self {
                 nodes: Vec::new(),
                 units: Vec::new(),
                 extent,
@@ -104,13 +155,14 @@ impl TransformersIndex {
                 len: 0,
                 unit_capacity,
                 node_capacity,
-            };
+            });
         }
 
-        // Pass 1: elements -> space units.
-        let unit_parts = str_partition(elements, unit_capacity);
+        // Stage 1 — unit STR: elements -> space-unit partitions (parallel
+        // coordinate sorts + per-slab fan-out).
+        let unit_parts = pipeline.partition(elements, unit_capacity);
 
-        // Pass 2: unit descriptors -> space nodes.
+        // Stage 2 — node STR: unit descriptors -> space nodes.
         let seeds: Vec<UnitSeed> = unit_parts
             .iter()
             .enumerate()
@@ -121,23 +173,31 @@ impl TransformersIndex {
                 count: p.items.len() as u16,
             })
             .collect();
-        let node_parts = str_partition(seeds, node_capacity);
+        let node_parts = pipeline.partition(seeds, node_capacity);
 
-        // Assign unit ids node by node so each node's units are contiguous,
-        // and write element pages in exactly that order (contiguous run =>
-        // crawling a node reads sequentially).
+        // Stage 3 — element-page packing: assign unit ids node by node so
+        // each node's units are contiguous, and lay element pages out in
+        // exactly that order (contiguous run => crawling a node reads
+        // sequentially). Page images are encoded in parallel; the writes
+        // stay in page order, so bytes and I/O classification match a
+        // sequential build exactly.
         let total_units = unit_parts.len();
-        let first_elem_page = disk.allocate_contiguous(total_units as u64);
+        let mut page_order: Vec<usize> = Vec::with_capacity(total_units);
         let mut units: Vec<SpaceUnitDesc> = Vec::with_capacity(total_units);
         let mut nodes: Vec<SpaceNode> = Vec::with_capacity(node_parts.len());
-
+        for np in &node_parts {
+            for seed in &np.items {
+                page_order.push(seed.part_idx);
+            }
+        }
+        let first_elem_page = pipeline.encode_and_write(disk, total_units, |i| {
+            codec.encode(&unit_parts[page_order[i]].items)
+        });
         for (node_idx, np) in node_parts.iter().enumerate() {
             let first_unit = units.len() as u32;
             for seed in &np.items {
                 let unit_id = UnitId(units.len() as u32);
                 let page = PageId(first_elem_page.0 + units.len() as u64);
-                let part = &unit_parts[seed.part_idx];
-                disk.write_page(page, &codec.encode(&part.items));
                 units.push(SpaceUnitDesc {
                     id: unit_id,
                     page,
@@ -160,9 +220,11 @@ impl TransformersIndex {
             });
         }
 
-        // Pass 3: connectivity via a uniform-grid self-join on node tiles.
-        compute_connectivity(&mut nodes, &extent);
+        // Stage 4 — connectivity via a uniform-grid self-join on node
+        // tiles, fanned out per node.
+        compute_connectivity(&mut nodes, &extent, pipeline.pool());
 
+        // Stage 5 — finalize: reach, Hilbert B+-tree, metadata region.
         // How far element geometry can stick out of a node tile: the crawl
         // inflates tiles by this much so no intersecting page is missed.
         let reach_eps = compute_reach(&nodes, &units);
@@ -176,7 +238,7 @@ impl TransformersIndex {
         let meta = metadata::encode(&nodes, &units);
         let (meta_first_page, meta_page_count) = write_meta(disk, &meta);
 
-        Self {
+        Ok(Self {
             nodes,
             units,
             extent,
@@ -188,7 +250,7 @@ impl TransformersIndex {
             len,
             unit_capacity,
             node_capacity,
-        }
+        })
     }
 
     /// Space nodes (level 0).
@@ -285,32 +347,65 @@ fn write_meta(disk: &Disk, meta: &[u8]) -> (PageId, u64) {
 /// Computes node neighbour lists: all pairs of nodes whose tiles intersect
 /// (tiles tile space, so touching neighbours share boundary coordinates and
 /// closed-box intersection finds them exactly).
-fn compute_connectivity(nodes: &mut [SpaceNode], extent: &Aabb) {
+///
+/// The cell registry is built sequentially (cheap). The quadratic part
+/// runs one of two kernels with identical output: a sequential pool uses
+/// the classic per-cell **pairwise** loop (each co-located pair tested
+/// once per shared cell — no redundant work); a parallel pool evaluates
+/// neighbours independently **per node** and fans the nodes out over the
+/// workers. `b` is a neighbour of `a` iff the two co-occupy a grid cell
+/// and their tiles intersect — a symmetric condition, so both kernels
+/// produce exactly the same sets (the parallel one tests each pair from
+/// both endpoints, the price of having no shared mutable state). The
+/// build-determinism tests compare builds across thread counts and thus
+/// hold the two kernels equal.
+fn compute_connectivity(nodes: &mut [SpaceNode], extent: &Aabb, pool: &StagePool) {
     if nodes.len() <= 1 {
         return;
     }
     let cells = (nodes.len() as f64).cbrt().ceil() as usize;
     let grid = UniformGrid::cubic(*extent, cells.max(1));
     let mut cell_nodes: Vec<Vec<u32>> = vec![Vec::new(); grid.cell_count()];
+    let mut node_cells: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
     for n in nodes.iter() {
         for cell in grid.cells_overlapping(&n.tile) {
             cell_nodes[cell].push(n.id.0);
+            node_cells[n.id.0 as usize].push(cell);
         }
     }
-    let mut neighbor_sets: Vec<std::collections::BTreeSet<u32>> =
-        vec![std::collections::BTreeSet::new(); nodes.len()];
-    for members in &cell_nodes {
-        for (i, &a) in members.iter().enumerate() {
-            for &b in members.iter().skip(i + 1) {
-                if nodes[a as usize].tile.intersects(&nodes[b as usize].tile) {
-                    neighbor_sets[a as usize].insert(b);
-                    neighbor_sets[b as usize].insert(a);
+
+    let neighbor_lists: Vec<Vec<NodeId>> = if pool.is_sequential() {
+        let mut sets: Vec<std::collections::BTreeSet<u32>> =
+            vec![std::collections::BTreeSet::new(); nodes.len()];
+        for members in &cell_nodes {
+            for (i, &a) in members.iter().enumerate() {
+                for &b in members.iter().skip(i + 1) {
+                    if nodes[a as usize].tile.intersects(&nodes[b as usize].tile) {
+                        sets[a as usize].insert(b);
+                        sets[b as usize].insert(a);
+                    }
                 }
             }
         }
-    }
-    for (n, set) in nodes.iter_mut().zip(neighbor_sets) {
-        n.neighbors = set.into_iter().map(NodeId).collect();
+        sets.into_iter()
+            .map(|s| s.into_iter().map(NodeId).collect())
+            .collect()
+    } else {
+        let tiles: Vec<Aabb> = nodes.iter().map(|n| n.tile).collect();
+        pool.map_range(nodes.len(), |a| {
+            let mut set = std::collections::BTreeSet::new();
+            for &cell in &node_cells[a] {
+                for &b in &cell_nodes[cell] {
+                    if b as usize != a && tiles[a].intersects(&tiles[b as usize]) {
+                        set.insert(b);
+                    }
+                }
+            }
+            set.into_iter().map(NodeId).collect()
+        })
+    };
+    for (n, list) in nodes.iter_mut().zip(neighbor_lists) {
+        n.neighbors = list;
     }
 }
 
@@ -480,6 +575,7 @@ mod tests {
         let cfg = IndexConfig {
             unit_capacity: Some(16),
             node_capacity: Some(8),
+            ..IndexConfig::default()
         };
         let idx = TransformersIndex::build(&disk, elems, &cfg);
         let vols: Vec<f64> = idx.nodes().iter().map(|n| n.tile.volume()).collect();
@@ -492,12 +588,76 @@ mod tests {
     }
 
     #[test]
+    fn try_build_rejects_bad_configs_up_front() {
+        let disk = Disk::default_in_memory();
+        let elems = generate(&DatasetSpec::uniform(100, 60));
+        let err = TransformersIndex::try_build(
+            &disk,
+            elems.clone(),
+            &IndexConfig {
+                unit_capacity: Some(0),
+                ..IndexConfig::default()
+            },
+        )
+        .expect_err("unit_capacity 0 must be rejected");
+        assert!(err.contains("unit_capacity"), "unhelpful error: {err}");
+        let err = TransformersIndex::try_build(
+            &disk,
+            elems.clone(),
+            &IndexConfig {
+                node_capacity: Some(0),
+                ..IndexConfig::default()
+            },
+        )
+        .expect_err("node_capacity 0 must be rejected");
+        assert!(err.contains("node_capacity"), "unhelpful error: {err}");
+        let err = TransformersIndex::try_build(
+            &disk,
+            elems,
+            &IndexConfig {
+                unit_capacity: Some(usize::MAX),
+                ..IndexConfig::default()
+            },
+        )
+        .expect_err("oversized unit_capacity must be rejected");
+        assert!(err.contains("page capacity"), "unhelpful error: {err}");
+        // Nothing was written by any of the failed attempts.
+        assert_eq!(disk.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn parallel_build_produces_identical_index_and_disk() {
+        let elems = generate(&DatasetSpec {
+            max_side: 5.0,
+            ..DatasetSpec::uniform(4000, 61)
+        });
+        let seq_disk = Disk::default_in_memory();
+        let seq = TransformersIndex::build(&seq_disk, elems.clone(), &IndexConfig::default());
+        let dump = |d: &Disk| -> Vec<Vec<u8>> {
+            (0..d.allocated_pages())
+                .map(|p| d.read_page_vec(PageId(p)))
+                .collect()
+        };
+        let seq_pages = dump(&seq_disk);
+        for threads in [2, 4] {
+            let disk = Disk::default_in_memory();
+            let cfg = IndexConfig::default().with_build_threads(threads);
+            let idx = TransformersIndex::build(&disk, elems.clone(), &cfg);
+            assert_eq!(idx.nodes(), seq.nodes(), "threads = {threads}");
+            assert_eq!(idx.units(), seq.units(), "threads = {threads}");
+            assert_eq!(idx.reach_eps(), seq.reach_eps());
+            assert_eq!(dump(&disk), seq_pages, "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn custom_capacities_respected() {
         let disk = Disk::default_in_memory();
         let elems = generate(&DatasetSpec::uniform(1000, 58));
         let cfg = IndexConfig {
             unit_capacity: Some(20),
             node_capacity: Some(4),
+            ..IndexConfig::default()
         };
         let idx = TransformersIndex::build(&disk, elems, &cfg);
         for u in idx.units() {

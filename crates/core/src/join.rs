@@ -1108,6 +1108,7 @@ mod tests {
         let idx_cfg = IndexConfig {
             unit_capacity: Some(32),
             node_capacity: Some(8),
+            ..IndexConfig::default()
         };
         let idx_a = TransformersIndex::build(&disk_a, a.to_vec(), &idx_cfg);
         let idx_b = TransformersIndex::build(&disk_b, b.to_vec(), &idx_cfg);
@@ -1224,6 +1225,7 @@ mod tests {
         let idx_cfg = IndexConfig {
             unit_capacity: Some(32),
             node_capacity: Some(8),
+            ..IndexConfig::default()
         };
         let idx_a = TransformersIndex::build(&disk_a, a.clone(), &idx_cfg);
         let idx_b = TransformersIndex::build(&disk_b, b.clone(), &idx_cfg);

@@ -66,6 +66,10 @@ pub use distance::distance_join;
 pub use index::TransformersIndex;
 pub use join::{transformers_join, EngineSide, JoinOutcome, PivotEngine};
 pub use stats::TransformersStats;
+// `IndexBuildPipeline` lives in `tfm-partition` (below the baselines,
+// keeping them decoupled from this crate); re-exported so index users
+// configure builds from one import.
+pub use tfm_partition::IndexBuildPipeline;
 pub use todo::SharedTodo;
 
 /// Low-level exploration primitives (adaptive walk, crawl, fallback scan).

@@ -241,6 +241,7 @@ mod tests {
         let cfg = IndexConfig {
             unit_capacity: Some(16),
             node_capacity: Some(8),
+            ..IndexConfig::default()
         };
         TransformersIndex::build(&disk, elems, &cfg)
     }

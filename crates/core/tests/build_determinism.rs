@@ -1,0 +1,142 @@
+//! Build determinism: the staged, parallel index build must produce a disk
+//! image (element pages, B+-tree, metadata region) and descriptor tables
+//! **byte-identical** to the sequential build at any worker count, and
+//! identical query behaviour on top of them.
+//!
+//! This is the acceptance gate for the `IndexBuildPipeline`: parallelism
+//! may only change wall time, never bytes. Checksumming the whole `Disk`
+//! (rather than comparing descriptors alone) catches divergence anywhere —
+//! page payloads, page order, B+-tree layout, metadata encoding.
+
+use proptest::prelude::*;
+use tfm_datagen::{generate, DatasetSpec, Distribution};
+use tfm_geom::{Aabb, Point3, SpatialElement};
+use tfm_storage::{Disk, PageId};
+use transformers::{IndexConfig, TransformersIndex};
+
+/// FNV-1a over every allocated page, chained with the page count — one
+/// fingerprint for the whole disk image.
+fn disk_fingerprint(disk: &Disk) -> (u64, u64) {
+    let mut hash = 0xcbf29ce484222325u64;
+    for p in 0..disk.allocated_pages() {
+        for b in disk.read_page_vec(PageId(p)) {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    }
+    (disk.allocated_pages(), hash)
+}
+
+/// Builds on a fresh disk and returns (fingerprint, index).
+fn build(elems: &[SpatialElement], cfg: &IndexConfig) -> ((u64, u64), Disk, TransformersIndex) {
+    let disk = Disk::in_memory(2048);
+    let idx = TransformersIndex::build(&disk, elems.to_vec(), cfg);
+    let fp = disk_fingerprint(&disk);
+    (fp, disk, idx)
+}
+
+fn assert_identical_builds(elems: &[SpatialElement], base: IndexConfig) {
+    let (seq_fp, seq_disk, seq_idx) = build(elems, &base);
+    let (seq_nodes, seq_units, _) = seq_idx.load_metadata(&seq_disk);
+    for threads in [2, 4] {
+        let cfg = base.with_build_threads(threads);
+        let (fp, disk, idx) = build(elems, &cfg);
+        assert_eq!(fp, seq_fp, "disk image diverged at {threads} build threads");
+        assert_eq!(idx.nodes(), seq_idx.nodes(), "threads = {threads}");
+        assert_eq!(idx.units(), seq_idx.units(), "threads = {threads}");
+        assert_eq!(idx.reach_eps(), seq_idx.reach_eps());
+        assert_eq!(idx.extent(), seq_idx.extent());
+        // Metadata decodes to the same tables from both disks.
+        let (nodes, units, _) = idx.load_metadata(&disk);
+        assert_eq!(nodes, seq_nodes);
+        assert_eq!(units, seq_units);
+        // Identical query results through the B+-tree.
+        for probe in [
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(500.0, 500.0, 500.0),
+            Point3::new(999.0, 1.0, 750.0),
+        ] {
+            assert_eq!(
+                idx.walk_start(&disk, &probe),
+                seq_idx.walk_start(&seq_disk, &probe),
+                "threads = {threads}, probe = {probe:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn uniform_build_is_deterministic_at_any_worker_count() {
+    let elems = generate(&DatasetSpec {
+        max_side: 6.0,
+        ..DatasetSpec::uniform(12_000, 70)
+    });
+    assert_identical_builds(&elems, IndexConfig::default());
+}
+
+#[test]
+fn clustered_build_is_deterministic_at_any_worker_count() {
+    // Massive clusters skew the per-slab STR work — the stealing path of
+    // the pool actually fires here.
+    let elems = generate(&DatasetSpec {
+        max_side: 4.0,
+        ..DatasetSpec::with_distribution(12_000, Distribution::massive_cluster_for(12_000), 71)
+    });
+    assert_identical_builds(
+        &elems,
+        IndexConfig {
+            unit_capacity: Some(16),
+            node_capacity: Some(8),
+            ..IndexConfig::default()
+        },
+    );
+}
+
+#[test]
+fn duplicate_coordinates_build_is_deterministic() {
+    // All-equal sort keys are the stress case for stable-sort equivalence.
+    let elems: Vec<SpatialElement> = (0..5000)
+        .map(|i| SpatialElement::new(i, Aabb::from_point(Point3::new((i % 7) as f64, 3.0, 3.0))))
+        .collect();
+    assert_identical_builds(&elems, IndexConfig::default());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn arbitrary_builds_are_deterministic(
+        raw in prop::collection::vec(
+            (-50.0..50.0f64, -50.0..50.0f64, -50.0..50.0f64, 0.0..4.0f64),
+            1..400,
+        ),
+        unit_cap in 1usize..24,
+        node_cap in 1usize..10,
+    ) {
+        let elems: Vec<SpatialElement> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(id, (x, y, z, side))| {
+                SpatialElement::new(
+                    id as u64,
+                    Aabb::new(
+                        Point3::new(x, y, z),
+                        Point3::new(x + side, y + side, z + side),
+                    ),
+                )
+            })
+            .collect();
+        let base = IndexConfig {
+            unit_capacity: Some(unit_cap),
+            node_capacity: Some(node_cap),
+            ..IndexConfig::default()
+        };
+        let (seq_fp, _, seq_idx) = build(&elems, &base);
+        for threads in [2, 4] {
+            let (fp, _, idx) = build(&elems, &base.with_build_threads(threads));
+            prop_assert_eq!(fp, seq_fp, "threads = {}", threads);
+            prop_assert_eq!(idx.nodes(), seq_idx.nodes());
+            prop_assert_eq!(idx.units(), seq_idx.units());
+        }
+    }
+}

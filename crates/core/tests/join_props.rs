@@ -65,6 +65,7 @@ proptest! {
         let idx_cfg = IndexConfig {
             unit_capacity: Some(unit_cap),
             node_capacity: Some(node_cap),
+            ..IndexConfig::default()
         };
         let got = run(&a, &b, &idx_cfg, &JoinConfig::default());
         prop_assert_eq!(got, oracle(&a, &b));
@@ -83,7 +84,7 @@ proptest! {
             ThresholdPolicy::under_fit(),
             ThresholdPolicy::Disabled,
         ][policy_idx];
-        let idx_cfg = IndexConfig { unit_capacity: Some(8), node_capacity: Some(4) };
+        let idx_cfg = IndexConfig { unit_capacity: Some(8), node_capacity: Some(4), ..IndexConfig::default() };
         let join_cfg = JoinConfig {
             thresholds: policy,
             first_guide: if guide_b { GuidePick::B } else { GuidePick::A },
@@ -106,7 +107,7 @@ proptest! {
                 Point3::new(e.mbb.max.x + shift, e.mbb.max.y, e.mbb.max.z),
             );
         }
-        let idx_cfg = IndexConfig { unit_capacity: Some(8), node_capacity: Some(4) };
+        let idx_cfg = IndexConfig { unit_capacity: Some(8), node_capacity: Some(4), ..IndexConfig::default() };
         let got = run(&a, &b, &idx_cfg, &JoinConfig::default());
         prop_assert_eq!(got, oracle(&a, &b));
     }
@@ -119,7 +120,7 @@ proptest! {
     ) {
         // A hopeless patience forces the fallback scan: results must not
         // change, only the exploration cost.
-        let idx_cfg = IndexConfig { unit_capacity: Some(4), node_capacity: Some(3) };
+        let idx_cfg = IndexConfig { unit_capacity: Some(4), node_capacity: Some(3), ..IndexConfig::default() };
         let join_cfg = JoinConfig { walk_patience: patience, ..JoinConfig::default() };
         let got = run(&a, &b, &idx_cfg, &join_cfg);
         prop_assert_eq!(got, oracle(&a, &b));

@@ -11,16 +11,37 @@
 //!
 //! * [`JoinScheduler`] — partitions the pivot list into contiguous chunks,
 //!   statically sharded across workers, with work stealing for the
-//!   stragglers that non-uniform data inevitably produces;
-//! * a scoped **worker pool** where each worker owns a private
-//!   [`transformers::PivotEngine`] (its own buffer pools, exploration
-//!   scratch, cost model and statistics accumulator);
+//!   stragglers that non-uniform data inevitably produces. Its **initial
+//!   chunk size is adaptive**: derived from the pivot count and worker
+//!   count, and tilted by a recorded skew signal
+//!   ([`ExecReport::steal_fraction`] of a previous run, fed back through
+//!   [`transformers::JoinConfig::recorded_steal_skew`]) — skewed
+//!   workloads get finer chunks for stealing, balanced ones longer
+//!   locality runs;
+//! * a scoped **worker pool** ([`pool::StagePool`]) where each worker owns
+//!   a private [`transformers::PivotEngine`] (its own buffer pools,
+//!   exploration scratch, cost model and statistics accumulator);
 //! * a **deterministic merge**: raw per-worker pair buffers are
 //!   concatenated in worker order, sorted and deduplicated — exactly the
 //!   normalization the sequential join applies — so [`parallel_join`]
 //!   returns a byte-identical pair vector regardless of thread count or
 //!   scheduling; per-worker [`transformers::TransformersStats`] are summed
 //!   in worker order.
+//!
+//! # The extracted pool
+//!
+//! PR 3 extracted the scheduling and worker-spawn machinery out of this
+//! crate's join path into the dependency-free `tfm-pool` crate, re-exported
+//! here as [`pool`]: [`pool::ChunkScheduler`] (deques + stealing +
+//! cancellation) and [`pool::StagePool`] (scoped workers, deterministic
+//! map/merge combinators, parallel stable sort). The join path now runs on
+//! those primitives, and so does everything *below* this crate in the
+//! dependency graph — `tfm_partition::str_partition_pooled` and the core's
+//! `IndexBuildPipeline` fan the index-build stages (STR passes,
+//! element-page encoding, connectivity) over the same pool, which is what
+//! makes `tfm build --build-threads N` possible. This crate keeps the
+//! join-specific policy: pivot vocabulary, prune announcements, adaptive
+//! chunk sizing.
 //!
 //! # The transformation / pruning protocol
 //!
@@ -85,7 +106,16 @@ mod scheduler;
 
 pub use scheduler::{Chunk, JoinScheduler};
 
+/// The generic scoped worker pool this subsystem runs on, re-exported from
+/// the `tfm-pool` crate — spawn-scoped workers, chunked deque+steal
+/// scheduling and deterministic merges, usable by any stage (the index
+/// build pipeline in `transformers` fans out over the same primitives).
+pub mod pool {
+    pub use tfm_pool::{Chunk, ChunkScheduler, StagePool};
+}
+
 use std::sync::Arc;
+use tfm_pool::StagePool;
 use tfm_storage::Disk;
 use transformers::{
     EngineSide, GuidePick, JoinConfig, JoinOutcome, PivotEngine, SharedTodo, TransformersIndex,
@@ -115,6 +145,21 @@ pub struct ExecReport {
     /// fully covered before these chunks were dispatched, so their pivots
     /// could not have contributed any new pair.
     pub chunks_pruned: u64,
+}
+
+impl ExecReport {
+    /// Fraction of dispatched chunks that were obtained by stealing, in
+    /// `0.0..=1.0` — the recorded pivot-cost skew signal. Feed it back
+    /// through [`transformers::JoinConfig::with_recorded_skew`] to let the
+    /// next run of the same workload pick its chunk size adaptively
+    /// (high steal fraction → finer chunks).
+    pub fn steal_fraction(&self) -> f64 {
+        let dispatched = self.chunks as u64 - self.chunks_pruned;
+        if dispatched == 0 {
+            return 0.0;
+        }
+        (self.steals as f64 / dispatched as f64).clamp(0.0, 1.0)
+    }
 }
 
 /// Runs the TRANSFORMERS join in parallel over `threads` workers and also
@@ -162,7 +207,10 @@ pub fn parallel_join_with_report(
     };
 
     let pivots = guide_side.2.len();
-    let chunk_size = JoinScheduler::default_chunk_size(pivots, threads);
+    // Adaptive initial chunk size: pivot count, worker count, and — when a
+    // previous run recorded one — the observed steal fraction as the skew
+    // signal (see the scheduler docs for the policy).
+    let chunk_size = JoinScheduler::adaptive_chunk_size(pivots, threads, cfg.recorded_steal_skew);
     let scheduler = JoinScheduler::new(pivots, threads, chunk_size);
 
     // The shared coverage board recovering the sequential path's
@@ -182,57 +230,44 @@ pub fn parallel_join_with_report(
         ..*cfg
     };
 
-    let mut worker_results: Vec<WorkerResult> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                let scheduler = &scheduler;
-                let guide = EngineSide {
-                    idx: guide_side.0,
-                    disk: guide_side.1,
-                    nodes: Arc::clone(guide_side.2),
-                    units: Arc::clone(guide_side.3),
-                };
-                let follower = EngineSide {
-                    idx: follower_side.0,
-                    disk: follower_side.1,
-                    nodes: Arc::clone(follower_side.2),
-                    units: Arc::clone(follower_side.3),
-                };
-                let worker_cfg = &worker_cfg;
-                let todo = todo.clone();
-                let worker = move || {
-                    let mut engine = PivotEngine::new(guide, follower, guide_is_a, worker_cfg)
-                        .with_role_transforms(worker_cfg.worker_role_transforms);
-                    if let Some(todo) = &todo {
-                        engine = engine.with_shared_todo(Arc::clone(todo));
-                    }
-                    while let Some(chunk) = scheduler.next(w) {
-                        for ng in chunk.start..chunk.end {
-                            engine.process_pivot(ng);
-                        }
-                        // Chunk boundary: if the follower dataset is now
-                        // fully covered, announce it so queued chunks are
-                        // discarded instead of dispatched.
-                        if let Some(todo) = &todo {
-                            if todo.remaining(!guide_is_a) == 0 {
-                                scheduler.announce_prune();
-                            }
-                        }
-                    }
-                    let processed = engine.pivots_processed();
-                    let (raw, stats) = engine.finish();
-                    (raw, stats, processed)
-                };
-                (w, scope.spawn(worker))
-            })
-            .collect();
-        for (w, handle) in handles {
-            let result = handle
-                .join()
-                .unwrap_or_else(|_| panic!("join worker {w} panicked"));
-            worker_results.push(result);
+    // The scoped worker pool (extracted to `tfm-pool` in PR 3): one worker
+    // per thread, results collected in worker order — the deterministic
+    // merge below depends on that order.
+    let worker_pool = StagePool::new(threads);
+    let worker_results: Vec<WorkerResult> = worker_pool.scoped_run(|w| {
+        let guide = EngineSide {
+            idx: guide_side.0,
+            disk: guide_side.1,
+            nodes: Arc::clone(guide_side.2),
+            units: Arc::clone(guide_side.3),
+        };
+        let follower = EngineSide {
+            idx: follower_side.0,
+            disk: follower_side.1,
+            nodes: Arc::clone(follower_side.2),
+            units: Arc::clone(follower_side.3),
+        };
+        let mut engine = PivotEngine::new(guide, follower, guide_is_a, &worker_cfg)
+            .with_role_transforms(worker_cfg.worker_role_transforms);
+        if let Some(todo) = &todo {
+            engine = engine.with_shared_todo(Arc::clone(todo));
         }
+        while let Some(chunk) = scheduler.next(w) {
+            for ng in chunk.start..chunk.end {
+                engine.process_pivot(ng);
+            }
+            // Chunk boundary: if the follower dataset is now fully
+            // covered, announce it so queued chunks are discarded
+            // instead of dispatched.
+            if let Some(todo) = &todo {
+                if todo.remaining(!guide_is_a) == 0 {
+                    scheduler.announce_prune();
+                }
+            }
+        }
+        let processed = engine.pivots_processed();
+        let (raw, stats) = engine.finish();
+        (raw, stats, processed)
     });
 
     // Deterministic merge: concatenate in worker order, then normalize the
@@ -413,6 +448,7 @@ mod tests {
         let idx_cfg = IndexConfig {
             unit_capacity: Some(32),
             node_capacity: Some(8),
+            ..IndexConfig::default()
         };
         let a = generate(&DatasetSpec {
             max_side: 4.0,
@@ -448,6 +484,47 @@ mod tests {
                 par.stats
             );
         }
+    }
+
+    #[test]
+    fn recorded_skew_changes_chunking_not_results() {
+        let (disk_a, idx_a, disk_b, idx_b) = adaptive_fixture();
+        let base = JoinConfig::default();
+        let (seq_out, first_report) =
+            parallel_join_with_report(&idx_a, &disk_a, &idx_b, &disk_b, &base, 4);
+        let skew = first_report.steal_fraction();
+        assert!((0.0..=1.0).contains(&skew), "skew out of range: {skew}");
+        // Feed the recorded signal back, at both extremes for good measure.
+        for forced in [skew, 0.0, 1.0] {
+            let cfg = base.with_recorded_skew(forced);
+            let (out, report) =
+                parallel_join_with_report(&idx_a, &disk_a, &idx_b, &disk_b, &cfg, 4);
+            assert_eq!(out.pairs, seq_out.pairs, "skew = {forced}");
+            assert_eq!(
+                report.chunk_size,
+                JoinScheduler::adaptive_chunk_size(report.pivots as usize, 4, Some(forced))
+            );
+        }
+    }
+
+    #[test]
+    fn steal_fraction_handles_degenerate_reports() {
+        let empty = ExecReport {
+            threads: 2,
+            pivots: 0,
+            chunks: 0,
+            chunk_size: 1,
+            steals: 0,
+            worker_pivots: vec![0, 0],
+            chunks_pruned: 0,
+        };
+        assert_eq!(empty.steal_fraction(), 0.0);
+        let all_pruned = ExecReport {
+            chunks: 8,
+            chunks_pruned: 8,
+            ..empty.clone()
+        };
+        assert_eq!(all_pruned.steal_fraction(), 0.0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Pivot scheduling: static sharding plus work stealing, with prune
-//! announcements.
+//! Pivot scheduling: the generic [`ChunkScheduler`] from `tfm-pool`
+//! wearing its join-phase vocabulary, plus the **adaptive chunk sizing**
+//! policy.
 //!
 //! The guide's space-node pivot list is split into contiguous chunks that
 //! are dealt to per-worker deques up front (*static sharding* — contiguous
@@ -7,130 +8,123 @@
 //! nodes are spatially adjacent). Pivot cost is highly skewed on
 //! non-uniform data — a pivot inside a massive cluster can cost orders of
 //! magnitude more than one in empty space — so workers that drain their
-//! own deque *steal* chunks from the back of the fullest other deque
-//! (stragglers keep the front of their own queue, preserving their
-//! locality run).
+//! own deque *steal* chunks from the back of the fullest other deque.
+//! The mechanics (deques, stealing, cancellation) live in
+//! [`tfm_pool::ChunkScheduler`], shared with the index-build pipeline;
+//! this wrapper adds the join-specific policy:
 //!
-//! **Prune announcements.** At a chunk boundary a worker that observes the
-//! follower dataset fully covered on the shared board calls
-//! [`JoinScheduler::announce_prune`]: every pivot still queued would have
-//! its entire candidate list pruned (the sequential join's termination
-//! condition, recovered across workers). The scheduler then stops dealing —
-//! both from a worker's own deque and on the steal path — and the chunks
-//! never dispatched are reported by
-//! [`chunks_pruned`](JoinScheduler::chunks_pruned).
+//! * **Prune announcements** — [`JoinScheduler::announce_prune`] maps to
+//!   the generic cancel switch: once the follower dataset is fully
+//!   covered on the shared board, every queued pivot is redundant and the
+//!   scheduler stops dealing (see the crate docs for the protocol).
+//! * **Adaptive chunk sizing** — the initial chunk size is derived from
+//!   the pivot count and worker count, tilted by a *recorded skew signal*
+//!   when one is available: [`crate::ExecReport::steal_fraction`] from a
+//!   previous run of the same workload, carried in
+//!   [`transformers::JoinConfig::recorded_steal_skew`]. High observed
+//!   skew → more, smaller chunks (stealing granularity); low skew →
+//!   fewer, larger chunks (locality runs). Without a signal a low-skew
+//!   default (8 chunks per worker) applies — still derived from the
+//!   pivot and worker counts, and corrected by the first run's report.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use tfm_pool::ChunkScheduler;
 
-/// A contiguous range of guide pivot indices, `start..end`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Chunk {
-    /// First pivot index in the chunk.
-    pub start: usize,
-    /// One past the last pivot index.
-    pub end: usize,
-}
+pub use tfm_pool::Chunk;
 
-impl Chunk {
-    /// Number of pivots in the chunk.
-    pub fn len(&self) -> usize {
-        self.end - self.start
-    }
-
-    /// True if the chunk covers no pivots.
-    pub fn is_empty(&self) -> bool {
-        self.start >= self.end
-    }
-}
-
-/// Deals pivot chunks to a fixed set of workers, with stealing.
+/// Deals pivot chunks to a fixed set of workers, with stealing and prune
+/// announcements. A thin join-flavored wrapper over
+/// [`tfm_pool::ChunkScheduler`].
 pub struct JoinScheduler {
-    queues: Vec<Mutex<VecDeque<Chunk>>>,
-    chunks: usize,
-    chunk_size: usize,
-    steals: AtomicU64,
-    dispatched: AtomicU64,
-    pruned: AtomicBool,
+    inner: ChunkScheduler,
 }
 
 impl JoinScheduler {
     /// Partitions `pivots` pivot indices among `workers` workers in chunks
     /// of at most `chunk_size` pivots each.
     ///
-    /// Each worker's static share is one contiguous slab of the pivot
-    /// range (worker 0 gets the lowest indices), sliced into chunks so
-    /// that stealing has useful granularity.
-    ///
     /// # Panics
     /// Panics if `workers == 0` or `chunk_size == 0`.
     pub fn new(pivots: usize, workers: usize, chunk_size: usize) -> Self {
-        assert!(workers > 0, "scheduler needs at least one worker");
-        assert!(chunk_size > 0, "chunk size must be positive");
-        let mut queues: Vec<VecDeque<Chunk>> = (0..workers).map(|_| VecDeque::new()).collect();
-        let mut chunks = 0;
-        let per_worker = pivots.div_ceil(workers);
-        for (w, queue) in queues.iter_mut().enumerate() {
-            let slab_start = (w * per_worker).min(pivots);
-            let slab_end = ((w + 1) * per_worker).min(pivots);
-            let mut start = slab_start;
-            while start < slab_end {
-                let end = (start + chunk_size).min(slab_end);
-                queue.push_back(Chunk { start, end });
-                chunks += 1;
-                start = end;
-            }
-        }
         Self {
-            queues: queues.into_iter().map(Mutex::new).collect(),
-            chunks,
-            chunk_size,
-            steals: AtomicU64::new(0),
-            dispatched: AtomicU64::new(0),
-            pruned: AtomicBool::new(false),
+            inner: ChunkScheduler::new(pivots, workers, chunk_size),
         }
     }
 
-    /// Picks a chunk size that balances locality against steal granularity:
-    /// aim for several chunks per worker, capped so huge inputs still get
-    /// long contiguous runs.
+    /// The neutral chunk size: [`adaptive_chunk_size`]
+    /// (JoinScheduler::adaptive_chunk_size) with no recorded skew signal.
     pub fn default_chunk_size(pivots: usize, workers: usize) -> usize {
-        (pivots / (workers * 8)).clamp(1, 256)
+        Self::adaptive_chunk_size(pivots, workers, None)
     }
+
+    /// Derives the initial chunk size from the pivot count, the worker
+    /// count, and an optional recorded skew signal in `0.0..=1.0`
+    /// (typically a previous run's [`crate::ExecReport::steal_fraction`]).
+    ///
+    /// The size targets a chunks-per-worker budget that moves with the
+    /// signal — 4 per worker on perfectly balanced data (long locality
+    /// runs, near-zero scheduler traffic) up to 32 per worker on heavily
+    /// skewed data (fine-grained stealing); with no signal the budget is
+    /// 8 per worker, the low-skew end of the range, since unobserved
+    /// workloads still benefit from long runs and the first report
+    /// corrects the guess. Two caps bound the result: every worker's
+    /// static share must split into at least two chunks (a stealable tail
+    /// even on tiny inputs), and no chunk exceeds
+    /// [`MAX_CHUNK_PIVOTS`](Self::MAX_CHUNK_PIVOTS) pivots — without that
+    /// bound, a first run on a huge pivot list could trap an entire
+    /// expensive cluster inside one chunk where no stealing can reach it.
+    pub fn adaptive_chunk_size(pivots: usize, workers: usize, skew: Option<f64>) -> usize {
+        let workers = workers.max(1);
+        if pivots == 0 {
+            return 1;
+        }
+        let chunks_per_worker = match skew {
+            None => 8.0,
+            Some(s) => 4.0 + 28.0 * s.clamp(0.0, 1.0),
+        };
+        let cap = pivots
+            .div_ceil(workers * 2)
+            .clamp(1, Self::MAX_CHUNK_PIVOTS);
+        let target = (pivots as f64 / (workers as f64 * chunks_per_worker)).round() as usize;
+        target.clamp(1, cap)
+    }
+
+    /// Hard upper bound on the chunk size: stealing happens at chunk
+    /// granularity, so a chunk is the largest unit of work that can end up
+    /// serialized on one worker.
+    pub const MAX_CHUNK_PIVOTS: usize = 256;
 
     /// Total chunks dealt at construction.
     pub fn chunk_count(&self) -> usize {
-        self.chunks
+        self.inner.chunk_count()
     }
 
     /// The chunk size used at construction.
     pub fn chunk_size(&self) -> usize {
-        self.chunk_size
+        self.inner.chunk_size()
     }
 
     /// Chunks obtained by stealing so far.
     pub fn steals(&self) -> u64 {
-        self.steals.load(Ordering::Relaxed)
+        self.inner.steals()
     }
 
     /// Announces that the rest of the pivot list is prunable (the
     /// follower dataset is fully covered): the scheduler stops dealing
     /// chunks — own-deque pops and steals alike return `None` from now on.
     pub fn announce_prune(&self) {
-        self.pruned.store(true, Ordering::Release);
+        self.inner.cancel();
     }
 
     /// Has a prune been announced?
     pub fn prune_announced(&self) -> bool {
-        self.pruned.load(Ordering::Acquire)
+        self.inner.is_cancelled()
     }
 
     /// Chunks dealt at construction but never dispatched because a prune
     /// announcement discarded them. Meaningful once the workers have
     /// drained (after the join's thread scope ends).
     pub fn chunks_pruned(&self) -> u64 {
-        self.chunks as u64 - self.dispatched.load(Ordering::Acquire)
+        self.inner.chunks_cancelled()
     }
 
     /// Fetches the next chunk for `worker`: the front of its own deque,
@@ -141,120 +135,52 @@ impl JoinScheduler {
     /// # Panics
     /// Panics if `worker` is out of range.
     pub fn next(&self, worker: usize) -> Option<Chunk> {
-        if self.prune_announced() {
-            return None;
-        }
-        if let Some(chunk) = self.queues[worker]
-            .lock()
-            .expect("scheduler lock poisoned")
-            .pop_front()
-        {
-            self.dispatched.fetch_add(1, Ordering::AcqRel);
-            return Some(chunk);
-        }
-        // Own deque drained: steal from the back of the fullest victim so
-        // the victim keeps the locality run at the front of its queue.
-        loop {
-            // Stealing also respects prune announcements — a straggler's
-            // backlog is exactly the work a prune makes redundant.
-            if self.prune_announced() {
-                return None;
-            }
-            let mut best: Option<(usize, usize)> = None;
-            for (v, queue) in self.queues.iter().enumerate() {
-                if v == worker {
-                    continue;
-                }
-                let len = queue.lock().expect("scheduler lock poisoned").len();
-                if len > 0 && best.is_none_or(|(_, blen)| len > blen) {
-                    best = Some((v, len));
-                }
-            }
-            let (victim, _) = best?;
-            // The victim may have been drained between the scan and this
-            // lock; retry the scan in that case.
-            if let Some(chunk) = self.queues[victim]
-                .lock()
-                .expect("scheduler lock poisoned")
-                .pop_back()
-            {
-                self.steals.fetch_add(1, Ordering::Relaxed);
-                self.dispatched.fetch_add(1, Ordering::AcqRel);
-                return Some(chunk);
-            }
-        }
+        self.inner.next(worker)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BTreeSet;
 
-    fn drain_all(sched: &JoinScheduler, worker: usize) -> Vec<Chunk> {
-        std::iter::from_fn(|| sched.next(worker)).collect()
+    #[test]
+    fn adaptive_chunk_size_is_sane() {
+        assert_eq!(JoinScheduler::adaptive_chunk_size(0, 4, None), 1);
+        assert!(JoinScheduler::adaptive_chunk_size(100, 2, None) >= 1);
+        // Neutral sizing targets ~8 chunks per worker.
+        assert_eq!(JoinScheduler::adaptive_chunk_size(6400, 4, None), 200);
+        // Every worker keeps a stealable tail: at least two chunks per
+        // static share.
+        let tiny = JoinScheduler::adaptive_chunk_size(16, 8, Some(0.0));
+        assert!(tiny <= 1, "16 pivots / 8 workers must stay fine-grained");
+        // Huge first-run inputs never exceed the hard cap — a chunk is the
+        // largest unstealable unit of work.
+        assert_eq!(
+            JoinScheduler::adaptive_chunk_size(1_000_000, 4, None),
+            JoinScheduler::MAX_CHUNK_PIVOTS
+        );
+        assert_eq!(
+            JoinScheduler::adaptive_chunk_size(1_000_000, 4, Some(0.0)),
+            JoinScheduler::MAX_CHUNK_PIVOTS
+        );
     }
 
     #[test]
-    fn covers_every_pivot_exactly_once() {
-        for (pivots, workers, chunk) in [(100, 4, 8), (7, 3, 2), (1, 1, 1), (64, 8, 64)] {
-            let sched = JoinScheduler::new(pivots, workers, chunk);
-            let mut seen = BTreeSet::new();
-            for c in drain_all(&sched, 0) {
-                for p in c.start..c.end {
-                    assert!(seen.insert(p), "pivot {p} dealt twice");
-                }
-            }
-            assert_eq!(seen.len(), pivots);
-            assert_eq!(seen.first().copied(), (pivots > 0).then_some(0));
-            assert_eq!(seen.last().copied(), pivots.checked_sub(1));
-        }
-    }
-
-    #[test]
-    fn zero_pivots_yield_nothing() {
-        let sched = JoinScheduler::new(0, 4, 16);
-        assert_eq!(sched.next(2), None);
-        assert_eq!(sched.chunk_count(), 0);
-    }
-
-    #[test]
-    fn chunks_respect_size_bound() {
-        let sched = JoinScheduler::new(1000, 3, 16);
-        for c in drain_all(&sched, 1) {
-            assert!(c.len() <= 16 && !c.is_empty());
-        }
-    }
-
-    #[test]
-    fn stealing_kicks_in_when_own_queue_is_empty() {
-        let sched = JoinScheduler::new(64, 2, 4);
-        // Worker 1 drains everything, including worker 0's share.
-        let got = drain_all(&sched, 1);
-        assert_eq!(got.iter().map(Chunk::len).sum::<usize>(), 64);
-        assert!(sched.steals() > 0, "expected steals, got none");
-    }
-
-    #[test]
-    fn own_chunks_come_in_order() {
-        let sched = JoinScheduler::new(32, 2, 4);
-        let mut prev = None;
-        while let Some(c) = sched.next(0) {
-            if sched.steals() > 0 {
-                break; // once stealing starts, order is no longer local
-            }
-            if let Some(p) = prev {
-                assert!(c.start >= p, "own chunks must advance");
-            }
-            prev = Some(c.end);
-        }
-    }
-
-    #[test]
-    fn default_chunk_size_is_sane() {
-        assert_eq!(JoinScheduler::default_chunk_size(0, 4), 1);
-        assert!(JoinScheduler::default_chunk_size(10_000, 4) <= 256);
-        assert!(JoinScheduler::default_chunk_size(100, 2) >= 1);
+    fn higher_skew_means_smaller_chunks() {
+        let pivots = 3_200;
+        let workers = 4;
+        let balanced = JoinScheduler::adaptive_chunk_size(pivots, workers, Some(0.0));
+        let neutral = JoinScheduler::adaptive_chunk_size(pivots, workers, None);
+        let skewed = JoinScheduler::adaptive_chunk_size(pivots, workers, Some(1.0));
+        assert!(
+            balanced > neutral && neutral > skewed,
+            "expected monotone sizing, got {balanced} / {neutral} / {skewed}"
+        );
+        // Out-of-range signals are clamped, not amplified.
+        assert_eq!(
+            JoinScheduler::adaptive_chunk_size(pivots, workers, Some(42.0)),
+            skewed
+        );
     }
 
     #[test]
@@ -265,7 +191,6 @@ mod tests {
         assert!(!sched.prune_announced());
         sched.announce_prune();
         assert!(sched.prune_announced());
-        // Own-deque pops and steals both stop.
         assert_eq!(sched.next(0), None);
         assert_eq!(sched.next(1), None);
         assert_eq!(sched.chunks_pruned(), 14);
@@ -273,28 +198,15 @@ mod tests {
     }
 
     #[test]
-    fn full_drain_prunes_nothing() {
-        let sched = JoinScheduler::new(100, 3, 7);
-        let n = drain_all(&sched, 0).len() as u64;
+    fn wrapper_deals_every_pivot_exactly_once() {
+        let sched = JoinScheduler::new(100, 4, JoinScheduler::default_chunk_size(100, 4));
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(c) = sched.next(0) {
+            for p in c.start..c.end {
+                assert!(seen.insert(p));
+            }
+        }
+        assert_eq!(seen.len(), 100);
         assert_eq!(sched.chunks_pruned(), 0);
-        assert_eq!(n, sched.chunk_count() as u64);
-    }
-
-    #[test]
-    fn concurrent_drain_is_exact() {
-        let sched = JoinScheduler::new(500, 4, 8);
-        let counts: Vec<usize> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..4)
-                .map(|w| {
-                    let sched = &sched;
-                    s.spawn(move || drain_all(sched, w).iter().map(Chunk::len).sum::<usize>())
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        assert_eq!(counts.iter().sum::<usize>(), 500);
     }
 }

@@ -91,6 +91,7 @@ fn fixture(
     let idx_cfg = IndexConfig {
         unit_capacity: Some(unit_cap),
         node_capacity: Some(node_cap),
+        ..IndexConfig::default()
     };
     let idx_a = TransformersIndex::build(&disk_a, a, &idx_cfg);
     let idx_b = TransformersIndex::build(&disk_b, b, &idx_cfg);

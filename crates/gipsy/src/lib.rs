@@ -18,15 +18,17 @@
 //!
 //! The dense side reuses [`TransformersIndex`] (same partitioning +
 //! connectivity the paper's GIPSY uses); the sparse side is stored as a
-//! spatially-ordered sequence of element pages read sequentially.
+//! spatially-ordered sequence of element pages read sequentially. Both
+//! sides bulk-load through the shared [`IndexBuildPipeline`]
+//! ([`SparseFile::write_with`] for the sparse file), so GIPSY's build
+//! parallelizes exactly like the TRANSFORMERS build.
 
 #![warn(missing_docs)]
 
 use tfm_geom::SpatialElement;
 use tfm_memjoin::{JoinStats, ResultPair};
-use tfm_partition::str_partition;
 use tfm_storage::{BufferPool, Disk, ElementPageCodec, PageId};
-use transformers::TransformersIndex;
+use transformers::{IndexBuildPipeline, TransformersIndex};
 
 /// Configuration of a GIPSY join.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,16 +75,25 @@ impl SparseFile {
     /// elements share pages and consecutive pages are adjacent, so the
     /// per-element walk moves smoothly through the dense dataset).
     pub fn write(disk: &Disk, elements: Vec<SpatialElement>) -> Self {
+        Self::write_with(disk, elements, &IndexBuildPipeline::sequential())
+    }
+
+    /// [`SparseFile::write`] on a caller-supplied build pipeline: the STR
+    /// pass and the page encoding fan out over the pipeline's workers, the
+    /// writes stay in page order — the file is byte-identical at any
+    /// thread count.
+    pub fn write_with(
+        disk: &Disk,
+        elements: Vec<SpatialElement>,
+        pipeline: &IndexBuildPipeline,
+    ) -> Self {
         let codec = ElementPageCodec::new(disk.page_size());
         let len = elements.len();
-        let parts = str_partition(elements, codec.capacity());
-        let first = disk.allocate_contiguous(parts.len() as u64);
-        let mut pages = Vec::with_capacity(parts.len());
-        for (i, p) in parts.iter().enumerate() {
-            let page = PageId(first.0 + i as u64);
-            disk.write_page(page, &codec.encode(&p.items));
-            pages.push(page);
-        }
+        let parts = pipeline.partition(elements, codec.capacity());
+        let first = pipeline.pack_pages(disk, &parts, |p| codec.encode(&p.items));
+        let pages = (0..parts.len())
+            .map(|i| PageId(first.0 + i as u64))
+            .collect();
         Self { pages, len }
     }
 
@@ -281,6 +292,28 @@ mod tests {
         let (pairs, _) = run(&sparse, &dense);
         let n = pairs.len();
         assert_eq!(canonicalize(pairs).len(), n);
+    }
+
+    #[test]
+    fn parallel_sparse_file_is_byte_identical() {
+        let elems = generate(&DatasetSpec::uniform(2000, 50));
+        let seq_disk = Disk::default_in_memory();
+        let seq = SparseFile::write(&seq_disk, elems.clone());
+        let dump = |d: &Disk, f: &SparseFile| -> Vec<Vec<u8>> {
+            f.pages.iter().map(|&p| d.read_page_vec(p)).collect()
+        };
+        let seq_pages = dump(&seq_disk, &seq);
+        for threads in [2, 4] {
+            let disk = Disk::default_in_memory();
+            let f = SparseFile::write_with(
+                &disk,
+                elems.clone(),
+                &transformers::IndexBuildPipeline::new(threads),
+            );
+            assert_eq!(f.len(), seq.len());
+            assert_eq!(f.page_count(), seq.page_count());
+            assert_eq!(dump(&disk, &f), seq_pages, "threads = {threads}");
+        }
     }
 
     #[test]

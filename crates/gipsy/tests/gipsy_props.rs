@@ -49,6 +49,7 @@ proptest! {
         let idx_cfg = IndexConfig {
             unit_capacity: Some(unit_cap),
             node_capacity: Some(node_cap),
+            ..IndexConfig::default()
         };
         let di = TransformersIndex::build(&dense_disk, dense.clone(), &idx_cfg);
         let mut stats = GipsyStats::default();
@@ -69,7 +70,7 @@ proptest! {
         let sparse_disk = Disk::in_memory(1024);
         let dense_disk = Disk::in_memory(1024);
         let sf = SparseFile::write(&sparse_disk, sparse.clone());
-        let idx_cfg = IndexConfig { unit_capacity: Some(4), node_capacity: Some(3) };
+        let idx_cfg = IndexConfig { unit_capacity: Some(4), node_capacity: Some(3), ..IndexConfig::default() };
         let di = TransformersIndex::build(&dense_disk, dense.clone(), &idx_cfg);
         let cfg = GipsyConfig { walk_patience: patience, ..GipsyConfig::default() };
         let mut stats = GipsyStats::default();

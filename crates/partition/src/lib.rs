@@ -4,8 +4,17 @@
 //!   (Leutenegger et al., ICDE '97). TRANSFORMERS partitions both datasets
 //!   with it (paper §IV "Partitioning"), GIPSY partitions the dense side,
 //!   and the R-Tree baseline is STR-bulkloaded (§VII-A).
+//!   [`str_partition_pooled`] is the same partitioner with the coordinate
+//!   sorts and the per-slab passes fanned out over a
+//!   [`tfm_pool::StagePool`]; it returns the **identical** partition
+//!   vector at any thread count, which is what keeps parallel index
+//!   builds byte-identical to sequential ones.
 //! * [`UniformGrid`] — the uniform space tiling used by PBSM and by
 //!   TRANSFORMERS' connectivity self-join (§IV "Connectivity").
+//! * [`IndexBuildPipeline`] — the staged, data-parallel bulk-load
+//!   pipeline (STR partition stage + order-preserving page encode/write
+//!   stage over a `tfm_pool::StagePool`) shared by the TRANSFORMERS
+//!   index build, GIPSY's sparse file and the STR-packed R-Tree.
 //!
 //! STR returns, for every partition, **two** bounding boxes exactly as the
 //! paper's space descriptors store them (§IV "Data Organization"):
@@ -19,7 +28,9 @@
 #![warn(missing_docs)]
 
 mod grid;
+mod pipeline;
 mod str;
 
 pub use grid::UniformGrid;
-pub use str::{str_partition, StrPartition};
+pub use pipeline::IndexBuildPipeline;
+pub use str::{str_partition, str_partition_pooled, StrPartition};

@@ -1,6 +1,7 @@
-//! Sort-Tile-Recursive partitioning.
+//! Sort-Tile-Recursive partitioning, sequential and pooled.
 
 use tfm_geom::{Aabb, HasMbb};
+use tfm_pool::StagePool;
 
 /// One STR partition: its items plus the two descriptor boxes.
 #[derive(Debug, Clone)]
@@ -34,39 +35,105 @@ pub fn str_partition<T: HasMbb>(items: Vec<T>, capacity: usize) -> Vec<StrPartit
     if items.is_empty() {
         return Vec::new();
     }
+    let plan = StrPlan::new(&items, capacity);
+    let x_slabs = split_sorted(items, 0, plan.sx, plan.per_x_slab);
+    with_bounds(x_slabs, plan.extent.min.x, plan.extent.max.x, 0)
+        .into_iter()
+        .flat_map(|(x_lo, x_hi, slab)| partition_slab(slab, x_lo, x_hi, &plan))
+        .collect()
+}
 
-    let extent = Aabb::union_all(items.iter().map(|i| i.mbb()));
-    let n = items.len();
-    let p = n.div_ceil(capacity);
+/// [`str_partition`] with the sorts and the per-slab y/z passes fanned out
+/// over `pool`.
+///
+/// The result is **identical** to the sequential [`str_partition`] at any
+/// thread count: the x-coordinate sort uses the pool's stable merge sort
+/// (same output as `sort_by`), and each x-slab — an independent unit of
+/// work after the x pass — is partitioned by exactly the sequential code,
+/// with the slabs' outputs concatenated in slab order. Index builds
+/// therefore lay out byte-identical pages however many build threads run
+/// (verified by equivalence property tests).
+pub fn str_partition_pooled<T: HasMbb + Send>(
+    mut items: Vec<T>,
+    capacity: usize,
+    pool: &StagePool,
+) -> Vec<StrPartition<T>> {
+    assert!(capacity > 0, "partition capacity must be positive");
+    if pool.is_sequential() {
+        return str_partition(items, capacity);
+    }
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let plan = StrPlan::new(&items, capacity);
+    pool.sort_by(&mut items, |a, b| {
+        a.center().coord(0).total_cmp(&b.center().coord(0))
+    });
+    let x_slabs = split_runs(items, plan.sx, plan.per_x_slab);
+    let slabs = with_bounds(x_slabs, plan.extent.min.x, plan.extent.max.x, 0);
+    pool.map_owned(slabs, |_, (x_lo, x_hi, slab)| {
+        partition_slab(slab, x_lo, x_hi, &plan)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
 
-    // Number of slabs per dimension: sx ≈ p^(1/3); within an x-slab the
-    // remaining p/sx partitions are split into sy ≈ sqrt(p/sx) y-runs.
-    let sx = (p as f64).cbrt().ceil() as usize;
-    let per_x_slab = n.div_ceil(sx);
-    let p_per_slab = p.div_ceil(sx);
-    let sy = (p_per_slab as f64).sqrt().ceil() as usize;
+/// The split geometry shared by the sequential and pooled partitioners.
+struct StrPlan {
+    extent: Aabb,
+    /// Number of x-slabs: sx ≈ p^(1/3).
+    sx: usize,
+    per_x_slab: usize,
+    /// y-runs per x-slab: sy ≈ sqrt(p/sx).
+    sy: usize,
+    capacity: usize,
+}
 
-    let mut out = Vec::with_capacity(p);
+impl StrPlan {
+    fn new<T: HasMbb>(items: &[T], capacity: usize) -> Self {
+        let extent = Aabb::union_all(items.iter().map(|i| i.mbb()));
+        let n = items.len();
+        let p = n.div_ceil(capacity);
+        let sx = (p as f64).cbrt().ceil() as usize;
+        let per_x_slab = n.div_ceil(sx);
+        let p_per_slab = p.div_ceil(sx);
+        let sy = (p_per_slab as f64).sqrt().ceil() as usize;
+        Self {
+            extent,
+            sx,
+            per_x_slab,
+            sy,
+            capacity,
+        }
+    }
+}
 
-    let x_slabs = split_sorted(items, 0, sx, per_x_slab);
-    for (x_lo, x_hi, slab) in with_bounds(x_slabs, extent.min.x, extent.max.x, 0) {
-        let per_y_run = slab.len().div_ceil(sy);
-        let y_runs = split_sorted(slab, 1, sy, per_y_run);
-        for (y_lo, y_hi, run) in with_bounds(y_runs, extent.min.y, extent.max.y, 1) {
-            let chunks = split_sorted(run, 2, usize::MAX, capacity);
-            for (z_lo, z_hi, chunk) in with_bounds(chunks, extent.min.z, extent.max.z, 2) {
-                debug_assert!(!chunk.is_empty());
-                let page_mbb = Aabb::union_all(chunk.iter().map(|i| i.mbb()));
-                let partition_mbb = Aabb::new(
-                    tfm_geom::Point3::new(x_lo, y_lo, z_lo),
-                    tfm_geom::Point3::new(x_hi, y_hi, z_hi),
-                );
-                out.push(StrPartition {
-                    items: chunk,
-                    page_mbb,
-                    partition_mbb,
-                });
-            }
+/// The y/z passes over one x-slab — the independent unit of work the
+/// pooled partitioner fans out.
+fn partition_slab<T: HasMbb>(
+    slab: Vec<T>,
+    x_lo: f64,
+    x_hi: f64,
+    plan: &StrPlan,
+) -> Vec<StrPartition<T>> {
+    let mut out = Vec::new();
+    let per_y_run = slab.len().div_ceil(plan.sy);
+    let y_runs = split_sorted(slab, 1, plan.sy, per_y_run);
+    for (y_lo, y_hi, run) in with_bounds(y_runs, plan.extent.min.y, plan.extent.max.y, 1) {
+        let chunks = split_sorted(run, 2, usize::MAX, plan.capacity);
+        for (z_lo, z_hi, chunk) in with_bounds(chunks, plan.extent.min.z, plan.extent.max.z, 2) {
+            debug_assert!(!chunk.is_empty());
+            let page_mbb = Aabb::union_all(chunk.iter().map(|i| i.mbb()));
+            let partition_mbb = Aabb::new(
+                tfm_geom::Point3::new(x_lo, y_lo, z_lo),
+                tfm_geom::Point3::new(x_hi, y_hi, z_hi),
+            );
+            out.push(StrPartition {
+                items: chunk,
+                page_mbb,
+                partition_mbb,
+            });
         }
     }
     out
@@ -82,6 +149,12 @@ fn split_sorted<T: HasMbb>(
     per_run: usize,
 ) -> Vec<Vec<T>> {
     items.sort_by(|a, b| a.center().coord(dim).total_cmp(&b.center().coord(dim)));
+    split_runs(items, max_runs, per_run)
+}
+
+/// Splits already-sorted `items` into runs of `per_run` (at most
+/// `max_runs`; the last run absorbs any remainder if the cap is hit).
+fn split_runs<T>(items: Vec<T>, max_runs: usize, per_run: usize) -> Vec<Vec<T>> {
     let mut runs: Vec<Vec<T>> = Vec::new();
     let mut it = items.into_iter().peekable();
     while it.peek().is_some() {
@@ -258,6 +331,28 @@ mod tests {
         assert_eq!(total, 50);
         for p in &parts {
             assert!(p.items.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn pooled_partitioning_matches_sequential_exactly() {
+        // Non-trivial sizes with duplicate coordinates so both the stable
+        // sort and the slab fan-out are exercised.
+        let mut elems = grid_elems(6); // 216 items
+        elems.extend((0..40).map(|i| pt_elem(1000 + i, 2.0, 2.0, 2.0)));
+        for cap in [1, 7, 10, 50] {
+            let seq = str_partition(elems.clone(), cap);
+            for threads in [1, 2, 3, 4, 8] {
+                let pooled = str_partition_pooled(elems.clone(), cap, &StagePool::new(threads));
+                assert_eq!(pooled.len(), seq.len(), "cap {cap} threads {threads}");
+                for (a, b) in pooled.iter().zip(&seq) {
+                    assert_eq!(a.page_mbb, b.page_mbb, "cap {cap} threads {threads}");
+                    assert_eq!(a.partition_mbb, b.partition_mbb);
+                    let ids_a: Vec<u64> = a.items.iter().map(|e| e.id).collect();
+                    let ids_b: Vec<u64> = b.items.iter().map(|e| e.id).collect();
+                    assert_eq!(ids_a, ids_b, "cap {cap} threads {threads}");
+                }
+            }
         }
     }
 

@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use tfm_geom::{Aabb, Point3, SpatialElement};
-use tfm_partition::str_partition;
+use tfm_partition::{str_partition, str_partition_pooled};
+use tfm_pool::StagePool;
 
 fn arb_elems(max: usize) -> impl Strategy<Value = Vec<SpatialElement>> {
     prop::collection::vec(
@@ -86,6 +87,24 @@ proptest! {
         for p in str_partition(elems, cap) {
             let tight = Aabb::union_all(p.items.iter().map(|e| e.mbb));
             prop_assert_eq!(p.page_mbb, tight);
+        }
+    }
+
+    #[test]
+    fn pooled_equals_sequential(elems in arb_elems(200), cap in 1usize..40, threads in 2usize..6) {
+        // The parallel partitioner must reproduce the sequential partition
+        // vector exactly — same partition order, same items per partition
+        // (in order), same boxes — or parallel index builds would lay out
+        // different pages.
+        let seq = str_partition(elems.clone(), cap);
+        let pooled = str_partition_pooled(elems, cap, &StagePool::new(threads));
+        prop_assert_eq!(pooled.len(), seq.len());
+        for (a, b) in pooled.iter().zip(&seq) {
+            prop_assert_eq!(a.page_mbb, b.page_mbb);
+            prop_assert_eq!(a.partition_mbb, b.partition_mbb);
+            let ids_a: Vec<u64> = a.items.iter().map(|e| e.id).collect();
+            let ids_b: Vec<u64> = b.items.iter().map(|e| e.id).collect();
+            prop_assert_eq!(ids_a, ids_b);
         }
     }
 }

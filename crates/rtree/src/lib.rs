@@ -5,7 +5,9 @@
 //! bulk-loaded with STR (Leutenegger et al., ICDE '97), using plane sweep
 //! as the in-memory kernel. This crate implements exactly that:
 //!
-//! * [`RTree`] — page-aligned nodes on a [`Disk`], STR bulk-loaded;
+//! * [`RTree`] — page-aligned nodes on a [`Disk`], STR bulk-loaded through
+//!   the shared [`IndexBuildPipeline`] (so `--build-threads` parallelizes
+//!   this baseline's build exactly like the TRANSFORMERS build);
 //! * [`sync_join`] — the synchronized traversal;
 //! * [`indexed_nested_loop_join`] — the classic INL join (paper §VIII-A),
 //!   provided for completeness and as an ablation point;
@@ -25,7 +27,7 @@ pub use node::{NodeEntry, RtreeNode};
 
 use tfm_geom::{Aabb, ElementId, SpatialElement};
 use tfm_memjoin::JoinStats;
-use tfm_partition::str_partition;
+use tfm_partition::IndexBuildPipeline;
 use tfm_storage::{BufferPool, Disk, PageId};
 
 /// Counters for R-Tree operations.
@@ -76,7 +78,23 @@ impl RTree {
     /// page-derived fanout (≈146 for 8 KiB pages; the paper's 135 reflects
     /// its slightly larger header). Each level is written contiguously.
     pub fn bulk_load(disk: &Disk, elements: Vec<SpatialElement>) -> Self {
-        Self::bulk_load_with(disk, elements, Packing::Str)
+        Self::bulk_load_with(
+            disk,
+            elements,
+            Packing::Str,
+            &IndexBuildPipeline::sequential(),
+        )
+    }
+
+    /// [`RTree::bulk_load`] on a caller-supplied build pipeline: every
+    /// level's STR pass and page encoding fan out over the pipeline's
+    /// workers; the tree is byte-identical at any thread count.
+    pub fn bulk_load_pipelined(
+        disk: &Disk,
+        elements: Vec<SpatialElement>,
+        pipeline: &IndexBuildPipeline,
+    ) -> Self {
+        Self::bulk_load_with(disk, elements, Packing::Str, pipeline)
     }
 
     /// Bulk-loads with Hilbert packing (Kamel & Faloutsos, CIKM '93):
@@ -85,10 +103,20 @@ impl RTree {
     /// similarly, outperforming the others on real-world data" — the
     /// `ablation/rtree_packing` bench checks that claim here.
     pub fn bulk_load_hilbert(disk: &Disk, elements: Vec<SpatialElement>) -> Self {
-        Self::bulk_load_with(disk, elements, Packing::Hilbert)
+        Self::bulk_load_with(
+            disk,
+            elements,
+            Packing::Hilbert,
+            &IndexBuildPipeline::sequential(),
+        )
     }
 
-    fn bulk_load_with(disk: &Disk, mut elements: Vec<SpatialElement>, packing: Packing) -> Self {
+    fn bulk_load_with(
+        disk: &Disk,
+        mut elements: Vec<SpatialElement>,
+        packing: Packing,
+        pipeline: &IndexBuildPipeline,
+    ) -> Self {
         let capacity = node::capacity(disk.page_size());
         let len = elements.len();
 
@@ -103,9 +131,11 @@ impl RTree {
             };
         }
 
-        // Leaf level.
+        // Leaf level: STR runs on the shared pipeline (Hilbert packing
+        // keys on a space-filling curve instead and stays sequential —
+        // it is the ablation variant, not the paper's default).
         let parts = match packing {
-            Packing::Str => str_partition(elements, capacity),
+            Packing::Str => pipeline.partition(elements, capacity),
             Packing::Hilbert => {
                 let universe = Aabb::union_all(elements.iter().map(|e| e.mbb));
                 elements
@@ -120,26 +150,24 @@ impl RTree {
                     .collect()
             }
         };
-        let first = disk.allocate_contiguous(parts.len() as u64);
-        let mut level: Vec<ChildRef> = Vec::with_capacity(parts.len());
-        for (i, p) in parts.iter().enumerate() {
-            let page = PageId(first.0 + i as u64);
-            disk.write_page(page, &node::encode_leaf(disk.page_size(), &p.items));
-            level.push(ChildRef {
-                page,
+        let first = pipeline.pack_pages(disk, &parts, |p| {
+            node::encode_leaf(disk.page_size(), &p.items)
+        });
+        let mut level: Vec<ChildRef> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ChildRef {
+                page: PageId(first.0 + i as u64),
                 mbb: p.page_mbb,
-            });
-        }
+            })
+            .collect();
 
-        // Inner levels.
+        // Inner levels, bottom-up through the same pipeline stages.
         let mut height = 0;
         while level.len() > 1 {
             height += 1;
-            let parts = str_partition(level, capacity);
-            let first = disk.allocate_contiguous(parts.len() as u64);
-            let mut next: Vec<ChildRef> = Vec::with_capacity(parts.len());
-            for (i, p) in parts.iter().enumerate() {
-                let page = PageId(first.0 + i as u64);
+            let parts = pipeline.partition(level, capacity);
+            let first = pipeline.pack_pages(disk, &parts, |p| {
                 let entries: Vec<NodeEntry> = p
                     .items
                     .iter()
@@ -148,13 +176,16 @@ impl RTree {
                         child: c.page,
                     })
                     .collect();
-                disk.write_page(page, &node::encode_inner(disk.page_size(), &entries));
-                next.push(ChildRef {
-                    page,
+                node::encode_inner(disk.page_size(), &entries)
+            });
+            level = parts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| ChildRef {
+                    page: PageId(first.0 + i as u64),
                     mbb: p.page_mbb,
-                });
-            }
-            level = next;
+                })
+                .collect();
         }
 
         Self {
@@ -295,6 +326,28 @@ mod tests {
             stats.mem.element_tests < elems.len() as u64,
             "query should prune"
         );
+    }
+
+    #[test]
+    fn pipelined_bulk_load_is_byte_identical() {
+        let elems = generate(&DatasetSpec::uniform(5000, 9));
+        let seq_disk = Disk::default_in_memory();
+        let seq = RTree::bulk_load(&seq_disk, elems.clone());
+        let dump = |d: &Disk| -> Vec<Vec<u8>> {
+            (0..d.allocated_pages())
+                .map(|p| d.read_page_vec(PageId(p)))
+                .collect()
+        };
+        let seq_pages = dump(&seq_disk);
+        for threads in [2, 4] {
+            let disk = Disk::default_in_memory();
+            let tree =
+                RTree::bulk_load_pipelined(&disk, elems.clone(), &IndexBuildPipeline::new(threads));
+            assert_eq!(tree.root(), seq.root(), "threads = {threads}");
+            assert_eq!(tree.height(), seq.height());
+            assert_eq!(tree.root_mbb(), seq.root_mbb());
+            assert_eq!(dump(&disk), seq_pages, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub use tfm_exec as exec;
 pub use tfm_geom as geom;
 pub use tfm_memjoin as memjoin;
 pub use tfm_partition as partition;
+pub use tfm_pool as pool;
 pub use tfm_storage as storage;
 pub use transformers;
 
@@ -55,6 +56,7 @@ pub mod prelude {
     pub use tfm_memjoin::{canonicalize, JoinStats, ResultPair};
     pub use tfm_storage::{BufferPool, Disk, DiskModel};
     pub use transformers::{
-        transformers_join, GuidePick, IndexConfig, JoinConfig, ThresholdPolicy, TransformersIndex,
+        transformers_join, GuidePick, IndexBuildPipeline, IndexConfig, JoinConfig, ThresholdPolicy,
+        TransformersIndex,
     };
 }

@@ -15,6 +15,7 @@ fn run(
     let idx_cfg = IndexConfig {
         unit_capacity: Some(32),
         node_capacity: Some(16),
+        ..IndexConfig::default()
     };
     let idx_a = TransformersIndex::build(&disk_a, a, &idx_cfg);
     let idx_b = TransformersIndex::build(&disk_b, b, &idx_cfg);

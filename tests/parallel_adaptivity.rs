@@ -54,6 +54,7 @@ fn contrasty_index() -> IndexConfig {
     IndexConfig {
         unit_capacity: Some(32),
         node_capacity: Some(8),
+        ..IndexConfig::default()
     }
 }
 
