@@ -1,0 +1,96 @@
+//! Scaling bench for the query-serving subsystem (`tfm-serve`):
+//! trace-replay throughput at 1/2/4/8 workers, Hilbert-batched vs
+//! arrival-order, on a pre-built TRANSFORMERS index (plus the GIPSY and
+//! R-tree engines at a fixed worker count for cross-structure
+//! comparison).
+//!
+//! Two axes of interest:
+//!
+//! * **worker scaling** — batches are independent, so throughput should
+//!   grow with workers until the shared disk's atomics saturate;
+//! * **batching mode** — Hilbert-ordered batches convert random page
+//!   accesses into buffer hits and sequential reads (see `DESIGN.md`),
+//!   so `batched` should beat `unbatched` wherever simulated I/O
+//!   dominates, and the `IoStats` split in `ServeStats` shows why.
+//!
+//! Note: on a single-CPU machine the worker curves are flat — the bench
+//! then measures queue + session overhead, which should stay within a few
+//! percent of the 1-worker inline path.
+
+mod common;
+
+use common::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfm_datagen::{generate_trace, Distribution, ProbeMix, QueryTraceSpec};
+use tfm_serve::{serve_trace, GipsyEngine, RtreeEngine, ServeConfig, TransformersEngine};
+
+fn bench(c: &mut Criterion) {
+    let n = 20_000;
+    let queries = 2_000;
+
+    let fixture = TrFixture::new(
+        dataset(n, Distribution::Uniform, 60),
+        dataset(n, Distribution::Uniform, 61),
+    );
+    let engine = TransformersEngine::new(&fixture.idx_a, &fixture.disk_a);
+    let trace = generate_trace(&QueryTraceSpec {
+        max_window_side: 10.0,
+        ..QueryTraceSpec::uniform(queries, 62)
+    });
+    let clustered_trace = generate_trace(&QueryTraceSpec {
+        max_window_side: 10.0,
+        ..QueryTraceSpec::with_mix(queries, ProbeMix::Clustered { clusters: 8 }, 63)
+    });
+
+    let mut group = c.benchmark_group(format!("serve/transformers_{n}x{queries}"));
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        for (mode, hilbert) in [("batched", true), ("unbatched", false)] {
+            let cfg = ServeConfig {
+                threads: workers,
+                hilbert_batching: hilbert,
+                batch: 128,
+                ..ServeConfig::default()
+            };
+            group.bench_function(format!("workers_{workers}_{mode}"), |bench| {
+                bench.iter(|| black_box(serve_trace(&engine, &trace, &cfg).stats.queries))
+            });
+        }
+    }
+    // Clustered probes: the locality case batching exists for.
+    let cfg = ServeConfig {
+        threads: 4,
+        batch: 128,
+        ..ServeConfig::default()
+    };
+    group.bench_function("workers_4_clustered_batched", |bench| {
+        bench.iter(|| black_box(serve_trace(&engine, &clustered_trace, &cfg).stats.queries))
+    });
+    group.finish();
+
+    // Cross-structure comparison at a fixed worker count.
+    let gipsy = GipsyEngine::new(&fixture.idx_a, &fixture.disk_a);
+    let rtree_fixture = RtreeFixture::new(
+        dataset(n, Distribution::Uniform, 60),
+        dataset(1, Distribution::Uniform, 64),
+    );
+    let rtree = RtreeEngine::new(&rtree_fixture.tree_a, &rtree_fixture.disk_a);
+    let mut group = c.benchmark_group(format!("serve/engines_{n}x{queries}"));
+    group.sample_size(10);
+    let cfg = ServeConfig {
+        threads: 4,
+        batch: 128,
+        ..ServeConfig::default()
+    };
+    group.bench_function("gipsy_workers_4", |bench| {
+        bench.iter(|| black_box(serve_trace(&gipsy, &trace, &cfg).stats.queries))
+    });
+    group.bench_function("rtree_workers_4", |bench| {
+        bench.iter(|| black_box(serve_trace(&rtree, &trace, &cfg).stats.queries))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

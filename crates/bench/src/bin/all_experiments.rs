@@ -5,7 +5,10 @@
 //! individual `figNN_*` binaries run single experiments with more detail.
 
 use tfm_bench::workloads::*;
-use tfm_bench::{print_table, run_approach, scaled, write_csv, Approach, RunConfig};
+use tfm_bench::{
+    print_serve_table, print_table, run_approach, run_serve_sweep, scaled, write_csv,
+    write_serve_csv, Approach, RunConfig, ServeEngineKind, ServeJob,
+};
 use transformers::ThresholdPolicy;
 
 fn main() {
@@ -131,6 +134,53 @@ fn main() {
         total_pages,
         100.0 * (1.0 - m.pages_read as f64 / total_pages)
     );
+
+    // E11: query serving (tfm-serve) — all three engines over a uniform
+    // dataset, Hilbert-batched vs arrival-order, 1 and 4 workers.
+    use tfm_datagen::{generate_trace, ProbeMix, QueryTraceSpec};
+    use tfm_serve::ServeConfig;
+    let dataset = tfm_datagen::generate(&tfm_datagen::DatasetSpec {
+        max_side: BOX_SIDE,
+        ..tfm_datagen::DatasetSpec::uniform(scaled(350_000), 9000)
+    });
+    let traces: Vec<(&str, Vec<tfm_geom::SpatialQuery>)> = [
+        (ProbeMix::Uniform, "serve-uniform"),
+        (ProbeMix::Clustered { clusters: 8 }, "serve-clustered"),
+    ]
+    .into_iter()
+    .map(|(mix, name)| {
+        (
+            name,
+            generate_trace(&QueryTraceSpec {
+                max_window_side: 20.0,
+                ..QueryTraceSpec::with_mix(scaled(20_000).min(50_000), mix, 9001)
+            }),
+        )
+    })
+    .collect();
+    // One index build per engine; every (trace, threads, batching)
+    // combination replays against it.
+    let jobs: Vec<ServeJob> = traces
+        .iter()
+        .flat_map(|(name, trace)| {
+            [(1, false), (1, true), (4, true)].map(|(threads, hilbert)| ServeJob {
+                workload: name,
+                trace,
+                config: ServeConfig {
+                    threads,
+                    batch: 128,
+                    hilbert_batching: hilbert,
+                    ..ServeConfig::default()
+                },
+            })
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for kind in ServeEngineKind::all() {
+        rows.extend(run_serve_sweep(kind, &dataset, &cfg, &jobs));
+    }
+    print_serve_table("E11: query serving (throughput, latency, I/O split)", &rows);
+    write_serve_csv("results/serve.csv", &rows).expect("csv");
 
     println!(
         "\nall experiments finished in {:.1}s",

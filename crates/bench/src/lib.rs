@@ -21,10 +21,17 @@
 
 pub mod report;
 pub mod runner;
+pub mod serve;
+pub mod skew;
 pub mod workloads;
 
 pub use report::{print_table, write_csv};
-pub use runner::{run_approach, Approach, Metrics, RunConfig};
+pub use runner::{run_approach, run_approach_with_skew, Approach, Metrics, RunConfig};
+pub use serve::{
+    print_serve_table, run_serve, run_serve_sweep, write_serve_csv, ServeEngineKind, ServeJob,
+    ServeMetrics,
+};
+pub use skew::SkewStore;
 
 /// Reads the scale multiplier from `TFM_SCALE` (default 1.0).
 pub fn scale() -> f64 {

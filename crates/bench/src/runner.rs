@@ -238,6 +238,58 @@ pub fn run_approach(
     }
 }
 
+/// [`run_approach`] with the steal-skew feedback loop closed through a
+/// persistent [`crate::SkewStore`] sidecar.
+///
+/// For the parallel TRANSFORMERS approach: a skew fraction recorded for
+/// `workload` by a previous run is injected as
+/// [`JoinConfig::recorded_steal_skew`] (unless the caller already set
+/// one), and the run's observed [`tfm_exec::ExecReport::steal_fraction`]
+/// is written back — so the *second* run of any workload sizes its chunks
+/// adaptively with no manual `with_recorded_skew` plumbing. The store is
+/// updated in memory; the caller decides when to
+/// [`save`](crate::SkewStore::save). Other approaches pass through
+/// unchanged.
+pub fn run_approach_with_skew(
+    approach: &Approach,
+    workload: &str,
+    a: &[SpatialElement],
+    b: &[SpatialElement],
+    cfg: &RunConfig,
+    store: &mut crate::SkewStore,
+) -> (Metrics, Vec<ResultPair>) {
+    let Approach::TransformersParallel(join_cfg, threads) = approach else {
+        return run_approach(approach, workload, a, b, cfg);
+    };
+    let mut join_cfg = *join_cfg;
+    if join_cfg.recorded_steal_skew.is_none() {
+        if let Some(skew) = store.recorded(workload) {
+            join_cfg = join_cfg.with_recorded_skew(skew);
+        }
+    }
+    let mut m = Metrics::base(approach, workload, a, b);
+    m.build_threads = cfg.build_threads.max(1);
+    let threads = *threads;
+    let mut report = None;
+    let (m, pairs) = run_transformers_with(
+        &mut m,
+        a,
+        b,
+        cfg,
+        &join_cfg,
+        |idx_a, disk_a, idx_b, disk_b, jc| {
+            let (out, rep) =
+                tfm_exec::parallel_join_with_report(idx_a, disk_a, idx_b, disk_b, jc, threads);
+            report = Some(rep);
+            out
+        },
+    );
+    if let Some(report) = report {
+        store.record(workload, report.steal_fraction());
+    }
+    (m, pairs)
+}
+
 fn run_sssj(
     m: &mut Metrics,
     a: &[SpatialElement],
@@ -615,6 +667,41 @@ mod tests {
             assert_eq!(m1.tests, m4.tests, "{}", ap.label());
             assert_eq!(m4.build_threads, 4);
         }
+    }
+
+    #[test]
+    fn skew_feedback_loop_records_and_reuses() {
+        let a = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(1500, 206)
+        });
+        let b = generate(&DatasetSpec {
+            max_side: 8.0,
+            ..DatasetSpec::uniform(1500, 207)
+        });
+        let cfg = RunConfig::default();
+        let path =
+            std::env::temp_dir().join(format!("tfm_runner_skew_{}.json", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let ap = Approach::parallel(2);
+        // First run: no recorded signal yet; afterwards one is stored.
+        let mut store = crate::SkewStore::load(&path);
+        assert_eq!(store.recorded("wl"), None);
+        let (_, p1) = run_approach_with_skew(&ap, "wl", &a, &b, &cfg, &mut store);
+        let recorded = store.recorded("wl").expect("first run must record skew");
+        assert!((0.0..=1.0).contains(&recorded));
+        store.save().unwrap();
+        // Second run: the persisted signal is injected automatically and
+        // cannot change the result set.
+        let mut store = crate::SkewStore::load(&path);
+        assert_eq!(store.recorded("wl"), Some(recorded));
+        let (_, p2) = run_approach_with_skew(&ap, "wl", &a, &b, &cfg, &mut store);
+        assert_eq!(canonicalize(p1), canonicalize(p2));
+        // Non-parallel approaches pass through untouched.
+        let before = store.clone();
+        let _ = run_approach_with_skew(&Approach::Pbsm, "wl2", &a, &b, &cfg, &mut store);
+        assert_eq!(store, before);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Harness for the query-serving workload (`tfm-serve`): builds an index,
+//! replays a query trace, and reports comparable [`ServeMetrics`] —
+//! the serving-side counterpart of [`crate::run_approach`].
+
+use crate::runner::RunConfig;
+use std::time::Duration;
+use tfm_geom::{ElementId, SpatialElement, SpatialQuery};
+use tfm_serve::{
+    serve_trace, GipsyEngine, QueryEngine, RtreeEngine, ServeConfig, ServeStats, TransformersEngine,
+};
+use tfm_storage::Disk;
+use transformers::{IndexBuildPipeline, IndexConfig, TransformersIndex};
+
+/// Which structure serves the trace (Approach-style labels for tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeEngineKind {
+    /// The TRANSFORMERS hierarchy (node/unit MBB prefilter + page reads).
+    Transformers,
+    /// The GIPSY strategy: per-probe directed walk + crawl at element
+    /// granularity.
+    Gipsy,
+    /// The STR-bulk-loaded R-tree baseline.
+    Rtree,
+}
+
+impl ServeEngineKind {
+    /// Short label for tables, matching the join harness's vocabulary.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeEngineKind::Transformers => "TRANSFORMERS",
+            ServeEngineKind::Gipsy => "GIPSY",
+            ServeEngineKind::Rtree => "R-TREE",
+        }
+    }
+
+    /// All three engines, for sweep-style comparisons.
+    pub fn all() -> [ServeEngineKind; 3] {
+        [
+            ServeEngineKind::Transformers,
+            ServeEngineKind::Gipsy,
+            ServeEngineKind::Rtree,
+        ]
+    }
+}
+
+/// Comparable measurements of one (engine, trace) serve run.
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    /// Workload label.
+    pub workload: String,
+    /// Engine label.
+    pub engine: String,
+    /// Indexed elements.
+    pub n_elements: usize,
+    /// Queries replayed.
+    pub queries: u64,
+    /// Serve workers.
+    pub threads: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Whether batches were Hilbert-ordered.
+    pub hilbert_batching: bool,
+    /// Wall-clock serve time.
+    pub wall: Duration,
+    /// Simulated device time of the serve phase.
+    pub sim_io: Duration,
+    /// Queries per wall-clock second.
+    pub qps: f64,
+    /// Median per-query latency.
+    pub p50: Duration,
+    /// 95th-percentile per-query latency.
+    pub p95: Duration,
+    /// 99th-percentile per-query latency.
+    pub p99: Duration,
+    /// Pages read from disk during the serve phase.
+    pub pages_read: u64,
+    /// Sequential page reads.
+    pub seq_reads: u64,
+    /// Random page reads.
+    pub rand_reads: u64,
+    /// Buffer-pool hits over all worker sessions.
+    pub pool_hits: u64,
+    /// Result ids returned, summed over the trace.
+    pub result_ids: u64,
+}
+
+impl ServeMetrics {
+    /// Fraction of page reads classified sequential.
+    pub fn seq_read_fraction(&self) -> f64 {
+        let total = self.seq_reads + self.rand_reads;
+        if total == 0 {
+            return 0.0;
+        }
+        self.seq_reads as f64 / total as f64
+    }
+
+    fn from_stats(
+        kind: ServeEngineKind,
+        workload: &str,
+        n_elements: usize,
+        cfg: &ServeConfig,
+        stats: &ServeStats,
+    ) -> Self {
+        Self {
+            workload: workload.to_string(),
+            engine: kind.label().to_string(),
+            n_elements,
+            queries: stats.queries,
+            threads: cfg.threads.max(1),
+            batch: cfg.batch.max(1),
+            hilbert_batching: cfg.hilbert_batching,
+            wall: stats.wall,
+            sim_io: stats.io.sim_io_time(),
+            qps: stats.throughput_qps(),
+            p50: stats.latency.p50(),
+            p95: stats.latency.p95(),
+            p99: stats.latency.p99(),
+            pages_read: stats.io.reads(),
+            seq_reads: stats.io.seq_reads,
+            rand_reads: stats.io.rand_reads,
+            pool_hits: stats.pool_hits,
+            result_ids: stats.result_ids,
+        }
+    }
+}
+
+/// Builds the `kind` structure over `elements` on a fresh in-memory disk
+/// and hands the serving engine (plus the disk, for stats resets) to `f`.
+fn with_engine<R>(
+    kind: ServeEngineKind,
+    elements: &[SpatialElement],
+    run_cfg: &RunConfig,
+    f: impl FnOnce(&dyn QueryEngine, &Disk) -> R,
+) -> R {
+    let disk = Disk::in_memory(run_cfg.page_size);
+    let idx_cfg = IndexConfig::default().with_build_threads(run_cfg.build_threads);
+    match kind {
+        ServeEngineKind::Transformers => {
+            let idx = TransformersIndex::build(&disk, elements.to_vec(), &idx_cfg);
+            f(&TransformersEngine::new(&idx, &disk), &disk)
+        }
+        ServeEngineKind::Gipsy => {
+            let idx = TransformersIndex::build(&disk, elements.to_vec(), &idx_cfg);
+            f(&GipsyEngine::new(&idx, &disk), &disk)
+        }
+        ServeEngineKind::Rtree => {
+            let pipeline = IndexBuildPipeline::new(run_cfg.build_threads);
+            let tree = tfm_rtree::RTree::bulk_load_pipelined(&disk, elements.to_vec(), &pipeline);
+            f(&RtreeEngine::new(&tree, &disk), &disk)
+        }
+    }
+}
+
+/// Builds the `kind` structure over `elements` (on a fresh in-memory disk
+/// with `run_cfg`'s page size and build threads), replays `trace` with
+/// `serve_cfg`, and returns the metrics plus every query's result ids
+/// (ascending; for correctness checks).
+pub fn run_serve(
+    kind: ServeEngineKind,
+    workload: &str,
+    elements: &[SpatialElement],
+    trace: &[SpatialQuery],
+    run_cfg: &RunConfig,
+    serve_cfg: &ServeConfig,
+) -> (ServeMetrics, Vec<Vec<ElementId>>) {
+    with_engine(kind, elements, run_cfg, |engine, disk| {
+        disk.reset_stats();
+        let outcome = serve_trace(engine, trace, serve_cfg);
+        let metrics =
+            ServeMetrics::from_stats(kind, workload, elements.len(), serve_cfg, &outcome.stats);
+        (metrics, outcome.results)
+    })
+}
+
+/// One entry of a [`run_serve_sweep`]: a labelled trace plus the serve
+/// configuration to replay it with.
+pub struct ServeJob<'a> {
+    /// Workload label for the metrics row.
+    pub workload: &'a str,
+    /// The query trace to replay.
+    pub trace: &'a [SpatialQuery],
+    /// Worker/batch configuration.
+    pub config: ServeConfig,
+}
+
+/// [`run_serve`] over several jobs sharing one index build: the `kind`
+/// structure is built **once** and every job replays against it (stats
+/// reset between jobs, so each row's I/O classification starts cold).
+/// Use this for config sweeps — rebuilding a large index per
+/// (threads, batching) combination would dominate the run.
+pub fn run_serve_sweep(
+    kind: ServeEngineKind,
+    elements: &[SpatialElement],
+    run_cfg: &RunConfig,
+    jobs: &[ServeJob<'_>],
+) -> Vec<ServeMetrics> {
+    with_engine(kind, elements, run_cfg, |engine, disk| {
+        jobs.iter()
+            .map(|job| {
+                disk.reset_stats();
+                let outcome = serve_trace(engine, job.trace, &job.config);
+                ServeMetrics::from_stats(
+                    kind,
+                    job.workload,
+                    elements.len(),
+                    &job.config,
+                    &outcome.stats,
+                )
+            })
+            .collect()
+    })
+}
+
+/// Prints a fixed-width comparison table of serve metrics.
+pub fn print_serve_table(title: &str, rows: &[ServeMetrics]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<20} {:<14} {:>8} {:>8} {:>3} {:>6} {:>3} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10}",
+        "workload",
+        "engine",
+        "|D|",
+        "queries",
+        "w",
+        "batch",
+        "hb",
+        "qps",
+        "p50_us",
+        "p99_us",
+        "pages",
+        "seq%",
+        "results"
+    );
+    for m in rows {
+        println!(
+            "{:<20} {:<14} {:>8} {:>8} {:>3} {:>6} {:>3} {:>10.0} {:>10.1} {:>10.1} {:>10} {:>8.1} {:>10}",
+            m.workload,
+            m.engine,
+            m.n_elements,
+            m.queries,
+            m.threads,
+            m.batch,
+            if m.hilbert_batching { "on" } else { "off" },
+            m.qps,
+            m.p50.as_secs_f64() * 1e6,
+            m.p99.as_secs_f64() * 1e6,
+            m.pages_read,
+            m.seq_read_fraction() * 100.0,
+            m.result_ids
+        );
+    }
+}
+
+/// CSV header matching [`serve_csv_row`].
+pub const SERVE_CSV_HEADER: &str = "workload,engine,n_elements,queries,threads,batch,hilbert_batching,wall_s,sim_io_s,qps,p50_us,p95_us,p99_us,pages_read,seq_reads,rand_reads,pool_hits,result_ids";
+
+/// One CSV row for a serve-metrics record.
+pub fn serve_csv_row(m: &ServeMetrics) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{:.6},{:.6},{:.2},{:.2},{:.2},{:.2},{},{},{},{},{}",
+        m.workload,
+        m.engine,
+        m.n_elements,
+        m.queries,
+        m.threads,
+        m.batch,
+        m.hilbert_batching,
+        m.wall.as_secs_f64(),
+        m.sim_io.as_secs_f64(),
+        m.qps,
+        m.p50.as_secs_f64() * 1e6,
+        m.p95.as_secs_f64() * 1e6,
+        m.p99.as_secs_f64() * 1e6,
+        m.pages_read,
+        m.seq_reads,
+        m.rand_reads,
+        m.pool_hits,
+        m.result_ids,
+    )
+}
+
+/// Writes serve metrics to `path` as CSV (creating parent directories).
+pub fn write_serve_csv<P: AsRef<std::path::Path>>(
+    path: P,
+    rows: &[ServeMetrics],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{SERVE_CSV_HEADER}")?;
+    for m in rows {
+        writeln!(f, "{}", serve_csv_row(m))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_datagen::{generate, generate_trace, DatasetSpec, QueryTraceSpec};
+
+    #[test]
+    fn engines_serve_identical_results() {
+        let elements = generate(&DatasetSpec {
+            max_side: 6.0,
+            ..DatasetSpec::uniform(2500, 90)
+        });
+        let trace = generate_trace(&QueryTraceSpec::uniform(150, 91));
+        let run_cfg = RunConfig::default();
+        let serve_cfg = ServeConfig::default().with_threads(2);
+        let mut reference: Option<Vec<Vec<ElementId>>> = None;
+        for kind in ServeEngineKind::all() {
+            let (m, results) = run_serve(kind, "t", &elements, &trace, &run_cfg, &serve_cfg);
+            assert_eq!(m.queries, 150, "{}", kind.label());
+            assert_eq!(m.engine, kind.label());
+            assert!(m.pages_read > 0);
+            match &reference {
+                None => reference = Some(results),
+                Some(r) => assert_eq!(&results, r, "{} diverges", kind.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn csv_row_has_header_arity() {
+        let elements = generate(&DatasetSpec::uniform(400, 92));
+        let trace = generate_trace(&QueryTraceSpec::uniform(20, 93));
+        let (m, _) = run_serve(
+            ServeEngineKind::Transformers,
+            "t",
+            &elements,
+            &trace,
+            &RunConfig::default(),
+            &ServeConfig::default(),
+        );
+        assert_eq!(
+            serve_csv_row(&m).split(',').count(),
+            SERVE_CSV_HEADER.split(',').count()
+        );
+    }
+
+    #[test]
+    fn csv_file_roundtrip() {
+        let elements = generate(&DatasetSpec::uniform(400, 94));
+        let trace = generate_trace(&QueryTraceSpec::uniform(20, 95));
+        let (m, _) = run_serve(
+            ServeEngineKind::Rtree,
+            "t",
+            &elements,
+            &trace,
+            &RunConfig::default(),
+            &ServeConfig::default(),
+        );
+        let dir = std::env::temp_dir().join(format!("tfm_serve_csv_{}", std::process::id()));
+        let path = dir.join("serve.csv");
+        write_serve_csv(&path, &[m]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        assert!(content.starts_with("workload,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,192 @@
+//! Persistent per-workload steal-skew feedback (the closed loop of
+//! ROADMAP PR 3's next steps).
+//!
+//! The parallel join's scheduler picks its initial chunk size from the
+//! pivot and worker counts, tilted by a *recorded skew signal* — the
+//! [`tfm_exec::ExecReport::steal_fraction`] of a previous run of the same
+//! workload. Until now that signal had to be plumbed by hand
+//! (`JoinConfig::with_recorded_skew`). [`SkewStore`] closes the loop: a
+//! tiny JSON sidecar (`{"workload": fraction, ...}`) that the harness
+//! reads before a run and updates after it, so the second run of any
+//! workload self-tunes with no caller involvement — see
+//! [`crate::run_approach_with_skew`].
+//!
+//! The JSON subset is deliberately flat (one object, string keys, number
+//! values), parsed by a ~40-line reader so the offline build needs no
+//! JSON dependency.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A persistent map `workload label -> recorded steal fraction`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewStore {
+    path: PathBuf,
+    entries: BTreeMap<String, f64>,
+}
+
+impl SkewStore {
+    /// Opens the sidecar at `path`, loading any existing entries; a
+    /// missing or unreadable file starts an empty store.
+    pub fn load<P: AsRef<Path>>(path: P) -> Self {
+        let path = path.as_ref().to_path_buf();
+        let entries = std::fs::read_to_string(&path)
+            .ok()
+            .map(|s| parse_flat_json(&s))
+            .unwrap_or_default();
+        Self { path, entries }
+    }
+
+    /// The recorded steal fraction for `workload`, if one was persisted.
+    pub fn recorded(&self, workload: &str) -> Option<f64> {
+        self.entries.get(workload).copied()
+    }
+
+    /// Records the steal fraction observed for `workload` (clamped to
+    /// `0.0..=1.0`; call [`SkewStore::save`] to persist).
+    pub fn record(&mut self, workload: &str, steal_fraction: f64) {
+        self.entries
+            .insert(workload.to_string(), steal_fraction.clamp(0.0, 1.0));
+    }
+
+    /// Number of recorded workloads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Writes the sidecar back to its path (creating parent directories).
+    pub fn save(&self) -> std::io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "  \"{}\": {:.6}{}\n",
+                escape(k),
+                v,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("}\n");
+        std::fs::write(&self.path, out)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parses the flat `{"key": number, ...}` subset this store writes.
+/// Malformed entries are skipped — a corrupt sidecar degrades to "no
+/// recorded signal", never to a failed run.
+fn parse_flat_json(s: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut rest = s;
+    while let Some(open) = rest.find('"') {
+        rest = &rest[open + 1..];
+        // Scan the key, honouring escapes.
+        let mut key = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    if let Some((_, esc)) = chars.next() {
+                        key.push(esc);
+                    }
+                }
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => key.push(c),
+            }
+        }
+        let Some(end) = end else { break };
+        rest = &rest[end + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        let value_str = rest[colon + 1..]
+            .trim_start()
+            .split(|c: char| c == ',' || c == '}' || c.is_whitespace())
+            .next()
+            .unwrap_or("");
+        if let Ok(v) = value_str.parse::<f64>() {
+            if v.is_finite() {
+                out.insert(key, v);
+            }
+        }
+        rest = &rest[colon + 1..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tfm_skew_{tag}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrips_entries() {
+        let path = temp_path("roundtrip");
+        let mut store = SkewStore::load(&path);
+        assert!(store.is_empty());
+        store.record("uniform_10k", 0.25);
+        store.record("clustered \"hot\"", 0.875);
+        store.save().unwrap();
+        let reloaded = SkewStore::load(&path);
+        assert_eq!(reloaded.recorded("uniform_10k"), Some(0.25));
+        assert_eq!(reloaded.recorded("clustered \"hot\""), Some(0.875));
+        assert_eq!(reloaded.recorded("unknown"), None);
+        assert_eq!(reloaded.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn clamps_out_of_range_fractions() {
+        let mut store = SkewStore::load(temp_path("clamp"));
+        store.record("w", 7.0);
+        assert_eq!(store.recorded("w"), Some(1.0));
+        store.record("w", -3.0);
+        assert_eq!(store.recorded("w"), Some(0.0));
+    }
+
+    #[test]
+    fn missing_and_corrupt_files_degrade_gracefully() {
+        let store = SkewStore::load(temp_path("missing"));
+        assert!(store.is_empty());
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "not json at all {{{").unwrap();
+        let store = SkewStore::load(&path);
+        assert!(store.is_empty());
+        // Partially valid entries survive.
+        std::fs::write(&path, "{\"good\": 0.5, \"bad\": oops}").unwrap();
+        let store = SkewStore::load(&path);
+        assert_eq!(store.recorded("good"), Some(0.5));
+        assert_eq!(store.recorded("bad"), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn updates_overwrite() {
+        let path = temp_path("update");
+        let mut store = SkewStore::load(&path);
+        store.record("w", 0.1);
+        store.save().unwrap();
+        let mut store = SkewStore::load(&path);
+        store.record("w", 0.9);
+        store.save().unwrap();
+        assert_eq!(SkewStore::load(&path).recorded("w"), Some(0.9));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -10,10 +10,17 @@
 //! a [`Disk`] (every traversal is charged page I/O), and supports exact
 //! lookup, range scans, and nearest-key search ([`BPlusTree::nearest`]) —
 //! the operation the walk start actually needs.
+//!
+//! [`BPlusTree::bulk_load_with`] routes every level's page encoding through
+//! the shared [`IndexBuildPipeline`] — the last sequential stage of the
+//! staged index build. Pages are encoded in parallel but written in page
+//! order, so the tree is **byte-identical at any thread count** (see the
+//! `parallel_bulk_load_is_byte_identical` test).
 
 #![warn(missing_docs)]
 
 use bytes::{Buf, BufMut};
+use tfm_partition::IndexBuildPipeline;
 use tfm_storage::{Disk, PageId};
 
 const LEAF_TAG: u8 = 1;
@@ -43,6 +50,18 @@ impl BPlusTree {
     /// Panics if `pairs` is not sorted by key or the page size is too small
     /// to hold at least two entries per node.
     pub fn bulk_load(disk: &Disk, pairs: &[(u64, u64)]) -> Self {
+        Self::bulk_load_with(disk, pairs, &IndexBuildPipeline::sequential())
+    }
+
+    /// [`BPlusTree::bulk_load`] on a caller-supplied build pipeline: every
+    /// level's page images are encoded in parallel over the pipeline's
+    /// workers and written sequentially in page order, so the on-disk tree
+    /// is byte-identical at any thread count.
+    pub fn bulk_load_with(
+        disk: &Disk,
+        pairs: &[(u64, u64)],
+        pipeline: &IndexBuildPipeline,
+    ) -> Self {
         let fanout = (disk.page_size() - HEADER - 8) / ENTRY;
         assert!(fanout >= 2, "page size too small for a B+-tree node");
         assert!(
@@ -53,11 +72,7 @@ impl BPlusTree {
         if pairs.is_empty() {
             // A single empty leaf keeps the traversal code uniform.
             let page = disk.allocate();
-            let mut buf = Vec::with_capacity(disk.page_size());
-            buf.put_u8(LEAF_TAG);
-            buf.put_u16_le(0);
-            buf.put_u64_le(NO_LEAF);
-            disk.write_page(page, &buf);
+            disk.write_page(page, &encode_node(LEAF_TAG, NO_LEAF, &[]));
             return Self {
                 root: page,
                 height: 0,
@@ -66,50 +81,38 @@ impl BPlusTree {
             };
         }
 
-        // Build the leaf level.
+        // Build the leaf level: leaves are chained through next-leaf
+        // pointers to their physical successors, so the encoder needs the
+        // run's first page id (`encode_run`).
         let n_leaves = pairs.len().div_ceil(fanout);
-        let first_leaf = disk.allocate_contiguous(n_leaves as u64);
-        let mut level: Vec<(u64, PageId)> = Vec::with_capacity(n_leaves);
-        for (i, chunk) in pairs.chunks(fanout).enumerate() {
-            let page = PageId(first_leaf.0 + i as u64);
+        let first_leaf = pipeline.encode_run(disk, n_leaves, |first, i| {
+            let chunk = &pairs[i * fanout..((i + 1) * fanout).min(pairs.len())];
             let next = if i + 1 < n_leaves {
-                PageId(first_leaf.0 + i as u64 + 1).0
+                first.0 + i as u64 + 1
             } else {
                 NO_LEAF
             };
-            let mut buf = Vec::with_capacity(disk.page_size());
-            buf.put_u8(LEAF_TAG);
-            buf.put_u16_le(chunk.len() as u16);
-            buf.put_u64_le(next);
-            for &(k, v) in chunk {
-                buf.put_u64_le(k);
-                buf.put_u64_le(v);
-            }
-            disk.write_page(page, &buf);
-            level.push((chunk[0].0, page));
-        }
+            encode_node(LEAF_TAG, next, chunk)
+        });
+        let mut level: Vec<(u64, PageId)> = (0..n_leaves)
+            .map(|i| (pairs[i * fanout].0, PageId(first_leaf.0 + i as u64)))
+            .collect();
 
         // Build inner levels until a single root remains.
         let mut height = 0u32;
         while level.len() > 1 {
             height += 1;
             let n_nodes = level.len().div_ceil(fanout);
-            let first = disk.allocate_contiguous(n_nodes as u64);
-            let mut next_level = Vec::with_capacity(n_nodes);
-            for (i, chunk) in level.chunks(fanout).enumerate() {
-                let page = PageId(first.0 + i as u64);
-                let mut buf = Vec::with_capacity(disk.page_size());
-                buf.put_u8(INNER_TAG);
-                buf.put_u16_le(chunk.len() as u16);
-                buf.put_u64_le(NO_LEAF); // unused in inner nodes; keeps layout uniform
-                for &(k, child) in chunk {
-                    buf.put_u64_le(k);
-                    buf.put_u64_le(child.0);
-                }
-                disk.write_page(page, &buf);
-                next_level.push((chunk[0].0, page));
-            }
-            level = next_level;
+            let first = pipeline.encode_run(disk, n_nodes, |_, i| {
+                let chunk = &level[i * fanout..((i + 1) * fanout).min(level.len())];
+                let entries: Vec<(u64, u64)> = chunk.iter().map(|&(k, p)| (k, p.0)).collect();
+                // The next-leaf slot is unused in inner nodes; keeping it
+                // keeps the layout uniform.
+                encode_node(INNER_TAG, NO_LEAF, &entries)
+            });
+            level = (0..n_nodes)
+                .map(|i| (level[i * fanout].0, PageId(first.0 + i as u64)))
+                .collect();
         }
 
         Self {
@@ -133,6 +136,11 @@ impl BPlusTree {
     /// Tree height (0 = the root is a leaf).
     pub fn height(&self) -> u32 {
         self.height
+    }
+
+    /// Root page id.
+    pub fn root(&self) -> PageId {
+        self.root
     }
 
     /// Maximum entries per node for this disk's page size.
@@ -235,6 +243,21 @@ impl BPlusTree {
             page = PageId(node.entries[idx].1);
         }
     }
+}
+
+/// Encodes one node page: tag, entry count, next-leaf pointer, then
+/// fixed 16-byte entries. Shared by leaves and inner nodes (identical
+/// layout; inner nodes carry `NO_LEAF` in the pointer slot).
+fn encode_node(tag: u8, next: u64, entries: &[(u64, u64)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER + 8 + entries.len() * ENTRY);
+    buf.put_u8(tag);
+    buf.put_u16_le(entries.len() as u16);
+    buf.put_u64_le(next);
+    for &(k, v) in entries {
+        buf.put_u64_le(k);
+        buf.put_u64_le(v);
+    }
+    buf
 }
 
 /// A decoded node page.
@@ -360,6 +383,31 @@ mod tests {
     fn unsorted_input_panics() {
         let disk = Disk::default_in_memory();
         BPlusTree::bulk_load(&disk, &[(5, 0), (3, 0)]);
+    }
+
+    #[test]
+    fn parallel_bulk_load_is_byte_identical() {
+        // Small page size forces several levels; the parallel pipeline
+        // must reproduce the sequential disk image bit for bit.
+        let pairs: Vec<_> = (0..3000u64).map(|k| (k * 3, k ^ 0xABCD)).collect();
+        let seq_disk = Disk::in_memory(64);
+        let seq = BPlusTree::bulk_load(&seq_disk, &pairs);
+        let dump = |d: &Disk| -> Vec<Vec<u8>> {
+            (0..d.allocated_pages())
+                .map(|p| d.read_page_vec(PageId(p)))
+                .collect()
+        };
+        let seq_pages = dump(&seq_disk);
+        for threads in [2, 4, 8] {
+            let disk = Disk::in_memory(64);
+            let t = BPlusTree::bulk_load_with(&disk, &pairs, &IndexBuildPipeline::new(threads));
+            assert_eq!(t.root(), seq.root(), "threads = {threads}");
+            assert_eq!(t.height(), seq.height());
+            assert_eq!(dump(&disk), seq_pages, "threads = {threads}");
+            // The parallel load must stay queryable, not just byte-equal.
+            assert_eq!(t.get(&disk, 300), Some(100 ^ 0xABCD));
+            assert_eq!(t.nearest(&disk, 301), Some((300, 100 ^ 0xABCD)));
+        }
     }
 
     #[test]

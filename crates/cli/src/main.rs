@@ -21,6 +21,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("build") => cmd_build(&args[1..]),
         Some("join") => cmd_join(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -51,6 +52,7 @@ USAGE:
       byte-identical at any --build-threads setting
   tfm join --a FILE --b FILE [--approach A] [--page-size N] [--threads N]
            [--build-threads N] [--no-transform] [--no-prune] [--verify]
+           [--skew-file PATH]
       A: transformers | no-tr | pbsm | rtree | gipsy | sssj | s3 (default: transformers)
       --threads N: run the transformers join on N parallel workers (tfm-exec)
       --build-threads N: build the indexes on N parallel workers
@@ -58,6 +60,19 @@ USAGE:
       --no-transform: parallel path only — workers skip role transformations
       --no-prune: parallel path only — disable the shared cross-worker
                   to-do-list pruning board (workers prune only locally)
+      --skew-file PATH: persist each workload's observed steal fraction in a
+                  JSON sidecar and feed it back as the scheduler's recorded
+                  skew signal on the next run (parallel path only)
+  tfm serve --in FILE [--engine E] [--queries N] [--threads N] [--batch N]
+            [--no-hilbert] [--mix M] [--page-size N] [--build-threads N]
+            [--trace-seed S] [--window F] [--eps F] [--verify]
+      builds the chosen index once, generates a deterministic query trace
+      (window / point-enclosure / distance probes) and replays it on N
+      serve workers with locality-aware (Hilbert-ordered) batching
+      E: transformers | gipsy | rtree  (default: transformers)
+      M: uniform | clustered | neuro   (default: uniform)
+      --batch N: queries per batch (default 64); --no-hilbert replays each
+                  batch in arrival order instead of Hilbert order
   tfm info --in FILE
   tfm help"
     );
@@ -233,7 +248,30 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
         build_threads,
         ..RunConfig::default()
     };
-    let (m, pairs) = run_approach(&approach, "cli", &a, &b, &cfg);
+    // With --skew-file, the parallel path closes the steal-skew feedback
+    // loop through the persistent sidecar: read the recorded signal before
+    // the run, write the observed fraction after it. Keyed by the full
+    // input paths — same-named files in different directories are
+    // different workloads.
+    let workload = format!("{path_a}|{path_b}");
+    let (m, pairs) = match opt(args, "--skew-file") {
+        Some(skew_path) => {
+            let mut store = tfm_bench::SkewStore::load(skew_path);
+            let recorded = store.recorded(&workload);
+            let out =
+                tfm_bench::run_approach_with_skew(&approach, &workload, &a, &b, &cfg, &mut store);
+            store
+                .save()
+                .map_err(|e| format!("writing {skew_path}: {e}"))?;
+            match (recorded, store.recorded(&workload)) {
+                (Some(prev), _) => println!("skew:            recorded {prev:.3} fed back"),
+                (None, Some(now)) => println!("skew:            {now:.3} recorded for next run"),
+                _ => {}
+            }
+            out
+        }
+        None => run_approach(&approach, "cli", &a, &b, &cfg),
+    };
 
     println!("approach:        {}", m.approach);
     println!("datasets:        |A| = {}, |B| = {}", m.n_a, m.n_b);
@@ -272,6 +310,110 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
         } else {
             return Err("result set does NOT match the nested-loop oracle".into());
         }
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use tfm_bench::{run_serve, ServeEngineKind};
+    use tfm_datagen::{generate_trace, ProbeMix, QueryTraceSpec};
+    use tfm_serve::ServeConfig;
+
+    let path = required(args, "--in")?;
+    let engine = match opt(args, "--engine").unwrap_or("transformers") {
+        "transformers" => ServeEngineKind::Transformers,
+        "gipsy" => ServeEngineKind::Gipsy,
+        "rtree" => ServeEngineKind::Rtree,
+        other => return Err(format!("unknown serve engine `{other}`")),
+    };
+    let mix = match opt(args, "--mix").unwrap_or("uniform") {
+        "uniform" => ProbeMix::Uniform,
+        "clustered" => ProbeMix::Clustered { clusters: 8 },
+        "neuro" => ProbeMix::NeuroCorrelated,
+        other => return Err(format!("unknown probe mix `{other}`")),
+    };
+    let queries: usize = parse(opt(args, "--queries").unwrap_or("1000"), "--queries")?;
+    let threads = parse_worker_count(args, "--threads")?;
+    let batch: usize = parse(opt(args, "--batch").unwrap_or("64"), "--batch")?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let page_size: usize = parse(opt(args, "--page-size").unwrap_or("2048"), "--page-size")?;
+    let build_threads = parse_worker_count(args, "--build-threads")?;
+    let trace_seed: u64 = parse(opt(args, "--trace-seed").unwrap_or("1"), "--trace-seed")?;
+    let window: f64 = parse(opt(args, "--window").unwrap_or("20"), "--window")?;
+    let eps: f64 = parse(opt(args, "--eps").unwrap_or("5"), "--eps")?;
+
+    let elems = io::read_elements(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let trace = generate_trace(&QueryTraceSpec {
+        max_window_side: window,
+        max_eps: eps,
+        ..QueryTraceSpec::with_mix(queries, mix, trace_seed)
+    });
+    let run_cfg = RunConfig {
+        page_size,
+        build_threads,
+        ..RunConfig::default()
+    };
+    let serve_cfg = ServeConfig {
+        threads,
+        batch,
+        hilbert_batching: !flag(args, "--no-hilbert"),
+        ..ServeConfig::default()
+    };
+    let (m, results) = run_serve(engine, "cli", &elems, &trace, &run_cfg, &serve_cfg);
+
+    println!("engine:          {}", m.engine);
+    println!("dataset:         {path} ({} elements)", m.n_elements);
+    println!(
+        "trace:           {} queries ({:?} probes, seed {trace_seed})",
+        m.queries, mix
+    );
+    println!(
+        "serving:         {} worker{}, batch {}, hilbert batching {}",
+        m.threads,
+        if m.threads == 1 { "" } else { "s" },
+        m.batch,
+        if m.hilbert_batching { "on" } else { "off" }
+    );
+    println!(
+        "throughput:      {:.0} queries/s  ({:.3}s wall + {:.3}s sim I/O)",
+        m.qps,
+        m.wall.as_secs_f64(),
+        m.sim_io.as_secs_f64()
+    );
+    println!(
+        "latency:         p50 {:.1}us  p95 {:.1}us  p99 {:.1}us",
+        m.p50.as_secs_f64() * 1e6,
+        m.p95.as_secs_f64() * 1e6,
+        m.p99.as_secs_f64() * 1e6
+    );
+    println!(
+        "serve I/O:       {} pages ({} sequential, {} random — {:.1}% sequential), {} pool hits",
+        m.pages_read,
+        m.seq_reads,
+        m.rand_reads,
+        m.seq_read_fraction() * 100.0,
+        m.pool_hits
+    );
+    println!("result ids:      {}", m.result_ids);
+
+    if flag(args, "--verify") {
+        for (i, q) in trace.iter().enumerate() {
+            let mut expected: Vec<u64> = elems
+                .iter()
+                .filter(|e| q.matches(&e.mbb))
+                .map(|e| e.id)
+                .collect();
+            expected.sort_unstable();
+            if results[i] != expected {
+                return Err(format!("query {i} diverges from the full-scan oracle"));
+            }
+        }
+        println!(
+            "verify:          OK (all {} queries match the full scan)",
+            m.queries
+        );
     }
     Ok(())
 }
@@ -464,6 +606,106 @@ mod tests {
         }
         std::fs::remove_file(&pa).ok();
         std::fs::remove_file(&pb).ok();
+    }
+
+    #[test]
+    fn serve_command_end_to_end() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tfm_cli_serve_{}.elems", std::process::id()));
+        let gen_args: Vec<String> = [
+            "--count",
+            "800",
+            "--out",
+            path.to_str().unwrap(),
+            "--seed",
+            "21",
+            "--max-side",
+            "6",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_generate(&gen_args).unwrap();
+        // Every engine serves the generated trace and verifies against the
+        // full-scan oracle, batched and unbatched, 1 and 2 workers.
+        for engine in ["transformers", "gipsy", "rtree"] {
+            for extra in [&[][..], &["--no-hilbert", "--threads", "2"][..]] {
+                let mut serve_args: Vec<String> = [
+                    "--in",
+                    path.to_str().unwrap(),
+                    "--engine",
+                    engine,
+                    "--queries",
+                    "60",
+                    "--batch",
+                    "16",
+                    "--verify",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+                serve_args.extend(extra.iter().map(|s| s.to_string()));
+                cmd_serve(&serve_args).unwrap_or_else(|e| panic!("{engine} {extra:?}: {e}"));
+            }
+        }
+        // Bad flags fail fast with clear messages.
+        let bad: Vec<String> = ["--in", path.to_str().unwrap(), "--engine", "bogus"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_serve(&bad).unwrap_err().contains("serve engine"));
+        let bad: Vec<String> = ["--in", path.to_str().unwrap(), "--threads", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_serve(&bad).unwrap_err().contains("--threads"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn skew_file_round_trips_through_join() {
+        let dir = std::env::temp_dir();
+        let pa = dir.join(format!("tfm_cli_skew_a_{}.elems", std::process::id()));
+        let pb = dir.join(format!("tfm_cli_skew_b_{}.elems", std::process::id()));
+        let skew = dir.join(format!("tfm_cli_skew_{}.json", std::process::id()));
+        std::fs::remove_file(&skew).ok();
+        for (path, seed) in [(&pa, "71"), (&pb, "72")] {
+            let gen_args: Vec<String> = [
+                "--count",
+                "400",
+                "--out",
+                path.to_str().unwrap(),
+                "--seed",
+                seed,
+                "--max-side",
+                "8",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            cmd_generate(&gen_args).unwrap();
+        }
+        let join_args: Vec<String> = [
+            "--a",
+            pa.to_str().unwrap(),
+            "--b",
+            pb.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--skew-file",
+            skew.to_str().unwrap(),
+            "--verify",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        // First run records, second feeds back; both must verify.
+        cmd_join(&join_args).unwrap();
+        assert!(skew.exists(), "sidecar must be written");
+        cmd_join(&join_args).unwrap();
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+        std::fs::remove_file(&skew).ok();
     }
 
     #[test]

@@ -229,10 +229,11 @@ impl TransformersIndex {
         // inflates tiles by this much so no intersecting page is missed.
         let reach_eps = compute_reach(&nodes, &units);
 
-        // Hilbert B+-tree for walk starts.
+        // Hilbert B+-tree for walk starts, bulk-loaded through the same
+        // pipeline (page encodes fan out; writes stay in page order).
         let mut keyed: Vec<(u64, u64)> = nodes.iter().map(|n| (n.hilbert, n.id.0 as u64)).collect();
         keyed.sort_unstable();
-        let btree = BPlusTree::bulk_load(disk, &keyed);
+        let btree = BPlusTree::bulk_load_with(disk, &keyed, pipeline);
 
         // Metadata region.
         let meta = metadata::encode(&nodes, &units);
@@ -310,10 +311,28 @@ impl TransformersIndex {
     }
 
     /// Reads and decodes one space unit's elements through `pool`.
+    ///
+    /// For concurrent readers prefer [`TransformersIndex::unit_reader`]:
+    /// one shared pool behind a `&mut` would serialize every reader, while
+    /// a [`UnitReader`] per worker reads the (thread-safe) disk through a
+    /// private cache with no contention.
     pub fn read_unit(&self, pool: &mut BufferPool<'_>, unit: UnitId) -> Vec<SpatialElement> {
         let desc = &self.units[unit.0 as usize];
         let codec = ElementPageCodec::new(pool.disk().page_size());
         codec.decode(pool.read(desc.page))
+    }
+
+    /// Creates a cheap per-worker read handle over this index's element
+    /// pages: a private [`BufferPool`] of `pool_pages` pages plus the
+    /// decoding codec. `Disk` reads take `&self`, so any number of
+    /// [`UnitReader`]s can serve queries against one shared index
+    /// concurrently without contending on a single pool.
+    pub fn unit_reader<'d>(&self, disk: &'d Disk, pool_pages: usize) -> UnitReader<'_, 'd> {
+        UnitReader {
+            units: &self.units,
+            codec: ElementPageCodec::new(disk.page_size()),
+            pool: BufferPool::new(disk, pool_pages.max(1)),
+        }
     }
 
     /// Re-reads the metadata region from disk (sequentially) and decodes
@@ -327,6 +346,49 @@ impl TransformersIndex {
         bytes.truncate(self.meta_bytes);
         let (nodes, units) = metadata::decode(&bytes);
         (nodes, units, self.meta_page_count)
+    }
+}
+
+/// A per-worker read handle over one index's element pages: its own
+/// [`BufferPool`] (private LRU cache) plus the page codec.
+///
+/// This is the "split handle" that lets many readers share one immutable
+/// [`TransformersIndex`]: the descriptor tables are borrowed read-only,
+/// the disk is read through `&self`, and all mutable state (the cache) is
+/// private to the handle — so `N` workers hold `N` independent readers
+/// with zero synchronization between them.
+pub struct UnitReader<'i, 'd> {
+    units: &'i [SpaceUnitDesc],
+    codec: ElementPageCodec,
+    pool: BufferPool<'d>,
+}
+
+impl UnitReader<'_, '_> {
+    /// Reads and decodes one space unit's elements.
+    pub fn read(&mut self, unit: UnitId) -> Vec<SpatialElement> {
+        self.codec
+            .decode(self.pool.read(self.units[unit.0 as usize].page))
+    }
+
+    /// Decodes one unit's elements into `out`, reusing its capacity.
+    pub fn read_into(&mut self, unit: UnitId, out: &mut Vec<SpatialElement>) {
+        self.codec
+            .decode_into(self.pool.read(self.units[unit.0 as usize].page), out)
+    }
+
+    /// The disk page a unit's elements live on (the elevator-order key).
+    pub fn page_of(&self, unit: UnitId) -> PageId {
+        self.units[unit.0 as usize].page
+    }
+
+    /// Cache hits of this handle's private pool.
+    pub fn hits(&self) -> u64 {
+        self.pool.hits()
+    }
+
+    /// Cache misses (disk page reads) of this handle's private pool.
+    pub fn misses(&self) -> u64 {
+        self.pool.misses()
     }
 }
 
@@ -538,6 +600,32 @@ mod tests {
         let mut expected: Vec<u64> = elems.iter().map(|e| e.id).collect();
         expected.sort_unstable();
         assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn unit_readers_share_an_index_concurrently() {
+        let (disk, idx, elems) = build(3000, 62);
+        let mut expected: Vec<u64> = elems.iter().map(|e| e.id).collect();
+        expected.sort_unstable();
+        // Four threads, each with a private reader over the same index and
+        // disk — no `&mut` sharing, no locks, identical decoded contents.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut reader = idx.unit_reader(&disk, 64);
+                    let mut ids: Vec<u64> = Vec::new();
+                    let mut buf = Vec::new();
+                    for u in idx.units() {
+                        reader.read_into(u.id, &mut buf);
+                        assert_eq!(reader.page_of(u.id), u.page);
+                        ids.extend(buf.iter().map(|e| e.id));
+                    }
+                    ids.sort_unstable();
+                    assert_eq!(ids, expected);
+                    assert!(reader.misses() > 0);
+                });
+            }
+        });
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub use config::{GuidePick, IndexConfig, JoinConfig, ThresholdPolicy};
 pub use costmodel::{CostModel, DeviceParams};
 pub use descriptor::{NodeId, SpaceNode, SpaceUnitDesc, UnitId};
 pub use distance::distance_join;
-pub use index::TransformersIndex;
+pub use index::{TransformersIndex, UnitReader};
 pub use join::{transformers_join, EngineSide, JoinOutcome, PivotEngine};
 pub use stats::TransformersStats;
 // `IndexBuildPipeline` lives in `tfm-partition` (below the baselines,

@@ -15,6 +15,10 @@
 //!   concentrated near the top of the volume, dendrites near the middle, so
 //!   the join faces both contrasting and similar local densities.
 //!
+//! Besides datasets, [`queries`] generates deterministic **query traces**
+//! (window / point-enclosure / distance probes with uniform, clustered or
+//! neuro-correlated centers) for the `tfm-serve` serving subsystem.
+//!
 //! All generation is deterministic given a [`DatasetSpec`] (seeded
 //! `StdRng`), so experiments are exactly repeatable. Spatial boxes have side
 //! lengths drawn uniformly from `(0, max_side]` with `max_side = 1.0` by
@@ -24,8 +28,10 @@
 
 pub mod neuro;
 mod normal;
+pub mod queries;
 mod spec;
 
+pub use queries::{generate_trace, ProbeMix, QueryKindMix, QueryTraceSpec};
 pub use spec::{DatasetSpec, Distribution, DEFAULT_UNIVERSE};
 
 use rand::rngs::StdRng;

@@ -1,0 +1,346 @@
+//! Query-trace generation for the serving subsystem (`tfm-serve`).
+//!
+//! The paper's motivation (§I–II) is neuroscience analyses issuing massive
+//! numbers of spatial probes against the built structures. This module
+//! turns that into a reproducible workload: a [`QueryTraceSpec`] describes
+//! a mix of window / point-enclosure / distance queries and a spatial
+//! distribution of probe centers, and [`generate_trace`] expands it into a
+//! deterministic `Vec<SpatialQuery>` — same spec, same trace, exactly like
+//! dataset generation.
+//!
+//! Three probe-center distributions:
+//!
+//! * **Uniform** — probes spread over the whole universe (worst case for
+//!   locality: consecutive probes land far apart);
+//! * **Clustered** — probes concentrate around a few analysis hot spots
+//!   (a scientist inspecting one region issues many nearby probes);
+//! * **NeuroCorrelated** — probe centers follow the surrogate axon band
+//!   (z skewed towards the top of the volume, like synapse-site probes
+//!   against the rat-brain model of §II-B).
+
+use crate::{normal, DEFAULT_UNIVERSE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tfm_geom::{Aabb, Point3, SpatialQuery};
+
+/// Spatial distribution of probe centers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ProbeMix {
+    /// Probe centers uniform over the universe.
+    Uniform,
+    /// Probe centers normally distributed around `clusters` hot spots.
+    Clustered {
+        /// Number of analysis hot spots.
+        clusters: usize,
+    },
+    /// Probe centers follow the neuroscience surrogate's axon band
+    /// (z ~ N(0.78·extent, 0.12·extent), x/y uniform — see
+    /// [`crate::neuro`]).
+    NeuroCorrelated,
+}
+
+/// Relative weights of the three query kinds in a trace.
+///
+/// Kinds are drawn per query with probability proportional to the weight;
+/// a zero weight removes the kind entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryKindMix {
+    /// Weight of window (range) queries.
+    pub window: u32,
+    /// Weight of point-enclosure queries.
+    pub point: u32,
+    /// Weight of distance (ε-ball) queries.
+    pub distance: u32,
+}
+
+impl Default for QueryKindMix {
+    /// The default mix leans on windows (the dominant analysis probe) with
+    /// point and distance probes mixed in.
+    fn default() -> Self {
+        Self {
+            window: 6,
+            point: 2,
+            distance: 2,
+        }
+    }
+}
+
+impl QueryKindMix {
+    /// Only window queries.
+    pub fn windows_only() -> Self {
+        Self {
+            window: 1,
+            point: 0,
+            distance: 0,
+        }
+    }
+}
+
+/// Full description of a query trace; generation is a pure function of
+/// this value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryTraceSpec {
+    /// Number of queries in the trace.
+    pub count: usize,
+    /// Spatial distribution of probe centers.
+    pub mix: ProbeMix,
+    /// Relative frequency of the query kinds.
+    pub kinds: QueryKindMix,
+    /// Universe probe centers are confined to.
+    pub universe: Aabb,
+    /// Window side lengths are drawn uniformly from `(0, max_window_side]`.
+    pub max_window_side: f64,
+    /// Distance-query radii are drawn uniformly from `(0, max_eps]`.
+    pub max_eps: f64,
+    /// RNG seed; same spec ⇒ same trace.
+    pub seed: u64,
+}
+
+impl Default for QueryTraceSpec {
+    fn default() -> Self {
+        Self {
+            count: 1000,
+            mix: ProbeMix::Uniform,
+            kinds: QueryKindMix::default(),
+            universe: DEFAULT_UNIVERSE,
+            max_window_side: 20.0,
+            max_eps: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+impl QueryTraceSpec {
+    /// Uniform probe trace of `count` queries with the given seed.
+    pub fn uniform(count: usize, seed: u64) -> Self {
+        Self {
+            count,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Trace of `count` queries with the given probe-center mix and seed.
+    pub fn with_mix(count: usize, mix: ProbeMix, seed: u64) -> Self {
+        Self {
+            count,
+            mix,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Expands `spec` into its query trace.
+pub fn generate_trace(spec: &QueryTraceSpec) -> Vec<SpatialQuery> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let u = &spec.universe;
+    let hot_spots: Vec<Point3> = match spec.mix {
+        ProbeMix::Clustered { clusters } => {
+            assert!(clusters > 0, "cluster count must be positive");
+            (0..clusters)
+                .map(|_| {
+                    let c = u.center();
+                    clamp(
+                        Point3::new(
+                            normal::sample(&mut rng, c.x, 0.22 * u.extent(0)),
+                            normal::sample(&mut rng, c.y, 0.22 * u.extent(1)),
+                            normal::sample(&mut rng, c.z, 0.22 * u.extent(2)),
+                        ),
+                        u,
+                    )
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    };
+    let total_weight = spec.kinds.window + spec.kinds.point + spec.kinds.distance;
+    assert!(
+        total_weight > 0,
+        "query kind mix must have a positive weight"
+    );
+
+    (0..spec.count)
+        .map(|i| {
+            let center = match spec.mix {
+                ProbeMix::Uniform => Point3::new(
+                    uniform(u.min.x, u.max.x, &mut rng),
+                    uniform(u.min.y, u.max.y, &mut rng),
+                    uniform(u.min.z, u.max.z, &mut rng),
+                ),
+                ProbeMix::Clustered { .. } => {
+                    let spot = hot_spots[i % hot_spots.len()];
+                    // Probes spread a few percent of the extent around
+                    // their hot spot — tight enough that batch-mates share
+                    // pages, wide enough that every node gets some traffic.
+                    let sigma = 0.03 * ((u.extent(0) + u.extent(1) + u.extent(2)) / 3.0);
+                    clamp(
+                        Point3::new(
+                            normal::sample(&mut rng, spot.x, sigma),
+                            normal::sample(&mut rng, spot.y, sigma),
+                            normal::sample(&mut rng, spot.z, sigma),
+                        ),
+                        u,
+                    )
+                }
+                ProbeMix::NeuroCorrelated => clamp(
+                    Point3::new(
+                        uniform(u.min.x, u.max.x, &mut rng),
+                        uniform(u.min.y, u.max.y, &mut rng),
+                        normal::sample(&mut rng, u.min.z + 0.78 * u.extent(2), 0.12 * u.extent(2)),
+                    ),
+                    u,
+                ),
+            };
+            let pick = rng.random_range(0..total_weight);
+            if pick < spec.kinds.window {
+                let hx = uniform(0.0, spec.max_window_side, &mut rng) / 2.0;
+                let hy = uniform(0.0, spec.max_window_side, &mut rng) / 2.0;
+                let hz = uniform(0.0, spec.max_window_side, &mut rng) / 2.0;
+                SpatialQuery::Window(Aabb::new(
+                    clamp(Point3::new(center.x - hx, center.y - hy, center.z - hz), u),
+                    clamp(Point3::new(center.x + hx, center.y + hy, center.z + hz), u),
+                ))
+            } else if pick < spec.kinds.window + spec.kinds.point {
+                SpatialQuery::Point(center)
+            } else {
+                SpatialQuery::Distance {
+                    center,
+                    eps: uniform(0.0, spec.max_eps, &mut rng).max(1e-9),
+                }
+            }
+        })
+        .collect()
+}
+
+fn uniform(lo: f64, hi: f64, rng: &mut StdRng) -> f64 {
+    if hi > lo {
+        rng.random_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+fn clamp(p: Point3, u: &Aabb) -> Point3 {
+    Point3::new(
+        p.x.clamp(u.min.x, u.max.x),
+        p.y.clamp(u.min.y, u.max.y),
+        p.z.clamp(u.min.z, u.max.z),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_sized() {
+        let spec = QueryTraceSpec::uniform(500, 9);
+        let a = generate_trace(&spec);
+        let b = generate_trace(&spec);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, b);
+        let mut other = spec.clone();
+        other.seed = 10;
+        assert_ne!(a, generate_trace(&other));
+    }
+
+    #[test]
+    fn probes_stay_in_universe() {
+        for mix in [
+            ProbeMix::Uniform,
+            ProbeMix::Clustered { clusters: 4 },
+            ProbeMix::NeuroCorrelated,
+        ] {
+            let trace = generate_trace(&QueryTraceSpec::with_mix(800, mix, 3));
+            for q in &trace {
+                let c = q.center();
+                assert!(
+                    DEFAULT_UNIVERSE.contains_point(&c),
+                    "{mix:?}: center {c:?} escapes"
+                );
+                if let SpatialQuery::Window(w) = q {
+                    assert!(DEFAULT_UNIVERSE.contains(w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kind_mix_is_respected() {
+        let spec = QueryTraceSpec {
+            kinds: QueryKindMix {
+                window: 1,
+                point: 1,
+                distance: 1,
+            },
+            count: 3000,
+            ..QueryTraceSpec::default()
+        };
+        let trace = generate_trace(&spec);
+        let windows = trace
+            .iter()
+            .filter(|q| matches!(q, SpatialQuery::Window(_)))
+            .count();
+        let points = trace
+            .iter()
+            .filter(|q| matches!(q, SpatialQuery::Point(_)))
+            .count();
+        let dists = trace
+            .iter()
+            .filter(|q| matches!(q, SpatialQuery::Distance { .. }))
+            .count();
+        assert_eq!(windows + points + dists, 3000);
+        for (label, n) in [("window", windows), ("point", points), ("distance", dists)] {
+            assert!(
+                (700..1300).contains(&n),
+                "{label} count {n} far from the 1/3 share"
+            );
+        }
+        let only = generate_trace(&QueryTraceSpec {
+            kinds: QueryKindMix::windows_only(),
+            count: 100,
+            ..QueryTraceSpec::default()
+        });
+        assert!(only.iter().all(|q| matches!(q, SpatialQuery::Window(_))));
+    }
+
+    #[test]
+    fn clustered_probes_concentrate() {
+        let clustered = generate_trace(&QueryTraceSpec::with_mix(
+            2000,
+            ProbeMix::Clustered { clusters: 3 },
+            7,
+        ));
+        let uniform = generate_trace(&QueryTraceSpec::uniform(2000, 7));
+        // Mean distance of consecutive same-cluster probes is far below the
+        // uniform trace's (probes cycle through clusters, so stride 3).
+        let spread = |qs: &[SpatialQuery], stride: usize| {
+            let mut total = 0.0;
+            let mut n = 0;
+            for w in qs.windows(stride + 1) {
+                total += w[0].center().distance(&w[stride].center());
+                n += 1;
+            }
+            total / n as f64
+        };
+        assert!(
+            spread(&clustered, 3) < spread(&uniform, 1) / 3.0,
+            "clustered {} vs uniform {}",
+            spread(&clustered, 3),
+            spread(&uniform, 1)
+        );
+    }
+
+    #[test]
+    fn neuro_probes_sit_high() {
+        let trace = generate_trace(&QueryTraceSpec::with_mix(
+            2000,
+            ProbeMix::NeuroCorrelated,
+            5,
+        ));
+        let mean_z = trace.iter().map(|q| q.center().z).sum::<f64>() / trace.len() as f64;
+        assert!(mean_z > 650.0, "axon-band probes should sit high: {mean_z}");
+    }
+}

@@ -6,6 +6,8 @@
 //! * [`Point3`] — a point in 3-D space,
 //! * [`Aabb`] — an axis-aligned minimum bounding box (the paper's "MBB"),
 //! * [`SpatialElement`] — an identified MBB, the unit of data being joined,
+//! * [`SpatialQuery`] — window / point-enclosure / distance probes, the
+//!   vocabulary of the query-serving subsystem (`tfm-serve`),
 //! * [`hilbert`] — a 3-D Hilbert space-filling curve used by TRANSFORMERS to
 //!   pick adaptive-walk start points (paper §V, "Adaptive Walk").
 //!
@@ -17,9 +19,11 @@
 mod aabb;
 pub mod hilbert;
 mod point;
+mod query;
 
 pub use aabb::Aabb;
 pub use point::Point3;
+pub use query::SpatialQuery;
 
 use serde::{Deserialize, Serialize};
 

@@ -27,7 +27,7 @@
 
 use tfm_geom::SpatialElement;
 use tfm_memjoin::{JoinStats, ResultPair};
-use tfm_storage::{BufferPool, Disk, ElementPageCodec, PageId};
+use tfm_storage::{Disk, ElementPageCodec, PageId};
 use transformers::{IndexBuildPipeline, TransformersIndex};
 
 /// Configuration of a GIPSY join.
@@ -135,8 +135,11 @@ pub fn gipsy_join(
     }
 
     let sparse_codec = ElementPageCodec::new(sparse_disk.page_size());
-    let mut dense_pool = BufferPool::new(dense_disk, cfg.pool_pages);
-    let dense_codec = ElementPageCodec::new(dense_disk.page_size());
+    // Per-join read handle over the dense side's element pages (its own
+    // buffer pool + codec) — the same split handle concurrent query
+    // serving hands to each worker.
+    let mut dense_reader = dense.unit_reader(dense_disk, cfg.pool_pages);
+    let mut dense_elems = Vec::new();
     let mut scratch = ExploreScratch::default();
 
     let nodes = dense.nodes();
@@ -185,7 +188,7 @@ pub fn gipsy_join(
                 .sort_unstable_by_key(|u| units[u.0 as usize].page);
 
             for cu in crawl.candidates {
-                let dense_elems = dense_codec.decode(dense_pool.read(units[cu.0 as usize].page));
+                dense_reader.read_into(cu, &mut dense_elems);
                 for d in &dense_elems {
                     stats.mem.element_tests += 1;
                     if e.mbb.intersects(&d.mbb) {

@@ -89,10 +89,23 @@ impl IndexBuildPipeline {
     where
         F: Fn(usize) -> Vec<u8> + Sync,
     {
+        self.encode_run(disk, count, move |_, i| encode(i))
+    }
+
+    /// [`encode_and_write`](Self::encode_and_write) for encoders that must
+    /// know the page run before producing bytes — e.g. the B+-tree's leaf
+    /// level, where each page stores a next-leaf pointer to its physical
+    /// successor. The run is allocated first and its first page id passed
+    /// to every `encode(first, i)` call; everything else (parallel encode,
+    /// sequential in-order writes, byte-determinism) is identical.
+    pub fn encode_run<F>(&self, disk: &Disk, count: usize, encode: F) -> PageId
+    where
+        F: Fn(PageId, usize) -> Vec<u8> + Sync,
+    {
         let first = disk.allocate_contiguous(count as u64);
         if self.pool.is_sequential() {
             for i in 0..count {
-                disk.write_page(PageId(first.0 + i as u64), &encode(i));
+                disk.write_page(PageId(first.0 + i as u64), &encode(first, i));
             }
             return first;
         }
@@ -104,7 +117,9 @@ impl IndexBuildPipeline {
         let mut start = 0;
         while start < count {
             let end = (start + batch).min(count);
-            let images = self.pool.map_range(end - start, |i| encode(start + i));
+            let images = self
+                .pool
+                .map_range(end - start, |i| encode(first, start + i));
             for (i, image) in images.iter().enumerate() {
                 disk.write_page(PageId(first.0 + (start + i) as u64), image);
             }

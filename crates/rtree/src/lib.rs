@@ -229,12 +229,40 @@ impl RTree {
         stats: &mut RtreeStats,
     ) -> Vec<ElementId> {
         let mut out = Vec::new();
+        self.range_query_visit(pool, query, stats, |e| out.push(e.id));
+        out
+    }
+
+    /// [`RTree::range_query`] returning the full elements instead of bare
+    /// ids, so callers with a finer predicate than box intersection (e.g.
+    /// the serving layer's ε-ball queries) can refine the candidates
+    /// without a second lookup.
+    pub fn range_query_elements(
+        &self,
+        pool: &mut BufferPool<'_>,
+        query: &Aabb,
+        stats: &mut RtreeStats,
+    ) -> Vec<SpatialElement> {
+        let mut out = Vec::new();
+        self.range_query_visit(pool, query, stats, |e| out.push(e));
+        out
+    }
+
+    /// Shared descent: calls `on_hit` for every element whose MBB
+    /// intersects `query`.
+    fn range_query_visit(
+        &self,
+        pool: &mut BufferPool<'_>,
+        query: &Aabb,
+        stats: &mut RtreeStats,
+        mut on_hit: impl FnMut(SpatialElement),
+    ) {
         if self.is_empty() {
-            return out;
+            return;
         }
         stats.node_tests += 1;
         if !self.root_mbb.intersects(query) {
-            return out;
+            return;
         }
         let mut stack = vec![(self.root, self.height)];
         while let Some((page, level)) = stack.pop() {
@@ -244,7 +272,7 @@ impl RTree {
                     for e in elems {
                         stats.mem.element_tests += 1;
                         if e.mbb.intersects(query) {
-                            out.push(e.id);
+                            on_hit(e);
                         }
                     }
                 }
@@ -258,7 +286,6 @@ impl RTree {
                 }
             }
         }
-        out
     }
 }
 

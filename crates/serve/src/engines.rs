@@ -1,0 +1,293 @@
+//! The [`QueryEngine`] trait and its three implementations.
+//!
+//! An engine wraps one *built, immutable* index structure and hands out
+//! per-worker [`QuerySession`]s. All mutable state a query needs — the
+//! buffer pool, exploration scratch, walk position — lives in the session,
+//! so any number of workers can serve queries against one shared engine
+//! with no synchronization beyond the (already thread-safe) simulated
+//! disk.
+//!
+//! * [`TransformersEngine`] — serves from the TRANSFORMERS hierarchy: the
+//!   in-memory descriptor tables prefilter nodes then units by page MBB,
+//!   and only the surviving unit pages are read. This is the structure the
+//!   paper builds for the join, reused as a query-serving index.
+//! * [`GipsyEngine`] — the GIPSY strategy fixed at element granularity:
+//!   each probe directs an adaptive walk to the probe's region (resuming
+//!   from the previous probe's position, which is what makes Hilbert
+//!   batching help it) and a crawl collects the candidate pages.
+//! * [`RtreeEngine`] — the R-tree baseline: a root-to-leaf range descent
+//!   per probe, paying the sibling-overlap reads the paper highlights.
+
+use tfm_geom::{ElementId, SpatialQuery};
+use tfm_rtree::{RTree, RtreeStats};
+use tfm_storage::{BufferPool, Disk, IoStatsSnapshot};
+use transformers::{explore, TransformersIndex, UnitReader};
+
+/// A built index structure that can serve spatial queries.
+///
+/// Engines are shared (`&self`) across workers; each worker obtains a
+/// private [`QuerySession`] carrying all per-worker mutable state.
+pub trait QueryEngine: Sync {
+    /// Approach-style label for reports ("TRANSFORMERS", "GIPSY", …).
+    fn label(&self) -> &'static str;
+
+    /// Point-in-time I/O counters of the engine's disk(s); the serve
+    /// driver charges the delta to the run.
+    fn io_snapshot(&self) -> IoStatsSnapshot;
+
+    /// Creates a per-worker session with a private buffer pool of
+    /// `pool_pages` pages.
+    fn session(&self, pool_pages: usize) -> Box<dyn QuerySession + '_>;
+}
+
+/// Per-worker query executor: owns the worker's buffer pool and scratch.
+pub trait QuerySession {
+    /// Executes one query, returning the matching element ids in
+    /// ascending order (deterministic regardless of worker count,
+    /// batching, or execution order).
+    fn execute(&mut self, query: &SpatialQuery) -> Vec<ElementId>;
+
+    /// `(hits, misses)` of this session's private buffer pool.
+    fn pool_counters(&self) -> (u64, u64);
+}
+
+/// Serves queries from a [`TransformersIndex`]'s hierarchy.
+pub struct TransformersEngine<'a> {
+    idx: &'a TransformersIndex,
+    disk: &'a Disk,
+}
+
+impl<'a> TransformersEngine<'a> {
+    /// Wraps a built index and its disk.
+    pub fn new(idx: &'a TransformersIndex, disk: &'a Disk) -> Self {
+        Self { idx, disk }
+    }
+}
+
+impl QueryEngine for TransformersEngine<'_> {
+    fn label(&self) -> &'static str {
+        "TRANSFORMERS"
+    }
+
+    fn io_snapshot(&self) -> IoStatsSnapshot {
+        self.disk.stats()
+    }
+
+    fn session(&self, pool_pages: usize) -> Box<dyn QuerySession + '_> {
+        Box::new(TransformersSession {
+            idx: self.idx,
+            reader: self.idx.unit_reader(self.disk, pool_pages),
+            buf: Vec::new(),
+        })
+    }
+}
+
+struct TransformersSession<'a> {
+    idx: &'a TransformersIndex,
+    reader: UnitReader<'a, 'a>,
+    buf: Vec<tfm_geom::SpatialElement>,
+}
+
+impl QuerySession for TransformersSession<'_> {
+    fn execute(&mut self, query: &SpatialQuery) -> Vec<ElementId> {
+        let probe = query.probe();
+        let mut out = Vec::new();
+        let units = self.idx.units();
+        // Node-level then unit-level prefilter on the tight page MBBs; a
+        // unit whose page MBB misses the probe box cannot hold a match.
+        // Units are numbered in page order, so the candidate pages are
+        // visited in ascending page order — a spatial sweep, not a seek
+        // storm.
+        for node in self.idx.nodes() {
+            if !node.page_mbb.intersects(&probe) {
+                continue;
+            }
+            for u in node.unit_range() {
+                if !units[u].page_mbb.intersects(&probe) {
+                    continue;
+                }
+                self.reader.read_into(units[u].id, &mut self.buf);
+                for e in &self.buf {
+                    if query.matches(&e.mbb) {
+                        out.push(e.id);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn pool_counters(&self) -> (u64, u64) {
+        (self.reader.hits(), self.reader.misses())
+    }
+}
+
+/// Serves queries GIPSY-style: per-probe directed walk + crawl at element
+/// granularity over a connectivity-indexed dataset.
+pub struct GipsyEngine<'a> {
+    idx: &'a TransformersIndex,
+    disk: &'a Disk,
+    walk_patience: usize,
+}
+
+impl<'a> GipsyEngine<'a> {
+    /// Wraps the (dense-side) connectivity index and its disk.
+    pub fn new(idx: &'a TransformersIndex, disk: &'a Disk) -> Self {
+        Self {
+            idx,
+            disk,
+            walk_patience: 64,
+        }
+    }
+}
+
+impl QueryEngine for GipsyEngine<'_> {
+    fn label(&self) -> &'static str {
+        "GIPSY"
+    }
+
+    fn io_snapshot(&self) -> IoStatsSnapshot {
+        self.disk.stats()
+    }
+
+    fn session(&self, pool_pages: usize) -> Box<dyn QuerySession + '_> {
+        Box::new(GipsySession {
+            idx: self.idx,
+            disk: self.disk,
+            reader: self.idx.unit_reader(self.disk, pool_pages),
+            scratch: explore::ExploreScratch::default(),
+            walk_pos: None,
+            walk_patience: self.walk_patience,
+            buf: Vec::new(),
+        })
+    }
+}
+
+struct GipsySession<'a> {
+    idx: &'a TransformersIndex,
+    disk: &'a Disk,
+    reader: UnitReader<'a, 'a>,
+    scratch: explore::ExploreScratch,
+    walk_pos: Option<transformers::NodeId>,
+    walk_patience: usize,
+    buf: Vec<tfm_geom::SpatialElement>,
+}
+
+impl QuerySession for GipsySession<'_> {
+    fn execute(&mut self, query: &SpatialQuery) -> Vec<ElementId> {
+        let probe = query.probe();
+        let mut out = Vec::new();
+        if self.idx.is_empty() {
+            return out;
+        }
+        let nodes = self.idx.nodes();
+        let units = self.idx.units();
+        let reach = self.idx.reach_eps();
+        if !self.idx.extent().inflate(reach).intersects(&probe) {
+            return out;
+        }
+        // Walk towards the probe, resuming from the previous probe's
+        // position (consecutive Hilbert-ordered probes are spatial
+        // neighbours, so the walk is short); a cold session asks the
+        // Hilbert B+-tree for a start descriptor.
+        let start = match self.walk_pos {
+            Some(n) => n,
+            None => self
+                .idx
+                .walk_start(self.disk, &probe.center())
+                .expect("non-empty index"),
+        };
+        let r = explore::adaptive_walk(
+            nodes,
+            reach,
+            &probe,
+            start,
+            self.walk_patience,
+            &mut self.scratch,
+        );
+        self.walk_pos = Some(r.found.unwrap_or(r.closest));
+        let mut md = 0u64;
+        let found = r
+            .found
+            .or_else(|| explore::scan_for_intersection(nodes, reach, &probe, &mut md));
+        let Some(nf) = found else { return out };
+
+        let mut crawl = explore::adaptive_crawl(nodes, units, reach, &probe, nf, &mut self.scratch);
+        // Elevator order: one probe's candidate pages are read in
+        // ascending page order.
+        crawl
+            .candidates
+            .sort_unstable_by_key(|u| units[u.0 as usize].page);
+        for cu in crawl.candidates {
+            self.reader.read_into(cu, &mut self.buf);
+            for e in &self.buf {
+                if query.matches(&e.mbb) {
+                    out.push(e.id);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn pool_counters(&self) -> (u64, u64) {
+        (self.reader.hits(), self.reader.misses())
+    }
+}
+
+/// Serves queries from an STR-bulk-loaded [`RTree`].
+pub struct RtreeEngine<'a> {
+    tree: &'a RTree,
+    disk: &'a Disk,
+}
+
+impl<'a> RtreeEngine<'a> {
+    /// Wraps a bulk-loaded tree and its disk.
+    pub fn new(tree: &'a RTree, disk: &'a Disk) -> Self {
+        Self { tree, disk }
+    }
+}
+
+impl QueryEngine for RtreeEngine<'_> {
+    fn label(&self) -> &'static str {
+        "R-TREE"
+    }
+
+    fn io_snapshot(&self) -> IoStatsSnapshot {
+        self.disk.stats()
+    }
+
+    fn session(&self, pool_pages: usize) -> Box<dyn QuerySession + '_> {
+        Box::new(RtreeSession {
+            tree: self.tree,
+            pool: BufferPool::new(self.disk, pool_pages.max(1)),
+            stats: RtreeStats::default(),
+        })
+    }
+}
+
+struct RtreeSession<'a> {
+    tree: &'a RTree,
+    pool: BufferPool<'a>,
+    stats: RtreeStats,
+}
+
+impl QuerySession for RtreeSession<'_> {
+    fn execute(&mut self, query: &SpatialQuery) -> Vec<ElementId> {
+        let probe = query.probe();
+        let mut out: Vec<ElementId> = self
+            .tree
+            .range_query_elements(&mut self.pool, &probe, &mut self.stats)
+            .into_iter()
+            .filter(|e| query.matches(&e.mbb))
+            .map(|e| e.id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn pool_counters(&self) -> (u64, u64) {
+        (self.pool.hits(), self.pool.misses())
+    }
+}

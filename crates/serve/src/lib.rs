@@ -1,0 +1,463 @@
+//! **tfm-serve** — concurrent spatial query serving over shared indexes.
+//!
+//! The reproduction can build every index in parallel and run the
+//! TRANSFORMERS join on an adaptive worker pool, but the paper's own
+//! motivation (§I–II) is neuroscience analyses issuing *massive numbers of
+//! spatial probes* against the built structures — a serving workload, not
+//! a one-shot batch join. This crate turns those probes into a
+//! first-class, measurable workload:
+//!
+//! * [`QueryEngine`] / [`QuerySession`] — one trait implemented by all
+//!   three disk-resident structures (TRANSFORMERS, GIPSY-style
+//!   element-granularity crawling, the R-tree baseline). Engines are
+//!   shared immutably across workers; sessions hold all per-worker
+//!   mutable state (a private [`tfm_storage::BufferPool`] via the core's
+//!   `UnitReader` split handle), so concurrent readers never contend.
+//! * [`RequestQueue`] — the bounded admission edge: blocking `push` is
+//!   backpressure, non-blocking `try_push` is load shedding.
+//! * **Locality-aware batching** — [`serve_trace`] splits the trace into
+//!   arrival-order batches and (by default) sorts each batch by the
+//!   Hilbert order of the queries' probe centers. Consecutive queries of
+//!   a sorted batch probe neighbouring regions, so their candidate pages
+//!   overlap or adjoin: page accesses that would be random seeks under
+//!   arrival order become buffer hits or sequential reads — directly
+//!   visible in the [`tfm_storage::IoStatsSnapshot`] sequential/random
+//!   split ([`ServeStats::seq_read_fraction`]). See `DESIGN.md` for why
+//!   this falls out of the disk model.
+//! * [`ServeStats`] — per-run aggregates: latency percentiles, pool
+//!   hits/misses, the I/O delta, per-worker query counts.
+//!
+//! # Determinism
+//!
+//! Batch composition depends only on the trace and the batch size (never
+//! on the worker count), each query's result is a pure function of the
+//! query and the index, and results are reassembled by query position —
+//! so the result vector is **byte-identical for any thread count and
+//! either batching mode**. The `serve_equivalence` integration test holds
+//! all engines to that against a sequential full-scan reference.
+//!
+//! # Example
+//!
+//! ```
+//! use tfm_datagen::{generate, generate_trace, DatasetSpec, QueryTraceSpec};
+//! use tfm_serve::{serve_trace, ServeConfig, TransformersEngine};
+//! use tfm_storage::Disk;
+//! use transformers::{IndexConfig, TransformersIndex};
+//!
+//! let disk = Disk::default_in_memory();
+//! let idx = TransformersIndex::build(&disk, generate(&DatasetSpec::uniform(2_000, 1)), &IndexConfig::default());
+//! let trace = generate_trace(&QueryTraceSpec::uniform(200, 2));
+//!
+//! let engine = TransformersEngine::new(&idx, &disk);
+//! let out = serve_trace(&engine, &trace, &ServeConfig::default().with_threads(2));
+//! assert_eq!(out.results.len(), trace.len());
+//! assert_eq!(out.stats.queries, 200);
+//! ```
+
+#![warn(missing_docs)]
+
+mod engines;
+mod queue;
+mod stats;
+
+pub use engines::{GipsyEngine, QueryEngine, QuerySession, RtreeEngine, TransformersEngine};
+pub use queue::RequestQueue;
+pub use stats::{LatencySummary, ServeStats};
+
+use std::sync::Mutex;
+use std::time::Instant;
+use tfm_geom::{hilbert, Aabb, ElementId, SpatialQuery};
+use tfm_pool::StagePool;
+
+/// Configuration of one serve run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads executing queries (`0` is clamped to 1).
+    pub threads: usize,
+    /// Queries per batch — the unit of queueing and of locality sorting
+    /// (`0` is clamped to 1).
+    pub batch: usize,
+    /// Sort each batch by the Hilbert order of probe centers before
+    /// execution (on by default; turn off for the arrival-order ablation).
+    pub hilbert_batching: bool,
+    /// Total buffer-pool budget in pages, split evenly across workers
+    /// (mirrors the parallel join's budget split, so the aggregate cache
+    /// matches a sequential run's instead of multiplying by the worker
+    /// count).
+    pub pool_pages: usize,
+    /// Bounded request-queue capacity in batches — the backpressure
+    /// window between the feeding thread and the workers.
+    pub queue_batches: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            batch: 64,
+            hilbert_batching: true,
+            pool_pages: tfm_storage::DEFAULT_POOL_PAGES,
+            queue_batches: 4,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builder: sets the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder: sets the batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Builder: disables Hilbert-ordered batching (arrival order).
+    pub fn without_hilbert_batching(mut self) -> Self {
+        self.hilbert_batching = false;
+        self
+    }
+}
+
+/// What a serve run returns: per-query results plus aggregate statistics.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// `results[i]` is the ascending id list answering `trace[i]`.
+    /// Identical for any thread count and batching mode.
+    pub results: Vec<Vec<ElementId>>,
+    /// Aggregate counters of the run.
+    pub stats: ServeStats,
+}
+
+/// Splits `trace` into arrival-order batches of `batch` queries and, when
+/// `hilbert_batching` is on, sorts each batch by the Hilbert index of the
+/// probe centers (over the trace's own center bounding box).
+///
+/// Batch *composition* is always arrival-order — only the order *within*
+/// a batch changes — so results cannot depend on the batching mode.
+fn plan_batches(trace: &[SpatialQuery], batch: usize, hilbert_batching: bool) -> Vec<Vec<usize>> {
+    let universe = Aabb::union_all(trace.iter().map(|q| Aabb::from_point(q.center())));
+    (0..trace.len())
+        .step_by(batch)
+        .map(|start| {
+            let mut ids: Vec<usize> = (start..(start + batch).min(trace.len())).collect();
+            if hilbert_batching {
+                // Tie-break on the query position so the plan is total.
+                ids.sort_by_key(|&i| (hilbert::index_of_point(&trace[i].center(), &universe), i));
+            }
+            ids
+        })
+        .collect()
+}
+
+/// What one worker hands back per executed query.
+type Executed = (usize, Vec<ElementId>, u64);
+
+/// One worker's complete contribution: executed queries plus its
+/// session's pool counters.
+struct WorkerOut {
+    done: Vec<Executed>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Replays `trace` against `engine` on `cfg.threads` workers and returns
+/// every query's result plus aggregate [`ServeStats`].
+///
+/// Queries are queued batch-wise through a bounded [`RequestQueue`]
+/// (worker 0 doubles as the feeder, then joins the drain), executed on
+/// per-worker [`QuerySession`]s, and reassembled by query position. The
+/// result vector is byte-identical for any `threads`/batching setting.
+pub fn serve_trace<E: QueryEngine + ?Sized>(
+    engine: &E,
+    trace: &[SpatialQuery],
+    cfg: &ServeConfig,
+) -> ServeOutcome {
+    let threads = cfg.threads.max(1);
+    let batch = cfg.batch.max(1);
+    let batches = plan_batches(trace, batch, cfg.hilbert_batching);
+    let n_batches = batches.len();
+    let max_batch = batches.iter().map(Vec::len).max().unwrap_or(0);
+    let pool_pages = (cfg.pool_pages / threads).max(1);
+
+    let io_before = engine.io_snapshot();
+    let start = Instant::now();
+
+    let worker_results: Vec<WorkerOut> = if threads == 1 {
+        // Inline fast path: no queue, no spawn — the exact sequential
+        // reference the equivalence tests compare against.
+        let mut session = engine.session(pool_pages);
+        let mut done: Vec<Executed> = Vec::with_capacity(trace.len());
+        for b in &batches {
+            for &qid in b {
+                done.push(execute_one(&mut *session, trace, qid));
+            }
+        }
+        let (hits, misses) = session.pool_counters();
+        vec![WorkerOut { done, hits, misses }]
+    } else {
+        let queue: RequestQueue<Vec<usize>> = RequestQueue::new(cfg.queue_batches.max(1));
+        let feed: Mutex<Option<Vec<Vec<usize>>>> = Mutex::new(Some(batches));
+        StagePool::new(threads).scoped_run(|w| {
+            let mut session = engine.session(pool_pages);
+            let mut done: Vec<Executed> = Vec::new();
+            if w == 0 {
+                // Worker 0 feeds the queue (blocking on the bounded
+                // capacity — backpressure), then drains like everyone
+                // else. Interleaving feeding with the other workers'
+                // draining keeps the backlog within `queue_batches`.
+                let batches = feed
+                    .lock()
+                    .expect("feed poisoned")
+                    .take()
+                    .expect("feeder ran twice");
+                for b in batches {
+                    queue.push(b);
+                }
+                queue.close();
+            }
+            while let Some(b) = queue.pop() {
+                for qid in b {
+                    done.push(execute_one(&mut *session, trace, qid));
+                }
+            }
+            let (hits, misses) = session.pool_counters();
+            WorkerOut { done, hits, misses }
+        })
+    };
+
+    let wall = start.elapsed();
+    let io = engine.io_snapshot().delta_since(&io_before);
+
+    // Deterministic reassembly by query position.
+    let mut results: Vec<Vec<ElementId>> = vec![Vec::new(); trace.len()];
+    let mut latencies: Vec<u64> = Vec::with_capacity(trace.len());
+    let mut result_ids = 0u64;
+    let mut pool_hits = 0u64;
+    let mut pool_misses = 0u64;
+    let mut per_worker_queries = Vec::with_capacity(worker_results.len());
+    for worker in worker_results {
+        pool_hits += worker.hits;
+        pool_misses += worker.misses;
+        per_worker_queries.push(worker.done.len() as u64);
+        for (qid, ids, nanos) in worker.done {
+            result_ids += ids.len() as u64;
+            latencies.push(nanos);
+            results[qid] = ids;
+        }
+    }
+
+    let stats = ServeStats {
+        queries: trace.len() as u64,
+        result_ids,
+        batches: n_batches as u64,
+        max_batch,
+        threads,
+        hilbert_batching: cfg.hilbert_batching,
+        wall,
+        latency: LatencySummary::from_samples(latencies),
+        pool_hits,
+        pool_misses,
+        io,
+        per_worker_queries,
+    };
+    ServeOutcome { results, stats }
+}
+
+fn execute_one(session: &mut dyn QuerySession, trace: &[SpatialQuery], qid: usize) -> Executed {
+    let t = Instant::now();
+    let ids = session.execute(&trace[qid]);
+    (qid, ids, t.elapsed().as_nanos() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfm_datagen::{generate, generate_trace, DatasetSpec, ProbeMix, QueryTraceSpec};
+    use tfm_storage::Disk;
+    use transformers::{IndexConfig, TransformersIndex};
+
+    fn fixture(
+        count: usize,
+        seed: u64,
+    ) -> (Disk, TransformersIndex, Vec<tfm_geom::SpatialElement>) {
+        let disk = Disk::in_memory(2048);
+        let elems = generate(&DatasetSpec {
+            max_side: 6.0,
+            ..DatasetSpec::uniform(count, seed)
+        });
+        let idx = TransformersIndex::build(&disk, elems.clone(), &IndexConfig::default());
+        (disk, idx, elems)
+    }
+
+    /// The oracle: a full scan per query.
+    fn reference(
+        elems: &[tfm_geom::SpatialElement],
+        trace: &[SpatialQuery],
+    ) -> Vec<Vec<ElementId>> {
+        trace
+            .iter()
+            .map(|q| {
+                let mut ids: Vec<ElementId> = elems
+                    .iter()
+                    .filter(|e| q.matches(&e.mbb))
+                    .map(|e| e.id)
+                    .collect();
+                ids.sort_unstable();
+                ids
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batches_partition_the_trace_in_arrival_chunks() {
+        let trace = generate_trace(&QueryTraceSpec::uniform(250, 1));
+        for hilbert in [false, true] {
+            let batches = plan_batches(&trace, 64, hilbert);
+            assert_eq!(batches.len(), 4);
+            assert_eq!(batches[3].len(), 250 - 3 * 64);
+            // Composition is arrival-order regardless of the sort.
+            for (i, b) in batches.iter().enumerate() {
+                let mut sorted = b.clone();
+                sorted.sort_unstable();
+                let expected: Vec<usize> = (i * 64..(i * 64 + b.len())).collect();
+                assert_eq!(sorted, expected, "hilbert = {hilbert}");
+            }
+        }
+        // The Hilbert plan actually reorders something.
+        let arrival = plan_batches(&trace, 64, false);
+        let hilberted = plan_batches(&trace, 64, true);
+        assert_ne!(arrival, hilberted);
+    }
+
+    #[test]
+    fn transformers_engine_answers_every_query_kind() {
+        let (disk, idx, elems) = fixture(4000, 10);
+        let trace = generate_trace(&QueryTraceSpec::uniform(300, 11));
+        let engine = TransformersEngine::new(&idx, &disk);
+        let out = serve_trace(&engine, &trace, &ServeConfig::default());
+        assert_eq!(out.results, reference(&elems, &trace));
+        assert_eq!(out.stats.queries, 300);
+        assert_eq!(out.stats.per_worker_queries, vec![300]);
+        assert!(out.stats.pool_misses > 0);
+        assert!(out.stats.io.reads() > 0);
+        assert_eq!(engine.label(), "TRANSFORMERS");
+    }
+
+    #[test]
+    fn all_engines_agree_with_the_reference() {
+        let (disk, idx, elems) = fixture(3000, 12);
+        let rtree_disk = Disk::in_memory(2048);
+        let tree = tfm_rtree::RTree::bulk_load(&rtree_disk, elems.clone());
+        let trace = generate_trace(&QueryTraceSpec::with_mix(
+            200,
+            ProbeMix::Clustered { clusters: 4 },
+            13,
+        ));
+        let expected = reference(&elems, &trace);
+        let engines: Vec<Box<dyn QueryEngine>> = vec![
+            Box::new(TransformersEngine::new(&idx, &disk)),
+            Box::new(GipsyEngine::new(&idx, &disk)),
+            Box::new(RtreeEngine::new(&tree, &rtree_disk)),
+        ];
+        for engine in &engines {
+            let out = serve_trace(engine.as_ref(), &trace, &ServeConfig::default());
+            assert_eq!(out.results, expected, "{}", engine.label());
+        }
+    }
+
+    #[test]
+    fn results_identical_across_threads_and_batching() {
+        let (disk, idx, elems) = fixture(2500, 14);
+        let trace = generate_trace(&QueryTraceSpec::uniform(240, 15));
+        let expected = reference(&elems, &trace);
+        let engine = TransformersEngine::new(&idx, &disk);
+        for threads in [1, 2, 4] {
+            for hilbert in [false, true] {
+                let cfg = ServeConfig {
+                    threads,
+                    hilbert_batching: hilbert,
+                    batch: 32,
+                    queue_batches: 2,
+                    ..ServeConfig::default()
+                };
+                let out = serve_trace(&engine, &trace, &cfg);
+                assert_eq!(
+                    out.results, expected,
+                    "threads = {threads}, hilbert = {hilbert}"
+                );
+                assert_eq!(out.stats.per_worker_queries.iter().sum::<u64>(), 240);
+                assert_eq!(out.stats.threads, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_batching_raises_the_sequential_read_fraction() {
+        // A large uniform trace over a sizeable index, one worker, one
+        // big batch: arrival order hops randomly, Hilbert order sweeps.
+        let (disk, idx, _) = fixture(30_000, 16);
+        let trace = generate_trace(&QueryTraceSpec {
+            count: 1500,
+            max_window_side: 12.0,
+            ..QueryTraceSpec::uniform(1500, 17)
+        });
+        let engine = TransformersEngine::new(&idx, &disk);
+        let base = ServeConfig {
+            batch: 1500,
+            pool_pages: 64,
+            ..ServeConfig::default()
+        };
+        let unbatched = serve_trace(&engine, &trace, &base.without_hilbert_batching());
+        let batched = serve_trace(&engine, &trace, &base);
+        assert_eq!(unbatched.results, batched.results);
+        assert!(
+            batched.stats.seq_read_fraction() > unbatched.stats.seq_read_fraction(),
+            "hilbert {:.3} must beat arrival {:.3}",
+            batched.stats.seq_read_fraction(),
+            unbatched.stats.seq_read_fraction()
+        );
+    }
+
+    #[test]
+    fn empty_trace_and_empty_index() {
+        let (disk, idx, _) = fixture(500, 18);
+        let engine = TransformersEngine::new(&idx, &disk);
+        let out = serve_trace(&engine, &[], &ServeConfig::default().with_threads(4));
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats.queries, 0);
+
+        let empty_disk = Disk::in_memory(2048);
+        let empty = TransformersIndex::build(&empty_disk, vec![], &IndexConfig::default());
+        let trace = generate_trace(&QueryTraceSpec::uniform(50, 19));
+        for engine in [
+            Box::new(TransformersEngine::new(&empty, &empty_disk)) as Box<dyn QueryEngine>,
+            Box::new(GipsyEngine::new(&empty, &empty_disk)),
+        ] {
+            let out = serve_trace(engine.as_ref(), &trace, &ServeConfig::default());
+            assert!(out.results.iter().all(Vec::is_empty), "{}", engine.label());
+        }
+    }
+
+    #[test]
+    fn config_clamps_degenerate_values() {
+        let (disk, idx, elems) = fixture(800, 20);
+        let trace = generate_trace(&QueryTraceSpec::uniform(30, 21));
+        let engine = TransformersEngine::new(&idx, &disk);
+        let cfg = ServeConfig {
+            threads: 0,
+            batch: 0,
+            queue_batches: 0,
+            pool_pages: 0,
+            ..ServeConfig::default()
+        };
+        let out = serve_trace(&engine, &trace, &cfg);
+        assert_eq!(out.results, reference(&elems, &trace));
+        assert_eq!(out.stats.threads, 1);
+        assert_eq!(out.stats.max_batch, 1);
+        assert_eq!(out.stats.batches, 30);
+    }
+}

@@ -1,0 +1,146 @@
+//! Serving statistics: per-query latencies and aggregate counters.
+
+use std::time::Duration;
+use tfm_storage::IoStatsSnapshot;
+
+/// Latency percentiles over one serve run, in nanoseconds.
+///
+/// Percentiles use the nearest-rank method over the collected per-query
+/// samples; an empty sample set reports all zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Arithmetic mean.
+    pub mean_nanos: u64,
+    /// Median (50th percentile).
+    pub p50_nanos: u64,
+    /// 95th percentile.
+    pub p95_nanos: u64,
+    /// 99th percentile.
+    pub p99_nanos: u64,
+    /// Slowest query.
+    pub max_nanos: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of per-query latency samples (consumed; sorted
+    /// internally).
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let rank = |p: f64| {
+            // Nearest-rank: ceil(p * n) clamped into the sample range.
+            let r = (p * samples.len() as f64).ceil() as usize;
+            samples[r.clamp(1, samples.len()) - 1]
+        };
+        Self {
+            mean_nanos: (samples.iter().sum::<u64>() / samples.len() as u64),
+            p50_nanos: rank(0.50),
+            p95_nanos: rank(0.95),
+            p99_nanos: rank(0.99),
+            max_nanos: *samples.last().expect("non-empty"),
+        }
+    }
+
+    /// Median as a [`Duration`].
+    pub fn p50(&self) -> Duration {
+        Duration::from_nanos(self.p50_nanos)
+    }
+
+    /// 95th percentile as a [`Duration`].
+    pub fn p95(&self) -> Duration {
+        Duration::from_nanos(self.p95_nanos)
+    }
+
+    /// 99th percentile as a [`Duration`].
+    pub fn p99(&self) -> Duration {
+        Duration::from_nanos(self.p99_nanos)
+    }
+}
+
+/// Aggregate counters of one [`crate::serve_trace`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Queries executed.
+    pub queries: u64,
+    /// Result ids returned, summed over all queries.
+    pub result_ids: u64,
+    /// Batches the trace was split into.
+    pub batches: u64,
+    /// Largest batch (the configured batch size unless the trace is
+    /// shorter).
+    pub max_batch: usize,
+    /// Workers that served the trace.
+    pub threads: usize,
+    /// Whether batches were Hilbert-ordered before execution.
+    pub hilbert_batching: bool,
+    /// Wall-clock time of the serve run (queueing + execution).
+    pub wall: Duration,
+    /// Per-query latency percentiles.
+    pub latency: LatencySummary,
+    /// Buffer-pool hits summed over all worker sessions.
+    pub pool_hits: u64,
+    /// Buffer-pool misses (disk page reads) summed over all sessions.
+    pub pool_misses: u64,
+    /// Engine-disk I/O delta during the run (the sequential/random read
+    /// split Hilbert batching is visible in).
+    pub io: IoStatsSnapshot,
+    /// Queries served by each worker — the skew shows how evenly the
+    /// batch queue spread the load.
+    pub per_worker_queries: Vec<u64>,
+}
+
+impl ServeStats {
+    /// Queries per wall-clock second.
+    pub fn throughput_qps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.queries as f64 / secs
+    }
+
+    /// Fraction of page reads that were sequential — the locality win of
+    /// Hilbert-ordered batching.
+    pub fn seq_read_fraction(&self) -> f64 {
+        self.io.seq_read_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_are_all_zero() {
+        assert_eq!(
+            LatencySummary::from_samples(vec![]),
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let s = LatencySummary::from_samples((1..=100).collect());
+        assert_eq!(s.p50_nanos, 50);
+        assert_eq!(s.p95_nanos, 95);
+        assert_eq!(s.p99_nanos, 99);
+        assert_eq!(s.max_nanos, 100);
+        assert_eq!(s.mean_nanos, 50); // 5050 / 100
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = LatencySummary::from_samples(vec![42]);
+        assert_eq!(s.p50_nanos, 42);
+        assert_eq!(s.p99_nanos, 42);
+        assert_eq!(s.max_nanos, 42);
+    }
+
+    #[test]
+    fn throughput_handles_zero_wall() {
+        let stats = ServeStats::default();
+        assert_eq!(stats.throughput_qps(), 0.0);
+    }
+}

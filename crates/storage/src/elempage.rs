@@ -72,6 +72,14 @@ impl ElementPageCodec {
     /// # Panics
     /// Panics if the page is shorter than its declared payload.
     pub fn decode(&self, page: &[u8]) -> Vec<SpatialElement> {
+        let mut out = Vec::new();
+        self.decode_into(page, &mut out);
+        out
+    }
+
+    /// Decodes a page directly into `out` (reusing its capacity — no
+    /// intermediate allocation, unlike `decode`).
+    pub fn decode_into(&self, page: &[u8], out: &mut Vec<SpatialElement>) {
         let mut buf = page;
         let count = buf.get_u16_le() as usize;
         assert!(
@@ -79,20 +87,14 @@ impl ElementPageCodec {
             "corrupt element page: count {count} does not fit {} bytes",
             page.len()
         );
-        let mut out = Vec::with_capacity(count);
+        out.clear();
+        out.reserve(count);
         for _ in 0..count {
             let id = buf.get_u64_le();
             let min = Point3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
             let max = Point3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le());
             out.push(SpatialElement::new(id, Aabb::new(min, max)));
         }
-        out
-    }
-
-    /// Decodes a page directly into `out` (reusing its capacity).
-    pub fn decode_into(&self, page: &[u8], out: &mut Vec<SpatialElement>) {
-        out.clear();
-        out.extend(self.decode(page));
     }
 }
 

@@ -92,6 +92,18 @@ impl IoStatsSnapshot {
         self.seq_writes + self.rand_writes
     }
 
+    /// Fraction of reads classified sequential, in `0.0..=1.0` (0 when no
+    /// reads happened). Locality optimizations — the index build's
+    /// contiguous layouts, the serving layer's Hilbert-ordered batching —
+    /// show up directly in this number.
+    pub fn seq_read_fraction(&self) -> f64 {
+        let total = self.reads();
+        if total == 0 {
+            return 0.0;
+        }
+        self.seq_reads as f64 / total as f64
+    }
+
     /// Total simulated device time (read + write).
     pub fn sim_io_time(&self) -> Duration {
         Duration::from_nanos(self.sim_read_nanos + self.sim_write_nanos)
@@ -146,6 +158,8 @@ mod tests {
         assert_eq!(snap.seq_reads, 1);
         assert_eq!(snap.rand_reads, 1);
         assert_eq!(snap.reads(), 2);
+        assert_eq!(snap.seq_read_fraction(), 0.5);
+        assert_eq!(IoStatsSnapshot::default().seq_read_fraction(), 0.0);
         assert_eq!(snap.writes(), 1);
         assert_eq!(snap.sim_read_time(), Duration::from_micros(6600));
         assert_eq!(snap.sim_write_time(), Duration::from_micros(6550));

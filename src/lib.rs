@@ -7,6 +7,9 @@
 //!   contribution): indexing, adaptive exploration, transformations;
 //! * [`exec`] — the parallel execution subsystem (`parallel_join`):
 //!   pivot scheduling, work stealing, scoped worker pool;
+//! * [`serve`] — the concurrent query-serving subsystem: window /
+//!   point-enclosure / distance probes against shared indexes, with
+//!   admission control and locality-aware (Hilbert-ordered) batching;
 //! * [`baselines`] — PBSM, synchronized R-Tree, GIPSY;
 //! * [`geom`], [`storage`], [`datagen`], [`memjoin`], [`partition`],
 //!   [`bptree`] — the substrates everything is built on.
@@ -35,6 +38,7 @@ pub use tfm_geom as geom;
 pub use tfm_memjoin as memjoin;
 pub use tfm_partition as partition;
 pub use tfm_pool as pool;
+pub use tfm_serve as serve;
 pub use tfm_storage as storage;
 pub use transformers;
 
@@ -50,10 +54,16 @@ pub mod baselines {
 
 /// Common imports for examples and quick experiments.
 pub mod prelude {
-    pub use tfm_datagen::{generate, neuro, DatasetSpec, Distribution};
+    pub use tfm_datagen::{
+        generate, generate_trace, neuro, DatasetSpec, Distribution, ProbeMix, QueryTraceSpec,
+    };
     pub use tfm_exec::{parallel_join, parallel_join_with_report, ExecReport};
-    pub use tfm_geom::{Aabb, Point3, SpatialElement};
+    pub use tfm_geom::{Aabb, Point3, SpatialElement, SpatialQuery};
     pub use tfm_memjoin::{canonicalize, JoinStats, ResultPair};
+    pub use tfm_serve::{
+        serve_trace, GipsyEngine, QueryEngine, RtreeEngine, ServeConfig, ServeStats,
+        TransformersEngine,
+    };
     pub use tfm_storage::{BufferPool, Disk, DiskModel};
     pub use transformers::{
         transformers_join, GuidePick, IndexBuildPipeline, IndexConfig, JoinConfig, ThresholdPolicy,
