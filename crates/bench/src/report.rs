@@ -103,6 +103,7 @@ mod tests {
             join_wall: Duration::from_millis(1),
             join_sim_io: Duration::from_millis(2),
             pages_read: 7,
+            pool_hits: 0,
             rand_reads: 3,
             seq_reads: 4,
             tests: 99,

@@ -12,7 +12,7 @@ use tfm_gipsy::{gipsy_join, GipsyConfig, GipsyStats, SparseFile};
 use tfm_memjoin::ResultPair;
 use tfm_pbsm::{pbsm_join, pbsm_partition, PbsmConfig, PbsmStats};
 use tfm_rtree::{sync_join, RTree, RtreeStats};
-use tfm_storage::{BufferPool, Disk, IoStatsSnapshot};
+use tfm_storage::{BufferPool, CacheHandle, Disk, IoStatsSnapshot, SharedPageCache};
 use transformers::{
     transformers_join, IndexBuildPipeline, IndexConfig, JoinConfig, ThresholdPolicy,
     TransformersIndex,
@@ -92,6 +92,9 @@ impl Approach {
                 if !cfg.cross_worker_pruning {
                     label.push_str("-noPrune");
                 }
+                if !cfg.shared_cache {
+                    label.push_str("-privPool");
+                }
                 label
             }
             Approach::Pbsm => "PBSM".into(),
@@ -119,6 +122,11 @@ pub struct RunConfig {
     /// approaches (TRANSFORMERS, GIPSY's two sides, the R-Tree). Builds
     /// are byte-identical at any setting; only `index_wall` changes.
     pub build_threads: usize,
+    /// Read join-phase pages through the process-wide shared page cache
+    /// (the default read path). `false` is the `--private-pool` ablation:
+    /// every reader owns a private pool again. Results are identical
+    /// either way.
+    pub shared_cache: bool,
 }
 
 impl Default for RunConfig {
@@ -128,6 +136,7 @@ impl Default for RunConfig {
             pbsm_partitions: 10,
             pool_pages: 1024,
             build_threads: 1,
+            shared_cache: true,
         }
     }
 }
@@ -153,6 +162,9 @@ pub struct Metrics {
     pub join_sim_io: Duration,
     /// Pages read from disk during the join.
     pub pages_read: u64,
+    /// Page-cache hits during the join (TRANSFORMERS paths only; the
+    /// other baselines keep their private pools out of `Metrics`).
+    pub pool_hits: u64,
     /// Random reads during the join.
     pub rand_reads: u64,
     /// Sequential reads during the join.
@@ -199,6 +211,7 @@ impl Metrics {
             join_wall: Duration::ZERO,
             join_sim_io: Duration::ZERO,
             pages_read: 0,
+            pool_hits: 0,
             rand_reads: 0,
             seq_reads: 0,
             tests: 0,
@@ -451,8 +464,15 @@ fn run_transformers_with(
     disk_b.reset_stats();
     let join_cfg = JoinConfig {
         pool_pages: cfg.pool_pages,
+        // Either switch can select the private-pool ablation.
+        shared_cache: join_cfg.shared_cache && cfg.shared_cache,
         ..*join_cfg
     };
+    // Label the row with the *effective* cache mode (the Approach label
+    // cannot see RunConfig, and the sequential label has no mode suffix).
+    if !join_cfg.shared_cache && !m.approach.contains("-privPool") {
+        m.approach.push_str("-privPool");
+    }
     let t = Instant::now();
     let out = join(&idx_a, &disk_a, &idx_b, &disk_b, &join_cfg);
     m.join_wall = t.elapsed();
@@ -465,6 +485,7 @@ fn run_transformers_with(
     m.results = out.stats.unique_results;
     m.transformations = out.stats.transformations();
     m.overhead_wall = out.stats.exploration_overhead;
+    m.pool_hits = out.stats.pool_hits;
     (m.clone(), out.pairs)
 }
 
@@ -532,11 +553,22 @@ fn run_rtree(
 
     disk_a.reset_stats();
     disk_b.reset_stats();
-    let mut pool_a = BufferPool::new(&disk_a, cfg.pool_pages);
-    let mut pool_b = BufferPool::new(&disk_b, cfg.pool_pages);
     let mut stats = RtreeStats::default();
     let t = Instant::now();
-    let pairs = sync_join(&mut pool_a, &tree_a, &mut pool_b, &tree_b, &mut stats);
+    // The synchronized traversal reads node pages through the shared
+    // cache by default (pin guards, recycled frames); `--private-pool`
+    // restores the classic per-tree pools.
+    let pairs = if cfg.shared_cache {
+        let cache_a = SharedPageCache::with_shards(&disk_a, cfg.pool_pages, 1);
+        let cache_b = SharedPageCache::with_shards(&disk_b, cfg.pool_pages, 1);
+        let mut handle_a = CacheHandle::shared(&cache_a);
+        let mut handle_b = CacheHandle::shared(&cache_b);
+        sync_join(&mut handle_a, &tree_a, &mut handle_b, &tree_b, &mut stats)
+    } else {
+        let mut pool_a = BufferPool::new(&disk_a, cfg.pool_pages);
+        let mut pool_b = BufferPool::new(&disk_b, cfg.pool_pages);
+        sync_join(&mut pool_a, &tree_a, &mut pool_b, &tree_b, &mut stats)
+    };
     m.join_wall = t.elapsed();
     let io = merged(&disk_a, &disk_b);
     m.join_sim_io = io.sim_io_time();
@@ -575,6 +607,7 @@ fn run_gipsy(
     dense_disk.reset_stats();
     let gipsy_cfg = GipsyConfig {
         pool_pages: cfg.pool_pages,
+        shared_cache: cfg.shared_cache,
         ..GipsyConfig::default()
     };
     let mut stats = GipsyStats::default();

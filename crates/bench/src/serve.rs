@@ -8,7 +8,7 @@ use tfm_geom::{ElementId, SpatialElement, SpatialQuery};
 use tfm_serve::{
     serve_trace, GipsyEngine, QueryEngine, RtreeEngine, ServeConfig, ServeStats, TransformersEngine,
 };
-use tfm_storage::Disk;
+use tfm_storage::{Disk, SharedPageCache};
 use transformers::{IndexBuildPipeline, IndexConfig, TransformersIndex};
 
 /// Which structure serves the trace (Approach-style labels for tables).
@@ -78,8 +78,21 @@ pub struct ServeMetrics {
     pub seq_reads: u64,
     /// Random page reads.
     pub rand_reads: u64,
-    /// Buffer-pool hits over all worker sessions.
+    /// Page-cache hits over all worker sessions.
     pub pool_hits: u64,
+    /// Page-cache misses over all worker sessions.
+    pub pool_misses: u64,
+    /// Whether the run served through the shared page cache (`false` =
+    /// private-pool ablation).
+    pub shared_cache: bool,
+    /// Decoded-tier hits of the shared cache (0 for private pools).
+    pub decoded_hits: u64,
+    /// Decoded-tier misses of the shared cache (0 for private pools).
+    pub decoded_misses: u64,
+    /// Shard-lock acquisitions of the shared cache.
+    pub lock_acquisitions: u64,
+    /// Contended shard-lock acquisitions of the shared cache.
+    pub lock_contended: u64,
     /// Result ids returned, summed over the trace.
     pub result_ids: u64,
 }
@@ -92,6 +105,15 @@ impl ServeMetrics {
             return 0.0;
         }
         self.seq_reads as f64 / total as f64
+    }
+
+    /// Page-cache hit fraction over all worker sessions.
+    pub fn pool_hit_fraction(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.pool_hits as f64 / total as f64
     }
 
     fn from_stats(
@@ -119,6 +141,12 @@ impl ServeMetrics {
             seq_reads: stats.io.seq_reads,
             rand_reads: stats.io.rand_reads,
             pool_hits: stats.pool_hits,
+            pool_misses: stats.pool_misses,
+            shared_cache: stats.cache.is_some(),
+            decoded_hits: stats.cache.map_or(0, |c| c.decoded_hits),
+            decoded_misses: stats.cache.map_or(0, |c| c.decoded_misses),
+            lock_acquisitions: stats.cache.map_or(0, |c| c.lock_acquisitions),
+            lock_contended: stats.cache.map_or(0, |c| c.lock_contended),
             result_ids: stats.result_ids,
         }
     }
@@ -126,27 +154,46 @@ impl ServeMetrics {
 
 /// Builds the `kind` structure over `elements` on a fresh in-memory disk
 /// and hands the serving engine (plus the disk, for stats resets) to `f`.
+///
+/// `serve_cfg` decides the engine's cache mode: shared engines get one
+/// process-wide cache of `serve_cfg.pool_pages` pages, sharded for
+/// `serve_cfg.threads`; otherwise sessions own private pools.
 fn with_engine<R>(
     kind: ServeEngineKind,
     elements: &[SpatialElement],
     run_cfg: &RunConfig,
+    serve_cfg: &ServeConfig,
     f: impl FnOnce(&dyn QueryEngine, &Disk) -> R,
 ) -> R {
     let disk = Disk::in_memory(run_cfg.page_size);
     let idx_cfg = IndexConfig::default().with_build_threads(run_cfg.build_threads);
+    let shards = SharedPageCache::shards_for_threads(serve_cfg.threads);
+    let cache_pages = serve_cfg.pool_pages.max(1);
     match kind {
         ServeEngineKind::Transformers => {
             let idx = TransformersIndex::build(&disk, elements.to_vec(), &idx_cfg);
-            f(&TransformersEngine::new(&idx, &disk), &disk)
+            let mut engine = TransformersEngine::new(&idx, &disk);
+            if serve_cfg.shared_cache {
+                engine = engine.with_shared_cache(cache_pages, shards);
+            }
+            f(&engine, &disk)
         }
         ServeEngineKind::Gipsy => {
             let idx = TransformersIndex::build(&disk, elements.to_vec(), &idx_cfg);
-            f(&GipsyEngine::new(&idx, &disk), &disk)
+            let mut engine = GipsyEngine::new(&idx, &disk);
+            if serve_cfg.shared_cache {
+                engine = engine.with_shared_cache(cache_pages, shards);
+            }
+            f(&engine, &disk)
         }
         ServeEngineKind::Rtree => {
             let pipeline = IndexBuildPipeline::new(run_cfg.build_threads);
             let tree = tfm_rtree::RTree::bulk_load_pipelined(&disk, elements.to_vec(), &pipeline);
-            f(&RtreeEngine::new(&tree, &disk), &disk)
+            let mut engine = RtreeEngine::new(&tree, &disk);
+            if serve_cfg.shared_cache {
+                engine = engine.with_shared_cache(cache_pages, shards);
+            }
+            f(&engine, &disk)
         }
     }
 }
@@ -163,7 +210,7 @@ pub fn run_serve(
     run_cfg: &RunConfig,
     serve_cfg: &ServeConfig,
 ) -> (ServeMetrics, Vec<Vec<ElementId>>) {
-    with_engine(kind, elements, run_cfg, |engine, disk| {
+    with_engine(kind, elements, run_cfg, serve_cfg, |engine, disk| {
         disk.reset_stats();
         let outcome = serve_trace(engine, trace, serve_cfg);
         let metrics =
@@ -184,20 +231,38 @@ pub struct ServeJob<'a> {
 }
 
 /// [`run_serve`] over several jobs sharing one index build: the `kind`
-/// structure is built **once** and every job replays against it (stats
-/// reset between jobs, so each row's I/O classification starts cold).
-/// Use this for config sweeps — rebuilding a large index per
+/// structure is built **once** and every job replays against it (disk
+/// stats and the shared cache reset between jobs, so each row starts
+/// cold). Use this for config sweeps — rebuilding a large index per
 /// (threads, batching) combination would dominate the run.
+///
+/// The engine's cache mode (and the cache size / shard count) is taken
+/// from the **first** job's config; jobs in one sweep share one engine,
+/// so they must agree on the mode.
 pub fn run_serve_sweep(
     kind: ServeEngineKind,
     elements: &[SpatialElement],
     run_cfg: &RunConfig,
     jobs: &[ServeJob<'_>],
 ) -> Vec<ServeMetrics> {
-    with_engine(kind, elements, run_cfg, |engine, disk| {
+    // The engine (and its shared cache) is built once for the whole
+    // sweep: take the first job's config but size the cache's sharding
+    // for the *largest* worker count any job will run with, so
+    // multi-thread rows are not measured against a cache striped for one
+    // reader.
+    let mut engine_cfg = jobs.first().map(|j| j.config).unwrap_or_default();
+    engine_cfg.threads = jobs.iter().map(|j| j.config.threads).max().unwrap_or(1);
+    debug_assert!(
+        jobs.iter()
+            .all(|j| j.config.shared_cache == engine_cfg.shared_cache
+                && j.config.pool_pages == engine_cfg.pool_pages),
+        "jobs of one sweep share an engine and must agree on cache mode and budget"
+    );
+    with_engine(kind, elements, run_cfg, &engine_cfg, |engine, disk| {
         jobs.iter()
             .map(|job| {
                 disk.reset_stats();
+                engine.reset_cache();
                 let outcome = serve_trace(engine, job.trace, &job.config);
                 ServeMetrics::from_stats(
                     kind,
@@ -215,7 +280,7 @@ pub fn run_serve_sweep(
 pub fn print_serve_table(title: &str, rows: &[ServeMetrics]) {
     println!("\n== {title} ==");
     println!(
-        "{:<20} {:<14} {:>8} {:>8} {:>3} {:>6} {:>3} {:>10} {:>10} {:>10} {:>10} {:>8} {:>10}",
+        "{:<20} {:<14} {:>8} {:>8} {:>3} {:>6} {:>3} {:>5} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>10}",
         "workload",
         "engine",
         "|D|",
@@ -223,16 +288,18 @@ pub fn print_serve_table(title: &str, rows: &[ServeMetrics]) {
         "w",
         "batch",
         "hb",
+        "cache",
         "qps",
         "p50_us",
         "p99_us",
         "pages",
         "seq%",
+        "hit%",
         "results"
     );
     for m in rows {
         println!(
-            "{:<20} {:<14} {:>8} {:>8} {:>3} {:>6} {:>3} {:>10.0} {:>10.1} {:>10.1} {:>10} {:>8.1} {:>10}",
+            "{:<20} {:<14} {:>8} {:>8} {:>3} {:>6} {:>3} {:>5} {:>10.0} {:>10.1} {:>10.1} {:>10} {:>8.1} {:>8.1} {:>10}",
             m.workload,
             m.engine,
             m.n_elements,
@@ -240,23 +307,25 @@ pub fn print_serve_table(title: &str, rows: &[ServeMetrics]) {
             m.threads,
             m.batch,
             if m.hilbert_batching { "on" } else { "off" },
+            if m.shared_cache { "shrd" } else { "priv" },
             m.qps,
             m.p50.as_secs_f64() * 1e6,
             m.p99.as_secs_f64() * 1e6,
             m.pages_read,
             m.seq_read_fraction() * 100.0,
+            m.pool_hit_fraction() * 100.0,
             m.result_ids
         );
     }
 }
 
 /// CSV header matching [`serve_csv_row`].
-pub const SERVE_CSV_HEADER: &str = "workload,engine,n_elements,queries,threads,batch,hilbert_batching,wall_s,sim_io_s,qps,p50_us,p95_us,p99_us,pages_read,seq_reads,rand_reads,pool_hits,result_ids";
+pub const SERVE_CSV_HEADER: &str = "workload,engine,n_elements,queries,threads,batch,hilbert_batching,shared_cache,wall_s,sim_io_s,qps,p50_us,p95_us,p99_us,pages_read,seq_reads,rand_reads,pool_hits,pool_misses,decoded_hits,decoded_misses,lock_acquisitions,lock_contended,result_ids";
 
 /// One CSV row for a serve-metrics record.
 pub fn serve_csv_row(m: &ServeMetrics) -> String {
     format!(
-        "{},{},{},{},{},{},{},{:.6},{:.6},{:.2},{:.2},{:.2},{:.2},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.2},{:.2},{:.2},{:.2},{},{},{},{},{},{},{},{},{},{}",
         m.workload,
         m.engine,
         m.n_elements,
@@ -264,6 +333,7 @@ pub fn serve_csv_row(m: &ServeMetrics) -> String {
         m.threads,
         m.batch,
         m.hilbert_batching,
+        m.shared_cache,
         m.wall.as_secs_f64(),
         m.sim_io.as_secs_f64(),
         m.qps,
@@ -274,6 +344,11 @@ pub fn serve_csv_row(m: &ServeMetrics) -> String {
         m.seq_reads,
         m.rand_reads,
         m.pool_hits,
+        m.pool_misses,
+        m.decoded_hits,
+        m.decoded_misses,
+        m.lock_acquisitions,
+        m.lock_contended,
         m.result_ids,
     )
 }

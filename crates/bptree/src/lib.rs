@@ -16,12 +16,20 @@
 //! staged index build. Pages are encoded in parallel but written in page
 //! order, so the tree is **byte-identical at any thread count** (see the
 //! `parallel_bulk_load_is_byte_identical` test).
+//!
+//! Traversals are generic over [`tfm_storage::PageReads`]: the `_with`
+//! variants ([`BPlusTree::get_with`], [`BPlusTree::nearest_with`],
+//! [`BPlusTree::range_with`]) read node pages through a caller-supplied
+//! cache (a private `BufferPool`, a `CacheHandle`, or a view onto the
+//! process-wide `SharedPageCache`), so B+-tree pages share whatever cache
+//! the surrounding join or serve session uses. The plain `&Disk` variants
+//! remain as uncached conveniences for one-shot lookups.
 
 #![warn(missing_docs)]
 
 use bytes::{Buf, BufMut};
 use tfm_partition::IndexBuildPipeline;
-use tfm_storage::{Disk, PageId};
+use tfm_storage::{Disk, PageId, PageReads};
 
 const LEAF_TAG: u8 = 1;
 const INNER_TAG: u8 = 0;
@@ -72,7 +80,9 @@ impl BPlusTree {
         if pairs.is_empty() {
             // A single empty leaf keeps the traversal code uniform.
             let page = disk.allocate();
-            disk.write_page(page, &encode_node(LEAF_TAG, NO_LEAF, &[]));
+            let mut buf = Vec::new();
+            encode_node_into(LEAF_TAG, NO_LEAF, &[], &mut buf);
+            disk.write_page(page, &buf);
             return Self {
                 root: page,
                 height: 0,
@@ -85,14 +95,14 @@ impl BPlusTree {
         // pointers to their physical successors, so the encoder needs the
         // run's first page id (`encode_run`).
         let n_leaves = pairs.len().div_ceil(fanout);
-        let first_leaf = pipeline.encode_run(disk, n_leaves, |first, i| {
+        let first_leaf = pipeline.encode_run(disk, n_leaves, |first, i, buf| {
             let chunk = &pairs[i * fanout..((i + 1) * fanout).min(pairs.len())];
             let next = if i + 1 < n_leaves {
                 first.0 + i as u64 + 1
             } else {
                 NO_LEAF
             };
-            encode_node(LEAF_TAG, next, chunk)
+            encode_node_into(LEAF_TAG, next, chunk, buf)
         });
         let mut level: Vec<(u64, PageId)> = (0..n_leaves)
             .map(|i| (pairs[i * fanout].0, PageId(first_leaf.0 + i as u64)))
@@ -103,12 +113,12 @@ impl BPlusTree {
         while level.len() > 1 {
             height += 1;
             let n_nodes = level.len().div_ceil(fanout);
-            let first = pipeline.encode_run(disk, n_nodes, |_, i| {
+            let first = pipeline.encode_run(disk, n_nodes, |_, i, buf| {
                 let chunk = &level[i * fanout..((i + 1) * fanout).min(level.len())];
                 let entries: Vec<(u64, u64)> = chunk.iter().map(|&(k, p)| (k, p.0)).collect();
                 // The next-leaf slot is unused in inner nodes; keeping it
                 // keeps the layout uniform.
-                encode_node(INNER_TAG, NO_LEAF, &entries)
+                encode_node_into(INNER_TAG, NO_LEAF, &entries, buf)
             });
             level = (0..n_nodes)
                 .map(|i| (level[i * fanout].0, PageId(first.0 + i as u64)))
@@ -148,22 +158,37 @@ impl BPlusTree {
         self.fanout
     }
 
-    /// Returns the first value stored under `key`, if any.
+    /// Returns the first value stored under `key`, if any (uncached
+    /// convenience over [`get_with`](Self::get_with)).
     pub fn get(&self, disk: &Disk, key: u64) -> Option<u64> {
-        let (_, node) = self.descend_to_leaf(disk, key);
+        let mut direct: &Disk = disk;
+        self.get_with(&mut direct, key)
+    }
+
+    /// Returns the first value stored under `key`, reading node pages
+    /// through `cache`.
+    pub fn get_with<C: PageReads>(&self, cache: &mut C, key: u64) -> Option<u64> {
+        let (_, node) = self.descend_to_leaf(cache, key);
         node.entries
             .iter()
             .find(|&&(k, _)| k == key)
             .map(|&(_, v)| v)
     }
 
-    /// Returns all `(key, value)` pairs with `lo <= key <= hi` in key order.
+    /// Returns all `(key, value)` pairs with `lo <= key <= hi` in key order
+    /// (uncached convenience over [`range_with`](Self::range_with)).
     pub fn range(&self, disk: &Disk, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut direct: &Disk = disk;
+        self.range_with(&mut direct, lo, hi)
+    }
+
+    /// [`range`](Self::range) reading node pages through `cache`.
+    pub fn range_with<C: PageReads>(&self, cache: &mut C, lo: u64, hi: u64) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
         if lo > hi || self.is_empty() {
             return out;
         }
-        let (_, mut node) = self.descend_to_leaf(disk, lo);
+        let (_, mut node) = self.descend_to_leaf(cache, lo);
         loop {
             for &(k, v) in &node.entries {
                 if k > hi {
@@ -174,7 +199,7 @@ impl BPlusTree {
                 }
             }
             match node.next_leaf {
-                Some(next) => node = Node::read(disk, next),
+                Some(next) => node = Node::read(cache, next),
                 None => return out,
             }
         }
@@ -186,10 +211,16 @@ impl BPlusTree {
     /// neighboring space nodes" collapses to finding the closest indexed
     /// Hilbert value.
     pub fn nearest(&self, disk: &Disk, key: u64) -> Option<(u64, u64)> {
+        let mut direct: &Disk = disk;
+        self.nearest_with(&mut direct, key)
+    }
+
+    /// [`nearest`](Self::nearest) reading node pages through `cache`.
+    pub fn nearest_with<C: PageReads>(&self, cache: &mut C, key: u64) -> Option<(u64, u64)> {
         if self.is_empty() {
             return None;
         }
-        let (_, node) = self.descend_to_leaf(disk, key);
+        let (_, node) = self.descend_to_leaf(cache, key);
 
         // Candidates: the last entry ≤ key in this leaf (or the leaf's first
         // entry if none) and the first entry > key (possibly in the next
@@ -205,7 +236,7 @@ impl BPlusTree {
         }
         if above.is_none() {
             if let Some(next) = node.next_leaf {
-                let next_node = Node::read(disk, next);
+                let next_node = Node::read(cache, next);
                 above = next_node.entries.first().copied();
             }
         }
@@ -226,10 +257,10 @@ impl BPlusTree {
 
     /// Walks inner nodes from the root to the leaf that covers `key`,
     /// returning the leaf's page id and decoded contents.
-    fn descend_to_leaf(&self, disk: &Disk, key: u64) -> (PageId, Node) {
+    fn descend_to_leaf<C: PageReads>(&self, cache: &mut C, key: u64) -> (PageId, Node) {
         let mut page = self.root;
         loop {
-            let node = Node::read(disk, page);
+            let node = Node::read(cache, page);
             if node.is_leaf {
                 return (page, node);
             }
@@ -245,11 +276,14 @@ impl BPlusTree {
     }
 }
 
-/// Encodes one node page: tag, entry count, next-leaf pointer, then
-/// fixed 16-byte entries. Shared by leaves and inner nodes (identical
-/// layout; inner nodes carry `NO_LEAF` in the pointer slot).
-fn encode_node(tag: u8, next: u64, entries: &[(u64, u64)]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(HEADER + 8 + entries.len() * ENTRY);
+/// Encodes one node page into `buf` (cleared first; the pipeline's
+/// sequential path reuses one buffer across the whole run): tag, entry
+/// count, next-leaf pointer, then fixed 16-byte entries. Shared by leaves
+/// and inner nodes (identical layout; inner nodes carry `NO_LEAF` in the
+/// pointer slot).
+fn encode_node_into(tag: u8, next: u64, entries: &[(u64, u64)], buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.reserve(HEADER + 8 + entries.len() * ENTRY);
     buf.put_u8(tag);
     buf.put_u16_le(entries.len() as u16);
     buf.put_u64_le(next);
@@ -257,7 +291,6 @@ fn encode_node(tag: u8, next: u64, entries: &[(u64, u64)]) -> Vec<u8> {
         buf.put_u64_le(k);
         buf.put_u64_le(v);
     }
-    buf
 }
 
 /// A decoded node page.
@@ -268,9 +301,9 @@ struct Node {
 }
 
 impl Node {
-    fn read(disk: &Disk, page: PageId) -> Self {
-        let raw = disk.read_page_vec(page);
-        let mut buf = raw.as_slice();
+    fn read<C: PageReads>(cache: &mut C, page: PageId) -> Self {
+        let raw = cache.page(page);
+        let mut buf: &[u8] = &raw;
         let tag = buf.get_u8();
         let count = buf.get_u16_le() as usize;
         let next = buf.get_u64_le();

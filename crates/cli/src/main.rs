@@ -51,8 +51,8 @@ USAGE:
       reports hierarchy size, pages and build time; the index is
       byte-identical at any --build-threads setting
   tfm join --a FILE --b FILE [--approach A] [--page-size N] [--threads N]
-           [--build-threads N] [--no-transform] [--no-prune] [--verify]
-           [--skew-file PATH]
+           [--build-threads N] [--no-transform] [--no-prune] [--private-pool]
+           [--verify] [--skew-file PATH]
       A: transformers | no-tr | pbsm | rtree | gipsy | sssj | s3 (default: transformers)
       --threads N: run the transformers join on N parallel workers (tfm-exec)
       --build-threads N: build the indexes on N parallel workers
@@ -60,19 +60,24 @@ USAGE:
       --no-transform: parallel path only — workers skip role transformations
       --no-prune: parallel path only — disable the shared cross-worker
                   to-do-list pruning board (workers prune only locally)
+      --private-pool: ablation — read join pages through per-worker private
+                  buffer pools instead of the process-wide shared page cache
       --skew-file PATH: persist each workload's observed steal fraction in a
                   JSON sidecar and feed it back as the scheduler's recorded
                   skew signal on the next run (parallel path only)
   tfm serve --in FILE [--engine E] [--queries N] [--threads N] [--batch N]
-            [--no-hilbert] [--mix M] [--page-size N] [--build-threads N]
-            [--trace-seed S] [--window F] [--eps F] [--verify]
+            [--no-hilbert] [--private-pool] [--mix M] [--page-size N]
+            [--build-threads N] [--trace-seed S] [--window F] [--eps F]
+            [--verify]
       builds the chosen index once, generates a deterministic query trace
       (window / point-enclosure / distance probes) and replays it on N
       serve workers with locality-aware (Hilbert-ordered) batching
       E: transformers | gipsy | rtree  (default: transformers)
       M: uniform | clustered | neuro   (default: uniform)
       --batch N: queries per batch (default 64); --no-hilbert replays each
-                  batch in arrival order instead of Hilbert order
+                  batch in arrival order instead of Hilbert order;
+                  --private-pool serves from per-worker pools instead of the
+                  shared page cache (ablation)
   tfm info --in FILE
   tfm help"
     );
@@ -210,6 +215,7 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     let build_threads = parse_worker_count(args, "--build-threads")?;
     let no_transform = flag(args, "--no-transform");
     let no_prune = flag(args, "--no-prune");
+    let private_pool = flag(args, "--private-pool");
     let parallel_transformers = threads > 1 && matches!(approach, Approach::Transformers(_));
     if (no_transform || no_prune) && !parallel_transformers {
         eprintln!(
@@ -228,7 +234,13 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
             if no_prune {
                 join_cfg = join_cfg.without_cross_worker_pruning();
             }
+            if private_pool {
+                join_cfg = join_cfg.with_private_pools();
+            }
             Approach::TransformersParallel(join_cfg, t)
+        }
+        (Approach::Transformers(join_cfg), _) if private_pool => {
+            Approach::Transformers(join_cfg.with_private_pools())
         }
         (other, t) => {
             if t > 1 {
@@ -246,6 +258,7 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     let cfg = RunConfig {
         page_size,
         build_threads,
+        shared_cache: !private_pool,
         ..RunConfig::default()
     };
     // With --skew-file, the parallel path closes the steal-skew feedback
@@ -359,6 +372,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         threads,
         batch,
         hilbert_batching: !flag(args, "--no-hilbert"),
+        shared_cache: !flag(args, "--private-pool"),
         ..ServeConfig::default()
     };
     let (m, results) = run_serve(engine, "cli", &elems, &trace, &run_cfg, &serve_cfg);
@@ -389,13 +403,25 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         m.p99.as_secs_f64() * 1e6
     );
     println!(
-        "serve I/O:       {} pages ({} sequential, {} random — {:.1}% sequential), {} pool hits",
+        "serve I/O:       {} pages ({} sequential, {} random — {:.1}% sequential), \
+         {} pool hits ({:.1}% hit rate, {} cache)",
         m.pages_read,
         m.seq_reads,
         m.rand_reads,
         m.seq_read_fraction() * 100.0,
-        m.pool_hits
+        m.pool_hits,
+        m.pool_hit_fraction() * 100.0,
+        if m.shared_cache { "shared" } else { "private" }
     );
+    if m.shared_cache {
+        println!(
+            "cache:           decoded tier {}/{} hits, lock contention {}/{}",
+            m.decoded_hits,
+            m.decoded_hits + m.decoded_misses,
+            m.lock_contended,
+            m.lock_acquisitions
+        );
+    }
     println!("result ids:      {}", m.result_ids);
 
     if flag(args, "--verify") {

@@ -120,8 +120,18 @@ pub struct JoinConfig {
     /// Adaptive-walk patience: expansions without distance improvement
     /// before the walk gives up (the paper's `isMovingAway` test).
     pub walk_patience: usize,
-    /// Buffer-pool capacity (pages) per dataset during the join.
+    /// Page-cache capacity (pages) per dataset during the join — the
+    /// capacity of the shared cache in shared mode, or of each worker's
+    /// private pool (split across workers in the parallel path) in
+    /// private mode.
     pub pool_pages: usize,
+    /// Read element, metadata-adjacent and B+-tree pages through **one
+    /// process-wide [`tfm_storage::SharedPageCache`] per dataset**, shared
+    /// by all workers (zero-copy pin guards + decoded element-page tier).
+    /// `false` restores the per-worker private [`tfm_storage::BufferPool`]s
+    /// — the `--private-pool` ablation. Results are byte-identical either
+    /// way; only I/O counters change.
+    pub shared_cache: bool,
     /// In-memory grid hash join configuration (paper §VII-A).
     pub mem_grid: GridConfig,
     /// Node-level prefilter: join guide and follower page MBBs before
@@ -161,6 +171,7 @@ impl Default for JoinConfig {
             first_guide: GuidePick::A,
             walk_patience: 64,
             pool_pages: tfm_storage::DEFAULT_POOL_PAGES,
+            shared_cache: true,
             mem_grid: GridConfig::default(),
             node_prefilter: true,
             hilbert_walk_start: true,
@@ -199,6 +210,13 @@ impl JoinConfig {
     /// local to-do-list pruning.
     pub fn without_cross_worker_pruning(mut self) -> Self {
         self.cross_worker_pruning = false;
+        self
+    }
+
+    /// Builder: disables the shared page cache (the `--private-pool`
+    /// ablation): every worker reads through a private buffer pool again.
+    pub fn with_private_pools(mut self) -> Self {
+        self.shared_cache = false;
         self
     }
 
@@ -265,6 +283,12 @@ mod tests {
             IndexConfig::default().with_build_threads(4).build_threads,
             4
         );
+    }
+
+    #[test]
+    fn shared_cache_defaults_on_with_private_ablation() {
+        assert!(JoinConfig::default().shared_cache);
+        assert!(!JoinConfig::default().with_private_pools().shared_cache);
     }
 
     #[test]

@@ -47,7 +47,10 @@ use tfm_bptree::BPlusTree;
 use tfm_geom::{hilbert, Aabb, HasMbb, SpatialElement};
 use tfm_partition::{IndexBuildPipeline, UniformGrid};
 use tfm_pool::StagePool;
-use tfm_storage::{BufferPool, Disk, ElementPageCodec, PageId};
+use tfm_storage::{
+    BufferPool, CacheHandle, Disk, ElemSlice, ElementPageCodec, PageId, PageReads, PoolCounters,
+    SharedPageCache,
+};
 
 /// Serialized size of one unit descriptor (see `metadata.rs`).
 const UNIT_DESC_BYTES: usize = 8 + 48 + 48 + 4 + 2;
@@ -190,8 +193,8 @@ impl TransformersIndex {
                 page_order.push(seed.part_idx);
             }
         }
-        let first_elem_page = pipeline.encode_and_write(disk, total_units, |i| {
-            codec.encode(&unit_parts[page_order[i]].items)
+        let first_elem_page = pipeline.encode_and_write(disk, total_units, |i, buf| {
+            codec.encode_into(&unit_parts[page_order[i]].items, buf)
         });
         for (node_idx, np) in node_parts.iter().enumerate() {
             let first_unit = units.len() as u32;
@@ -302,11 +305,25 @@ impl TransformersIndex {
 
     /// Uses the Hilbert B+-tree to find the node whose center is closest
     /// (in Hilbert order) to `point` — the start descriptor of an adaptive
-    /// walk (§V). Charges B+-tree page reads to `disk`.
+    /// walk (§V). Charges B+-tree page reads to `disk` (uncached; prefer
+    /// [`walk_start_with`](Self::walk_start_with) on hot paths so tree
+    /// pages share the caller's page cache).
     pub fn walk_start(&self, disk: &Disk, point: &tfm_geom::Point3) -> Option<NodeId> {
+        let mut direct: &Disk = disk;
+        self.walk_start_with(&mut direct, point)
+    }
+
+    /// [`walk_start`](Self::walk_start) reading the B+-tree's node pages
+    /// through `cache` — the same cache the caller reads element pages
+    /// with, so walk-start lookups hit instead of re-reading the tree.
+    pub fn walk_start_with<C: PageReads>(
+        &self,
+        cache: &mut C,
+        point: &tfm_geom::Point3,
+    ) -> Option<NodeId> {
         let key = hilbert::index_of_point(point, &self.extent);
         self.btree
-            .nearest(disk, key)
+            .nearest_with(cache, key)
             .map(|(_, node)| NodeId(node as u32))
     }
 
@@ -323,15 +340,34 @@ impl TransformersIndex {
     }
 
     /// Creates a cheap per-worker read handle over this index's element
-    /// pages: a private [`BufferPool`] of `pool_pages` pages plus the
+    /// pages: a **private** [`BufferPool`] of `pool_pages` pages plus the
     /// decoding codec. `Disk` reads take `&self`, so any number of
     /// [`UnitReader`]s can serve queries against one shared index
-    /// concurrently without contending on a single pool.
-    pub fn unit_reader<'d>(&self, disk: &'d Disk, pool_pages: usize) -> UnitReader<'_, 'd> {
+    /// concurrently without contending on a single pool. This is the
+    /// private-pool ablation mode; the default read path is
+    /// [`unit_reader_shared`](Self::unit_reader_shared).
+    pub fn unit_reader<'d>(&self, disk: &'d Disk, pool_pages: usize) -> UnitReader<'_, 'd, 'd> {
+        self.unit_reader_with(CacheHandle::private(disk, pool_pages))
+    }
+
+    /// Creates a per-worker read handle that is a thin view over the
+    /// process-wide [`SharedPageCache`]: reads pin cached frames zero-copy
+    /// and decoded element pages are shared across every reader of the
+    /// cache, while hit/miss counters stay per-handle.
+    pub fn unit_reader_shared<'c, 'd>(
+        &self,
+        cache: &'c SharedPageCache<'d>,
+    ) -> UnitReader<'_, 'c, 'd> {
+        self.unit_reader_with(CacheHandle::shared(cache))
+    }
+
+    /// Creates a read handle over a caller-supplied [`CacheHandle`].
+    pub fn unit_reader_with<'c, 'd>(&self, cache: CacheHandle<'c, 'd>) -> UnitReader<'_, 'c, 'd> {
         UnitReader {
             units: &self.units,
-            codec: ElementPageCodec::new(disk.page_size()),
-            pool: BufferPool::new(disk, pool_pages.max(1)),
+            codec: ElementPageCodec::new(cache.disk().page_size()),
+            cache,
+            scratch: Vec::new(),
         }
     }
 
@@ -349,31 +385,64 @@ impl TransformersIndex {
     }
 }
 
-/// A per-worker read handle over one index's element pages: its own
-/// [`BufferPool`] (private LRU cache) plus the page codec.
+/// A per-worker read handle over one index's element pages: a
+/// [`CacheHandle`] (private pool *or* a view onto the process-wide shared
+/// cache) plus the page codec and a decode scratch buffer.
 ///
 /// This is the "split handle" that lets many readers share one immutable
 /// [`TransformersIndex`]: the descriptor tables are borrowed read-only,
-/// the disk is read through `&self`, and all mutable state (the cache) is
-/// private to the handle — so `N` workers hold `N` independent readers
-/// with zero synchronization between them.
-pub struct UnitReader<'i, 'd> {
+/// the disk is read through `&self`, and all handle state (counters,
+/// scratch, the private pool if any) is per-handle — so `N` workers hold
+/// `N` independent readers whose only shared state is the lock-striped
+/// cache itself.
+pub struct UnitReader<'i, 'c, 'd> {
     units: &'i [SpaceUnitDesc],
     codec: ElementPageCodec,
-    pool: BufferPool<'d>,
+    cache: CacheHandle<'c, 'd>,
+    scratch: Vec<SpatialElement>,
 }
 
-impl UnitReader<'_, '_> {
-    /// Reads and decodes one space unit's elements.
+impl<'c, 'd> UnitReader<'_, 'c, 'd> {
+    /// The handle's cache view, for sharing it with adjacent lookups
+    /// (e.g. [`TransformersIndex::walk_start_with`], so B+-tree pages ride
+    /// the same cache as element pages).
+    pub fn cache_mut(&mut self) -> &mut CacheHandle<'c, 'd> {
+        &mut self.cache
+    }
+
+    /// Reads and decodes one space unit's elements into a fresh vector.
+    /// Prefer [`elements`](Self::elements) on hot paths — it borrows the
+    /// decoded records instead of copying them.
     pub fn read(&mut self, unit: UnitId) -> Vec<SpatialElement> {
-        self.codec
-            .decode(self.pool.read(self.units[unit.0 as usize].page))
+        self.elements(unit).to_vec()
     }
 
     /// Decodes one unit's elements into `out`, reusing its capacity.
     pub fn read_into(&mut self, unit: UnitId, out: &mut Vec<SpatialElement>) {
-        self.codec
-            .decode_into(self.pool.read(self.units[unit.0 as usize].page), out)
+        let page = self.units[unit.0 as usize].page;
+        match &mut self.cache {
+            // Private mode decodes straight into `out` — no extra copy.
+            CacheHandle::Private(pool) => self.codec.decode_into(pool.read(page), out),
+            shared => {
+                let elems = shared.elements(&self.codec, page, &mut self.scratch);
+                out.clear();
+                out.extend_from_slice(&elems);
+            }
+        }
+    }
+
+    /// Reads one unit's elements without copying: the shared cache's
+    /// decoded tier is borrowed directly (`Arc` clone, no decode on a
+    /// hit); private pools decode into the handle's scratch buffer. The
+    /// returned guard derefs to `[SpatialElement]`.
+    pub fn elements(&mut self, unit: UnitId) -> ElemSlice<'_> {
+        let Self {
+            units,
+            codec,
+            cache,
+            scratch,
+        } = self;
+        cache.elements(codec, units[unit.0 as usize].page, scratch)
     }
 
     /// The disk page a unit's elements live on (the elevator-order key).
@@ -381,14 +450,19 @@ impl UnitReader<'_, '_> {
         self.units[unit.0 as usize].page
     }
 
-    /// Cache hits of this handle's private pool.
-    pub fn hits(&self) -> u64 {
-        self.pool.hits()
+    /// This handle's cache counters (hits/misses and decoded-tier splits).
+    pub fn counters(&self) -> PoolCounters {
+        self.cache.counters()
     }
 
-    /// Cache misses (disk page reads) of this handle's private pool.
+    /// Cache hits observed through this handle.
+    pub fn hits(&self) -> u64 {
+        self.counters().hits
+    }
+
+    /// Cache misses (disk page reads) triggered through this handle.
     pub fn misses(&self) -> u64 {
-        self.pool.misses()
+        self.counters().misses
     }
 }
 

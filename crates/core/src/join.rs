@@ -32,7 +32,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use tfm_geom::{Aabb, SpatialElement};
 use tfm_memjoin::{grid_hash_join, ResultPair};
-use tfm_storage::{BufferPool, Disk, ElementPageCodec};
+use tfm_storage::{CacheHandle, Disk, ElementPageCodec, PageReads, SharedPageCache};
 
 /// Result of a TRANSFORMERS join.
 #[derive(Debug)]
@@ -55,8 +55,13 @@ fn vol(b: &Aabb) -> f64 {
 struct Side<'a> {
     idx: &'a TransformersIndex,
     disk: &'a Disk,
-    pool: BufferPool<'a>,
+    /// The read path: a view onto the dataset's shared page cache
+    /// (default) or a private pool (`JoinConfig::shared_cache = false`).
+    cache: CacheHandle<'a, 'a>,
     codec: ElementPageCodec,
+    /// Decode scratch for the private path (the shared path borrows the
+    /// cache's decoded tier instead).
+    elem_scratch: Vec<SpatialElement>,
     // Shared read-only descriptor tables (parallel workers hold clones of
     // the same `Arc`s; only `checked`/`scratch`/`pool` are per-owner).
     nodes: Arc<Vec<SpaceNode>>,
@@ -75,12 +80,13 @@ impl<'a> Side<'a> {
         disk: &'a Disk,
         cfg: &JoinConfig,
         stats: &mut TransformersStats,
+        shared: Option<&'a SharedPageCache<'a>>,
     ) -> Self {
         // Join startup: (re)load the descriptor tables from the metadata
         // region — sequential reads charged to the disk.
         let (nodes, units, meta_pages) = idx.load_metadata(disk);
         stats.metadata_pages_read += meta_pages;
-        Self::with_tables(idx, disk, cfg, Arc::new(nodes), Arc::new(units))
+        Self::with_tables(idx, disk, cfg, Arc::new(nodes), Arc::new(units), shared)
     }
 
     /// Builds a side from pre-loaded descriptor tables. The parallel
@@ -93,13 +99,19 @@ impl<'a> Side<'a> {
         cfg: &JoinConfig,
         nodes: Arc<Vec<SpaceNode>>,
         units: Arc<Vec<SpaceUnitDesc>>,
+        shared: Option<&'a SharedPageCache<'a>>,
     ) -> Self {
         let n = nodes.len();
+        let cache = match shared {
+            Some(cache) => CacheHandle::shared(cache),
+            None => CacheHandle::private(disk, cfg.pool_pages),
+        };
         Self {
             idx,
             disk,
-            pool: BufferPool::new(disk, cfg.pool_pages),
+            cache,
             codec: ElementPageCodec::new(disk.page_size()),
+            elem_scratch: Vec::new(),
             nodes,
             units,
             checked: vec![false; n],
@@ -128,8 +140,11 @@ impl<'a> Side<'a> {
     }
 
     fn read_unit_elements(&mut self, unit: UnitId, out: &mut Vec<SpatialElement>) {
-        let desc = &self.units[unit.0 as usize];
-        out.extend(self.codec.decode(self.pool.read(desc.page)));
+        let page = self.units[unit.0 as usize].page;
+        let elems = self
+            .cache
+            .elements(&self.codec, page, &mut self.elem_scratch);
+        out.extend_from_slice(&elems);
     }
 }
 
@@ -248,8 +263,17 @@ pub fn transformers_join(
     let io_before = disk_a.stats().merged(&disk_b.stats());
     let mut stats = TransformersStats::default();
 
-    let mut side_a = Side::new(idx_a, disk_a, cfg, &mut stats);
-    let mut side_b = Side::new(idx_b, disk_b, cfg, &mut stats);
+    // The per-dataset page caches: one shared (sequential join = one
+    // reader, but identical machinery and accounting to the parallel
+    // path) or private pools under the `--private-pool` ablation.
+    let cache_a = cfg
+        .shared_cache
+        .then(|| SharedPageCache::with_shards(disk_a, cfg.pool_pages, 1));
+    let cache_b = cfg
+        .shared_cache
+        .then(|| SharedPageCache::with_shards(disk_b, cfg.pool_pages, 1));
+    let mut side_a = Side::new(idx_a, disk_a, cfg, &mut stats, cache_a.as_ref());
+    let mut side_b = Side::new(idx_b, disk_b, cfg, &mut stats, cache_b.as_ref());
 
     let mut ctx = Ctx::new(cfg, idx_a, idx_b, disk_b, stats);
 
@@ -275,7 +299,9 @@ pub fn transformers_join(
     ctx.raw.sort_unstable();
     ctx.raw.dedup();
     ctx.stats.unique_results = ctx.raw.len() as u64;
-    ctx.stats.pages_read = side_a.pool.misses() + side_b.pool.misses();
+    let (ca, cb) = (side_a.cache.counters(), side_b.cache.counters());
+    ctx.stats.pages_read = ca.misses + cb.misses;
+    ctx.stats.pool_hits = ca.hits + cb.hits;
 
     let io_after = side_a.disk.stats().merged(&side_b.disk.stats());
     let delta = io_after.delta_since(&io_before);
@@ -304,9 +330,11 @@ fn locate(ctx: &mut Ctx, follower: &mut Side<'_>, pivot_box: &Aabb) -> Option<No
         Some(n) => n,
         None => {
             if ctx.cfg.hilbert_walk_start {
+                // The B+-tree descent reads through the follower's page
+                // cache, so tree pages share frames with element pages.
                 follower
                     .idx
-                    .walk_start(follower.disk, &pivot_box.center())
+                    .walk_start_with(&mut follower.cache, &pivot_box.center())
                     .unwrap_or(NodeId(0))
             } else {
                 NodeId(0)
@@ -740,6 +768,10 @@ pub struct EngineSide<'a> {
     pub nodes: Arc<Vec<SpaceNode>>,
     /// Space-unit descriptor table (shared, read-only).
     pub units: Arc<Vec<SpaceUnitDesc>>,
+    /// The dataset's process-wide page cache, shared by every worker's
+    /// engine (`None` = the private-pool ablation: each engine owns a
+    /// `BufferPool` of `JoinConfig::pool_pages` pages).
+    pub cache: Option<&'a SharedPageCache<'a>>,
 }
 
 /// A single-pivot join executor: the building block of the parallel
@@ -815,13 +847,21 @@ impl<'a> PivotEngine<'a> {
         };
         let ctx = Ctx::new(cfg, idx_a, idx_b, model_disk, TransformersStats::default());
         Self {
-            guide: Side::with_tables(guide.idx, guide.disk, cfg, guide.nodes, guide.units),
+            guide: Side::with_tables(
+                guide.idx,
+                guide.disk,
+                cfg,
+                guide.nodes,
+                guide.units,
+                guide.cache,
+            ),
             follower: Side::with_tables(
                 follower.idx,
                 follower.disk,
                 cfg,
                 follower.nodes,
                 follower.units,
+                follower.cache,
             ),
             ctx,
             guide_is_a,
@@ -918,7 +958,11 @@ impl<'a> PivotEngine<'a> {
     /// caller, which owns deduplication and global I/O accounting.
     pub fn finish(self) -> (Vec<ResultPair>, TransformersStats) {
         let mut stats = self.ctx.stats;
-        stats.pages_read = self.guide.pool.misses() + self.follower.pool.misses();
+        let (cg, cf) = (self.guide.cache.counters(), self.follower.cache.counters());
+        // Handle-local counters: summing per-worker misses equals the
+        // total disk reads even when the cache is shared.
+        stats.pages_read = cg.misses + cf.misses;
+        stats.pool_hits = cg.hits + cf.hits;
         (self.ctx.raw, stats)
     }
 }
@@ -1197,12 +1241,14 @@ mod tests {
                 disk: disk_a,
                 nodes: na,
                 units: ua,
+                cache: None,
             },
             EngineSide {
                 idx: idx_b,
                 disk: disk_b,
                 nodes: nb,
                 units: ub,
+                cache: None,
             },
         )
     }

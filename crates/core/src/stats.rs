@@ -23,8 +23,12 @@ pub struct TransformersStats {
     pub mem: JoinStats,
     /// Result pairs after deduplication.
     pub unique_results: u64,
-    /// Element pages fetched from disk (buffer-pool misses), both datasets.
+    /// Element pages fetched from disk (page-cache misses), both datasets.
     pub pages_read: u64,
+    /// Page-cache hits (reads answered without touching the disk), both
+    /// datasets — with the shared cache this includes hits on pages another
+    /// worker faulted in.
+    pub pool_hits: u64,
     /// Metadata pages read when loading descriptor tables at join start.
     pub metadata_pages_read: u64,
     /// Role transformations performed (guide ↔ follower switches, §VI-A).
@@ -72,6 +76,15 @@ impl TransformersStats {
         self.sim_io + self.join_cpu
     }
 
+    /// Page-cache hit fraction of the join phase, in `0.0..=1.0`.
+    pub fn pool_hit_fraction(&self) -> f64 {
+        let total = self.pool_hits + self.pages_read;
+        if total == 0 {
+            return 0.0;
+        }
+        self.pool_hits as f64 / total as f64
+    }
+
     /// Total transformations of any kind.
     pub fn transformations(&self) -> u64 {
         self.role_transformations
@@ -93,6 +106,7 @@ impl TransformersStats {
         self.mem.results += other.mem.results;
         self.unique_results += other.unique_results;
         self.pages_read += other.pages_read;
+        self.pool_hits += other.pool_hits;
         self.metadata_pages_read += other.metadata_pages_read;
         self.role_transformations += other.role_transformations;
         self.layout_transformations += other.layout_transformations;

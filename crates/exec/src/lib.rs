@@ -116,7 +116,7 @@ pub mod pool {
 
 use std::sync::Arc;
 use tfm_pool::StagePool;
-use tfm_storage::Disk;
+use tfm_storage::{Disk, SharedPageCache};
 use transformers::{
     EngineSide, GuidePick, JoinConfig, JoinOutcome, PivotEngine, SharedTodo, TransformersIndex,
     TransformersStats,
@@ -206,6 +206,23 @@ pub fn parallel_join_with_report(
         )
     };
 
+    // The per-dataset page caches shared by every worker (the default):
+    // one lock-striped cache per disk, sized to the configured pool budget
+    // and sharded for the worker count. `--private-pool` falls back to
+    // per-worker pools with the budget split across workers.
+    let shards = SharedPageCache::shards_for_threads(threads);
+    let cache_a = cfg
+        .shared_cache
+        .then(|| SharedPageCache::with_shards(disk_a, cfg.pool_pages, shards));
+    let cache_b = cfg
+        .shared_cache
+        .then(|| SharedPageCache::with_shards(disk_b, cfg.pool_pages, shards));
+    let (guide_cache, follower_cache) = if guide_is_a {
+        (cache_a.as_ref(), cache_b.as_ref())
+    } else {
+        (cache_b.as_ref(), cache_a.as_ref())
+    };
+
     let pivots = guide_side.2.len();
     // Adaptive initial chunk size: pivot count, worker count, and — when a
     // previous run recorded one — the observed steal fraction as the skew
@@ -220,13 +237,19 @@ pub fn parallel_join_with_report(
         .cross_worker_pruning
         .then(|| Arc::new(SharedTodo::new(nodes_a.len(), nodes_b.len())));
 
-    // Split the configured buffer-pool budget across the workers so the
-    // aggregate page-cache size stays close to the sequential join's
-    // instead of silently multiplying by the worker count. Each pool
-    // needs at least one page, so with `threads > pool_pages` the
-    // aggregate necessarily exceeds the configured budget.
+    // Private-pool ablation: split the configured buffer-pool budget
+    // across the workers so the aggregate page-cache size stays close to
+    // the sequential join's instead of silently multiplying by the worker
+    // count. (Each pool needs at least one page, so with `threads >
+    // pool_pages` the aggregate necessarily exceeds the budget.) In
+    // shared mode the budget is the shared cache's capacity and needs no
+    // split.
     let worker_cfg = JoinConfig {
-        pool_pages: (cfg.pool_pages / threads).max(1),
+        pool_pages: if cfg.shared_cache {
+            cfg.pool_pages
+        } else {
+            (cfg.pool_pages / threads).max(1)
+        },
         ..*cfg
     };
 
@@ -240,12 +263,14 @@ pub fn parallel_join_with_report(
             disk: guide_side.1,
             nodes: Arc::clone(guide_side.2),
             units: Arc::clone(guide_side.3),
+            cache: guide_cache,
         };
         let follower = EngineSide {
             idx: follower_side.0,
             disk: follower_side.1,
             nodes: Arc::clone(follower_side.2),
             units: Arc::clone(follower_side.3),
+            cache: follower_cache,
         };
         let mut engine = PivotEngine::new(guide, follower, guide_is_a, &worker_cfg)
             .with_role_transforms(worker_cfg.worker_role_transforms);

@@ -27,16 +27,21 @@
 
 use tfm_geom::SpatialElement;
 use tfm_memjoin::{JoinStats, ResultPair};
-use tfm_storage::{Disk, ElementPageCodec, PageId};
+use tfm_storage::{CacheHandle, Disk, ElementPageCodec, PageId, PageReads, SharedPageCache};
 use transformers::{IndexBuildPipeline, TransformersIndex};
 
 /// Configuration of a GIPSY join.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GipsyConfig {
-    /// Buffer-pool pages for the dense dataset's element pages.
+    /// Page-cache pages for the dense dataset's element pages.
     pub pool_pages: usize,
     /// Walk patience (same semantics as TRANSFORMERS').
     pub walk_patience: usize,
+    /// Read the dense side through a [`SharedPageCache`] (zero-copy pin
+    /// guards + decoded tier) instead of a private pool. Results are
+    /// identical either way; this is the same `--private-pool` ablation
+    /// switch the TRANSFORMERS join has.
+    pub shared_cache: bool,
 }
 
 impl Default for GipsyConfig {
@@ -44,6 +49,7 @@ impl Default for GipsyConfig {
         Self {
             pool_pages: tfm_storage::DEFAULT_POOL_PAGES,
             walk_patience: 64,
+            shared_cache: true,
         }
     }
 }
@@ -90,7 +96,7 @@ impl SparseFile {
         let codec = ElementPageCodec::new(disk.page_size());
         let len = elements.len();
         let parts = pipeline.partition(elements, codec.capacity());
-        let first = pipeline.pack_pages(disk, &parts, |p| codec.encode(&p.items));
+        let first = pipeline.pack_pages(disk, &parts, |p, buf| codec.encode_into(&p.items, buf));
         let pages = (0..parts.len())
             .map(|i| PageId(first.0 + i as u64))
             .collect();
@@ -135,12 +141,22 @@ pub fn gipsy_join(
     }
 
     let sparse_codec = ElementPageCodec::new(sparse_disk.page_size());
-    // Per-join read handle over the dense side's element pages (its own
-    // buffer pool + codec) — the same split handle concurrent query
-    // serving hands to each worker.
-    let mut dense_reader = dense.unit_reader(dense_disk, cfg.pool_pages);
-    let mut dense_elems = Vec::new();
+    // Per-join read handle over the dense side's element pages — the same
+    // split handle concurrent query serving hands to each worker, viewing
+    // either the shared page cache (default) or a private pool.
+    let dense_cache = cfg
+        .shared_cache
+        .then(|| SharedPageCache::with_shards(dense_disk, cfg.pool_pages, 1));
+    let mut dense_reader = match &dense_cache {
+        Some(cache) => dense.unit_reader_shared(cache),
+        None => dense.unit_reader(dense_disk, cfg.pool_pages),
+    };
     let mut scratch = ExploreScratch::default();
+    // The sparse file is a single sequential scan; a tiny private cache
+    // handle routes it through the same decode-into read path instead of
+    // allocating a fresh `Vec` per page (`Disk::read_page_vec`).
+    let mut sparse_cache = CacheHandle::private(sparse_disk, 4);
+    let mut sparse_scratch = Vec::new();
 
     let nodes = dense.nodes();
     let units = dense.units();
@@ -151,7 +167,9 @@ pub fn gipsy_join(
 
     for &page in &sparse.pages {
         // Sequential scan of the sparse dataset.
-        let sparse_elems = sparse_codec.decode(&sparse_disk.read_page_vec(page));
+        let sparse_elems: Vec<SpatialElement> = sparse_cache
+            .elements(&sparse_codec, page, &mut sparse_scratch)
+            .to_vec();
         for e in &sparse_elems {
             stats.metadata_tests += 1;
             if !dense_extent.intersects(&e.mbb) {
@@ -161,8 +179,11 @@ pub fn gipsy_join(
             // level.
             let start = match walk_pos {
                 Some(n) => n,
+                // The cold-start B+-tree descent reads through the dense
+                // side's cache, so tree pages share frames with element
+                // pages instead of hitting the disk directly.
                 None => dense
-                    .walk_start(dense_disk, &e.mbb.center())
+                    .walk_start_with(dense_reader.cache_mut(), &e.mbb.center())
                     .expect("dense index non-empty"),
             };
             let r = adaptive_walk(nodes, reach, &e.mbb, start, cfg.walk_patience, &mut scratch);
@@ -188,8 +209,11 @@ pub fn gipsy_join(
                 .sort_unstable_by_key(|u| units[u.0 as usize].page);
 
             for cu in crawl.candidates {
-                dense_reader.read_into(cu, &mut dense_elems);
-                for d in &dense_elems {
+                // Zero-copy read: the shared cache's decoded tier is
+                // borrowed directly; the private ablation decodes into
+                // the handle's scratch buffer.
+                let dense_page = dense_reader.elements(cu);
+                for d in dense_page.iter() {
                     stats.mem.element_tests += 1;
                     if e.mbb.intersects(&d.mbb) {
                         out.push((e.id, d.id));

@@ -81,15 +81,17 @@ impl IndexBuildPipeline {
     /// so the on-disk bytes and the sequential-write I/O accounting match a
     /// single-threaded build exactly. Returns the first page of the run.
     ///
-    /// The sequential pipeline streams encode→write one page at a time
-    /// (O(1 page) extra memory, the pre-pipeline behaviour); parallel
-    /// pipelines fan the encoding out in bounded batches so peak memory
-    /// stays at a few thousand page images, not the whole file.
+    /// `encode(i, buf)` serializes page `i` into `buf` (handed in empty):
+    /// the sequential pipeline streams encode→write one page at a time
+    /// through **one reused buffer** (zero per-page allocation — pair it
+    /// with `ElementPageCodec::encode_into`); parallel pipelines fan the
+    /// encoding out in bounded batches so peak memory stays at a few
+    /// thousand page images, not the whole file.
     pub fn encode_and_write<F>(&self, disk: &Disk, count: usize, encode: F) -> PageId
     where
-        F: Fn(usize) -> Vec<u8> + Sync,
+        F: Fn(usize, &mut Vec<u8>) + Sync,
     {
-        self.encode_run(disk, count, move |_, i| encode(i))
+        self.encode_run(disk, count, move |_, i, buf| encode(i, buf))
     }
 
     /// [`encode_and_write`](Self::encode_and_write) for encoders that must
@@ -100,12 +102,16 @@ impl IndexBuildPipeline {
     /// sequential in-order writes, byte-determinism) is identical.
     pub fn encode_run<F>(&self, disk: &Disk, count: usize, encode: F) -> PageId
     where
-        F: Fn(PageId, usize) -> Vec<u8> + Sync,
+        F: Fn(PageId, usize, &mut Vec<u8>) + Sync,
     {
         let first = disk.allocate_contiguous(count as u64);
         if self.pool.is_sequential() {
+            // One buffer for the whole run: `encode` fills it in place.
+            let mut buf = Vec::new();
             for i in 0..count {
-                disk.write_page(PageId(first.0 + i as u64), &encode(first, i));
+                buf.clear();
+                encode(first, i, &mut buf);
+                disk.write_page(PageId(first.0 + i as u64), &buf);
             }
             return first;
         }
@@ -117,9 +123,11 @@ impl IndexBuildPipeline {
         let mut start = 0;
         while start < count {
             let end = (start + batch).min(count);
-            let images = self
-                .pool
-                .map_range(end - start, |i| encode(first, start + i));
+            let images = self.pool.map_range(end - start, |i| {
+                let mut buf = Vec::new();
+                encode(first, start + i, &mut buf);
+                buf
+            });
             for (i, image) in images.iter().enumerate() {
                 disk.write_page(PageId(first.0 + (start + i) as u64), image);
             }
@@ -134,9 +142,9 @@ impl IndexBuildPipeline {
     pub fn pack_pages<T, F>(&self, disk: &Disk, parts: &[StrPartition<T>], encode: F) -> PageId
     where
         T: Sync,
-        F: Fn(&StrPartition<T>) -> Vec<u8> + Sync,
+        F: Fn(&StrPartition<T>, &mut Vec<u8>) + Sync,
     {
-        self.encode_and_write(disk, parts.len(), |i| encode(&parts[i]))
+        self.encode_and_write(disk, parts.len(), |i, buf| encode(&parts[i], buf))
     }
 }
 
@@ -168,7 +176,7 @@ mod tests {
             let pipe = IndexBuildPipeline::sequential();
             let codec = ElementPageCodec::new(512);
             let parts = pipe.partition(elems(500), codec.capacity());
-            let first = pipe.pack_pages(&disk, &parts, |p| codec.encode(&p.items));
+            let first = pipe.pack_pages(&disk, &parts, |p, buf| codec.encode_into(&p.items, buf));
             (0..parts.len())
                 .map(|i| disk.read_page_vec(PageId(first.0 + i as u64)))
                 .collect::<Vec<_>>()
@@ -178,7 +186,7 @@ mod tests {
             let pipe = IndexBuildPipeline::new(threads);
             let codec = ElementPageCodec::new(512);
             let parts = pipe.partition(elems(500), codec.capacity());
-            let first = pipe.pack_pages(&disk, &parts, |p| codec.encode(&p.items));
+            let first = pipe.pack_pages(&disk, &parts, |p, buf| codec.encode_into(&p.items, buf));
             let got: Vec<_> = (0..parts.len())
                 .map(|i| disk.read_page_vec(PageId(first.0 + i as u64)))
                 .collect();
@@ -193,7 +201,7 @@ mod tests {
         // sequential writes after the first.
         let disk = Disk::in_memory(256);
         let pipe = IndexBuildPipeline::new(4);
-        let first = pipe.encode_and_write(&disk, 64, |i| vec![i as u8; 16]);
+        let first = pipe.encode_and_write(&disk, 64, |i, buf| buf.resize(16, i as u8));
         assert_eq!(first, PageId(0));
         let s = disk.stats();
         assert_eq!(s.rand_writes, 1);
@@ -205,7 +213,7 @@ mod tests {
         // 5000 pages > the 2048-image minimum batch, so the parallel path
         // takes several batches; bytes must still match the streaming
         // sequential path exactly.
-        let encode = |i: usize| vec![(i % 251) as u8; 32];
+        let encode = |i: usize, buf: &mut Vec<u8>| buf.resize(32, (i % 251) as u8);
         let seq_disk = Disk::in_memory(64);
         IndexBuildPipeline::sequential().encode_and_write(&seq_disk, 5000, encode);
         let par_disk = Disk::in_memory(64);
@@ -227,7 +235,7 @@ mod tests {
     fn zero_pages_allocate_nothing() {
         let disk = Disk::in_memory(256);
         let pipe = IndexBuildPipeline::new(2);
-        pipe.encode_and_write(&disk, 0, |_| Vec::new());
+        pipe.encode_and_write(&disk, 0, |_, _: &mut Vec<u8>| {});
         assert_eq!(disk.allocated_pages(), 0);
     }
 }

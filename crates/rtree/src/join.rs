@@ -3,7 +3,7 @@
 use crate::{RTree, RtreeNode, RtreeStats};
 use tfm_geom::SpatialElement;
 use tfm_memjoin::{plane_sweep_join, ResultPair};
-use tfm_storage::{BufferPool, PageId};
+use tfm_storage::{PageId, PageReads};
 
 /// Synchronized R-Tree traversal join (Brinkhoff et al., SIGMOD '93).
 ///
@@ -13,14 +13,15 @@ use tfm_storage::{BufferPool, PageId};
 /// "R-TREE uses the plane sweep"). When the trees have different heights,
 /// the taller tree is descended first until the levels align.
 ///
-/// Node pages are read through per-tree [`BufferPool`]s, so the re-reads
-/// caused by structural overlap hit the disk only when they exceed the
-/// pool — exactly the behaviour the paper attributes to the R-Tree
-/// baseline.
-pub fn sync_join(
-    pool_a: &mut BufferPool<'_>,
+/// Node pages are read through per-tree caches (any [`PageReads`]
+/// implementor — a private [`BufferPool`] or a handle onto the shared
+/// `SharedPageCache`), so the re-reads caused by structural overlap hit
+/// the disk only when they exceed the cache — exactly the behaviour the
+/// paper attributes to the R-Tree baseline.
+pub fn sync_join<CA: PageReads, CB: PageReads>(
+    pool_a: &mut CA,
     tree_a: &RTree,
-    pool_b: &mut BufferPool<'_>,
+    pool_b: &mut CB,
     tree_b: &RTree,
     stats: &mut RtreeStats,
 ) -> Vec<ResultPair> {
@@ -46,11 +47,11 @@ pub fn sync_join(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn join_rec(
-    pool_a: &mut BufferPool<'_>,
+fn join_rec<CA: PageReads, CB: PageReads>(
+    pool_a: &mut CA,
     page_a: PageId,
     level_a: u32,
-    pool_b: &mut BufferPool<'_>,
+    pool_b: &mut CB,
     page_b: PageId,
     level_b: u32,
     stats: &mut RtreeStats,
@@ -132,22 +133,22 @@ fn join_rec(
     }
 }
 
-fn inner_entries(pool: &mut BufferPool<'_>, page: PageId) -> Vec<crate::NodeEntry> {
-    match RtreeNode::decode(pool.read(page)) {
+fn inner_entries<C: PageReads>(pool: &mut C, page: PageId) -> Vec<crate::NodeEntry> {
+    match RtreeNode::decode(&pool.page(page)) {
         RtreeNode::Inner(entries) => entries,
         RtreeNode::Leaf(_) => panic!("expected inner node at {page}"),
     }
 }
 
-fn leaf_elements(pool: &mut BufferPool<'_>, page: PageId) -> Vec<SpatialElement> {
-    match RtreeNode::decode(pool.read(page)) {
+fn leaf_elements<C: PageReads>(pool: &mut C, page: PageId) -> Vec<SpatialElement> {
+    match RtreeNode::decode(&pool.page(page)) {
         RtreeNode::Leaf(elems) => elems,
         RtreeNode::Inner(_) => panic!("expected leaf node at {page}"),
     }
 }
 
-fn node_mbb(pool: &mut BufferPool<'_>, page: PageId) -> tfm_geom::Aabb {
-    match RtreeNode::decode(pool.read(page)) {
+fn node_mbb<C: PageReads>(pool: &mut C, page: PageId) -> tfm_geom::Aabb {
+    match RtreeNode::decode(&pool.page(page)) {
         RtreeNode::Leaf(elems) => tfm_geom::Aabb::union_all(elems.iter().map(|e| e.mbb)),
         RtreeNode::Inner(entries) => tfm_geom::Aabb::union_all(entries.iter().map(|e| e.mbb)),
     }
@@ -157,8 +158,8 @@ fn node_mbb(pool: &mut BufferPool<'_>, page: PageId) -> tfm_geom::Aabb {
 /// element of `probe_side`. "Given the considerable cost of a query, this
 /// approach clearly is only efficient in case A >> B" — reproduced here as
 /// an ablation baseline.
-pub fn indexed_nested_loop_join(
-    pool_a: &mut BufferPool<'_>,
+pub fn indexed_nested_loop_join<C: PageReads>(
+    pool_a: &mut C,
     tree_a: &RTree,
     probe_side: &[SpatialElement],
     stats: &mut RtreeStats,
@@ -179,7 +180,7 @@ mod tests {
     use crate::RTree;
     use tfm_datagen::{generate, DatasetSpec, Distribution};
     use tfm_memjoin::{canonicalize, nested_loop_join, JoinStats};
-    use tfm_storage::Disk;
+    use tfm_storage::{BufferPool, Disk};
 
     fn check_against_oracle(spec_a: DatasetSpec, spec_b: DatasetSpec) {
         let a = generate(&spec_a);

@@ -28,7 +28,7 @@ pub use node::{NodeEntry, RtreeNode};
 use tfm_geom::{Aabb, ElementId, SpatialElement};
 use tfm_memjoin::JoinStats;
 use tfm_partition::IndexBuildPipeline;
-use tfm_storage::{BufferPool, Disk, PageId};
+use tfm_storage::{Disk, PageId, PageReads};
 
 /// Counters for R-Tree operations.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -150,8 +150,8 @@ impl RTree {
                     .collect()
             }
         };
-        let first = pipeline.pack_pages(disk, &parts, |p| {
-            node::encode_leaf(disk.page_size(), &p.items)
+        let first = pipeline.pack_pages(disk, &parts, |p, buf| {
+            node::encode_leaf_into(disk.page_size(), &p.items, buf)
         });
         let mut level: Vec<ChildRef> = parts
             .iter()
@@ -167,7 +167,7 @@ impl RTree {
         while level.len() > 1 {
             height += 1;
             let parts = pipeline.partition(level, capacity);
-            let first = pipeline.pack_pages(disk, &parts, |p| {
+            let first = pipeline.pack_pages(disk, &parts, |p, buf| {
                 let entries: Vec<NodeEntry> = p
                     .items
                     .iter()
@@ -176,7 +176,7 @@ impl RTree {
                         child: c.page,
                     })
                     .collect();
-                node::encode_inner(disk.page_size(), &entries)
+                node::encode_inner_into(disk.page_size(), &entries, buf)
             });
             level = parts
                 .iter()
@@ -222,9 +222,11 @@ impl RTree {
     }
 
     /// Returns the ids of all elements whose MBB intersects `query`.
-    pub fn range_query(
+    /// Node pages are read through `pool` (any [`PageReads`] implementor:
+    /// a private `BufferPool`, a `CacheHandle`, the shared cache).
+    pub fn range_query<C: PageReads>(
         &self,
-        pool: &mut BufferPool<'_>,
+        pool: &mut C,
         query: &Aabb,
         stats: &mut RtreeStats,
     ) -> Vec<ElementId> {
@@ -237,9 +239,9 @@ impl RTree {
     /// ids, so callers with a finer predicate than box intersection (e.g.
     /// the serving layer's ε-ball queries) can refine the candidates
     /// without a second lookup.
-    pub fn range_query_elements(
+    pub fn range_query_elements<C: PageReads>(
         &self,
-        pool: &mut BufferPool<'_>,
+        pool: &mut C,
         query: &Aabb,
         stats: &mut RtreeStats,
     ) -> Vec<SpatialElement> {
@@ -250,9 +252,9 @@ impl RTree {
 
     /// Shared descent: calls `on_hit` for every element whose MBB
     /// intersects `query`.
-    fn range_query_visit(
+    fn range_query_visit<C: PageReads>(
         &self,
-        pool: &mut BufferPool<'_>,
+        pool: &mut C,
         query: &Aabb,
         stats: &mut RtreeStats,
         mut on_hit: impl FnMut(SpatialElement),
@@ -266,7 +268,7 @@ impl RTree {
         }
         let mut stack = vec![(self.root, self.height)];
         while let Some((page, level)) = stack.pop() {
-            let n = RtreeNode::decode(pool.read(page));
+            let n = RtreeNode::decode(&pool.page(page));
             match n {
                 RtreeNode::Leaf(elems) => {
                     for e in elems {
@@ -294,6 +296,7 @@ mod tests {
     use super::*;
     use tfm_datagen::{generate, DatasetSpec};
     use tfm_geom::Point3;
+    use tfm_storage::BufferPool;
 
     fn build(count: usize, seed: u64) -> (Disk, RTree, Vec<SpatialElement>) {
         let disk = Disk::default_in_memory();

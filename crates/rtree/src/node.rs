@@ -44,28 +44,45 @@ pub fn capacity(page_size: usize) -> usize {
 
 /// Encodes a leaf page.
 pub fn encode_leaf(page_size: usize, elements: &[SpatialElement]) -> Vec<u8> {
-    assert!(elements.len() <= capacity(page_size));
     let mut buf = Vec::with_capacity(page_size);
+    encode_leaf_into(page_size, elements, &mut buf);
+    buf
+}
+
+/// Encodes a leaf page into `buf` (cleared first; the build pipeline's
+/// sequential path reuses one buffer across the whole level).
+pub fn encode_leaf_into(page_size: usize, elements: &[SpatialElement], buf: &mut Vec<u8>) {
+    assert!(elements.len() <= capacity(page_size));
+    buf.clear();
+    buf.reserve(page_size);
     buf.put_u8(LEAF_TAG);
     buf.put_u16_le(elements.len() as u16);
     for e in elements {
         buf.put_u64_le(e.id);
-        put_aabb(&mut buf, &e.mbb);
+        put_aabb(buf, &e.mbb);
     }
-    buf
 }
 
 /// Encodes an inner page.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn encode_inner(page_size: usize, entries: &[NodeEntry]) -> Vec<u8> {
-    assert!(entries.len() <= capacity(page_size));
     let mut buf = Vec::with_capacity(page_size);
+    encode_inner_into(page_size, entries, &mut buf);
+    buf
+}
+
+/// Encodes an inner page into `buf` (cleared first; see
+/// [`encode_leaf_into`]).
+pub fn encode_inner_into(page_size: usize, entries: &[NodeEntry], buf: &mut Vec<u8>) {
+    assert!(entries.len() <= capacity(page_size));
+    buf.clear();
+    buf.reserve(page_size);
     buf.put_u8(INNER_TAG);
     buf.put_u16_le(entries.len() as u16);
     for e in entries {
         buf.put_u64_le(e.child.0);
-        put_aabb(&mut buf, &e.mbb);
+        put_aabb(buf, &e.mbb);
     }
-    buf
 }
 
 impl RtreeNode {

@@ -20,7 +20,7 @@
 
 use tfm_geom::{ElementId, SpatialQuery};
 use tfm_rtree::{RTree, RtreeStats};
-use tfm_storage::{BufferPool, Disk, IoStatsSnapshot};
+use tfm_storage::{CacheHandle, CacheStats, Disk, IoStatsSnapshot, PageReads, SharedPageCache};
 use transformers::{explore, TransformersIndex, UnitReader};
 
 /// A built index structure that can serve spatial queries.
@@ -35,9 +35,21 @@ pub trait QueryEngine: Sync {
     /// driver charges the delta to the run.
     fn io_snapshot(&self) -> IoStatsSnapshot;
 
-    /// Creates a per-worker session with a private buffer pool of
-    /// `pool_pages` pages.
+    /// Creates a per-worker session. In private-pool mode the session
+    /// owns a buffer pool of `pool_pages` pages; engines constructed with
+    /// a shared cache ignore `pool_pages` and hand out thin views over
+    /// the one process-wide cache instead.
     fn session(&self, pool_pages: usize) -> Box<dyn QuerySession + '_>;
+
+    /// Counters of the engine's shared page cache (`None` when the engine
+    /// runs the private-pool ablation).
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// Drops the shared cache's resident pages and zeroes its counters so
+    /// comparable measurement runs start cold (no-op in private mode).
+    fn reset_cache(&self) {}
 }
 
 /// Per-worker query executor: owns the worker's buffer pool and scratch.
@@ -55,12 +67,27 @@ pub trait QuerySession {
 pub struct TransformersEngine<'a> {
     idx: &'a TransformersIndex,
     disk: &'a Disk,
+    cache: Option<SharedPageCache<'a>>,
 }
 
 impl<'a> TransformersEngine<'a> {
-    /// Wraps a built index and its disk.
+    /// Wraps a built index and its disk (private-pool sessions; chain
+    /// [`with_shared_cache`](Self::with_shared_cache) for the shared
+    /// read path).
     pub fn new(idx: &'a TransformersIndex, disk: &'a Disk) -> Self {
-        Self { idx, disk }
+        Self {
+            idx,
+            disk,
+            cache: None,
+        }
+    }
+
+    /// Attaches a process-wide [`SharedPageCache`] of `pages` pages over
+    /// `shards` locks: every session becomes a thin view over it
+    /// (zero-copy pins + shared decoded element pages).
+    pub fn with_shared_cache(mut self, pages: usize, shards: usize) -> Self {
+        self.cache = Some(SharedPageCache::with_shards(self.disk, pages, shards));
+        self
     }
 }
 
@@ -76,16 +103,28 @@ impl QueryEngine for TransformersEngine<'_> {
     fn session(&self, pool_pages: usize) -> Box<dyn QuerySession + '_> {
         Box::new(TransformersSession {
             idx: self.idx,
-            reader: self.idx.unit_reader(self.disk, pool_pages),
-            buf: Vec::new(),
+            reader: match &self.cache {
+                Some(cache) => self.idx.unit_reader_shared(cache),
+                None => self.idx.unit_reader(self.disk, pool_pages),
+            },
         })
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(SharedPageCache::stats)
+    }
+
+    fn reset_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.clear();
+            cache.reset_stats();
+        }
     }
 }
 
 struct TransformersSession<'a> {
     idx: &'a TransformersIndex,
-    reader: UnitReader<'a, 'a>,
-    buf: Vec<tfm_geom::SpatialElement>,
+    reader: UnitReader<'a, 'a, 'a>,
 }
 
 impl QuerySession for TransformersSession<'_> {
@@ -106,8 +145,10 @@ impl QuerySession for TransformersSession<'_> {
                 if !units[u].page_mbb.intersects(&probe) {
                     continue;
                 }
-                self.reader.read_into(units[u].id, &mut self.buf);
-                for e in &self.buf {
+                // Zero-copy: the shared cache's decoded tier is borrowed
+                // directly; private pools decode into the reader scratch.
+                let elems = self.reader.elements(units[u].id);
+                for e in elems.iter() {
                     if query.matches(&e.mbb) {
                         out.push(e.id);
                     }
@@ -129,6 +170,7 @@ pub struct GipsyEngine<'a> {
     idx: &'a TransformersIndex,
     disk: &'a Disk,
     walk_patience: usize,
+    cache: Option<SharedPageCache<'a>>,
 }
 
 impl<'a> GipsyEngine<'a> {
@@ -138,7 +180,15 @@ impl<'a> GipsyEngine<'a> {
             idx,
             disk,
             walk_patience: 64,
+            cache: None,
         }
+    }
+
+    /// Attaches a process-wide [`SharedPageCache`]; see
+    /// [`TransformersEngine::with_shared_cache`].
+    pub fn with_shared_cache(mut self, pages: usize, shards: usize) -> Self {
+        self.cache = Some(SharedPageCache::with_shards(self.disk, pages, shards));
+        self
     }
 }
 
@@ -154,24 +204,34 @@ impl QueryEngine for GipsyEngine<'_> {
     fn session(&self, pool_pages: usize) -> Box<dyn QuerySession + '_> {
         Box::new(GipsySession {
             idx: self.idx,
-            disk: self.disk,
-            reader: self.idx.unit_reader(self.disk, pool_pages),
+            reader: match &self.cache {
+                Some(cache) => self.idx.unit_reader_shared(cache),
+                None => self.idx.unit_reader(self.disk, pool_pages),
+            },
             scratch: explore::ExploreScratch::default(),
             walk_pos: None,
             walk_patience: self.walk_patience,
-            buf: Vec::new(),
         })
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(SharedPageCache::stats)
+    }
+
+    fn reset_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.clear();
+            cache.reset_stats();
+        }
     }
 }
 
 struct GipsySession<'a> {
     idx: &'a TransformersIndex,
-    disk: &'a Disk,
-    reader: UnitReader<'a, 'a>,
+    reader: UnitReader<'a, 'a, 'a>,
     scratch: explore::ExploreScratch,
     walk_pos: Option<transformers::NodeId>,
     walk_patience: usize,
-    buf: Vec<tfm_geom::SpatialElement>,
 }
 
 impl QuerySession for GipsySession<'_> {
@@ -193,9 +253,11 @@ impl QuerySession for GipsySession<'_> {
         // Hilbert B+-tree for a start descriptor.
         let start = match self.walk_pos {
             Some(n) => n,
+            // Cold start: the B+-tree descent reads through the session's
+            // cache handle, so tree pages share the serving cache.
             None => self
                 .idx
-                .walk_start(self.disk, &probe.center())
+                .walk_start_with(self.reader.cache_mut(), &probe.center())
                 .expect("non-empty index"),
         };
         let r = explore::adaptive_walk(
@@ -220,8 +282,8 @@ impl QuerySession for GipsySession<'_> {
             .candidates
             .sort_unstable_by_key(|u| units[u.0 as usize].page);
         for cu in crawl.candidates {
-            self.reader.read_into(cu, &mut self.buf);
-            for e in &self.buf {
+            let elems = self.reader.elements(cu);
+            for e in elems.iter() {
                 if query.matches(&e.mbb) {
                     out.push(e.id);
                 }
@@ -240,12 +302,26 @@ impl QuerySession for GipsySession<'_> {
 pub struct RtreeEngine<'a> {
     tree: &'a RTree,
     disk: &'a Disk,
+    cache: Option<SharedPageCache<'a>>,
 }
 
 impl<'a> RtreeEngine<'a> {
     /// Wraps a bulk-loaded tree and its disk.
     pub fn new(tree: &'a RTree, disk: &'a Disk) -> Self {
-        Self { tree, disk }
+        Self {
+            tree,
+            disk,
+            cache: None,
+        }
+    }
+
+    /// Attaches a process-wide [`SharedPageCache`]; see
+    /// [`TransformersEngine::with_shared_cache`]. (R-tree pages use their
+    /// own node layout, so only the byte tier applies — the decoded tier
+    /// is specific to element pages.)
+    pub fn with_shared_cache(mut self, pages: usize, shards: usize) -> Self {
+        self.cache = Some(SharedPageCache::with_shards(self.disk, pages, shards));
+        self
     }
 }
 
@@ -261,15 +337,29 @@ impl QueryEngine for RtreeEngine<'_> {
     fn session(&self, pool_pages: usize) -> Box<dyn QuerySession + '_> {
         Box::new(RtreeSession {
             tree: self.tree,
-            pool: BufferPool::new(self.disk, pool_pages.max(1)),
+            pool: match &self.cache {
+                Some(cache) => CacheHandle::shared(cache),
+                None => CacheHandle::private(self.disk, pool_pages),
+            },
             stats: RtreeStats::default(),
         })
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(SharedPageCache::stats)
+    }
+
+    fn reset_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.clear();
+            cache.reset_stats();
+        }
     }
 }
 
 struct RtreeSession<'a> {
     tree: &'a RTree,
-    pool: BufferPool<'a>,
+    pool: CacheHandle<'a, 'a>,
     stats: RtreeStats,
 }
 
@@ -288,6 +378,7 @@ impl QuerySession for RtreeSession<'_> {
     }
 
     fn pool_counters(&self) -> (u64, u64) {
-        (self.pool.hits(), self.pool.misses())
+        let c = self.pool.counters();
+        (c.hits, c.misses)
     }
 }

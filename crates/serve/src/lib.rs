@@ -88,6 +88,13 @@ pub struct ServeConfig {
     /// Bounded request-queue capacity in batches — the backpressure
     /// window between the feeding thread and the workers.
     pub queue_batches: usize,
+    /// Serve through one process-wide shared page cache (the default the
+    /// bench/CLI harnesses construct engines with). `false` is the
+    /// `--private-pool` ablation: each worker session owns a private pool
+    /// of `pool_pages / threads` pages. This field is read by the
+    /// harnesses that *build* engines (`tfm-bench`, the CLI) — a
+    /// hand-constructed engine's mode is fixed by its constructor.
+    pub shared_cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +105,7 @@ impl Default for ServeConfig {
             hilbert_batching: true,
             pool_pages: tfm_storage::DEFAULT_POOL_PAGES,
             queue_batches: 4,
+            shared_cache: true,
         }
     }
 }
@@ -118,6 +126,13 @@ impl ServeConfig {
     /// Builder: disables Hilbert-ordered batching (arrival order).
     pub fn without_hilbert_batching(mut self) -> Self {
         self.hilbert_batching = false;
+        self
+    }
+
+    /// Builder: the private-pool ablation (see
+    /// [`ServeConfig::shared_cache`]).
+    pub fn without_shared_cache(mut self) -> Self {
+        self.shared_cache = false;
         self
     }
 }
@@ -184,6 +199,7 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
     let pool_pages = (cfg.pool_pages / threads).max(1);
 
     let io_before = engine.io_snapshot();
+    let cache_before = engine.cache_stats();
     let start = Instant::now();
 
     let worker_results: Vec<WorkerOut> = if threads == 1 {
@@ -231,6 +247,10 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
 
     let wall = start.elapsed();
     let io = engine.io_snapshot().delta_since(&io_before);
+    let cache = match (engine.cache_stats(), cache_before) {
+        (Some(after), Some(before)) => Some(after.delta_since(&before)),
+        _ => None,
+    };
 
     // Deterministic reassembly by query position.
     let mut results: Vec<Vec<ElementId>> = vec![Vec::new(); trace.len()];
@@ -263,6 +283,7 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
         pool_misses,
         io,
         per_worker_queries,
+        cache,
     };
     ServeOutcome { results, stats }
 }
@@ -420,6 +441,60 @@ mod tests {
             batched.stats.seq_read_fraction(),
             unbatched.stats.seq_read_fraction()
         );
+    }
+
+    #[test]
+    fn shared_cache_engines_match_private_and_report_cache_stats() {
+        let (disk, idx, elems) = fixture(2500, 22);
+        let trace = generate_trace(&QueryTraceSpec::uniform(200, 23));
+        let expected = reference(&elems, &trace);
+        let shared = TransformersEngine::new(&idx, &disk).with_shared_cache(256, 4);
+        for threads in [1, 4] {
+            shared.reset_cache();
+            let out = serve_trace(
+                &shared,
+                &trace,
+                &ServeConfig::default().with_threads(threads),
+            );
+            assert_eq!(out.results, expected, "threads = {threads}");
+            let cache = out.stats.cache.expect("shared engine reports cache stats");
+            assert!(cache.hits + cache.misses > 0);
+            assert_eq!(
+                cache.decoded_hits + cache.decoded_misses,
+                cache.hits + cache.misses
+            );
+            assert!(out.stats.pool_hit_fraction() > 0.0);
+            // Handle-local counters sum to the cache's global totals.
+            assert_eq!(out.stats.pool_hits, cache.hits);
+            assert_eq!(out.stats.pool_misses, cache.misses);
+        }
+        // Private-pool engines report no cache stats.
+        let private = TransformersEngine::new(&idx, &disk);
+        let out = serve_trace(&private, &trace, &ServeConfig::default());
+        assert_eq!(out.results, expected);
+        assert!(out.stats.cache.is_none());
+        assert_eq!(out.stats.decoded_hit_fraction(), 0.0);
+    }
+
+    #[test]
+    fn shared_cache_reads_fewer_pages_across_workers() {
+        // Four workers over one shared cache: a page faulted by one worker
+        // is a hit for the rest, so total misses must undercut four
+        // private pools replaying the same trace.
+        let (disk, idx, _) = fixture(6000, 24);
+        let trace = generate_trace(&QueryTraceSpec::uniform(400, 25));
+        let cfg = ServeConfig::default().with_threads(4).with_batch(16);
+        let shared_engine = TransformersEngine::new(&idx, &disk).with_shared_cache(1024, 8);
+        let shared = serve_trace(&shared_engine, &trace, &cfg);
+        let private = serve_trace(&TransformersEngine::new(&idx, &disk), &trace, &cfg);
+        assert_eq!(shared.results, private.results);
+        assert!(
+            shared.stats.pool_misses < private.stats.pool_misses,
+            "shared {} must read fewer pages than private {}",
+            shared.stats.pool_misses,
+            private.stats.pool_misses
+        );
+        assert!(shared.stats.pool_hit_fraction() > private.stats.pool_hit_fraction());
     }
 
     #[test]

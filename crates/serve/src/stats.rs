@@ -1,7 +1,7 @@
 //! Serving statistics: per-query latencies and aggregate counters.
 
 use std::time::Duration;
-use tfm_storage::IoStatsSnapshot;
+use tfm_storage::{CacheStats, IoStatsSnapshot};
 
 /// Latency percentiles over one serve run, in nanoseconds.
 ///
@@ -89,6 +89,9 @@ pub struct ServeStats {
     /// Queries served by each worker — the skew shows how evenly the
     /// batch queue spread the load.
     pub per_worker_queries: Vec<u64>,
+    /// Shared-cache counters of the run (decoded-tier hit rates, shard
+    /// contention); `None` when the engine ran the private-pool ablation.
+    pub cache: Option<CacheStats>,
 }
 
 impl ServeStats {
@@ -105,6 +108,27 @@ impl ServeStats {
     /// Hilbert-ordered batching.
     pub fn seq_read_fraction(&self) -> f64 {
         self.io.seq_read_fraction()
+    }
+
+    /// Pool hit fraction over all worker sessions, in `0.0..=1.0`.
+    pub fn pool_hit_fraction(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.pool_hits as f64 / total as f64
+    }
+
+    /// Decoded-tier hit fraction of the shared cache (0 when the run used
+    /// private pools, which have no decoded tier).
+    pub fn decoded_hit_fraction(&self) -> f64 {
+        self.cache.map_or(0.0, |c| c.decoded_hit_fraction())
+    }
+
+    /// Shard-lock contention fraction of the shared cache (0 for private
+    /// pools).
+    pub fn contention_fraction(&self) -> f64 {
+        self.cache.map_or(0.0, |c| c.contention_fraction())
     }
 }
 

@@ -1,4 +1,4 @@
-//! A small LRU buffer pool.
+//! A small private page cache with CLOCK (second-chance) replacement.
 //!
 //! The paper's experiments run with cold *OS* caches (§VII-A) but every
 //! join implementation still owns an in-process buffer: the synchronized
@@ -7,22 +7,27 @@
 //! fair, every approach in this reproduction reads data pages through a
 //! [`BufferPool`] of the same default capacity; only pool *misses* reach
 //! the [`Disk`] and are charged I/O.
+//!
+//! The pool runs on the same [`crate::clock`] CLOCK ring as the shards of
+//! the process-wide [`crate::SharedPageCache`]: a hit costs one hash
+//! lookup and one reference-bit store (the previous LRU paid two
+//! `BTreeMap` updates per read), and a miss recycles the victim frame's
+//! buffer in place instead of allocating a fresh `Vec` per page.
 
+use crate::clock::ClockRing;
 use crate::{Disk, PageId};
-use std::collections::{BTreeMap, HashMap};
 
 /// Default pool capacity in pages: 1024 × 8 KiB = 8 MiB.
 pub const DEFAULT_POOL_PAGES: usize = 1024;
 
-/// A least-recently-used page cache in front of a [`Disk`].
+/// A private CLOCK page cache in front of a [`Disk`].
+///
+/// For a cache *shared* by concurrent readers use
+/// [`crate::SharedPageCache`]; this type is `&mut self` and belongs to one
+/// owner (a join side, a serve session, a baseline's read loop).
 pub struct BufferPool<'d> {
     disk: &'d Disk,
-    capacity: usize,
-    /// page -> (lru stamp, data)
-    pages: HashMap<PageId, (u64, Vec<u8>)>,
-    /// stamp -> page (inverse index for O(log n) eviction)
-    lru: BTreeMap<u64, PageId>,
-    clock: u64,
+    ring: ClockRing<Vec<u8>>,
     hits: u64,
     misses: u64,
 }
@@ -33,13 +38,9 @@ impl<'d> BufferPool<'d> {
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(disk: &'d Disk, capacity: usize) -> Self {
-        assert!(capacity > 0, "buffer pool needs at least one page");
         Self {
             disk,
-            capacity,
-            pages: HashMap::with_capacity(capacity),
-            lru: BTreeMap::new(),
-            clock: 0,
+            ring: ClockRing::new(capacity),
             hits: 0,
             misses: 0,
         }
@@ -58,26 +59,17 @@ impl<'d> BufferPool<'d> {
     /// Reads a page, from cache if possible. Returns a reference valid
     /// until the next call that can evict.
     pub fn read(&mut self, id: PageId) -> &[u8] {
-        self.clock += 1;
-        let stamp = self.clock;
-        if let Some((old, _)) = self.pages.get_mut(&id) {
+        if let Some(i) = self.ring.find(id.0) {
             self.hits += 1;
-            let old_stamp = *old;
-            *old = stamp;
-            self.lru.remove(&old_stamp);
-            self.lru.insert(stamp, id);
-        } else {
-            self.misses += 1;
-            if self.pages.len() >= self.capacity {
-                // Evict the least recently used page.
-                let (_, victim) = self.lru.pop_first().expect("pool non-empty at capacity");
-                self.pages.remove(&victim);
-            }
-            let data = self.disk.read_page_vec(id);
-            self.pages.insert(id, (stamp, data));
-            self.lru.insert(stamp, id);
+            return self.ring.payload_mut(i);
         }
-        &self.pages.get(&id).expect("just inserted").1
+        self.misses += 1;
+        let page_size = self.disk.page_size();
+        // The victim's buffer is recycled in place; only a growing pool
+        // (or an all-pinned ring, impossible here) allocates.
+        let slot = self.ring.insert(id.0, |_| true, || vec![0u8; page_size]);
+        self.disk.read_page(id, slot.payload);
+        slot.payload
     }
 
     /// Cache hits so far.
@@ -92,8 +84,7 @@ impl<'d> BufferPool<'d> {
 
     /// Drops all cached pages (does not reset hit/miss counters).
     pub fn clear(&mut self) {
-        self.pages.clear();
-        self.lru.clear();
+        self.ring.clear();
     }
 }
 
@@ -129,7 +120,7 @@ mod tests {
         let mut pool = BufferPool::new(&d, 2);
         pool.read(PageId(0));
         pool.read(PageId(1));
-        pool.read(PageId(0)); // refresh 0; LRU is now 1
+        pool.read(PageId(0)); // refresh 0; second-chance victim is now 1
         pool.read(PageId(2)); // evicts 1
         assert_eq!(d.stats().reads(), 3);
         pool.read(PageId(0)); // still cached
@@ -163,5 +154,21 @@ mod tests {
         assert_eq!(pool.read(PageId(1))[0], 1);
         assert_eq!(pool.read(PageId(0))[0], 0);
         assert_eq!(d.stats().reads(), 3);
+    }
+
+    #[test]
+    fn recycled_frames_return_fresh_bytes() {
+        // Thrash a capacity-1 pool across distinct pages: every miss
+        // recycles the same buffer, which must always end up holding the
+        // newly requested page's bytes.
+        let d = disk_with_pages(8, 16);
+        let mut pool = BufferPool::new(&d, 1);
+        for round in 0..3 {
+            for i in 0..8u64 {
+                assert_eq!(pool.read(PageId(i))[0], i as u8, "round {round}");
+            }
+        }
+        assert_eq!(pool.hits(), 0);
+        assert_eq!(pool.misses(), 24);
     }
 }

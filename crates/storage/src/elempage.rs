@@ -46,13 +46,27 @@ impl ElementPageCodec {
     /// # Panics
     /// Panics if more elements are given than fit.
     pub fn encode(&self, elements: &[SpatialElement]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.page_size);
+        self.encode_into(elements, &mut buf);
+        buf
+    }
+
+    /// Serializes a page image directly into `buf` (cleared first, reusing
+    /// its capacity — no intermediate allocation, unlike `encode`). The
+    /// write counterpart of [`decode_into`](Self::decode_into): the build
+    /// pipeline's page-encode stages reuse one buffer across pages.
+    ///
+    /// # Panics
+    /// Panics if more elements are given than fit.
+    pub fn encode_into(&self, elements: &[SpatialElement], buf: &mut Vec<u8>) {
         assert!(
             elements.len() <= self.capacity(),
             "{} elements exceed page capacity {}",
             elements.len(),
             self.capacity()
         );
-        let mut buf = Vec::with_capacity(self.page_size);
+        buf.clear();
+        buf.reserve(self.page_size);
         buf.put_u16_le(elements.len() as u16);
         for e in elements {
             buf.put_u64_le(e.id);
@@ -64,7 +78,6 @@ impl ElementPageCodec {
             buf.put_f64_le(e.mbb.max.z);
         }
         buf.resize(self.page_size, 0);
-        buf
     }
 
     /// Deserializes the elements stored in a page image.
@@ -144,6 +157,21 @@ mod tests {
         let c = ElementPageCodec::new(HEADER_SIZE + RECORD_SIZE); // capacity 1
         let elems = vec![elem(0, 0.0), elem(1, 1.0)];
         c.encode(&elems);
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_encode() {
+        let c = ElementPageCodec::new(512);
+        let elems = vec![elem(7, 0.5), elem(9, -3.25)];
+        let mut buf = Vec::new();
+        c.encode_into(&elems, &mut buf);
+        assert_eq!(buf, c.encode(&elems));
+        // Reuse with different (and empty) content: cleared each time.
+        c.encode_into(&[elem(1, 1.0)], &mut buf);
+        assert_eq!(buf, c.encode(&[elem(1, 1.0)]));
+        c.encode_into(&[], &mut buf);
+        assert_eq!(buf, c.encode(&[]));
+        assert_eq!(buf.len(), 512);
     }
 
     #[test]

@@ -19,19 +19,30 @@
 //! Two backends are provided: an in-memory backend (default; deterministic
 //! and fast) and a real-file backend for sanity checks that the page
 //! arithmetic is sound when bytes actually hit a filesystem.
+//!
+//! On top of the disk sit the caching layers every reader goes through:
+//! the private per-owner [`BufferPool`], the process-wide lock-striped
+//! [`SharedPageCache`] (pinned zero-copy frames + a decoded element-page
+//! tier), and the [`PageReads`]/[`CacheHandle`] abstraction that lets
+//! index traversals stay agnostic of which one is in use.
 
 #![warn(missing_docs)]
 
 mod buffer;
+mod cache;
+mod clock;
 mod disk;
 mod elempage;
 mod model;
+mod shared;
 mod stats;
 
 pub use buffer::{BufferPool, DEFAULT_POOL_PAGES};
+pub use cache::{CacheHandle, ElemSlice, PageReads, PageSlice, PoolCounters};
 pub use disk::{Disk, DiskBackendKind};
 pub use elempage::ElementPageCodec;
 pub use model::DiskModel;
+pub use shared::{CacheStats, DecodedOutcome, PageRef, SharedPageCache, DEFAULT_CACHE_SHARDS};
 pub use stats::{IoStats, IoStatsSnapshot};
 
 /// Default page size used throughout the reproduction (paper §VII-A: 8 KB).

@@ -1,0 +1,598 @@
+//! The process-wide, sharded, pinned-frame page cache.
+//!
+//! Every access path in the reproduction — the TRANSFORMERS join, the
+//! GIPSY walk+crawl, the R-tree/B+-tree baselines and the serving layer —
+//! bottoms out in page reads against an immutable [`Disk`]. Before this
+//! module each worker owned a *private* [`crate::BufferPool`], so a hot
+//! page was duplicated in N worker caches, re-read from the disk by every
+//! worker that touched it, and re-decoded on every visit. The
+//! [`SharedPageCache`] replaces those N private pools with **one**
+//! process-wide cache:
+//!
+//! * **Sharded / lock-striped** — the page-id space is striped over
+//!   independently locked shards (consecutive pages land on different
+//!   shards), so concurrent readers rarely contend; contention that does
+//!   happen is counted ([`CacheStats::lock_contended`]).
+//! * **CLOCK eviction per shard** — the same second-chance ring as the
+//!   private pool ([`crate::clock`]), with pinned frames skipped.
+//! * **Zero-copy pin guards** — [`SharedPageCache::read`] hands out a
+//!   [`PageRef`] that borrows the cached bytes (`Deref<Target = [u8]>`)
+//!   by bumping the frame's `Arc`; no bytes are copied and no `Vec` is
+//!   allocated per read. A pinned frame cannot be recycled: eviction
+//!   checks the `Arc` count under the shard lock, so a live guard always
+//!   observes the page it pinned.
+//! * **Recycled miss buffers** — a miss evicts an unpinned victim and
+//!   reads the new page *into the victim's buffer*; at steady state a
+//!   miss allocates nothing.
+//! * **Decoded second tier** — element pages are usually consumed through
+//!   [`crate::ElementPageCodec::decode`]; the cache keeps the decoded
+//!   `Arc<[SpatialElement]>` alongside the frame
+//!   ([`SharedPageCache::read_decoded`]), so repeated probes of a hot page
+//!   skip the decode entirely. Decoded entries live and die with their
+//!   frame.
+//!
+//! Reads take `&self`; the cache is `Sync` and is meant to be shared by
+//! reference across worker threads (see `transformers::UnitReader` and
+//! the serve engines). Results are unaffected by caching — decode is pure
+//! and the disk is immutable during joins/serves — so join and serve
+//! outputs stay byte-identical to the private-pool ablation at any worker
+//! count; only the I/O counters improve.
+//!
+//! Miss fills and decodes run **under the shard lock**. That serializes
+//! co-shard misses, but it also guarantees each page is read and decoded
+//! at most once per residency (no thundering-herd duplicate I/O) and
+//! keeps the pin check race-free; against the simulated disk a fill is a
+//! `memcpy`, so the hold time is small and the `lock_contended` counter
+//! makes the cost observable. Revisit with placeholder frames if a real
+//! I/O backend ever sits behind this cache.
+
+use crate::clock::ClockRing;
+use crate::{Disk, ElementPageCodec, PageId};
+use parking_lot::Mutex;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tfm_geom::SpatialElement;
+
+/// Default shard count for caches shared by a handful of workers.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// One frame of a shard: the pinned page bytes plus the decoded tier.
+struct SharedFrame {
+    /// Page bytes; `Arc` strong count > 1 means the frame is pinned by at
+    /// least one live [`PageRef`] and must not be recycled.
+    buf: Arc<Vec<u8>>,
+    /// Decoded element records, populated lazily by `read_decoded`.
+    decoded: Option<Arc<[SpatialElement]>>,
+}
+
+/// Per-shard counters (kept inside the shard lock; aggregated on demand).
+#[derive(Default)]
+struct ShardCounters {
+    hits: u64,
+    misses: u64,
+    decoded_hits: u64,
+    decoded_misses: u64,
+    evictions: u64,
+    recycled_frames: u64,
+    fresh_allocs: u64,
+}
+
+struct ShardInner {
+    ring: ClockRing<SharedFrame>,
+    counters: ShardCounters,
+}
+
+struct Shard {
+    inner: Mutex<ShardInner>,
+    /// Lock acquisitions / acquisitions that found the lock held — the
+    /// shard-contention signal reported in [`CacheStats`].
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl Shard {
+    fn lock(&self) -> std::sync::MutexGuard<'_, ShardInner> {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if let Some(g) = self.inner.try_lock() {
+            return g;
+        }
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock()
+    }
+}
+
+/// A zero-copy pin guard over one cached page.
+///
+/// Holding a `PageRef` pins the frame: the shard's CLOCK sweep skips
+/// pinned frames, so the bytes seen through the guard are immutable and
+/// always belong to the page that was read — even if the frame table has
+/// since moved on. Dropping the guard unpins the frame.
+#[derive(Debug, Clone)]
+pub struct PageRef {
+    buf: Arc<Vec<u8>>,
+}
+
+impl Deref for PageRef {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Which tier answered a [`SharedPageCache::read_decoded_tracked`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodedOutcome {
+    /// The decoded tier had the elements: no page read, no decode.
+    Decoded,
+    /// The page bytes were cached but had to be decoded.
+    Page,
+    /// Full miss: the page was read from disk and decoded.
+    Miss,
+}
+
+/// Aggregated counters of a [`SharedPageCache`] (or the delta between two
+/// snapshots of one).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Page-tier hits (bytes served from a resident frame).
+    pub hits: u64,
+    /// Page-tier misses (disk page reads).
+    pub misses: u64,
+    /// Decoded-tier hits (decode skipped entirely).
+    pub decoded_hits: u64,
+    /// Decoded-tier misses (a decode ran).
+    pub decoded_misses: u64,
+    /// Frames whose page was evicted to make room.
+    pub evictions: u64,
+    /// Misses served by recycling an evicted frame's buffer in place.
+    pub recycled_frames: u64,
+    /// Misses that had to allocate a fresh frame buffer (pool still
+    /// filling, or every victim candidate was pinned).
+    pub fresh_allocs: u64,
+    /// Shard-lock acquisitions.
+    pub lock_acquisitions: u64,
+    /// Acquisitions that found the shard lock already held — the
+    /// lock-striping contention signal.
+    pub lock_contended: u64,
+    /// Shard count of the cache (configuration, not a counter).
+    pub shards: usize,
+    /// Total frame capacity in pages (configuration, not a counter).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Page-tier hit fraction in `0.0..=1.0` (0 when idle).
+    pub fn hit_fraction(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
+    /// Decoded-tier hit fraction in `0.0..=1.0` (0 when idle).
+    pub fn decoded_hit_fraction(&self) -> f64 {
+        let total = self.decoded_hits + self.decoded_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.decoded_hits as f64 / total as f64
+    }
+
+    /// Fraction of shard-lock acquisitions that found the lock held.
+    pub fn contention_fraction(&self) -> f64 {
+        if self.lock_acquisitions == 0 {
+            return 0.0;
+        }
+        self.lock_contended as f64 / self.lock_acquisitions as f64
+    }
+
+    /// Counter-wise difference `self - earlier` (configuration fields are
+    /// carried over); use to measure one phase of a longer run.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            decoded_hits: self.decoded_hits - earlier.decoded_hits,
+            decoded_misses: self.decoded_misses - earlier.decoded_misses,
+            evictions: self.evictions - earlier.evictions,
+            recycled_frames: self.recycled_frames - earlier.recycled_frames,
+            fresh_allocs: self.fresh_allocs - earlier.fresh_allocs,
+            lock_acquisitions: self.lock_acquisitions - earlier.lock_acquisitions,
+            lock_contended: self.lock_contended - earlier.lock_contended,
+            shards: self.shards,
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// The process-wide sharded page cache. See the module docs.
+pub struct SharedPageCache<'d> {
+    disk: &'d Disk,
+    shards: Box<[Shard]>,
+    capacity: usize,
+}
+
+impl<'d> SharedPageCache<'d> {
+    /// Creates a cache of `capacity` pages total, striped over `shards`
+    /// locks (both clamped to at least 1). Each shard gets an equal slice
+    /// of the capacity.
+    pub fn with_shards(disk: &'d Disk, capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity = capacity.max(1);
+        let per_shard = (capacity / shards).max(1);
+        let shards: Box<[Shard]> = (0..shards)
+            .map(|_| Shard {
+                inner: Mutex::new(ShardInner {
+                    ring: ClockRing::new(per_shard),
+                    counters: ShardCounters::default(),
+                }),
+                acquisitions: AtomicU64::new(0),
+                contended: AtomicU64::new(0),
+            })
+            .collect();
+        let capacity = per_shard * shards.len();
+        Self {
+            disk,
+            shards,
+            capacity,
+        }
+    }
+
+    /// Creates a cache of `capacity` pages with [`DEFAULT_CACHE_SHARDS`].
+    pub fn new(disk: &'d Disk, capacity: usize) -> Self {
+        Self::with_shards(disk, capacity, DEFAULT_CACHE_SHARDS)
+    }
+
+    /// Shard count sized for `threads` concurrent readers: about two
+    /// shards per worker, a power of two, at most 64.
+    pub fn shards_for_threads(threads: usize) -> usize {
+        (threads.max(1) * 2).next_power_of_two().min(64)
+    }
+
+    /// The underlying disk.
+    pub fn disk(&self) -> &'d Disk {
+        self.disk
+    }
+
+    /// Total frame capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    fn shard(&self, id: PageId) -> &Shard {
+        // Stripe by page id: consecutive pages (the common sequential
+        // access pattern) hit different shard locks.
+        &self.shards[(id.0 % self.shards.len() as u64) as usize]
+    }
+
+    /// Reads a page through the cache, returning a zero-copy pin guard.
+    pub fn read(&self, id: PageId) -> PageRef {
+        self.read_tracked(id).0
+    }
+
+    /// [`read`](Self::read) plus whether the page tier hit — for handles
+    /// that keep per-worker counters over a shared cache.
+    pub fn read_tracked(&self, id: PageId) -> (PageRef, bool) {
+        let shard = self.shard(id);
+        let mut guard = shard.lock();
+        if guard.ring.contains(id.0) {
+            guard.counters.hits += 1;
+            let f = guard.ring.get(id.0).expect("resident page");
+            return (
+                PageRef {
+                    buf: Arc::clone(&f.buf),
+                },
+                true,
+            );
+        }
+        guard.counters.misses += 1;
+        let f = Self::load_frame(self.disk, &mut guard, id);
+        (
+            PageRef {
+                buf: Arc::clone(&f.buf),
+            },
+            false,
+        )
+    }
+
+    /// Reads and decodes an element page through both tiers, returning the
+    /// shared decoded records.
+    pub fn read_decoded(&self, codec: &ElementPageCodec, id: PageId) -> Arc<[SpatialElement]> {
+        self.read_decoded_tracked(codec, id).0
+    }
+
+    /// [`read_decoded`](Self::read_decoded) plus which tier answered.
+    pub fn read_decoded_tracked(
+        &self,
+        codec: &ElementPageCodec,
+        id: PageId,
+    ) -> (Arc<[SpatialElement]>, DecodedOutcome) {
+        let shard = self.shard(id);
+        let mut guard = shard.lock();
+        if let Some(i) = guard.ring.find(id.0) {
+            guard.counters.hits += 1;
+            let hit_decoded = guard.ring.payload_mut(i).decoded.as_ref().map(Arc::clone);
+            if let Some(decoded) = hit_decoded {
+                guard.counters.decoded_hits += 1;
+                return (decoded, DecodedOutcome::Decoded);
+            }
+            guard.counters.decoded_misses += 1;
+            let f = guard.ring.payload_mut(i);
+            let decoded: Arc<[SpatialElement]> = codec.decode(&f.buf).into();
+            f.decoded = Some(Arc::clone(&decoded));
+            return (decoded, DecodedOutcome::Page);
+        }
+        guard.counters.misses += 1;
+        guard.counters.decoded_misses += 1;
+        let f = Self::load_frame(self.disk, &mut guard, id);
+        let decoded: Arc<[SpatialElement]> = codec.decode(&f.buf).into();
+        f.decoded = Some(Arc::clone(&decoded));
+        (decoded, DecodedOutcome::Miss)
+    }
+
+    /// Miss path: registers `id` in the ring (evicting/recycling under the
+    /// shard lock) and fills the frame's buffer from disk.
+    fn load_frame<'r>(disk: &Disk, inner: &'r mut ShardInner, id: PageId) -> &'r mut SharedFrame {
+        let page_size = disk.page_size();
+        let ShardInner { ring, counters } = inner;
+        let slot = ring.insert(
+            id.0,
+            // A frame is evictable only while no PageRef pins its buffer;
+            // clones only happen under this shard's lock, so the count is
+            // stable for the duration of the sweep.
+            |f| Arc::strong_count(&f.buf) == 1,
+            || SharedFrame {
+                buf: Arc::new(vec![0u8; page_size]),
+                decoded: None,
+            },
+        );
+        if slot.evicted.is_some() {
+            counters.evictions += 1;
+            counters.recycled_frames += 1;
+        }
+        if slot.fresh {
+            counters.fresh_allocs += 1;
+        }
+        let f = slot.payload;
+        f.decoded = None;
+        let buf =
+            Arc::get_mut(&mut f.buf).expect("unpinned frame buffer is uniquely owned under lock");
+        disk.read_page(id, buf);
+        f
+    }
+
+    /// Aggregates all shard counters into one snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = CacheStats {
+            shards: self.shards.len(),
+            capacity: self.capacity,
+            ..CacheStats::default()
+        };
+        for shard in self.shards.iter() {
+            s.lock_acquisitions += shard.acquisitions.load(Ordering::Relaxed);
+            s.lock_contended += shard.contended.load(Ordering::Relaxed);
+            let inner = shard.inner.lock();
+            let c = &inner.counters;
+            s.hits += c.hits;
+            s.misses += c.misses;
+            s.decoded_hits += c.decoded_hits;
+            s.decoded_misses += c.decoded_misses;
+            s.evictions += c.evictions;
+            s.recycled_frames += c.recycled_frames;
+            s.fresh_allocs += c.fresh_allocs;
+        }
+        s
+    }
+
+    /// Drops every cached page and decoded entry (counters keep running,
+    /// matching [`crate::BufferPool::clear`]). Live [`PageRef`]s stay
+    /// valid — their buffers are kept alive by the guards themselves.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.inner.lock().ring.clear();
+        }
+    }
+
+    /// Zeroes all counters (e.g. between comparable measurement phases).
+    pub fn reset_stats(&self) {
+        for shard in self.shards.iter() {
+            shard.acquisitions.store(0, Ordering::Relaxed);
+            shard.contended.store(0, Ordering::Relaxed);
+            let mut inner = shard.inner.lock();
+            inner.counters = ShardCounters::default();
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedPageCache<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPageCache")
+            .field("capacity", &self.capacity)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiskModel;
+
+    fn disk_with_pages(n: u64, page_size: usize) -> Disk {
+        let d = Disk::in_memory(page_size).with_model(DiskModel::free());
+        let first = d.allocate_contiguous(n);
+        for i in 0..n {
+            d.write_page(PageId(first.0 + i), &[i as u8]);
+        }
+        d.reset_stats();
+        d
+    }
+
+    #[test]
+    fn hit_avoids_disk_and_is_zero_copy() {
+        let d = disk_with_pages(4, 32);
+        let cache = SharedPageCache::with_shards(&d, 4, 2);
+        let a = cache.read(PageId(1));
+        let b = cache.read(PageId(1));
+        assert_eq!(a[0], 1);
+        // Both guards pin the same underlying buffer: zero-copy.
+        assert!(std::ptr::eq(a.as_ptr(), b.as_ptr()));
+        assert_eq!(d.stats().reads(), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!(s.hit_fraction() > 0.4);
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let d = disk_with_pages(16, 32);
+        // One shard, two frames: heavy pressure.
+        let cache = SharedPageCache::with_shards(&d, 2, 1);
+        let pinned = cache.read(PageId(3));
+        for i in 0..16u64 {
+            let r = cache.read(PageId(i));
+            assert_eq!(r[0], i as u8);
+        }
+        // The pin held throughout: its bytes never changed under it.
+        assert_eq!(pinned[0], 3);
+        let s = cache.stats();
+        assert!(s.evictions > 0, "pressure must evict: {s:?}");
+        assert!(s.recycled_frames > 0, "misses must recycle: {s:?}");
+    }
+
+    #[test]
+    fn steady_state_misses_recycle_not_allocate() {
+        let d = disk_with_pages(8, 32);
+        let cache = SharedPageCache::with_shards(&d, 2, 1);
+        for round in 0..4 {
+            for i in 0..8u64 {
+                assert_eq!(cache.read(PageId(i))[0], i as u8, "round {round}");
+            }
+        }
+        let s = cache.stats();
+        // Two fills for the two frames; every later miss recycled.
+        assert_eq!(s.fresh_allocs, 2);
+        assert_eq!(s.misses, 32);
+        assert_eq!(s.recycled_frames, 30);
+    }
+
+    #[test]
+    fn decoded_tier_skips_the_codec() {
+        use tfm_geom::{Aabb, Point3};
+        let codec = ElementPageCodec::new(512);
+        let d = Disk::in_memory(512).with_model(DiskModel::free());
+        let p = d.allocate();
+        let elems = vec![
+            SpatialElement::new(
+                7,
+                Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 1.0)),
+            ),
+            SpatialElement::new(
+                9,
+                Aabb::new(Point3::new(2.0, 2.0, 2.0), Point3::new(3.0, 3.0, 3.0)),
+            ),
+        ];
+        d.write_page(p, &codec.encode(&elems));
+        d.reset_stats();
+
+        let cache = SharedPageCache::with_shards(&d, 4, 1);
+        let (first, o1) = cache.read_decoded_tracked(&codec, p);
+        assert_eq!(o1, DecodedOutcome::Miss);
+        assert_eq!(first.as_ref(), elems.as_slice());
+        let (second, o2) = cache.read_decoded_tracked(&codec, p);
+        assert_eq!(o2, DecodedOutcome::Decoded);
+        // Same Arc: the decode ran exactly once.
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(d.stats().reads(), 1);
+        let s = cache.stats();
+        assert_eq!((s.decoded_hits, s.decoded_misses), (1, 1));
+
+        // A byte-level read of the same page hits the page tier.
+        let (_, hit) = cache.read_tracked(p);
+        assert!(hit);
+    }
+
+    #[test]
+    fn decoded_entries_die_with_their_frame() {
+        use tfm_geom::{Aabb, Point3};
+        let codec = ElementPageCodec::new(512);
+        let d = Disk::in_memory(512).with_model(DiskModel::free());
+        let first = d.allocate_contiguous(4);
+        for i in 0..4u64 {
+            let e = SpatialElement::new(
+                i,
+                Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 1.0)),
+            );
+            d.write_page(PageId(first.0 + i), &codec.encode(&[e]));
+        }
+        let cache = SharedPageCache::with_shards(&d, 1, 1);
+        assert_eq!(cache.read_decoded(&codec, PageId(0))[0].id, 0);
+        // Evict page 0, then return to it: the decode must run again.
+        assert_eq!(cache.read_decoded(&codec, PageId(1))[0].id, 1);
+        let (_, outcome) = cache.read_decoded_tracked(&codec, PageId(0));
+        assert_eq!(outcome, DecodedOutcome::Miss);
+    }
+
+    #[test]
+    fn clear_drops_residency_but_guards_stay_valid() {
+        let d = disk_with_pages(2, 32);
+        let cache = SharedPageCache::with_shards(&d, 4, 2);
+        let guard = cache.read(PageId(1));
+        cache.clear();
+        assert_eq!(guard[0], 1, "live guards outlive clear()");
+        cache.read(PageId(1));
+        assert_eq!(d.stats().reads(), 2, "clear() forces a re-read");
+    }
+
+    #[test]
+    fn stats_reset_and_delta() {
+        let d = disk_with_pages(4, 32);
+        let cache = SharedPageCache::new(&d, 16);
+        cache.read(PageId(0));
+        cache.read(PageId(0));
+        let before = cache.stats();
+        cache.read(PageId(1));
+        let delta = cache.stats().delta_since(&before);
+        assert_eq!((delta.hits, delta.misses), (0, 1));
+        assert_eq!(delta.shards, DEFAULT_CACHE_SHARDS);
+        cache.reset_stats();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.lock_acquisitions), (0, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_readers_agree_with_the_disk() {
+        let d = disk_with_pages(64, 32);
+        let cache = SharedPageCache::with_shards(&d, 8, 4);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for round in 0..4u64 {
+                        for i in 0..64u64 {
+                            let p = (i * 7 + t + round) % 64;
+                            let r = cache.read(PageId(p));
+                            assert_eq!(r[0], p as u8);
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8 * 4 * 64);
+        assert_eq!(s.misses, d.stats().reads());
+    }
+
+    #[test]
+    fn shards_for_threads_is_sane() {
+        assert_eq!(SharedPageCache::shards_for_threads(0), 2);
+        assert_eq!(SharedPageCache::shards_for_threads(1), 2);
+        assert_eq!(SharedPageCache::shards_for_threads(4), 8);
+        assert_eq!(SharedPageCache::shards_for_threads(1000), 64);
+    }
+}
