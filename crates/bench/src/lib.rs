@@ -28,8 +28,8 @@ pub mod workloads;
 pub use report::{print_table, write_csv};
 pub use runner::{run_approach, run_approach_with_skew, Approach, Metrics, RunConfig};
 pub use serve::{
-    print_serve_table, run_serve, run_serve_sweep, write_serve_csv, ServeEngineKind, ServeJob,
-    ServeMetrics,
+    print_serve_table, run_serve, run_serve_sweep, run_serve_traced, write_serve_csv,
+    ServeEngineKind, ServeJob, ServeMetrics,
 };
 pub use skew::SkewStore;
 

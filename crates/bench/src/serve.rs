@@ -72,6 +72,11 @@ pub struct ServeMetrics {
     pub p95: Duration,
     /// 99th-percentile per-query latency.
     pub p99: Duration,
+    /// Median queue wait (batch admission to worker pop; zero on the
+    /// single-threaded inline path).
+    pub queue_wait_p50: Duration,
+    /// 99th-percentile queue wait.
+    pub queue_wait_p99: Duration,
     /// Pages read from disk during the serve phase.
     pub pages_read: u64,
     /// Sequential page reads.
@@ -137,6 +142,8 @@ impl ServeMetrics {
             p50: stats.latency.p50(),
             p95: stats.latency.p95(),
             p99: stats.latency.p99(),
+            queue_wait_p50: stats.queue_wait.p50(),
+            queue_wait_p99: stats.queue_wait.p99(),
             pages_read: stats.io.reads(),
             seq_reads: stats.io.seq_reads,
             rand_reads: stats.io.rand_reads,
@@ -210,12 +217,29 @@ pub fn run_serve(
     run_cfg: &RunConfig,
     serve_cfg: &ServeConfig,
 ) -> (ServeMetrics, Vec<Vec<ElementId>>) {
+    let (metrics, results, _) =
+        run_serve_traced(kind, workload, elements, trace, run_cfg, serve_cfg);
+    (metrics, results)
+}
+
+/// [`run_serve`] additionally returning one [`tfm_obs::QueryTrace`] per
+/// query (trace-ID order): per-query queue-wait/service split and pool
+/// attribution. Forces [`ServeConfig::collect_traces`] on for the run.
+pub fn run_serve_traced(
+    kind: ServeEngineKind,
+    workload: &str,
+    elements: &[SpatialElement],
+    trace: &[SpatialQuery],
+    run_cfg: &RunConfig,
+    serve_cfg: &ServeConfig,
+) -> (ServeMetrics, Vec<Vec<ElementId>>, Vec<tfm_obs::QueryTrace>) {
     with_engine(kind, elements, run_cfg, serve_cfg, |engine, disk| {
         disk.reset_stats();
-        let outcome = serve_trace(engine, trace, serve_cfg);
+        let cfg = serve_cfg.with_traces();
+        let outcome = serve_trace(engine, trace, &cfg);
         let metrics =
-            ServeMetrics::from_stats(kind, workload, elements.len(), serve_cfg, &outcome.stats);
-        (metrics, outcome.results)
+            ServeMetrics::from_stats(kind, workload, elements.len(), &cfg, &outcome.stats);
+        (metrics, outcome.results, outcome.traces)
     })
 }
 
@@ -320,12 +344,12 @@ pub fn print_serve_table(title: &str, rows: &[ServeMetrics]) {
 }
 
 /// CSV header matching [`serve_csv_row`].
-pub const SERVE_CSV_HEADER: &str = "workload,engine,n_elements,queries,threads,batch,hilbert_batching,shared_cache,wall_s,sim_io_s,qps,p50_us,p95_us,p99_us,pages_read,seq_reads,rand_reads,pool_hits,pool_misses,decoded_hits,decoded_misses,lock_acquisitions,lock_contended,result_ids";
+pub const SERVE_CSV_HEADER: &str = "workload,engine,n_elements,queries,threads,batch,hilbert_batching,shared_cache,wall_s,sim_io_s,qps,p50_us,p95_us,p99_us,queue_wait_p50_us,queue_wait_p99_us,pages_read,seq_reads,rand_reads,pool_hits,pool_misses,decoded_hits,decoded_misses,lock_acquisitions,lock_contended,result_ids";
 
 /// One CSV row for a serve-metrics record.
 pub fn serve_csv_row(m: &ServeMetrics) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.2},{:.2},{:.2},{:.2},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{},{},{},{},{},{},{},{},{},{}",
         m.workload,
         m.engine,
         m.n_elements,
@@ -340,6 +364,8 @@ pub fn serve_csv_row(m: &ServeMetrics) -> String {
         m.p50.as_secs_f64() * 1e6,
         m.p95.as_secs_f64() * 1e6,
         m.p99.as_secs_f64() * 1e6,
+        m.queue_wait_p50.as_secs_f64() * 1e6,
+        m.queue_wait_p99.as_secs_f64() * 1e6,
         m.pages_read,
         m.seq_reads,
         m.rand_reads,

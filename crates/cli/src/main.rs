@@ -52,7 +52,8 @@ USAGE:
       byte-identical at any --build-threads setting
   tfm join --a FILE --b FILE [--approach A] [--page-size N] [--threads N]
            [--build-threads N] [--no-transform] [--no-prune] [--private-pool]
-           [--verify] [--skew-file PATH]
+           [--verify] [--skew-file PATH] [--metrics PATH]
+           [--metrics-format jsonl|prometheus] [--metrics-interval-ms N]
       A: transformers | no-tr | pbsm | rtree | gipsy | sssj | s3 (default: transformers)
       --threads N: run the transformers join on N parallel workers (tfm-exec)
       --build-threads N: build the indexes on N parallel workers
@@ -68,7 +69,8 @@ USAGE:
   tfm serve --in FILE [--engine E] [--queries N] [--threads N] [--batch N]
             [--no-hilbert] [--private-pool] [--mix M] [--page-size N]
             [--build-threads N] [--trace-seed S] [--window F] [--eps F]
-            [--verify]
+            [--verify] [--metrics PATH] [--metrics-format jsonl|prometheus]
+            [--metrics-interval-ms N]
       builds the chosen index once, generates a deterministic query trace
       (window / point-enclosure / distance probes) and replays it on N
       serve workers with locality-aware (Hilbert-ordered) batching
@@ -79,7 +81,15 @@ USAGE:
                   --private-pool serves from per-worker pools instead of the
                   shared page cache (ablation)
   tfm info --in FILE
-  tfm help"
+  tfm help
+
+METRICS (join + serve):
+  --metrics PATH: enable the tfm-obs registry for the run and export the
+      cache/IO/latency/stage-timing metrics to PATH — JSON lines by default,
+      Prometheus text with --metrics-format prometheus; serve additionally
+      appends one trace line per query (queue-wait/service split and
+      buffer-pool attribution). --metrics-interval-ms N makes a background
+      thread append a registry snapshot every N ms (JSON lines only)."
     );
 }
 
@@ -113,6 +123,122 @@ fn parse_worker_count(args: &[String], name: &str) -> Result<usize, String> {
         ));
     }
     Ok(n)
+}
+
+/// `--metrics` export options shared by `tfm join` and `tfm serve`.
+struct MetricsOpts {
+    path: String,
+    prometheus: bool,
+    interval: Option<std::time::Duration>,
+}
+
+/// Parses `--metrics PATH [--metrics-format jsonl|prometheus]
+/// [--metrics-interval-ms N]`; `None` when `--metrics` is absent.
+fn parse_metrics(args: &[String]) -> Result<Option<MetricsOpts>, String> {
+    let Some(path) = opt(args, "--metrics") else {
+        if opt(args, "--metrics-format").is_some() || opt(args, "--metrics-interval-ms").is_some() {
+            return Err("--metrics-format/--metrics-interval-ms require --metrics PATH".into());
+        }
+        return Ok(None);
+    };
+    let prometheus = match opt(args, "--metrics-format").unwrap_or("jsonl") {
+        "jsonl" => false,
+        "prometheus" => true,
+        other => {
+            return Err(format!(
+                "unknown metrics format `{other}` (jsonl | prometheus)"
+            ))
+        }
+    };
+    let interval = match opt(args, "--metrics-interval-ms") {
+        None => None,
+        Some(v) => {
+            let ms: u64 = parse(v, "--metrics-interval-ms")?;
+            if ms == 0 {
+                return Err("--metrics-interval-ms must be at least 1".into());
+            }
+            Some(std::time::Duration::from_millis(ms))
+        }
+    };
+    if prometheus && interval.is_some() {
+        return Err(
+            "periodic snapshots (--metrics-interval-ms) are JSON-lines only; \
+             drop `--metrics-format prometheus`"
+                .into(),
+        );
+    }
+    Ok(Some(MetricsOpts {
+        path: path.to_string(),
+        prometheus,
+        interval,
+    }))
+}
+
+/// Arms the global registry (cleared, enabled) and starts the periodic
+/// snapshot writer if an interval was requested. Runs before the index
+/// build so the `build.*` stage timings land in this run's export.
+fn start_metrics(m: &MetricsOpts) -> Result<Option<tfm_obs::SnapshotThread>, String> {
+    tfm_obs::set_enabled(true);
+    tfm_obs::global().reset();
+    // Truncate any stale file from a previous run: both the snapshot
+    // thread and the final export append.
+    std::fs::write(&m.path, "").map_err(|e| format!("creating {}: {e}", m.path))?;
+    match m.interval {
+        Some(iv) => tfm_obs::SnapshotThread::start(tfm_obs::global(), m.path.clone().into(), iv)
+            .map(Some)
+            .map_err(|e| format!("starting snapshot thread: {e}")),
+        None => Ok(None),
+    }
+}
+
+/// Stops the snapshot writer, appends the final export (plus one trace
+/// line per query in JSON-lines mode), parses the file back as a
+/// self-check, and prints a one-line summary.
+fn finish_metrics(
+    m: &MetricsOpts,
+    snap: Option<tfm_obs::SnapshotThread>,
+    traces: &[tfm_obs::QueryTrace],
+) -> Result<(), String> {
+    use std::io::Write as _;
+    if let Some(t) = snap {
+        t.stop()
+            .map_err(|e| format!("stopping snapshot thread: {e}"))?;
+    }
+    let snapshot = tfm_obs::global().snapshot();
+    tfm_obs::set_enabled(false);
+    let io_err = |e: std::io::Error| format!("writing {}: {e}", m.path);
+    if m.prometheus {
+        std::fs::write(&m.path, snapshot.to_prometheus()).map_err(io_err)?;
+    } else {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&m.path)
+            .map_err(io_err)?;
+        f.write_all(snapshot.to_jsonl().as_bytes())
+            .map_err(io_err)?;
+        for t in traces {
+            writeln!(f, "{}", t.to_json()).map_err(io_err)?;
+        }
+        f.flush().map_err(io_err)?;
+        // Self-check: the export must round-trip through the parser even
+        // with interleaved snapshot headers and trace lines.
+        let text = std::fs::read_to_string(&m.path)
+            .map_err(|e| format!("reading back {}: {e}", m.path))?;
+        tfm_obs::MetricsSnapshot::parse_jsonl(&text)
+            .map_err(|e| format!("{}: exported metrics failed to parse back: {e}", m.path))?;
+    }
+    let traces_note = if traces.is_empty() {
+        String::new()
+    } else {
+        format!(" + {} query traces", traces.len())
+    };
+    println!(
+        "metrics:         {} series{traces_note} -> {}",
+        snapshot.entries.len(),
+        m.path
+    );
+    Ok(())
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
@@ -252,6 +378,12 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
         }
     };
 
+    let metrics = parse_metrics(args)?;
+    let snap = match &metrics {
+        Some(m) => start_metrics(m)?,
+        None => None,
+    };
+
     let a = io::read_elements(path_a).map_err(|e| format!("reading {path_a}: {e}"))?;
     let b = io::read_elements(path_b).map_err(|e| format!("reading {path_b}: {e}"))?;
 
@@ -311,6 +443,9 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     if m.transformations > 0 {
         println!("transformations: {}", m.transformations);
     }
+    if let Some(mo) = &metrics {
+        finish_metrics(mo, snap, &[])?;
+    }
 
     if flag(args, "--verify") {
         let mut s = JoinStats::default();
@@ -328,7 +463,7 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use tfm_bench::{run_serve, ServeEngineKind};
+    use tfm_bench::{run_serve, run_serve_traced, ServeEngineKind};
     use tfm_datagen::{generate_trace, ProbeMix, QueryTraceSpec};
     use tfm_serve::ServeConfig;
 
@@ -375,7 +510,19 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         shared_cache: !flag(args, "--private-pool"),
         ..ServeConfig::default()
     };
-    let (m, results) = run_serve(engine, "cli", &elems, &trace, &run_cfg, &serve_cfg);
+    let metrics = parse_metrics(args)?;
+    let snap = match &metrics {
+        Some(m) => start_metrics(m)?,
+        None => None,
+    };
+    // With --metrics the run also collects one per-query trace (queue
+    // wait / service split, pool attribution) for the JSON-lines export.
+    let (m, results, traces) = if metrics.is_some() {
+        run_serve_traced(engine, "cli", &elems, &trace, &run_cfg, &serve_cfg)
+    } else {
+        let (m, results) = run_serve(engine, "cli", &elems, &trace, &run_cfg, &serve_cfg);
+        (m, results, Vec::new())
+    };
 
     println!("engine:          {}", m.engine);
     println!("dataset:         {path} ({} elements)", m.n_elements);
@@ -402,6 +549,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         m.p95.as_secs_f64() * 1e6,
         m.p99.as_secs_f64() * 1e6
     );
+    if m.threads > 1 {
+        println!(
+            "queue wait:      p50 {:.1}us  p99 {:.1}us",
+            m.queue_wait_p50.as_secs_f64() * 1e6,
+            m.queue_wait_p99.as_secs_f64() * 1e6
+        );
+    }
     println!(
         "serve I/O:       {} pages ({} sequential, {} random — {:.1}% sequential), \
          {} pool hits ({:.1}% hit rate, {} cache)",
@@ -423,6 +577,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         );
     }
     println!("result ids:      {}", m.result_ids);
+    if let Some(mo) = &metrics {
+        finish_metrics(mo, snap, &traces)?;
+    }
 
     if flag(args, "--verify") {
         for (i, q) in trace.iter().enumerate() {
@@ -686,6 +843,117 @@ mod tests {
             .collect();
         assert!(cmd_serve(&bad).unwrap_err().contains("--threads"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_export_end_to_end() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let path = dir.join(format!("tfm_cli_metrics_{pid}.elems"));
+        let jsonl = dir.join(format!("tfm_cli_metrics_{pid}.jsonl"));
+        let prom = dir.join(format!("tfm_cli_metrics_{pid}.prom"));
+        let gen_args: Vec<String> = [
+            "--count",
+            "600",
+            "--out",
+            path.to_str().unwrap(),
+            "--seed",
+            "41",
+            "--max-side",
+            "6",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_generate(&gen_args).unwrap();
+
+        // Serve with a periodic snapshot thread: the accumulated file must
+        // parse and carry cache, queue-wait, latency-histogram and
+        // per-stage build metrics (the ISSUE's acceptance shape).
+        let serve_args: Vec<String> = [
+            "--in",
+            path.to_str().unwrap(),
+            "--queries",
+            "80",
+            "--threads",
+            "2",
+            "--batch",
+            "16",
+            "--metrics",
+            jsonl.to_str().unwrap(),
+            "--metrics-interval-ms",
+            "5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_serve(&serve_args).unwrap();
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let snap = tfm_obs::MetricsSnapshot::parse_jsonl(&text).unwrap();
+        for name in [
+            tfm_obs::names::CACHE_HITS,
+            tfm_obs::names::SERVE_QUERIES,
+            tfm_obs::names::CACHE_LOCK_ACQUISITIONS,
+        ] {
+            assert!(snap.counter(name).is_some(), "missing counter {name}");
+        }
+        let build_stage = format!("{}_nanos", tfm_obs::names::BUILD_UNIT_STR);
+        for name in [
+            tfm_obs::names::SERVE_SERVICE_NANOS,
+            tfm_obs::names::SERVE_QUEUE_WAIT_NANOS,
+            build_stage.as_str(),
+        ] {
+            assert!(snap.histogram(name).is_some(), "missing histogram {name}");
+        }
+        // Per-query trace lines ride along in the same file.
+        assert!(
+            text.lines().any(|l| l.contains("\"trace_id\"")),
+            "no trace lines in export"
+        );
+
+        // Join with a Prometheus export.
+        let join_args: Vec<String> = [
+            "--a",
+            path.to_str().unwrap(),
+            "--b",
+            path.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--metrics",
+            prom.to_str().unwrap(),
+            "--metrics-format",
+            "prometheus",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_join(&join_args).unwrap();
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("# TYPE cache_hits counter"), "{text}");
+        assert!(text.contains("join_wall_nanos_bucket"), "{text}");
+
+        // Bad flag combinations fail fast.
+        let bad: Vec<String> = [
+            "--in",
+            path.to_str().unwrap(),
+            "--metrics",
+            jsonl.to_str().unwrap(),
+            "--metrics-format",
+            "xml",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(cmd_serve(&bad).unwrap_err().contains("metrics format"));
+        let bad: Vec<String> = ["--in", path.to_str().unwrap(), "--metrics-interval-ms", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_serve(&bad).unwrap_err().contains("require --metrics"));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&jsonl).ok();
+        std::fs::remove_file(&prom).ok();
     }
 
     #[test]

@@ -161,11 +161,16 @@ impl TransformersIndex {
             });
         }
 
+        let obs = tfm_obs::global();
+
         // Stage 1 — unit STR: elements -> space-unit partitions (parallel
         // coordinate sorts + per-slab fan-out).
+        let stage = obs.stage_span(tfm_obs::names::BUILD_UNIT_STR);
         let unit_parts = pipeline.partition(elements, unit_capacity);
+        drop(stage);
 
         // Stage 2 — node STR: unit descriptors -> space nodes.
+        let stage = obs.stage_span(tfm_obs::names::BUILD_NODE_STR);
         let seeds: Vec<UnitSeed> = unit_parts
             .iter()
             .enumerate()
@@ -177,6 +182,7 @@ impl TransformersIndex {
             })
             .collect();
         let node_parts = pipeline.partition(seeds, node_capacity);
+        drop(stage);
 
         // Stage 3 — element-page packing: assign unit ids node by node so
         // each node's units are contiguous, and lay element pages out in
@@ -184,6 +190,7 @@ impl TransformersIndex {
         // sequentially). Page images are encoded in parallel; the writes
         // stay in page order, so bytes and I/O classification match a
         // sequential build exactly.
+        let stage = obs.stage_span(tfm_obs::names::BUILD_PAGE_PACK);
         let total_units = unit_parts.len();
         let mut page_order: Vec<usize> = Vec::with_capacity(total_units);
         let mut units: Vec<SpaceUnitDesc> = Vec::with_capacity(total_units);
@@ -223,11 +230,16 @@ impl TransformersIndex {
             });
         }
 
+        drop(stage);
+
         // Stage 4 — connectivity via a uniform-grid self-join on node
         // tiles, fanned out per node.
+        let stage = obs.stage_span(tfm_obs::names::BUILD_CONNECTIVITY);
         compute_connectivity(&mut nodes, &extent, pipeline.pool());
+        drop(stage);
 
         // Stage 5 — finalize: reach, Hilbert B+-tree, metadata region.
+        let stage = obs.stage_span(tfm_obs::names::BUILD_FINALIZE);
         // How far element geometry can stick out of a node tile: the crawl
         // inflates tiles by this much so no intersecting page is missed.
         let reach_eps = compute_reach(&nodes, &units);
@@ -241,6 +253,7 @@ impl TransformersIndex {
         // Metadata region.
         let meta = metadata::encode(&nodes, &units);
         let (meta_first_page, meta_page_count) = write_meta(disk, &meta);
+        drop(stage);
 
         Ok(Self {
             nodes,

@@ -307,6 +307,21 @@ pub fn transformers_join(
     let delta = io_after.delta_since(&io_before);
     ctx.stats.sim_io = delta.sim_io_time();
 
+    // Run-end telemetry: the sequential join publishes its own record (the
+    // parallel path publishes once after merging workers in tfm-exec, so
+    // this never double-counts).
+    let obs = tfm_obs::global();
+    if obs.is_enabled() {
+        ctx.stats.publish(obs);
+        delta.publish(obs);
+        if let Some(c) = &cache_a {
+            c.stats().publish_shared_extras(obs);
+        }
+        if let Some(c) = &cache_b {
+            c.stats().publish_shared_extras(obs);
+        }
+    }
+
     JoinOutcome {
         pairs: ctx.raw,
         stats: ctx.stats,

@@ -92,6 +92,25 @@ impl TransformersStats {
             + self.element_layout_transformations
     }
 
+    /// Publishes this record's join counters into `reg` under the unified
+    /// naming scheme (see `tfm_obs::names`): the cache signals previously
+    /// reported only as `pool_hits`/`pages_read` route to `cache.hits` /
+    /// `cache.misses`, and the TRANSFORMERS-specific exploration counters
+    /// to the `join.*` family. Call once per run with the final (merged)
+    /// record — the parallel path publishes the post-merge aggregate, the
+    /// sequential path its own stats — so nothing double-counts.
+    pub fn publish(&self, reg: &tfm_obs::MetricsRegistry) {
+        use tfm_obs::names;
+        reg.counter(names::CACHE_HITS).add(self.pool_hits);
+        reg.counter(names::CACHE_MISSES).add(self.pages_read);
+        reg.counter(names::JOIN_TESTS).add(self.total_tests());
+        reg.counter(names::JOIN_ROLE_TRANSFORMATIONS)
+            .add(self.role_transformations);
+        reg.counter(names::JOIN_PRUNED_UNITS).add(self.pruned_units);
+        reg.counter(names::JOIN_WALK_STEPS).add(self.walk_steps);
+        reg.counter(names::JOIN_CRAWL_STEPS).add(self.crawl_steps);
+    }
+
     /// Accumulates another stats record into this one.
     ///
     /// Used by the parallel execution subsystem (`tfm-exec`) to combine

@@ -176,6 +176,13 @@ pub fn parallel_join_with_report(
     threads: usize,
 ) -> (JoinOutcome, ExecReport) {
     let threads = threads.max(1);
+    let obs = tfm_obs::global();
+    let wall_start = std::time::Instant::now();
+    // Resolved once outside the worker loop; `None` while metrics are off,
+    // so the per-chunk cost is a single branch.
+    let chunk_hist = obs
+        .is_enabled()
+        .then(|| obs.histogram(tfm_obs::names::JOIN_CHUNK_NANOS));
     let io_before = disk_a.stats().merged(&disk_b.stats());
     let mut stats = TransformersStats::default();
 
@@ -278,6 +285,7 @@ pub fn parallel_join_with_report(
             engine = engine.with_shared_todo(Arc::clone(todo));
         }
         while let Some(chunk) = scheduler.next(w) {
+            let _span = chunk_hist.as_ref().map(|h| h.span());
             for ng in chunk.start..chunk.end {
                 engine.process_pivot(ng);
             }
@@ -321,6 +329,29 @@ pub fn parallel_join_with_report(
         worker_pivots,
         chunks_pruned: scheduler.chunks_pruned(),
     };
+
+    // Run-end telemetry: publish the merged record once (workers never
+    // publish individually), plus the scheduler's balance counters and the
+    // shared caches' internals. `cache.hits`/`cache.misses` come from the
+    // merged handle-local pool counters inside `stats`.
+    if obs.is_enabled() {
+        use tfm_obs::names;
+        stats.publish(obs);
+        io_after.delta_since(&io_before).publish(obs);
+        obs.counter(names::JOIN_PIVOTS).add(report.pivots);
+        obs.counter(names::JOIN_CHUNKS).add(report.chunks as u64);
+        obs.counter(names::JOIN_CHUNKS_PRUNED)
+            .add(report.chunks_pruned);
+        obs.counter(names::JOIN_STEALS).add(report.steals);
+        obs.histogram(names::JOIN_WALL_NANOS)
+            .record(wall_start.elapsed().as_nanos() as u64);
+        if let Some(c) = &cache_a {
+            c.stats().publish_shared_extras(obs);
+        }
+        if let Some(c) = &cache_b {
+            c.stats().publish_shared_extras(obs);
+        }
+    }
     (JoinOutcome { pairs: raw, stats }, report)
 }
 

@@ -1,0 +1,357 @@
+//! Log-bucketed latency histograms and RAII span timers.
+//!
+//! The bucket layout is HDR-style **log-linear**: values below
+//! [`SUB_BUCKETS`] get one bucket each (exact), and every further power of
+//! two is split into [`SUB_BUCKETS`] equal sub-buckets, so the relative
+//! quantization error is bounded by `1 / SUB_BUCKETS` (~3.1%) across the
+//! full `u64` range. Recording is one relaxed `fetch_add` into the bucket
+//! plus the count/sum/max upkeep — cheap enough for per-query paths.
+
+use crate::registry::flag_is_on;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sub-buckets per power of two (the log-linear resolution).
+pub const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+/// Total bucket count covering the full `u64` value range.
+pub const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS;
+
+/// Bucket index of `v` (log-linear; monotonic in `v`).
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (msb - SUB_BITS as usize)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (msb - SUB_BITS as usize + 1) * SUB_BUCKETS + sub
+}
+
+/// Smallest value mapping to bucket `index` — the bucket's reported
+/// representative (so exactly-representable samples round-trip exactly).
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    let block = index / SUB_BUCKETS;
+    if block <= 1 {
+        return index as u64;
+    }
+    ((SUB_BUCKETS + index % SUB_BUCKETS) as u64) << (block - 1)
+}
+
+/// A concurrent log-bucketed histogram of `u64` samples (nanoseconds by
+/// convention; see [`crate::names`]).
+///
+/// All methods take `&self`; recording is wait-free (relaxed atomics).
+/// A snapshot taken while writers are active is a consistent-enough
+/// point-in-time view: each counter is monotone, but `count`/`sum`/buckets
+/// are read independently.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An always-on standalone histogram (not gated by any registry's
+    /// runtime switch) — for per-run accumulators whose recording *is*
+    /// the measurement, e.g. the serve path's latency summary.
+    pub fn new() -> Self {
+        Self::with_flag(Arc::new(AtomicBool::new(true)))
+    }
+
+    pub(crate) fn with_flag(enabled: Arc<AtomicBool>) -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            enabled,
+        }
+    }
+
+    /// Records one sample. No-op while the owning registry is disabled
+    /// (one relaxed flag load, no read-modify-write).
+    pub fn record(&self, v: u64) {
+        if !flag_is_on(&self.enabled) {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Starts an RAII span: the elapsed wall time in nanoseconds is
+    /// recorded when the returned timer drops.
+    pub fn span(self: &Arc<Self>) -> SpanTimer {
+        SpanTimer {
+            hist: Arc::clone(self),
+            start: Instant::now(),
+        }
+    }
+
+    /// Folds a snapshot's buckets into this histogram (e.g. publishing a
+    /// per-run accumulator into the process-wide registry). Gated like
+    /// [`Histogram::record`].
+    pub fn merge_snapshot(&self, snap: &HistogramSnapshot) {
+        if !flag_is_on(&self.enabled) || snap.count == 0 {
+            return;
+        }
+        for &(lower, n) in &snap.buckets {
+            self.buckets[bucket_index(lower)].fetch_add(n, Ordering::Relaxed);
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy (non-empty buckets only).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_lower_bound(i), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII wall-clock span: records the elapsed nanoseconds into its
+/// histogram on drop. Obtain via [`Histogram::span`] or
+/// [`crate::MetricsRegistry::span`].
+#[derive(Debug)]
+pub struct SpanTimer {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn stop(self) {}
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// An immutable copy of a [`Histogram`]: total count/sum, the exact
+/// maximum, and the non-empty `(bucket_lower_bound, count)` pairs in
+/// ascending value order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (exact, not bucketed).
+    pub sum: u64,
+    /// Largest sample (exact, not bucketed).
+    pub max: u64,
+    /// Non-empty buckets as `(lower_bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean (exact; 0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        self.sum / self.count
+    }
+
+    /// Nearest-rank percentile over the buckets: the lower bound of the
+    /// bucket containing rank `ceil(p * count)` (clamped into the sample
+    /// range). Agrees exactly with a sorted-samples nearest-rank when
+    /// every sample is exactly bucket-representable, and within one
+    /// bucket width (≤ `1 / SUB_BUCKETS` relative error) otherwise.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(lower, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return lower;
+            }
+        }
+        // Torn concurrent snapshot (count ahead of buckets): report the
+        // largest bucket we have.
+        self.buckets.last().map_or(0, |&(lower, _)| lower)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_below_double_sub_buckets() {
+        // Buckets 0..2*SUB_BUCKETS are width 1: index == value and the
+        // lower bound round-trips exactly.
+        for v in 0..(2 * SUB_BUCKETS as u64) {
+            assert_eq!(bucket_index(v), v as usize, "value {v}");
+            assert_eq!(bucket_lower_bound(v as usize), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_follow_log_linear_widths() {
+        // In [64, 128) buckets are width 2; in [128, 256) width 4, etc.
+        assert_eq!(bucket_index(64), bucket_index(65));
+        assert_ne!(bucket_index(65), bucket_index(66));
+        assert_eq!(bucket_index(128), bucket_index(131));
+        assert_ne!(bucket_index(131), bucket_index(132));
+        // Power-of-two boundaries start a fresh block.
+        for shift in 6..63u32 {
+            let v = 1u64 << shift;
+            assert_ne!(bucket_index(v - 1), bucket_index(v), "boundary {v}");
+            assert_eq!(bucket_lower_bound(bucket_index(v)), v, "boundary {v}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_lower_bound_consistent() {
+        let probes = [
+            0u64,
+            1,
+            31,
+            32,
+            63,
+            64,
+            100,
+            1000,
+            4096,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        let mut prev = None;
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            let lower = bucket_lower_bound(i);
+            assert!(lower <= v, "lower {lower} above value {v}");
+            assert_eq!(bucket_index(lower), i, "lower bound changes bucket");
+            if let Some(p) = prev {
+                assert!(i >= p, "index not monotone at {v}");
+            }
+            prev = Some(i);
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for &v in &[100u64, 999, 5_000, 77_777, 1_000_000, 123_456_789_123] {
+            let lower = bucket_lower_bound(bucket_index(v));
+            let err = (v - lower) as f64 / v as f64;
+            assert!(err <= 1.0 / SUB_BUCKETS as f64, "value {v}: error {err}");
+        }
+    }
+
+    #[test]
+    fn record_snapshot_and_percentiles() {
+        let h = Histogram::new();
+        for v in 1..=60u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 60);
+        assert_eq!(s.sum, (1..=60).sum::<u64>());
+        assert_eq!(s.max, 60);
+        assert_eq!(s.mean(), s.sum / 60);
+        // All samples < 64 are exactly representable: nearest-rank matches
+        // the sorted-samples definition exactly.
+        assert_eq!(s.percentile(0.50), 30);
+        assert_eq!(s.percentile(0.95), 57);
+        assert_eq!(s.percentile(0.99), 60);
+        assert_eq!(s.percentile(0.0), 1);
+        assert_eq!(s.percentile(1.0), 60);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_snapshot_accumulates() {
+        let a = Histogram::new();
+        a.record(5);
+        a.record(1000);
+        let b = Histogram::new();
+        b.merge_snapshot(&a.snapshot());
+        b.merge_snapshot(&a.snapshot());
+        let s = b.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 2 * (5 + 1000));
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn span_records_elapsed_time() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _span = h.span();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.max >= 2_000_000, "span recorded {} ns", s.max);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 4000);
+    }
+}

@@ -1,0 +1,109 @@
+//! The unified metric naming scheme.
+//!
+//! Every tier of the reproduction reports under `subsystem.metric_unit`:
+//! the subsystem prefix (`cache`, `io`, `serve`, `join`, `build`) names
+//! the layer that owns the signal, and duration metrics carry a `_nanos`
+//! suffix. Counters previously scattered across `Metrics.pool_hits`,
+//! `TransformersStats.pool_hits` and `ServeStats.cache` all route to the
+//! single `cache.*` family below, published once per run from the
+//! handle-local pool counters (never from both a local and a shared
+//! surface, so nothing double-counts).
+//!
+//! Use these constants rather than string literals so the kind checks in
+//! [`crate::MetricsRegistry`] stay meaningful and typos fail review, not
+//! runs.
+
+// --- cache.* : buffer-pool behaviour (SharedPageCache + CacheHandle) ---
+
+/// Pool page hits, summed over all handle-local counters of a run.
+pub const CACHE_HITS: &str = "cache.hits";
+/// Pool page misses (disk page reads), handle-local.
+pub const CACHE_MISSES: &str = "cache.misses";
+/// Decoded-node cache hits (shared cache only).
+pub const CACHE_DECODED_HITS: &str = "cache.decoded_hits";
+/// Decoded-node cache misses (shared cache only).
+pub const CACHE_DECODED_MISSES: &str = "cache.decoded_misses";
+/// Frames evicted from the shared cache.
+pub const CACHE_EVICTIONS: &str = "cache.evictions";
+/// Evicted frames recycled instead of freshly allocated.
+pub const CACHE_RECYCLED_FRAMES: &str = "cache.recycled_frames";
+/// Fresh frame allocations in the shared cache.
+pub const CACHE_FRESH_ALLOCS: &str = "cache.fresh_allocs";
+/// Shard lock acquisitions in the shared cache.
+pub const CACHE_LOCK_ACQUISITIONS: &str = "cache.lock_acquisitions";
+/// Shard lock acquisitions that had to wait (contention signal).
+pub const CACHE_LOCK_CONTENDED: &str = "cache.lock_contended";
+
+// --- io.* : simulated-disk access pattern (IoStats) ---
+
+/// Sequential page reads.
+pub const IO_SEQ_READS: &str = "io.seq_reads";
+/// Random page reads.
+pub const IO_RAND_READS: &str = "io.rand_reads";
+/// Sequential page writes.
+pub const IO_SEQ_WRITES: &str = "io.seq_writes";
+/// Random page writes.
+pub const IO_RAND_WRITES: &str = "io.rand_writes";
+/// Simulated I/O cost in nanoseconds (disk model time, not wall time).
+pub const IO_SIM_NANOS: &str = "io.sim_nanos";
+
+// --- serve.* : the concurrent query-serving subsystem ---
+
+/// Queries served.
+pub const SERVE_QUERIES: &str = "serve.queries";
+/// Batches admitted to the request queue.
+pub const SERVE_BATCHES: &str = "serve.batches";
+/// Total result element IDs returned.
+pub const SERVE_RESULT_IDS: &str = "serve.result_ids";
+/// End-to-end serve wall time (one sample per run).
+pub const SERVE_WALL_NANOS: &str = "serve.wall_nanos";
+/// Per-query service time histogram (probe execution only).
+pub const SERVE_SERVICE_NANOS: &str = "serve.service_nanos";
+/// Per-query queue-wait histogram (admission to worker pop).
+pub const SERVE_QUEUE_WAIT_NANOS: &str = "serve.queue_wait_nanos";
+
+// --- join.* : the adaptive parallel join ---
+
+/// Pivot elements processed.
+pub const JOIN_PIVOTS: &str = "join.pivots";
+/// Chunks executed by the work-stealing scheduler.
+pub const JOIN_CHUNKS: &str = "join.chunks";
+/// Chunks skipped by the scheduler's pruning.
+pub const JOIN_CHUNKS_PRUNED: &str = "join.chunks_pruned";
+/// Successful steals between join workers.
+pub const JOIN_STEALS: &str = "join.steals";
+/// Per-chunk execution time histogram.
+pub const JOIN_CHUNK_NANOS: &str = "join.chunk_nanos";
+/// End-to-end join wall time (one sample per run).
+pub const JOIN_WALL_NANOS: &str = "join.wall_nanos";
+/// Join predicate evaluations (TRANSFORMERS `tests`).
+pub const JOIN_TESTS: &str = "join.tests";
+/// Guide/follower role transformations.
+pub const JOIN_ROLE_TRANSFORMATIONS: &str = "join.role_transformations";
+/// Units pruned by the connectivity filter.
+pub const JOIN_PRUNED_UNITS: &str = "join.pruned_units";
+/// Guide-walk steps.
+pub const JOIN_WALK_STEPS: &str = "join.walk_steps";
+/// Follower-crawl steps.
+pub const JOIN_CRAWL_STEPS: &str = "join.crawl_steps";
+
+// --- build.* : index-build stage timings ---
+//
+// Each stage records via `MetricsRegistry::stage_span(prefix)`, which
+// emits `<prefix>_nanos` (wall histogram) and `<prefix>_cpu_nanos`
+// (process-CPU counter). The constants below are the prefixes.
+
+/// STR partitioning of the raw elements (tfm-partition pipeline).
+pub const BUILD_PARTITION: &str = "build.partition";
+/// Encoding and writing sorted runs to the disk image.
+pub const BUILD_ENCODE_WRITE: &str = "build.encode_write";
+/// Stage 1: STR ordering of leaf units.
+pub const BUILD_UNIT_STR: &str = "build.unit_str";
+/// Stage 2: STR ordering of internal nodes.
+pub const BUILD_NODE_STR: &str = "build.node_str";
+/// Stage 3: packing elements into pages.
+pub const BUILD_PAGE_PACK: &str = "build.page_pack";
+/// Stage 4: connectivity metadata.
+pub const BUILD_CONNECTIVITY: &str = "build.connectivity";
+/// Stage 5: finalize and root assembly.
+pub const BUILD_FINALIZE: &str = "build.finalize";

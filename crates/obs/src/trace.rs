@@ -1,0 +1,86 @@
+//! Per-query traces: one record per served query, linking queue wait to
+//! service time and I/O attribution.
+//!
+//! A trace ID is assigned at `RequestQueue` admission (the query's
+//! position in the workload trace, so IDs are stable across runs and
+//! thread counts) and travels with the query through the worker's
+//! `QuerySession` probe down to the `CacheHandle` pool counters. The
+//! serve loop stamps queue-wait at pop time and service time around the
+//! probe, and snapshots the handle-local pool counters before/after to
+//! attribute hits and misses to the individual query.
+
+use std::fmt::Write as _;
+
+/// One served query's timing and I/O record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Stable query identifier: the query's index in the workload trace.
+    pub trace_id: u64,
+    /// Worker that executed the query (0 on the single-threaded path).
+    pub worker: u64,
+    /// Nanoseconds between batch admission to the request queue and the
+    /// executing worker popping it.
+    pub queue_wait_nanos: u64,
+    /// Nanoseconds spent executing the probe itself.
+    pub service_nanos: u64,
+    /// Buffer-pool hits attributed to this query (delta of the worker's
+    /// handle-local counters around the probe).
+    pub pool_hits: u64,
+    /// Buffer-pool misses (page reads) attributed to this query.
+    pub pool_misses: u64,
+    /// Number of result element IDs the probe returned.
+    pub result_ids: u64,
+}
+
+impl QueryTrace {
+    /// One flat JSON object (no trailing newline), interleavable with
+    /// metric snapshot lines in the same `.jsonl` file —
+    /// [`crate::MetricsSnapshot::parse_jsonl`] skips trace lines because
+    /// they carry no `"kind"` key.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        let _ = write!(
+            out,
+            "{{\"trace_id\":{},\"worker\":{},\"queue_wait_nanos\":{},\"service_nanos\":{},\"pool_hits\":{},\"pool_misses\":{},\"result_ids\":{}}}",
+            self.trace_id,
+            self.worker,
+            self.queue_wait_nanos,
+            self.service_nanos,
+            self.pool_hits,
+            self.pool_misses,
+            self.result_ids
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_serializes_flat_json() {
+        let t = QueryTrace {
+            trace_id: 7,
+            worker: 2,
+            queue_wait_nanos: 1_500,
+            service_nanos: 42_000,
+            pool_hits: 9,
+            pool_misses: 1,
+            result_ids: 13,
+        };
+        let json = t.to_json();
+        assert!(json.starts_with("{\"trace_id\":7,"));
+        assert!(json.contains("\"queue_wait_nanos\":1500"));
+        assert!(json.contains("\"service_nanos\":42000"));
+        assert!(json.ends_with("\"result_ids\":13}"));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn trace_lines_are_skipped_by_snapshot_parser() {
+        let text = format!("{}\n", QueryTrace::default().to_json());
+        let parsed = crate::MetricsSnapshot::parse_jsonl(&text).expect("parse");
+        assert!(parsed.entries.is_empty());
+    }
+}

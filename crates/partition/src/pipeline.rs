@@ -72,6 +72,7 @@ impl IndexBuildPipeline {
         items: Vec<T>,
         capacity: usize,
     ) -> Vec<StrPartition<T>> {
+        let _stage = tfm_obs::global().stage_span(tfm_obs::names::BUILD_PARTITION);
         str_partition_pooled(items, capacity, &self.pool)
     }
 
@@ -104,6 +105,7 @@ impl IndexBuildPipeline {
     where
         F: Fn(PageId, usize, &mut Vec<u8>) + Sync,
     {
+        let _stage = tfm_obs::global().stage_span(tfm_obs::names::BUILD_ENCODE_WRITE);
         let first = disk.allocate_contiguous(count as u64);
         if self.pool.is_sequential() {
             // One buffer for the whole run: `encode` fills it in place.

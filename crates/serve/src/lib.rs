@@ -95,6 +95,11 @@ pub struct ServeConfig {
     /// harnesses that *build* engines (`tfm-bench`, the CLI) — a
     /// hand-constructed engine's mode is fixed by its constructor.
     pub shared_cache: bool,
+    /// Collect one [`tfm_obs::QueryTrace`] per query in
+    /// [`ServeOutcome::traces`] (queue-wait/service split and per-query
+    /// pool-counter attribution). Off by default: trace records cost a
+    /// per-query allocation the hot path otherwise never pays.
+    pub collect_traces: bool,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +111,7 @@ impl Default for ServeConfig {
             pool_pages: tfm_storage::DEFAULT_POOL_PAGES,
             queue_batches: 4,
             shared_cache: true,
+            collect_traces: false,
         }
     }
 }
@@ -135,6 +141,12 @@ impl ServeConfig {
         self.shared_cache = false;
         self
     }
+
+    /// Builder: collect per-query [`tfm_obs::QueryTrace`] records.
+    pub fn with_traces(mut self) -> Self {
+        self.collect_traces = true;
+        self
+    }
 }
 
 /// What a serve run returns: per-query results plus aggregate statistics.
@@ -145,6 +157,11 @@ pub struct ServeOutcome {
     pub results: Vec<Vec<ElementId>>,
     /// Aggregate counters of the run.
     pub stats: ServeStats,
+    /// Per-query trace records, in trace-ID order; empty unless
+    /// [`ServeConfig::collect_traces`] was set. The trace ID is the
+    /// query's position in the input trace, assigned at queue admission,
+    /// so IDs are stable across thread counts and batching modes.
+    pub traces: Vec<tfm_obs::QueryTrace>,
 }
 
 /// Splits `trace` into arrival-order batches of `batch` queries and, when
@@ -169,11 +186,21 @@ fn plan_batches(trace: &[SpatialQuery], batch: usize, hilbert_batching: bool) ->
 }
 
 /// What one worker hands back per executed query.
-type Executed = (usize, Vec<ElementId>, u64);
+struct Executed {
+    qid: usize,
+    ids: Vec<ElementId>,
+    service_nanos: u64,
+    /// Admission-to-pop wait of the query's batch (0 on the inline path).
+    queue_wait_nanos: u64,
+    /// Handle-local pool-counter deltas around this query's probe.
+    pool_hits: u64,
+    pool_misses: u64,
+}
 
 /// One worker's complete contribution: executed queries plus its
 /// session's pool counters.
 struct WorkerOut {
+    worker: usize,
     done: Vec<Executed>,
     hits: u64,
     misses: u64,
@@ -204,18 +231,27 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
 
     let worker_results: Vec<WorkerOut> = if threads == 1 {
         // Inline fast path: no queue, no spawn — the exact sequential
-        // reference the equivalence tests compare against.
+        // reference the equivalence tests compare against. No queue means
+        // no queue wait: those samples are honestly zero.
         let mut session = engine.session(pool_pages);
         let mut done: Vec<Executed> = Vec::with_capacity(trace.len());
         for b in &batches {
             for &qid in b {
-                done.push(execute_one(&mut *session, trace, qid));
+                done.push(execute_one(&mut *session, trace, qid, 0));
             }
         }
         let (hits, misses) = session.pool_counters();
-        vec![WorkerOut { done, hits, misses }]
+        vec![WorkerOut {
+            worker: 0,
+            done,
+            hits,
+            misses,
+        }]
     } else {
-        let queue: RequestQueue<Vec<usize>> = RequestQueue::new(cfg.queue_batches.max(1));
+        // Each queue item carries its admission instant so the popping
+        // worker can split queue wait from service time per batch.
+        let queue: RequestQueue<(Vec<usize>, Instant)> =
+            RequestQueue::new(cfg.queue_batches.max(1));
         let feed: Mutex<Option<Vec<Vec<usize>>>> = Mutex::new(Some(batches));
         StagePool::new(threads).scoped_run(|w| {
             let mut session = engine.session(pool_pages);
@@ -231,17 +267,23 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
                     .take()
                     .expect("feeder ran twice");
                 for b in batches {
-                    queue.push(b);
+                    queue.push((b, Instant::now()));
                 }
                 queue.close();
             }
-            while let Some(b) = queue.pop() {
+            while let Some((b, admitted)) = queue.pop() {
+                let wait = admitted.elapsed().as_nanos() as u64;
                 for qid in b {
-                    done.push(execute_one(&mut *session, trace, qid));
+                    done.push(execute_one(&mut *session, trace, qid, wait));
                 }
             }
             let (hits, misses) = session.pool_counters();
-            WorkerOut { done, hits, misses }
+            WorkerOut {
+                worker: w,
+                done,
+                hits,
+                misses,
+            }
         })
     };
 
@@ -252,9 +294,14 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
         _ => None,
     };
 
-    // Deterministic reassembly by query position.
+    // Deterministic reassembly by query position. Latencies accumulate
+    // into the shared log-bucketed histogram type (always-on, local to
+    // this run) rather than a per-query sample vector; the summaries and
+    // any run-end publication both read its snapshot.
+    let service_hist = tfm_obs::Histogram::new();
+    let wait_hist = tfm_obs::Histogram::new();
     let mut results: Vec<Vec<ElementId>> = vec![Vec::new(); trace.len()];
-    let mut latencies: Vec<u64> = Vec::with_capacity(trace.len());
+    let mut traces: Vec<tfm_obs::QueryTrace> = Vec::new();
     let mut result_ids = 0u64;
     let mut pool_hits = 0u64;
     let mut pool_misses = 0u64;
@@ -263,10 +310,50 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
         pool_hits += worker.hits;
         pool_misses += worker.misses;
         per_worker_queries.push(worker.done.len() as u64);
-        for (qid, ids, nanos) in worker.done {
-            result_ids += ids.len() as u64;
-            latencies.push(nanos);
-            results[qid] = ids;
+        for ex in worker.done {
+            result_ids += ex.ids.len() as u64;
+            service_hist.record(ex.service_nanos);
+            wait_hist.record(ex.queue_wait_nanos);
+            if cfg.collect_traces {
+                traces.push(tfm_obs::QueryTrace {
+                    trace_id: ex.qid as u64,
+                    worker: worker.worker as u64,
+                    queue_wait_nanos: ex.queue_wait_nanos,
+                    service_nanos: ex.service_nanos,
+                    pool_hits: ex.pool_hits,
+                    pool_misses: ex.pool_misses,
+                    result_ids: ex.ids.len() as u64,
+                });
+            }
+            results[ex.qid] = ex.ids;
+        }
+    }
+    traces.sort_unstable_by_key(|t| t.trace_id);
+    let service_snap = service_hist.snapshot();
+    let wait_snap = wait_hist.snapshot();
+
+    // Run-end publication into the process-wide registry (one shot, so
+    // per-query counters never double-count): the serve.* family plus the
+    // cache/io signals this run owns. `cache.hits`/`cache.misses` come
+    // from the handle-local pool counters; the shared cache contributes
+    // only its internal extras (evictions, contention, decoded tier).
+    let obs = tfm_obs::global();
+    if obs.is_enabled() {
+        use tfm_obs::names;
+        obs.counter(names::SERVE_QUERIES).add(trace.len() as u64);
+        obs.counter(names::SERVE_BATCHES).add(n_batches as u64);
+        obs.counter(names::SERVE_RESULT_IDS).add(result_ids);
+        obs.histogram(names::SERVE_WALL_NANOS)
+            .record(wall.as_nanos() as u64);
+        obs.histogram(names::SERVE_SERVICE_NANOS)
+            .merge_snapshot(&service_snap);
+        obs.histogram(names::SERVE_QUEUE_WAIT_NANOS)
+            .merge_snapshot(&wait_snap);
+        obs.counter(names::CACHE_HITS).add(pool_hits);
+        obs.counter(names::CACHE_MISSES).add(pool_misses);
+        io.publish(obs);
+        if let Some(c) = &cache {
+            c.publish_shared_extras(obs);
         }
     }
 
@@ -278,20 +365,40 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
         threads,
         hilbert_batching: cfg.hilbert_batching,
         wall,
-        latency: LatencySummary::from_samples(latencies),
+        latency: LatencySummary::from_histogram(&service_snap),
+        queue_wait: LatencySummary::from_histogram(&wait_snap),
         pool_hits,
         pool_misses,
         io,
         per_worker_queries,
         cache,
     };
-    ServeOutcome { results, stats }
+    ServeOutcome {
+        results,
+        stats,
+        traces,
+    }
 }
 
-fn execute_one(session: &mut dyn QuerySession, trace: &[SpatialQuery], qid: usize) -> Executed {
+fn execute_one(
+    session: &mut dyn QuerySession,
+    trace: &[SpatialQuery],
+    qid: usize,
+    queue_wait_nanos: u64,
+) -> Executed {
+    let (hits_before, misses_before) = session.pool_counters();
     let t = Instant::now();
     let ids = session.execute(&trace[qid]);
-    (qid, ids, t.elapsed().as_nanos() as u64)
+    let service_nanos = t.elapsed().as_nanos() as u64;
+    let (hits_after, misses_after) = session.pool_counters();
+    Executed {
+        qid,
+        ids,
+        service_nanos,
+        queue_wait_nanos,
+        pool_hits: hits_after - hits_before,
+        pool_misses: misses_after - misses_before,
+    }
 }
 
 #[cfg(test)]

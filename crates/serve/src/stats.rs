@@ -43,6 +43,28 @@ impl LatencySummary {
         }
     }
 
+    /// Summarizes a recorded latency histogram (`tfm-obs`'s shared
+    /// log-bucketed type — the serve loop records into it directly, so
+    /// percentiles no longer require keeping every sample).
+    ///
+    /// `mean` and `max` are exact (the histogram tracks true sum and max);
+    /// the percentiles are nearest-rank over the buckets, exact for
+    /// samples below 64 ns and within the histogram's 1/32 relative
+    /// error above — `from_histogram` and [`Self::from_samples`] agree
+    /// to that tolerance on identical data.
+    pub fn from_histogram(h: &tfm_obs::HistogramSnapshot) -> Self {
+        if h.count == 0 {
+            return Self::default();
+        }
+        Self {
+            mean_nanos: h.sum / h.count,
+            p50_nanos: h.percentile(0.50),
+            p95_nanos: h.percentile(0.95),
+            p99_nanos: h.percentile(0.99),
+            max_nanos: h.max,
+        }
+    }
+
     /// Median as a [`Duration`].
     pub fn p50(&self) -> Duration {
         Duration::from_nanos(self.p50_nanos)
@@ -77,8 +99,11 @@ pub struct ServeStats {
     pub hilbert_batching: bool,
     /// Wall-clock time of the serve run (queueing + execution).
     pub wall: Duration,
-    /// Per-query latency percentiles.
+    /// Per-query service-time percentiles (probe execution only).
     pub latency: LatencySummary,
+    /// Per-query queue-wait percentiles: batch admission to worker pop.
+    /// All zeros on the single-threaded inline path, which has no queue.
+    pub queue_wait: LatencySummary,
     /// Buffer-pool hits summed over all worker sessions.
     pub pool_hits: u64,
     /// Buffer-pool misses (disk page reads) summed over all sessions.
@@ -152,6 +177,49 @@ mod tests {
         assert_eq!(s.p99_nanos, 99);
         assert_eq!(s.max_nanos, 100);
         assert_eq!(s.mean_nanos, 50); // 5050 / 100
+    }
+
+    #[test]
+    fn histogram_summary_agrees_with_sample_summary() {
+        // Values below 64 land in width-1 buckets, so the two summaries
+        // must agree exactly.
+        let samples: Vec<u64> = (1..=60).collect();
+        let h = tfm_obs::Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let from_h = LatencySummary::from_histogram(&h.snapshot());
+        let from_s = LatencySummary::from_samples(samples);
+        assert_eq!(from_h, from_s);
+
+        // Larger values: percentiles agree within the histogram's 1/32
+        // relative error; mean and max stay exact.
+        let samples: Vec<u64> = (0..500).map(|i| 1_000 + 37 * i).collect();
+        let h = tfm_obs::Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let from_h = LatencySummary::from_histogram(&h.snapshot());
+        let from_s = LatencySummary::from_samples(samples);
+        assert_eq!(from_h.mean_nanos, from_s.mean_nanos);
+        assert_eq!(from_h.max_nanos, from_s.max_nanos);
+        for (a, b) in [
+            (from_h.p50_nanos, from_s.p50_nanos),
+            (from_h.p95_nanos, from_s.p95_nanos),
+            (from_h.p99_nanos, from_s.p99_nanos),
+        ] {
+            let err = (a as f64 - b as f64).abs() / b as f64;
+            assert!(err <= 1.0 / 32.0, "histogram {a} vs samples {b}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_default() {
+        let h = tfm_obs::Histogram::new();
+        assert_eq!(
+            LatencySummary::from_histogram(&h.snapshot()),
+            LatencySummary::default()
+        );
     }
 
     #[test]

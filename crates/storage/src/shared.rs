@@ -190,6 +190,30 @@ impl CacheStats {
         self.lock_contended as f64 / self.lock_acquisitions as f64
     }
 
+    /// Publishes the shared-cache-only counters into `reg` under the
+    /// `cache.*` naming scheme (see `tfm_obs::names`).
+    ///
+    /// Deliberately excludes `hits`/`misses`: those are owned by the
+    /// handle-local pool counters and published once by the run-level
+    /// reporter (join or serve), so page-tier traffic never double-counts
+    /// when both a handle delta and a shared-cache snapshot are in hand.
+    pub fn publish_shared_extras(&self, reg: &tfm_obs::MetricsRegistry) {
+        use tfm_obs::names;
+        reg.counter(names::CACHE_DECODED_HITS)
+            .add(self.decoded_hits);
+        reg.counter(names::CACHE_DECODED_MISSES)
+            .add(self.decoded_misses);
+        reg.counter(names::CACHE_EVICTIONS).add(self.evictions);
+        reg.counter(names::CACHE_RECYCLED_FRAMES)
+            .add(self.recycled_frames);
+        reg.counter(names::CACHE_FRESH_ALLOCS)
+            .add(self.fresh_allocs);
+        reg.counter(names::CACHE_LOCK_ACQUISITIONS)
+            .add(self.lock_acquisitions);
+        reg.counter(names::CACHE_LOCK_CONTENDED)
+            .add(self.lock_contended);
+    }
+
     /// Counter-wise difference `self - earlier` (configuration fields are
     /// carried over); use to measure one phase of a longer run.
     pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {

@@ -119,6 +119,20 @@ impl IoStatsSnapshot {
         Duration::from_nanos(self.sim_write_nanos)
     }
 
+    /// Publishes these counters into `reg` under the `io.*` naming scheme
+    /// (see `tfm_obs::names`). Callers publish a phase's *delta* snapshot
+    /// once per run, so repeated publication accumulates across runs but
+    /// never double-counts within one.
+    pub fn publish(&self, reg: &tfm_obs::MetricsRegistry) {
+        use tfm_obs::names;
+        reg.counter(names::IO_SEQ_READS).add(self.seq_reads);
+        reg.counter(names::IO_RAND_READS).add(self.rand_reads);
+        reg.counter(names::IO_SEQ_WRITES).add(self.seq_writes);
+        reg.counter(names::IO_RAND_WRITES).add(self.rand_writes);
+        reg.counter(names::IO_SIM_NANOS)
+            .add(self.sim_read_nanos + self.sim_write_nanos);
+    }
+
     /// Counter-wise difference `self - earlier`; use to measure a phase.
     pub fn delta_since(&self, earlier: &IoStatsSnapshot) -> IoStatsSnapshot {
         IoStatsSnapshot {

@@ -36,6 +36,7 @@ pub use tfm_datagen as datagen;
 pub use tfm_exec as exec;
 pub use tfm_geom as geom;
 pub use tfm_memjoin as memjoin;
+pub use tfm_obs as obs;
 pub use tfm_partition as partition;
 pub use tfm_pool as pool;
 pub use tfm_serve as serve;
