@@ -13,7 +13,9 @@
 //! * **`BENCH_serve.json`** — multi-core scaling curves: serve qps /
 //!   latency / queue-wait for all three engines at 1/2/4/8 workers, and
 //!   parallel-join wall time at 1/2/4/8 workers, recorded from this
-//!   host (`host_threads` documents the parallelism actually available).
+//!   host (the `host` object documents the CPU model and the
+//!   parallelism actually available, so a checked-in artifact carries
+//!   its own provenance).
 //!
 //! Both files are flat hand-rolled JSON (no serde_json in the offline
 //! tree). The process exits non-zero if an `BENCH_obs.json` gate fails,
@@ -91,6 +93,7 @@ fn main() {
     let obs_out = arg(&args, "--obs-out", "BENCH_obs.json");
     let serve_out = arg(&args, "--serve-out", "BENCH_serve.json");
     let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cpu_model = tfm_bench::host_cpu_model();
 
     // ---- Ablation workload -------------------------------------------
     let dataset = generate(&DatasetSpec {
@@ -174,7 +177,10 @@ fn main() {
     };
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"scale\": {},", tfm_bench::scale());
-    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(
+        json,
+        "  \"host\": {{\"threads\": {host_threads}, \"cpu_model\": \"{cpu_model}\"}},"
+    );
     let _ = writeln!(
         json,
         "  \"serve\": {{\n    \"dataset_elements\": {}, \"queries\": {}, \"threads\": {},",
@@ -238,7 +244,10 @@ fn main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"scale\": {},", tfm_bench::scale());
-    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(
+        json,
+        "  \"host\": {{\"threads\": {host_threads}, \"cpu_model\": \"{cpu_model}\"}},"
+    );
     let _ = writeln!(
         json,
         "  \"serve\": {{\n    \"dataset_elements\": {}, \"queries\": {}, \"rows\": [",

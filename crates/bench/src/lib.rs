@@ -22,6 +22,7 @@
 pub mod report;
 pub mod runner;
 pub mod serve;
+pub mod shard;
 pub mod skew;
 pub mod workloads;
 
@@ -31,6 +32,7 @@ pub use serve::{
     print_serve_table, run_serve, run_serve_sweep, run_serve_traced, write_serve_csv,
     ServeEngineKind, ServeJob, ServeMetrics,
 };
+pub use shard::{print_shard_table, run_serve_sharded, ShardMetrics};
 pub use skew::SkewStore;
 
 /// Reads the scale multiplier from `TFM_SCALE` (default 1.0).
@@ -45,4 +47,18 @@ pub fn scale() -> f64 {
 /// Applies the global scale to a base element count.
 pub fn scaled(base: usize) -> usize {
     ((base as f64) * scale()).round().max(1.0) as usize
+}
+
+/// The host's CPU model string (`/proc/cpuinfo` on Linux), so checked-in
+/// bench artifacts document the hardware they came from.
+pub fn host_cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
 }

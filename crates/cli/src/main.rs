@@ -69,6 +69,7 @@ USAGE:
   tfm serve --in FILE [--engine E] [--queries N] [--threads N] [--batch N]
             [--no-hilbert] [--private-pool] [--mix M] [--page-size N]
             [--build-threads N] [--trace-seed S] [--window F] [--eps F]
+            [--shards N] [--shard-partitioner hilbert|str] [--shed]
             [--verify] [--metrics PATH] [--metrics-format jsonl|prometheus]
             [--metrics-interval-ms N]
       builds the chosen index once, generates a deterministic query trace
@@ -80,6 +81,14 @@ USAGE:
                   batch in arrival order instead of Hilbert order;
                   --private-pool serves from per-worker pools instead of the
                   shared page cache (ablation)
+      --shards N: serve through a sharded scatter-gather cluster of N
+                  self-contained index shards (each with its own page cache
+                  and worker pool of --threads workers); probes are routed
+                  only to the shards their probe box intersects, and merged
+                  results stay byte-identical to the unsharded path.
+                  --shard-partitioner picks the dataset split (default
+                  hilbert); --shed swaps blocking admission for load
+                  shedding on the per-shard bounded queues
   tfm info --in FILE
   tfm help
 
@@ -511,6 +520,112 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         ..ServeConfig::default()
     };
     let metrics = parse_metrics(args)?;
+
+    // --shards N switches to the sharded scatter-gather cluster: the
+    // dataset is split into N self-contained index shards, each with its
+    // own cache and worker pool, behind the probe-box router.
+    if let Some(shards_str) = opt(args, "--shards") {
+        let shards: usize = parse(shards_str, "--shards")?;
+        if shards == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        let partitioner = match opt(args, "--shard-partitioner").unwrap_or("hilbert") {
+            "hilbert" => tfm_serve::ShardPartitioner::Hilbert,
+            "str" => tfm_serve::ShardPartitioner::Str,
+            other => {
+                return Err(format!(
+                    "unknown shard partitioner `{other}` (hilbert | str)"
+                ))
+            }
+        };
+        let spec = tfm_serve::ShardSpec {
+            shards,
+            partitioner,
+            page_size,
+            ..tfm_serve::ShardSpec::default()
+        };
+        let shard_cfg = tfm_serve::ShardServeConfig {
+            workers_per_shard: threads,
+            batch,
+            hilbert_batching: !flag(args, "--no-hilbert"),
+            shed: flag(args, "--shed"),
+            ..tfm_serve::ShardServeConfig::default()
+        };
+        let snap = match &metrics {
+            Some(m) => start_metrics(m)?,
+            None => None,
+        };
+        let (m, results) =
+            tfm_bench::run_serve_sharded(engine, "cli", &elems, &trace, &spec, &shard_cfg);
+        println!("engine:          {} (sharded)", m.engine);
+        println!("dataset:         {path} ({} elements)", m.n_elements);
+        println!(
+            "trace:           {} queries ({:?} probes, seed {trace_seed})",
+            m.queries, mix
+        );
+        println!(
+            "cluster:         {} shards x {} workers ({:?} split), batch {}",
+            m.shards, m.workers_per_shard, partitioner, batch
+        );
+        println!(
+            "throughput:      {:.0} queries/s  ({:.3}s wall)",
+            m.qps,
+            m.wall.as_secs_f64()
+        );
+        println!(
+            "latency:         p50 {:.1}us  p95 {:.1}us  p99 {:.1}us (critical path)",
+            m.p50.as_secs_f64() * 1e6,
+            m.p95.as_secs_f64() * 1e6,
+            m.p99.as_secs_f64() * 1e6
+        );
+        println!(
+            "routing:         fanout mean {:.2} max {} ({} partials), \
+             peak cluster pressure {:.0}%",
+            m.fanout_mean,
+            m.fanout_max,
+            m.routed_partials,
+            m.max_cluster_pressure * 100.0
+        );
+        if m.shed_partials > 0 {
+            println!(
+                "shedding:        {} partials shed — results are incomplete",
+                m.shed_partials
+            );
+        }
+        println!(
+            "serve I/O:       {} pages over {} shard disks, {} pool hits",
+            m.pages_read, m.shards, m.pool_hits
+        );
+        println!("result ids:      {}", m.result_ids);
+        if let Some(mo) = &metrics {
+            finish_metrics(mo, snap, &[])?;
+        }
+        if flag(args, "--verify") {
+            if m.shed_partials > 0 {
+                return Err("cannot --verify a run that shed load".into());
+            }
+            for (i, q) in trace.iter().enumerate() {
+                let mut expected: Vec<u64> = elems
+                    .iter()
+                    .filter(|e| q.matches(&e.mbb))
+                    .map(|e| e.id)
+                    .collect();
+                expected.sort_unstable();
+                if results[i] != expected {
+                    return Err(format!("query {i} diverges from the full-scan oracle"));
+                }
+            }
+            println!(
+                "verify:          OK (all {} queries match the full scan)",
+                m.queries
+            );
+        }
+        return Ok(());
+    }
+    if flag(args, "--shed") || opt(args, "--shard-partitioner").is_some() {
+        return Err("--shed/--shard-partitioner require --shards N".into());
+    }
+
     let snap = match &metrics {
         Some(m) => start_metrics(m)?,
         None => None,
@@ -842,6 +957,77 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(cmd_serve(&bad).unwrap_err().contains("--threads"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_serve_command_end_to_end() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tfm_cli_shard_{}.elems", std::process::id()));
+        let gen_args: Vec<String> = [
+            "--count",
+            "700",
+            "--out",
+            path.to_str().unwrap(),
+            "--seed",
+            "61",
+            "--max-side",
+            "6",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        cmd_generate(&gen_args).unwrap();
+        // Sharded serving verifies against the full-scan oracle for both
+        // partitioners and a couple of cluster shapes.
+        for (shards, partitioner, threads) in [
+            ("1", "hilbert", "1"),
+            ("3", "hilbert", "2"),
+            ("4", "str", "1"),
+        ] {
+            let serve_args: Vec<String> = [
+                "--in",
+                path.to_str().unwrap(),
+                "--queries",
+                "60",
+                "--batch",
+                "16",
+                "--shards",
+                shards,
+                "--shard-partitioner",
+                partitioner,
+                "--threads",
+                threads,
+                "--verify",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            cmd_serve(&serve_args).unwrap_or_else(|e| panic!("shards={shards} {partitioner}: {e}"));
+        }
+        // Bad shard flags fail fast.
+        let bad: Vec<String> = ["--in", path.to_str().unwrap(), "--shards", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_serve(&bad).unwrap_err().contains("--shards"));
+        let bad: Vec<String> = [
+            "--in",
+            path.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--shard-partitioner",
+            "bogus",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(cmd_serve(&bad).unwrap_err().contains("shard partitioner"));
+        let bad: Vec<String> = ["--in", path.to_str().unwrap(), "--shed"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(cmd_serve(&bad).unwrap_err().contains("require --shards"));
         std::fs::remove_file(&path).ok();
     }
 

@@ -794,8 +794,8 @@ pub struct EngineSide<'a> {
 ///
 /// Each worker owns one engine — its own buffer pools, exploration
 /// scratch, cost model and statistics accumulator — and processes a
-/// disjoint subset of the guide's node pivots via [`process_pivot`]
-/// (`PivotEngine::process_pivot`). A bare engine (as built by
+/// disjoint subset of the guide's node pivots via
+/// [`PivotEngine::process_pivot`]. A bare engine (as built by
 /// [`PivotEngine::new`]) reproduces PR 1's fully independent workers:
 /// no role transformations, purely local to-do-list pruning. The two
 /// builders restore the paper's full adaptivity:

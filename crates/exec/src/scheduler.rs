@@ -50,8 +50,8 @@ impl JoinScheduler {
         }
     }
 
-    /// The neutral chunk size: [`adaptive_chunk_size`]
-    /// (JoinScheduler::adaptive_chunk_size) with no recorded skew signal.
+    /// The neutral chunk size: [`JoinScheduler::adaptive_chunk_size`]
+    /// with no recorded skew signal.
     pub fn default_chunk_size(pivots: usize, workers: usize) -> usize {
         Self::adaptive_chunk_size(pivots, workers, None)
     }

@@ -62,6 +62,33 @@ pub const SERVE_SERVICE_NANOS: &str = "serve.service_nanos";
 /// Per-query queue-wait histogram (admission to worker pop).
 pub const SERVE_QUEUE_WAIT_NANOS: &str = "serve.queue_wait_nanos";
 
+// --- shard.* : the sharded scatter-gather serve cluster ---
+//
+// Cluster-wide signals use the constants below; per-shard breakdowns use
+// dynamic names of the form `shard.<i>.queries`, `shard.<i>.pool_hits`,
+// `shard.<i>.pool_misses` and `shard.<i>.queue_wait_nanos` (the registry
+// keys metrics by string, so dynamic families need no constants).
+
+/// Queries admitted to the sharded serve path.
+pub const SHARD_QUERIES: &str = "shard.queries";
+/// Query partials routed to shards (Σ per-query fanout).
+pub const SHARD_ROUTED: &str = "shard.routed";
+/// Per-query fanout histogram: how many shards each probe scattered to.
+pub const SHARD_FANOUT: &str = "shard.fanout";
+/// Per-partial service-time histogram across all shards.
+pub const SHARD_SERVICE_NANOS: &str = "shard.service_nanos";
+/// Per-partial queue-wait histogram: sub-batch admission to worker pop.
+pub const SHARD_QUEUE_WAIT_NANOS: &str = "shard.queue_wait_nanos";
+/// Sub-batches refused by full shard queues (load-shedding admission).
+pub const SHARD_SHED_BATCHES: &str = "shard.shed_batches";
+/// Query partials lost to shed sub-batches.
+pub const SHARD_SHED_QUERIES: &str = "shard.shed_queries";
+/// Shards in the serving cluster.
+pub const SHARD_COUNT: &str = "shard.count";
+/// Peak percentage of shard queues simultaneously full during the run —
+/// the cluster-level backpressure signal.
+pub const SHARD_CLUSTER_PRESSURE_MAX_PCT: &str = "shard.cluster_pressure_max_pct";
+
 // --- join.* : the adaptive parallel join ---
 
 /// Pivot elements processed.

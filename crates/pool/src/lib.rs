@@ -14,8 +14,8 @@
 //!
 //! * [`ChunkScheduler`] — deals contiguous index chunks to per-worker
 //!   deques (static sharding), with stealing from the back of the fullest
-//!   victim once a worker's own deque drains, and a [`cancel`]
-//!   (`ChunkScheduler::cancel`) switch that discards all queued work
+//!   victim once a worker's own deque drains, and a
+//!   [`cancel`](ChunkScheduler::cancel) switch that discards all queued work
 //!   (the join path's prune announcements);
 //! * [`StagePool`] — spawn-scoped workers ([`StagePool::scoped_run`]) and
 //!   deterministic data-parallel combinators on top of them:

@@ -14,7 +14,7 @@ use tfm_storage::{PageId, PageReads};
 /// the taller tree is descended first until the levels align.
 ///
 /// Node pages are read through per-tree caches (any [`PageReads`]
-/// implementor — a private [`BufferPool`] or a handle onto the shared
+/// implementor — a private `BufferPool` or a handle onto the shared
 /// `SharedPageCache`), so the re-reads caused by structural overlap hit
 /// the disk only when they exceed the cache — exactly the behaviour the
 /// paper attributes to the R-Tree baseline.

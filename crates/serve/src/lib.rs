@@ -26,6 +26,12 @@
 //!   this falls out of the disk model.
 //! * [`ServeStats`] — per-run aggregates: latency percentiles, pool
 //!   hits/misses, the I/O delta, per-worker query counts.
+//! * **Sharded scatter-gather** — [`ShardedCluster`] partitions the
+//!   dataset into self-contained index shards (each with its own disk,
+//!   cache and worker pool); [`serve_sharded`] routes every probe onto
+//!   only the shards its probe box intersects, scatter-gathers the
+//!   shard-local partials and merges them deterministically. See
+//!   [`serve_sharded`]'s docs and `ARCHITECTURE.md`.
 //!
 //! # Determinism
 //!
@@ -58,10 +64,16 @@
 
 mod engines;
 mod queue;
+mod shard;
 mod stats;
 
 pub use engines::{GipsyEngine, QueryEngine, QuerySession, RtreeEngine, TransformersEngine};
 pub use queue::RequestQueue;
+pub use shard::{
+    plan_shards, serve_sharded, IndexShard, ShardEngineKind, ShardPartitioner, ShardRouter,
+    ShardServeConfig, ShardSpec, ShardStats, ShardedCluster, ShardedServeOutcome,
+    ShardedServeStats,
+};
 pub use stats::{LatencySummary, ServeStats};
 
 use std::sync::Mutex;
@@ -170,7 +182,11 @@ pub struct ServeOutcome {
 ///
 /// Batch *composition* is always arrival-order — only the order *within*
 /// a batch changes — so results cannot depend on the batching mode.
-fn plan_batches(trace: &[SpatialQuery], batch: usize, hilbert_batching: bool) -> Vec<Vec<usize>> {
+pub(crate) fn plan_batches(
+    trace: &[SpatialQuery],
+    batch: usize,
+    hilbert_batching: bool,
+) -> Vec<Vec<usize>> {
     let universe = Aabb::union_all(trace.iter().map(|q| Aabb::from_point(q.center())));
     (0..trace.len())
         .step_by(batch)

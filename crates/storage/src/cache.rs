@@ -91,7 +91,18 @@ impl Deref for ElemSlice<'_> {
     }
 }
 
-/// A source of cached page reads. See the module docs.
+/// A source of cached page reads — the one abstraction every index
+/// traversal reads pages through (see the module docs for the three
+/// implementors and what each returns).
+///
+/// The contract: [`page`](PageReads::page) must return exactly the bytes
+/// the underlying [`Disk`] holds for that id (caching may only change
+/// *when* the disk is touched, never *what* comes back), and
+/// [`counters`](PageReads::counters) must account every `page`/
+/// [`elements`](PageReads::elements) call as either a hit or a miss so
+/// per-worker accounting stays exact under sharing. Handles are `&mut
+/// self` per owner: concurrency lives *inside* an implementation (the
+/// shared cache's lock striping), never in the trait.
 pub trait PageReads {
     /// Reads one page's bytes.
     fn page(&mut self, id: PageId) -> PageSlice<'_>;
