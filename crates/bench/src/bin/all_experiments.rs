@@ -58,7 +58,7 @@ fn main() {
     // E6: neuroscience surrogate (Fig. 12), PBSM at 20 partitions/dim.
     let neuro_cfg = RunConfig {
         pbsm_partitions: 20,
-        ..cfg
+        ..cfg.clone()
     };
     let mut rows = Vec::new();
     for (i, base) in [100_000usize, 250_000, 350_000].iter().enumerate() {

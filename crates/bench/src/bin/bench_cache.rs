@@ -183,7 +183,7 @@ fn main() {
         let cfg = RunConfig {
             shared_cache: shared,
             pool_pages: join_pool_pages,
-            ..run_cfg
+            ..run_cfg.clone()
         };
         let (m, pairs) = tfm_bench::run_approach(&approach, "cache-join", &a, &b, &cfg);
         let pairs = canonicalize(pairs);
@@ -238,8 +238,14 @@ fn main() {
     ];
 
     // ---- Report -------------------------------------------------------
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cpu_model = tfm_bench::host_cpu_model();
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"scale\": {},", tfm_bench::scale());
+    let _ = writeln!(
+        json,
+        "  \"host\": {{\"threads\": {host_threads}, \"cpu_model\": \"{cpu_model}\"}},"
+    );
     let _ = writeln!(
         json,
         "  \"serve\": {{\n    \"dataset_elements\": {}, \"queries\": {},",

@@ -12,7 +12,7 @@ use tfm_gipsy::{gipsy_join, GipsyConfig, GipsyStats, SparseFile};
 use tfm_memjoin::ResultPair;
 use tfm_pbsm::{pbsm_join, pbsm_partition, PbsmConfig, PbsmStats};
 use tfm_rtree::{sync_join, RTree, RtreeStats};
-use tfm_storage::{BufferPool, CacheHandle, Disk, IoStatsSnapshot, SharedPageCache};
+use tfm_storage::{BufferPool, CacheHandle, Disk, IoStatsSnapshot, SharedPageCache, StoreBackend};
 use transformers::{
     transformers_join, IndexBuildPipeline, IndexConfig, JoinConfig, ThresholdPolicy,
     TransformersIndex,
@@ -107,7 +107,7 @@ impl Approach {
 }
 
 /// Harness-wide run parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
     /// Page size for every disk. The default (2 KiB) shrinks space units
     /// and nodes proportionally to the laptop-scale datasets, preserving
@@ -127,6 +127,19 @@ pub struct RunConfig {
     /// every reader owns a private pool again. Results are identical
     /// either way.
     pub shared_cache: bool,
+    /// Storage backend every disk of the run is created with. The
+    /// default [`StoreBackend::Mem`] preserves the historical in-memory
+    /// behaviour; [`StoreBackend::File`] writes one page image per disk
+    /// (tagged by role) under the given directory and reads it back with
+    /// positional I/O. Results are byte-identical either way.
+    pub backend: StoreBackend,
+    /// Device read-latency injection scale, forwarded to
+    /// [`Disk::with_read_latency`]: each page read sleeps
+    /// `model cost × scale` on the reading thread. `0.0` (the default)
+    /// disables injection; non-zero values make cold-cache wall time
+    /// track the [`tfm_storage::DiskModel`] so queue-depth experiments
+    /// behave like a real device even on one core.
+    pub read_latency: f64,
 }
 
 impl Default for RunConfig {
@@ -137,7 +150,20 @@ impl Default for RunConfig {
             pool_pages: 1024,
             build_threads: 1,
             shared_cache: true,
+            backend: StoreBackend::Mem,
+            read_latency: 0.0,
         }
+    }
+}
+
+impl RunConfig {
+    /// Creates one disk of this run. `tag` names the page image when the
+    /// backend is a file directory (`<dir>/<tag>.pages`); the mem backend
+    /// ignores it.
+    pub fn disk(&self, tag: &str) -> Disk {
+        Disk::for_backend(&self.backend, self.page_size, tag)
+            .expect("run disk backend")
+            .with_read_latency(self.read_latency)
     }
 }
 
@@ -310,8 +336,8 @@ fn run_sssj(
     cfg: &RunConfig,
 ) -> (Metrics, Vec<ResultPair>) {
     use tfm_sweep::sssj::{sssj_join, sssj_partition, SssjStats};
-    let disk_a = Disk::in_memory(cfg.page_size);
-    let disk_b = Disk::in_memory(cfg.page_size);
+    let disk_a = cfg.disk("sssj_a");
+    let disk_b = cfg.disk("sssj_b");
     let extent = Aabb::union_all(a.iter().chain(b.iter()).map(|e| e.mbb));
     let mut stats = SssjStats::default();
     // Strip count comparable to PBSM's tiling along one dimension squared.
@@ -358,8 +384,8 @@ fn run_s3(
     cfg: &RunConfig,
 ) -> (Metrics, Vec<ResultPair>) {
     use tfm_sweep::s3::{s3_join, s3_partition, S3Stats};
-    let disk_a = Disk::in_memory(cfg.page_size);
-    let disk_b = Disk::in_memory(cfg.page_size);
+    let disk_a = cfg.disk("s3_a");
+    let disk_b = cfg.disk("s3_b");
     let extent = Aabb::union_all(a.iter().chain(b.iter()).map(|e| e.mbb));
     let mut stats = S3Stats::default();
     // Depth such that the deepest level's cells hold roughly a page of
@@ -450,8 +476,8 @@ fn run_transformers_with(
         &JoinConfig,
     ) -> transformers::JoinOutcome,
 ) -> (Metrics, Vec<ResultPair>) {
-    let disk_a = Disk::in_memory(cfg.page_size);
-    let disk_b = Disk::in_memory(cfg.page_size);
+    let disk_a = cfg.disk("tfm_a");
+    let disk_b = cfg.disk("tfm_b");
     let idx_cfg = IndexConfig::default().with_build_threads(cfg.build_threads);
 
     let t = Instant::now();
@@ -495,8 +521,8 @@ fn run_pbsm(
     b: &[SpatialElement],
     cfg: &RunConfig,
 ) -> (Metrics, Vec<ResultPair>) {
-    let disk_a = Disk::in_memory(cfg.page_size);
-    let disk_b = Disk::in_memory(cfg.page_size);
+    let disk_a = cfg.disk("pbsm_a");
+    let disk_b = cfg.disk("pbsm_b");
     let pbsm_cfg = PbsmConfig::with_partitions(cfg.pbsm_partitions);
     let extent = Aabb::union_all(a.iter().chain(b.iter()).map(|e| e.mbb));
     let mut stats = PbsmStats::default();
@@ -541,8 +567,8 @@ fn run_rtree(
     b: &[SpatialElement],
     cfg: &RunConfig,
 ) -> (Metrics, Vec<ResultPair>) {
-    let disk_a = Disk::in_memory(cfg.page_size);
-    let disk_b = Disk::in_memory(cfg.page_size);
+    let disk_a = cfg.disk("rtree_a");
+    let disk_b = cfg.disk("rtree_b");
 
     let pipeline = IndexBuildPipeline::new(cfg.build_threads);
     let t = Instant::now();
@@ -592,8 +618,8 @@ fn run_gipsy(
     let a_is_sparse = a.len() <= b.len();
     let (sparse, dense) = if a_is_sparse { (a, b) } else { (b, a) };
 
-    let sparse_disk = Disk::in_memory(cfg.page_size);
-    let dense_disk = Disk::in_memory(cfg.page_size);
+    let sparse_disk = cfg.disk("gipsy_sparse");
+    let dense_disk = cfg.disk("gipsy_dense");
 
     let pipeline = IndexBuildPipeline::new(cfg.build_threads);
     let idx_cfg = IndexConfig::default().with_build_threads(cfg.build_threads);

@@ -98,6 +98,19 @@ pub struct ServeMetrics {
     pub lock_acquisitions: u64,
     /// Contended shard-lock acquisitions of the shared cache.
     pub lock_contended: u64,
+    /// Pages the prefetch pipeline landed into cache frames (0 with
+    /// readahead off or private pools).
+    pub prefetch_issued: u64,
+    /// Demand reads served by a prefetched frame — kept disjoint from
+    /// `pool_hits`/`pool_misses`, so readahead cannot inflate the
+    /// hit-fraction gates.
+    pub prefetch_hits: u64,
+    /// Prefetched frames evicted before any demand read used them.
+    pub prefetch_unused: u64,
+    /// Prefetch I/O threads the run was configured with.
+    pub io_depth: usize,
+    /// Readahead window in pages (0 = prefetch pipeline off).
+    pub readahead: usize,
     /// Result ids returned, summed over the trace.
     pub result_ids: u64,
 }
@@ -154,6 +167,11 @@ impl ServeMetrics {
             decoded_misses: stats.cache.map_or(0, |c| c.decoded_misses),
             lock_acquisitions: stats.cache.map_or(0, |c| c.lock_acquisitions),
             lock_contended: stats.cache.map_or(0, |c| c.lock_contended),
+            prefetch_issued: stats.cache.map_or(0, |c| c.prefetch_issued),
+            prefetch_hits: stats.cache.map_or(0, |c| c.prefetch_hits),
+            prefetch_unused: stats.cache.map_or(0, |c| c.prefetch_unused),
+            io_depth: cfg.io_depth.max(1),
+            readahead: cfg.readahead,
             result_ids: stats.result_ids,
         }
     }
@@ -172,7 +190,7 @@ fn with_engine<R>(
     serve_cfg: &ServeConfig,
     f: impl FnOnce(&dyn QueryEngine, &Disk) -> R,
 ) -> R {
-    let disk = Disk::in_memory(run_cfg.page_size);
+    let disk = run_cfg.disk("serve");
     let idx_cfg = IndexConfig::default().with_build_threads(run_cfg.build_threads);
     let shards = SharedPageCache::shards_for_threads(serve_cfg.threads);
     let cache_pages = serve_cfg.pool_pages.max(1);
@@ -344,12 +362,12 @@ pub fn print_serve_table(title: &str, rows: &[ServeMetrics]) {
 }
 
 /// CSV header matching [`serve_csv_row`].
-pub const SERVE_CSV_HEADER: &str = "workload,engine,n_elements,queries,threads,batch,hilbert_batching,shared_cache,wall_s,sim_io_s,qps,p50_us,p95_us,p99_us,queue_wait_p50_us,queue_wait_p99_us,pages_read,seq_reads,rand_reads,pool_hits,pool_misses,decoded_hits,decoded_misses,lock_acquisitions,lock_contended,result_ids";
+pub const SERVE_CSV_HEADER: &str = "workload,engine,n_elements,queries,threads,batch,hilbert_batching,shared_cache,wall_s,sim_io_s,qps,p50_us,p95_us,p99_us,queue_wait_p50_us,queue_wait_p99_us,pages_read,seq_reads,rand_reads,pool_hits,pool_misses,decoded_hits,decoded_misses,lock_acquisitions,lock_contended,prefetch_issued,prefetch_hits,prefetch_unused,io_depth,readahead,result_ids";
 
 /// One CSV row for a serve-metrics record.
 pub fn serve_csv_row(m: &ServeMetrics) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         m.workload,
         m.engine,
         m.n_elements,
@@ -375,6 +393,11 @@ pub fn serve_csv_row(m: &ServeMetrics) -> String {
         m.decoded_misses,
         m.lock_acquisitions,
         m.lock_contended,
+        m.prefetch_issued,
+        m.prefetch_hits,
+        m.prefetch_unused,
+        m.io_depth,
+        m.readahead,
         m.result_ids,
     )
 }

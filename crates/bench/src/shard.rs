@@ -113,7 +113,7 @@ pub fn run_serve_sharded(
     spec: &ShardSpec,
     serve_cfg: &ShardServeConfig,
 ) -> (ShardMetrics, Vec<Vec<ElementId>>) {
-    let spec = spec.with_engine(kind.shard_engine());
+    let spec = spec.clone().with_engine(kind.shard_engine());
     let cluster = ShardedCluster::build(elements.to_vec(), &spec);
     let out = serve_sharded(&cluster, trace, serve_cfg);
     (

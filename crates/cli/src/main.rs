@@ -14,6 +14,7 @@ use std::process::ExitCode;
 use tfm_bench::{run_approach, Approach, RunConfig};
 use tfm_datagen::{generate, neuro, DatasetSpec, Distribution};
 use tfm_memjoin::{canonicalize, nested_loop_join, JoinStats};
+use tfm_storage::StoreBackend;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,13 +48,16 @@ USAGE:
       D: uniform | dense-cluster | uniform-cluster | massive-cluster | axons | dendrites
   tfm build --in FILE [--page-size N] [--build-threads N]
             [--unit-capacity N] [--node-capacity N]
+            [--backend mem|file] [--store DIR]
       builds the TRANSFORMERS index once through the staged pipeline and
       reports hierarchy size, pages and build time; the index is
-      byte-identical at any --build-threads setting
+      byte-identical at any --build-threads setting. With --backend file
+      the pages are written to a real on-disk image DIR/build.pages
   tfm join --a FILE --b FILE [--approach A] [--page-size N] [--threads N]
            [--build-threads N] [--no-transform] [--no-prune] [--private-pool]
-           [--verify] [--skew-file PATH] [--metrics PATH]
-           [--metrics-format jsonl|prometheus] [--metrics-interval-ms N]
+           [--backend mem|file] [--store DIR] [--verify] [--skew-file PATH]
+           [--metrics PATH] [--metrics-format jsonl|prometheus]
+           [--metrics-interval-ms N]
       A: transformers | no-tr | pbsm | rtree | gipsy | sssj | s3 (default: transformers)
       --threads N: run the transformers join on N parallel workers (tfm-exec)
       --build-threads N: build the indexes on N parallel workers
@@ -70,6 +74,7 @@ USAGE:
             [--no-hilbert] [--private-pool] [--mix M] [--page-size N]
             [--build-threads N] [--trace-seed S] [--window F] [--eps F]
             [--shards N] [--shard-partitioner hilbert|str] [--shed]
+            [--backend mem|file] [--store DIR] [--io-depth N] [--readahead N]
             [--verify] [--metrics PATH] [--metrics-format jsonl|prometheus]
             [--metrics-interval-ms N]
       builds the chosen index once, generates a deterministic query trace
@@ -91,6 +96,16 @@ USAGE:
                   shedding on the per-shard bounded queues
   tfm info --in FILE
   tfm help
+
+STORAGE BACKEND (build + join + serve):
+  --backend file: keep every page in a real on-disk image under --store
+      DIR (default: a per-run temp directory), read with positional I/O;
+      the default mem backend keeps pages in memory. On the file backend
+      `tfm serve` can run a prefetch pipeline: --io-depth N puts N
+      dedicated I/O threads behind the serve workers and --readahead N
+      keeps up to N pages in flight along each batch's Hilbert-ordered
+      page schedule (shared-cache engines; results stay byte-identical).
+      --store/--io-depth/--readahead require --backend file.
 
 METRICS (join + serve):
   --metrics PATH: enable the tfm-obs registry for the run and export the
@@ -132,6 +147,63 @@ fn parse_worker_count(args: &[String], name: &str) -> Result<usize, String> {
         ));
     }
     Ok(n)
+}
+
+/// Storage-backend options shared by `tfm build`, `tfm join` and
+/// `tfm serve`.
+struct StoreOpts {
+    backend: StoreBackend,
+    io_depth: usize,
+    readahead: usize,
+}
+
+impl StoreOpts {
+    /// The on-disk page-image directory, when the backend is a file.
+    fn dir(&self) -> Option<&std::path::Path> {
+        match &self.backend {
+            StoreBackend::File(dir) => Some(dir),
+            StoreBackend::Mem => None,
+        }
+    }
+}
+
+/// Parses `--backend mem|file [--store DIR] [--io-depth N]
+/// [--readahead N]`.
+///
+/// The page-image directory and the prefetch knobs only mean something
+/// when pages live in a real file, so on the default mem backend every
+/// flag of the group is rejected (same orphan-flag pattern as `--shed`
+/// without `--shards`); `--io-depth 0` fails like `--threads 0` — the
+/// depth is the number of dedicated I/O workers.
+fn parse_store_opts(args: &[String]) -> Result<StoreOpts, String> {
+    match opt(args, "--backend").unwrap_or("mem") {
+        "mem" => {
+            for name in ["--store", "--io-depth", "--readahead"] {
+                if opt(args, name).is_some() {
+                    return Err(format!("{name} requires --backend file"));
+                }
+            }
+            Ok(StoreOpts {
+                backend: StoreBackend::Mem,
+                io_depth: 1,
+                readahead: 0,
+            })
+        }
+        "file" => {
+            let dir = opt(args, "--store").map_or_else(
+                || std::env::temp_dir().join(format!("tfm_store_{}", std::process::id())),
+                std::path::PathBuf::from,
+            );
+            let io_depth = parse_worker_count(args, "--io-depth")?;
+            let readahead: usize = parse(opt(args, "--readahead").unwrap_or("0"), "--readahead")?;
+            Ok(StoreOpts {
+                backend: StoreBackend::File(dir),
+                io_depth,
+                readahead,
+            })
+        }
+        other => Err(format!("unknown backend `{other}` (mem | file)")),
+    }
 }
 
 /// `--metrics` export options shared by `tfm join` and `tfm serve`.
@@ -289,6 +361,12 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let path = required(args, "--in")?;
     let page_size: usize = parse(opt(args, "--page-size").unwrap_or("2048"), "--page-size")?;
     let build_threads = parse_worker_count(args, "--build-threads")?;
+    let store = parse_store_opts(args)?;
+    if opt(args, "--io-depth").is_some() || opt(args, "--readahead").is_some() {
+        return Err("--io-depth/--readahead drive the serve prefetch pipeline; \
+             `tfm build` only writes the page image"
+            .into());
+    }
     let mut cfg = IndexConfig::default().with_build_threads(build_threads);
     if let Some(v) = opt(args, "--unit-capacity") {
         cfg.unit_capacity = Some(parse(v, "--unit-capacity")?);
@@ -298,7 +376,8 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     }
 
     let elems = io::read_elements(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let disk = tfm_storage::Disk::in_memory(page_size);
+    let disk = tfm_storage::Disk::for_backend(&store.backend, page_size, "build")
+        .map_err(|e| format!("creating page store: {e}"))?;
     let t = std::time::Instant::now();
     let idx = TransformersIndex::try_build(&disk, elems, &cfg)?;
     let wall = t.elapsed();
@@ -325,6 +404,13 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         io.sim_io_time().as_secs_f64(),
         wall.as_secs_f64()
     );
+    if let Some(dir) = store.dir() {
+        println!(
+            "page image:      {} ({} bytes)",
+            dir.join("build.pages").display(),
+            disk.store_len()
+        );
+    }
     Ok(())
 }
 
@@ -351,6 +437,13 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     let no_transform = flag(args, "--no-transform");
     let no_prune = flag(args, "--no-prune");
     let private_pool = flag(args, "--private-pool");
+    let store = parse_store_opts(args)?;
+    if opt(args, "--io-depth").is_some() || opt(args, "--readahead").is_some() {
+        eprintln!(
+            "note: --io-depth/--readahead drive the serve-tier prefetch pipeline; \
+             the join path reads its file image demand-paged"
+        );
+    }
     let parallel_transformers = threads > 1 && matches!(approach, Approach::Transformers(_));
     if (no_transform || no_prune) && !parallel_transformers {
         eprintln!(
@@ -400,6 +493,7 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
         page_size,
         build_threads,
         shared_cache: !private_pool,
+        backend: store.backend.clone(),
         ..RunConfig::default()
     };
     // With --skew-file, the parallel path closes the steal-skew feedback
@@ -428,6 +522,9 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     };
 
     println!("approach:        {}", m.approach);
+    if let Some(dir) = store.dir() {
+        println!("backend:         file ({})", dir.display());
+    }
     println!("datasets:        |A| = {}, |B| = {}", m.n_a, m.n_b);
     println!("result pairs:    {}", m.results);
     println!(
@@ -500,6 +597,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let trace_seed: u64 = parse(opt(args, "--trace-seed").unwrap_or("1"), "--trace-seed")?;
     let window: f64 = parse(opt(args, "--window").unwrap_or("20"), "--window")?;
     let eps: f64 = parse(opt(args, "--eps").unwrap_or("5"), "--eps")?;
+    let store = parse_store_opts(args)?;
 
     let elems = io::read_elements(path).map_err(|e| format!("reading {path}: {e}"))?;
     let trace = generate_trace(&QueryTraceSpec {
@@ -510,6 +608,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let run_cfg = RunConfig {
         page_size,
         build_threads,
+        backend: store.backend.clone(),
         ..RunConfig::default()
     };
     let serve_cfg = ServeConfig {
@@ -517,6 +616,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         batch,
         hilbert_batching: !flag(args, "--no-hilbert"),
         shared_cache: !flag(args, "--private-pool"),
+        io_depth: store.io_depth,
+        readahead: store.readahead,
         ..ServeConfig::default()
     };
     let metrics = parse_metrics(args)?;
@@ -542,6 +643,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             shards,
             partitioner,
             page_size,
+            backend: store.backend.clone(),
             ..tfm_serve::ShardSpec::default()
         };
         let shard_cfg = tfm_serve::ShardServeConfig {
@@ -549,6 +651,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             batch,
             hilbert_batching: !flag(args, "--no-hilbert"),
             shed: flag(args, "--shed"),
+            io_depth: store.io_depth,
+            readahead: store.readahead,
             ..tfm_serve::ShardServeConfig::default()
         };
         let snap = match &metrics {
@@ -558,6 +662,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let (m, results) =
             tfm_bench::run_serve_sharded(engine, "cli", &elems, &trace, &spec, &shard_cfg);
         println!("engine:          {} (sharded)", m.engine);
+        if let Some(dir) = store.dir() {
+            println!(
+                "backend:         file ({}; io depth {}, readahead {} pages)",
+                dir.display(),
+                store.io_depth,
+                store.readahead
+            );
+        }
         println!("dataset:         {path} ({} elements)", m.n_elements);
         println!(
             "trace:           {} queries ({:?} probes, seed {trace_seed})",
@@ -640,6 +752,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     };
 
     println!("engine:          {}", m.engine);
+    if let Some(dir) = store.dir() {
+        println!(
+            "backend:         file ({}; io depth {}, readahead {} pages)",
+            dir.display(),
+            store.io_depth,
+            store.readahead
+        );
+    }
     println!("dataset:         {path} ({} elements)", m.n_elements);
     println!(
         "trace:           {} queries ({:?} probes, seed {trace_seed})",
@@ -1140,6 +1260,168 @@ mod tests {
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&jsonl).ok();
         std::fs::remove_file(&prom).ok();
+    }
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn io_backend_flags_are_validated() {
+        // `--io-depth 0` fails fast like `--threads 0`, before any file
+        // I/O happens.
+        let err = cmd_serve(&sv(&[
+            "--in",
+            "x.elems",
+            "--backend",
+            "file",
+            "--io-depth",
+            "0",
+        ]))
+        .expect_err("--io-depth 0 must be rejected");
+        assert!(err.contains("--io-depth must be at least 1"), "{err}");
+
+        // The page-image and prefetch flags are orphans on the default
+        // mem backend — readahead over in-memory pages is meaningless.
+        for orphan in [
+            &["--io-depth", "4"][..],
+            &["--readahead", "64"][..],
+            &["--store", "/tmp/x"][..],
+        ] {
+            let mut serve_args = sv(&["--in", "x.elems"]);
+            serve_args.extend(orphan.iter().map(|s| s.to_string()));
+            let err = cmd_serve(&serve_args).expect_err("mem-backend orphan must be rejected");
+            assert!(err.contains("requires --backend file"), "{err}");
+            let mut join_args = sv(&["--a", "x.a", "--b", "x.b"]);
+            join_args.extend(orphan.iter().map(|s| s.to_string()));
+            let err = cmd_join(&join_args).expect_err("mem-backend orphan must be rejected");
+            assert!(err.contains("requires --backend file"), "{err}");
+        }
+
+        // Unknown backend names fail with the candidate list.
+        let err = cmd_serve(&sv(&["--in", "x.elems", "--backend", "nvme"])).unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
+
+        // `tfm build` writes the image but has no prefetch pipeline.
+        let err = cmd_build(&sv(&[
+            "--in",
+            "x.elems",
+            "--backend",
+            "file",
+            "--io-depth",
+            "2",
+        ]))
+        .expect_err("build must reject prefetch knobs");
+        assert!(err.contains("prefetch"), "{err}");
+    }
+
+    #[test]
+    fn file_backend_commands_end_to_end() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let elems = dir.join(format!("tfm_cli_io_{pid}.elems"));
+        let store = dir.join(format!("tfm_cli_io_store_{pid}"));
+        let store_s = store.to_str().unwrap().to_string();
+        cmd_generate(&sv(&[
+            "--count",
+            "600",
+            "--out",
+            elems.to_str().unwrap(),
+            "--seed",
+            "91",
+            "--max-side",
+            "6",
+        ]))
+        .unwrap();
+
+        // Build writes a real page image and reports it.
+        cmd_build(&sv(&[
+            "--in",
+            elems.to_str().unwrap(),
+            "--backend",
+            "file",
+            "--store",
+            &store_s,
+        ]))
+        .unwrap();
+        let image = store.join("build.pages");
+        assert!(image.exists(), "build must write {}", image.display());
+        assert!(image.metadata().unwrap().len() > 0, "empty page image");
+
+        // Serve through the file backend with the prefetch pipeline on;
+        // results verify against the full-scan oracle.
+        cmd_serve(&sv(&[
+            "--in",
+            elems.to_str().unwrap(),
+            "--backend",
+            "file",
+            "--store",
+            &store_s,
+            "--threads",
+            "2",
+            "--io-depth",
+            "2",
+            "--readahead",
+            "64",
+            "--queries",
+            "60",
+            "--batch",
+            "16",
+            "--verify",
+        ]))
+        .unwrap();
+        assert!(store.join("serve.pages").exists(), "serve page image");
+
+        // Sharded cluster: one page image per shard.
+        cmd_serve(&sv(&[
+            "--in",
+            elems.to_str().unwrap(),
+            "--backend",
+            "file",
+            "--store",
+            &store_s,
+            "--shards",
+            "2",
+            "--threads",
+            "2",
+            "--io-depth",
+            "2",
+            "--readahead",
+            "32",
+            "--queries",
+            "60",
+            "--batch",
+            "16",
+            "--verify",
+        ]))
+        .unwrap();
+        for shard in 0..2 {
+            assert!(
+                store.join(format!("shard{shard}.pages")).exists(),
+                "shard{shard} page image"
+            );
+        }
+
+        // Parallel join over file-backed indexes verifies against the
+        // nested-loop oracle.
+        cmd_join(&sv(&[
+            "--a",
+            elems.to_str().unwrap(),
+            "--b",
+            elems.to_str().unwrap(),
+            "--backend",
+            "file",
+            "--store",
+            &store_s,
+            "--threads",
+            "2",
+            "--verify",
+        ]))
+        .unwrap();
+        assert!(store.join("tfm_a.pages").exists(), "join page image");
+
+        std::fs::remove_dir_all(&store).ok();
+        std::fs::remove_file(&elems).ok();
     }
 
     #[test]

@@ -20,7 +20,9 @@
 
 use tfm_geom::{ElementId, SpatialQuery};
 use tfm_rtree::{RTree, RtreeStats};
-use tfm_storage::{CacheHandle, CacheStats, Disk, IoStatsSnapshot, PageReads, SharedPageCache};
+use tfm_storage::{
+    CacheHandle, CacheStats, Disk, IoStatsSnapshot, PageId, PageReads, SharedPageCache,
+};
 use transformers::{explore, TransformersIndex, UnitReader};
 
 /// A built index structure that can serve spatial queries.
@@ -50,6 +52,56 @@ pub trait QueryEngine: Sync {
     /// Drops the shared cache's resident pages and zeroes its counters so
     /// comparable measurement runs start cold (no-op in private mode).
     fn reset_cache(&self) {}
+
+    /// True when the engine can accept readahead: it has a shared cache
+    /// to land pages into and a cheap way to compute a schedule.
+    fn supports_prefetch(&self) -> bool {
+        false
+    }
+
+    /// The pages `queries` will touch, deduplicated and in ascending page
+    /// order — a readahead schedule. The serve feeder hands each batch's
+    /// Hilbert-ordered probes here before admitting the batch, and pushes
+    /// the result onto the prefetch queue. Engines without a cheap
+    /// in-memory way to compute this return an empty schedule (readahead
+    /// stays idle; results are unaffected).
+    fn prefetch_schedule(&self, _queries: &[SpatialQuery]) -> Vec<PageId> {
+        Vec::new()
+    }
+
+    /// Lands one scheduled page into the engine's shared cache (no-op in
+    /// private-pool mode). Called from dedicated I/O threads with a
+    /// reusable scratch buffer; the disk wait happens outside any cache
+    /// lock (see [`SharedPageCache::prefetch_page`]).
+    fn prefetch_page(&self, _id: PageId, _scratch: &mut Vec<u8>) {}
+}
+
+/// The unit pages `queries` will touch in a TRANSFORMERS-style hierarchy:
+/// node-level then unit-level page-MBB prefilter, identical to the
+/// per-probe filtering in the sessions, evaluated purely against the
+/// in-memory descriptor tables (no page is read). Units are numbered in
+/// page order, so sort+dedup yields an ascending sweep — with a
+/// Hilbert-ordered batch this is exactly the order the workers will ask
+/// for the pages in.
+fn unit_pages_for(idx: &TransformersIndex, queries: &[SpatialQuery]) -> Vec<PageId> {
+    let units = idx.units();
+    let mut pages = Vec::new();
+    for query in queries {
+        let probe = query.probe();
+        for node in idx.nodes() {
+            if !node.page_mbb.intersects(&probe) {
+                continue;
+            }
+            for u in node.unit_range() {
+                if units[u].page_mbb.intersects(&probe) {
+                    pages.push(units[u].page);
+                }
+            }
+        }
+    }
+    pages.sort_unstable();
+    pages.dedup();
+    pages
 }
 
 /// Per-worker query executor: owns the worker's buffer pool and scratch.
@@ -118,6 +170,20 @@ impl QueryEngine for TransformersEngine<'_> {
         if let Some(cache) = &self.cache {
             cache.clear();
             cache.reset_stats();
+        }
+    }
+
+    fn supports_prefetch(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    fn prefetch_schedule(&self, queries: &[SpatialQuery]) -> Vec<PageId> {
+        unit_pages_for(self.idx, queries)
+    }
+
+    fn prefetch_page(&self, id: PageId, scratch: &mut Vec<u8>) {
+        if let Some(cache) = &self.cache {
+            cache.prefetch_page(id, scratch);
         }
     }
 }
@@ -222,6 +288,23 @@ impl QueryEngine for GipsyEngine<'_> {
         if let Some(cache) = &self.cache {
             cache.clear();
             cache.reset_stats();
+        }
+    }
+
+    fn supports_prefetch(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    // GIPSY's crawl visits a subset of the unit pages the MBB prefilter
+    // admits, so the TRANSFORMERS schedule is a sound (over-approximate)
+    // readahead hint for it too.
+    fn prefetch_schedule(&self, queries: &[SpatialQuery]) -> Vec<PageId> {
+        unit_pages_for(self.idx, queries)
+    }
+
+    fn prefetch_page(&self, id: PageId, scratch: &mut Vec<u8>) {
+        if let Some(cache) = &self.cache {
+            cache.prefetch_page(id, scratch);
         }
     }
 }

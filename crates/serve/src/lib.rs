@@ -80,6 +80,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 use tfm_geom::{hilbert, Aabb, ElementId, SpatialQuery};
 use tfm_pool::StagePool;
+use tfm_storage::PrefetchQueue;
 
 /// Configuration of one serve run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +113,18 @@ pub struct ServeConfig {
     /// pool-counter attribution). Off by default: trace records cost a
     /// per-query allocation the hot path otherwise never pays.
     pub collect_traces: bool,
+    /// Dedicated I/O threads keeping prefetch reads in flight — the
+    /// submission queue depth of the readahead pipeline. Only consulted
+    /// when [`ServeConfig::readahead`] enables prefetching; `0` is
+    /// clamped to 1.
+    pub io_depth: usize,
+    /// Readahead window in pages: the capacity of the bounded
+    /// [`tfm_storage::PrefetchQueue`] the feeder fills with each batch's
+    /// Hilbert-ordered candidate pages. `0` (the default) disables the
+    /// prefetch pipeline entirely; it also stays off on engines without a
+    /// shared cache ([`QueryEngine::supports_prefetch`]) and on the
+    /// single-threaded inline path.
+    pub readahead: usize,
 }
 
 impl Default for ServeConfig {
@@ -124,6 +137,8 @@ impl Default for ServeConfig {
             queue_batches: 4,
             shared_cache: true,
             collect_traces: false,
+            io_depth: 1,
+            readahead: 0,
         }
     }
 }
@@ -157,6 +172,19 @@ impl ServeConfig {
     /// Builder: collect per-query [`tfm_obs::QueryTrace`] records.
     pub fn with_traces(mut self) -> Self {
         self.collect_traces = true;
+        self
+    }
+
+    /// Builder: sets the prefetch queue depth (I/O threads in flight).
+    pub fn with_io_depth(mut self, io_depth: usize) -> Self {
+        self.io_depth = io_depth;
+        self
+    }
+
+    /// Builder: sets the readahead window in pages (enables the prefetch
+    /// pipeline when non-zero).
+    pub fn with_readahead(mut self, readahead: usize) -> Self {
+        self.readahead = readahead;
         self
     }
 }
@@ -269,7 +297,34 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
         let queue: RequestQueue<(Vec<usize>, Instant)> =
             RequestQueue::new(cfg.queue_batches.max(1));
         let feed: Mutex<Option<Vec<Vec<usize>>>> = Mutex::new(Some(batches));
-        StagePool::new(threads).scoped_run(|w| {
+        // Readahead pipeline: the feeder pushes each batch's candidate
+        // pages (in the batch's Hilbert order — an ascending page sweep)
+        // into a bounded lossy queue, and `io_depth` dedicated I/O
+        // threads keep that many reads in flight, landing completed
+        // pages directly into shared-cache frames ahead of the workers.
+        let prefetch_on = cfg.readahead > 0 && engine.supports_prefetch();
+        let io_threads = if prefetch_on { cfg.io_depth.max(1) } else { 0 };
+        let prefetch_queue = prefetch_on.then(|| PrefetchQueue::new(cfg.readahead));
+        let pq = prefetch_queue.as_ref();
+        StagePool::new(threads + io_threads).scoped_run(|w| {
+            if w >= threads {
+                // Dedicated prefetch I/O thread: pop page ids and land
+                // them in the cache until the feeder closes the queue.
+                // Device latency (real file seeks, or the injected
+                // `Disk` read latency) is paid here, off the workers'
+                // critical path.
+                let pq = pq.expect("io worker without prefetch queue");
+                let mut scratch = Vec::new();
+                while let Some(id) = pq.pop() {
+                    engine.prefetch_page(id, &mut scratch);
+                }
+                return WorkerOut {
+                    worker: w,
+                    done: Vec::new(),
+                    hits: 0,
+                    misses: 0,
+                };
+            }
             let mut session = engine.session(pool_pages);
             let mut done: Vec<Executed> = Vec::new();
             if w == 0 {
@@ -283,9 +338,23 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
                     .take()
                     .expect("feeder ran twice");
                 for b in batches {
+                    if let Some(pq) = pq {
+                        // Announce the batch's page schedule before the
+                        // batch itself so the I/O threads start on it
+                        // ahead of the executing workers. `try_push` is
+                        // lossy by design: a full queue means the I/O
+                        // threads are already `readahead` pages ahead.
+                        let probes: Vec<SpatialQuery> = b.iter().map(|&qid| trace[qid]).collect();
+                        for page in engine.prefetch_schedule(&probes) {
+                            pq.try_push(page);
+                        }
+                    }
                     queue.push((b, Instant::now()));
                 }
                 queue.close();
+                if let Some(pq) = pq {
+                    pq.close();
+                }
             }
             while let Some((b, admitted)) = queue.pop() {
                 let wait = admitted.elapsed().as_nanos() as u64;
@@ -323,6 +392,11 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
     let mut pool_misses = 0u64;
     let mut per_worker_queries = Vec::with_capacity(worker_results.len());
     for worker in worker_results {
+        if worker.worker >= threads {
+            // Dedicated prefetch I/O threads execute no queries and own
+            // no session; they don't appear in per-worker stats.
+            continue;
+        }
         pool_hits += worker.hits;
         pool_misses += worker.misses;
         per_worker_queries.push(worker.done.len() as u64);
@@ -618,6 +692,52 @@ mod tests {
             private.stats.pool_misses
         );
         assert!(shared.stats.pool_hit_fraction() > private.stats.pool_hit_fraction());
+    }
+
+    #[test]
+    fn readahead_preserves_results_and_reports_prefetch_counters() {
+        let (disk, idx, elems) = fixture(6000, 30);
+        let trace = generate_trace(&QueryTraceSpec::uniform(400, 31));
+        let expected = reference(&elems, &trace);
+        // A cache far smaller than the index's page set: prefetched pages
+        // can't all be resident already, so the pipeline always lands some.
+        let engine = TransformersEngine::new(&idx, &disk).with_shared_cache(48, 4);
+        assert!(engine.supports_prefetch());
+        for (threads, io_depth, readahead) in [(2, 1, 64), (2, 4, 256), (4, 2, 128)] {
+            engine.reset_cache();
+            let cfg = ServeConfig::default()
+                .with_threads(threads)
+                .with_batch(32)
+                .with_io_depth(io_depth)
+                .with_readahead(readahead);
+            let out = serve_trace(&engine, &trace, &cfg);
+            assert_eq!(
+                out.results, expected,
+                "threads = {threads}, io_depth = {io_depth}, readahead = {readahead}"
+            );
+            // The I/O threads never surface in per-worker stats.
+            assert_eq!(out.stats.per_worker_queries.len(), threads);
+            let cache = out.stats.cache.expect("shared engine reports cache stats");
+            assert!(
+                cache.prefetch_issued > 0,
+                "prefetch pipeline must have landed pages"
+            );
+            // Prefetch accounting stays disjoint from the hit/miss pair:
+            // every page the workers touched is exactly one of the three.
+            assert_eq!(out.stats.pool_hits, cache.hits);
+            assert_eq!(out.stats.pool_misses, cache.misses);
+            assert!(cache.prefetch_hits <= cache.prefetch_issued);
+        }
+        // A private-pool engine silently ignores the readahead request.
+        let private = TransformersEngine::new(&idx, &disk);
+        assert!(!private.supports_prefetch());
+        let out = serve_trace(
+            &private,
+            &trace,
+            &ServeConfig::default().with_threads(2).with_readahead(64),
+        );
+        assert_eq!(out.results, expected);
+        assert!(out.stats.cache.is_none());
     }
 
     #[test]

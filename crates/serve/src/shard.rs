@@ -47,7 +47,9 @@ use tfm_geom::{hilbert, Aabb, ElementId, HasMbb, SpatialElement, SpatialQuery};
 use tfm_partition::str_partition;
 use tfm_pool::StagePool;
 use tfm_rtree::RTree;
-use tfm_storage::{CacheStats, Disk, IoStatsSnapshot, SharedPageCache};
+use tfm_storage::{
+    CacheStats, Disk, IoStatsSnapshot, PrefetchQueue, SharedPageCache, StoreBackend,
+};
 use transformers::{IndexConfig, TransformersIndex};
 
 /// How [`plan_shards`] splits the dataset.
@@ -75,7 +77,7 @@ pub enum ShardEngineKind {
 }
 
 /// Build-time shape of a [`ShardedCluster`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardSpec {
     /// Number of shards (`0` is clamped to 1).
     pub shards: usize,
@@ -85,6 +87,11 @@ pub struct ShardSpec {
     pub engine: ShardEngineKind,
     /// Page size of each shard's private disk.
     pub page_size: usize,
+    /// Storage backend of each shard's private disk. With
+    /// [`StoreBackend::File`] every shard writes its own page image
+    /// (`shard<i>.pages`) under the given directory, so shards never
+    /// contend on one file either.
+    pub backend: StoreBackend,
 }
 
 impl Default for ShardSpec {
@@ -94,6 +101,7 @@ impl Default for ShardSpec {
             partitioner: ShardPartitioner::Hilbert,
             engine: ShardEngineKind::Transformers,
             page_size: tfm_storage::DEFAULT_PAGE_SIZE,
+            backend: StoreBackend::Mem,
         }
     }
 }
@@ -114,6 +122,12 @@ impl ShardSpec {
     /// Builder: sets the per-shard index structure.
     pub fn with_engine(mut self, engine: ShardEngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Builder: sets the per-shard storage backend.
+    pub fn with_backend(mut self, backend: StoreBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -191,10 +205,11 @@ enum ShardIndex {
 }
 
 impl IndexShard {
-    fn build(elements: Vec<SpatialElement>, spec: &ShardSpec) -> Self {
+    fn build(elements: Vec<SpatialElement>, spec: &ShardSpec, shard: usize) -> Self {
         let bounds = Aabb::union_all(elements.iter().map(|e| e.mbb));
         let count = elements.len() as u64;
-        let disk = Disk::in_memory(spec.page_size);
+        let disk = Disk::for_backend(&spec.backend, spec.page_size, &format!("shard{shard}"))
+            .expect("shard disk backend");
         let index = match spec.engine {
             ShardEngineKind::Rtree => ShardIndex::Rtree(RTree::bulk_load(&disk, elements)),
             // GIPSY serves from the TRANSFORMERS structure too.
@@ -295,7 +310,8 @@ impl ShardedCluster {
     pub fn build(elements: Vec<SpatialElement>, spec: &ShardSpec) -> Self {
         let shards: Vec<IndexShard> = plan_shards(&elements, spec.shards, spec.partitioner)
             .into_iter()
-            .map(|subset| IndexShard::build(subset, spec))
+            .enumerate()
+            .map(|(i, subset)| IndexShard::build(subset, spec, i))
             .collect();
         let router = ShardRouter::new(shards.iter().map(IndexShard::bounds).collect());
         let count = shards.len();
@@ -304,7 +320,7 @@ impl ShardedCluster {
             router,
             spec: ShardSpec {
                 shards: count,
-                ..*spec
+                ..spec.clone()
             },
         }
     }
@@ -352,6 +368,16 @@ pub struct ShardServeConfig {
     /// [`ShardedServeStats::shed_queries`]); leave this off for the
     /// byte-identical path.
     pub shed: bool,
+    /// Dedicated prefetch I/O threads per shard (the readahead queue
+    /// depth); only consulted when [`ShardServeConfig::readahead`] is
+    /// non-zero. `0` is clamped to 1.
+    pub io_depth: usize,
+    /// Per-shard readahead window in pages; `0` (the default) disables
+    /// the prefetch pipeline. Same semantics as
+    /// [`crate::ServeConfig::readahead`], applied shard-locally: each
+    /// shard's feeder pushes its sub-batches' candidate pages into that
+    /// shard's own bounded prefetch queue.
+    pub readahead: usize,
 }
 
 impl Default for ShardServeConfig {
@@ -363,6 +389,8 @@ impl Default for ShardServeConfig {
             pool_pages: tfm_storage::DEFAULT_POOL_PAGES,
             queue_batches: 4,
             shed: false,
+            io_depth: 1,
+            readahead: 0,
         }
     }
 }
@@ -383,6 +411,19 @@ impl ShardServeConfig {
     /// Builder: switches admission from backpressure to load shedding.
     pub fn with_shedding(mut self) -> Self {
         self.shed = true;
+        self
+    }
+
+    /// Builder: sets the per-shard prefetch queue depth.
+    pub fn with_io_depth(mut self, io_depth: usize) -> Self {
+        self.io_depth = io_depth;
+        self
+    }
+
+    /// Builder: sets the per-shard readahead window (enables prefetch
+    /// when non-zero).
+    pub fn with_readahead(mut self, readahead: usize) -> Self {
+        self.readahead = readahead;
         self
     }
 }
@@ -547,6 +588,16 @@ pub fn serve_sharded(
     let queues: Vec<RequestQueue<(Vec<usize>, Instant)>> = (0..n)
         .map(|_| RequestQueue::new(cfg.queue_batches.max(1)))
         .collect();
+    // Per-shard readahead pipeline: one bounded prefetch queue per shard
+    // whose engine supports it, drained by `io_depth` dedicated I/O
+    // threads inside that shard's pool. Shards prefetch into their own
+    // caches from their own disks, so the pipelines share nothing.
+    let pqs: Vec<Option<PrefetchQueue>> = engines
+        .iter()
+        .map(|e| {
+            (cfg.readahead > 0 && e.supports_prefetch()).then(|| PrefetchQueue::new(cfg.readahead))
+        })
+        .collect();
 
     let mut shed_flags: Vec<bool> = vec![false; trace.len()];
     let mut shed_batches_per_shard: Vec<u64> = vec![0; n];
@@ -562,10 +613,21 @@ pub fn serve_sharded(
         let handles: Vec<_> = engines
             .iter()
             .zip(&queues)
-            .map(|(engine, queue)| {
+            .zip(&pqs)
+            .map(|((engine, queue), pq)| {
                 scope.spawn(move || {
                     let pool_pages = (cache_pages / workers).max(1);
-                    let outs = StagePool::new(workers).scoped_run(|_w| {
+                    let io_threads = if pq.is_some() { cfg.io_depth.max(1) } else { 0 };
+                    let outs = StagePool::new(workers + io_threads).scoped_run(|w| {
+                        if w >= workers {
+                            // Dedicated shard-local prefetch I/O thread.
+                            let pq = pq.as_ref().expect("io worker without prefetch queue");
+                            let mut scratch = Vec::new();
+                            while let Some(id) = pq.pop() {
+                                engine.prefetch_page(id, &mut scratch);
+                            }
+                            return (Vec::new(), 0, 0);
+                        }
                         let mut session = engine.session(pool_pages);
                         let mut done: Vec<PartialExec> = Vec::new();
                         while let Some((qids, admitted)) = queue.pop() {
@@ -587,8 +649,12 @@ pub fn serve_sharded(
                     let mut done = Vec::new();
                     let mut hits = 0;
                     let mut misses = 0;
-                    let mut per_worker = Vec::with_capacity(outs.len());
-                    for (d, h, m) in outs {
+                    let mut per_worker = Vec::with_capacity(workers);
+                    for (w, (d, h, m)) in outs.into_iter().enumerate() {
+                        if w >= workers {
+                            // Prefetch I/O threads execute no partials.
+                            continue;
+                        }
                         per_worker.push(d.len() as u64);
                         done.extend(d);
                         hits += h;
@@ -616,6 +682,15 @@ pub fn serve_sharded(
                 if sub.is_empty() {
                     continue;
                 }
+                if let Some(pq) = &pqs[s] {
+                    // Announce this sub-batch's candidate pages to the
+                    // shard's I/O threads before the batch itself (lossy
+                    // push: a full queue is already `readahead` ahead).
+                    let probes: Vec<SpatialQuery> = sub.iter().map(|&qid| trace[qid]).collect();
+                    for page in engines[s].prefetch_schedule(&probes) {
+                        pq.try_push(page);
+                    }
+                }
                 if cfg.shed {
                     if let Err((lost, _)) = queues[s].try_push((sub, Instant::now())) {
                         shed_batches_per_shard[s] += 1;
@@ -631,6 +706,9 @@ pub fn serve_sharded(
         }
         for q in &queues {
             q.close();
+        }
+        for pq in pqs.iter().flatten() {
+            pq.close();
         }
 
         handles
@@ -902,6 +980,53 @@ mod tests {
         );
         let out = serve_sharded(&cluster, &trace, &ShardServeConfig::default());
         assert_eq!(out.results, expected);
+    }
+
+    #[test]
+    fn file_backed_cluster_with_readahead_matches_reference() {
+        let elems = dataset(12_000, 49);
+        let trace = generate_trace(&QueryTraceSpec::uniform(150, 50));
+        let expected = reference(&elems, &trace);
+        let dir = std::env::temp_dir().join(format!("tfm-shardio-{}", std::process::id()));
+        let cluster = ShardedCluster::build(
+            elems,
+            &ShardSpec::default()
+                .with_shards(3)
+                .with_backend(StoreBackend::File(dir.clone())),
+        );
+        // Every shard wrote its own page image.
+        for s in 0..3 {
+            assert!(dir.join(format!("shard{s}.pages")).is_file());
+        }
+        // A cache far smaller than each shard's page set, so prefetched
+        // pages can't all be resident already.
+        let out = serve_sharded(
+            &cluster,
+            &trace,
+            &ShardServeConfig {
+                pool_pages: 96,
+                ..ShardServeConfig::default()
+                    .with_workers(2)
+                    .with_io_depth(2)
+                    .with_readahead(64)
+            },
+        );
+        assert_eq!(out.results, expected);
+        for s in &out.stats.per_shard {
+            assert_eq!(
+                s.per_worker_queries.len(),
+                2,
+                "prefetch I/O threads must not surface in per-worker stats"
+            );
+        }
+        assert!(
+            out.stats
+                .per_shard
+                .iter()
+                .any(|s| s.cache.as_ref().is_some_and(|c| c.prefetch_issued > 0)),
+            "at least one shard's prefetch pipeline must have landed pages"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

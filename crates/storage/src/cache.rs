@@ -17,7 +17,7 @@
 //! or the shared cache's cached `Arc<[SpatialElement]>`). Both deref to
 //! slices, so call sites are caching-agnostic.
 
-use crate::shared::DecodedOutcome;
+use crate::shared::{DecodedOutcome, ReadOutcome};
 use crate::{BufferPool, Disk, ElementPageCodec, PageId, PageRef, SharedPageCache};
 use std::ops::Deref;
 use std::sync::Arc;
@@ -34,6 +34,10 @@ pub struct PoolCounters {
     pub decoded_hits: u64,
     /// Decoded-tier misses (a decode ran for this handle's read).
     pub decoded_misses: u64,
+    /// Reads served by a frame the prefetch pipeline landed — tracked
+    /// apart from `hits`/`misses` so readahead cannot inflate
+    /// [`hit_fraction`](PoolCounters::hit_fraction).
+    pub prefetch_hits: u64,
 }
 
 impl PoolCounters {
@@ -206,11 +210,11 @@ impl PageReads for CacheHandle<'_, '_> {
         match self {
             CacheHandle::Private(pool) => PageSlice::Borrowed(pool.read(id)),
             CacheHandle::Shared { cache, counters } => {
-                let (page, hit) = cache.read_tracked(id);
-                if hit {
-                    counters.hits += 1;
-                } else {
-                    counters.misses += 1;
+                let (page, outcome) = cache.read_tracked(id);
+                match outcome {
+                    ReadOutcome::Hit => counters.hits += 1,
+                    ReadOutcome::PrefetchHit => counters.prefetch_hits += 1,
+                    ReadOutcome::Miss => counters.misses += 1,
                 }
                 PageSlice::Pinned(page)
             }
@@ -237,6 +241,10 @@ impl PageReads for CacheHandle<'_, '_> {
                     }
                     DecodedOutcome::Page => {
                         counters.hits += 1;
+                        counters.decoded_misses += 1;
+                    }
+                    DecodedOutcome::PrefetchedPage => {
+                        counters.prefetch_hits += 1;
                         counters.decoded_misses += 1;
                     }
                     DecodedOutcome::Miss => {
@@ -335,5 +343,28 @@ mod tests {
         assert_eq!(g.hits, h1.counters().hits + h2.counters().hits);
         assert!(h2.is_shared() && h1.is_shared());
         assert!(!CacheHandle::private(&d, 1).is_shared());
+    }
+
+    #[test]
+    fn prefetch_hits_stay_out_of_handle_hit_fractions() {
+        let (d, codec) = element_disk(4);
+        let shared = SharedPageCache::with_shards(&d, 8, 2);
+        let mut scratch_page = Vec::new();
+        for p in 0..4u64 {
+            shared.prefetch_page(PageId(p), &mut scratch_page);
+        }
+        let mut h = CacheHandle::shared(&shared);
+        let mut scratch = Vec::new();
+        for p in 0..4u64 {
+            h.elements(&codec, PageId(p), &mut scratch);
+        }
+        let c = h.counters();
+        assert_eq!(c.prefetch_hits, 4);
+        assert_eq!((c.hits, c.misses), (0, 0));
+        assert_eq!(c.hit_fraction(), 0.0, "readahead must not look like hits");
+        // Handle-local and global prefetch accounting agree.
+        let g = shared.stats();
+        assert_eq!(g.prefetch_hits, c.prefetch_hits);
+        assert_eq!(g.prefetch_issued, 4);
     }
 }

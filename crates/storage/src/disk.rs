@@ -1,10 +1,8 @@
-//! The simulated disk device.
+//! The page-addressed storage device: accounting over a [`PageStore`].
 
+use crate::store::{FileStore, MemStore, PageStore, StoreBackend};
 use crate::{DiskModel, IoStats, IoStatsSnapshot, PageId, DEFAULT_PAGE_SIZE};
-use parking_lot::RwLock;
-use std::fs::{File, OpenOptions};
 use std::io;
-use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -13,13 +11,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub enum DiskBackendKind {
     /// Pages live in a growable memory buffer (default; deterministic).
     Memory,
-    /// Pages live in a real file (sanity-check backend).
+    /// Pages live in a real file accessed with positional I/O.
     File,
-}
-
-enum Backend {
-    Memory(RwLock<Vec<u8>>),
-    File(File),
 }
 
 /// Jump from the head's expected position (`prev + 1`) to the accessed
@@ -41,12 +34,26 @@ fn jump_from(prev: u64, id: u64) -> (bool, u64) {
 /// [`IoStatsSnapshot`] to report the "I/O" component of join time exactly
 /// like the paper's execution-time breakdowns (Fig. 11, 12, 14).
 ///
+/// The bytes themselves live in a [`PageStore`]: [`MemStore`] (default) or
+/// a real-file [`FileStore`]. The accounting layer is identical for both,
+/// so a run's page counts, sequential/random classification and simulated
+/// device time do not depend on the backend — the model stays the
+/// determinism oracle while the file backend adds real wall-clock I/O.
+///
+/// With [`with_read_latency`](Disk::with_read_latency) the disk *injects*
+/// device latency: each read sleeps the model's cost for that access
+/// scaled by the given factor. Benchmarks use this to measure queue-depth
+/// effects in wall-clock time on hosts whose page cache would otherwise
+/// hide the device entirely.
+///
 /// Reads take `&self` (statistics are internally synchronized), so index
 /// structures can share a disk immutably during the join phase.
 pub struct Disk {
     page_size: usize,
-    backend: Backend,
+    store: Box<dyn PageStore>,
     model: DiskModel,
+    /// Fraction of the modeled access cost slept on every read (0 = off).
+    read_latency: f64,
     stats: IoStats,
     next_page: AtomicU64,
     last_read: AtomicU64,
@@ -54,18 +61,24 @@ pub struct Disk {
 }
 
 impl Disk {
-    /// Creates an in-memory disk with the given page size.
-    pub fn in_memory(page_size: usize) -> Self {
+    /// Creates a disk over an explicit [`PageStore`].
+    pub fn with_store(store: Box<dyn PageStore>, page_size: usize) -> Self {
         assert!(page_size > 0, "page size must be positive");
         Self {
             page_size,
-            backend: Backend::Memory(RwLock::new(Vec::new())),
+            store,
             model: DiskModel::default(),
+            read_latency: 0.0,
             stats: IoStats::default(),
             next_page: AtomicU64::new(0),
             last_read: AtomicU64::new(PageId::NONE),
             last_write: AtomicU64::new(PageId::NONE),
         }
+    }
+
+    /// Creates an in-memory disk with the given page size.
+    pub fn in_memory(page_size: usize) -> Self {
+        Self::with_store(Box::new(MemStore::new()), page_size)
     }
 
     /// Creates an in-memory disk with the default 8 KiB page size.
@@ -75,28 +88,56 @@ impl Disk {
 
     /// Creates (or truncates) a file-backed disk at `path`.
     pub fn file<P: AsRef<Path>>(path: P, page_size: usize) -> io::Result<Self> {
-        assert!(page_size > 0, "page size must be positive");
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
-        Ok(Self {
+        Ok(Self::with_store(
+            Box::new(FileStore::create(path, page_size)?),
             page_size,
-            backend: Backend::File(file),
-            model: DiskModel::default(),
-            stats: IoStats::default(),
-            next_page: AtomicU64::new(0),
-            last_read: AtomicU64::new(PageId::NONE),
-            last_write: AtomicU64::new(PageId::NONE),
-        })
+        ))
+    }
+
+    /// Opens an existing file image at `path`; its whole pages count as
+    /// already allocated.
+    pub fn open_file<P: AsRef<Path>>(path: P, page_size: usize) -> io::Result<Self> {
+        let store = FileStore::open(path, page_size)?;
+        let pages = store.pages();
+        let disk = Self::with_store(Box::new(store), page_size);
+        disk.next_page.store(pages, Ordering::Relaxed);
+        Ok(disk)
+    }
+
+    /// Creates a disk for `backend`: in-memory, or a file image named
+    /// `<tag>.pages` under the backend's directory (created as needed).
+    pub fn for_backend(backend: &StoreBackend, page_size: usize, tag: &str) -> io::Result<Self> {
+        match backend {
+            StoreBackend::Mem => Ok(Self::in_memory(page_size)),
+            StoreBackend::File(dir) => {
+                std::fs::create_dir_all(dir)?;
+                Self::file(dir.join(format!("{tag}.pages")), page_size)
+            }
+        }
     }
 
     /// Replaces the cost model (builder style).
     pub fn with_model(mut self, model: DiskModel) -> Self {
         self.model = model;
         self
+    }
+
+    /// Injects device latency on reads: every read sleeps `scale` times
+    /// the modeled cost of that access (builder style; 0 disables).
+    ///
+    /// The sleep happens on the reading thread *after* the bytes are in,
+    /// so threads reading concurrently overlap their latencies exactly
+    /// like tagged commands overlap on a real device queue.
+    pub fn with_read_latency(mut self, scale: f64) -> Self {
+        assert!(scale >= 0.0, "latency scale must be non-negative");
+        self.read_latency = scale;
+        self
+    }
+
+    /// The configured read-latency injection scale (0 = off).
+    #[inline]
+    pub fn read_latency(&self) -> f64 {
+        self.read_latency
     }
 
     /// The configured page size in bytes.
@@ -113,10 +154,13 @@ impl Disk {
 
     /// Which backend this disk uses.
     pub fn backend_kind(&self) -> DiskBackendKind {
-        match self.backend {
-            Backend::Memory(_) => DiskBackendKind::Memory,
-            Backend::File(_) => DiskBackendKind::File,
-        }
+        self.store.kind()
+    }
+
+    /// Bytes currently held by the backing store (the written extent —
+    /// the size of the file image for file-backed disks).
+    pub fn store_len(&self) -> u64 {
+        self.store.len()
     }
 
     /// Number of pages allocated so far.
@@ -141,7 +185,8 @@ impl Disk {
     /// shorter data is zero-padded to a full page.
     ///
     /// # Panics
-    /// Panics if `data.len() > page_size` or the page was never allocated.
+    /// Panics if `data.len() > page_size`, the page was never allocated,
+    /// or the backing store fails.
     pub fn write_page(&self, id: PageId, data: &[u8]) {
         assert!(
             data.len() <= self.page_size,
@@ -158,30 +203,27 @@ impl Disk {
         self.stats
             .record_write(gap == 0, self.model.cost_for_jump(forward, gap));
 
-        let offset = id.0 as usize * self.page_size;
-        match &self.backend {
-            Backend::Memory(buf) => {
-                let mut buf = buf.write();
-                if buf.len() < offset + self.page_size {
-                    buf.resize(offset + self.page_size, 0);
-                }
-                buf[offset..offset + data.len()].copy_from_slice(data);
-                // Zero the tail so re-writes of shorter data do not leak.
-                buf[offset + data.len()..offset + self.page_size].fill(0);
-            }
-            Backend::File(file) => {
-                let mut page = vec![0u8; self.page_size];
-                page[..data.len()].copy_from_slice(data);
-                file.write_all_at(&page, offset as u64)
-                    .expect("file-backed page write failed");
-            }
+        let offset = id.0 * self.page_size as u64;
+        if data.len() == self.page_size {
+            self.store
+                .write_page(offset, data)
+                .unwrap_or_else(|e| panic!("page write failed ({id}): {e}"));
+        } else {
+            // Zero-pad the tail so re-writes of shorter data do not leak.
+            let mut page = vec![0u8; self.page_size];
+            page[..data.len()].copy_from_slice(data);
+            self.store
+                .write_page(offset, &page)
+                .unwrap_or_else(|e| panic!("page write failed ({id}): {e}"));
         }
     }
 
     /// Reads page `id` into `buf` (which must be exactly one page long).
     ///
     /// # Panics
-    /// Panics if `buf.len() != page_size` or the page was never allocated.
+    /// Panics if `buf.len() != page_size`, the page was never allocated,
+    /// or the backing store fails (e.g. a torn page in a truncated file
+    /// image).
     pub fn read_page(&self, id: PageId, buf: &mut [u8]) {
         assert_eq!(
             buf.len(),
@@ -194,34 +236,15 @@ impl Disk {
         );
         let prev = self.last_read.swap(id.0, Ordering::Relaxed);
         let (forward, gap) = jump_from(prev, id.0);
-        self.stats
-            .record_read(gap == 0, self.model.cost_for_jump(forward, gap));
+        let cost = self.model.cost_for_jump(forward, gap);
+        self.stats.record_read(gap == 0, cost);
 
-        let offset = id.0 as usize * self.page_size;
-        match &self.backend {
-            Backend::Memory(mem) => {
-                let mem = mem.read();
-                if mem.len() >= offset + self.page_size {
-                    buf.copy_from_slice(&mem[offset..offset + self.page_size]);
-                } else {
-                    // Allocated but never written: reads as zeros.
-                    buf.fill(0);
-                }
-            }
-            Backend::File(file) => {
-                buf.fill(0);
-                // The file may be shorter than the allocated extent if the
-                // page was never written; tolerate a short read.
-                let mut read = 0;
-                while read < buf.len() {
-                    match file.read_at(&mut buf[read..], (offset + read) as u64) {
-                        Ok(0) => break,
-                        Ok(n) => read += n,
-                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                        Err(e) => panic!("file-backed page read failed: {e}"),
-                    }
-                }
-            }
+        let offset = id.0 * self.page_size as u64;
+        self.store
+            .read_page(offset, buf)
+            .unwrap_or_else(|e| panic!("page read failed ({id}): {e}"));
+        if self.read_latency > 0.0 {
+            std::thread::sleep(cost.mul_f64(self.read_latency));
         }
     }
 
@@ -375,7 +398,81 @@ mod tests {
         assert_eq!(&d.read_page_vec(PageId(p0.0))[..9], b"page zero");
         // allocated-but-unwritten page reads zeros
         assert!(d.read_page_vec(PageId(p0.0 + 3)).iter().all(|&b| b == 0));
+        assert_eq!(d.backend_kind(), DiskBackendKind::File);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_backend_matches_memory_byte_for_byte() {
+        let path = std::env::temp_dir().join(format!("tfm_disk_eq_{}.bin", std::process::id()));
+        let mem = Disk::in_memory(64);
+        let file = Disk::file(&path, 64).unwrap();
+        for d in [&mem, &file] {
+            let first = d.allocate_contiguous(8);
+            for i in 0..8u64 {
+                // Short writes exercise the zero-padding path.
+                d.write_page(PageId(first.0 + i), &vec![i as u8; 1 + i as usize]);
+            }
+        }
+        for i in 0..8u64 {
+            assert_eq!(mem.read_page_vec(PageId(i)), file.read_page_vec(PageId(i)));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_file_resumes_allocation_at_image_end() {
+        let path = std::env::temp_dir().join(format!("tfm_disk_open_{}.bin", std::process::id()));
+        {
+            let d = Disk::file(&path, 64).unwrap();
+            let p = d.allocate_contiguous(3);
+            for i in 0..3u64 {
+                d.write_page(PageId(p.0 + i), &[i as u8]);
+            }
+        }
+        let d = Disk::open_file(&path, 64).unwrap();
+        assert_eq!(d.allocated_pages(), 3);
+        assert_eq!(d.read_page_vec(PageId(2))[0], 2);
+        assert_eq!(d.allocate(), PageId(3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn backend_constructor_places_file_images_under_dir() {
+        let dir = std::env::temp_dir().join(format!("tfm_disk_dir_{}", std::process::id()));
+        let d = Disk::for_backend(&StoreBackend::File(dir.clone()), 64, "unit-test").unwrap();
+        let p = d.allocate();
+        d.write_page(p, &[42]);
+        assert!(dir.join("unit-test.pages").is_file());
+        assert_eq!(d.store_len(), 64);
+        let m = Disk::for_backend(&StoreBackend::Mem, 64, "ignored").unwrap();
+        assert_eq!(m.backend_kind(), DiskBackendKind::Memory);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_latency_injection_slows_reads() {
+        use std::time::{Duration, Instant};
+        let d = Disk::in_memory(32); // default SAS model: ~ms-scale costs
+        let _ = d.allocate_contiguous(4);
+        let mut buf = vec![0u8; 32];
+        let throttled = Disk::in_memory(32).with_read_latency(0.005);
+        let _ = throttled.allocate_contiguous(4);
+        let t0 = Instant::now();
+        for i in 0..4u64 {
+            d.read_page(PageId(i), &mut buf);
+        }
+        let unthrottled = t0.elapsed();
+        let t0 = Instant::now();
+        for i in 0..4u64 {
+            throttled.read_page(PageId(i), &mut buf);
+        }
+        let slowed = t0.elapsed();
+        // 4 reads at >= request_overhead+transfer (350us) * 0.005 sleep
+        // each: at least ~7us of injected latency in total.
+        assert!(slowed > unthrottled);
+        assert!(slowed >= Duration::from_micros(5), "slowed {slowed:?}");
+        assert_eq!(throttled.read_latency(), 0.005);
     }
 
     #[test]

@@ -16,9 +16,13 @@
 //! TRANSFORMERS reading strictly fewer pages — are all functions of page
 //! access counts and their ordering, which this layer captures exactly.
 //!
-//! Two backends are provided: an in-memory backend (default; deterministic
-//! and fast) and a real-file backend for sanity checks that the page
-//! arithmetic is sound when bytes actually hit a filesystem.
+//! Bytes live behind the [`PageStore`] abstraction: [`MemStore`] (default;
+//! deterministic and fast) or [`FileStore`] — a real on-disk page image
+//! accessed with positional I/O and no global offset lock, fed by the
+//! bounded [`PrefetchQueue`] so dedicated I/O threads can keep a queue
+//! depth of reads in flight ahead of the workers. Whichever backend is in
+//! use, the accounting (and thus every result and every simulated-time
+//! figure) is identical; only wall-clock behaviour differs.
 //!
 //! On top of the disk sit the caching layers every reader goes through:
 //! the private per-owner [`BufferPool`], the process-wide lock-striped
@@ -34,16 +38,22 @@ mod clock;
 mod disk;
 mod elempage;
 mod model;
+mod prefetch;
 mod shared;
 mod stats;
+mod store;
 
 pub use buffer::{BufferPool, DEFAULT_POOL_PAGES};
 pub use cache::{CacheHandle, ElemSlice, PageReads, PageSlice, PoolCounters};
 pub use disk::{Disk, DiskBackendKind};
 pub use elempage::ElementPageCodec;
 pub use model::DiskModel;
-pub use shared::{CacheStats, DecodedOutcome, PageRef, SharedPageCache, DEFAULT_CACHE_SHARDS};
+pub use prefetch::PrefetchQueue;
+pub use shared::{
+    CacheStats, DecodedOutcome, PageRef, ReadOutcome, SharedPageCache, DEFAULT_CACHE_SHARDS,
+};
 pub use stats::{IoStats, IoStatsSnapshot};
+pub use store::{FileStore, MemStore, PageStore, StoreBackend};
 
 /// Default page size used throughout the reproduction (paper §VII-A: 8 KB).
 pub const DEFAULT_PAGE_SIZE: usize = 8192;

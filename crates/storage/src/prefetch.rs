@@ -1,0 +1,183 @@
+//! The bounded prefetch queue feeding dedicated I/O threads.
+//!
+//! The serve tier already computes each batch's probe order along the
+//! Hilbert curve; the sorted page list a batch will touch is therefore a
+//! ready-made *readahead schedule*. A feeder pushes those page ids here,
+//! and `io_depth` dedicated I/O threads pop them and land the pages into
+//! [`crate::SharedPageCache`] frames via
+//! [`crate::SharedPageCache::prefetch_page`] — keeping a configurable
+//! queue depth of reads in flight ahead of the workers.
+//!
+//! The queue is deliberately *lossy on the push side*: [`try_push`]
+//! (the only way in) never blocks and drops ids when the queue is at
+//! capacity. Readahead is a hint — a dropped id only means the page will
+//! be read on demand — and a blocking push from the batch feeder would
+//! stall query admission behind the device. The capacity **is** the
+//! readahead window: at most that many scheduled pages wait between the
+//! feeder and the I/O threads.
+//!
+//! [`try_push`]: PrefetchQueue::try_push
+
+use crate::PageId;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct QueueState {
+    items: VecDeque<PageId>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer queue of page ids to prefetch.
+pub struct PrefetchQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+}
+
+impl PrefetchQueue {
+    /// Creates a queue holding at most `capacity` pending ids (clamped to
+    /// at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// The readahead window (maximum pending ids).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues `id` unless the queue is full or closed; never blocks.
+    /// Returns whether the id was accepted.
+    pub fn try_push(&self, id: PageId) -> bool {
+        let mut s = self.state.lock().expect("prefetch queue poisoned");
+        if s.closed || s.items.len() >= self.capacity {
+            return false;
+        }
+        s.items.push_back(id);
+        drop(s);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Blocks until an id is available or the queue is closed and drained;
+    /// `None` means the I/O thread should exit.
+    pub fn pop(&self) -> Option<PageId> {
+        let mut s = self.state.lock().expect("prefetch queue poisoned");
+        loop {
+            if let Some(id) = s.items.pop_front() {
+                return Some(id);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).expect("prefetch queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending ids still drain, then every [`pop`]
+    /// returns `None`.
+    ///
+    /// [`pop`]: PrefetchQueue::pop
+    pub fn close(&self) {
+        let mut s = self.state.lock().expect("prefetch queue poisoned");
+        s.closed = true;
+        drop(s);
+        self.not_empty.notify_all();
+    }
+
+    /// Pending ids (diagnostic).
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("prefetch queue poisoned")
+            .items
+            .len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for PrefetchQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrefetchQueue")
+            .field("capacity", &self.capacity)
+            .field("pending", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_is_bounded_and_lossy() {
+        let q = PrefetchQueue::new(2);
+        assert!(q.try_push(PageId(0)));
+        assert!(q.try_push(PageId(1)));
+        assert!(!q.try_push(PageId(2)), "over capacity drops, not blocks");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(PageId(0)));
+        assert!(q.try_push(PageId(3)));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = PrefetchQueue::new(4);
+        q.try_push(PageId(7));
+        q.close();
+        assert!(!q.try_push(PageId(8)), "closed queue refuses pushes");
+        assert_eq!(q.pop(), Some(PageId(7)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_see_every_id() {
+        let q = PrefetchQueue::new(8);
+        let total = 200u64;
+        std::thread::scope(|s| {
+            let consumed: Vec<_> = (0..2)
+                .map(|_| {
+                    let q = &q;
+                    s.spawn(move || {
+                        let mut got = 0u64;
+                        while q.pop().is_some() {
+                            got += 1;
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut pushed = 0u64;
+            for i in 0..total {
+                // Spin until accepted: producers outpace consumers here.
+                while !q.try_push(PageId(i)) {
+                    std::thread::yield_now();
+                }
+                pushed += 1;
+            }
+            q.close();
+            let got: u64 = consumed.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(got, pushed);
+        });
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = PrefetchQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(PageId(0)));
+        assert!(!q.is_empty());
+    }
+}

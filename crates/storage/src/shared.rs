@@ -41,10 +41,21 @@
 //! Miss fills and decodes run **under the shard lock**. That serializes
 //! co-shard misses, but it also guarantees each page is read and decoded
 //! at most once per residency (no thundering-herd duplicate I/O) and
-//! keeps the pin check race-free; against the simulated disk a fill is a
+//! keeps the pin check race-free; against the in-memory store a fill is a
 //! `memcpy`, so the hold time is small and the `lock_contended` counter
-//! makes the cost observable. Revisit with placeholder frames if a real
-//! I/O backend ever sits behind this cache.
+//! makes the cost observable. For the real-file backend the prefetch path
+//! below is the escape hatch: [`SharedPageCache::prefetch_page`] performs
+//! the disk read **outside** the shard lock into a caller-owned scratch
+//! buffer, then lands the bytes into a recycled victim frame under the
+//! lock — dedicated I/O threads overlap their device latencies while the
+//! worker miss path keeps its serialize-per-shard simplicity.
+//!
+//! Prefetched frames are marked until first use. The marks drive the
+//! `io.prefetch.*` counters ([`CacheStats::prefetch_issued`],
+//! [`CacheStats::prefetch_hits`], [`CacheStats::prefetch_unused`]), which
+//! are **disjoint** from the hit/miss pair: a read served by a frame the
+//! prefetcher landed counts as neither a hit nor a miss, so readahead can
+//! never inflate a hit-fraction gate.
 
 use crate::clock::ClockRing;
 use crate::{Disk, ElementPageCodec, PageId};
@@ -64,6 +75,9 @@ struct SharedFrame {
     buf: Arc<Vec<u8>>,
     /// Decoded element records, populated lazily by `read_decoded`.
     decoded: Option<Arc<[SpatialElement]>>,
+    /// True from a prefetch landing until the first demand read; drives
+    /// the `io.prefetch.*` accounting.
+    prefetched: bool,
 }
 
 /// Per-shard counters (kept inside the shard lock; aggregated on demand).
@@ -76,6 +90,9 @@ struct ShardCounters {
     evictions: u64,
     recycled_frames: u64,
     fresh_allocs: u64,
+    prefetch_issued: u64,
+    prefetch_hits: u64,
+    prefetch_unused: u64,
 }
 
 struct ShardInner {
@@ -122,6 +139,19 @@ impl Deref for PageRef {
     }
 }
 
+/// Which tier answered a [`SharedPageCache::read_tracked`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The page tier had the frame (a demand read put it there).
+    Hit,
+    /// The frame was landed by the prefetcher and this is its first
+    /// demand read — counted as `io.prefetch.hits`, **not** as a cache
+    /// hit, so readahead cannot inflate hit fractions.
+    PrefetchHit,
+    /// The page was read from disk on demand.
+    Miss,
+}
+
 /// Which tier answered a [`SharedPageCache::read_decoded_tracked`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodedOutcome {
@@ -129,6 +159,10 @@ pub enum DecodedOutcome {
     Decoded,
     /// The page bytes were cached but had to be decoded.
     Page,
+    /// The page bytes were landed by the prefetcher (first demand read of
+    /// the frame); the decode still ran. Counted like
+    /// [`ReadOutcome::PrefetchHit`] on the page tier.
+    PrefetchedPage,
     /// Full miss: the page was read from disk and decoded.
     Miss,
 }
@@ -152,6 +186,14 @@ pub struct CacheStats {
     /// Misses that had to allocate a fresh frame buffer (pool still
     /// filling, or every victim candidate was pinned).
     pub fresh_allocs: u64,
+    /// Pages the prefetch pipeline read and landed into frames.
+    pub prefetch_issued: u64,
+    /// Demand reads served by a still-marked prefetched frame (disjoint
+    /// from `hits`/`misses`, so readahead cannot inflate hit fractions).
+    pub prefetch_hits: u64,
+    /// Prefetched frames evicted before any demand read used them —
+    /// wasted readahead.
+    pub prefetch_unused: u64,
     /// Shard-lock acquisitions.
     pub lock_acquisitions: u64,
     /// Acquisitions that found the shard lock already held — the
@@ -212,6 +254,11 @@ impl CacheStats {
             .add(self.lock_acquisitions);
         reg.counter(names::CACHE_LOCK_CONTENDED)
             .add(self.lock_contended);
+        reg.counter(names::IO_PREFETCH_ISSUED)
+            .add(self.prefetch_issued);
+        reg.counter(names::IO_PREFETCH_HITS).add(self.prefetch_hits);
+        reg.counter(names::IO_PREFETCH_UNUSED)
+            .add(self.prefetch_unused);
     }
 
     /// Counter-wise difference `self - earlier` (configuration fields are
@@ -225,6 +272,9 @@ impl CacheStats {
             evictions: self.evictions - earlier.evictions,
             recycled_frames: self.recycled_frames - earlier.recycled_frames,
             fresh_allocs: self.fresh_allocs - earlier.fresh_allocs,
+            prefetch_issued: self.prefetch_issued - earlier.prefetch_issued,
+            prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
+            prefetch_unused: self.prefetch_unused - earlier.prefetch_unused,
             lock_acquisitions: self.lock_acquisitions - earlier.lock_acquisitions,
             lock_contended: self.lock_contended - earlier.lock_contended,
             shards: self.shards,
@@ -299,20 +349,25 @@ impl<'d> SharedPageCache<'d> {
         self.read_tracked(id).0
     }
 
-    /// [`read`](Self::read) plus whether the page tier hit — for handles
-    /// that keep per-worker counters over a shared cache.
-    pub fn read_tracked(&self, id: PageId) -> (PageRef, bool) {
+    /// [`read`](Self::read) plus which tier answered — for handles that
+    /// keep per-worker counters over a shared cache.
+    pub fn read_tracked(&self, id: PageId) -> (PageRef, ReadOutcome) {
         let shard = self.shard(id);
         let mut guard = shard.lock();
         if guard.ring.contains(id.0) {
-            guard.counters.hits += 1;
             let f = guard.ring.get(id.0).expect("resident page");
-            return (
-                PageRef {
-                    buf: Arc::clone(&f.buf),
-                },
-                true,
-            );
+            let buf = Arc::clone(&f.buf);
+            let outcome = if f.prefetched {
+                f.prefetched = false;
+                ReadOutcome::PrefetchHit
+            } else {
+                ReadOutcome::Hit
+            };
+            match outcome {
+                ReadOutcome::PrefetchHit => guard.counters.prefetch_hits += 1,
+                _ => guard.counters.hits += 1,
+            }
+            return (PageRef { buf }, outcome);
         }
         guard.counters.misses += 1;
         let f = Self::load_frame(self.disk, &mut guard, id);
@@ -320,7 +375,7 @@ impl<'d> SharedPageCache<'d> {
             PageRef {
                 buf: Arc::clone(&f.buf),
             },
-            false,
+            ReadOutcome::Miss,
         )
     }
 
@@ -339,7 +394,17 @@ impl<'d> SharedPageCache<'d> {
         let shard = self.shard(id);
         let mut guard = shard.lock();
         if let Some(i) = guard.ring.find(id.0) {
-            guard.counters.hits += 1;
+            let was_prefetched = {
+                let f = guard.ring.payload_mut(i);
+                let was = f.prefetched;
+                f.prefetched = false;
+                was
+            };
+            if was_prefetched {
+                guard.counters.prefetch_hits += 1;
+            } else {
+                guard.counters.hits += 1;
+            }
             let hit_decoded = guard.ring.payload_mut(i).decoded.as_ref().map(Arc::clone);
             if let Some(decoded) = hit_decoded {
                 guard.counters.decoded_hits += 1;
@@ -349,7 +414,12 @@ impl<'d> SharedPageCache<'d> {
             let f = guard.ring.payload_mut(i);
             let decoded: Arc<[SpatialElement]> = codec.decode(&f.buf).into();
             f.decoded = Some(Arc::clone(&decoded));
-            return (decoded, DecodedOutcome::Page);
+            let outcome = if was_prefetched {
+                DecodedOutcome::PrefetchedPage
+            } else {
+                DecodedOutcome::Page
+            };
+            return (decoded, outcome);
         }
         guard.counters.misses += 1;
         guard.counters.decoded_misses += 1;
@@ -373,21 +443,81 @@ impl<'d> SharedPageCache<'d> {
             || SharedFrame {
                 buf: Arc::new(vec![0u8; page_size]),
                 decoded: None,
+                prefetched: false,
             },
         );
         if slot.evicted.is_some() {
             counters.evictions += 1;
             counters.recycled_frames += 1;
+            if slot.payload.prefetched {
+                counters.prefetch_unused += 1;
+            }
         }
         if slot.fresh {
             counters.fresh_allocs += 1;
         }
         let f = slot.payload;
         f.decoded = None;
+        f.prefetched = false;
         let buf =
             Arc::get_mut(&mut f.buf).expect("unpinned frame buffer is uniquely owned under lock");
         disk.read_page(id, buf);
         f
+    }
+
+    /// Reads `id` from disk **outside** the shard lock (into `scratch`,
+    /// which is resized to one page and reused across calls) and lands the
+    /// bytes into a recycled victim frame, marked as prefetched. A page
+    /// already resident — or landed by a racing demand read while the disk
+    /// read was in flight — is left untouched.
+    ///
+    /// This is the I/O-thread entry point of the prefetch pipeline: the
+    /// device wait (real or injected) happens off-lock, so `io_depth`
+    /// threads overlap their latencies like tagged commands on a device
+    /// queue, while demand reads keep their read-once-per-residency
+    /// guarantee.
+    pub fn prefetch_page(&self, id: PageId, scratch: &mut Vec<u8>) {
+        let page_size = self.disk.page_size();
+        let shard = self.shard(id);
+        if shard.lock().ring.contains(id.0) {
+            return;
+        }
+        scratch.resize(page_size, 0);
+        self.disk.read_page(id, scratch);
+        let mut guard = shard.lock();
+        if guard.ring.contains(id.0) {
+            // A demand read landed the page while ours was in flight; its
+            // fill wins and our bytes are discarded (identical content —
+            // the disk is immutable during serves).
+            return;
+        }
+        let ShardInner { ring, counters } = &mut *guard;
+        let slot = ring.insert(
+            id.0,
+            |f| Arc::strong_count(&f.buf) == 1,
+            || SharedFrame {
+                buf: Arc::new(vec![0u8; page_size]),
+                decoded: None,
+                prefetched: false,
+            },
+        );
+        if slot.evicted.is_some() {
+            counters.evictions += 1;
+            counters.recycled_frames += 1;
+            if slot.payload.prefetched {
+                counters.prefetch_unused += 1;
+            }
+        }
+        if slot.fresh {
+            counters.fresh_allocs += 1;
+        }
+        let f = slot.payload;
+        f.decoded = None;
+        f.prefetched = true;
+        Arc::get_mut(&mut f.buf)
+            .expect("unpinned frame buffer is uniquely owned under lock")
+            .copy_from_slice(scratch);
+        counters.prefetch_issued += 1;
     }
 
     /// Aggregates all shard counters into one snapshot.
@@ -409,6 +539,9 @@ impl<'d> SharedPageCache<'d> {
             s.evictions += c.evictions;
             s.recycled_frames += c.recycled_frames;
             s.fresh_allocs += c.fresh_allocs;
+            s.prefetch_issued += c.prefetch_issued;
+            s.prefetch_hits += c.prefetch_hits;
+            s.prefetch_unused += c.prefetch_unused;
         }
         s
     }
@@ -537,8 +670,8 @@ mod tests {
         assert_eq!((s.decoded_hits, s.decoded_misses), (1, 1));
 
         // A byte-level read of the same page hits the page tier.
-        let (_, hit) = cache.read_tracked(p);
-        assert!(hit);
+        let (_, outcome) = cache.read_tracked(p);
+        assert_eq!(outcome, ReadOutcome::Hit);
     }
 
     #[test]
@@ -610,6 +743,114 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, 8 * 4 * 64);
         assert_eq!(s.misses, d.stats().reads());
+    }
+
+    #[test]
+    fn prefetched_pages_count_as_prefetch_hits_not_cache_hits() {
+        let d = disk_with_pages(4, 32);
+        let cache = SharedPageCache::with_shards(&d, 4, 2);
+        let mut scratch = Vec::new();
+        cache.prefetch_page(PageId(1), &mut scratch);
+        assert_eq!(d.stats().reads(), 1, "prefetch reads the disk");
+        // First demand read: served by the prefetched frame, no disk read,
+        // but neither a hit nor a miss.
+        let (r, outcome) = cache.read_tracked(PageId(1));
+        assert_eq!(outcome, ReadOutcome::PrefetchHit);
+        assert_eq!(r[0], 1);
+        assert_eq!(d.stats().reads(), 1);
+        // Second demand read is a plain hit: the mark cleared.
+        let (_, outcome) = cache.read_tracked(PageId(1));
+        assert_eq!(outcome, ReadOutcome::Hit);
+        let s = cache.stats();
+        assert_eq!(s.prefetch_issued, 1);
+        assert_eq!(s.prefetch_hits, 1);
+        assert_eq!((s.hits, s.misses), (1, 0), "prefetch stays out of hit/miss");
+    }
+
+    #[test]
+    fn prefetch_of_resident_page_is_a_no_op() {
+        let d = disk_with_pages(2, 32);
+        let cache = SharedPageCache::with_shards(&d, 4, 1);
+        cache.read(PageId(0));
+        let mut scratch = Vec::new();
+        cache.prefetch_page(PageId(0), &mut scratch);
+        assert_eq!(d.stats().reads(), 1, "resident page is not re-read");
+        assert_eq!(cache.stats().prefetch_issued, 0);
+        // The frame must not be re-marked: the next read is a plain hit.
+        let (_, outcome) = cache.read_tracked(PageId(0));
+        assert_eq!(outcome, ReadOutcome::Hit);
+    }
+
+    #[test]
+    fn evicted_unused_prefetches_are_counted() {
+        let d = disk_with_pages(8, 32);
+        // One shard, two frames: prefetches evict each other.
+        let cache = SharedPageCache::with_shards(&d, 2, 1);
+        let mut scratch = Vec::new();
+        for i in 0..8u64 {
+            cache.prefetch_page(PageId(i), &mut scratch);
+        }
+        let s = cache.stats();
+        assert_eq!(s.prefetch_issued, 8);
+        assert_eq!(s.prefetch_unused, 6, "6 of 8 evicted before any use");
+        // The two survivors serve their first reads as prefetch hits.
+        let (_, o) = cache.read_tracked(PageId(7));
+        assert_eq!(o, ReadOutcome::PrefetchHit);
+    }
+
+    #[test]
+    fn prefetched_element_pages_decode_like_demand_reads() {
+        use tfm_geom::{Aabb, Point3};
+        let codec = ElementPageCodec::new(512);
+        let d = Disk::in_memory(512).with_model(DiskModel::free());
+        let p = d.allocate();
+        let elems = vec![SpatialElement::new(
+            5,
+            Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 1.0)),
+        )];
+        d.write_page(p, &codec.encode(&elems));
+        d.reset_stats();
+        let cache = SharedPageCache::with_shards(&d, 4, 1);
+        let mut scratch = Vec::new();
+        cache.prefetch_page(p, &mut scratch);
+        let (decoded, outcome) = cache.read_decoded_tracked(&codec, p);
+        assert_eq!(outcome, DecodedOutcome::PrefetchedPage);
+        assert_eq!(decoded.as_ref(), elems.as_slice());
+        assert_eq!(d.stats().reads(), 1, "the prefetch was the only read");
+        let s = cache.stats();
+        assert_eq!((s.prefetch_hits, s.hits, s.misses), (1, 0, 0));
+        // Decoded tier now primed: next decoded read hits it outright.
+        let (_, outcome) = cache.read_decoded_tracked(&codec, p);
+        assert_eq!(outcome, DecodedOutcome::Decoded);
+    }
+
+    #[test]
+    fn concurrent_prefetch_and_demand_reads_agree() {
+        let d = disk_with_pages(64, 32);
+        let cache = SharedPageCache::with_shards(&d, 32, 4);
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    let mut scratch = Vec::new();
+                    for i in 0..64u64 {
+                        cache.prefetch_page(PageId((i + t * 31) % 64), &mut scratch);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..64u64 {
+                        assert_eq!(cache.read(PageId(i))[0], i as u8);
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        // Every demand read is accounted exactly once across the three
+        // disjoint counters.
+        assert_eq!(s.hits + s.misses + s.prefetch_hits, 2 * 64);
     }
 
     #[test]

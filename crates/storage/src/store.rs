@@ -1,0 +1,349 @@
+//! Page storage backends: where a [`crate::Disk`]'s bytes actually live.
+//!
+//! [`PageStore`] is the seam between the disk's *accounting* (allocation,
+//! sequential/random classification, the [`crate::DiskModel`] cost oracle)
+//! and its *bytes*. Two implementations:
+//!
+//! * [`MemStore`] — a growable memory buffer behind one `RwLock`; the
+//!   deterministic default every test and harness ran on before real I/O
+//!   existed. Behaviour is unchanged from the old in-memory backend.
+//! * [`FileStore`] — a real on-disk file of fixed-size pages accessed with
+//!   positional `pread`/`pwrite` (`FileExt::read_at`/`write_all_at`).
+//!   There is **no global file-offset lock**: positional I/O carries its
+//!   offset per call, so any number of threads can read concurrently —
+//!   this is what lets the prefetch pipeline keep a queue depth of reads
+//!   in flight against one file.
+//!
+//! Error semantics of [`FileStore`] are strict where silence would hide
+//! corruption: a page that lies wholly past end-of-file reads as zeros
+//! (allocated-but-never-written, matching [`MemStore`]), but end-of-file
+//! landing *inside* a page is a torn/truncated image and surfaces as
+//! [`std::io::ErrorKind::UnexpectedEof`]; likewise
+//! [`FileStore::open`] rejects images whose length is not a multiple of
+//! the page size.
+
+use parking_lot::RwLock;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use crate::DiskBackendKind;
+
+/// A page-granular byte store: the backend a [`crate::Disk`] reads and
+/// writes through.
+///
+/// Offsets are byte offsets (always page-aligned: the disk multiplies page
+/// id by page size) and `buf`/`page` are always exactly one page long.
+/// Implementations must be safe for concurrent calls from many threads —
+/// the prefetch pipeline issues reads from dedicated I/O threads while
+/// serve workers read through the cache.
+pub trait PageStore: Send + Sync {
+    /// Which backend family this store is (for reporting).
+    fn kind(&self) -> DiskBackendKind;
+
+    /// Reads one page at `offset` into `buf`, zero-filling pages beyond
+    /// the written extent.
+    fn read_page(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Writes one full page at `offset`, extending the store as needed.
+    fn write_page(&self, offset: u64, page: &[u8]) -> io::Result<()>;
+
+    /// Bytes currently stored (the written extent, not the allocation).
+    fn len(&self) -> u64;
+
+    /// True when nothing has been written yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The in-memory page store: a growable `Vec<u8>` behind a `RwLock`.
+#[derive(Default)]
+pub struct MemStore {
+    bytes: RwLock<Vec<u8>>,
+}
+
+impl MemStore {
+    /// Creates an empty memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PageStore for MemStore {
+    fn kind(&self) -> DiskBackendKind {
+        DiskBackendKind::Memory
+    }
+
+    fn read_page(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let offset = offset as usize;
+        let bytes = self.bytes.read();
+        if bytes.len() >= offset + buf.len() {
+            buf.copy_from_slice(&bytes[offset..offset + buf.len()]);
+        } else {
+            // Allocated but never written: reads as zeros.
+            buf.fill(0);
+        }
+        Ok(())
+    }
+
+    fn write_page(&self, offset: u64, page: &[u8]) -> io::Result<()> {
+        let offset = offset as usize;
+        let mut bytes = self.bytes.write();
+        if bytes.len() < offset + page.len() {
+            bytes.resize(offset + page.len(), 0);
+        }
+        bytes[offset..offset + page.len()].copy_from_slice(page);
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.bytes.read().len() as u64
+    }
+}
+
+impl std::fmt::Debug for MemStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemStore")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// The real-file page store: positional I/O against one on-disk image.
+#[derive(Debug)]
+pub struct FileStore {
+    file: File,
+    path: PathBuf,
+    page_size: usize,
+}
+
+impl FileStore {
+    /// Creates (or truncates) a page image at `path`.
+    pub fn create<P: AsRef<Path>>(path: P, page_size: usize) -> io::Result<Self> {
+        assert!(page_size > 0, "page size must be positive");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path.as_ref())?;
+        Ok(Self {
+            file,
+            path: path.as_ref().to_path_buf(),
+            page_size,
+        })
+    }
+
+    /// Opens an existing page image at `path`, rejecting images whose
+    /// length is not a whole number of pages (a truncated or foreign file).
+    pub fn open<P: AsRef<Path>>(path: P, page_size: usize) -> io::Result<Self> {
+        assert!(page_size > 0, "page size must be positive");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path.as_ref())?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "page image {} is {} bytes, not a multiple of the {}-byte page size (truncated?)",
+                    path.as_ref().display(),
+                    len,
+                    page_size
+                ),
+            ));
+        }
+        Ok(Self {
+            file,
+            path: path.as_ref().to_path_buf(),
+            page_size,
+        })
+    }
+
+    /// Whole pages currently in the image.
+    pub fn pages(&self) -> u64 {
+        self.len() / self.page_size as u64
+    }
+
+    /// Path of the backing image.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl PageStore for FileStore {
+    fn kind(&self) -> DiskBackendKind {
+        DiskBackendKind::File
+    }
+
+    fn read_page(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        buf.fill(0);
+        let mut read = 0;
+        while read < buf.len() {
+            match self.file.read_at(&mut buf[read..], offset + read as u64) {
+                // EOF before the first byte: the page lies wholly past the
+                // written extent and legitimately reads as zeros. EOF
+                // *inside* the page means the image was truncated.
+                Ok(0) if read == 0 => break,
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!(
+                            "torn page in {}: end-of-file after {} of {} bytes at offset {}",
+                            self.path.display(),
+                            read,
+                            buf.len(),
+                            offset
+                        ),
+                    ))
+                }
+                Ok(n) => read += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn write_page(&self, offset: u64, page: &[u8]) -> io::Result<()> {
+        self.file.write_all_at(page, offset)
+    }
+
+    fn len(&self) -> u64 {
+        self.file.metadata().map(|m| m.len()).unwrap_or(0)
+    }
+}
+
+/// Which [`PageStore`] a harness or CLI run should construct its disks
+/// with — the configuration-level counterpart of [`DiskBackendKind`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum StoreBackend {
+    /// In-memory pages ([`MemStore`]); the deterministic default.
+    #[default]
+    Mem,
+    /// Real file images ([`FileStore`]) created under the given directory,
+    /// one per disk, named by the caller's tag.
+    File(PathBuf),
+}
+
+impl StoreBackend {
+    /// The backend family this configuration produces.
+    pub fn kind(&self) -> DiskBackendKind {
+        match self {
+            StoreBackend::Mem => DiskBackendKind::Memory,
+            StoreBackend::File(_) => DiskBackendKind::File,
+        }
+    }
+
+    /// True for the file-backed variant.
+    pub fn is_file(&self) -> bool {
+        matches!(self, StoreBackend::File(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tfm_store_{}_{}.pages", tag, std::process::id()))
+    }
+
+    #[test]
+    fn mem_store_roundtrip_and_zero_fill() {
+        let s = MemStore::new();
+        s.write_page(64, &[7u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        s.read_page(64, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 64]);
+        // Page past the written extent reads zeros.
+        buf.fill(0xff);
+        s.read_page(128, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+        assert_eq!(s.len(), 128);
+    }
+
+    #[test]
+    fn file_store_concurrent_positional_reads() {
+        let path = temp_path("concurrent");
+        let s = FileStore::create(&path, 64).unwrap();
+        for i in 0..16u64 {
+            s.write_page(i * 64, &[i as u8; 64]).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let s = &s;
+                scope.spawn(move || {
+                    let mut buf = [0u8; 64];
+                    for round in 0..32u64 {
+                        let p = (round * 5 + t) % 16;
+                        s.read_page(p * 64, &mut buf).unwrap();
+                        assert_eq!(buf, [p as u8; 64]);
+                    }
+                });
+            }
+        });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_store_short_read_is_a_torn_page_error() {
+        let path = temp_path("torn");
+        let s = FileStore::create(&path, 64).unwrap();
+        s.write_page(0, &[1u8; 64]).unwrap();
+        s.write_page(64, &[2u8; 64]).unwrap();
+        // Truncate mid-page: page 1 now ends after 32 of its 64 bytes.
+        s.file.set_len(96).unwrap();
+        let mut buf = [0u8; 64];
+        // Page 0 is intact.
+        s.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, [1u8; 64]);
+        // Page 1 is torn: must error, not silently zero-extend.
+        let err = s.read_page(64, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("torn page"), "{err}");
+        // Page 2 lies wholly past EOF: legitimate zero page.
+        s.read_page(128, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_truncated_images() {
+        let path = temp_path("openshort");
+        {
+            let s = FileStore::create(&path, 64).unwrap();
+            s.write_page(0, &[3u8; 64]).unwrap();
+            s.file.set_len(63).unwrap();
+        }
+        let err = FileStore::open(&path, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("not a multiple"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_reads_existing_image() {
+        let path = temp_path("reopen");
+        {
+            let s = FileStore::create(&path, 64).unwrap();
+            s.write_page(0, &[9u8; 64]).unwrap();
+            s.write_page(64, &[8u8; 64]).unwrap();
+        }
+        let s = FileStore::open(&path, 64).unwrap();
+        assert_eq!(s.pages(), 2);
+        let mut buf = [0u8; 64];
+        s.read_page(64, &mut buf).unwrap();
+        assert_eq!(buf, [8u8; 64]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_missing_file_errors() {
+        let err = FileStore::open(temp_path("missing"), 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}
