@@ -31,11 +31,15 @@ use bytes::{Buf, BufMut};
 use tfm_partition::IndexBuildPipeline;
 use tfm_storage::{Disk, PageId, PageReads};
 
-const LEAF_TAG: u8 = 1;
-const INNER_TAG: u8 = 0;
-const HEADER: usize = 1 + 2; // tag + count
-const ENTRY: usize = 16; // key + (value | child)
-const NO_LEAF: u64 = u64::MAX;
+mod mutable;
+
+pub use mutable::MutableBPlusTree;
+
+pub(crate) const LEAF_TAG: u8 = 1;
+pub(crate) const INNER_TAG: u8 = 0;
+pub(crate) const HEADER: usize = 1 + 2; // tag + count
+pub(crate) const ENTRY: usize = 16; // key + (value | child)
+pub(crate) const NO_LEAF: u64 = u64::MAX;
 
 /// A read-only, bulk-loaded B+-tree stored on a disk.
 #[derive(Debug)]
@@ -281,7 +285,7 @@ impl BPlusTree {
 /// count, next-leaf pointer, then fixed 16-byte entries. Shared by leaves
 /// and inner nodes (identical layout; inner nodes carry `NO_LEAF` in the
 /// pointer slot).
-fn encode_node_into(tag: u8, next: u64, entries: &[(u64, u64)], buf: &mut Vec<u8>) {
+pub(crate) fn encode_node_into(tag: u8, next: u64, entries: &[(u64, u64)], buf: &mut Vec<u8>) {
     buf.clear();
     buf.reserve(HEADER + 8 + entries.len() * ENTRY);
     buf.put_u8(tag);
@@ -294,14 +298,14 @@ fn encode_node_into(tag: u8, next: u64, entries: &[(u64, u64)], buf: &mut Vec<u8
 }
 
 /// A decoded node page.
-struct Node {
-    is_leaf: bool,
-    next_leaf: Option<PageId>,
-    entries: Vec<(u64, u64)>,
+pub(crate) struct Node {
+    pub(crate) is_leaf: bool,
+    pub(crate) next_leaf: Option<PageId>,
+    pub(crate) entries: Vec<(u64, u64)>,
 }
 
 impl Node {
-    fn read<C: PageReads>(cache: &mut C, page: PageId) -> Self {
+    pub(crate) fn read<C: PageReads>(cache: &mut C, page: PageId) -> Self {
         let raw = cache.page(page);
         let mut buf: &[u8] = &raw;
         let tag = buf.get_u8();

@@ -23,6 +23,7 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("join") => cmd_join(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("mutate") => cmd_mutate(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -94,13 +95,33 @@ USAGE:
                   --shard-partitioner picks the dataset split (default
                   hilbert); --shed swaps blocking admission for load
                   shedding on the per-shard bounded queues
+  tfm mutate --in FILE [--ops N] [--write-permille N] [--insert-permille N]
+             [--wal-dir DIR] [--threads N] [--batch N] [--seed S]
+             [--page-size N] [--build-threads N] [--verify]
+      builds the TRANSFORMERS index, adopts it into the mutable overlay
+      and replays a deterministic mixed read/write trace against it:
+      probes are served on N workers while inserts/deletes apply in
+      write-ahead-logged batches (chunk size --batch)
+      --ops N: total operations, reads + writes (default 1000)
+      --write-permille N: fraction of ops that are writes, 0..=1000
+                  (default 200); --insert-permille N: fraction of writes
+                  that are inserts (default 700, rest are deletes)
+      --wal-dir DIR: write every batch through a write-ahead log in DIR
+                  (group commit, segment rotation); without it mutations
+                  apply unlogged — fine for throughput runs, no crash
+                  safety. The log is left in place for inspection;
+                  recovery replays it via the tfm-wal crate
+      --verify: after the replay, check every probe of the trace against
+                  a full scan of the mutated dataset
   tfm info --in FILE
   tfm help
 
 STORAGE BACKEND (build + join + serve):
   --backend file: keep every page in a real on-disk image under --store
       DIR (default: a per-run temp directory), read with positional I/O;
-      the default mem backend keeps pages in memory. On the file backend
+      the default mem backend keeps pages in memory. --backend
+      file-checksummed adds a per-page checksum sidecar so torn
+      data-page writes are detected on read (the write path's posture). On the file backend
       `tfm serve` can run a prefetch pipeline: --io-depth N puts N
       dedicated I/O threads behind the serve workers and --readahead N
       keeps up to N pages in flight along each batch's Hilbert-ordered
@@ -161,7 +182,7 @@ impl StoreOpts {
     /// The on-disk page-image directory, when the backend is a file.
     fn dir(&self) -> Option<&std::path::Path> {
         match &self.backend {
-            StoreBackend::File(dir) => Some(dir),
+            StoreBackend::File(dir) | StoreBackend::FileChecksummed(dir) => Some(dir),
             StoreBackend::Mem => None,
         }
     }
@@ -189,20 +210,29 @@ fn parse_store_opts(args: &[String]) -> Result<StoreOpts, String> {
                 readahead: 0,
             })
         }
-        "file" => {
+        kind @ ("file" | "file-checksummed") => {
             let dir = opt(args, "--store").map_or_else(
                 || std::env::temp_dir().join(format!("tfm_store_{}", std::process::id())),
                 std::path::PathBuf::from,
             );
             let io_depth = parse_worker_count(args, "--io-depth")?;
             let readahead: usize = parse(opt(args, "--readahead").unwrap_or("0"), "--readahead")?;
+            let backend = if kind == "file" {
+                StoreBackend::File(dir)
+            } else {
+                // Per-page checksum sidecar: torn data-page writes are
+                // detected on read (the write path's default posture).
+                StoreBackend::FileChecksummed(dir)
+            };
             Ok(StoreOpts {
-                backend: StoreBackend::File(dir),
+                backend,
                 io_depth,
                 readahead,
             })
         }
-        other => Err(format!("unknown backend `{other}` (mem | file)")),
+        other => Err(format!(
+            "unknown backend `{other}` (mem | file | file-checksummed)"
+        )),
     }
 }
 
@@ -836,6 +866,194 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_mutate(args: &[String]) -> Result<(), String> {
+    use tfm_datagen::{generate_mixed_trace, MixedOp, MixedTraceSpec};
+    use tfm_serve::{serve_trace, MutableTransformersEngine, ServeConfig};
+    use tfm_storage::{NoopLog, RedoLog, SharedPageCache};
+    use transformers::{IndexConfig, MutableTransformers, MutationOp, TransformersIndex};
+
+    let path = required(args, "--in")?;
+    let ops: usize = parse(opt(args, "--ops").unwrap_or("1000"), "--ops")?;
+    let write_permille: u32 = parse(
+        opt(args, "--write-permille").unwrap_or("200"),
+        "--write-permille",
+    )?;
+    let insert_permille: u32 = parse(
+        opt(args, "--insert-permille").unwrap_or("700"),
+        "--insert-permille",
+    )?;
+    for (name, v) in [
+        ("--write-permille", write_permille),
+        ("--insert-permille", insert_permille),
+    ] {
+        if v > 1000 {
+            return Err(format!("{name} is a permille value (0..=1000), got {v}"));
+        }
+    }
+    let threads = parse_worker_count(args, "--threads")?;
+    let batch: usize = parse(opt(args, "--batch").unwrap_or("64"), "--batch")?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let seed: u64 = parse(opt(args, "--seed").unwrap_or("1"), "--seed")?;
+    let page_size: usize = parse(opt(args, "--page-size").unwrap_or("2048"), "--page-size")?;
+    let build_threads = parse_worker_count(args, "--build-threads")?;
+
+    let elems = io::read_elements(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let live_ids: Vec<u64> = elems.iter().map(|e| e.id).collect();
+    let trace = generate_mixed_trace(
+        &MixedTraceSpec {
+            ops,
+            write_permille,
+            insert_permille,
+            ..MixedTraceSpec::uniform(ops, write_permille, seed)
+        },
+        &live_ids,
+    );
+
+    let disk = tfm_storage::Disk::in_memory(page_size);
+    let cfg = IndexConfig::default().with_build_threads(build_threads);
+    let idx = TransformersIndex::try_build(&disk, elems.clone(), &cfg)?;
+    let overlay = MutableTransformers::adopt(&idx, &disk);
+    let cache = SharedPageCache::new(&disk, tfm_storage::DEFAULT_POOL_PAGES);
+
+    // The redo log: a real segmented WAL under --wal-dir, or the no-op
+    // log (instantly "durable", nothing written) without one.
+    let wal = match opt(args, "--wal-dir") {
+        Some(dir) => Some(
+            tfm_wal::Wal::open(dir, tfm_wal::WalOptions::default())
+                .map_err(|e| format!("opening WAL in {dir}: {e}"))?,
+        ),
+        None => None,
+    };
+    let noop = NoopLog::new();
+    let log: &dyn RedoLog = match &wal {
+        Some(w) => w,
+        None => &noop,
+    };
+
+    // Replay in arrival-order chunks: each chunk's writes apply as one
+    // WAL transaction, then its probes are served on the worker pool.
+    let engine = MutableTransformersEngine::new(&overlay, &cache);
+    let serve_cfg = ServeConfig {
+        threads,
+        batch,
+        ..ServeConfig::default()
+    };
+    let t = std::time::Instant::now();
+    let mut inserted = 0u64;
+    let mut deleted = 0u64;
+    let mut batches = 0u64;
+    let mut queries = 0u64;
+    let mut result_ids = 0u64;
+    for chunk in trace.chunks(batch) {
+        let writes: Vec<MutationOp> = chunk
+            .iter()
+            .filter_map(|op| match op {
+                MixedOp::Insert(e) => Some(MutationOp::Insert(*e)),
+                MixedOp::Delete(id) => Some(MutationOp::Delete(*id)),
+                MixedOp::Query(_) => None,
+            })
+            .collect();
+        if !writes.is_empty() {
+            let out = overlay.apply_batch(log, &cache, &writes);
+            if out.rejected_inserts + out.missing_deletes > 0 {
+                return Err(format!(
+                    "generated trace must replay cleanly: {} rejected inserts, {} missing deletes",
+                    out.rejected_inserts, out.missing_deletes
+                ));
+            }
+            inserted += out.inserted;
+            deleted += out.deleted;
+            batches += 1;
+        }
+        let probes = tfm_datagen::queries_of(chunk);
+        if !probes.is_empty() {
+            let out = serve_trace(&engine, &probes, &serve_cfg);
+            queries += out.stats.queries;
+            result_ids += out.stats.result_ids;
+        }
+    }
+    let wall = t.elapsed();
+
+    println!("dataset:         {path} ({} elements)", elems.len());
+    println!(
+        "trace:           {ops} ops (seed {seed}, {write_permille}permille writes, \
+         {insert_permille}permille of writes insert)"
+    );
+    println!(
+        "mutations:       {inserted} inserts + {deleted} deletes in {batches} batches \
+         (chunk {batch})"
+    );
+    println!(
+        "index:           {} -> {} elements",
+        elems.len(),
+        overlay.len()
+    );
+    println!(
+        "reads:           {queries} probes on {threads} worker{}, {result_ids} result ids",
+        if threads == 1 { "" } else { "s" }
+    );
+    println!(
+        "replay time:     {:.3}s  ({:.0} ops/s)",
+        wall.as_secs_f64(),
+        ops as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    if let Some(w) = &wal {
+        let s = w.stats();
+        println!(
+            "wal:             {} records, {} bytes, {} commits, {} fsyncs, {} segment{} in {}",
+            s.records,
+            s.bytes,
+            s.commits,
+            s.fsyncs,
+            s.segments,
+            if s.segments == 1 { "" } else { "s" },
+            w.dir().display()
+        );
+    } else {
+        println!("wal:             off (no --wal-dir; mutations unlogged)");
+    }
+
+    if flag(args, "--verify") {
+        // Replay the trace over a plain map to get the mutated dataset,
+        // then hold every probe of the trace to the full-scan oracle.
+        let mut live: std::collections::BTreeMap<u64, tfm_geom::SpatialElement> =
+            elems.iter().map(|e| (e.id, *e)).collect();
+        for op in &trace {
+            match op {
+                MixedOp::Insert(e) => {
+                    live.insert(e.id, *e);
+                }
+                MixedOp::Delete(id) => {
+                    live.remove(id);
+                }
+                MixedOp::Query(_) => {}
+            }
+        }
+        let probes = tfm_datagen::queries_of(&trace);
+        let out = serve_trace(&engine, &probes, &serve_cfg);
+        for (i, q) in probes.iter().enumerate() {
+            let mut expected: Vec<u64> = live
+                .values()
+                .filter(|e| q.matches(&e.mbb))
+                .map(|e| e.id)
+                .collect();
+            expected.sort_unstable();
+            if out.results[i] != expected {
+                return Err(format!(
+                    "probe {i} diverges from the full scan of the mutated dataset"
+                ));
+            }
+        }
+        println!(
+            "verify:          OK (all {} probes match the mutated full scan)",
+            probes.len()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let path = required(args, "--in")?;
     let elems = io::read_elements(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -1148,6 +1366,68 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(cmd_serve(&bad).unwrap_err().contains("require --shards"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mutate_command_end_to_end() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let path = dir.join(format!("tfm_cli_mutate_{pid}.elems"));
+        let wal_dir = dir.join(format!("tfm_cli_mutate_wal_{pid}"));
+        std::fs::remove_dir_all(&wal_dir).ok();
+        cmd_generate(&sv(&[
+            "--count",
+            "600",
+            "--out",
+            path.to_str().unwrap(),
+            "--seed",
+            "51",
+            "--max-side",
+            "6",
+        ]))
+        .unwrap();
+
+        // Logged and unlogged replays, single- and multi-worker reads,
+        // all verified against the mutated full-scan oracle.
+        for extra in [
+            &[][..],
+            &["--threads", "2", "--wal-dir"][..], // dir appended below
+        ] {
+            let mut mutate_args = sv(&[
+                "--in",
+                path.to_str().unwrap(),
+                "--ops",
+                "400",
+                "--write-permille",
+                "400",
+                "--batch",
+                "32",
+                "--verify",
+            ]);
+            mutate_args.extend(extra.iter().map(|s| s.to_string()));
+            if extra.contains(&"--wal-dir") {
+                mutate_args.push(wal_dir.to_str().unwrap().to_string());
+            }
+            cmd_mutate(&mutate_args).unwrap_or_else(|e| panic!("{extra:?}: {e}"));
+        }
+        // The logged run left real segment files behind.
+        let segments = std::fs::read_dir(&wal_dir)
+            .expect("wal dir exists")
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+            .count();
+        assert!(segments > 0, "no WAL segments written");
+
+        // Bad flags fail fast.
+        let bad = sv(&["--in", path.to_str().unwrap(), "--write-permille", "1500"]);
+        assert!(cmd_mutate(&bad).unwrap_err().contains("permille"));
+        let bad = sv(&["--in", path.to_str().unwrap(), "--batch", "0"]);
+        assert!(cmd_mutate(&bad).unwrap_err().contains("--batch"));
+        let bad = sv(&["--in", path.to_str().unwrap(), "--threads", "0"]);
+        assert!(cmd_mutate(&bad).unwrap_err().contains("--threads"));
+
+        std::fs::remove_dir_all(&wal_dir).ok();
         std::fs::remove_file(&path).ok();
     }
 

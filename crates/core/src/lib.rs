@@ -55,6 +55,7 @@ mod distance;
 mod index;
 mod join;
 mod metadata;
+mod mutate;
 mod stats;
 mod todo;
 mod walk;
@@ -65,6 +66,10 @@ pub use descriptor::{NodeId, SpaceNode, SpaceUnitDesc, UnitId};
 pub use distance::distance_join;
 pub use index::{TransformersIndex, UnitReader};
 pub use join::{transformers_join, EngineSide, JoinOutcome, PivotEngine};
+pub use mutate::{
+    BatchOutcome, MutNode, MutSnapshot, MutUnit, MutableTransformers, MutationOp, OverflowCodec,
+    NO_PAGE, OVERFLOW_HEADER,
+};
 pub use stats::TransformersStats;
 // `IndexBuildPipeline` lives in `tfm-partition` (below the baselines,
 // keeping them decoupled from this crate); re-exported so index users

@@ -86,7 +86,7 @@ pub fn decode(mut buf: &[u8]) -> (Vec<SpaceNode>, Vec<SpaceUnitDesc>) {
     (nodes, units)
 }
 
-fn put_aabb(buf: &mut Vec<u8>, a: &Aabb) {
+pub(crate) fn put_aabb(buf: &mut Vec<u8>, a: &Aabb) {
     use bytes_ext::BufMutExt;
     // Page MBBs of empty units use the empty box (±inf); encode raw bits.
     buf.put_f64_bits(a.min.x);
@@ -97,7 +97,7 @@ fn put_aabb(buf: &mut Vec<u8>, a: &Aabb) {
     buf.put_f64_bits(a.max.z);
 }
 
-fn get_aabb(buf: &mut &[u8]) -> Aabb {
+pub(crate) fn get_aabb(buf: &mut &[u8]) -> Aabb {
     use bytes_ext::BufExt;
     let min = Point3::new(buf.get_f64_bits(), buf.get_f64_bits(), buf.get_f64_bits());
     let max = Point3::new(buf.get_f64_bits(), buf.get_f64_bits(), buf.get_f64_bits());
@@ -106,7 +106,7 @@ fn get_aabb(buf: &mut &[u8]) -> Aabb {
 }
 
 /// Minimal little-endian buffer helpers over `Vec<u8>` / `&[u8]`.
-mod bytes_ext {
+pub(crate) mod bytes_ext {
     pub trait BufMutExt {
         fn put_u16_le_ext(&mut self, v: u16);
         fn put_u32_le_ext(&mut self, v: u32);

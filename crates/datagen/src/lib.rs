@@ -17,7 +17,10 @@
 //!
 //! Besides datasets, [`queries`] generates deterministic **query traces**
 //! (window / point-enclosure / distance probes with uniform, clustered or
-//! neuro-correlated centers) for the `tfm-serve` serving subsystem.
+//! neuro-correlated centers) for the `tfm-serve` serving subsystem, and
+//! [`mutations`] generates deterministic **mixed read/write traces**
+//! (probes interleaved with inserts/deletes at a configurable blend) for
+//! the mutable write path.
 //!
 //! All generation is deterministic given a [`DatasetSpec`] (seeded
 //! `StdRng`), so experiments are exactly repeatable. Spatial boxes have side
@@ -26,11 +29,13 @@
 
 #![warn(missing_docs)]
 
+pub mod mutations;
 pub mod neuro;
 mod normal;
 pub mod queries;
 mod spec;
 
+pub use mutations::{generate_mixed_trace, queries_of, MixedOp, MixedTraceSpec};
 pub use queries::{generate_trace, ProbeMix, QueryKindMix, QueryTraceSpec};
 pub use spec::{DatasetSpec, Distribution, DEFAULT_UNIVERSE};
 

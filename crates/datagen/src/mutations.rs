@@ -1,0 +1,290 @@
+//! Mixed read/write trace generation for the mutable serving path.
+//!
+//! The serving subsystem gained a write path (`tfm-wal` + the mutable
+//! TRANSFORMERS overlay), so workloads need *mixed* traces: spatial probes
+//! interleaved with inserts and deletes, in one deterministic arrival
+//! order. A [`MixedTraceSpec`] describes the blend — the write fraction,
+//! the insert/delete split within writes, the probe distribution of the
+//! reads and the shape of inserted elements — and [`generate_mixed_trace`]
+//! expands it into a `Vec<MixedOp>`, exactly as repeatable as dataset and
+//! query-trace generation.
+//!
+//! Design points:
+//!
+//! * **Deletes always target live ids.** The generator tracks the live id
+//!   set as it goes (base dataset ids, plus its own inserts, minus its own
+//!   deletes), so a generated trace never asks the index to delete an id
+//!   that cannot exist at that point of the replay. With no live ids left
+//!   a would-be delete degrades to an insert.
+//! * **Inserts get fresh ids** above the base dataset's maximum, assigned
+//!   densely in generation order, so a trace replayed against the matching
+//!   dataset never collides with an existing id.
+//! * **Reads feed the serve trace format.** [`queries_of`] projects the
+//!   read-only sub-trace out as a plain `Vec<SpatialQuery>` — the exact
+//!   input `tfm_serve::serve_trace` takes — so read-equivalence checks can
+//!   replay the same probes against a mutated and a rebuilt index.
+
+use crate::queries::{generate_trace, QueryTraceSpec};
+use crate::{box_at, element_centers, DatasetSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tfm_geom::{SpatialElement, SpatialQuery};
+
+/// One operation of a mixed read/write trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MixedOp {
+    /// A spatial probe (window / point / distance) — the read side.
+    Query(SpatialQuery),
+    /// Insert a fresh element (id unused by the base dataset or any
+    /// earlier insert of the trace).
+    Insert(SpatialElement),
+    /// Delete a live id (guaranteed live at this point of the replay).
+    Delete(u64),
+}
+
+/// Full description of a mixed read/write trace; generation is a pure
+/// function of this value plus the base dataset's live ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedTraceSpec {
+    /// Total operations (reads + writes) in the trace.
+    pub ops: usize,
+    /// Fraction of operations that are writes, in permille (0..=1000).
+    pub write_permille: u32,
+    /// Fraction of *writes* that are inserts, in permille (0..=1000); the
+    /// remainder are deletes.
+    pub insert_permille: u32,
+    /// Probe distribution of the read operations ([`QueryTraceSpec::count`]
+    /// is ignored — the blend decides how many reads the trace holds).
+    pub reads: QueryTraceSpec,
+    /// Shape of inserted elements: spatial distribution, universe and
+    /// `max_side` ([`DatasetSpec::count`] is ignored, [`DatasetSpec::seed`]
+    /// seeds the insert stream).
+    pub inserts: DatasetSpec,
+    /// Seed of the op-kind / delete-victim stream; same spec and live ids
+    /// ⇒ same trace.
+    pub seed: u64,
+}
+
+impl Default for MixedTraceSpec {
+    /// A read-heavy default: 20 % writes, 70 % of them inserts.
+    fn default() -> Self {
+        Self {
+            ops: 1000,
+            write_permille: 200,
+            insert_permille: 700,
+            reads: QueryTraceSpec::default(),
+            inserts: DatasetSpec::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl MixedTraceSpec {
+    /// A trace of `ops` operations with the given write fraction
+    /// (permille) and seed, uniform probes and uniform inserts.
+    pub fn uniform(ops: usize, write_permille: u32, seed: u64) -> Self {
+        Self {
+            ops,
+            write_permille,
+            seed,
+            reads: QueryTraceSpec::uniform(0, seed ^ 0x9E37_79B9),
+            inserts: DatasetSpec {
+                count: 0,
+                seed: seed ^ 0x7F4A_7C15,
+                ..DatasetSpec::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// Expands `spec` into its mixed trace, taking `live_ids` as the set of
+/// ids alive before the first operation (the base dataset's ids).
+///
+/// Inserted ids start at `max(live_ids) + 1` and grow densely. The trace
+/// is a pure function of `(spec, live_ids)`.
+pub fn generate_mixed_trace(spec: &MixedTraceSpec, live_ids: &[u64]) -> Vec<MixedOp> {
+    assert!(spec.write_permille <= 1000, "write_permille is 0..=1000");
+    assert!(spec.insert_permille <= 1000, "insert_permille is 0..=1000");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Pre-draw the read stream: probes come from the standard query
+    // generator so mixed traces share the probe distributions (and the
+    // determinism guarantees) of pure serve traces.
+    let reads = generate_trace(&QueryTraceSpec {
+        count: spec.ops,
+        ..spec.reads.clone()
+    });
+    let mut next_read = 0usize;
+
+    // Pre-draw the insert stream the same way datasets are drawn: centers
+    // from the spec's spatial distribution, boxes via `box_at`. Ids are
+    // assigned densely above the base dataset's maximum.
+    let insert_spec = DatasetSpec {
+        count: spec.ops,
+        ..spec.inserts.clone()
+    };
+    let mut insert_rng = StdRng::seed_from_u64(insert_spec.seed);
+    let insert_centers = element_centers(&insert_spec, &mut insert_rng);
+    let mut next_insert = 0usize;
+    let mut next_id = live_ids.iter().copied().max().map_or(0, |m| m + 1);
+
+    // The live set as a vector for O(1) random victim picks; deletes
+    // swap-remove their victim so it can't be picked twice.
+    let mut live: Vec<u64> = live_ids.to_vec();
+
+    (0..spec.ops)
+        .map(|_| {
+            let is_write = rng.random_range(0..1000u32) < spec.write_permille;
+            if !is_write {
+                let q = reads[next_read];
+                next_read += 1;
+                return MixedOp::Query(q);
+            }
+            let is_insert =
+                rng.random_range(0..1000u32) < spec.insert_permille || live.is_empty();
+            if is_insert {
+                let c = insert_centers[next_insert];
+                next_insert += 1;
+                let e = SpatialElement::new(next_id, box_at(c, &insert_spec, &mut insert_rng));
+                next_id += 1;
+                live.push(e.id);
+                MixedOp::Insert(e)
+            } else {
+                let victim = live.swap_remove(rng.random_range(0..live.len()));
+                MixedOp::Delete(victim)
+            }
+        })
+        .collect()
+}
+
+/// Projects the read-only sub-trace out of a mixed trace, in arrival
+/// order — the exact input shape `tfm_serve::serve_trace` consumes.
+pub fn queries_of(trace: &[MixedOp]) -> Vec<SpatialQuery> {
+    trace
+        .iter()
+        .filter_map(|op| match op {
+            MixedOp::Query(q) => Some(*q),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn base_ids(n: u64) -> Vec<u64> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn mixed_trace_is_deterministic() {
+        let spec = MixedTraceSpec::uniform(800, 300, 7);
+        let ids = base_ids(500);
+        let a = generate_mixed_trace(&spec, &ids);
+        let b = generate_mixed_trace(&spec, &ids);
+        assert_eq!(a.len(), 800);
+        assert_eq!(a, b);
+        let mut other = spec.clone();
+        other.seed = 8;
+        assert_ne!(a, generate_mixed_trace(&other, &ids));
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        for permille in [0, 200, 500, 1000] {
+            let spec = MixedTraceSpec::uniform(4000, permille, 11);
+            let trace = generate_mixed_trace(&spec, &base_ids(1000));
+            let writes = trace
+                .iter()
+                .filter(|op| !matches!(op, MixedOp::Query(_)))
+                .count();
+            let expected = 4000 * permille as usize / 1000;
+            assert!(
+                writes.abs_diff(expected) <= 120,
+                "permille {permille}: {writes} writes vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_delete_split_is_respected() {
+        let spec = MixedTraceSpec {
+            insert_permille: 250,
+            ..MixedTraceSpec::uniform(4000, 1000, 13)
+        };
+        let trace = generate_mixed_trace(&spec, &base_ids(10_000));
+        let inserts = trace
+            .iter()
+            .filter(|op| matches!(op, MixedOp::Insert(_)))
+            .count();
+        let deletes = trace
+            .iter()
+            .filter(|op| matches!(op, MixedOp::Delete(_)))
+            .count();
+        assert_eq!(inserts + deletes, 4000);
+        assert!(
+            inserts.abs_diff(1000) <= 120,
+            "{inserts} inserts vs expected 1000"
+        );
+    }
+
+    #[test]
+    fn deletes_only_target_live_ids_and_inserts_are_fresh() {
+        let spec = MixedTraceSpec {
+            insert_permille: 500,
+            ..MixedTraceSpec::uniform(3000, 600, 17)
+        };
+        let mut live: BTreeSet<u64> = (0..200).collect();
+        for op in generate_mixed_trace(&spec, &base_ids(200)) {
+            match op {
+                MixedOp::Query(_) => {}
+                MixedOp::Insert(e) => {
+                    assert!(live.insert(e.id), "insert of live id {}", e.id);
+                    assert!(e.mbb.is_valid());
+                }
+                MixedOp::Delete(id) => {
+                    assert!(live.remove(&id), "delete of dead id {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deletes_degrade_to_inserts_when_nothing_is_live() {
+        // All-write, all-delete blend against an empty base: every op must
+        // still be valid, so the generator flips to inserts.
+        let spec = MixedTraceSpec {
+            insert_permille: 0,
+            ..MixedTraceSpec::uniform(50, 1000, 19)
+        };
+        let trace = generate_mixed_trace(&spec, &[]);
+        // The first op has nothing to delete; after that inserts populate
+        // the live set, so genuine deletes appear.
+        assert!(matches!(trace[0], MixedOp::Insert(_)));
+        assert!(trace.iter().any(|op| matches!(op, MixedOp::Delete(_))));
+    }
+
+    #[test]
+    fn queries_project_out_in_arrival_order() {
+        let spec = MixedTraceSpec::uniform(600, 400, 23);
+        let trace = generate_mixed_trace(&spec, &base_ids(100));
+        let qs = queries_of(&trace);
+        assert_eq!(
+            qs.len(),
+            trace
+                .iter()
+                .filter(|op| matches!(op, MixedOp::Query(_)))
+                .count()
+        );
+        let mut it = qs.iter();
+        for op in &trace {
+            if let MixedOp::Query(q) = op {
+                assert_eq!(it.next(), Some(q));
+            }
+        }
+    }
+}

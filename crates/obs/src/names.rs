@@ -33,6 +33,10 @@ pub const CACHE_FRESH_ALLOCS: &str = "cache.fresh_allocs";
 pub const CACHE_LOCK_ACQUISITIONS: &str = "cache.lock_acquisitions";
 /// Shard lock acquisitions that had to wait (contention signal).
 pub const CACHE_LOCK_CONTENDED: &str = "cache.lock_contended";
+/// Writes installed into the shared cache's dirty tier.
+pub const CACHE_DIRTY_INSTALLS: &str = "cache.dirty_installs";
+/// Dirty frames written back to the store by ordered flushing.
+pub const CACHE_FLUSHED_PAGES: &str = "cache.flushed_pages";
 
 // --- io.* : simulated-disk access pattern (IoStats) ---
 
@@ -59,6 +63,27 @@ pub const IO_PREFETCH_ISSUED: &str = "io.prefetch.issued";
 pub const IO_PREFETCH_HITS: &str = "io.prefetch.hits";
 /// Prefetched frames evicted before any demand read used them.
 pub const IO_PREFETCH_UNUSED: &str = "io.prefetch.unused";
+
+// --- wal.* : the write-ahead log (tfm-wal) ---
+//
+// Published once per run by `Wal::publish_metrics` (writer-side counters)
+// and `RecoveryReport::publish` (replay counters) — the log owns these
+// signals, nothing else writes them.
+
+/// Records appended to the log (page images + commit markers).
+pub const WAL_RECORDS: &str = "wal.records";
+/// Bytes appended to the log, framing included.
+pub const WAL_BYTES: &str = "wal.bytes";
+/// fsyncs issued against log segments.
+pub const WAL_FSYNCS: &str = "wal.fsyncs";
+/// Transactions committed through the log.
+pub const WAL_COMMITS: &str = "wal.commits";
+/// Histogram: records made durable per fsync (group-commit batch size).
+pub const WAL_GROUP_COMMIT_RECORDS: &str = "wal.group_commit_records";
+/// Page records replayed against the image during recovery.
+pub const WAL_RECOVERY_REPLAYED: &str = "wal.recovery.replayed";
+/// Records of uncommitted transactions skipped during recovery.
+pub const WAL_RECOVERY_SKIPPED: &str = "wal.recovery.skipped";
 
 // --- serve.* : the concurrent query-serving subsystem ---
 

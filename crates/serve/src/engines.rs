@@ -17,13 +17,17 @@
 //!   batching help it) and a crawl collects the candidate pages.
 //! * [`RtreeEngine`] — the R-tree baseline: a root-to-leaf range descent
 //!   per probe, paying the sibling-overlap reads the paper highlights.
+//! * [`MutableTransformersEngine`] — the TRANSFORMERS hierarchy under a
+//!   [`MutableTransformers`] overlay: sessions query the latest published
+//!   snapshot, so serves run concurrently with mutation batches without
+//!   ever blocking on the writer.
 
 use tfm_geom::{ElementId, SpatialQuery};
 use tfm_rtree::{RTree, RtreeStats};
 use tfm_storage::{
     CacheHandle, CacheStats, Disk, IoStatsSnapshot, PageId, PageReads, SharedPageCache,
 };
-use transformers::{explore, TransformersIndex, UnitReader};
+use transformers::{explore, MutableTransformers, TransformersIndex, UnitReader};
 
 /// A built index structure that can serve spatial queries.
 ///
@@ -227,6 +231,109 @@ impl QuerySession for TransformersSession<'_> {
 
     fn pool_counters(&self) -> (u64, u64) {
         (self.reader.hits(), self.reader.misses())
+    }
+}
+
+/// Serves queries from a [`MutableTransformers`] overlay — the read side
+/// of the online write path.
+///
+/// Unlike the immutable engines this one *shares* its cache with the
+/// writer: mutation batches land pages in the cache's dirty tier before
+/// any flush, so readers must go through the same [`SharedPageCache`] the
+/// writer logs into (a private pool reading the raw disk would miss
+/// unflushed state). Every [`QuerySession::execute`] call grabs the
+/// overlay's latest published snapshot, so long-lived sessions observe
+/// each committed batch without being recreated, and never block on the
+/// writer.
+pub struct MutableTransformersEngine<'a> {
+    overlay: &'a MutableTransformers,
+    cache: &'a SharedPageCache<'a>,
+}
+
+impl<'a> MutableTransformersEngine<'a> {
+    /// Wraps a mutable overlay and the shared cache its writer flushes
+    /// through.
+    pub fn new(overlay: &'a MutableTransformers, cache: &'a SharedPageCache<'a>) -> Self {
+        Self { overlay, cache }
+    }
+}
+
+impl QueryEngine for MutableTransformersEngine<'_> {
+    fn label(&self) -> &'static str {
+        "TRANSFORMERS-MUT"
+    }
+
+    fn io_snapshot(&self) -> IoStatsSnapshot {
+        self.cache.disk().stats()
+    }
+
+    fn session(&self, _pool_pages: usize) -> Box<dyn QuerySession + '_> {
+        Box::new(MutableTransformersSession {
+            overlay: self.overlay,
+            handle: CacheHandle::shared(self.cache),
+        })
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
+    }
+
+    fn reset_cache(&self) {
+        // Dirty frames survive `clear` by design (they are the only copy
+        // of committed-but-unflushed state), so resetting between
+        // measurement runs never loses writes.
+        self.cache.clear();
+        self.cache.reset_stats();
+    }
+
+    fn supports_prefetch(&self) -> bool {
+        true
+    }
+
+    // Base unit pages only: overflow chains would need page reads to
+    // enumerate, and `prefetch_page` leaves resident (dirty) frames
+    // untouched, so the hint stays sound under concurrent writes.
+    fn prefetch_schedule(&self, queries: &[SpatialQuery]) -> Vec<PageId> {
+        let snap = self.overlay.snapshot();
+        let units = snap.units();
+        let mut pages = Vec::new();
+        for query in queries {
+            let probe = query.probe();
+            for node in snap.nodes() {
+                if !node.page_mbb.intersects(&probe) {
+                    continue;
+                }
+                for ui in node.first_unit..(node.first_unit + node.unit_count) {
+                    let u = &units[ui as usize];
+                    if u.count > 0 && u.page_mbb.intersects(&probe) {
+                        pages.push(u.page);
+                    }
+                }
+            }
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        pages
+    }
+
+    fn prefetch_page(&self, id: PageId, scratch: &mut Vec<u8>) {
+        self.cache.prefetch_page(id, scratch);
+    }
+}
+
+struct MutableTransformersSession<'a> {
+    overlay: &'a MutableTransformers,
+    handle: CacheHandle<'a, 'a>,
+}
+
+impl QuerySession for MutableTransformersSession<'_> {
+    fn execute(&mut self, query: &SpatialQuery) -> Vec<ElementId> {
+        self.overlay.snapshot().query(&mut self.handle, query)
+    }
+
+    fn pool_counters(&self) -> (u64, u64) {
+        let c = self.handle.counters();
+        (c.hits, c.misses)
     }
 }
 

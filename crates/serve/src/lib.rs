@@ -67,7 +67,10 @@ mod queue;
 mod shard;
 mod stats;
 
-pub use engines::{GipsyEngine, QueryEngine, QuerySession, RtreeEngine, TransformersEngine};
+pub use engines::{
+    GipsyEngine, MutableTransformersEngine, QueryEngine, QuerySession, RtreeEngine,
+    TransformersEngine,
+};
 pub use queue::RequestQueue;
 pub use shard::{
     plan_shards, serve_sharded, IndexShard, ShardEngineKind, ShardPartitioner, ShardRouter,
@@ -758,6 +761,124 @@ mod tests {
             let out = serve_trace(engine.as_ref(), &trace, &ServeConfig::default());
             assert!(out.results.iter().all(Vec::is_empty), "{}", engine.label());
         }
+    }
+
+    #[test]
+    fn mutable_engine_matches_rebuilt_index_across_workers() {
+        use tfm_storage::{NoopLog, SharedPageCache};
+        use transformers::{MutableTransformers, MutationOp};
+
+        let (disk, idx, elems) = fixture(2500, 40);
+        let cache = SharedPageCache::new(&disk, 4096);
+        let overlay = MutableTransformers::adopt(&idx, &disk);
+        let log = NoopLog::new();
+
+        // Mutate: delete every 5th element, insert a fresh batch.
+        let mut ops: Vec<MutationOp> = elems
+            .iter()
+            .filter(|e| e.id % 5 == 0)
+            .map(|e| MutationOp::Delete(e.id))
+            .collect();
+        let fresh = generate(&DatasetSpec {
+            max_side: 6.0,
+            ..DatasetSpec::uniform(400, 41)
+        });
+        let base = 1 + elems.iter().map(|e| e.id).max().unwrap_or(0);
+        let mut mutated: Vec<tfm_geom::SpatialElement> = elems
+            .iter()
+            .filter(|e| e.id % 5 != 0)
+            .cloned()
+            .collect();
+        for mut e in fresh {
+            e.id += base;
+            ops.push(MutationOp::Insert(e));
+            mutated.push(e);
+        }
+        let out = overlay.apply_batch(&log, &cache, &ops);
+        assert_eq!(out.rejected_inserts, 0);
+        assert_eq!(out.missing_deletes, 0);
+
+        // The acceptance property: serve results over the mutated overlay
+        // are byte-identical to an index rebuilt from scratch on the
+        // mutated dataset, at every worker count.
+        let trace = generate_trace(&QueryTraceSpec::uniform(240, 42));
+        let expected = reference(&mutated, &trace);
+        let engine = MutableTransformersEngine::new(&overlay, &cache);
+        assert_eq!(engine.label(), "TRANSFORMERS-MUT");
+        for threads in [1, 2, 4, 8] {
+            let cfg = ServeConfig::default().with_threads(threads).with_batch(32);
+            let got = serve_trace(&engine, &trace, &cfg);
+            assert_eq!(got.results, expected, "threads = {threads}");
+            let cache_stats = got.stats.cache.expect("mutable engine shares a cache");
+            assert!(cache_stats.hits + cache_stats.misses > 0);
+        }
+
+        let rebuilt_disk = Disk::in_memory(2048);
+        let rebuilt =
+            TransformersIndex::build(&rebuilt_disk, mutated.clone(), &IndexConfig::default());
+        let static_engine = TransformersEngine::new(&rebuilt, &rebuilt_disk);
+        let got = serve_trace(&static_engine, &trace, &ServeConfig::default());
+        assert_eq!(got.results, expected);
+    }
+
+    #[test]
+    fn mutable_engine_serves_consistent_snapshots_during_writes() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use tfm_storage::{NoopLog, SharedPageCache};
+        use transformers::{MutableTransformers, MutationOp};
+
+        let (disk, idx, elems) = fixture(1500, 44);
+        let cache = SharedPageCache::new(&disk, 4096);
+        let overlay = MutableTransformers::adopt(&idx, &disk);
+        let log = NoopLog::new();
+        let trace = generate_trace(&QueryTraceSpec::uniform(120, 45));
+        let engine = MutableTransformersEngine::new(&overlay, &cache);
+        let base = 1 + elems.iter().map(|e| e.id).max().unwrap_or(0);
+        let done = AtomicBool::new(false);
+
+        // Writers apply insert batches while serve runs keep querying the
+        // latest published snapshot. Every result must be internally
+        // consistent: sorted, duplicate-free, and only ids that exist in
+        // the original dataset or were inserted by a committed batch.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let fresh = generate(&DatasetSpec {
+                    max_side: 6.0,
+                    ..DatasetSpec::uniform(600, 46)
+                });
+                for chunk in fresh.chunks(60) {
+                    let ops: Vec<MutationOp> = chunk
+                        .iter()
+                        .map(|e| {
+                            let mut e = *e;
+                            e.id += base;
+                            MutationOp::Insert(e)
+                        })
+                        .collect();
+                    overlay.apply_batch(&log, &cache, &ops);
+                }
+                done.store(true, Ordering::Release);
+            });
+            while !done.load(Ordering::Acquire) {
+                let out = serve_trace(&engine, &trace, &ServeConfig::default().with_threads(2));
+                for ids in &out.results {
+                    assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+                }
+            }
+        });
+
+        // Quiesced: results equal the full mutated reference.
+        let fresh = generate(&DatasetSpec {
+            max_side: 6.0,
+            ..DatasetSpec::uniform(600, 46)
+        });
+        let mut mutated = elems.clone();
+        mutated.extend(fresh.into_iter().map(|mut e| {
+            e.id += base;
+            e
+        }));
+        let out = serve_trace(&engine, &trace, &ServeConfig::default().with_threads(4));
+        assert_eq!(out.results, reference(&mutated, &trace));
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub enum ShardEngineKind {
 }
 
 /// Build-time shape of a [`ShardedCluster`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardSpec {
     /// Number of shards (`0` is clamped to 1).
     pub shards: usize,
@@ -92,6 +92,13 @@ pub struct ShardSpec {
     /// (`shard<i>.pages`) under the given directory, so shards never
     /// contend on one file either.
     pub backend: StoreBackend,
+    /// Injected device-read latency scale on each shard's disk
+    /// ([`Disk::with_read_latency`]): every serve-time page read sleeps
+    /// the modeled cost times this factor. `0.0` (default) injects
+    /// nothing. Applied after the index build so bulk loading stays
+    /// fast; used to make queue-depth/readahead effects deterministic
+    /// on hosts whose real I/O is too fast to measure.
+    pub read_latency: f64,
 }
 
 impl Default for ShardSpec {
@@ -102,6 +109,7 @@ impl Default for ShardSpec {
             engine: ShardEngineKind::Transformers,
             page_size: tfm_storage::DEFAULT_PAGE_SIZE,
             backend: StoreBackend::Mem,
+            read_latency: 0.0,
         }
     }
 }
@@ -128,6 +136,12 @@ impl ShardSpec {
     /// Builder: sets the per-shard storage backend.
     pub fn with_backend(mut self, backend: StoreBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Builder: sets the injected serve-time read-latency scale.
+    pub fn with_read_latency(mut self, scale: f64) -> Self {
+        self.read_latency = scale;
         self
     }
 }
@@ -219,6 +233,9 @@ impl IndexShard {
                 &IndexConfig::default(),
             )),
         };
+        // Latency injection starts after the build: bulk loading stays
+        // fast, only serve-time reads pay the modeled sleep.
+        let disk = disk.with_read_latency(spec.read_latency);
         Self {
             disk,
             index,
@@ -988,11 +1005,17 @@ mod tests {
         let trace = generate_trace(&QueryTraceSpec::uniform(150, 50));
         let expected = reference(&elems, &trace);
         let dir = std::env::temp_dir().join(format!("tfm-shardio-{}", std::process::id()));
+        // Injected read latency makes the prefetch race deterministic:
+        // without it a loaded single-core host can let the demand reads
+        // win every landing race and the pipeline assertion below flakes.
+        // A sleeping demand read always yields the CPU to the I/O
+        // threads, exactly like bench_io's throttled runs.
         let cluster = ShardedCluster::build(
             elems,
             &ShardSpec::default()
                 .with_shards(3)
-                .with_backend(StoreBackend::File(dir.clone())),
+                .with_backend(StoreBackend::File(dir.clone()))
+                .with_read_latency(0.02),
         );
         // Every shard wrote its own page image.
         for s in 0..3 {

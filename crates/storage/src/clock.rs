@@ -174,6 +174,23 @@ impl<T> ClockRing<T> {
         self.map.clear();
         self.hand = 0;
     }
+
+    /// Iterates over every resident frame as `(page id, payload)`.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut T)> {
+        self.frames.iter_mut().map(|f| (f.page, &mut f.payload))
+    }
+
+    /// Drops every frame for which `keep` returns false, rebuilding the
+    /// page map. The clock hand resets. Used by caches that must survive a
+    /// `clear()` without losing frames that hold unflushed (dirty) state.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        self.frames.retain(|f| keep(&f.payload));
+        self.map.clear();
+        for (i, f) in self.frames.iter().enumerate() {
+            self.map.insert(f.page, i);
+        }
+        self.hand = 0;
+    }
 }
 
 #[cfg(test)]

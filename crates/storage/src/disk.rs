@@ -104,6 +104,16 @@ impl Disk {
         Ok(disk)
     }
 
+    /// Opens an existing checksummed file image (with its `.sums` sidecar,
+    /// backfilled if missing); its whole pages count as already allocated.
+    pub fn open_file_checksummed<P: AsRef<Path>>(path: P, page_size: usize) -> io::Result<Self> {
+        let store = FileStore::open_checksummed(path, page_size)?;
+        let pages = store.pages();
+        let disk = Self::with_store(Box::new(store), page_size);
+        disk.next_page.store(pages, Ordering::Relaxed);
+        Ok(disk)
+    }
+
     /// Creates a disk for `backend`: in-memory, or a file image named
     /// `<tag>.pages` under the backend's directory (created as needed).
     pub fn for_backend(backend: &StoreBackend, page_size: usize, tag: &str) -> io::Result<Self> {
@@ -112,6 +122,16 @@ impl Disk {
             StoreBackend::File(dir) => {
                 std::fs::create_dir_all(dir)?;
                 Self::file(dir.join(format!("{tag}.pages")), page_size)
+            }
+            StoreBackend::FileChecksummed(dir) => {
+                std::fs::create_dir_all(dir)?;
+                Ok(Self::with_store(
+                    Box::new(FileStore::create_checksummed(
+                        dir.join(format!("{tag}.pages")),
+                        page_size,
+                    )?),
+                    page_size,
+                ))
             }
         }
     }
@@ -179,6 +199,21 @@ impl Disk {
     /// dataset is charged sequential-transfer cost only.
     pub fn allocate_contiguous(&self, n: u64) -> PageId {
         PageId(self.next_page.fetch_add(n, Ordering::Relaxed))
+    }
+
+    /// Ensures the allocation watermark covers at least `pages` pages.
+    ///
+    /// WAL recovery uses this: replayed records may address pages that were
+    /// allocated (and logged) but never flushed before the crash, so they
+    /// lie past the reopened image's extent.
+    pub fn ensure_allocated(&self, pages: u64) {
+        self.next_page.fetch_max(pages, Ordering::Relaxed);
+    }
+
+    /// Forces all written pages to durable media (fsync for file-backed
+    /// disks; a no-op in memory).
+    pub fn sync(&self) -> io::Result<()> {
+        self.store.sync()
     }
 
     /// Writes `data` to page `id`. `data` must not exceed the page size;

@@ -39,6 +39,7 @@ mod disk;
 mod elempage;
 mod model;
 mod prefetch;
+mod redo;
 mod shared;
 mod stats;
 mod store;
@@ -49,11 +50,12 @@ pub use disk::{Disk, DiskBackendKind};
 pub use elempage::ElementPageCodec;
 pub use model::DiskModel;
 pub use prefetch::PrefetchQueue;
+pub use redo::{LoggedPages, NoopLog, PageWrites, RedoLog};
 pub use shared::{
     CacheStats, DecodedOutcome, PageRef, ReadOutcome, SharedPageCache, DEFAULT_CACHE_SHARDS,
 };
 pub use stats::{IoStats, IoStatsSnapshot};
-pub use store::{FileStore, MemStore, PageStore, StoreBackend};
+pub use store::{fnv1a64, is_checksum_mismatch, FileStore, MemStore, PageStore, StoreBackend};
 
 /// Default page size used throughout the reproduction (paper §VII-A: 8 KB).
 pub const DEFAULT_PAGE_SIZE: usize = 8192;

@@ -78,6 +78,14 @@ struct SharedFrame {
     /// True from a prefetch landing until the first demand read; drives
     /// the `io.prefetch.*` accounting.
     prefetched: bool,
+    /// True while the frame holds bytes newer than the disk image. Dirty
+    /// frames are never evicted (the ring grows instead) and only reach
+    /// the store through [`SharedPageCache::flush_dirty`].
+    dirty: bool,
+    /// LSN of the WAL record that logged the frame's current bytes; the
+    /// flush gate compares it against the log's durable LSN so no page
+    /// reaches the store before its redo record is on stable storage.
+    page_lsn: u64,
 }
 
 /// Per-shard counters (kept inside the shard lock; aggregated on demand).
@@ -93,6 +101,8 @@ struct ShardCounters {
     prefetch_issued: u64,
     prefetch_hits: u64,
     prefetch_unused: u64,
+    dirty_installs: u64,
+    flushed_pages: u64,
 }
 
 struct ShardInner {
@@ -194,6 +204,11 @@ pub struct CacheStats {
     /// Prefetched frames evicted before any demand read used them —
     /// wasted readahead.
     pub prefetch_unused: u64,
+    /// Writes installed into the dirty tier (cache writes not yet on disk
+    /// at the time of the write).
+    pub dirty_installs: u64,
+    /// Dirty frames written back to the store by `flush_dirty`.
+    pub flushed_pages: u64,
     /// Shard-lock acquisitions.
     pub lock_acquisitions: u64,
     /// Acquisitions that found the shard lock already held — the
@@ -259,6 +274,10 @@ impl CacheStats {
         reg.counter(names::IO_PREFETCH_HITS).add(self.prefetch_hits);
         reg.counter(names::IO_PREFETCH_UNUSED)
             .add(self.prefetch_unused);
+        reg.counter(names::CACHE_DIRTY_INSTALLS)
+            .add(self.dirty_installs);
+        reg.counter(names::CACHE_FLUSHED_PAGES)
+            .add(self.flushed_pages);
     }
 
     /// Counter-wise difference `self - earlier` (configuration fields are
@@ -275,6 +294,8 @@ impl CacheStats {
             prefetch_issued: self.prefetch_issued - earlier.prefetch_issued,
             prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
             prefetch_unused: self.prefetch_unused - earlier.prefetch_unused,
+            dirty_installs: self.dirty_installs - earlier.dirty_installs,
+            flushed_pages: self.flushed_pages - earlier.flushed_pages,
             lock_acquisitions: self.lock_acquisitions - earlier.lock_acquisitions,
             lock_contended: self.lock_contended - earlier.lock_contended,
             shards: self.shards,
@@ -436,14 +457,17 @@ impl<'d> SharedPageCache<'d> {
         let ShardInner { ring, counters } = inner;
         let slot = ring.insert(
             id.0,
-            // A frame is evictable only while no PageRef pins its buffer;
-            // clones only happen under this shard's lock, so the count is
-            // stable for the duration of the sweep.
-            |f| Arc::strong_count(&f.buf) == 1,
+            // A frame is evictable only while no PageRef pins its buffer
+            // (clones only happen under this shard's lock, so the count is
+            // stable for the duration of the sweep) and its bytes are on
+            // disk — evicting a dirty frame would lose the write.
+            |f| Arc::strong_count(&f.buf) == 1 && !f.dirty,
             || SharedFrame {
                 buf: Arc::new(vec![0u8; page_size]),
                 decoded: None,
                 prefetched: false,
+                dirty: false,
+                page_lsn: 0,
             },
         );
         if slot.evicted.is_some() {
@@ -459,6 +483,8 @@ impl<'d> SharedPageCache<'d> {
         let f = slot.payload;
         f.decoded = None;
         f.prefetched = false;
+        f.dirty = false;
+        f.page_lsn = 0;
         let buf =
             Arc::get_mut(&mut f.buf).expect("unpinned frame buffer is uniquely owned under lock");
         disk.read_page(id, buf);
@@ -494,11 +520,13 @@ impl<'d> SharedPageCache<'d> {
         let ShardInner { ring, counters } = &mut *guard;
         let slot = ring.insert(
             id.0,
-            |f| Arc::strong_count(&f.buf) == 1,
+            |f| Arc::strong_count(&f.buf) == 1 && !f.dirty,
             || SharedFrame {
                 buf: Arc::new(vec![0u8; page_size]),
                 decoded: None,
                 prefetched: false,
+                dirty: false,
+                page_lsn: 0,
             },
         );
         if slot.evicted.is_some() {
@@ -514,10 +542,133 @@ impl<'d> SharedPageCache<'d> {
         let f = slot.payload;
         f.decoded = None;
         f.prefetched = true;
+        f.dirty = false;
+        f.page_lsn = 0;
         Arc::get_mut(&mut f.buf)
             .expect("unpinned frame buffer is uniquely owned under lock")
             .copy_from_slice(scratch);
         counters.prefetch_issued += 1;
+    }
+
+    /// Installs new bytes for page `id` into the cache's dirty tier
+    /// without touching the disk. `bytes` must not exceed the page size;
+    /// shorter data is zero-padded.
+    ///
+    /// `lsn` is the WAL record that logged these bytes; the frame stays
+    /// dirty (never evicted, never written back) until a
+    /// [`flush_dirty`](Self::flush_dirty) call whose durable LSN covers
+    /// it. Writers using no log pass `lsn = 0`, which every flush covers.
+    ///
+    /// Concurrent readers are never torn: a pinned frame's buffer is not
+    /// mutated in place — the frame's `Arc` is *replaced*, so live
+    /// [`PageRef`]s keep the complete pre-write snapshot while new reads
+    /// see the complete new bytes.
+    pub fn write_page(&self, id: PageId, bytes: &[u8], lsn: u64) {
+        let page_size = self.disk.page_size();
+        assert!(
+            bytes.len() <= page_size,
+            "write of {} bytes exceeds page size {}",
+            bytes.len(),
+            page_size
+        );
+        let shard = self.shard(id);
+        let mut guard = shard.lock();
+        let ShardInner { ring, counters } = &mut *guard;
+        let f = match ring.get(id.0) {
+            Some(f) => f,
+            None => {
+                // Not resident: install a fresh dirty frame. No disk read —
+                // the caller provides the full new page image.
+                let slot = ring.insert(
+                    id.0,
+                    |f| Arc::strong_count(&f.buf) == 1 && !f.dirty,
+                    || SharedFrame {
+                        buf: Arc::new(vec![0u8; page_size]),
+                        decoded: None,
+                        prefetched: false,
+                        dirty: false,
+                        page_lsn: 0,
+                    },
+                );
+                if slot.evicted.is_some() {
+                    counters.evictions += 1;
+                    counters.recycled_frames += 1;
+                    if slot.payload.prefetched {
+                        counters.prefetch_unused += 1;
+                    }
+                }
+                if slot.fresh {
+                    counters.fresh_allocs += 1;
+                }
+                slot.payload
+            }
+        };
+        match Arc::get_mut(&mut f.buf) {
+            Some(buf) => {
+                buf[..bytes.len()].copy_from_slice(bytes);
+                buf[bytes.len()..].fill(0);
+            }
+            None => {
+                // Pinned by live readers: replace the Arc so their
+                // snapshot stays intact.
+                let mut fresh = vec![0u8; page_size];
+                fresh[..bytes.len()].copy_from_slice(bytes);
+                f.buf = Arc::new(fresh);
+            }
+        }
+        f.decoded = None;
+        f.prefetched = false;
+        f.dirty = true;
+        f.page_lsn = lsn;
+        counters.dirty_installs += 1;
+    }
+
+    /// Writes back every dirty frame whose `page_lsn` is at most
+    /// `durable_lsn` (the WAL-before-data gate) and marks it clean,
+    /// stopping early once `max_pages` frames were flushed. Returns
+    /// `(flushed, retained)`: retained frames are dirty pages the gate or
+    /// the page budget kept in memory.
+    ///
+    /// Callers must only flush state whose transactions have committed
+    /// (the cache has no undo path — this is a redo-only, no-steal
+    /// design); the mutable index layers flush at batch boundaries.
+    pub fn flush_dirty_up_to(&self, durable_lsn: u64, max_pages: usize) -> (usize, usize) {
+        let mut flushed = 0usize;
+        let mut retained = 0usize;
+        for shard in self.shards.iter() {
+            let mut guard = shard.inner.lock();
+            let ShardInner { ring, counters } = &mut *guard;
+            for (page, f) in ring.iter_mut() {
+                if !f.dirty {
+                    continue;
+                }
+                if f.page_lsn > durable_lsn || flushed >= max_pages {
+                    retained += 1;
+                    continue;
+                }
+                self.disk.write_page(PageId(page), &f.buf);
+                f.dirty = false;
+                counters.flushed_pages += 1;
+                flushed += 1;
+            }
+        }
+        (flushed, retained)
+    }
+
+    /// [`flush_dirty_up_to`](Self::flush_dirty_up_to) with no page budget.
+    pub fn flush_dirty(&self, durable_lsn: u64) -> (usize, usize) {
+        self.flush_dirty_up_to(durable_lsn, usize::MAX)
+    }
+
+    /// Number of dirty (unflushed) frames currently resident.
+    pub fn dirty_pages(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut guard = s.inner.lock();
+                guard.ring.iter_mut().filter(|(_, f)| f.dirty).count()
+            })
+            .sum()
     }
 
     /// Aggregates all shard counters into one snapshot.
@@ -542,16 +693,20 @@ impl<'d> SharedPageCache<'d> {
             s.prefetch_issued += c.prefetch_issued;
             s.prefetch_hits += c.prefetch_hits;
             s.prefetch_unused += c.prefetch_unused;
+            s.dirty_installs += c.dirty_installs;
+            s.flushed_pages += c.flushed_pages;
         }
         s
     }
 
-    /// Drops every cached page and decoded entry (counters keep running,
-    /// matching [`crate::BufferPool::clear`]). Live [`PageRef`]s stay
-    /// valid — their buffers are kept alive by the guards themselves.
+    /// Drops every *clean* cached page and decoded entry (counters keep
+    /// running, matching [`crate::BufferPool::clear`]). Dirty frames are
+    /// retained — dropping them would lose writes that only exist in the
+    /// cache; flush first if a full clear is wanted. Live [`PageRef`]s
+    /// stay valid — their buffers are kept alive by the guards themselves.
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            shard.inner.lock().ring.clear();
+            shard.inner.lock().ring.retain(|f| f.dirty);
         }
     }
 
@@ -859,5 +1014,109 @@ mod tests {
         assert_eq!(SharedPageCache::shards_for_threads(1), 2);
         assert_eq!(SharedPageCache::shards_for_threads(4), 8);
         assert_eq!(SharedPageCache::shards_for_threads(1000), 64);
+    }
+
+    #[test]
+    fn cache_writes_are_visible_before_any_flush() {
+        let d = disk_with_pages(4, 32);
+        let cache = SharedPageCache::with_shards(&d, 4, 2);
+        cache.write_page(PageId(1), &[0xAB; 32], 7);
+        assert_eq!(cache.read(PageId(1))[0], 0xAB, "read sees the cache write");
+        // The disk still holds the old bytes: nothing was flushed.
+        assert_eq!(d.read_page_vec(PageId(1))[0], 1);
+        assert_eq!(cache.dirty_pages(), 1);
+        let s = cache.stats();
+        assert_eq!((s.dirty_installs, s.flushed_pages), (1, 0));
+    }
+
+    #[test]
+    fn flush_gate_holds_back_frames_past_the_durable_lsn() {
+        let d = disk_with_pages(4, 32);
+        let cache = SharedPageCache::with_shards(&d, 4, 2);
+        cache.write_page(PageId(0), &[0x11; 32], 5);
+        cache.write_page(PageId(1), &[0x22; 32], 9);
+        // Only the LSN-5 write may reach the disk at durable LSN 6.
+        let (flushed, retained) = cache.flush_dirty(6);
+        assert_eq!((flushed, retained), (1, 1));
+        assert_eq!(d.read_page_vec(PageId(0))[0], 0x11);
+        assert_eq!(d.read_page_vec(PageId(1))[0], 1, "gated write stays in cache");
+        // Once the log is durable past 9, the second frame flushes too.
+        let (flushed, retained) = cache.flush_dirty(9);
+        assert_eq!((flushed, retained), (1, 0));
+        assert_eq!(d.read_page_vec(PageId(1))[0], 0x22);
+        assert_eq!(cache.dirty_pages(), 0);
+        assert!(cache.stats().flushed_pages == 2);
+    }
+
+    #[test]
+    fn dirty_frames_survive_eviction_pressure_and_clear() {
+        let d = disk_with_pages(16, 32);
+        // One shard, two frames: heavy pressure.
+        let cache = SharedPageCache::with_shards(&d, 2, 1);
+        cache.write_page(PageId(3), &[0x33; 32], 1);
+        for i in 0..16u64 {
+            let _ = cache.read(PageId(i));
+        }
+        // The dirty frame was never evicted: its bytes are still the write.
+        assert_eq!(cache.read(PageId(3))[0], 0x33);
+        cache.clear();
+        assert_eq!(cache.dirty_pages(), 1, "clear() keeps dirty frames");
+        assert_eq!(cache.read(PageId(3))[0], 0x33);
+        // After a covering flush the frame is clean and clear() drops it.
+        cache.flush_dirty(u64::MAX);
+        cache.clear();
+        assert_eq!(cache.dirty_pages(), 0);
+        assert_eq!(d.read_page_vec(PageId(3))[0], 0x33);
+    }
+
+    #[test]
+    fn pinned_readers_keep_their_snapshot_across_writes() {
+        let d = disk_with_pages(4, 32);
+        let cache = SharedPageCache::with_shards(&d, 4, 2);
+        let before = cache.read(PageId(2));
+        assert_eq!(before[0], 2);
+        cache.write_page(PageId(2), &[0x77; 32], 3);
+        // The pinned guard still sees the complete pre-write page while
+        // new readers see the complete new page: no torn reads.
+        assert_eq!(before[0], 2);
+        assert_eq!(cache.read(PageId(2))[0], 0x77);
+    }
+
+    #[test]
+    fn write_invalidates_the_decoded_tier() {
+        use tfm_geom::{Aabb, Point3};
+        let codec = ElementPageCodec::new(512);
+        let d = Disk::in_memory(512).with_model(DiskModel::free());
+        let p = d.allocate();
+        let one = |id| {
+            SpatialElement::new(
+                id,
+                Aabb::new(Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 1.0)),
+            )
+        };
+        d.write_page(p, &codec.encode(&[one(7)]));
+        let cache = SharedPageCache::with_shards(&d, 4, 1);
+        assert_eq!(cache.read_decoded(&codec, p)[0].id, 7);
+        cache.write_page(p, &codec.encode(&[one(8), one(9)]), 1);
+        let decoded = cache.read_decoded(&codec, p);
+        assert_eq!(decoded.len(), 2, "stale decode was dropped");
+        assert_eq!(decoded[0].id, 8);
+    }
+
+    #[test]
+    fn flush_page_budget_limits_writeback() {
+        let d = disk_with_pages(8, 32);
+        let cache = SharedPageCache::with_shards(&d, 8, 2);
+        for i in 0..6u64 {
+            cache.write_page(PageId(i), &[0x40 + i as u8; 32], 1);
+        }
+        let (flushed, retained) = cache.flush_dirty_up_to(u64::MAX, 2);
+        assert_eq!((flushed, retained), (2, 4));
+        assert_eq!(cache.dirty_pages(), 4);
+        let (flushed, _) = cache.flush_dirty(u64::MAX);
+        assert_eq!(flushed, 4);
+        for i in 0..6u64 {
+            assert_eq!(d.read_page_vec(PageId(i))[0], 0x40 + i as u8);
+        }
     }
 }

@@ -21,6 +21,17 @@
 //! [`std::io::ErrorKind::UnexpectedEof`]; likewise
 //! [`FileStore::open`] rejects images whose length is not a multiple of
 //! the page size.
+//!
+//! The checksummed variants ([`FileStore::create_checksummed`] /
+//! [`FileStore::open_checksummed`]) add torn-*write* protection: every
+//! page write also records a 64-bit FNV-1a checksum in a `.sums` sidecar
+//! file, and every read verifies it. A mismatch (a write that reached the
+//! image but not the sidecar, or vice versa, or bit rot) surfaces as
+//! [`std::io::ErrorKind::InvalidData`] with a "checksum mismatch" message
+//! — recognizable via [`is_checksum_mismatch`] and distinct from the
+//! truncated-image `UnexpectedEof`. The sidecar (rather than an in-page
+//! footer) keeps page images byte-identical to the memory backend, which
+//! the file≡mem equivalence suite depends on.
 
 use parking_lot::RwLock;
 use std::fs::{File, OpenOptions};
@@ -56,6 +67,30 @@ pub trait PageStore: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Forces all written pages to durable media (fsync for file-backed
+    /// stores). A no-op for memory stores.
+    fn sync(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` — the page/record checksum used by the
+/// checksummed [`FileStore`] sidecar and the WAL record framing.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// True when `err` is a per-page checksum mismatch from a checksummed
+/// [`FileStore`] (torn write or corruption), as opposed to the
+/// truncated-image [`std::io::ErrorKind::UnexpectedEof`] torn-page error.
+pub fn is_checksum_mismatch(err: &io::Error) -> bool {
+    err.kind() == io::ErrorKind::InvalidData && err.to_string().contains("checksum mismatch")
 }
 
 /// The in-memory page store: a growable `Vec<u8>` behind a `RwLock`.
@@ -111,56 +146,116 @@ impl std::fmt::Debug for MemStore {
     }
 }
 
-/// The real-file page store: positional I/O against one on-disk image.
+/// The real-file page store: positional I/O against one on-disk image,
+/// optionally paired with a per-page checksum sidecar (`<image>.sums`).
 #[derive(Debug)]
 pub struct FileStore {
     file: File,
     path: PathBuf,
     page_size: usize,
+    /// Per-page FNV-1a sidecar (8 bytes per page, same index as the image).
+    /// `None` for plain (unchecksummed) stores.
+    sums: Option<File>,
 }
 
 impl FileStore {
     /// Creates (or truncates) a page image at `path`.
     pub fn create<P: AsRef<Path>>(path: P, page_size: usize) -> io::Result<Self> {
+        Self::create_inner(path.as_ref(), page_size, false)
+    }
+
+    /// Creates (or truncates) a page image at `path` together with a
+    /// `.sums` checksum sidecar; every read verifies its page checksum.
+    pub fn create_checksummed<P: AsRef<Path>>(path: P, page_size: usize) -> io::Result<Self> {
+        Self::create_inner(path.as_ref(), page_size, true)
+    }
+
+    fn create_inner(path: &Path, page_size: usize, checksummed: bool) -> io::Result<Self> {
         assert!(page_size > 0, "page size must be positive");
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
-            .open(path.as_ref())?;
+            .open(path)?;
+        let sums = if checksummed {
+            Some(
+                OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(Self::sums_path(path))?,
+            )
+        } else {
+            None
+        };
         Ok(Self {
             file,
-            path: path.as_ref().to_path_buf(),
+            path: path.to_path_buf(),
             page_size,
+            sums,
         })
     }
 
     /// Opens an existing page image at `path`, rejecting images whose
     /// length is not a whole number of pages (a truncated or foreign file).
     pub fn open<P: AsRef<Path>>(path: P, page_size: usize) -> io::Result<Self> {
+        Self::open_inner(path.as_ref(), page_size, false)
+    }
+
+    /// Opens an existing page image together with its `.sums` sidecar,
+    /// creating and backfilling the sidecar when it is missing or short
+    /// (migration path for images created by the plain backend).
+    pub fn open_checksummed<P: AsRef<Path>>(path: P, page_size: usize) -> io::Result<Self> {
+        Self::open_inner(path.as_ref(), page_size, true)
+    }
+
+    fn open_inner(path: &Path, page_size: usize, checksummed: bool) -> io::Result<Self> {
         assert!(page_size > 0, "page size must be positive");
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(path.as_ref())?;
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
         if len % page_size as u64 != 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!(
                     "page image {} is {} bytes, not a multiple of the {}-byte page size (truncated?)",
-                    path.as_ref().display(),
+                    path.display(),
                     len,
                     page_size
                 ),
             ));
         }
+        let sums = if checksummed {
+            let sums = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .open(Self::sums_path(path))?;
+            // Backfill checksums for pages the sidecar does not cover yet.
+            let pages = len / page_size as u64;
+            let covered = sums.metadata()?.len() / 8;
+            let mut buf = vec![0u8; page_size];
+            for p in covered..pages {
+                file.read_exact_at(&mut buf, p * page_size as u64)?;
+                sums.write_all_at(&fnv1a64(&buf).to_le_bytes(), p * 8)?;
+            }
+            Some(sums)
+        } else {
+            None
+        };
         Ok(Self {
             file,
-            path: path.as_ref().to_path_buf(),
+            path: path.to_path_buf(),
             page_size,
+            sums,
         })
+    }
+
+    fn sums_path(path: &Path) -> PathBuf {
+        let mut p = path.as_os_str().to_os_string();
+        p.push(".sums");
+        PathBuf::from(p)
     }
 
     /// Whole pages currently in the image.
@@ -171,6 +266,48 @@ impl FileStore {
     /// Path of the backing image.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// True when this store verifies a per-page checksum sidecar.
+    pub fn is_checksummed(&self) -> bool {
+        self.sums.is_some()
+    }
+
+    fn verify_checksum(&self, sums: &File, offset: u64, buf: &[u8]) -> io::Result<()> {
+        let index = offset / self.page_size as u64;
+        let mut stored = [0u8; 8];
+        let mut read = 0;
+        while read < stored.len() {
+            match sums.read_at(&mut stored[read..], index * 8 + read as u64) {
+                Ok(0) => break,
+                Ok(n) => read += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let stored = u64::from_le_bytes(stored);
+        // A zero slot means "never recorded": legitimate only for a hole —
+        // a page the image extends over but never wrote (reads as zeros).
+        if stored == 0 && read < 8 {
+            return Ok(());
+        }
+        if stored == 0 && buf.iter().all(|&b| b == 0) {
+            return Ok(());
+        }
+        let computed = fnv1a64(buf);
+        if stored != computed {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checksum mismatch on page {} of {}: stored {:#018x}, computed {:#018x} (torn write or corruption)",
+                    index,
+                    self.path.display(),
+                    stored,
+                    computed
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -205,15 +342,35 @@ impl PageStore for FileStore {
                 Err(e) => return Err(e),
             }
         }
+        if let Some(sums) = &self.sums {
+            // Pages wholly past EOF never hit the disk and are trivially
+            // consistent (all zeros, nothing recorded).
+            if read > 0 {
+                self.verify_checksum(sums, offset, buf)?;
+            }
+        }
         Ok(())
     }
 
     fn write_page(&self, offset: u64, page: &[u8]) -> io::Result<()> {
-        self.file.write_all_at(page, offset)
+        self.file.write_all_at(page, offset)?;
+        if let Some(sums) = &self.sums {
+            let index = offset / self.page_size as u64;
+            sums.write_all_at(&fnv1a64(page).to_le_bytes(), index * 8)?;
+        }
+        Ok(())
     }
 
     fn len(&self) -> u64 {
         self.file.metadata().map(|m| m.len()).unwrap_or(0)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        self.file.sync_data()?;
+        if let Some(sums) = &self.sums {
+            sums.sync_data()?;
+        }
+        Ok(())
     }
 }
 
@@ -227,6 +384,10 @@ pub enum StoreBackend {
     /// Real file images ([`FileStore`]) created under the given directory,
     /// one per disk, named by the caller's tag.
     File(PathBuf),
+    /// Real file images with per-page checksum sidecars
+    /// ([`FileStore::create_checksummed`]) — the backend the mutable write
+    /// path uses so torn data-page writes are detected on read.
+    FileChecksummed(PathBuf),
 }
 
 impl StoreBackend {
@@ -234,13 +395,16 @@ impl StoreBackend {
     pub fn kind(&self) -> DiskBackendKind {
         match self {
             StoreBackend::Mem => DiskBackendKind::Memory,
-            StoreBackend::File(_) => DiskBackendKind::File,
+            StoreBackend::File(_) | StoreBackend::FileChecksummed(_) => DiskBackendKind::File,
         }
     }
 
-    /// True for the file-backed variant.
+    /// True for the file-backed variants.
     pub fn is_file(&self) -> bool {
-        matches!(self, StoreBackend::File(_))
+        matches!(
+            self,
+            StoreBackend::File(_) | StoreBackend::FileChecksummed(_)
+        )
     }
 }
 
@@ -345,5 +509,70 @@ mod tests {
     fn open_missing_file_errors() {
         let err = FileStore::open(temp_path("missing"), 64).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn checksummed_store_roundtrips_and_detects_corruption() {
+        let path = temp_path("sums");
+        let s = FileStore::create_checksummed(&path, 64).unwrap();
+        assert!(s.is_checksummed());
+        s.write_page(0, &[5u8; 64]).unwrap();
+        s.write_page(64, &[6u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        s.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 64]);
+        // Page past EOF still reads as zeros with no checksum complaint.
+        s.read_page(256, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+        // Flip a byte in the image behind the sidecar's back: the next
+        // read must surface a checksum mismatch, not silent corruption.
+        s.file.write_all_at(&[0xAA], 70).unwrap();
+        let err = s.read_page(64, &mut buf).unwrap_err();
+        assert!(is_checksum_mismatch(&err), "{err}");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Distinct from the torn-page (truncated image) error kind.
+        assert_ne!(err.kind(), io::ErrorKind::UnexpectedEof);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(FileStore::sums_path(&path)).ok();
+    }
+
+    #[test]
+    fn checksummed_store_detects_torn_data_write() {
+        let path = temp_path("tornwrite");
+        {
+            let s = FileStore::create_checksummed(&path, 64).unwrap();
+            s.write_page(0, &[9u8; 64]).unwrap();
+        }
+        // Simulate a torn write: the page bytes changed but the process
+        // died before the checksum landed (overwrite image directly).
+        {
+            let f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.write_all_at(&[1u8; 32], 0).unwrap();
+        }
+        let s = FileStore::open_checksummed(&path, 64).unwrap();
+        let mut buf = [0u8; 64];
+        let err = s.read_page(0, &mut buf).unwrap_err();
+        assert!(is_checksum_mismatch(&err), "{err}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(FileStore::sums_path(&path)).ok();
+    }
+
+    #[test]
+    fn open_checksummed_backfills_plain_images() {
+        let path = temp_path("backfill");
+        {
+            let s = FileStore::create(&path, 64).unwrap();
+            s.write_page(0, &[3u8; 64]).unwrap();
+            s.write_page(64, &[4u8; 64]).unwrap();
+        }
+        // Opening with checksums computes sums for the existing pages.
+        let s = FileStore::open_checksummed(&path, 64).unwrap();
+        let mut buf = [0u8; 64];
+        s.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, [3u8; 64]);
+        s.read_page(64, &mut buf).unwrap();
+        assert_eq!(buf, [4u8; 64]);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(FileStore::sums_path(&path)).ok();
     }
 }
