@@ -159,7 +159,10 @@ fn main() {
             "recovery_replays_all_committed",
             report.pages_replayed == committed_pages && report.commits == group.stats.commits,
         ),
-        ("recovery_skips_nothing_clean", report.skipped_uncommitted == 0 && !report.torn_tail),
+        (
+            "recovery_skips_nothing_clean",
+            report.skipped_uncommitted == 0 && !report.torn_tail,
+        ),
         ("recovery_idempotent", idempotent),
     ];
 

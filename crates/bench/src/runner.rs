@@ -207,6 +207,14 @@ pub struct Metrics {
     /// Build workers used for the indexing phase (1 = sequential build;
     /// approaches without an STR build phase ignore the setting).
     pub build_threads: usize,
+    /// Pages the join prefetch pipeline landed into cache frames
+    /// (parallel TRANSFORMERS with readahead on; 0 otherwise).
+    pub prefetch_issued: u64,
+    /// Demand reads served by a frame the prefetch pipeline had staged.
+    pub prefetch_hits: u64,
+    /// Prefetched frames never touched by a demand read — a mis-sized
+    /// readahead window shows up here.
+    pub prefetch_unused: u64,
 }
 
 impl Metrics {
@@ -245,6 +253,9 @@ impl Metrics {
             transformations: 0,
             overhead_wall: Duration::ZERO,
             build_threads: 1,
+            prefetch_issued: 0,
+            prefetch_hits: 0,
+            prefetch_unused: 0,
         }
     }
 }
@@ -323,8 +334,12 @@ pub fn run_approach_with_skew(
             out
         },
     );
+    let mut m = m;
     if let Some(report) = report {
         store.record(workload, report.steal_fraction());
+        m.prefetch_issued = report.prefetch_issued;
+        m.prefetch_hits = report.prefetch_hits;
+        m.prefetch_unused = report.prefetch_unused;
     }
     (m, pairs)
 }
@@ -447,16 +462,26 @@ fn run_transformers_parallel(
     join_cfg: &JoinConfig,
     threads: usize,
 ) -> (Metrics, Vec<ResultPair>) {
-    run_transformers_with(
+    let mut report = None;
+    let (mut m, pairs) = run_transformers_with(
         m,
         a,
         b,
         cfg,
         join_cfg,
         |idx_a, disk_a, idx_b, disk_b, jc| {
-            tfm_exec::parallel_join(idx_a, disk_a, idx_b, disk_b, jc, threads)
+            let (out, rep) =
+                tfm_exec::parallel_join_with_report(idx_a, disk_a, idx_b, disk_b, jc, threads);
+            report = Some(rep);
+            out
         },
-    )
+    );
+    if let Some(rep) = report {
+        m.prefetch_issued = rep.prefetch_issued;
+        m.prefetch_hits = rep.prefetch_hits;
+        m.prefetch_unused = rep.prefetch_unused;
+    }
+    (m, pairs)
 }
 
 /// Shared harness for the sequential and parallel TRANSFORMERS runners:

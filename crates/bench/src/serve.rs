@@ -111,6 +111,17 @@ pub struct ServeMetrics {
     pub io_depth: usize,
     /// Readahead window in pages (0 = prefetch pipeline off).
     pub readahead: usize,
+    /// Shared-cache eviction policy label (`clock` or `2q`).
+    pub cache_policy: String,
+    /// Retune decisions of the self-tuning batch loop (0 with
+    /// `--auto-batch` off or on the inline path).
+    pub autobatch_retunes: u64,
+    /// Retunes that grew the batch.
+    pub autobatch_grows: u64,
+    /// Retunes that shrank the batch.
+    pub autobatch_shrinks: u64,
+    /// Batch size in effect at end of trace (0 with auto-batch off).
+    pub autobatch_final_batch: usize,
     /// Result ids returned, summed over the trace.
     pub result_ids: u64,
 }
@@ -172,6 +183,11 @@ impl ServeMetrics {
             prefetch_unused: stats.cache.map_or(0, |c| c.prefetch_unused),
             io_depth: cfg.io_depth.max(1),
             readahead: cfg.readahead,
+            cache_policy: cfg.cache_policy.to_string(),
+            autobatch_retunes: stats.autobatch.map_or(0, |a| a.retunes),
+            autobatch_grows: stats.autobatch.map_or(0, |a| a.grows),
+            autobatch_shrinks: stats.autobatch.map_or(0, |a| a.shrinks),
+            autobatch_final_batch: stats.autobatch.map_or(0, |a| a.final_batch),
             result_ids: stats.result_ids,
         }
     }
@@ -199,7 +215,8 @@ fn with_engine<R>(
             let idx = TransformersIndex::build(&disk, elements.to_vec(), &idx_cfg);
             let mut engine = TransformersEngine::new(&idx, &disk);
             if serve_cfg.shared_cache {
-                engine = engine.with_shared_cache(cache_pages, shards);
+                engine =
+                    engine.with_shared_cache_policy(cache_pages, shards, serve_cfg.cache_policy);
             }
             f(&engine, &disk)
         }
@@ -207,7 +224,8 @@ fn with_engine<R>(
             let idx = TransformersIndex::build(&disk, elements.to_vec(), &idx_cfg);
             let mut engine = GipsyEngine::new(&idx, &disk);
             if serve_cfg.shared_cache {
-                engine = engine.with_shared_cache(cache_pages, shards);
+                engine =
+                    engine.with_shared_cache_policy(cache_pages, shards, serve_cfg.cache_policy);
             }
             f(&engine, &disk)
         }
@@ -216,7 +234,8 @@ fn with_engine<R>(
             let tree = tfm_rtree::RTree::bulk_load_pipelined(&disk, elements.to_vec(), &pipeline);
             let mut engine = RtreeEngine::new(&tree, &disk);
             if serve_cfg.shared_cache {
-                engine = engine.with_shared_cache(cache_pages, shards);
+                engine =
+                    engine.with_shared_cache_policy(cache_pages, shards, serve_cfg.cache_policy);
             }
             f(&engine, &disk)
         }
@@ -362,12 +381,12 @@ pub fn print_serve_table(title: &str, rows: &[ServeMetrics]) {
 }
 
 /// CSV header matching [`serve_csv_row`].
-pub const SERVE_CSV_HEADER: &str = "workload,engine,n_elements,queries,threads,batch,hilbert_batching,shared_cache,wall_s,sim_io_s,qps,p50_us,p95_us,p99_us,queue_wait_p50_us,queue_wait_p99_us,pages_read,seq_reads,rand_reads,pool_hits,pool_misses,decoded_hits,decoded_misses,lock_acquisitions,lock_contended,prefetch_issued,prefetch_hits,prefetch_unused,io_depth,readahead,result_ids";
+pub const SERVE_CSV_HEADER: &str = "workload,engine,n_elements,queries,threads,batch,hilbert_batching,shared_cache,wall_s,sim_io_s,qps,p50_us,p95_us,p99_us,queue_wait_p50_us,queue_wait_p99_us,pages_read,seq_reads,rand_reads,pool_hits,pool_misses,decoded_hits,decoded_misses,lock_acquisitions,lock_contended,prefetch_issued,prefetch_hits,prefetch_unused,io_depth,readahead,cache_policy,autobatch_retunes,autobatch_grows,autobatch_shrinks,autobatch_final_batch,result_ids";
 
 /// One CSV row for a serve-metrics record.
 pub fn serve_csv_row(m: &ServeMetrics) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{:.6},{:.6},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         m.workload,
         m.engine,
         m.n_elements,
@@ -398,6 +417,11 @@ pub fn serve_csv_row(m: &ServeMetrics) -> String {
         m.prefetch_unused,
         m.io_depth,
         m.readahead,
+        m.cache_policy,
+        m.autobatch_retunes,
+        m.autobatch_grows,
+        m.autobatch_shrinks,
+        m.autobatch_final_batch,
         m.result_ids,
     )
 }

@@ -111,7 +111,12 @@ fn reference_after(batches: usize) -> BTreeMap<u64, SpatialElement> {
 /// Deterministic probe set covering the universe at several scales.
 fn probes() -> Vec<SpatialQuery> {
     let mut out = Vec::new();
-    for (lo, hi) in [(0.0, 1000.0), (100.0, 420.0), (500.0, 900.0), (330.0, 340.0)] {
+    for (lo, hi) in [
+        (0.0, 1000.0),
+        (100.0, 420.0),
+        (500.0, 900.0),
+        (330.0, 340.0),
+    ] {
         out.push(SpatialQuery::Window(Aabb::new(
             Point3::new(lo, lo, lo),
             Point3::new(hi, hi, hi),
@@ -123,8 +128,8 @@ fn probes() -> Vec<SpatialQuery> {
 /// Recovers the image in `dir` and asserts the reopened overlay equals
 /// the reference state after exactly `batches` committed batches.
 fn verify_recovered(dir: &Path, meta_head: u64, batches: usize, kill_byte: Option<u64>) {
-    let disk = Disk::open_file_checksummed(dir.join("crash.pages"), PAGE_SIZE)
-        .expect("reopen data image");
+    let disk =
+        Disk::open_file_checksummed(dir.join("crash.pages"), PAGE_SIZE).expect("reopen data image");
     tfm_wal::recover(&dir.join("wal"), &disk).expect("recovery must succeed");
     let overlay = MutableTransformers::reopen(&disk, tfm_storage::PageId(meta_head));
     let reference = reference_after(batches);

@@ -264,8 +264,9 @@ impl MutableBPlusTree {
             let mut child_latch = self.latches.acquire(child_page);
             let mut child = Node::read(pages, child_page);
             if child.entries.len() >= self.fanout {
-                let (split_key, right_page) =
-                    self.split_child(pages, page, &mut node, idx, child_page, &mut child, &mut buf);
+                let (split_key, right_page) = self.split_child(
+                    pages, page, &mut node, idx, child_page, &mut child, &mut buf,
+                );
                 if key >= split_key {
                     drop(child_latch);
                     child_latch = self.latches.acquire(right_page);
@@ -411,9 +412,8 @@ impl MutableBPlusTree {
             let child_latch = self.latches.acquire(child_page);
             let child = Node::read(pages, child_page);
             if child.is_leaf {
-                let removed = self.delete_in_leaf(
-                    pages, page, &mut node, idx, child_page, child, buf, key,
-                );
+                let removed =
+                    self.delete_in_leaf(pages, page, &mut node, idx, child_page, child, buf, key);
                 drop(child_latch);
                 drop(latch);
                 return removed;
@@ -545,7 +545,11 @@ mod tests {
         Disk::in_memory(64).with_model(DiskModel::free())
     }
 
-    fn insert_all(tree: &MutableBPlusTree, disk: &Disk, pairs: impl IntoIterator<Item = (u64, u64)>) {
+    fn insert_all(
+        tree: &MutableBPlusTree,
+        disk: &Disk,
+        pairs: impl IntoIterator<Item = (u64, u64)>,
+    ) {
         let mut pages: &Disk = disk;
         for (k, v) in pairs {
             tree.insert(&mut pages, k, v);
@@ -589,7 +593,18 @@ mod tests {
         insert_all(&tree, &disk, (0..30u64).map(|k| (k * 10, k)));
         let mut cache: &Disk = &disk;
         let got = tree.range_with(&mut cache, 95, 160);
-        assert_eq!(got, vec![(100, 10), (110, 11), (120, 12), (130, 13), (140, 14), (150, 15), (160, 16)]);
+        assert_eq!(
+            got,
+            vec![
+                (100, 10),
+                (110, 11),
+                (120, 12),
+                (130, 13),
+                (140, 14),
+                (150, 15),
+                (160, 16)
+            ]
+        );
         assert_eq!(tree.nearest_with(&mut cache, 95), Some((90, 9)));
         assert_eq!(tree.nearest_with(&mut cache, 96), Some((100, 10)));
         assert_eq!(tree.nearest_with(&mut cache, 0), Some((0, 0)));
@@ -711,7 +726,11 @@ mod tests {
         assert_eq!(tree.len(), writers * per);
         let mut cache: &Disk = &disk;
         for key in 0..writers * per {
-            assert_eq!(tree.get_with(&mut cache, key), Some(key ^ 0xBEEF), "key {key}");
+            assert_eq!(
+                tree.get_with(&mut cache, key),
+                Some(key ^ 0xBEEF),
+                "key {key}"
+            );
         }
         let all = tree.range_with(&mut cache, 0, u64::MAX);
         assert_eq!(all.len() as u64, writers * per);

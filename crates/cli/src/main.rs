@@ -56,7 +56,8 @@ USAGE:
       the pages are written to a real on-disk image DIR/build.pages
   tfm join --a FILE --b FILE [--approach A] [--page-size N] [--threads N]
            [--build-threads N] [--no-transform] [--no-prune] [--private-pool]
-           [--backend mem|file] [--store DIR] [--verify] [--skew-file PATH]
+           [--backend mem|file] [--store DIR] [--io-depth N] [--readahead N]
+           [--cache-policy clock|2q] [--verify] [--skew-file PATH]
            [--metrics PATH] [--metrics-format jsonl|prometheus]
            [--metrics-interval-ms N]
       A: transformers | no-tr | pbsm | rtree | gipsy | sssj | s3 (default: transformers)
@@ -71,11 +72,19 @@ USAGE:
       --skew-file PATH: persist each workload's observed steal fraction in a
                   JSON sidecar and feed it back as the scheduler's recorded
                   skew signal on the next run (parallel path only)
+      --io-depth N / --readahead N: on the file backend the parallel
+                  transformers path prefetches each chunk's unit-page
+                  schedule through N dedicated I/O threads, keeping up to
+                  --readahead pages in flight (results stay byte-identical)
+      --cache-policy clock|2q: shared-cache eviction policy — 2q adds
+                  scan-resistant admission (prefetched pages are
+                  probationary); clock is the ablation default
   tfm serve --in FILE [--engine E] [--queries N] [--threads N] [--batch N]
             [--no-hilbert] [--private-pool] [--mix M] [--page-size N]
             [--build-threads N] [--trace-seed S] [--window F] [--eps F]
             [--shards N] [--shard-partitioner hilbert|str] [--shed]
             [--backend mem|file] [--store DIR] [--io-depth N] [--readahead N]
+            [--cache-policy clock|2q] [--auto-batch]
             [--verify] [--metrics PATH] [--metrics-format jsonl|prometheus]
             [--metrics-interval-ms N]
       builds the chosen index once, generates a deterministic query trace
@@ -95,6 +104,10 @@ USAGE:
                   --shard-partitioner picks the dataset split (default
                   hilbert); --shed swaps blocking admission for load
                   shedding on the per-shard bounded queues
+      --auto-batch: let the serve loop retune its batch size from the
+                  observed cache hit fraction and sequential-read fraction
+                  (multi-worker path; results stay byte-identical)
+      --cache-policy clock|2q: shared-cache eviction policy (see tfm join)
   tfm mutate --in FILE [--ops N] [--write-permille N] [--insert-permille N]
              [--wal-dir DIR] [--threads N] [--batch N] [--seed S]
              [--page-size N] [--build-threads N] [--verify]
@@ -122,10 +135,12 @@ STORAGE BACKEND (build + join + serve):
       the default mem backend keeps pages in memory. --backend
       file-checksummed adds a per-page checksum sidecar so torn
       data-page writes are detected on read (the write path's posture). On the file backend
-      `tfm serve` can run a prefetch pipeline: --io-depth N puts N
-      dedicated I/O threads behind the serve workers and --readahead N
-      keeps up to N pages in flight along each batch's Hilbert-ordered
-      page schedule (shared-cache engines; results stay byte-identical).
+      `tfm serve` and the parallel `tfm join` run a prefetch pipeline:
+      --io-depth N puts N dedicated I/O threads behind the workers and
+      --readahead N keeps up to N pages in flight — serve follows each
+      batch's Hilbert-ordered page schedule, join follows each chunk's
+      unit-page schedule from the claimed pivot run (shared-cache runs;
+      results stay byte-identical).
       --store/--io-depth/--readahead require --backend file.
 
 METRICS (join + serve):
@@ -233,6 +248,17 @@ fn parse_store_opts(args: &[String]) -> Result<StoreOpts, String> {
         other => Err(format!(
             "unknown backend `{other}` (mem | file | file-checksummed)"
         )),
+    }
+}
+
+/// Parses `--cache-policy clock|2q` (default clock) for the commands that
+/// read pages through the shared page cache (`tfm join`, `tfm serve`).
+fn parse_cache_policy(args: &[String]) -> Result<tfm_storage::CachePolicy, String> {
+    match opt(args, "--cache-policy") {
+        Some(s) => s
+            .parse::<tfm_storage::CachePolicy>()
+            .map_err(|e| format!("invalid --cache-policy: {e}")),
+        None => Ok(tfm_storage::CachePolicy::Clock),
     }
 }
 
@@ -393,9 +419,18 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let build_threads = parse_worker_count(args, "--build-threads")?;
     let store = parse_store_opts(args)?;
     if opt(args, "--io-depth").is_some() || opt(args, "--readahead").is_some() {
-        return Err("--io-depth/--readahead drive the serve prefetch pipeline; \
+        return Err(
+            "--io-depth/--readahead drive the join/serve prefetch pipelines; \
              `tfm build` only writes the page image"
-            .into());
+                .into(),
+        );
+    }
+    if opt(args, "--cache-policy").is_some() {
+        return Err(
+            "--cache-policy selects the join/serve read-cache eviction policy; \
+             `tfm build` only writes the page image"
+                .into(),
+        );
     }
     let mut cfg = IndexConfig::default().with_build_threads(build_threads);
     if let Some(v) = opt(args, "--unit-capacity") {
@@ -468,12 +503,7 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
     let no_prune = flag(args, "--no-prune");
     let private_pool = flag(args, "--private-pool");
     let store = parse_store_opts(args)?;
-    if opt(args, "--io-depth").is_some() || opt(args, "--readahead").is_some() {
-        eprintln!(
-            "note: --io-depth/--readahead drive the serve-tier prefetch pipeline; \
-             the join path reads its file image demand-paged"
-        );
-    }
+    let cache_policy = parse_cache_policy(args)?;
     let parallel_transformers = threads > 1 && matches!(approach, Approach::Transformers(_));
     if (no_transform || no_prune) && !parallel_transformers {
         eprintln!(
@@ -481,29 +511,50 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
              (--approach transformers --threads N > 1); ignored here"
         );
     }
+    // Join prefetch runs where the unit-page schedule exists: the parallel
+    // transformers path reading through the shared cache. Anywhere else a
+    // requested readahead would silently demand-page, so say so.
+    if store.readahead > 0 && (!parallel_transformers || private_pool) {
+        eprintln!(
+            "note: join prefetch (--readahead/--io-depth) engages on the parallel \
+             transformers path with the shared page cache; this run demand-pages"
+        );
+    }
 
     // `--threads N` (N > 1) routes TRANSFORMERS through the parallel
     // execution subsystem (`tfm-exec`); other approaches are sequential.
     let approach = match (approach, threads) {
-        (Approach::Transformers(mut join_cfg), t) if t > 1 => {
-            if no_transform {
-                join_cfg = join_cfg.without_worker_transforms();
-            }
-            if no_prune {
-                join_cfg = join_cfg.without_cross_worker_pruning();
-            }
+        (Approach::Transformers(mut join_cfg), t) => {
+            join_cfg = join_cfg.with_cache_policy(cache_policy);
             if private_pool {
                 join_cfg = join_cfg.with_private_pools();
             }
-            Approach::TransformersParallel(join_cfg, t)
-        }
-        (Approach::Transformers(join_cfg), _) if private_pool => {
-            Approach::Transformers(join_cfg.with_private_pools())
+            if t > 1 {
+                if no_transform {
+                    join_cfg = join_cfg.without_worker_transforms();
+                }
+                if no_prune {
+                    join_cfg = join_cfg.without_cross_worker_pruning();
+                }
+                // The exec layer turns these into the chunk-schedule
+                // prefetch pipeline (no-ops with readahead 0).
+                join_cfg = join_cfg
+                    .with_readahead(store.readahead)
+                    .with_io_depth(store.io_depth);
+                Approach::TransformersParallel(join_cfg, t)
+            } else {
+                Approach::Transformers(join_cfg)
+            }
         }
         (other, t) => {
             if t > 1 {
                 eprintln!(
                     "note: --threads only affects the transformers approach; running sequentially"
+                );
+            }
+            if opt(args, "--cache-policy").is_some() {
+                eprintln!(
+                    "note: --cache-policy only affects the transformers approach; ignored here"
                 );
             }
             other
@@ -553,7 +604,15 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
 
     println!("approach:        {}", m.approach);
     if let Some(dir) = store.dir() {
-        println!("backend:         file ({})", dir.display());
+        println!(
+            "backend:         file ({}; io depth {}, readahead {} pages)",
+            dir.display(),
+            store.io_depth,
+            store.readahead
+        );
+    }
+    if cache_policy != tfm_storage::CachePolicy::Clock {
+        println!("cache policy:    {cache_policy}");
     }
     println!("datasets:        |A| = {}, |B| = {}", m.n_a, m.n_b);
     println!("result pairs:    {}", m.results);
@@ -575,6 +634,15 @@ fn cmd_join(args: &[String]) -> Result<(), String> {
         "join I/O:        {} pages ({} random, {} sequential)",
         m.pages_read, m.rand_reads, m.seq_reads
     );
+    if m.prefetch_issued > 0 {
+        println!(
+            "join prefetch:   {} pages issued ({} hit, {} unused — {:.1}% unused)",
+            m.prefetch_issued,
+            m.prefetch_hits,
+            m.prefetch_unused,
+            m.prefetch_unused as f64 / m.prefetch_issued as f64 * 100.0
+        );
+    }
     println!("intersection tests: {}", m.tests);
     if m.transformations > 0 {
         println!("transformations: {}", m.transformations);
@@ -628,6 +696,29 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let window: f64 = parse(opt(args, "--window").unwrap_or("20"), "--window")?;
     let eps: f64 = parse(opt(args, "--eps").unwrap_or("5"), "--eps")?;
     let store = parse_store_opts(args)?;
+    let cache_policy = parse_cache_policy(args)?;
+    let auto_batch = flag(args, "--auto-batch");
+    if opt(args, "--shards").is_some() {
+        // The sharded cluster keeps per-shard CLOCK caches and a fixed
+        // batch loop; fail fast before any file I/O.
+        if auto_batch {
+            return Err(
+                "--auto-batch tunes the unsharded serve batch loop; not supported with --shards"
+                    .into(),
+            );
+        }
+        if opt(args, "--cache-policy").is_some() {
+            return Err(
+                "--cache-policy applies to the unsharded serve path; shard caches are CLOCK".into(),
+            );
+        }
+    }
+    if auto_batch && threads == 1 {
+        eprintln!(
+            "note: --auto-batch tunes the queued (multi-worker) batch loop; \
+             the single-threaded inline path ignores it"
+        );
+    }
 
     let elems = io::read_elements(path).map_err(|e| format!("reading {path}: {e}"))?;
     let trace = generate_trace(&QueryTraceSpec {
@@ -648,6 +739,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         shared_cache: !flag(args, "--private-pool"),
         io_depth: store.io_depth,
         readahead: store.readahead,
+        auto_batch,
+        cache_policy,
         ..ServeConfig::default()
     };
     let metrics = parse_metrics(args)?;
@@ -802,6 +895,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         m.batch,
         if m.hilbert_batching { "on" } else { "off" }
     );
+    if m.autobatch_retunes > 0 || (auto_batch && m.threads > 1) {
+        println!(
+            "auto-batch:      {} retunes ({} grew, {} shrank), final batch {}",
+            m.autobatch_retunes, m.autobatch_grows, m.autobatch_shrinks, m.autobatch_final_batch
+        );
+    }
     println!(
         "throughput:      {:.0} queries/s  ({:.3}s wall + {:.3}s sim I/O)",
         m.qps,
@@ -834,7 +933,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
     if m.shared_cache {
         println!(
-            "cache:           decoded tier {}/{} hits, lock contention {}/{}",
+            "cache:           {} policy, decoded tier {}/{} hits, lock contention {}/{}",
+            m.cache_policy,
             m.decoded_hits,
             m.decoded_hits + m.decoded_misses,
             m.lock_contended,
@@ -1582,7 +1682,8 @@ mod tests {
         let err = cmd_serve(&sv(&["--in", "x.elems", "--backend", "nvme"])).unwrap_err();
         assert!(err.contains("unknown backend"), "{err}");
 
-        // `tfm build` writes the image but has no prefetch pipeline.
+        // `tfm build` writes the image but has no prefetch pipeline and
+        // no read cache.
         let err = cmd_build(&sv(&[
             "--in",
             "x.elems",
@@ -1593,6 +1694,37 @@ mod tests {
         ]))
         .expect_err("build must reject prefetch knobs");
         assert!(err.contains("prefetch"), "{err}");
+        let err = cmd_build(&sv(&["--in", "x.elems", "--cache-policy", "2q"]))
+            .expect_err("build must reject --cache-policy");
+        assert!(err.contains("cache-policy"), "{err}");
+    }
+
+    #[test]
+    fn cache_policy_and_auto_batch_flags_are_validated() {
+        // Unknown policy names fail with the candidate list, on both
+        // commands that read through the shared cache.
+        let err = cmd_join(&sv(&["--a", "x.a", "--b", "x.b", "--cache-policy", "lru"]))
+            .expect_err("unknown policy must be rejected");
+        assert!(err.contains("unknown cache policy"), "{err}");
+        let err = cmd_serve(&sv(&["--in", "x.elems", "--cache-policy", "arc"]))
+            .expect_err("unknown policy must be rejected");
+        assert!(err.contains("unknown cache policy"), "{err}");
+
+        // The sharded cluster keeps per-shard CLOCK caches and a fixed
+        // batch loop: both knobs are orphans with --shards.
+        let err = cmd_serve(&sv(&["--in", "x.elems", "--shards", "2", "--auto-batch"]))
+            .expect_err("--auto-batch must be rejected with --shards");
+        assert!(err.contains("--shards"), "{err}");
+        let err = cmd_serve(&sv(&[
+            "--in",
+            "x.elems",
+            "--shards",
+            "2",
+            "--cache-policy",
+            "2q",
+        ]))
+        .expect_err("--cache-policy must be rejected with --shards");
+        assert!(err.contains("unsharded"), "{err}");
     }
 
     #[test]
@@ -1647,6 +1779,9 @@ mod tests {
             "60",
             "--batch",
             "16",
+            "--auto-batch",
+            "--cache-policy",
+            "2q",
             "--verify",
         ]))
         .unwrap();
@@ -1682,8 +1817,9 @@ mod tests {
             );
         }
 
-        // Parallel join over file-backed indexes verifies against the
-        // nested-loop oracle.
+        // Parallel join over file-backed indexes with the prefetch
+        // pipeline and 2Q admission on verifies against the nested-loop
+        // oracle — prefetch and policy must not change results.
         cmd_join(&sv(&[
             "--a",
             elems.to_str().unwrap(),
@@ -1695,6 +1831,12 @@ mod tests {
             &store_s,
             "--threads",
             "2",
+            "--io-depth",
+            "2",
+            "--readahead",
+            "64",
+            "--cache-policy",
+            "2q",
             "--verify",
         ]))
         .unwrap();

@@ -162,6 +162,21 @@ pub struct JoinConfig {
     /// pivot/worker-derived default. The sequential join ignores this
     /// field.
     pub recorded_steal_skew: Option<f64>,
+    /// Replacement policy of the per-dataset caches:
+    /// [`tfm_storage::CachePolicy::Clock`] (the default, and the
+    /// `--cache-policy clock` ablation) or the scan-resistant
+    /// [`tfm_storage::CachePolicy::TwoQ`]. Results are byte-identical
+    /// either way — replacement only changes which reads hit.
+    pub cache_policy: tfm_storage::CachePolicy,
+    /// Parallel path only: prefetch window in pages (capacity of the
+    /// bounded [`tfm_storage::PrefetchQueue`] feeding the I/O threads).
+    /// `0` (the default) disables join prefetch — every unit page is
+    /// demand-paged. Requires `shared_cache`; the sequential join ignores
+    /// this field.
+    pub readahead: usize,
+    /// Parallel path only: dedicated prefetch I/O threads when `readahead`
+    /// is non-zero (clamped to at least 1). Ignored when prefetch is off.
+    pub io_depth: usize,
 }
 
 impl Default for JoinConfig {
@@ -178,6 +193,9 @@ impl Default for JoinConfig {
             worker_role_transforms: true,
             cross_worker_pruning: true,
             recorded_steal_skew: None,
+            cache_policy: tfm_storage::CachePolicy::Clock,
+            readahead: 0,
+            io_depth: 1,
         }
     }
 }
@@ -225,6 +243,26 @@ impl JoinConfig {
     /// run's `ExecReport::steal_fraction()`.
     pub fn with_recorded_skew(mut self, skew: f64) -> Self {
         self.recorded_steal_skew = Some(skew.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Builder: selects the cache replacement policy.
+    pub fn with_cache_policy(mut self, policy: tfm_storage::CachePolicy) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Builder: enables join prefetch with a readahead window of `pages`
+    /// (0 disables).
+    pub fn with_readahead(mut self, pages: usize) -> Self {
+        self.readahead = pages;
+        self
+    }
+
+    /// Builder: sets the prefetch I/O thread count (clamped to ≥ 1 when
+    /// prefetch is active).
+    pub fn with_io_depth(mut self, depth: usize) -> Self {
+        self.io_depth = depth;
         self
     }
 }

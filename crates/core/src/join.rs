@@ -268,10 +268,10 @@ pub fn transformers_join(
     // path) or private pools under the `--private-pool` ablation.
     let cache_a = cfg
         .shared_cache
-        .then(|| SharedPageCache::with_shards(disk_a, cfg.pool_pages, 1));
+        .then(|| SharedPageCache::with_policy(disk_a, cfg.pool_pages, 1, cfg.cache_policy));
     let cache_b = cfg
         .shared_cache
-        .then(|| SharedPageCache::with_shards(disk_b, cfg.pool_pages, 1));
+        .then(|| SharedPageCache::with_policy(disk_b, cfg.pool_pages, 1, cfg.cache_policy));
     let mut side_a = Side::new(idx_a, disk_a, cfg, &mut stats, cache_a.as_ref());
     let mut side_b = Side::new(idx_b, disk_b, cfg, &mut stats, cache_b.as_ref());
 

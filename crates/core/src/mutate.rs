@@ -430,7 +430,10 @@ impl MutableTransformers {
 
         let mut b: &[u8] = &body;
         let magic = b.get_u64_le_ext();
-        assert_eq!(magic, MUT_MAGIC, "page {meta_head:?} is not an overlay head");
+        assert_eq!(
+            magic, MUT_MAGIC,
+            "page {meta_head:?} is not an overlay head"
+        );
         let len = b.get_u64_le_ext();
         let fanout = b.get_u32_le_ext() as usize;
         let dir_root = PageId(b.get_u64_le_ext());
@@ -826,10 +829,7 @@ mod tests {
     fn elem(id: u64, x: f64, y: f64, z: f64) -> SpatialElement {
         SpatialElement::new(
             id,
-            Aabb::new(
-                Point3::new(x, y, z),
-                Point3::new(x + 1.0, y + 1.0, z + 1.0),
-            ),
+            Aabb::new(Point3::new(x, y, z), Point3::new(x + 1.0, y + 1.0, z + 1.0)),
         )
     }
 
@@ -858,10 +858,7 @@ mod tests {
     }
 
     fn window(lo: f64, hi: f64) -> SpatialQuery {
-        SpatialQuery::Window(Aabb::new(
-            Point3::new(lo, lo, lo),
-            Point3::new(hi, hi, hi),
-        ))
+        SpatialQuery::Window(Aabb::new(Point3::new(lo, lo, lo), Point3::new(hi, hi, hi)))
     }
 
     /// Ground truth: exact filter over the live element set.
@@ -898,8 +895,7 @@ mod tests {
     #[test]
     fn inserts_land_in_base_pages_and_grow_mbbs() {
         let initial = scatter(24, 0);
-        let mut live: BTreeMap<u64, SpatialElement> =
-            initial.iter().map(|e| (e.id, *e)).collect();
+        let mut live: BTreeMap<u64, SpatialElement> = initial.iter().map(|e| (e.id, *e)).collect();
         let (disk, idx) = build(initial);
         let mt = MutableTransformers::adopt(&idx, &disk);
         let cache = SharedPageCache::with_shards(&disk, 256, 4);
@@ -925,10 +921,8 @@ mod tests {
     fn overflow_chains_absorb_inserts_past_page_capacity() {
         // One unit's worth of elements clustered at a point: every insert
         // targets the same unit, so chains must grow.
-        let initial: Vec<SpatialElement> =
-            (0..4).map(|i| elem(i, 5.0, 5.0, 5.0)).collect();
-        let mut live: BTreeMap<u64, SpatialElement> =
-            initial.iter().map(|e| (e.id, *e)).collect();
+        let initial: Vec<SpatialElement> = (0..4).map(|i| elem(i, 5.0, 5.0, 5.0)).collect();
+        let mut live: BTreeMap<u64, SpatialElement> = initial.iter().map(|e| (e.id, *e)).collect();
         let (disk, idx) = build(initial);
         let mt = MutableTransformers::adopt(&idx, &disk);
         let cache = SharedPageCache::with_shards(&disk, 256, 4);
@@ -1022,8 +1016,7 @@ mod tests {
     #[test]
     fn mixed_batches_match_a_rebuilt_reference() {
         let initial = scatter(40, 0);
-        let mut live: BTreeMap<u64, SpatialElement> =
-            initial.iter().map(|e| (e.id, *e)).collect();
+        let mut live: BTreeMap<u64, SpatialElement> = initial.iter().map(|e| (e.id, *e)).collect();
         let (disk, idx) = build(initial);
         let mt = MutableTransformers::adopt(&idx, &disk);
         let cache = SharedPageCache::with_shards(&disk, 512, 4);
@@ -1080,8 +1073,7 @@ mod tests {
     #[test]
     fn overlay_reopen_restores_everything() {
         let initial = scatter(30, 0);
-        let mut live: BTreeMap<u64, SpatialElement> =
-            initial.iter().map(|e| (e.id, *e)).collect();
+        let mut live: BTreeMap<u64, SpatialElement> = initial.iter().map(|e| (e.id, *e)).collect();
         let (disk, idx) = build(initial);
         let mt = MutableTransformers::adopt(&idx, &disk);
         let cache = SharedPageCache::with_shards(&disk, 512, 4);
@@ -1126,8 +1118,7 @@ mod tests {
     #[test]
     fn snapshots_stay_wait_free_under_concurrent_batches() {
         let initial = scatter(32, 0);
-        let universe: std::collections::BTreeSet<u64> =
-            (0..32u64).chain(2000..2120).collect();
+        let universe: std::collections::BTreeSet<u64> = (0..32u64).chain(2000..2120).collect();
         let (disk, idx) = build(initial);
         let mt = MutableTransformers::adopt(&idx, &disk);
         let cache = SharedPageCache::with_shards(&disk, 1024, 4);

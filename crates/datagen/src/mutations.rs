@@ -142,8 +142,7 @@ pub fn generate_mixed_trace(spec: &MixedTraceSpec, live_ids: &[u64]) -> Vec<Mixe
                 next_read += 1;
                 return MixedOp::Query(q);
             }
-            let is_insert =
-                rng.random_range(0..1000u32) < spec.insert_permille || live.is_empty();
+            let is_insert = rng.random_range(0..1000u32) < spec.insert_permille || live.is_empty();
             if is_insert {
                 let c = insert_centers[next_insert];
                 next_insert += 1;

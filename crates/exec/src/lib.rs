@@ -114,16 +114,74 @@ pub mod pool {
     pub use tfm_pool::{Chunk, ChunkScheduler, StagePool};
 }
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use tfm_pool::StagePool;
-use tfm_storage::{Disk, SharedPageCache};
+use tfm_storage::{Disk, PageId, PrefetchQueue, SharedPageCache};
 use transformers::{
-    EngineSide, GuidePick, JoinConfig, JoinOutcome, PivotEngine, SharedTodo, TransformersIndex,
-    TransformersStats,
+    EngineSide, GuidePick, JoinConfig, JoinOutcome, PivotEngine, SharedTodo, SpaceNode,
+    SpaceUnitDesc, TransformersIndex, TransformersStats,
 };
 
 /// What one worker hands back: raw pairs, its stats, pivots processed.
 type WorkerResult = (Vec<(u64, u64)>, TransformersStats, u64);
+
+/// Bit 63 of a queued page id routes the prefetch to the follower-side
+/// cache; the two datasets have independent page-id spaces, so the queue
+/// needs an in-band side tag. Page ids are dense allocations far below
+/// 2⁶³, so the bit is otherwise unused. The tag never leaves this crate:
+/// it is applied when a schedule is pushed and stripped by the I/O thread
+/// before the cache sees the id.
+const FOLLOWER_PAGE_TAG: u64 = 1 << 63;
+
+/// Derives the unit-page schedule of one claimed pivot chunk and pushes
+/// it into the prefetch window (lossy: pages beyond the window are simply
+/// demand-paged).
+///
+/// The schedule mirrors what the engine will read: every unit page of the
+/// chunk's guide pivots, plus — the same node→unit MBB prefilter the
+/// serve engines use for their readahead — the follower unit pages whose
+/// node and unit page MBBs intersect a pivot's page MBB. The follower
+/// crawl can reach a little past a pivot's MBB (reach-epsilon expansion),
+/// so the prefilter under-approximates slightly; missed pages demand-page
+/// while over-fetching would show up as `io.prefetch.join.unused`.
+///
+/// Stealing needs no special case: chunks are claimed whole from the
+/// scheduler, so whichever worker ends up with a stolen chunk pushes the
+/// chunk's full schedule before touching its pivots.
+fn push_chunk_schedule(
+    queue: &PrefetchQueue,
+    chunk: &Chunk,
+    guide_nodes: &[SpaceNode],
+    guide_units: &[SpaceUnitDesc],
+    follower_nodes: &[SpaceNode],
+    follower_units: &[SpaceUnitDesc],
+) {
+    let mut pages: Vec<u64> = Vec::new();
+    for pivot in &guide_nodes[chunk.start..chunk.end] {
+        for u in pivot.unit_range() {
+            pages.push(guide_units[u].page.0);
+        }
+        for fnode in follower_nodes {
+            if !fnode.page_mbb.intersects(&pivot.page_mbb) {
+                continue;
+            }
+            for u in fnode.unit_range() {
+                if follower_units[u].page_mbb.intersects(&pivot.page_mbb) {
+                    pages.push(follower_units[u].page.0 | FOLLOWER_PAGE_TAG);
+                }
+            }
+        }
+    }
+    // Ascending-id sweep per side (the tag bit sorts the follower run
+    // after the guide run), duplicates collapsed within the chunk;
+    // cross-chunk duplicates are cheap no-ops in `prefetch_page`.
+    pages.sort_unstable();
+    pages.dedup();
+    for p in pages {
+        queue.try_push(PageId(p));
+    }
+}
 
 /// How a parallel join was executed: scheduling and balance counters.
 #[derive(Debug, Clone)]
@@ -145,6 +203,15 @@ pub struct ExecReport {
     /// fully covered before these chunks were dispatched, so their pivots
     /// could not have contributed any new pair.
     pub chunks_pruned: u64,
+    /// Pages the join prefetch pipeline read and landed into the caches
+    /// (both sides; 0 when prefetch is off).
+    pub prefetch_issued: u64,
+    /// Demand reads served by a join-prefetched frame.
+    pub prefetch_hits: u64,
+    /// Join-prefetched pages never consumed by a demand read — evicted
+    /// early or still untouched at the end of the run. The readahead
+    /// window is mis-sized when this grows against `prefetch_issued`.
+    pub prefetch_unused: u64,
 }
 
 impl ExecReport {
@@ -159,6 +226,16 @@ impl ExecReport {
             return 0.0;
         }
         (self.steals as f64 / dispatched as f64).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of issued join prefetches never consumed by a demand read,
+    /// in `0.0..=1.0` (0 when prefetch was off) — the readahead-window
+    /// sizing signal `bench_tune` gates on.
+    pub fn unused_prefetch_fraction(&self) -> f64 {
+        if self.prefetch_issued == 0 {
+            return 0.0;
+        }
+        (self.prefetch_unused as f64 / self.prefetch_issued as f64).clamp(0.0, 1.0)
     }
 }
 
@@ -220,15 +297,28 @@ pub fn parallel_join_with_report(
     let shards = SharedPageCache::shards_for_threads(threads);
     let cache_a = cfg
         .shared_cache
-        .then(|| SharedPageCache::with_shards(disk_a, cfg.pool_pages, shards));
+        .then(|| SharedPageCache::with_policy(disk_a, cfg.pool_pages, shards, cfg.cache_policy));
     let cache_b = cfg
         .shared_cache
-        .then(|| SharedPageCache::with_shards(disk_b, cfg.pool_pages, shards));
+        .then(|| SharedPageCache::with_policy(disk_b, cfg.pool_pages, shards, cfg.cache_policy));
     let (guide_cache, follower_cache) = if guide_is_a {
         (cache_a.as_ref(), cache_b.as_ref())
     } else {
         (cache_b.as_ref(), cache_a.as_ref())
     };
+
+    // The join-path prefetch pipeline (the serve tier's readahead, pointed
+    // at the exec scheduler's foreknowledge): each claimed chunk's
+    // unit-page schedule is pushed into a bounded lossy window, and
+    // `io_depth` dedicated I/O threads pop ids and land the pages into
+    // recycled cache frames ahead of the workers. Purely a warm-up —
+    // results are byte-identical with prefetch on or off.
+    let prefetch_on = cfg.shared_cache && cfg.readahead > 0;
+    let io_threads = if prefetch_on { cfg.io_depth.max(1) } else { 0 };
+    let prefetch_queue = prefetch_on.then(|| PrefetchQueue::new(cfg.readahead));
+    // The last join worker to finish closes the window so the I/O threads
+    // drain and exit.
+    let join_workers_left = AtomicUsize::new(threads);
 
     let pivots = guide_side.2.len();
     // Adaptive initial chunk size: pivot count, worker count, and — when a
@@ -261,10 +351,29 @@ pub fn parallel_join_with_report(
     };
 
     // The scoped worker pool (extracted to `tfm-pool` in PR 3): one worker
-    // per thread, results collected in worker order — the deterministic
-    // merge below depends on that order.
-    let worker_pool = StagePool::new(threads);
+    // per thread plus the dedicated prefetch I/O threads, results collected
+    // in worker order — the deterministic merge below depends on that
+    // order (I/O threads return empty results and are skipped there).
+    let worker_pool = StagePool::new(threads + io_threads);
     let worker_results: Vec<WorkerResult> = worker_pool.scoped_run(|w| {
+        if w >= threads {
+            // Prefetch I/O thread: pop tagged page ids and land the pages
+            // into the side's cache until the window closes.
+            let pq = prefetch_queue
+                .as_ref()
+                .expect("I/O threads only spawn with prefetch on");
+            let mut scratch = Vec::new();
+            while let Some(id) = pq.pop() {
+                if id.0 & FOLLOWER_PAGE_TAG != 0 {
+                    if let Some(c) = follower_cache {
+                        c.prefetch_page(PageId(id.0 & !FOLLOWER_PAGE_TAG), &mut scratch);
+                    }
+                } else if let Some(c) = guide_cache {
+                    c.prefetch_page(id, &mut scratch);
+                }
+            }
+            return (Vec::new(), TransformersStats::default(), 0);
+        }
         let guide = EngineSide {
             idx: guide_side.0,
             disk: guide_side.1,
@@ -285,6 +394,19 @@ pub fn parallel_join_with_report(
             engine = engine.with_shared_todo(Arc::clone(todo));
         }
         while let Some(chunk) = scheduler.next(w) {
+            // The chunk is claimed (own share or stolen) — push its page
+            // schedule before processing so the I/O threads warm the cache
+            // while the engine works through the pivots.
+            if let Some(pq) = &prefetch_queue {
+                push_chunk_schedule(
+                    pq,
+                    &chunk,
+                    guide_side.2,
+                    guide_side.3,
+                    follower_side.2,
+                    follower_side.3,
+                );
+            }
             let _span = chunk_hist.as_ref().map(|h| h.span());
             for ng in chunk.start..chunk.end {
                 engine.process_pivot(ng);
@@ -300,6 +422,13 @@ pub fn parallel_join_with_report(
         }
         let processed = engine.pivots_processed();
         let (raw, stats) = engine.finish();
+        // Last join worker out closes the prefetch window; the I/O
+        // threads drain whatever is still queued, then exit.
+        if let Some(pq) = &prefetch_queue {
+            if join_workers_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                pq.close();
+            }
+        }
         (raw, stats, processed)
     });
 
@@ -308,7 +437,9 @@ pub fn parallel_join_with_report(
     // final vector is byte-identical to the sequential result.
     let mut raw = Vec::new();
     let mut worker_pivots = Vec::with_capacity(threads);
-    for (pairs, worker_stats, processed) in worker_results {
+    // `.take(threads)` drops the trailing I/O-thread entries (always
+    // empty) so the per-worker balance vector only covers join workers.
+    for (pairs, worker_stats, processed) in worker_results.into_iter().take(threads) {
         raw.extend(pairs);
         stats.merge(&worker_stats);
         worker_pivots.push(processed);
@@ -320,6 +451,20 @@ pub fn parallel_join_with_report(
     let io_after = disk_a.stats().merged(&disk_b.stats());
     stats.sim_io = io_after.delta_since(&io_before).sim_io_time();
 
+    // Prefetch accounting: sweep still-resident-but-untouched prefetched
+    // frames into the unused counter first (the eviction path alone
+    // undercounts at end of run), then sum both sides.
+    let (mut pf_issued, mut pf_hits, mut pf_unused) = (0, 0, 0);
+    for c in [&cache_a, &cache_b].into_iter().flatten() {
+        if prefetch_on {
+            c.reclaim_unused_prefetch();
+        }
+        let s = c.stats();
+        pf_issued += s.prefetch_issued;
+        pf_hits += s.prefetch_hits;
+        pf_unused += s.prefetch_unused;
+    }
+
     let report = ExecReport {
         threads,
         pivots: worker_pivots.iter().sum(),
@@ -328,6 +473,9 @@ pub fn parallel_join_with_report(
         steals: scheduler.steals(),
         worker_pivots,
         chunks_pruned: scheduler.chunks_pruned(),
+        prefetch_issued: pf_issued,
+        prefetch_hits: pf_hits,
+        prefetch_unused: pf_unused,
     };
 
     // Run-end telemetry: publish the merged record once (workers never
@@ -345,6 +493,17 @@ pub fn parallel_join_with_report(
         obs.counter(names::JOIN_STEALS).add(report.steals);
         obs.histogram(names::JOIN_WALL_NANOS)
             .record(wall_start.elapsed().as_nanos() as u64);
+        // The join-path slice of the prefetch pipeline, published under its
+        // own prefix so a mis-sized `--readahead` shows up by itself (the
+        // generic `io.prefetch.*` totals flow via `publish_shared_extras`).
+        if prefetch_on {
+            obs.counter(names::IO_PREFETCH_JOIN_ISSUED)
+                .add(report.prefetch_issued);
+            obs.counter(names::IO_PREFETCH_JOIN_HITS)
+                .add(report.prefetch_hits);
+            obs.counter(names::IO_PREFETCH_JOIN_UNUSED)
+                .add(report.prefetch_unused);
+        }
         if let Some(c) = &cache_a {
             c.stats().publish_shared_extras(obs);
         }
@@ -573,14 +732,69 @@ mod tests {
             steals: 0,
             worker_pivots: vec![0, 0],
             chunks_pruned: 0,
+            prefetch_issued: 0,
+            prefetch_hits: 0,
+            prefetch_unused: 0,
         };
         assert_eq!(empty.steal_fraction(), 0.0);
+        assert_eq!(empty.unused_prefetch_fraction(), 0.0);
         let all_pruned = ExecReport {
             chunks: 8,
             chunks_pruned: 8,
             ..empty.clone()
         };
         assert_eq!(all_pruned.steal_fraction(), 0.0);
+        let half_unused = ExecReport {
+            prefetch_issued: 10,
+            prefetch_hits: 5,
+            prefetch_unused: 5,
+            ..empty
+        };
+        assert_eq!(half_unused.unused_prefetch_fraction(), 0.5);
+    }
+
+    #[test]
+    fn prefetch_pipeline_matches_sequential_and_issues_pages() {
+        let (disk_a, idx_a, disk_b, idx_b) = adaptive_fixture();
+        let seq = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &JoinConfig::default());
+        for threads in [1, 2, 4] {
+            for io_depth in [1, 4] {
+                let cfg = JoinConfig::default()
+                    .with_readahead(256)
+                    .with_io_depth(io_depth);
+                let (par, report) =
+                    parallel_join_with_report(&idx_a, &disk_a, &idx_b, &disk_b, &cfg, threads);
+                assert_eq!(
+                    par.pairs, seq.pairs,
+                    "threads={threads} io_depth={io_depth}: prefetch changed results"
+                );
+                assert!(
+                    report.prefetch_issued > 0,
+                    "threads={threads} io_depth={io_depth}: no pages prefetched"
+                );
+                assert_eq!(
+                    report.prefetch_issued,
+                    report.prefetch_hits + report.prefetch_unused,
+                    "threads={threads} io_depth={io_depth}: every issued prefetch \
+                     must resolve to a hit or be reclaimed as unused"
+                );
+                assert_eq!(report.worker_pivots.len(), threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_under_2q_policy_matches_sequential() {
+        let (disk_a, idx_a) = build(&uniform(3_000, 16));
+        let (disk_b, idx_b) = build(&uniform(3_000, 17));
+        let base = JoinConfig::default();
+        let seq = transformers_join(&idx_a, &disk_a, &idx_b, &disk_b, &base);
+        let cfg = base
+            .with_cache_policy(tfm_storage::CachePolicy::TwoQ)
+            .with_readahead(128)
+            .with_io_depth(2);
+        let par = parallel_join(&idx_a, &disk_a, &idx_b, &disk_b, &cfg, 4);
+        assert_eq!(par.pairs, seq.pairs);
     }
 
     #[test]

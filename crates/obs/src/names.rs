@@ -64,6 +64,37 @@ pub const IO_PREFETCH_HITS: &str = "io.prefetch.hits";
 /// Prefetched frames evicted before any demand read used them.
 pub const IO_PREFETCH_UNUSED: &str = "io.prefetch.unused";
 
+// --- io.prefetch.join.* : the join-path slice of the readahead pipeline ---
+//
+// The `io.prefetch.*` totals above sum every prefetch source of a
+// process. The join path publishes its share again under this prefix, so
+// a mis-sized `tfm join --readahead` window shows up by itself instead of
+// being averaged away against the serve tier's readahead.
+
+/// Pages the join-chunk scheduler prefetched into the caches.
+pub const IO_PREFETCH_JOIN_ISSUED: &str = "io.prefetch.join.issued";
+/// Join demand reads served by a prefetched frame.
+pub const IO_PREFETCH_JOIN_HITS: &str = "io.prefetch.join.hits";
+/// Join-prefetched frames never used by a demand read (evicted early, or
+/// still untouched when the join finished).
+pub const IO_PREFETCH_JOIN_UNUSED: &str = "io.prefetch.join.unused";
+
+// --- cache.2q.* : scan-resistant 2Q admission (CachePolicy::TwoQ) ---
+//
+// Only published when the 2Q policy is active; see
+// `tfm_storage::CachePolicy` for the tier semantics.
+
+/// Demand misses the ghost queue admitted straight to the protected tier.
+pub const CACHE_2Q_GHOST_PROMOTIONS: &str = "cache.2q.ghost_promotions";
+/// Probationary frames promoted on a second demand access.
+pub const CACHE_2Q_REUSE_PROMOTIONS: &str = "cache.2q.reuse_promotions";
+/// Fills admitted as scan traffic (prefetch landings, always probationary).
+pub const CACHE_2Q_SCAN_ADMISSIONS: &str = "cache.2q.scan_admissions";
+/// Evictions taken from the probationary tier.
+pub const CACHE_2Q_PROBATION_EVICTIONS: &str = "cache.2q.probation_evictions";
+/// Evictions taken from the protected tier.
+pub const CACHE_2Q_PROTECTED_EVICTIONS: &str = "cache.2q.protected_evictions";
+
 // --- wal.* : the write-ahead log (tfm-wal) ---
 //
 // Published once per run by `Wal::publish_metrics` (writer-side counters)
@@ -99,6 +130,17 @@ pub const SERVE_WALL_NANOS: &str = "serve.wall_nanos";
 pub const SERVE_SERVICE_NANOS: &str = "serve.service_nanos";
 /// Per-query queue-wait histogram (admission to worker pop).
 pub const SERVE_QUEUE_WAIT_NANOS: &str = "serve.queue_wait_nanos";
+
+// --- serve.autobatch.* : the self-tuning batch-size loop (--auto-batch) ---
+
+/// Retune decisions taken (one per feedback window).
+pub const SERVE_AUTOBATCH_RETUNES: &str = "serve.autobatch.retunes";
+/// Retunes that grew the batch size.
+pub const SERVE_AUTOBATCH_GROWS: &str = "serve.autobatch.grows";
+/// Retunes that shrank the batch size.
+pub const SERVE_AUTOBATCH_SHRINKS: &str = "serve.autobatch.shrinks";
+/// Batch size in effect when the run ended (gauge).
+pub const SERVE_AUTOBATCH_FINAL_BATCH: &str = "serve.autobatch.final_batch";
 
 // --- shard.* : the sharded scatter-gather serve cluster ---
 //

@@ -25,7 +25,7 @@
 use tfm_geom::{ElementId, SpatialQuery};
 use tfm_rtree::{RTree, RtreeStats};
 use tfm_storage::{
-    CacheHandle, CacheStats, Disk, IoStatsSnapshot, PageId, PageReads, SharedPageCache,
+    CacheHandle, CachePolicy, CacheStats, Disk, IoStatsSnapshot, PageId, PageReads, SharedPageCache,
 };
 use transformers::{explore, MutableTransformers, TransformersIndex, UnitReader};
 
@@ -141,8 +141,22 @@ impl<'a> TransformersEngine<'a> {
     /// Attaches a process-wide [`SharedPageCache`] of `pages` pages over
     /// `shards` locks: every session becomes a thin view over it
     /// (zero-copy pins + shared decoded element pages).
-    pub fn with_shared_cache(mut self, pages: usize, shards: usize) -> Self {
-        self.cache = Some(SharedPageCache::with_shards(self.disk, pages, shards));
+    pub fn with_shared_cache(self, pages: usize, shards: usize) -> Self {
+        self.with_shared_cache_policy(pages, shards, CachePolicy::Clock)
+    }
+
+    /// [`with_shared_cache`](Self::with_shared_cache) with an explicit
+    /// eviction policy (`--cache-policy`): CLOCK, or the scan-resistant 2Q
+    /// admission that keeps readahead traffic probationary.
+    pub fn with_shared_cache_policy(
+        mut self,
+        pages: usize,
+        shards: usize,
+        policy: CachePolicy,
+    ) -> Self {
+        self.cache = Some(SharedPageCache::with_policy(
+            self.disk, pages, shards, policy,
+        ));
         self
     }
 }
@@ -359,8 +373,22 @@ impl<'a> GipsyEngine<'a> {
 
     /// Attaches a process-wide [`SharedPageCache`]; see
     /// [`TransformersEngine::with_shared_cache`].
-    pub fn with_shared_cache(mut self, pages: usize, shards: usize) -> Self {
-        self.cache = Some(SharedPageCache::with_shards(self.disk, pages, shards));
+    pub fn with_shared_cache(self, pages: usize, shards: usize) -> Self {
+        self.with_shared_cache_policy(pages, shards, CachePolicy::Clock)
+    }
+
+    /// [`with_shared_cache`](Self::with_shared_cache) with an explicit
+    /// eviction policy; see
+    /// [`TransformersEngine::with_shared_cache_policy`].
+    pub fn with_shared_cache_policy(
+        mut self,
+        pages: usize,
+        shards: usize,
+        policy: CachePolicy,
+    ) -> Self {
+        self.cache = Some(SharedPageCache::with_policy(
+            self.disk, pages, shards, policy,
+        ));
         self
     }
 }
@@ -509,8 +537,22 @@ impl<'a> RtreeEngine<'a> {
     /// [`TransformersEngine::with_shared_cache`]. (R-tree pages use their
     /// own node layout, so only the byte tier applies — the decoded tier
     /// is specific to element pages.)
-    pub fn with_shared_cache(mut self, pages: usize, shards: usize) -> Self {
-        self.cache = Some(SharedPageCache::with_shards(self.disk, pages, shards));
+    pub fn with_shared_cache(self, pages: usize, shards: usize) -> Self {
+        self.with_shared_cache_policy(pages, shards, CachePolicy::Clock)
+    }
+
+    /// [`with_shared_cache`](Self::with_shared_cache) with an explicit
+    /// eviction policy; see
+    /// [`TransformersEngine::with_shared_cache_policy`].
+    pub fn with_shared_cache_policy(
+        mut self,
+        pages: usize,
+        shards: usize,
+        policy: CachePolicy,
+    ) -> Self {
+        self.cache = Some(SharedPageCache::with_policy(
+            self.disk, pages, shards, policy,
+        ));
         self
     }
 }

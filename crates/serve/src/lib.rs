@@ -77,7 +77,7 @@ pub use shard::{
     ShardServeConfig, ShardSpec, ShardStats, ShardedCluster, ShardedServeOutcome,
     ShardedServeStats,
 };
-pub use stats::{LatencySummary, ServeStats};
+pub use stats::{AutoBatchSummary, LatencySummary, ServeStats};
 
 use std::sync::Mutex;
 use std::time::Instant;
@@ -128,6 +128,22 @@ pub struct ServeConfig {
     /// shared cache ([`QueryEngine::supports_prefetch`]) and on the
     /// single-threaded inline path.
     pub readahead: usize,
+    /// Self-tuning batch sizing: every few batches the feeder re-scores
+    /// the run from the observed cache hit fraction and sequential-read
+    /// fraction, growing the batch (up to 4× [`ServeConfig::batch`]) while
+    /// locality is poor — a larger batch gives the Hilbert sort more scope
+    /// — and decaying back toward the base once the signals recover. Batch
+    /// *composition* stays arrival-order slices and results are keyed by
+    /// query position, so results are byte-identical to any fixed batch
+    /// size. Only the queued (multi-worker) path tunes; the inline path
+    /// ignores this flag.
+    pub auto_batch: bool,
+    /// Eviction policy of the shared page cache the harnesses construct
+    /// engines with (`--cache-policy`): CLOCK (the default/ablation) or
+    /// scan-resistant 2Q admission. Like [`ServeConfig::shared_cache`],
+    /// this is read by the engine *builders* (`tfm-bench`, the CLI); a
+    /// hand-constructed engine's policy is fixed by its constructor.
+    pub cache_policy: tfm_storage::CachePolicy,
 }
 
 impl Default for ServeConfig {
@@ -142,6 +158,8 @@ impl Default for ServeConfig {
             collect_traces: false,
             io_depth: 1,
             readahead: 0,
+            auto_batch: false,
+            cache_policy: tfm_storage::CachePolicy::Clock,
         }
     }
 }
@@ -188,6 +206,20 @@ impl ServeConfig {
     /// pipeline when non-zero).
     pub fn with_readahead(mut self, readahead: usize) -> Self {
         self.readahead = readahead;
+        self
+    }
+
+    /// Builder: enables the self-tuning batch loop (see
+    /// [`ServeConfig::auto_batch`]).
+    pub fn with_auto_batch(mut self) -> Self {
+        self.auto_batch = true;
+        self
+    }
+
+    /// Builder: sets the shared-cache eviction policy harnesses build
+    /// engines with (see [`ServeConfig::cache_policy`]).
+    pub fn with_cache_policy(mut self, policy: tfm_storage::CachePolicy) -> Self {
+        self.cache_policy = policy;
         self
     }
 }
@@ -267,9 +299,19 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
 ) -> ServeOutcome {
     let threads = cfg.threads.max(1);
     let batch = cfg.batch.max(1);
-    let batches = plan_batches(trace, batch, cfg.hilbert_batching);
-    let n_batches = batches.len();
-    let max_batch = batches.iter().map(Vec::len).max().unwrap_or(0);
+    // The self-tuning loop only exists on the queued path: the inline
+    // single-worker path has no queue-vs-locality tradeoff to tune.
+    let auto_on = cfg.auto_batch && threads > 1;
+    let batches = if auto_on {
+        Vec::new() // the feeder slices the trace incrementally instead
+    } else {
+        plan_batches(trace, batch, cfg.hilbert_batching)
+    };
+    let mut n_batches = batches.len();
+    let mut max_batch = batches.iter().map(Vec::len).max().unwrap_or(0);
+    // Filled by the auto-batch feeder: (loop counters, batches fed,
+    // widest batch).
+    let auto_out: Mutex<Option<(AutoBatchSummary, usize, usize)>> = Mutex::new(None);
     let pool_pages = (cfg.pool_pages / threads).max(1);
 
     let io_before = engine.io_snapshot();
@@ -335,12 +377,7 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
                 // capacity — backpressure), then drains like everyone
                 // else. Interleaving feeding with the other workers'
                 // draining keeps the backlog within `queue_batches`.
-                let batches = feed
-                    .lock()
-                    .expect("feed poisoned")
-                    .take()
-                    .expect("feeder ran twice");
-                for b in batches {
+                let feed_batch = |b: Vec<usize>| {
                     if let Some(pq) = pq {
                         // Announce the batch's page schedule before the
                         // batch itself so the I/O threads start on it
@@ -353,6 +390,18 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
                         }
                     }
                     queue.push((b, Instant::now()));
+                };
+                if auto_on {
+                    feed_auto_batches(engine, trace, cfg, batch, &auto_out, feed_batch);
+                } else {
+                    let batches = feed
+                        .lock()
+                        .expect("feed poisoned")
+                        .take()
+                        .expect("feeder ran twice");
+                    for b in batches {
+                        feed_batch(b);
+                    }
                 }
                 queue.close();
                 if let Some(pq) = pq {
@@ -373,6 +422,19 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
                 misses,
             }
         })
+    };
+
+    let autobatch = if auto_on {
+        let (summary, fed, widest) = auto_out
+            .lock()
+            .expect("auto_out poisoned")
+            .take()
+            .expect("auto-batch feeder did not run");
+        n_batches = fed;
+        max_batch = widest;
+        Some(summary)
+    } else {
+        None
     };
 
     let wall = start.elapsed();
@@ -448,6 +510,13 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
         if let Some(c) = &cache {
             c.publish_shared_extras(obs);
         }
+        if let Some(ab) = &autobatch {
+            obs.counter(names::SERVE_AUTOBATCH_RETUNES).add(ab.retunes);
+            obs.counter(names::SERVE_AUTOBATCH_GROWS).add(ab.grows);
+            obs.counter(names::SERVE_AUTOBATCH_SHRINKS).add(ab.shrinks);
+            obs.gauge(names::SERVE_AUTOBATCH_FINAL_BATCH)
+                .set(ab.final_batch as i64);
+        }
     }
 
     let stats = ServeStats {
@@ -465,12 +534,97 @@ pub fn serve_trace<E: QueryEngine + ?Sized>(
         io,
         per_worker_queries,
         cache,
+        autobatch,
     };
     ServeOutcome {
         results,
         stats,
         traces,
     }
+}
+
+/// How many batches the auto-batch feeder admits between retune
+/// decisions — long enough to average out per-batch noise in the cache
+/// and I/O counters, short enough to adapt within a few hundred queries.
+const AUTO_BATCH_WINDOW: usize = 8;
+
+/// The self-tuning feeder (`--auto-batch`): slices the trace into
+/// arrival-order batches of a *dynamic* size and re-scores the run every
+/// [`AUTO_BATCH_WINDOW`] batches from two feedback signals — the shared
+/// cache's hit fraction and the disk's sequential-read fraction over the
+/// window. A low score means poor locality: the batch grows (up to 4× the
+/// configured base) so the Hilbert sort gets more queries to order into a
+/// spatial sweep. A recovered score decays the batch back toward the base,
+/// bounding queue latency. Batch composition stays arrival-order slices,
+/// so results are byte-identical to any fixed batch size.
+fn feed_auto_batches<E: QueryEngine + ?Sized>(
+    engine: &E,
+    trace: &[SpatialQuery],
+    cfg: &ServeConfig,
+    base: usize,
+    auto_out: &Mutex<Option<(AutoBatchSummary, usize, usize)>>,
+    feed_batch: impl Fn(Vec<usize>),
+) {
+    let universe = Aabb::union_all(trace.iter().map(|q| Aabb::from_point(q.center())));
+    let cap = base.saturating_mul(4).max(base);
+    let mut cur = base;
+    let mut fed = 0usize;
+    let mut widest = 0usize;
+    let mut since_retune = 0usize;
+    let mut summary = AutoBatchSummary::default();
+    let mut win_cache = engine.cache_stats();
+    let mut win_io = engine.io_snapshot();
+    let mut start = 0usize;
+    while start < trace.len() {
+        let end = (start + cur).min(trace.len());
+        let mut ids: Vec<usize> = (start..end).collect();
+        if cfg.hilbert_batching {
+            // Same within-batch ordering as `plan_batches`.
+            ids.sort_by_key(|&i| (hilbert::index_of_point(&trace[i].center(), &universe), i));
+        }
+        widest = widest.max(ids.len());
+        fed += 1;
+        feed_batch(ids);
+        start = end;
+        since_retune += 1;
+        if since_retune >= AUTO_BATCH_WINDOW && start < trace.len() {
+            since_retune = 0;
+            // Score the window from whichever signals the engine exposes:
+            // shared-cache hit fraction and/or the sequential-read split.
+            // An engine with neither (private pools, zero reads) never
+            // retunes — the loop degenerates to the fixed base size.
+            let io_now = engine.io_snapshot();
+            let io_delta = io_now.delta_since(&win_io);
+            win_io = io_now;
+            let mut score = 0.0f64;
+            let mut signals = 0u32;
+            if let (Some(after), Some(before)) = (engine.cache_stats(), win_cache) {
+                let d = after.delta_since(&before);
+                if d.hits + d.misses > 0 {
+                    score += d.hits as f64 / (d.hits + d.misses) as f64;
+                    signals += 1;
+                }
+                win_cache = Some(after);
+            }
+            if io_delta.reads() > 0 {
+                score += io_delta.seq_read_fraction();
+                signals += 1;
+            }
+            if signals > 0 {
+                let score = score / f64::from(signals);
+                summary.retunes += 1;
+                if score < 0.5 && cur < cap {
+                    cur = (cur * 2).min(cap);
+                    summary.grows += 1;
+                } else if score > 0.8 && cur > base {
+                    cur = (cur / 2).max(base);
+                    summary.shrinks += 1;
+                }
+            }
+        }
+    }
+    summary.final_batch = cur;
+    *auto_out.lock().expect("auto_out poisoned") = Some((summary, fed, widest));
 }
 
 fn execute_one(
@@ -744,6 +898,65 @@ mod tests {
     }
 
     #[test]
+    fn auto_batch_matches_fixed_batch_results_exactly() {
+        let (disk, idx, elems) = fixture(6000, 32);
+        let trace = generate_trace(&QueryTraceSpec::uniform(600, 33));
+        let expected = reference(&elems, &trace);
+        // Small cache + small base batch so the feedback loop has signals
+        // to react to and windows to react in.
+        let engine = TransformersEngine::new(&idx, &disk).with_shared_cache(64, 4);
+        for threads in [2, 4] {
+            for policy in [
+                tfm_storage::CachePolicy::Clock,
+                tfm_storage::CachePolicy::TwoQ,
+            ] {
+                let engine =
+                    TransformersEngine::new(&idx, &disk).with_shared_cache_policy(64, 4, policy);
+                let cfg = ServeConfig::default()
+                    .with_threads(threads)
+                    .with_batch(16)
+                    .with_auto_batch();
+                let out = serve_trace(&engine, &trace, &cfg);
+                assert_eq!(out.results, expected, "threads={threads} policy={policy}");
+                let ab = out
+                    .stats
+                    .autobatch
+                    .expect("queued auto run reports a summary");
+                assert!(ab.retunes > 0, "600 queries at base 16 must cross a window");
+                assert!(ab.final_batch >= 16 && ab.final_batch <= 64);
+                assert!(ab.grows + ab.shrinks <= ab.retunes);
+                assert_eq!(
+                    out.stats.per_worker_queries.iter().sum::<u64>(),
+                    trace.len() as u64
+                );
+            }
+        }
+        // The inline path ignores the flag and reports no summary.
+        let out = serve_trace(&engine, &trace, &ServeConfig::default().with_auto_batch());
+        assert_eq!(out.results, expected);
+        assert!(out.stats.autobatch.is_none());
+    }
+
+    #[test]
+    fn auto_batch_composes_with_readahead() {
+        let (disk, idx, elems) = fixture(4000, 34);
+        let trace = generate_trace(&QueryTraceSpec::uniform(400, 35));
+        let expected = reference(&elems, &trace);
+        let engine = TransformersEngine::new(&idx, &disk).with_shared_cache(48, 4);
+        let cfg = ServeConfig::default()
+            .with_threads(4)
+            .with_batch(16)
+            .with_io_depth(2)
+            .with_readahead(128)
+            .with_auto_batch();
+        let out = serve_trace(&engine, &trace, &cfg);
+        assert_eq!(out.results, expected);
+        let cache = out.stats.cache.expect("shared engine reports cache stats");
+        assert!(cache.prefetch_issued > 0);
+        assert!(out.stats.autobatch.is_some());
+    }
+
+    #[test]
     fn empty_trace_and_empty_index() {
         let (disk, idx, _) = fixture(500, 18);
         let engine = TransformersEngine::new(&idx, &disk);
@@ -784,11 +997,8 @@ mod tests {
             ..DatasetSpec::uniform(400, 41)
         });
         let base = 1 + elems.iter().map(|e| e.id).max().unwrap_or(0);
-        let mut mutated: Vec<tfm_geom::SpatialElement> = elems
-            .iter()
-            .filter(|e| e.id % 5 != 0)
-            .cloned()
-            .collect();
+        let mut mutated: Vec<tfm_geom::SpatialElement> =
+            elems.iter().filter(|e| e.id % 5 != 0).cloned().collect();
         for mut e in fresh {
             e.id += base;
             ops.push(MutationOp::Insert(e));

@@ -81,6 +81,20 @@ impl LatencySummary {
     }
 }
 
+/// What the self-tuning batch loop did during one run (`--auto-batch`);
+/// see [`crate::ServeConfig::auto_batch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AutoBatchSummary {
+    /// Retune decisions evaluated (one per feedback window).
+    pub retunes: u64,
+    /// Retunes that grew the batch size.
+    pub grows: u64,
+    /// Retunes that shrank the batch size.
+    pub shrinks: u64,
+    /// Batch size in effect when the trace ran out.
+    pub final_batch: usize,
+}
+
 /// Aggregate counters of one [`crate::serve_trace`] run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServeStats {
@@ -117,6 +131,10 @@ pub struct ServeStats {
     /// Shared-cache counters of the run (decoded-tier hit rates, shard
     /// contention); `None` when the engine ran the private-pool ablation.
     pub cache: Option<CacheStats>,
+    /// Self-tuning batch-loop counters; `None` unless the run used
+    /// [`crate::ServeConfig::auto_batch`] on the queued (multi-worker)
+    /// path.
+    pub autobatch: Option<AutoBatchSummary>,
 }
 
 impl ServeStats {

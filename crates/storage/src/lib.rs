@@ -43,6 +43,7 @@ mod redo;
 mod shared;
 mod stats;
 mod store;
+mod twoq;
 
 pub use buffer::{BufferPool, DEFAULT_POOL_PAGES};
 pub use cache::{CacheHandle, ElemSlice, PageReads, PageSlice, PoolCounters};
@@ -56,6 +57,7 @@ pub use shared::{
 };
 pub use stats::{IoStats, IoStatsSnapshot};
 pub use store::{fnv1a64, is_checksum_mismatch, FileStore, MemStore, PageStore, StoreBackend};
+pub use twoq::CachePolicy;
 
 /// Default page size used throughout the reproduction (paper §VII-A: 8 KB).
 pub const DEFAULT_PAGE_SIZE: usize = 8192;

@@ -57,8 +57,8 @@
 //! prefetcher landed counts as neither a hit nor a miss, so readahead can
 //! never inflate a hit-fraction gate.
 
-use crate::clock::ClockRing;
-use crate::{Disk, ElementPageCodec, PageId};
+use crate::twoq::{AdmitClass, PolicyRing};
+use crate::{CachePolicy, Disk, ElementPageCodec, PageId};
 use parking_lot::Mutex;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -106,7 +106,7 @@ struct ShardCounters {
 }
 
 struct ShardInner {
-    ring: ClockRing<SharedFrame>,
+    ring: PolicyRing<SharedFrame>,
     counters: ShardCounters,
 }
 
@@ -214,6 +214,21 @@ pub struct CacheStats {
     /// Acquisitions that found the shard lock already held — the
     /// lock-striping contention signal.
     pub lock_contended: u64,
+    /// Demand misses the 2Q ghost queue admitted straight to the
+    /// protected tier (zero under [`CachePolicy::Clock`]).
+    pub twoq_ghost_promotions: u64,
+    /// Probationary frames the 2Q policy promoted on a second demand
+    /// access while resident.
+    pub twoq_reuse_promotions: u64,
+    /// Fills the 2Q policy classified as scan traffic (prefetch landings;
+    /// always probationary).
+    pub twoq_scan_admissions: u64,
+    /// 2Q evictions taken from the probationary tier.
+    pub twoq_probation_evictions: u64,
+    /// 2Q evictions taken from the protected tier.
+    pub twoq_protected_evictions: u64,
+    /// Replacement policy of the cache (configuration, not a counter).
+    pub policy: CachePolicy,
     /// Shard count of the cache (configuration, not a counter).
     pub shards: usize,
     /// Total frame capacity in pages (configuration, not a counter).
@@ -278,6 +293,20 @@ impl CacheStats {
             .add(self.dirty_installs);
         reg.counter(names::CACHE_FLUSHED_PAGES)
             .add(self.flushed_pages);
+        // The 2Q admission counters only exist when the policy is active,
+        // so a CLOCK run's metrics dump carries no dead `cache.2q.*` rows.
+        if self.policy == CachePolicy::TwoQ {
+            reg.counter(names::CACHE_2Q_GHOST_PROMOTIONS)
+                .add(self.twoq_ghost_promotions);
+            reg.counter(names::CACHE_2Q_REUSE_PROMOTIONS)
+                .add(self.twoq_reuse_promotions);
+            reg.counter(names::CACHE_2Q_SCAN_ADMISSIONS)
+                .add(self.twoq_scan_admissions);
+            reg.counter(names::CACHE_2Q_PROBATION_EVICTIONS)
+                .add(self.twoq_probation_evictions);
+            reg.counter(names::CACHE_2Q_PROTECTED_EVICTIONS)
+                .add(self.twoq_protected_evictions);
+        }
     }
 
     /// Counter-wise difference `self - earlier` (configuration fields are
@@ -298,6 +327,14 @@ impl CacheStats {
             flushed_pages: self.flushed_pages - earlier.flushed_pages,
             lock_acquisitions: self.lock_acquisitions - earlier.lock_acquisitions,
             lock_contended: self.lock_contended - earlier.lock_contended,
+            twoq_ghost_promotions: self.twoq_ghost_promotions - earlier.twoq_ghost_promotions,
+            twoq_reuse_promotions: self.twoq_reuse_promotions - earlier.twoq_reuse_promotions,
+            twoq_scan_admissions: self.twoq_scan_admissions - earlier.twoq_scan_admissions,
+            twoq_probation_evictions: self.twoq_probation_evictions
+                - earlier.twoq_probation_evictions,
+            twoq_protected_evictions: self.twoq_protected_evictions
+                - earlier.twoq_protected_evictions,
+            policy: self.policy,
             shards: self.shards,
             capacity: self.capacity,
         }
@@ -309,20 +346,26 @@ pub struct SharedPageCache<'d> {
     disk: &'d Disk,
     shards: Box<[Shard]>,
     capacity: usize,
+    policy: CachePolicy,
 }
 
 impl<'d> SharedPageCache<'d> {
     /// Creates a cache of `capacity` pages total, striped over `shards`
-    /// locks (both clamped to at least 1). Each shard gets an equal slice
-    /// of the capacity.
-    pub fn with_shards(disk: &'d Disk, capacity: usize, shards: usize) -> Self {
+    /// locks (both clamped to at least 1), replacing frames under
+    /// `policy`. Each shard gets an equal slice of the capacity.
+    pub fn with_policy(
+        disk: &'d Disk,
+        capacity: usize,
+        shards: usize,
+        policy: CachePolicy,
+    ) -> Self {
         let shards = shards.max(1);
         let capacity = capacity.max(1);
         let per_shard = (capacity / shards).max(1);
         let shards: Box<[Shard]> = (0..shards)
             .map(|_| Shard {
                 inner: Mutex::new(ShardInner {
-                    ring: ClockRing::new(per_shard),
+                    ring: PolicyRing::new(policy, per_shard),
                     counters: ShardCounters::default(),
                 }),
                 acquisitions: AtomicU64::new(0),
@@ -334,7 +377,13 @@ impl<'d> SharedPageCache<'d> {
             disk,
             shards,
             capacity,
+            policy,
         }
+    }
+
+    /// [`with_policy`](Self::with_policy) under the default CLOCK policy.
+    pub fn with_shards(disk: &'d Disk, capacity: usize, shards: usize) -> Self {
+        Self::with_policy(disk, capacity, shards, CachePolicy::Clock)
     }
 
     /// Creates a cache of `capacity` pages with [`DEFAULT_CACHE_SHARDS`].
@@ -356,6 +405,11 @@ impl<'d> SharedPageCache<'d> {
     /// Total frame capacity in pages.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Replacement policy the cache was built with.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
     }
 
     #[inline]
@@ -457,6 +511,7 @@ impl<'d> SharedPageCache<'d> {
         let ShardInner { ring, counters } = inner;
         let slot = ring.insert(
             id.0,
+            AdmitClass::Demand,
             // A frame is evictable only while no PageRef pins its buffer
             // (clones only happen under this shard's lock, so the count is
             // stable for the duration of the sweep) and its bytes are on
@@ -520,6 +575,10 @@ impl<'d> SharedPageCache<'d> {
         let ShardInner { ring, counters } = &mut *guard;
         let slot = ring.insert(
             id.0,
+            // A prefetch landing is a scan hint: under 2Q the page goes
+            // probationary and never consults or feeds the ghost queue,
+            // so readahead streams cannot flush the protected hot set.
+            AdmitClass::Scan,
             |f| Arc::strong_count(&f.buf) == 1 && !f.dirty,
             || SharedFrame {
                 buf: Arc::new(vec![0u8; page_size]),
@@ -581,6 +640,7 @@ impl<'d> SharedPageCache<'d> {
                 // the caller provides the full new page image.
                 let slot = ring.insert(
                     id.0,
+                    AdmitClass::Demand,
                     |f| Arc::strong_count(&f.buf) == 1 && !f.dirty,
                     || SharedFrame {
                         buf: Arc::new(vec![0u8; page_size]),
@@ -676,6 +736,7 @@ impl<'d> SharedPageCache<'d> {
         let mut s = CacheStats {
             shards: self.shards.len(),
             capacity: self.capacity,
+            policy: self.policy,
             ..CacheStats::default()
         };
         for shard in self.shards.iter() {
@@ -695,8 +756,39 @@ impl<'d> SharedPageCache<'d> {
             s.prefetch_unused += c.prefetch_unused;
             s.dirty_installs += c.dirty_installs;
             s.flushed_pages += c.flushed_pages;
+            let q = inner.ring.twoq_counters();
+            s.twoq_ghost_promotions += q.ghost_promotions;
+            s.twoq_reuse_promotions += q.reuse_promotions;
+            s.twoq_scan_admissions += q.scan_admissions;
+            s.twoq_probation_evictions += q.probation_evictions;
+            s.twoq_protected_evictions += q.protected_evictions;
         }
         s
+    }
+
+    /// Sweeps every shard for frames the prefetcher landed that no demand
+    /// read ever touched, clearing their marks and folding them into
+    /// [`CacheStats::prefetch_unused`]. Returns the number reclaimed.
+    ///
+    /// The eviction path only notices an unused prefetch when the frame is
+    /// recycled; pages that stay resident to the end of a run would
+    /// otherwise vanish from the accounting. Run-level reporters (the join
+    /// path) call this once before snapshotting stats so a mis-sized
+    /// readahead window is visible even when the cache never filled.
+    pub fn reclaim_unused_prefetch(&self) -> u64 {
+        let mut reclaimed = 0u64;
+        for shard in self.shards.iter() {
+            let mut guard = shard.inner.lock();
+            let ShardInner { ring, counters } = &mut *guard;
+            for (_, f) in ring.iter_mut() {
+                if f.prefetched {
+                    f.prefetched = false;
+                    counters.prefetch_unused += 1;
+                    reclaimed += 1;
+                }
+            }
+        }
+        reclaimed
     }
 
     /// Drops every *clean* cached page and decoded entry (counters keep
@@ -726,6 +818,7 @@ impl std::fmt::Debug for SharedPageCache<'_> {
         f.debug_struct("SharedPageCache")
             .field("capacity", &self.capacity)
             .field("shards", &self.shards.len())
+            .field("policy", &self.policy)
             .finish()
     }
 }
@@ -1039,7 +1132,11 @@ mod tests {
         let (flushed, retained) = cache.flush_dirty(6);
         assert_eq!((flushed, retained), (1, 1));
         assert_eq!(d.read_page_vec(PageId(0))[0], 0x11);
-        assert_eq!(d.read_page_vec(PageId(1))[0], 1, "gated write stays in cache");
+        assert_eq!(
+            d.read_page_vec(PageId(1))[0],
+            1,
+            "gated write stays in cache"
+        );
         // Once the log is durable past 9, the second frame flushes too.
         let (flushed, retained) = cache.flush_dirty(9);
         assert_eq!((flushed, retained), (1, 0));
@@ -1101,6 +1198,112 @@ mod tests {
         let decoded = cache.read_decoded(&codec, p);
         assert_eq!(decoded.len(), 2, "stale decode was dropped");
         assert_eq!(decoded[0].id, 8);
+    }
+
+    fn twoq_cache<'d>(d: &'d Disk, capacity: usize, shards: usize) -> SharedPageCache<'d> {
+        SharedPageCache::with_policy(d, capacity, shards, CachePolicy::TwoQ)
+    }
+
+    #[test]
+    fn twoq_scan_does_not_evict_protected_pages() {
+        let d = disk_with_pages(128, 32);
+        // One shard, eight frames, scan-resistant policy.
+        let cache = twoq_cache(&d, 8, 1);
+        // Two demand reads each: pages 0 and 1 earn the protected tier.
+        for p in [0u64, 1, 0, 1] {
+            cache.read(PageId(p));
+        }
+        // A prefetch scan four times the cache size churns through.
+        let mut scratch = Vec::new();
+        for p in 32..64u64 {
+            cache.prefetch_page(PageId(p), &mut scratch);
+        }
+        let before = d.stats().reads();
+        assert_eq!(cache.read(PageId(0))[0], 0);
+        assert_eq!(cache.read(PageId(1))[0], 1);
+        assert_eq!(d.stats().reads(), before, "hot set must survive the scan");
+        let s = cache.stats();
+        assert_eq!(s.policy, CachePolicy::TwoQ);
+        assert_eq!(s.twoq_reuse_promotions, 2);
+        assert_eq!(s.twoq_protected_evictions, 0);
+        assert_eq!(s.twoq_scan_admissions, 32);
+        assert!(s.twoq_probation_evictions > 0, "the scan churned A1in");
+    }
+
+    #[test]
+    fn twoq_ghost_queue_promotes_refaulted_pages() {
+        let d = disk_with_pages(64, 32);
+        let cache = twoq_cache(&d, 4, 1);
+        // One demand read, then push the page out through the FIFO.
+        cache.read(PageId(7));
+        for p in 10..14u64 {
+            cache.read(PageId(p));
+        }
+        // The re-fault is remembered by the ghost queue: straight to the
+        // protected tier, where a follow-up scan cannot displace it.
+        cache.read(PageId(7));
+        assert_eq!(cache.stats().twoq_ghost_promotions, 1);
+        let mut scratch = Vec::new();
+        for p in 32..48u64 {
+            cache.prefetch_page(PageId(p), &mut scratch);
+        }
+        let before = d.stats().reads();
+        assert_eq!(cache.read(PageId(7))[0], 7);
+        assert_eq!(d.stats().reads(), before);
+    }
+
+    #[test]
+    fn twoq_pinned_pages_survive_eviction_pressure() {
+        let d = disk_with_pages(16, 32);
+        // One shard, two frames: heavy pressure (mirrors the CLOCK test).
+        let cache = twoq_cache(&d, 2, 1);
+        let pinned = cache.read(PageId(3));
+        let mut scratch = Vec::new();
+        for i in 0..16u64 {
+            let r = cache.read(PageId(i));
+            assert_eq!(r[0], i as u8);
+            cache.prefetch_page(PageId((i + 5) % 16), &mut scratch);
+        }
+        // The pin held throughout both demand and scan fills.
+        assert_eq!(pinned[0], 3);
+        let s = cache.stats();
+        assert!(s.evictions > 0, "pressure must evict: {s:?}");
+    }
+
+    #[test]
+    fn twoq_results_match_clock_byte_for_byte() {
+        let d = disk_with_pages(32, 32);
+        let clock = SharedPageCache::with_shards(&d, 4, 2);
+        let twoq = twoq_cache(&d, 4, 2);
+        // Any interleaving of reads returns identical bytes under either
+        // policy — replacement only changes which reads hit.
+        for i in 0..96u64 {
+            let p = PageId((i * 13 + i / 7) % 32);
+            assert_eq!(clock.read(p)[0], twoq.read(p)[0]);
+        }
+    }
+
+    #[test]
+    fn reclaim_counts_resident_unused_prefetches() {
+        let d = disk_with_pages(8, 32);
+        let cache = SharedPageCache::with_shards(&d, 8, 2);
+        let mut scratch = Vec::new();
+        for i in 0..4u64 {
+            cache.prefetch_page(PageId(i), &mut scratch);
+        }
+        // One of the four is consumed; the other three sit resident and
+        // would escape the eviction-time accounting.
+        let (_, o) = cache.read_tracked(PageId(0));
+        assert_eq!(o, ReadOutcome::PrefetchHit);
+        assert_eq!(cache.reclaim_unused_prefetch(), 3);
+        let s = cache.stats();
+        assert_eq!(s.prefetch_unused, 3);
+        assert_eq!(s.prefetch_hits, 1);
+        // Marks were cleared: a second sweep finds nothing and the pages
+        // now read as plain hits.
+        assert_eq!(cache.reclaim_unused_prefetch(), 0);
+        let (_, o) = cache.read_tracked(PageId(1));
+        assert_eq!(o, ReadOutcome::Hit);
     }
 
     #[test]

@@ -231,6 +231,7 @@ impl FileStore {
                 .read(true)
                 .write(true)
                 .create(true)
+                .truncate(false)
                 .open(Self::sums_path(path))?;
             // Backfill checksums for pages the sidecar does not cover yet.
             let pages = len / page_size as u64;

@@ -1,0 +1,656 @@
+//! Scan-resistant 2Q frame replacement for [`crate::SharedPageCache`].
+//!
+//! Plain CLOCK treats every fill the same, so one large sequential scan —
+//! a join reading each unit page exactly once, or a wide readahead window
+//! — cycles the whole ring and flushes the hot working set the serve tier
+//! spent thousands of reads warming. The classic fix (Johnson & Shasha's
+//! 2Q) splits the cache into admission classes:
+//!
+//! * **A1in (probationary)** — every new page starts here and is evicted
+//!   FIFO. A page touched once and never again leaves without ever
+//!   displacing a hot frame.
+//! * **Am (protected)** — pages with *demonstrated reuse*. A probationary
+//!   frame is promoted on its second demand access; protected frames are
+//!   evicted by a CLOCK sweep only when the probationary tier cannot
+//!   yield a victim.
+//! * **A1out (ghost)** — a bounded queue of recently evicted probationary
+//!   page ids (no bytes). A demand miss whose id is still remembered here
+//!   is reuse the cache was too small to see: it is admitted straight to
+//!   the protected tier.
+//!
+//! Scan hints make the policy *scan-proof* rather than merely
+//! scan-resistant: fills landed by the prefetch pipeline
+//! ([`AdmitClass::Scan`]) are always probationary, never consult the
+//! ghost queue, and — unless a demand read touches them while resident —
+//! never enter it on eviction. A join streaming ten thousand pages
+//! through the cache therefore competes only with its own probationary
+//! tail, never with serve's protected set.
+//!
+//! The ring mirrors [`crate::clock::ClockRing`]'s interface (same
+//! `find`/`get`/`insert`/`retain` shape, same pinned-frame overflow
+//! guarantee: when every victim candidate is vetoed the ring grows one
+//! frame instead of dead-locking) so the cache shards can swap policies
+//! behind [`PolicyRing`] without touching the call sites.
+
+use crate::clock::{ClockRing, Inserted};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Replacement policy of a [`crate::SharedPageCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CachePolicy {
+    /// Second-chance CLOCK over one undifferentiated ring (the PR-5
+    /// baseline, kept as the `--cache-policy clock` ablation).
+    #[default]
+    Clock,
+    /// Scan-resistant 2Q admission: probationary A1in + ghost A1out +
+    /// protected Am (see the module docs).
+    TwoQ,
+}
+
+impl std::fmt::Display for CachePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CachePolicy::Clock => write!(f, "clock"),
+            CachePolicy::TwoQ => write!(f, "2q"),
+        }
+    }
+}
+
+impl std::str::FromStr for CachePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "clock" => Ok(CachePolicy::Clock),
+            "2q" | "twoq" => Ok(CachePolicy::TwoQ),
+            other => Err(format!(
+                "unknown cache policy '{other}' (expected 'clock' or '2q')"
+            )),
+        }
+    }
+}
+
+/// How a fill entered the cache — the signal 2Q's admission control runs
+/// on. CLOCK ignores it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitClass {
+    /// A worker blocked on this page (demand miss or write install).
+    Demand,
+    /// The prefetch pipeline landed this page ahead of any demand for it:
+    /// treat it as part of a sequential scan until proven otherwise.
+    Scan,
+}
+
+/// 2Q bookkeeping counters, aggregated into `CacheStats` and published
+/// under the `cache.2q.*` names.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct TwoQCounters {
+    /// Demand misses whose page id was remembered by the ghost queue and
+    /// was therefore admitted straight to the protected tier.
+    pub ghost_promotions: u64,
+    /// Probationary frames promoted to the protected tier by a second
+    /// demand access while resident.
+    pub reuse_promotions: u64,
+    /// Fills admitted with [`AdmitClass::Scan`] (always probationary).
+    pub scan_admissions: u64,
+    /// Evictions taken from the probationary tier.
+    pub probation_evictions: u64,
+    /// Evictions taken from the protected tier.
+    pub protected_evictions: u64,
+}
+
+/// One cached page of the 2Q ring.
+#[derive(Debug)]
+struct Frame2<T> {
+    page: u64,
+    /// CLOCK reference bit; only consulted for protected frames.
+    referenced: bool,
+    /// True once a demand access touched the frame while resident. A
+    /// demand fill counts as the first access; a scan fill does not. The
+    /// *second* access promotes to the protected tier, and only accessed
+    /// frames earn a ghost entry on probationary eviction.
+    accessed: bool,
+    /// Tier: protected Am (true) or probationary A1in (false).
+    protected: bool,
+    payload: T,
+}
+
+/// A fixed-capacity 2Q page ring: `page id -> frame` with scan-resistant
+/// admission. See the module docs for the policy.
+#[derive(Debug)]
+pub(crate) struct TwoQRing<T> {
+    capacity: usize,
+    /// Probationary tier target size (classic Kin = capacity/4): while the
+    /// probationary tier is larger, victims come from it first.
+    kin: usize,
+    frames: Vec<Frame2<T>>,
+    map: HashMap<u64, usize>,
+    /// Probationary pages, oldest first. Entries go stale when their page
+    /// is promoted or evicted through another path; stale entries are
+    /// dropped lazily when popped.
+    a1in: VecDeque<u64>,
+    /// Number of frames currently in the protected tier.
+    protected: usize,
+    /// CLOCK hand for the protected sweep (over `frames`, skipping
+    /// probationary slots).
+    hand: usize,
+    /// Ghost queue (A1out): ids of accessed probationary evictions, oldest
+    /// first, plus the membership set. Capacity Kout = capacity/2.
+    ghost: VecDeque<u64>,
+    ghost_set: HashSet<u64>,
+    ghost_cap: usize,
+    counters: TwoQCounters,
+}
+
+impl<T> TwoQRing<T> {
+    /// Creates an empty ring of `capacity` frames.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one page");
+        Self {
+            capacity,
+            kin: (capacity / 4).max(1),
+            frames: Vec::with_capacity(capacity.min(1024)),
+            map: HashMap::with_capacity(capacity.min(1024)),
+            a1in: VecDeque::new(),
+            protected: 0,
+            hand: 0,
+            ghost: VecDeque::new(),
+            ghost_set: HashSet::new(),
+            ghost_cap: (capacity / 2).max(1),
+            counters: TwoQCounters::default(),
+        }
+    }
+
+    /// Number of resident pages.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Snapshot of the 2Q bookkeeping counters.
+    pub fn counters(&self) -> TwoQCounters {
+        self.counters
+    }
+
+    /// True if `page` is resident (touches no access state).
+    pub fn contains(&self, page: u64) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Looks up a resident page as a demand access and returns its frame
+    /// index. The second demand access of a probationary frame promotes it
+    /// to the protected tier; protected frames get their reference bit.
+    pub fn find(&mut self, page: u64) -> Option<usize> {
+        let &i = self.map.get(&page)?;
+        let f = &mut self.frames[i];
+        if f.protected {
+            f.referenced = true;
+        } else if f.accessed {
+            // Second demand access: demonstrated reuse, promote. The stale
+            // A1in entry is dropped lazily.
+            f.protected = true;
+            f.referenced = true;
+            self.protected += 1;
+            self.counters.reuse_promotions += 1;
+        } else {
+            f.accessed = true;
+        }
+        Some(i)
+    }
+
+    /// Looks up a resident page as a demand access.
+    pub fn get(&mut self, page: u64) -> Option<&mut T> {
+        let i = self.find(page)?;
+        Some(&mut self.frames[i].payload)
+    }
+
+    /// Payload of the frame at `index` (from [`find`](Self::find)).
+    pub fn payload_mut(&mut self, index: usize) -> &mut T {
+        &mut self.frames[index].payload
+    }
+
+    /// Registers `page` in the ring, evicting a victim if at capacity.
+    ///
+    /// Mirrors [`ClockRing::insert`]: `can_evict` vetoes pinned/dirty
+    /// victims, `fresh` allocates a payload for a brand-new frame, and
+    /// when every candidate in both tiers is vetoed the ring grows one
+    /// overflow frame instead of dead-locking.
+    pub fn insert(
+        &mut self,
+        page: u64,
+        class: AdmitClass,
+        mut can_evict: impl FnMut(&T) -> bool,
+        fresh: impl FnOnce() -> T,
+    ) -> Inserted<'_, T> {
+        debug_assert!(!self.map.contains_key(&page), "insert of resident page");
+        // Only demand fills consult the ghost queue: a remembered id means
+        // the probationary tier was too small to observe this page's reuse
+        // interval, so it goes straight to the protected tier. Scan fills
+        // skip the check *and leave the ghost memory intact* — readahead
+        // streaming past a page must not count as reuse.
+        let to_protected = class == AdmitClass::Demand && self.ghost_set.remove(&page);
+        if to_protected {
+            self.counters.ghost_promotions += 1;
+        }
+        if class == AdmitClass::Scan {
+            self.counters.scan_admissions += 1;
+        }
+        let accessed = class == AdmitClass::Demand;
+
+        let victim = if self.frames.len() < self.capacity {
+            None
+        } else {
+            self.find_victim(&mut can_evict)
+        };
+        let Some(i) = victim else {
+            // Below capacity, or every candidate pinned: grow.
+            return self.push_fresh(page, to_protected, accessed, fresh);
+        };
+
+        let evicted = self.frames[i].page;
+        let was_protected = self.frames[i].protected;
+        // Only probationary evictions with demonstrated use earn a ghost
+        // entry; an untouched prefetch leaves no trace.
+        let remember = !was_protected && self.frames[i].accessed;
+        self.map.remove(&evicted);
+        if was_protected {
+            self.protected -= 1;
+            self.counters.protected_evictions += 1;
+        } else {
+            self.counters.probation_evictions += 1;
+            if remember {
+                self.ghost_insert(evicted);
+            }
+        }
+        self.map.insert(page, i);
+        if to_protected {
+            self.protected += 1;
+        } else {
+            self.a1in.push_back(page);
+        }
+        let f = &mut self.frames[i];
+        f.page = page;
+        f.referenced = false;
+        f.accessed = accessed;
+        f.protected = to_protected;
+        Inserted {
+            payload: &mut f.payload,
+            evicted: Some(evicted),
+            fresh: false,
+        }
+    }
+
+    fn push_fresh(
+        &mut self,
+        page: u64,
+        to_protected: bool,
+        accessed: bool,
+        fresh: impl FnOnce() -> T,
+    ) -> Inserted<'_, T> {
+        let i = self.frames.len();
+        self.frames.push(Frame2 {
+            page,
+            referenced: false,
+            accessed,
+            protected: to_protected,
+            payload: fresh(),
+        });
+        self.map.insert(page, i);
+        if to_protected {
+            self.protected += 1;
+        } else {
+            self.a1in.push_back(page);
+        }
+        Inserted {
+            payload: &mut self.frames[i].payload,
+            evicted: None,
+            fresh: true,
+        }
+    }
+
+    fn find_victim(&mut self, can_evict: &mut impl FnMut(&T) -> bool) -> Option<usize> {
+        // Classic 2Q victim choice: drain the probationary tier while it
+        // exceeds its target share (or the protected tier is empty), else
+        // run the protected CLOCK. Either way the other tier is the
+        // fallback, so a tier full of pinned frames cannot wedge inserts.
+        let probation = self.frames.len() - self.protected;
+        if probation > self.kin || self.protected == 0 {
+            self.probation_victim(can_evict)
+                .or_else(|| self.protected_victim(can_evict))
+        } else {
+            self.protected_victim(can_evict)
+                .or_else(|| self.probation_victim(can_evict))
+        }
+    }
+
+    /// Oldest evictable probationary frame (FIFO). Pinned candidates
+    /// rotate to the back so they are retried after their pin drops;
+    /// stale entries (promoted or re-registered pages) are dropped.
+    fn probation_victim(&mut self, can_evict: &mut impl FnMut(&T) -> bool) -> Option<usize> {
+        let mut rotations = self.a1in.len();
+        while let Some(p) = self.a1in.pop_front() {
+            let Some(&i) = self.map.get(&p) else {
+                continue;
+            };
+            if self.frames[i].protected {
+                continue;
+            }
+            if !can_evict(&self.frames[i].payload) {
+                self.a1in.push_back(p);
+                if rotations == 0 {
+                    return None;
+                }
+                rotations -= 1;
+                continue;
+            }
+            return Some(i);
+        }
+        None
+    }
+
+    /// Second-chance sweep over the protected tier.
+    fn protected_victim(&mut self, can_evict: &mut impl FnMut(&T) -> bool) -> Option<usize> {
+        if self.protected == 0 {
+            return None;
+        }
+        let n = self.frames.len();
+        for _ in 0..2 * n {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % n;
+            let f = &mut self.frames[i];
+            if !f.protected || !can_evict(&f.payload) {
+                continue;
+            }
+            if f.referenced {
+                f.referenced = false;
+                continue;
+            }
+            return Some(i);
+        }
+        None
+    }
+
+    fn ghost_insert(&mut self, page: u64) {
+        if self.ghost_set.insert(page) {
+            self.ghost.push_back(page);
+        }
+        while self.ghost_set.len() > self.ghost_cap {
+            match self.ghost.pop_front() {
+                // Stale entries (already promoted out) shrink nothing and
+                // are simply discarded.
+                Some(p) => {
+                    self.ghost_set.remove(&p);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Iterates over every resident frame as `(page id, payload)`.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut T)> {
+        self.frames.iter_mut().map(|f| (f.page, &mut f.payload))
+    }
+
+    /// Drops every frame for which `keep` returns false, rebuilding the
+    /// page map and tier bookkeeping (probationary FIFO order degrades to
+    /// frame order; the ghost queue is kept). The clock hand resets.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        self.frames.retain(|f| keep(&f.payload));
+        self.map.clear();
+        self.a1in.clear();
+        self.protected = 0;
+        for (i, f) in self.frames.iter().enumerate() {
+            self.map.insert(f.page, i);
+            if f.protected {
+                self.protected += 1;
+            } else {
+                self.a1in.push_back(f.page);
+            }
+        }
+        self.hand = 0;
+    }
+}
+
+/// Policy dispatch over the two ring implementations, so each cache shard
+/// carries exactly the ring its [`CachePolicy`] names while the cache code
+/// keeps one set of call sites.
+#[derive(Debug)]
+pub(crate) enum PolicyRing<T> {
+    Clock(ClockRing<T>),
+    TwoQ(TwoQRing<T>),
+}
+
+impl<T> PolicyRing<T> {
+    pub fn new(policy: CachePolicy, capacity: usize) -> Self {
+        match policy {
+            CachePolicy::Clock => PolicyRing::Clock(ClockRing::new(capacity)),
+            CachePolicy::TwoQ => PolicyRing::TwoQ(TwoQRing::new(capacity)),
+        }
+    }
+
+    pub fn contains(&self, page: u64) -> bool {
+        match self {
+            PolicyRing::Clock(r) => r.contains(page),
+            PolicyRing::TwoQ(r) => r.contains(page),
+        }
+    }
+
+    pub fn find(&mut self, page: u64) -> Option<usize> {
+        match self {
+            PolicyRing::Clock(r) => r.find(page),
+            PolicyRing::TwoQ(r) => r.find(page),
+        }
+    }
+
+    pub fn get(&mut self, page: u64) -> Option<&mut T> {
+        match self {
+            PolicyRing::Clock(r) => r.get(page),
+            PolicyRing::TwoQ(r) => r.get(page),
+        }
+    }
+
+    pub fn payload_mut(&mut self, index: usize) -> &mut T {
+        match self {
+            PolicyRing::Clock(r) => r.payload_mut(index),
+            PolicyRing::TwoQ(r) => r.payload_mut(index),
+        }
+    }
+
+    pub fn insert(
+        &mut self,
+        page: u64,
+        class: AdmitClass,
+        can_evict: impl FnMut(&T) -> bool,
+        fresh: impl FnOnce() -> T,
+    ) -> Inserted<'_, T> {
+        match self {
+            PolicyRing::Clock(r) => r.insert(page, can_evict, fresh),
+            PolicyRing::TwoQ(r) => r.insert(page, class, can_evict, fresh),
+        }
+    }
+
+    pub fn iter_mut(&mut self) -> Box<dyn Iterator<Item = (u64, &mut T)> + '_> {
+        match self {
+            PolicyRing::Clock(r) => Box::new(r.iter_mut()),
+            PolicyRing::TwoQ(r) => Box::new(r.iter_mut()),
+        }
+    }
+
+    pub fn retain(&mut self, keep: impl FnMut(&T) -> bool) {
+        match self {
+            PolicyRing::Clock(r) => r.retain(keep),
+            PolicyRing::TwoQ(r) => r.retain(keep),
+        }
+    }
+
+    /// 2Q bookkeeping counters (zero under CLOCK).
+    pub fn twoq_counters(&self) -> TwoQCounters {
+        match self {
+            PolicyRing::Clock(_) => TwoQCounters::default(),
+            PolicyRing::TwoQ(r) => r.counters(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(capacity: usize) -> TwoQRing<u64> {
+        TwoQRing::new(capacity)
+    }
+
+    fn demand(r: &mut TwoQRing<u64>, page: u64) {
+        if r.contains(page) {
+            r.find(page);
+        } else {
+            *r.insert(page, AdmitClass::Demand, |_| true, || 0).payload = page;
+        }
+    }
+
+    fn scan(r: &mut TwoQRing<u64>, page: u64) {
+        if !r.contains(page) {
+            *r.insert(page, AdmitClass::Scan, |_| true, || 0).payload = page;
+        }
+    }
+
+    #[test]
+    fn single_touch_pages_leave_fifo_without_promotion() {
+        let mut r = ring(4);
+        for p in 0..8 {
+            demand(&mut r, p);
+        }
+        // Capacity 4, eight one-touch fills: the first four are gone and
+        // none was promoted.
+        assert_eq!(r.len(), 4);
+        for p in 0..4 {
+            assert!(!r.contains(p), "page {p} should have been evicted FIFO");
+        }
+        assert_eq!(r.counters().reuse_promotions, 0);
+        assert_eq!(r.counters().probation_evictions, 4);
+        assert_eq!(r.counters().protected_evictions, 0);
+    }
+
+    #[test]
+    fn second_access_promotes_and_scans_cannot_evict_protected() {
+        let mut r = ring(8);
+        // Two demand accesses each: pages 0 and 1 reach the protected tier.
+        for p in [0u64, 1] {
+            demand(&mut r, p);
+            demand(&mut r, p);
+        }
+        assert_eq!(r.counters().reuse_promotions, 2);
+        // A scan far larger than the ring churns only the probationary
+        // tier: the protected pages survive untouched.
+        for p in 100..164 {
+            scan(&mut r, p);
+        }
+        assert!(r.contains(0), "scan must not evict protected page 0");
+        assert!(r.contains(1), "scan must not evict protected page 1");
+        assert_eq!(r.counters().protected_evictions, 0);
+        assert_eq!(r.counters().scan_admissions, 64);
+    }
+
+    #[test]
+    fn ghost_queue_promotes_refaulted_pages() {
+        let mut r = ring(4);
+        demand(&mut r, 7);
+        // Push 7 out through the probationary FIFO (one eviction: the
+        // bounded ghost queue must still remember it).
+        for p in 10..14 {
+            demand(&mut r, p);
+        }
+        assert!(!r.contains(7));
+        // Its id is remembered: the re-fault admits straight to protected.
+        demand(&mut r, 7);
+        assert_eq!(r.counters().ghost_promotions, 1);
+        // Protected now: a long scan cannot displace it.
+        for p in 100..132 {
+            scan(&mut r, p);
+        }
+        assert!(r.contains(7), "ghost-promoted page must be protected");
+    }
+
+    #[test]
+    fn untouched_scan_evictions_leave_no_ghost_entry() {
+        let mut r = ring(2);
+        scan(&mut r, 5);
+        // Evict the untouched scan page.
+        for p in 10..14 {
+            demand(&mut r, p);
+        }
+        assert!(!r.contains(5));
+        // Re-admitting it is a plain probationary admission, not a ghost
+        // promotion.
+        demand(&mut r, 5);
+        assert_eq!(r.counters().ghost_promotions, 0);
+    }
+
+    #[test]
+    fn pinned_frames_are_skipped_and_overflow_grows() {
+        let mut r = ring(2);
+        demand(&mut r, 0);
+        demand(&mut r, 1);
+        // Every frame vetoed: the ring must grow, not spin.
+        let ins = r.insert(2, AdmitClass::Demand, |_| false, || 2);
+        assert!(ins.fresh);
+        assert_eq!(ins.evicted, None);
+        assert_eq!(r.len(), 3);
+        // With pins released the overflow frame becomes a normal victim.
+        let ins = r.insert(3, AdmitClass::Demand, |v| *v != 99, || 3);
+        assert!(!ins.fresh);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn selective_pins_rotate_probationary_victims() {
+        let mut r = ring(2);
+        *r.insert(0, AdmitClass::Demand, |_| true, || 100).payload = 100;
+        *r.insert(1, AdmitClass::Demand, |_| true, || 101).payload = 101;
+        // Page 0's payload (100) is pinned; the victim must be page 1.
+        let ins = r.insert(2, AdmitClass::Demand, |v| *v != 100, || 0);
+        assert_eq!(ins.evicted, Some(1));
+        assert!(r.contains(0));
+    }
+
+    #[test]
+    fn ghost_queue_is_bounded() {
+        let mut r = ring(4); // ghost capacity = 2
+        for p in 0..32 {
+            demand(&mut r, p);
+        }
+        assert!(r.ghost_set.len() <= 2, "ghost must stay bounded");
+        // The oldest ghosts were forgotten: re-faulting page 0 is a plain
+        // probationary admission.
+        demand(&mut r, 0);
+        assert_eq!(r.counters().ghost_promotions, 0);
+    }
+
+    #[test]
+    fn retain_rebuilds_tier_bookkeeping() {
+        let mut r = ring(4);
+        demand(&mut r, 0);
+        demand(&mut r, 0); // promote
+        demand(&mut r, 1);
+        demand(&mut r, 2);
+        r.retain(|v| *v != 1);
+        assert!(r.contains(0));
+        assert!(!r.contains(1));
+        assert!(r.contains(2));
+        assert_eq!(r.protected, 1);
+        // The ring still works after the rebuild.
+        for p in 10..20 {
+            demand(&mut r, p);
+        }
+        assert!(r.contains(0), "protected page survives the rebuild");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_capacity_panics() {
+        let _ = ring(0);
+    }
+}

@@ -91,7 +91,11 @@ mod tests {
         assert!(!report.torn_tail);
         assert_eq!(disk.read_page_vec(PageId(0)), page(1, 64));
         assert_eq!(disk.read_page_vec(PageId(2)), page(3, 64));
-        assert_eq!(disk.read_page_vec(PageId(1)), page(0, 64), "uncommitted absent");
+        assert_eq!(
+            disk.read_page_vec(PageId(1)),
+            page(0, 64),
+            "uncommitted absent"
+        );
 
         // Idempotence: a second replay converges to the same image.
         let again = recover(&dir, &disk).unwrap();

@@ -198,8 +198,16 @@ mod tests {
         let mut buf = Vec::new();
         encode_record(&page_record(5, 1, 0, 0x11), &mut buf);
         // Any strict prefix is torn, not an error and not a record.
-        for cut in [1, RECORD_FRAME_BYTES - 1, RECORD_FRAME_BYTES + 3, buf.len() - 1] {
-            assert!(matches!(decode_record(&buf[..cut]), Decoded::Torn), "cut {cut}");
+        for cut in [
+            1,
+            RECORD_FRAME_BYTES - 1,
+            RECORD_FRAME_BYTES + 3,
+            buf.len() - 1,
+        ] {
+            assert!(
+                matches!(decode_record(&buf[..cut]), Decoded::Torn),
+                "cut {cut}"
+            );
         }
         // A flipped payload byte fails the checksum.
         let mut bad = buf.clone();

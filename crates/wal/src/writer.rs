@@ -1,9 +1,9 @@
 //! The append side: segmented log files, group commit, crash injection.
 
+use crate::reader::{scan_dir, segment_path};
 use crate::record::{
     encode_record, encode_segment_header, WalPayload, WalRecord, SEGMENT_HEADER_BYTES,
 };
-use crate::reader::{scan_dir, segment_path};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
@@ -226,7 +226,8 @@ impl Wal {
         if inner.seg_bytes + frame.len() as u64 > self.opts.segment_bytes
             && inner.seg_bytes > SEGMENT_HEADER_BYTES as u64
         {
-            self.rotate(&mut inner).expect("wal segment rotation failed");
+            self.rotate(&mut inner)
+                .expect("wal segment rotation failed");
         }
 
         if let Some(limit) = inner.crash_after_bytes {
@@ -282,34 +283,32 @@ impl Wal {
     /// Makes everything up to `lsn` durable, riding a concurrent fsync
     /// when one already covers it (group commit).
     fn sync_to(&self, lsn: u64, always_fsync: bool) -> u64 {
-        loop {
-            let d = self.durable.load(Ordering::Acquire);
-            if d >= lsn && !always_fsync {
-                return d;
-            }
-            let guard = self.sync_file.lock();
-            let d = self.durable.load(Ordering::Acquire);
-            if d >= lsn && !always_fsync {
-                // A racing committer's fsync covered us while we waited.
-                return d;
-            }
-            // While we hold the sync lock no rotation can swap the
-            // current segment out from under us, so `appended` is fully
-            // contained in (already-durable older segments +) this file.
-            let target = self.appended.load(Ordering::Acquire);
-            let batch = self.pending.swap(0, Ordering::AcqRel);
-            if !self.opts.fsync_latency.is_zero() {
-                std::thread::sleep(self.opts.fsync_latency);
-            }
-            guard.file.sync_data().expect("wal fsync failed");
-            drop(guard);
-            self.durable.fetch_max(target, Ordering::AcqRel);
-            self.fsyncs.fetch_add(1, Ordering::Relaxed);
-            if batch > 0 {
-                self.batch_sizes.lock().push(batch);
-            }
-            return self.durable.load(Ordering::Acquire);
+        let d = self.durable.load(Ordering::Acquire);
+        if d >= lsn && !always_fsync {
+            return d;
         }
+        let guard = self.sync_file.lock();
+        let d = self.durable.load(Ordering::Acquire);
+        if d >= lsn && !always_fsync {
+            // A racing committer's fsync covered us while we waited.
+            return d;
+        }
+        // While we hold the sync lock no rotation can swap the
+        // current segment out from under us, so `appended` is fully
+        // contained in (already-durable older segments +) this file.
+        let target = self.appended.load(Ordering::Acquire);
+        let batch = self.pending.swap(0, Ordering::AcqRel);
+        if !self.opts.fsync_latency.is_zero() {
+            std::thread::sleep(self.opts.fsync_latency);
+        }
+        guard.file.sync_data().expect("wal fsync failed");
+        drop(guard);
+        self.durable.fetch_max(target, Ordering::AcqRel);
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        if batch > 0 {
+            self.batch_sizes.lock().push(batch);
+        }
+        self.durable.load(Ordering::Acquire)
     }
 
     /// Deletes every segment except a freshly started one. Callable only

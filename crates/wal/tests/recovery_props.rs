@@ -13,8 +13,8 @@
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use tfm_wal::{recover, scan_dir, segment_path, Wal, WalOptions};
 use tfm_storage::{Disk, DiskModel, PageId, RedoLog};
+use tfm_wal::{recover, scan_dir, segment_path, Wal, WalOptions};
 
 const PAGE_SIZE: usize = 64;
 const PAGES: u64 = 8;
@@ -59,8 +59,7 @@ fn reference_image(txns: &[Vec<(u64, u8)>], cut: u64) -> HashMap<u64, Vec<u8>> {
     let mut offset = HEADER_BYTES;
     let mut image: HashMap<u64, Vec<u8>> = HashMap::new();
     for writes in txns {
-        let commit_end =
-            offset + writes.len() as u64 * PAGE_RECORD_BYTES + COMMIT_RECORD_BYTES;
+        let commit_end = offset + writes.len() as u64 * PAGE_RECORD_BYTES + COMMIT_RECORD_BYTES;
         if commit_end <= cut {
             for &(page, fill) in writes {
                 image.insert(page, page_image(fill));
